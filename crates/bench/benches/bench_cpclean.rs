@@ -1,0 +1,46 @@
+//! CPClean selection-step bench: the cost of one sequential-information-
+//! maximization iteration, and the effect of the already-CP'ed-skip
+//! optimization (certified validation examples contribute zero entropy and
+//! are skipped — §4.1 termination logic made incremental).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cp_bench::problem_from_prepared;
+use cp_clean::{select_next, val_cp_status, CleaningState};
+use cp_datasets::{bank, make_bundle, prepare, BundleConfig};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cpclean");
+    group.measurement_time(Duration::from_secs(5)).sample_size(10);
+
+    let mut cfg = BundleConfig::laptop(3);
+    cfg.n_train = 120;
+    cfg.n_val = 40;
+    cfg.n_test = 40;
+    let bundle = make_bundle(&bank(), &cfg);
+    let prep = prepare(&bundle, &cfg.repair);
+    let problem = problem_from_prepared(&prep, 3);
+    let state = CleaningState::new(&problem);
+    let remaining = state.remaining(&problem);
+    let cp = val_cp_status(&problem, state.pins(), 1);
+
+    group.bench_function("select_next_with_cp_skip", |b| {
+        b.iter(|| black_box(select_next(&problem, &state, &cp, &remaining, 1)))
+    });
+
+    // ablation: pretend nothing is certified — every validation example
+    // enters the entropy loop
+    let no_skip = vec![false; cp.len()];
+    group.bench_function("select_next_no_skip", |b| {
+        b.iter(|| black_box(select_next(&problem, &state, &no_skip, &remaining, 1)))
+    });
+
+    group.bench_function("val_cp_status_mm", |b| {
+        b.iter(|| black_box(val_cp_status(&problem, state.pins(), 1)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_selection);
+criterion_main!(benches);

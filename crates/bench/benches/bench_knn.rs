@@ -1,0 +1,40 @@
+//! KNN substrate bench: similarity-index construction (the sort term of
+//! every SS bound) and plain classifier prediction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cp_bench::random_incomplete_dataset;
+use cp_core::SimilarityIndex;
+use cp_knn::{Kernel, KnnClassifier};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_knn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("knn");
+    group.measurement_time(Duration::from_secs(2)).sample_size(10);
+
+    for n in [400usize, 1600] {
+        let (ds, t) = random_incomplete_dataset(n, 5, 0.2, 2, 5, 42);
+        group.bench_with_input(BenchmarkId::new("similarity_index_build", n), &n, |b, _| {
+            b.iter(|| black_box(SimilarityIndex::build(&ds, Kernel::NegEuclidean, &t)))
+        });
+    }
+
+    let mut rng = StdRng::seed_from_u64(9);
+    let train_x: Vec<Vec<f64>> = (0..1000)
+        .map(|_| (0..8).map(|_| rng.gen_range(-3.0..3.0)).collect())
+        .collect();
+    let train_y: Vec<usize> = (0..1000).map(|_| rng.gen_range(0..2)).collect();
+    let model = KnnClassifier::new(3).fit(train_x, train_y, 2);
+    let queries: Vec<Vec<f64>> = (0..50)
+        .map(|_| (0..8).map(|_| rng.gen_range(-3.0..3.0)).collect())
+        .collect();
+    group.bench_function("classifier_predict_50x1000", |b| {
+        b.iter(|| black_box(model.predict_batch(&queries)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_knn);
+criterion_main!(benches);

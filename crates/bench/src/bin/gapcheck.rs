@@ -1,0 +1,64 @@
+//! Diagnostic: the ground-truth vs default-cleaning accuracy gap per
+//! profile across seeds — the precondition every Table 2 / Figure 9 shape
+//! rests on. Not part of the paper; used to validate generator calibration.
+
+use cp_bench::report::acc;
+use cp_bench::{ExperimentScale, Reporter};
+use cp_datasets::{all_profiles, make_bundle, prepare};
+use cp_knn::KnnClassifier;
+use cp_table::default_clean;
+
+/// Accuracy of the all-cleaned world (every dirty row at its ground-truth
+/// candidate) — the quantization ceiling any candidate-space cleaner can hit.
+fn ceiling(prep: &cp_datasets::PreparedDataset) -> f64 {
+    let choices: Vec<usize> = (0..prep.table_dataset.dataset.len())
+        .map(|i| prep.truth_choice[i].unwrap_or(0))
+        .collect();
+    let (xs, ys) = prep.table_dataset.dataset.materialize(&choices);
+    KnnClassifier::new(3)
+        .fit(xs, ys, prep.n_labels)
+        .accuracy(&prep.test_x, &prep.test_y)
+}
+
+fn main() {
+    let r = Reporter;
+    let base = ExperimentScale::from_env();
+    r.section("Gap check: ground truth vs default cleaning (test accuracy)");
+    let mut rows = Vec::new();
+    for profile in all_profiles() {
+        let mut gaps = Vec::new();
+        let mut gts = Vec::new();
+        let mut defaults = Vec::new();
+        let mut ceilings = Vec::new();
+        for seed in [base.seed, base.seed + 1, base.seed + 2] {
+            let mut scale = base.clone();
+            scale.seed = seed;
+            let cfg = scale.bundle_config();
+            let bundle = make_bundle(&profile, &cfg);
+            let prep = prepare(&bundle, &cfg.repair);
+            let labels = &prep.table_dataset.labels;
+            let gt = KnnClassifier::new(3)
+                .fit(prep.gt_train_x.clone(), labels.clone(), prep.n_labels)
+                .accuracy(&prep.test_x, &prep.test_y);
+            let def = KnnClassifier::new(3)
+                .fit(
+                    prep.encoder.encode_table(&default_clean(&bundle.dirty_train)),
+                    labels.clone(),
+                    prep.n_labels,
+                )
+                .accuracy(&prep.test_x, &prep.test_y);
+            gts.push(gt);
+            defaults.push(def);
+            gaps.push(gt - def);
+            ceilings.push(ceiling(&prep));
+        }
+        rows.push(vec![
+            profile.name.clone(),
+            gts.iter().map(|v| acc(*v)).collect::<Vec<_>>().join("/"),
+            defaults.iter().map(|v| acc(*v)).collect::<Vec<_>>().join("/"),
+            gaps.iter().map(|v| format!("{:+.3}", v)).collect::<Vec<_>>().join("/"),
+            ceilings.iter().map(|v| acc(*v)).collect::<Vec<_>>().join("/"),
+        ]);
+    }
+    r.table(&["Dataset", "GT acc (3 seeds)", "Default acc", "gap", "all-cleaned ceiling"], &rows);
+}

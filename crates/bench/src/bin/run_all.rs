@@ -1,0 +1,16 @@
+//! Runs every table/figure regenerator in sequence (the full evaluation
+//! of the paper). Honours `CP_SCALE`, `CP_SEED`, `CP_THREADS`.
+
+use std::process::Command;
+
+fn main() {
+    let self_path = std::env::current_exe().expect("current_exe");
+    let bin_dir = self_path.parent().expect("bin dir");
+    for name in ["table1", "table2", "figure4_scaling", "figure9", "figure10"] {
+        println!("\n{:=^78}\n", format!(" {name} "));
+        let status = Command::new(bin_dir.join(name))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {name}: {e}"));
+        assert!(status.success(), "{name} failed");
+    }
+}

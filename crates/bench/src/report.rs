@@ -1,0 +1,95 @@
+//! Minimal markdown reporter: the experiment binaries print the same rows
+//! the paper's tables/figures report, as pipe tables.
+
+/// A streaming markdown table/section printer.
+#[derive(Default)]
+pub struct Reporter;
+
+impl Reporter {
+    /// Print a section heading.
+    pub fn section(&self, title: &str) {
+        println!("\n## {title}\n");
+    }
+
+    /// Print one markdown table.
+    pub fn table(&self, headers: &[&str], rows: &[Vec<String>]) {
+        println!("| {} |", headers.join(" | "));
+        println!("|{}|", headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+        for row in rows {
+            println!("| {} |", row.join(" | "));
+        }
+    }
+
+    /// Print a free-form note line.
+    pub fn note(&self, text: &str) {
+        println!("\n_{text}_");
+    }
+}
+
+/// Format a fraction as a percentage string ("64%").
+pub fn pct(v: f64) -> String {
+    format!("{:.0}%", v * 100.0)
+}
+
+/// Format a fraction as a signed percentage with one decimal.
+pub fn pct1(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+/// Format an accuracy with three decimals.
+pub fn acc(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Format a duration in adaptive units.
+pub fn duration_ms(seconds: f64) -> String {
+    if seconds < 1e-3 {
+        format!("{:.1}µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2}ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.2}s")
+    }
+}
+
+/// Least-squares slope of `log(y)` against `log(x)` — the empirical scaling
+/// exponent reported by the Figure 4 regenerator.
+pub fn loglog_slope(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len());
+    assert!(xs.len() >= 2, "need at least two points for a slope");
+    let lx: Vec<f64> = xs.iter().map(|v| v.ln()).collect();
+    let ly: Vec<f64> = ys.iter().map(|v| v.ln()).collect();
+    let mx = lx.iter().sum::<f64>() / lx.len() as f64;
+    let my = ly.iter().sum::<f64>() / ly.len() as f64;
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (x, y) in lx.iter().zip(&ly) {
+        num += (x - mx) * (y - my);
+        den += (x - mx) * (x - mx);
+    }
+    num / den
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting() {
+        assert_eq!(pct(0.64), "64%");
+        assert_eq!(pct1(-0.041), "-4.1%");
+        assert_eq!(acc(0.9684), "0.968");
+        assert_eq!(duration_ms(0.0025), "2.50ms");
+        assert_eq!(duration_ms(2.5), "2.50s");
+        assert_eq!(duration_ms(0.0000005), "0.5µs");
+    }
+
+    #[test]
+    fn loglog_slope_recovers_powers() {
+        let xs = [100.0, 200.0, 400.0, 800.0];
+        let linear: Vec<f64> = xs.iter().map(|x| 3.0 * x).collect();
+        let quad: Vec<f64> = xs.iter().map(|x| 0.5 * x * x).collect();
+        assert!((loglog_slope(&xs, &linear) - 1.0).abs() < 1e-9);
+        assert!((loglog_slope(&xs, &quad) - 2.0).abs() < 1e-9);
+    }
+}

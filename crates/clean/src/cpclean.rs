@@ -1,0 +1,253 @@
+//! The CPClean algorithm — §4.1, Algorithm 3.
+//!
+//! Sequential information maximization: each iteration cleans the training
+//! example whose (simulated) cleaning is expected to reduce the conditional
+//! entropy of validation predictions the most. The expectation is over a
+//! uniform prior on which candidate is the truth (Equation 4), and each
+//! conditional entropy is computed from Q2 probabilities under a pin
+//! (`c_i = x_{i,j}`) on top of the pins of everything cleaned so far.
+//! Termination: every validation example CP'ed (then *any* remaining world —
+//! including the unknown ground truth — yields the same validation
+//! predictions), a cleaning budget, or nothing dirty left.
+//!
+//! Two load-bearing optimizations, both consequences of CP monotonicity
+//! (cleaning only shrinks the world set, so a certain example stays certain):
+//!
+//! * already-CP'ed validation examples are skipped in the entropy loop —
+//!   their conditional entropy is 0 under every pin;
+//! * each validation example's similarity index is built once per iteration
+//!   and shared across all `(i, j)` pin evaluations.
+
+use crate::eval::{parallel_map, state_accuracy, val_cp_status};
+use crate::metrics::{CleaningRun, CurvePoint};
+use crate::problem::CleaningProblem;
+use crate::state::CleaningState;
+use cp_core::{q2_probabilities_with_index, SimilarityIndex};
+use cp_numeric::stats::entropy_bits;
+
+/// Options for a cleaning run (shared by CPClean and RandomClean).
+#[derive(Clone, Debug)]
+pub struct RunOptions {
+    /// Stop after cleaning this many rows (`None` = run to convergence or
+    /// until no dirty rows remain).
+    pub max_cleaned: Option<usize>,
+    /// Worker threads for the per-validation-example loops.
+    pub n_threads: usize,
+    /// Record a curve point every `record_every` cleaning steps (the first
+    /// and last points are always recorded).
+    pub record_every: usize,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            max_cleaned: None,
+            n_threads: crate::eval::default_threads(),
+            record_every: 1,
+        }
+    }
+}
+
+/// Run CPClean on a problem, recording the cleaning curve against the given
+/// test set.
+pub fn run_cpclean(
+    problem: &CleaningProblem,
+    test_x: &[Vec<f64>],
+    test_y: &[usize],
+    opts: &RunOptions,
+) -> CleaningRun {
+    problem.validate();
+    let mut state = CleaningState::new(problem);
+    let n_dirty = problem.dirty_rows().len().max(1);
+    let mut curve = Vec::new();
+    let mut cp = val_cp_status(problem, state.pins(), opts.n_threads);
+    curve.push(point(problem, &state, &cp, n_dirty, test_x, test_y));
+    let mut converged = cp.iter().all(|&c| c);
+
+    loop {
+        if converged {
+            break;
+        }
+        let remaining = state.remaining(problem);
+        if remaining.is_empty() {
+            break;
+        }
+        if let Some(budget) = opts.max_cleaned {
+            if state.n_cleaned() >= budget {
+                break;
+            }
+        }
+
+        let row = select_next(problem, &state, &cp, &remaining, opts.n_threads);
+        state.clean_row(problem, row);
+        cp = val_cp_status(problem, state.pins(), opts.n_threads);
+        converged = cp.iter().all(|&c| c);
+
+        let step = state.n_cleaned();
+        if step.is_multiple_of(opts.record_every.max(1)) || converged {
+            curve.push(point(problem, &state, &cp, n_dirty, test_x, test_y));
+        }
+    }
+    // make sure the final state is on the curve
+    if curve.last().map(|p| p.cleaned) != Some(state.n_cleaned()) {
+        curve.push(point(problem, &state, &cp, n_dirty, test_x, test_y));
+    }
+
+    CleaningRun { order: state.order().to_vec(), curve, converged }
+}
+
+/// The greedy selection step (Algorithm 3, lines 5–9): the uncleaned row
+/// minimizing the expected conditional entropy of validation predictions,
+/// the expectation taken uniformly over which candidate is the truth.
+pub fn select_next(
+    problem: &CleaningProblem,
+    state: &CleaningState,
+    cp: &[bool],
+    remaining: &[usize],
+    n_threads: usize,
+) -> usize {
+    debug_assert!(!remaining.is_empty());
+    let uncertain: Vec<usize> = (0..problem.val_x.len()).filter(|&v| !cp[v]).collect();
+    if uncertain.is_empty() {
+        return remaining[0];
+    }
+
+    // per validation example: entropy of Q2 probabilities under every pin
+    let per_val: Vec<Vec<Vec<f64>>> = parallel_map(uncertain.len(), n_threads, |u| {
+        let t = &problem.val_x[uncertain[u]];
+        let idx = SimilarityIndex::build(&problem.dataset, problem.config.kernel, t);
+        remaining
+            .iter()
+            .map(|&row| {
+                (0..problem.dataset.set_size(row))
+                    .map(|j| {
+                        let mut pins = state.pins().clone();
+                        pins.pin(row, j);
+                        let probs = q2_probabilities_with_index(
+                            &problem.dataset,
+                            &problem.config,
+                            &idx,
+                            &pins,
+                        );
+                        entropy_bits(&probs)
+                    })
+                    .collect()
+            })
+            .collect()
+    });
+
+    // expected entropy per candidate row: mean over candidates (uniform
+    // prior), summed over uncertain validation examples
+    let mut best_row = remaining[0];
+    let mut best_score = f64::INFINITY;
+    for (pos, &row) in remaining.iter().enumerate() {
+        let m = problem.dataset.set_size(row) as f64;
+        let mut score = 0.0;
+        for ent in &per_val {
+            score += ent[pos].iter().sum::<f64>() / m;
+        }
+        if score < best_score - 1e-12 {
+            best_score = score;
+            best_row = row;
+        }
+    }
+    best_row
+}
+
+fn point(
+    problem: &CleaningProblem,
+    state: &CleaningState,
+    cp: &[bool],
+    n_dirty: usize,
+    test_x: &[Vec<f64>],
+    test_y: &[usize],
+) -> CurvePoint {
+    CurvePoint {
+        cleaned: state.n_cleaned(),
+        frac_cleaned: state.n_cleaned() as f64 / n_dirty as f64,
+        frac_val_cp: cp.iter().filter(|&&c| c).count() as f64 / cp.len().max(1) as f64,
+        test_accuracy: state_accuracy(problem, state, test_x, test_y),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cp_core::{CpConfig, IncompleteDataset, IncompleteExample};
+
+    /// Two dirty rows; only row 1 matters for the validation point, so
+    /// CPClean must clean it first (RandomClean would pick row 3 half the
+    /// time).
+    fn targeted_problem() -> CleaningProblem {
+        let dataset = IncompleteDataset::new(
+            vec![
+                IncompleteExample::complete(vec![0.0], 0),
+                // near the val point (5.0): candidate 4.8 is the nearest
+                // neighbor (label 0), candidate 7.0 cedes to example 2
+                // (label 1) — this row decides the prediction
+                IncompleteExample::incomplete(vec![vec![4.8], vec![7.0]], 0),
+                IncompleteExample::complete(vec![5.5], 1),
+                // far away: irrelevant to the val point
+                IncompleteExample::incomplete(vec![vec![100.0], vec![101.0]], 1),
+            ],
+            2,
+        )
+        .unwrap();
+        CleaningProblem {
+            dataset,
+            config: CpConfig::new(1),
+            val_x: vec![vec![5.0]],
+            truth_choice: vec![None, Some(0), None, Some(0)],
+            default_choice: vec![None, Some(1), None, Some(1)],
+        }
+    }
+
+    #[test]
+    fn selects_the_influential_row_first() {
+        let p = targeted_problem();
+        let state = CleaningState::new(&p);
+        let cp = val_cp_status(&p, state.pins(), 1);
+        assert_eq!(cp, vec![false]);
+        let row = select_next(&p, &state, &cp, &[1, 3], 1);
+        assert_eq!(row, 1, "CPClean must target the row that affects the val point");
+    }
+
+    #[test]
+    fn converges_after_one_targeted_cleaning() {
+        let p = targeted_problem();
+        let run = run_cpclean(&p, &[vec![5.0]], &[0], &RunOptions::default());
+        assert!(run.converged);
+        assert_eq!(run.order, vec![1], "only the influential row needed cleaning");
+        assert_eq!(run.final_point().frac_val_cp, 1.0);
+        // curve starts at zero cleaned
+        assert_eq!(run.curve[0].cleaned, 0);
+        assert!(run.curve[0].frac_val_cp < 1.0);
+    }
+
+    #[test]
+    fn budget_stops_early() {
+        let p = targeted_problem();
+        let opts = RunOptions { max_cleaned: Some(0), ..RunOptions::default() };
+        let run = run_cpclean(&p, &[vec![5.0]], &[0], &opts);
+        assert_eq!(run.n_cleaned(), 0);
+        assert!(!run.converged);
+    }
+
+    #[test]
+    fn already_certain_validation_set_needs_no_cleaning() {
+        let mut p = targeted_problem();
+        p.val_x = vec![vec![0.1]]; // dominated by the complete example 0
+        let run = run_cpclean(&p, &[vec![0.1]], &[0], &RunOptions::default());
+        assert!(run.converged);
+        assert_eq!(run.n_cleaned(), 0);
+    }
+
+    #[test]
+    fn cp_fraction_is_monotone_along_curve() {
+        let p = targeted_problem();
+        let run = run_cpclean(&p, &[vec![5.0]], &[0], &RunOptions::default());
+        for w in run.curve.windows(2) {
+            assert!(w[1].frac_val_cp >= w[0].frac_val_cp - 1e-12);
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Evaluation plumbing: world accuracy, validation CP status, and a small
+//! scoped-thread parallel map (CPClean's inner loop is embarrassingly
+//! parallel over validation examples).
+
+use crate::problem::CleaningProblem;
+use crate::state::CleaningState;
+use cp_core::{certain_label_with_index, Pins, SimilarityIndex};
+use cp_knn::KnnClassifier;
+
+/// Parallel indexed map over `0..n` using scoped threads. Falls back to a
+/// sequential loop for one thread or tiny inputs.
+pub fn parallel_map<T, F>(n: usize, n_threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n_threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let threads = n_threads.min(n);
+    let chunk = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let f = &f;
+                scope.spawn(move |_| {
+                    let start = t * chunk;
+                    let end = ((t + 1) * chunk).min(n);
+                    (start..end).map(f).collect::<Vec<T>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    })
+    .expect("thread scope failed");
+    let mut out = Vec::with_capacity(n);
+    for c in chunks.iter_mut() {
+        out.append(c);
+    }
+    out
+}
+
+/// Default worker count: the machine's available parallelism.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Train a KNN on the world selected by `choices` and score it on a test
+/// set.
+pub fn world_accuracy(
+    problem: &CleaningProblem,
+    choices: &[usize],
+    test_x: &[Vec<f64>],
+    test_y: &[usize],
+) -> f64 {
+    let (train_x, train_y) = problem.dataset.materialize(choices);
+    let model = KnnClassifier::with_kernel(problem.config.k, problem.config.kernel).fit(
+        train_x,
+        train_y,
+        problem.dataset.n_labels(),
+    );
+    model.accuracy(test_x, test_y)
+}
+
+/// Convenience: accuracy of the current partially-cleaned world.
+pub fn state_accuracy(
+    problem: &CleaningProblem,
+    state: &CleaningState,
+    test_x: &[Vec<f64>],
+    test_y: &[usize],
+) -> f64 {
+    world_accuracy(problem, &state.world_choices(problem), test_x, test_y)
+}
+
+/// Q1 status of every validation example under the current pins: `true` iff
+/// the example is certainly predicted (its prediction can no longer be
+/// changed by any further cleaning).
+pub fn val_cp_status(problem: &CleaningProblem, pins: &Pins, n_threads: usize) -> Vec<bool> {
+    parallel_map(problem.val_x.len(), n_threads, |vi| {
+        let t = &problem.val_x[vi];
+        let idx = SimilarityIndex::build(&problem.dataset, problem.config.kernel, t);
+        certain_label_with_index(&problem.dataset, &problem.config, &idx, pins).is_some()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cp_core::{CpConfig, IncompleteDataset, IncompleteExample};
+
+    fn problem() -> CleaningProblem {
+        let dataset = IncompleteDataset::new(
+            vec![
+                IncompleteExample::complete(vec![0.0], 0),
+                IncompleteExample::incomplete(vec![vec![1.0], vec![9.0]], 0),
+                IncompleteExample::complete(vec![10.0], 1),
+            ],
+            2,
+        )
+        .unwrap();
+        CleaningProblem {
+            dataset,
+            config: CpConfig::new(1),
+            // val point 0.5 -> nearest is always example 0 or 1 (label 0): CP'ed
+            // val point 8.5 -> depends on example 1's candidate: uncertain
+            val_x: vec![vec![0.5], vec![8.5]],
+            truth_choice: vec![None, Some(0), None],
+            default_choice: vec![None, Some(1), None],
+        }
+    }
+
+    #[test]
+    fn parallel_map_matches_sequential() {
+        let seq: Vec<usize> = (0..100).map(|i| i * i).collect();
+        for threads in [1, 2, 4, 7] {
+            assert_eq!(parallel_map(100, threads, |i| i * i), seq);
+        }
+        assert!(parallel_map(0, 4, |i| i).is_empty());
+    }
+
+    #[test]
+    fn cp_status_identifies_certain_examples() {
+        let p = problem();
+        let status = val_cp_status(&p, &Pins::none(3), 2);
+        assert_eq!(status, vec![true, false]);
+    }
+
+    #[test]
+    fn cleaning_makes_everything_certain() {
+        let p = problem();
+        let pins = Pins::single(3, 1, 0);
+        let status = val_cp_status(&p, &pins, 1);
+        assert_eq!(status, vec![true, true]);
+    }
+
+    #[test]
+    fn world_accuracy_depends_on_choice() {
+        let p = problem();
+        // test point 8.5 with label 1: correct only if example 1 stays at 1.0
+        let acc_good = world_accuracy(&p, &[0, 0, 0], &[vec![8.5]], &[1]);
+        let acc_bad = world_accuracy(&p, &[0, 1, 0], &[vec![8.5]], &[1]);
+        assert_eq!(acc_good, 1.0);
+        assert_eq!(acc_bad, 0.0);
+    }
+}

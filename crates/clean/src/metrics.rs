@@ -1,0 +1,101 @@
+//! Cleaning metrics: the "gap closed" score and cleaning curves.
+
+/// The paper's headline metric (§5.1):
+/// `gap closed by X = (acc(X) − acc(Default)) / (acc(GT) − acc(Default))`.
+///
+/// Returns 0 when the gap is degenerate (ground truth no better than default
+/// cleaning) — there is nothing to close.
+pub fn gap_closed(acc_x: f64, acc_default: f64, acc_ground_truth: f64) -> f64 {
+    let gap = acc_ground_truth - acc_default;
+    if gap.abs() < 1e-12 {
+        0.0
+    } else {
+        (acc_x - acc_default) / gap
+    }
+}
+
+/// One point of a cleaning curve (Figure 9's x-axis is `frac_cleaned`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CurvePoint {
+    /// Rows cleaned so far.
+    pub cleaned: usize,
+    /// Fraction of dirty rows cleaned so far.
+    pub frac_cleaned: f64,
+    /// Fraction of validation examples certainly predicted (Q1 true).
+    pub frac_val_cp: f64,
+    /// Test accuracy of the current partially-cleaned world.
+    pub test_accuracy: f64,
+}
+
+/// A full cleaning run: the visited curve plus convergence info.
+#[derive(Clone, Debug)]
+pub struct CleaningRun {
+    /// Rows cleaned, in order.
+    pub order: Vec<usize>,
+    /// Curve sampled after every cleaning step (first point = zero cleaned).
+    pub curve: Vec<CurvePoint>,
+    /// Whether every validation example was CP'ed at termination.
+    pub converged: bool,
+}
+
+impl CleaningRun {
+    /// Number of cleaning steps performed.
+    pub fn n_cleaned(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Final curve point.
+    pub fn final_point(&self) -> &CurvePoint {
+        self.curve.last().expect("curve is never empty")
+    }
+
+    /// Test accuracy at the first point where at least `frac` of the dirty
+    /// rows were cleaned (the paper's "terminating the cleaning process at
+    /// the 20% mark"), falling back to the final point.
+    pub fn accuracy_at_budget(&self, frac: f64) -> f64 {
+        self.curve
+            .iter()
+            .find(|p| p.frac_cleaned >= frac - 1e-12)
+            .unwrap_or_else(|| self.final_point())
+            .test_accuracy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gap_closed_basics() {
+        assert_eq!(gap_closed(0.9, 0.8, 0.9), 1.0);
+        assert_eq!(gap_closed(0.8, 0.8, 0.9), 0.0);
+        assert!((gap_closed(0.85, 0.8, 0.9) - 0.5).abs() < 1e-12);
+        // can be negative (HoloClean on Puma in Table 2)
+        assert!(gap_closed(0.75, 0.8, 0.9) < 0.0);
+        // can exceed 1 (BoostClean 102% on Bank/Puma in Table 2)
+        assert!(gap_closed(0.92, 0.8, 0.9) > 1.0);
+    }
+
+    #[test]
+    fn degenerate_gap_is_zero() {
+        assert_eq!(gap_closed(0.9, 0.8, 0.8), 0.0);
+    }
+
+    #[test]
+    fn accuracy_at_budget_picks_first_past_mark() {
+        let run = CleaningRun {
+            order: vec![4, 2],
+            curve: vec![
+                CurvePoint { cleaned: 0, frac_cleaned: 0.0, frac_val_cp: 0.5, test_accuracy: 0.70 },
+                CurvePoint { cleaned: 1, frac_cleaned: 0.5, frac_val_cp: 0.8, test_accuracy: 0.80 },
+                CurvePoint { cleaned: 2, frac_cleaned: 1.0, frac_val_cp: 1.0, test_accuracy: 0.90 },
+            ],
+            converged: true,
+        };
+        assert_eq!(run.accuracy_at_budget(0.2), 0.80);
+        assert_eq!(run.accuracy_at_budget(0.5), 0.80);
+        assert_eq!(run.accuracy_at_budget(0.9), 0.90);
+        assert_eq!(run.accuracy_at_budget(0.0), 0.70);
+        assert_eq!(run.n_cleaned(), 2);
+    }
+}

@@ -1,0 +1,174 @@
+//! RandomClean — the §5.2 baseline: "simply selects an example randomly to
+//! clean" each iteration. Shares every mechanism with CPClean except the
+//! selection rule, so curves are directly comparable.
+
+use crate::cpclean::RunOptions;
+use crate::eval::{state_accuracy, val_cp_status};
+use crate::metrics::{CleaningRun, CurvePoint};
+use crate::problem::CleaningProblem;
+use crate::state::CleaningState;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Run RandomClean with a fixed shuffle seed.
+pub fn run_random_clean(
+    problem: &CleaningProblem,
+    test_x: &[Vec<f64>],
+    test_y: &[usize],
+    seed: u64,
+    opts: &RunOptions,
+) -> CleaningRun {
+    problem.validate();
+    let mut state = CleaningState::new(problem);
+    let n_dirty = problem.dirty_rows().len().max(1);
+
+    let mut order = problem.dirty_rows();
+    let mut rng = StdRng::seed_from_u64(seed);
+    order.shuffle(&mut rng);
+
+    let mut curve = Vec::new();
+    let mut cp = val_cp_status(problem, state.pins(), opts.n_threads);
+    curve.push(point(problem, &state, &cp, n_dirty, test_x, test_y));
+    let mut converged = cp.iter().all(|&c| c);
+
+    for &row in &order {
+        if converged {
+            break;
+        }
+        if let Some(budget) = opts.max_cleaned {
+            if state.n_cleaned() >= budget {
+                break;
+            }
+        }
+        state.clean_row(problem, row);
+        cp = val_cp_status(problem, state.pins(), opts.n_threads);
+        converged = cp.iter().all(|&c| c);
+        let step = state.n_cleaned();
+        if step.is_multiple_of(opts.record_every.max(1)) || converged {
+            curve.push(point(problem, &state, &cp, n_dirty, test_x, test_y));
+        }
+    }
+    if curve.last().map(|p| p.cleaned) != Some(state.n_cleaned()) {
+        curve.push(point(problem, &state, &cp, n_dirty, test_x, test_y));
+    }
+
+    CleaningRun { order: state.order().to_vec(), curve, converged }
+}
+
+fn point(
+    problem: &CleaningProblem,
+    state: &CleaningState,
+    cp: &[bool],
+    n_dirty: usize,
+    test_x: &[Vec<f64>],
+    test_y: &[usize],
+) -> CurvePoint {
+    CurvePoint {
+        cleaned: state.n_cleaned(),
+        frac_cleaned: state.n_cleaned() as f64 / n_dirty as f64,
+        frac_val_cp: cp.iter().filter(|&&c| c).count() as f64 / cp.len().max(1) as f64,
+        test_accuracy: state_accuracy(problem, state, test_x, test_y),
+    }
+}
+
+/// Average several RandomClean runs onto a common grid of cleaned counts
+/// (the paper averages 20 runs). Returns, for each number of cleaned rows
+/// `0..=n_dirty`, the mean `(frac_val_cp, test_accuracy)` across seeds,
+/// carrying each run's last value forward after it terminates.
+pub fn average_random_runs(
+    problem: &CleaningProblem,
+    test_x: &[Vec<f64>],
+    test_y: &[usize],
+    seeds: &[u64],
+    opts: &RunOptions,
+) -> Vec<CurvePoint> {
+    assert!(!seeds.is_empty());
+    let n_dirty = problem.dirty_rows().len();
+    let runs: Vec<CleaningRun> = seeds
+        .iter()
+        .map(|&s| run_random_clean(problem, test_x, test_y, s, opts))
+        .collect();
+    (0..=n_dirty)
+        .map(|cleaned| {
+            let mut cp_sum = 0.0;
+            let mut acc_sum = 0.0;
+            for run in &runs {
+                // the curve point with the largest `cleaned` not exceeding
+                // this grid position (curves may be subsampled / terminate)
+                let p = run
+                    .curve
+                    .iter()
+                    .rev()
+                    .find(|p| p.cleaned <= cleaned)
+                    .unwrap_or(&run.curve[0]);
+                cp_sum += p.frac_val_cp;
+                acc_sum += p.test_accuracy;
+            }
+            CurvePoint {
+                cleaned,
+                frac_cleaned: cleaned as f64 / n_dirty.max(1) as f64,
+                frac_val_cp: cp_sum / runs.len() as f64,
+                test_accuracy: acc_sum / runs.len() as f64,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cp_core::{CpConfig, IncompleteDataset, IncompleteExample};
+
+    fn problem() -> CleaningProblem {
+        let dataset = IncompleteDataset::new(
+            vec![
+                IncompleteExample::complete(vec![0.0], 0),
+                IncompleteExample::incomplete(vec![vec![4.8], vec![7.0]], 0),
+                IncompleteExample::complete(vec![5.5], 1),
+                IncompleteExample::incomplete(vec![vec![100.0], vec![101.0]], 1),
+            ],
+            2,
+        )
+        .unwrap();
+        CleaningProblem {
+            dataset,
+            config: CpConfig::new(1),
+            val_x: vec![vec![5.0]],
+            truth_choice: vec![None, Some(0), None, Some(0)],
+            default_choice: vec![None, Some(1), None, Some(1)],
+        }
+    }
+
+    #[test]
+    fn cleans_in_seeded_random_order_until_converged() {
+        let p = problem();
+        let run = run_random_clean(&p, &[vec![5.0]], &[0], 1, &RunOptions::default());
+        assert!(run.converged);
+        assert!(!run.order.is_empty());
+        // same seed, same order
+        let run2 = run_random_clean(&p, &[vec![5.0]], &[0], 1, &RunOptions::default());
+        assert_eq!(run.order, run2.order);
+    }
+
+    #[test]
+    fn different_seeds_can_differ() {
+        let p = problem();
+        let orders: Vec<Vec<usize>> = (0..8)
+            .map(|s| run_random_clean(&p, &[vec![5.0]], &[0], s, &RunOptions::default()).order)
+            .collect();
+        assert!(orders.iter().any(|o| o != &orders[0]), "all seeds gave identical orders");
+    }
+
+    #[test]
+    fn averaged_curve_has_grid_shape() {
+        let p = problem();
+        let avg = average_random_runs(&p, &[vec![5.0]], &[0], &[0, 1, 2, 3], &RunOptions::default());
+        assert_eq!(avg.len(), p.dirty_rows().len() + 1);
+        assert_eq!(avg[0].cleaned, 0);
+        // CP fraction is monotone for the average of monotone curves
+        for w in avg.windows(2) {
+            assert!(w[1].frac_val_cp >= w[0].frac_val_cp - 1e-12);
+        }
+        assert!((avg.last().unwrap().frac_val_cp - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,151 @@
+//! Cleaning state: which rows have been cleaned so far.
+//!
+//! Cleaning is realized as *pinning*: a cleaned row's candidate set is
+//! conditioned to its ground-truth candidate via [`cp_core::Pins`], leaving
+//! the underlying dataset untouched. This matches the partially-cleaned
+//! dataset `D_π` of §4 exactly — and lets every CP query run against the
+//! same similarity indexes regardless of cleaning progress.
+
+use crate::problem::CleaningProblem;
+use cp_core::Pins;
+
+/// Mutable cleaning progress over a [`CleaningProblem`].
+#[derive(Clone, Debug)]
+pub struct CleaningState {
+    pins: Pins,
+    cleaned: Vec<bool>,
+    order: Vec<usize>,
+}
+
+impl CleaningState {
+    /// Fresh state: nothing cleaned.
+    pub fn new(problem: &CleaningProblem) -> Self {
+        CleaningState {
+            pins: Pins::none(problem.dataset.len()),
+            cleaned: vec![false; problem.dataset.len()],
+            order: Vec::new(),
+        }
+    }
+
+    /// The pin mask representing the partially-cleaned dataset `D_π`.
+    pub fn pins(&self) -> &Pins {
+        &self.pins
+    }
+
+    /// Whether a row has been cleaned.
+    pub fn is_cleaned(&self, row: usize) -> bool {
+        self.cleaned[row]
+    }
+
+    /// Rows cleaned so far, in order.
+    pub fn order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// Number of rows cleaned.
+    pub fn n_cleaned(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Dirty rows not yet cleaned.
+    pub fn remaining(&self, problem: &CleaningProblem) -> Vec<usize> {
+        problem
+            .dirty_rows()
+            .into_iter()
+            .filter(|&r| !self.cleaned[r])
+            .collect()
+    }
+
+    /// Ask the simulated human to clean `row`: pins it to its ground-truth
+    /// candidate (§4's "obtain the ground truth of C_π by human").
+    ///
+    /// # Panics
+    /// Panics if the row is clean or already cleaned.
+    pub fn clean_row(&mut self, problem: &CleaningProblem, row: usize) {
+        assert!(!self.cleaned[row], "row {row} already cleaned");
+        let truth = problem.truth_choice[row]
+            .unwrap_or_else(|| panic!("row {row} is not dirty"));
+        self.pins.pin(row, truth);
+        self.cleaned[row] = true;
+        self.order.push(row);
+    }
+
+    /// Materialize a concrete possible world of `D_π`: cleaned rows take
+    /// their ground-truth candidate, uncleaned dirty rows their
+    /// default-imputation candidate (so the zero-cleaning world *is* the
+    /// Default Cleaning baseline), clean rows their only candidate.
+    pub fn world_choices(&self, problem: &CleaningProblem) -> Vec<usize> {
+        (0..problem.dataset.len())
+            .map(|i| {
+                if self.cleaned[i] {
+                    problem.truth_choice[i].unwrap()
+                } else {
+                    problem.default_choice[i].unwrap_or(0)
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cp_core::{CpConfig, IncompleteDataset, IncompleteExample};
+
+    fn problem() -> CleaningProblem {
+        let dataset = IncompleteDataset::new(
+            vec![
+                IncompleteExample::complete(vec![0.0], 0),
+                IncompleteExample::incomplete(vec![vec![1.0], vec![9.0]], 0),
+                IncompleteExample::incomplete(vec![vec![2.0], vec![8.0], vec![11.0]], 1),
+            ],
+            2,
+        )
+        .unwrap();
+        CleaningProblem {
+            dataset,
+            config: CpConfig::new(1),
+            val_x: vec![vec![0.5]],
+            truth_choice: vec![None, Some(0), Some(2)],
+            default_choice: vec![None, Some(1), Some(1)],
+        }
+    }
+
+    #[test]
+    fn fresh_state_is_default_world() {
+        let p = problem();
+        let s = CleaningState::new(&p);
+        assert_eq!(s.n_cleaned(), 0);
+        assert_eq!(s.world_choices(&p), vec![0, 1, 1]);
+        assert_eq!(s.remaining(&p), vec![1, 2]);
+    }
+
+    #[test]
+    fn cleaning_pins_truth_and_updates_world() {
+        let p = problem();
+        let mut s = CleaningState::new(&p);
+        s.clean_row(&p, 2);
+        assert!(s.is_cleaned(2));
+        assert_eq!(s.pins().pinned(2), Some(2));
+        assert_eq!(s.world_choices(&p), vec![0, 1, 2]);
+        assert_eq!(s.remaining(&p), vec![1]);
+        assert_eq!(s.order(), &[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already cleaned")]
+    fn double_cleaning_rejected() {
+        let p = problem();
+        let mut s = CleaningState::new(&p);
+        s.clean_row(&p, 1);
+        s.clean_row(&p, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not dirty")]
+    fn cleaning_clean_row_rejected() {
+        let p = problem();
+        let mut s = CleaningState::new(&p);
+        s.clean_row(&p, 0);
+    }
+}

@@ -1,0 +1,67 @@
+//! Query configuration: the classifier the CP queries reason about.
+
+use cp_knn::Kernel;
+
+/// The KNN classifier family parameterizing every CP query.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CpConfig {
+    /// Number of neighbors K.
+    pub k: usize,
+    /// Similarity kernel κ.
+    pub kernel: Kernel,
+}
+
+impl CpConfig {
+    /// Config with the given K and the default (Euclidean) kernel.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        CpConfig { k, kernel: Kernel::default() }
+    }
+
+    /// Config with an explicit kernel.
+    pub fn with_kernel(k: usize, kernel: Kernel) -> Self {
+        assert!(k > 0, "k must be positive");
+        CpConfig { k, kernel }
+    }
+
+    /// Effective K for a dataset of `n` examples: a world's top-K set can
+    /// hold at most `n` members, so `K > n` behaves exactly like `K = n`
+    /// (every example votes). Normalizing here keeps every algorithm —
+    /// including brute force — on the same semantics.
+    pub fn k_eff(&self, n: usize) -> usize {
+        self.k.min(n)
+    }
+}
+
+impl Default for CpConfig {
+    /// The paper's experimental setting: K = 3, Euclidean similarity (§5.1).
+    fn default() -> Self {
+        CpConfig::new(3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_paper_setting() {
+        let c = CpConfig::default();
+        assert_eq!(c.k, 3);
+        assert_eq!(c.kernel, Kernel::NegEuclidean);
+    }
+
+    #[test]
+    fn k_eff_clamps() {
+        let c = CpConfig::new(5);
+        assert_eq!(c.k_eff(3), 3);
+        assert_eq!(c.k_eff(10), 5);
+        assert_eq!(c.k_eff(5), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn rejects_zero_k() {
+        CpConfig::new(0);
+    }
+}

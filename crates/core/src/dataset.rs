@@ -1,0 +1,454 @@
+//! The incomplete-dataset data model (Definitions 1 and 2 of the paper).
+//!
+//! An [`IncompleteDataset`] is a finite set of pairs `(C_i, y_i)` where `C_i`
+//! is a non-empty *candidate set* of feature vectors for the i-th training
+//! example and `y_i` is its (certain) label. Every way of choosing one
+//! candidate per set is a *possible world*; with set sizes `M_1..M_N` there
+//! are `∏ M_i` of them. This mirrors a block tuple-independent probabilistic
+//! database without the probabilities (§2, "Data Model").
+
+use cp_numeric::BigUint;
+use cp_knn::Label;
+use std::fmt;
+
+/// One training example with incomplete information: a candidate set plus a
+/// certain label.
+#[derive(Clone, Debug, PartialEq)]
+pub struct IncompleteExample {
+    /// The candidate feature vectors `C_i = {x_{i,1}, x_{i,2}, …}`.
+    pub candidates: Vec<Vec<f64>>,
+    /// The (certain) class label `y_i`.
+    pub label: Label,
+}
+
+impl IncompleteExample {
+    /// A *complete* example: exactly one candidate.
+    pub fn complete(features: Vec<f64>, label: Label) -> Self {
+        IncompleteExample { candidates: vec![features], label }
+    }
+
+    /// An example with several candidate repairs.
+    pub fn incomplete(candidates: Vec<Vec<f64>>, label: Label) -> Self {
+        IncompleteExample { candidates, label }
+    }
+
+    /// Number of candidates `M_i`.
+    pub fn set_size(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// `true` iff more than one candidate remains (the example is "dirty").
+    pub fn is_dirty(&self) -> bool {
+        self.candidates.len() > 1
+    }
+}
+
+/// Errors raised while validating an incomplete dataset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatasetError {
+    /// The dataset has no examples.
+    Empty,
+    /// An example has an empty candidate set (no possible world exists).
+    EmptyCandidateSet {
+        /// Index of the offending example.
+        example: usize,
+    },
+    /// A feature vector has the wrong dimension.
+    DimensionMismatch {
+        /// Index of the offending example.
+        example: usize,
+        /// Candidate index within the example.
+        candidate: usize,
+        /// Expected dimension.
+        expected: usize,
+        /// Found dimension.
+        found: usize,
+    },
+    /// A feature value is NaN or infinite.
+    NonFiniteFeature {
+        /// Index of the offending example.
+        example: usize,
+        /// Candidate index within the example.
+        candidate: usize,
+    },
+    /// A label is out of range.
+    LabelOutOfRange {
+        /// Index of the offending example.
+        example: usize,
+        /// The offending label.
+        label: Label,
+        /// Number of classes.
+        n_labels: usize,
+    },
+    /// `n_labels` was zero.
+    NoClasses,
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::Empty => write!(f, "incomplete dataset has no examples"),
+            DatasetError::EmptyCandidateSet { example } => {
+                write!(f, "example {example} has an empty candidate set")
+            }
+            DatasetError::DimensionMismatch { example, candidate, expected, found } => write!(
+                f,
+                "example {example} candidate {candidate}: dimension {found}, expected {expected}"
+            ),
+            DatasetError::NonFiniteFeature { example, candidate } => {
+                write!(f, "example {example} candidate {candidate} has a non-finite feature")
+            }
+            DatasetError::LabelOutOfRange { example, label, n_labels } => {
+                write!(f, "example {example} label {label} out of range for {n_labels} classes")
+            }
+            DatasetError::NoClasses => write!(f, "n_labels must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {}
+
+/// A validated incomplete training set (Definition 1).
+#[derive(Clone, Debug, PartialEq)]
+pub struct IncompleteDataset {
+    examples: Vec<IncompleteExample>,
+    n_labels: usize,
+    dim: usize,
+}
+
+impl IncompleteDataset {
+    /// Validate and build a dataset.
+    pub fn new(
+        examples: Vec<IncompleteExample>,
+        n_labels: usize,
+    ) -> Result<Self, DatasetError> {
+        if n_labels == 0 {
+            return Err(DatasetError::NoClasses);
+        }
+        if examples.is_empty() {
+            return Err(DatasetError::Empty);
+        }
+        let mut dim: Option<usize> = None;
+        for (i, ex) in examples.iter().enumerate() {
+            if ex.candidates.is_empty() {
+                return Err(DatasetError::EmptyCandidateSet { example: i });
+            }
+            if ex.label >= n_labels {
+                return Err(DatasetError::LabelOutOfRange {
+                    example: i,
+                    label: ex.label,
+                    n_labels,
+                });
+            }
+            for (j, cand) in ex.candidates.iter().enumerate() {
+                let d = *dim.get_or_insert(cand.len());
+                if cand.len() != d {
+                    return Err(DatasetError::DimensionMismatch {
+                        example: i,
+                        candidate: j,
+                        expected: d,
+                        found: cand.len(),
+                    });
+                }
+                if !cand.iter().all(|v| v.is_finite()) {
+                    return Err(DatasetError::NonFiniteFeature { example: i, candidate: j });
+                }
+            }
+        }
+        Ok(IncompleteDataset { examples, n_labels, dim: dim.unwrap_or(0) })
+    }
+
+    /// Build from a *complete* dataset (every candidate set a singleton).
+    pub fn from_complete(
+        features: Vec<Vec<f64>>,
+        labels: Vec<Label>,
+        n_labels: usize,
+    ) -> Result<Self, DatasetError> {
+        assert_eq!(features.len(), labels.len(), "feature/label length mismatch");
+        let examples = features
+            .into_iter()
+            .zip(labels)
+            .map(|(x, y)| IncompleteExample::complete(x, y))
+            .collect();
+        Self::new(examples, n_labels)
+    }
+
+    /// Number of examples `N`.
+    pub fn len(&self) -> usize {
+        self.examples.len()
+    }
+
+    /// `true` iff there are no examples (never true for a validated dataset).
+    pub fn is_empty(&self) -> bool {
+        self.examples.is_empty()
+    }
+
+    /// Feature dimension `d`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of classes `|Y|`.
+    pub fn n_labels(&self) -> usize {
+        self.n_labels
+    }
+
+    /// The examples.
+    pub fn examples(&self) -> &[IncompleteExample] {
+        &self.examples
+    }
+
+    /// The i-th example.
+    pub fn example(&self, i: usize) -> &IncompleteExample {
+        &self.examples[i]
+    }
+
+    /// Label of the i-th example.
+    pub fn label(&self, i: usize) -> Label {
+        self.examples[i].label
+    }
+
+    /// Candidate set size `M_i` of the i-th example.
+    pub fn set_size(&self, i: usize) -> usize {
+        self.examples[i].set_size()
+    }
+
+    /// The j-th candidate of the i-th example.
+    pub fn candidate(&self, i: usize, j: usize) -> &[f64] {
+        &self.examples[i].candidates[j]
+    }
+
+    /// Indices of dirty examples (candidate sets with more than one element).
+    pub fn dirty_indices(&self) -> Vec<usize> {
+        (0..self.len()).filter(|&i| self.examples[i].is_dirty()).collect()
+    }
+
+    /// Total candidate count `Σ M_i` (the `N·M` of the complexity bounds).
+    pub fn total_candidates(&self) -> usize {
+        self.examples.iter().map(|e| e.set_size()).sum()
+    }
+
+    /// Exact number of possible worlds `∏ M_i` (Definition 2).
+    pub fn world_count(&self) -> BigUint {
+        let mut acc = BigUint::one();
+        for ex in &self.examples {
+            acc = acc.mul_small(ex.set_size() as u32);
+        }
+        acc
+    }
+
+    /// `log10` of the world count (cheap; for reporting).
+    pub fn world_count_log10(&self) -> f64 {
+        self.examples.iter().map(|e| (e.set_size() as f64).log10()).sum()
+    }
+
+    /// Replace the i-th candidate set with the single candidate `j` —
+    /// the effect of a (simulated) human cleaning that example (§4 "Cleaning
+    /// Model"). The chosen candidate is retained; all others are dropped.
+    ///
+    /// # Panics
+    /// Panics on out-of-range indices.
+    pub fn clean_to(&mut self, i: usize, j: usize) {
+        let ex = &mut self.examples[i];
+        assert!(j < ex.candidates.len(), "candidate index out of range");
+        let keep = ex.candidates.swap_remove(j);
+        ex.candidates.clear();
+        ex.candidates.push(keep);
+    }
+
+    /// Materialize one possible world as `(features, labels)` given a
+    /// candidate choice per example.
+    ///
+    /// # Panics
+    /// Panics if `choice` has the wrong length or any index is out of range.
+    pub fn materialize(&self, choice: &[usize]) -> (Vec<Vec<f64>>, Vec<Label>) {
+        assert_eq!(choice.len(), self.len(), "choice length mismatch");
+        let mut xs = Vec::with_capacity(self.len());
+        let mut ys = Vec::with_capacity(self.len());
+        for (i, &j) in choice.iter().enumerate() {
+            xs.push(self.examples[i].candidates[j].clone());
+            ys.push(self.examples[i].label);
+        }
+        (xs, ys)
+    }
+
+    /// Iterate over every possible world's candidate-choice vector
+    /// (an odometer over `∏ M_i` combinations). Intended for brute-force
+    /// verification on small instances — the caller is responsible for
+    /// checking [`IncompleteDataset::world_count`] first.
+    pub fn iter_worlds(&self) -> WorldIter<'_> {
+        WorldIter { ds: self, choice: vec![0; self.len()], done: false }
+    }
+}
+
+/// Odometer iterator over all possible worlds (by candidate-choice vector).
+pub struct WorldIter<'a> {
+    ds: &'a IncompleteDataset,
+    choice: Vec<usize>,
+    done: bool,
+}
+
+impl<'a> Iterator for WorldIter<'a> {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        if self.done {
+            return None;
+        }
+        let current = self.choice.clone();
+        // advance odometer
+        let mut pos = self.choice.len();
+        loop {
+            if pos == 0 {
+                self.done = true;
+                break;
+            }
+            pos -= 1;
+            self.choice[pos] += 1;
+            if self.choice[pos] < self.ds.set_size(pos) {
+                break;
+            }
+            self.choice[pos] = 0;
+        }
+        Some(current)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> IncompleteDataset {
+        IncompleteDataset::new(
+            vec![
+                IncompleteExample::incomplete(vec![vec![0.0], vec![1.0]], 0),
+                IncompleteExample::complete(vec![2.0], 1),
+                IncompleteExample::incomplete(vec![vec![3.0], vec![4.0], vec![5.0]], 1),
+            ],
+            2,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn world_count_is_product_of_set_sizes() {
+        let ds = tiny();
+        assert_eq!(ds.world_count().to_decimal(), "6");
+        assert!((ds.world_count_log10() - 6f64.log10()).abs() < 1e-12);
+        assert_eq!(ds.total_candidates(), 6);
+    }
+
+    #[test]
+    fn iter_worlds_enumerates_all_distinct_choices() {
+        let ds = tiny();
+        let worlds: Vec<Vec<usize>> = ds.iter_worlds().collect();
+        assert_eq!(worlds.len(), 6);
+        // all distinct
+        for a in 0..worlds.len() {
+            for b in (a + 1)..worlds.len() {
+                assert_ne!(worlds[a], worlds[b]);
+            }
+        }
+        // all within range
+        for w in &worlds {
+            for (i, &j) in w.iter().enumerate() {
+                assert!(j < ds.set_size(i));
+            }
+        }
+    }
+
+    #[test]
+    fn materialize_picks_requested_candidates() {
+        let ds = tiny();
+        let (xs, ys) = ds.materialize(&[1, 0, 2]);
+        assert_eq!(xs, vec![vec![1.0], vec![2.0], vec![5.0]]);
+        assert_eq!(ys, vec![0, 1, 1]);
+    }
+
+    #[test]
+    fn clean_to_keeps_only_chosen_candidate() {
+        let mut ds = tiny();
+        ds.clean_to(2, 1);
+        assert_eq!(ds.set_size(2), 1);
+        assert_eq!(ds.candidate(2, 0), &[4.0]);
+        assert_eq!(ds.world_count().to_decimal(), "2");
+        assert_eq!(ds.dirty_indices(), vec![0]);
+    }
+
+    #[test]
+    fn dirty_indices_reports_multicandidate_sets() {
+        let ds = tiny();
+        assert_eq!(ds.dirty_indices(), vec![0, 2]);
+    }
+
+    #[test]
+    fn from_complete_builds_singletons() {
+        let ds = IncompleteDataset::from_complete(
+            vec![vec![1.0, 2.0], vec![3.0, 4.0]],
+            vec![0, 1],
+            2,
+        )
+        .unwrap();
+        assert_eq!(ds.world_count().to_decimal(), "1");
+        assert_eq!(ds.dim(), 2);
+        assert!(ds.dirty_indices().is_empty());
+    }
+
+    #[test]
+    fn validation_rejects_bad_inputs() {
+        assert_eq!(
+            IncompleteDataset::new(vec![], 2).unwrap_err(),
+            DatasetError::Empty
+        );
+        assert_eq!(
+            IncompleteDataset::new(
+                vec![IncompleteExample { candidates: vec![], label: 0 }],
+                2
+            )
+            .unwrap_err(),
+            DatasetError::EmptyCandidateSet { example: 0 }
+        );
+        assert!(matches!(
+            IncompleteDataset::new(
+                vec![IncompleteExample::incomplete(
+                    vec![vec![0.0], vec![1.0, 2.0]],
+                    0
+                )],
+                2
+            )
+            .unwrap_err(),
+            DatasetError::DimensionMismatch { .. }
+        ));
+        assert!(matches!(
+            IncompleteDataset::new(
+                vec![IncompleteExample::complete(vec![f64::NAN], 0)],
+                2
+            )
+            .unwrap_err(),
+            DatasetError::NonFiniteFeature { .. }
+        ));
+        assert!(matches!(
+            IncompleteDataset::new(vec![IncompleteExample::complete(vec![0.0], 3)], 2)
+                .unwrap_err(),
+            DatasetError::LabelOutOfRange { .. }
+        ));
+        assert_eq!(
+            IncompleteDataset::new(vec![IncompleteExample::complete(vec![0.0], 0)], 0)
+                .unwrap_err(),
+            DatasetError::NoClasses
+        );
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let err = DatasetError::DimensionMismatch {
+            example: 3,
+            candidate: 1,
+            expected: 2,
+            found: 5,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("example 3"));
+        assert!(msg.contains("expected 2"));
+    }
+}

@@ -1,0 +1,62 @@
+//! # cp-core — Certain Predictions over incomplete data
+//!
+//! Implementation of the certain-prediction (CP) framework of *"Nearest
+//! Neighbor Classifiers over Incomplete Information: From Certain Answers to
+//! Certain Predictions"* (Karlaš et al., VLDB 2020).
+//!
+//! An [`IncompleteDataset`] assigns each training example a *candidate set*
+//! of feature vectors; choosing one candidate per example yields a *possible
+//! world* — exponentially many of them. Two queries reason across all of
+//! them at once for a K-nearest-neighbor classifier:
+//!
+//! * **Q1 (checking)** — [`queries::q1`]: is a label predicted in *every*
+//!   possible world (is the test point *certainly predicted*)?
+//! * **Q2 (counting)** — [`queries::q2`]: how many worlds support each label?
+//!
+//! Despite the `∏ M_i` world count, both run in (low-order) polynomial time:
+//!
+//! | algorithm | paper | complexity | module |
+//! |-----------|-------|------------|--------|
+//! | SS, K=1 fast path | §3.1.2 | `O(NM log NM)` | [`ss_k1`] |
+//! | SS general (naive DP) | §3.1.3 Alg. 1 | `O(NM·NK)` | [`ss`] |
+//! | SS-DC (divide & conquer) | App. A.2 | `O(NM(log NM + K² log N))` | [`ss_tree`] |
+//! | SS-DC-MC (many classes) | App. A.3 | `+ O(NM·\|Y\|²K³)` | [`ss_mc`] |
+//! | MM (MinMax), Q1 binary | §3.2 / App. B | `O(NM + N log K)` | [`mm`] |
+//! | brute force (reference) | §2.1 | `O(M^N)` | [`bruteforce`] |
+//!
+//! All counting code is generic over a [`cp_numeric::CountSemiring`], so the
+//! same scan produces exact big-integer counts, underflow-free scaled counts,
+//! label probabilities, or exact boolean certainty. [`prior`] extends Q2 to
+//! non-uniform candidate priors (the block tuple-independent probabilistic
+//! database view of §2.1), and [`pins::Pins`] provides the conditioning
+//! primitive (`c_i = x_{i,j}`) CPClean's entropy objective is built on.
+
+pub mod bruteforce;
+pub mod config;
+pub mod dataset;
+pub mod mass;
+pub mod mm;
+pub mod pins;
+pub mod poly;
+pub mod prior;
+pub mod queries;
+pub mod result;
+pub mod similarity;
+pub mod ss;
+pub mod ss_k1;
+pub mod ss_mc;
+pub mod ss_tree;
+pub mod tally;
+
+pub use config::CpConfig;
+pub use dataset::{DatasetError, IncompleteDataset, IncompleteExample};
+pub use pins::Pins;
+pub use queries::{
+    certain_label, certain_label_with_index, prediction_entropy_bits, q1, q1_with_index, q2,
+    q2_probabilities, q2_probabilities_with_index, q2_with_algorithm, Q2Algorithm,
+};
+pub use result::Q2Result;
+pub use similarity::SimilarityIndex;
+
+/// A class label (re-exported from `cp-knn`).
+pub use cp_knn::Label;

@@ -1,0 +1,259 @@
+//! Slot polynomials and the divide-and-conquer tally tree (Appendix A.2).
+//!
+//! The label-support dynamic program `C_l^{i,j}(c, n)` of §3.1.1 counts, per
+//! label, the ways to place exactly `c` of that label's candidate sets inside
+//! the top-K. We represent each candidate set's contribution as a degree-1
+//! *slot polynomial* `out + in·z` (coefficient of `z^c` = mass of placing `c`
+//! members in the top-K), so the label support is the product of its sets'
+//! polynomials truncated at degree K.
+//!
+//! [`TallyTree`] maintains that product in a segment tree: each leaf holds one
+//! set's polynomial, each internal node the truncated product of its
+//! children. One scan step changes a single leaf, so an update costs
+//! `O(K² log N)` — exactly the optimization the paper's Appendix A.2
+//! describes ("we can see that this enables us to maintain a binary tree
+//! structure of DP results"). The tree additionally answers
+//! *product-excluding-one-leaf* queries by recombining the siblings on the
+//! leaf-to-root path, which is how the boundary set is removed from its own
+//! label's support.
+
+use cp_numeric::CountSemiring;
+
+/// Multiply two slot polynomials, truncating at degree `k` (inclusive).
+///
+/// `a` and `b` are coefficient vectors (index = number of occupied top-K
+/// slots). The result has exactly `k + 1` coefficients.
+pub fn poly_mul<S: CountSemiring>(a: &[S], b: &[S], k: usize) -> Vec<S> {
+    let mut out = vec![S::zero(); k + 1];
+    for (i, ai) in a.iter().enumerate().take(k + 1) {
+        if ai.is_zero() {
+            continue;
+        }
+        for (j, bj) in b.iter().enumerate().take(k + 1 - i) {
+            if bj.is_zero() {
+                continue;
+            }
+            let prod = ai.mul(bj);
+            out[i + j].add_assign(&prod);
+        }
+    }
+    out
+}
+
+/// The multiplicative-identity polynomial (`1 + 0·z + …`).
+pub fn poly_one<S: CountSemiring>(k: usize) -> Vec<S> {
+    let mut p = vec![S::zero(); k + 1];
+    p[0] = S::one();
+    p
+}
+
+/// Segment tree over per-set slot polynomials with truncated products.
+#[derive(Clone, Debug)]
+pub struct TallyTree<S> {
+    /// Slot budget K: polynomials keep K+1 coefficients.
+    k: usize,
+    /// Number of real leaves (candidate sets of one label).
+    n_leaves: usize,
+    /// Leaf capacity (next power of two, at least 1).
+    cap: usize,
+    /// Flattened node polynomials; node `v` occupies
+    /// `nodes[v*(k+1) .. (v+1)*(k+1)]`. Nodes are 1-indexed (root = 1),
+    /// leaves at `cap + leaf`.
+    nodes: Vec<S>,
+}
+
+impl<S: CountSemiring> TallyTree<S> {
+    /// Build a tree of `n_leaves` identity polynomials.
+    pub fn new(n_leaves: usize, k: usize) -> Self {
+        let cap = n_leaves.max(1).next_power_of_two();
+        let stride = k + 1;
+        let mut nodes = vec![S::zero(); 2 * cap * stride];
+        // every node starts as the identity polynomial
+        for v in 1..2 * cap {
+            nodes[v * stride] = S::one();
+        }
+        TallyTree { k, n_leaves, cap, nodes }
+    }
+
+    /// Slot budget K.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of real leaves.
+    pub fn n_leaves(&self) -> usize {
+        self.n_leaves
+    }
+
+    #[inline]
+    fn poly(&self, v: usize) -> &[S] {
+        let stride = self.k + 1;
+        &self.nodes[v * stride..(v + 1) * stride]
+    }
+
+    /// Set leaf `leaf`'s polynomial to `out + in·z` and refresh its
+    /// ancestors. Cost `O(K² log N)`.
+    ///
+    /// # Panics
+    /// Panics if `leaf >= n_leaves`.
+    pub fn set_leaf(&mut self, leaf: usize, out: S, in_: S) {
+        assert!(leaf < self.n_leaves, "leaf index out of range");
+        let stride = self.k + 1;
+        let v = self.cap + leaf;
+        let base = v * stride;
+        self.nodes[base] = out;
+        if self.k >= 1 {
+            self.nodes[base + 1] = in_;
+            for c in 2..=self.k {
+                self.nodes[base + c] = S::zero();
+            }
+        }
+        // refresh ancestors bottom-up
+        let mut node = v / 2;
+        while node >= 1 {
+            let prod = poly_mul(self.poly(2 * node), self.poly(2 * node + 1), self.k);
+            let base = node * stride;
+            self.nodes[base..base + stride].clone_from_slice(&prod);
+            node /= 2;
+        }
+    }
+
+    /// The product polynomial over **all** leaves: coefficient `c` is the
+    /// mass of placing exactly `c` of this label's sets inside the top-K.
+    pub fn root(&self) -> &[S] {
+        self.poly(1)
+    }
+
+    /// The product polynomial over all leaves **except** `leaf`, obtained by
+    /// recombining the siblings along the leaf-to-root path in
+    /// `O(K² log N)`.
+    ///
+    /// # Panics
+    /// Panics if `leaf >= n_leaves`.
+    pub fn excluding(&self, leaf: usize) -> Vec<S> {
+        assert!(leaf < self.n_leaves, "leaf index out of range");
+        let mut acc = poly_one::<S>(self.k);
+        let mut node = self.cap + leaf;
+        while node > 1 {
+            let sibling = node ^ 1;
+            acc = poly_mul(&acc, self.poly(sibling), self.k);
+            node /= 2;
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(v: u64) -> u128 {
+        v as u128
+    }
+
+    #[test]
+    fn poly_mul_truncates() {
+        // (1 + 2z)(3 + 4z) = 3 + 10z + 8z²; truncated at k=1 -> [3, 10]
+        let a = vec![u(1), u(2)];
+        let b = vec![u(3), u(4)];
+        assert_eq!(poly_mul(&a, &b, 2), vec![3, 10, 8]);
+        assert_eq!(poly_mul(&a, &b, 1), vec![3, 10]);
+    }
+
+    #[test]
+    fn poly_one_is_identity() {
+        let a = vec![u(5), u(7), u(9)];
+        assert_eq!(poly_mul(&a, &poly_one::<u128>(2), 2), a);
+    }
+
+    /// Reference: direct product of degree-1 polys, truncated.
+    fn direct_product(factors: &[(u128, u128)], k: usize) -> Vec<u128> {
+        let mut acc = poly_one::<u128>(k);
+        for &(out, in_) in factors {
+            acc = poly_mul(&acc, &[out, in_], k);
+        }
+        acc
+    }
+
+    #[test]
+    fn tree_matches_direct_product() {
+        let factors = [(2u128, 3u128), (1, 4), (5, 0), (2, 2), (0, 7)];
+        for k in 1..=4 {
+            let mut tree = TallyTree::<u128>::new(factors.len(), k);
+            for (i, &(o, n)) in factors.iter().enumerate() {
+                tree.set_leaf(i, o, n);
+            }
+            assert_eq!(tree.root(), &direct_product(&factors, k)[..], "k={k}");
+        }
+    }
+
+    #[test]
+    fn tree_excluding_matches_direct_product_without_leaf() {
+        let factors = [(2u128, 3u128), (1, 4), (5, 6), (2, 2)];
+        let k = 3;
+        let mut tree = TallyTree::<u128>::new(factors.len(), k);
+        for (i, &(o, n)) in factors.iter().enumerate() {
+            tree.set_leaf(i, o, n);
+        }
+        for skip in 0..factors.len() {
+            let rest: Vec<(u128, u128)> = factors
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != skip)
+                .map(|(_, &f)| f)
+                .collect();
+            assert_eq!(tree.excluding(skip), direct_product(&rest, k), "skip={skip}");
+        }
+    }
+
+    #[test]
+    fn incremental_updates_keep_tree_consistent() {
+        let k = 2;
+        let mut tree = TallyTree::<u128>::new(3, k);
+        let mut factors = [(1u128, 1u128); 3];
+        for (i, &(o, n)) in factors.iter().enumerate() {
+            tree.set_leaf(i, o, n);
+        }
+        // mutate leaves repeatedly, checking the root each time
+        let updates = [(0, (3, 1)), (2, (0, 5)), (1, (2, 2)), (0, (1, 0))];
+        for &(leaf, f) in &updates {
+            factors[leaf] = f;
+            tree.set_leaf(leaf, f.0, f.1);
+            assert_eq!(tree.root(), &direct_product(&factors, k)[..]);
+        }
+    }
+
+    #[test]
+    fn empty_tree_root_is_identity() {
+        let tree = TallyTree::<u128>::new(0, 3);
+        assert_eq!(tree.root(), &poly_one::<u128>(3)[..]);
+    }
+
+    #[test]
+    fn single_leaf_excluding_gives_identity() {
+        let mut tree = TallyTree::<u128>::new(1, 2);
+        tree.set_leaf(0, 7, 9);
+        assert_eq!(tree.excluding(0), poly_one::<u128>(2));
+        assert_eq!(tree.root(), &[7u128, 9, 0][..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_leaf_rejects_out_of_range() {
+        let mut tree = TallyTree::<u128>::new(2, 1);
+        tree.set_leaf(5, 1, 1);
+    }
+
+    #[test]
+    fn works_with_f64_probability_space() {
+        let mut tree = TallyTree::<f64>::new(2, 2);
+        tree.set_leaf(0, 0.25, 0.75);
+        tree.set_leaf(1, 0.5, 0.5);
+        let root = tree.root();
+        assert!((root[0] - 0.125).abs() < 1e-12);
+        assert!((root[1] - (0.25 * 0.5 + 0.75 * 0.5)).abs() < 1e-12);
+        assert!((root[2] - 0.375).abs() < 1e-12);
+        // probabilities conserve mass
+        assert!((root.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+}

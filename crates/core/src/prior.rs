@@ -1,0 +1,156 @@
+//! Probabilistic-database extension: Q2 under non-uniform candidate priors.
+//!
+//! §2.1 observes that "Q2 can be seen as a natural definition of evaluating
+//! an ML classifier over a block tuple-independent probabilistic database
+//! with uniform prior". This module drops the *uniform* restriction: each
+//! candidate carries a prior probability (per-set priors sum to 1), the
+//! worlds become a product distribution, and the returned vector is the
+//! posterior over the classifier's prediction — computed by the same SS-DC
+//! scan with a weighted mass model, at the same complexity.
+
+use crate::config::CpConfig;
+use crate::dataset::IncompleteDataset;
+use crate::mass::WeightedMass;
+use crate::pins::Pins;
+use crate::similarity::SimilarityIndex;
+use crate::ss_tree::scan_tree;
+use crate::tally::composition_count;
+
+/// Per-label prediction probabilities under per-candidate priors.
+///
+/// `priors[i][j]` is the probability that example `i` takes candidate `j`;
+/// each unpinned row must sum to 1.
+pub fn q2_weighted(
+    ds: &IncompleteDataset,
+    cfg: &CpConfig,
+    t: &[f64],
+    priors: Vec<Vec<f64>>,
+) -> Vec<f64> {
+    let idx = SimilarityIndex::build(ds, cfg.kernel, t);
+    q2_weighted_with_index(ds, cfg, &idx, &Pins::none(ds.len()), priors)
+}
+
+/// [`q2_weighted`] with index reuse and pinning. A pinned set is conditioned
+/// on: its prior is ignored and the pinned candidate taken with
+/// probability 1, so the result is the posterior given the pin.
+pub fn q2_weighted_with_index(
+    ds: &IncompleteDataset,
+    cfg: &CpConfig,
+    idx: &SimilarityIndex,
+    pins: &Pins,
+    priors: Vec<Vec<f64>>,
+) -> Vec<f64> {
+    let mass = WeightedMass::new(ds, pins, priors);
+    let use_mc = composition_count(ds.n_labels(), cfg.k_eff(ds.len())) > 64;
+    let result = scan_tree::<f64, _>(ds, cfg, idx, pins, mass, use_mc);
+    result.probabilities()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bruteforce::{q2_brute, q2_brute_weighted};
+    use crate::dataset::IncompleteExample;
+    use proptest::prelude::*;
+
+    fn figure6() -> (IncompleteDataset, Vec<f64>) {
+        let ds = IncompleteDataset::new(
+            vec![
+                IncompleteExample::incomplete(vec![vec![0.0], vec![8.0]], 1),
+                IncompleteExample::incomplete(vec![vec![2.0], vec![4.0]], 1),
+                IncompleteExample::incomplete(vec![vec![6.0], vec![9.0]], 0),
+            ],
+            2,
+        )
+        .unwrap();
+        (ds, vec![10.0])
+    }
+
+    #[test]
+    fn uniform_priors_reduce_to_plain_q2() {
+        let (ds, t) = figure6();
+        for k in 1..=3 {
+            let cfg = CpConfig::new(k);
+            let uniform: Vec<Vec<f64>> = (0..ds.len())
+                .map(|i| vec![1.0 / ds.set_size(i) as f64; ds.set_size(i)])
+                .collect();
+            let weighted = q2_weighted(&ds, &cfg, &t, uniform);
+            let plain = q2_brute::<u128>(&ds, &cfg, &t, &Pins::none(ds.len())).probabilities();
+            for (a, b) in weighted.iter().zip(&plain) {
+                assert!((a - b).abs() < 1e-9, "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_priors_select_one_world() {
+        let (ds, t) = figure6();
+        let cfg = CpConfig::new(1);
+        // prior mass concentrated on choice (1, 0, 0): top-1 is x12 (label 1)
+        let priors = vec![vec![0.0, 1.0], vec![1.0, 0.0], vec![1.0, 0.0]];
+        let p = q2_weighted(&ds, &cfg, &t, priors);
+        assert!((p[1] - 1.0).abs() < 1e-9);
+        assert!(p[0].abs() < 1e-9);
+    }
+
+    fn arb_weighted() -> impl Strategy<Value = (IncompleteDataset, Vec<f64>, usize, Vec<Vec<f64>>)>
+    {
+        (2usize..=3, 2usize..=5, 1usize..=3).prop_flat_map(|(n_labels, n, k)| {
+            let example = (
+                proptest::collection::vec((-9i32..9, 1u32..10), 1..=3),
+                0..n_labels,
+            );
+            (
+                proptest::collection::vec(example, n..=n),
+                -9i32..9,
+                Just(n_labels),
+                Just(k),
+            )
+                .prop_map(move |(raw, t, n_labels, k)| {
+                    let mut examples = Vec::new();
+                    let mut priors = Vec::new();
+                    for (cands, label) in raw {
+                        let total: u32 = cands.iter().map(|c| c.1).sum();
+                        priors.push(
+                            cands.iter().map(|c| c.1 as f64 / total as f64).collect::<Vec<_>>(),
+                        );
+                        examples.push(IncompleteExample::incomplete(
+                            cands.into_iter().map(|c| vec![c.0 as f64]).collect(),
+                            label,
+                        ));
+                    }
+                    let ds = IncompleteDataset::new(examples, n_labels).unwrap();
+                    (ds, vec![t as f64], k, priors)
+                })
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(192))]
+        #[test]
+        fn weighted_scan_matches_weighted_brute_force((ds, t, k, priors) in arb_weighted()) {
+            let cfg = CpConfig::new(k);
+            let pins = Pins::none(ds.len());
+            let brute = q2_brute_weighted(&ds, &cfg, &t, &pins, &priors);
+            let fast = q2_weighted(&ds, &cfg, &t, priors);
+            prop_assert!((fast.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            for (a, b) in fast.iter().zip(&brute) {
+                prop_assert!((a - b).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn weighted_pinned_matches_brute_force((ds, t, k, priors) in arb_weighted()) {
+            let cfg = CpConfig::new(k);
+            if let Some(&i) = ds.dirty_indices().first() {
+                let pins = Pins::single(ds.len(), i, 1);
+                let idx = SimilarityIndex::build(&ds, cfg.kernel, &t);
+                let brute = q2_brute_weighted(&ds, &cfg, &t, &pins, &priors);
+                let fast = q2_weighted_with_index(&ds, &cfg, &idx, &pins, priors);
+                for (a, b) in fast.iter().zip(&brute) {
+                    prop_assert!((a - b).abs() < 1e-9);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Query results.
+
+use cp_knn::Label;
+use cp_numeric::{stats, CountSemiring};
+
+/// Result of the counting query **Q2** (Definition 5): per-label world mass
+/// plus the total mass, in whatever semiring the query ran in.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Q2Result<S> {
+    /// `counts[y]` = mass of possible worlds whose classifier predicts `y`.
+    pub counts: Vec<S>,
+    /// Total mass of all possible worlds (`∏ M_i` for counting semirings,
+    /// `1` in probability space).
+    pub total: S,
+}
+
+impl<S: CountSemiring> Q2Result<S> {
+    /// Number of classes.
+    pub fn n_labels(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Per-label probabilities under the uniform prior over candidates:
+    /// `Q2(D, t, y) / |I_D|` — the quantity CPClean's entropy objective
+    /// consumes (§4, conditional-entropy definition).
+    pub fn probabilities(&self) -> Vec<f64> {
+        self.counts.iter().map(|c| c.ratio(&self.total)).collect()
+    }
+
+    /// The label with the largest supporting mass (ties toward the smaller
+    /// label, consistent with the vote tie-break).
+    pub fn winner(&self) -> Label {
+        stats::argmax_first(&self.probabilities()).expect("no labels")
+    }
+
+    /// Whether exactly one label has non-zero mass — i.e. the **Q1** answer
+    /// derived from Q2 ("in SS, we use the result of Q2 to answer both Q1 and
+    /// Q2", §3.1.2).
+    ///
+    /// Exact for exact semirings (`u128`, `BigUint`, `Possibility`,
+    /// `ScaledF64`). In plain-`f64` probability space, deep-tail supports can
+    /// underflow to zero, so prefer [`crate::queries::q1`] when an exact Q1
+    /// answer is required.
+    pub fn is_certain(&self) -> bool {
+        self.counts.iter().filter(|c| !c.is_zero()).count() == 1
+    }
+
+    /// `Some(label)` iff the prediction is certain (see
+    /// [`Q2Result::is_certain`]).
+    pub fn certain_label(&self) -> Option<Label> {
+        let mut nonzero = self.counts.iter().enumerate().filter(|(_, c)| !c.is_zero());
+        match (nonzero.next(), nonzero.next()) {
+            (Some((l, _)), None) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// Shannon entropy (bits) of the prediction distribution — CPClean's
+    /// per-example uncertainty measure `H(A_D(t))`.
+    pub fn entropy_bits(&self) -> f64 {
+        stats::entropy_bits(&self.probabilities())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cp_numeric::BigUint;
+
+    #[test]
+    fn probabilities_normalize() {
+        let r = Q2Result::<u128> { counts: vec![6, 2], total: 8 };
+        assert_eq!(r.probabilities(), vec![0.75, 0.25]);
+        assert_eq!(r.winner(), 0);
+        assert!(!r.is_certain());
+        assert_eq!(r.certain_label(), None);
+    }
+
+    #[test]
+    fn certainty_detection() {
+        let r = Q2Result::<u128> { counts: vec![0, 8], total: 8 };
+        assert!(r.is_certain());
+        assert_eq!(r.certain_label(), Some(1));
+        assert_eq!(r.entropy_bits(), 0.0);
+    }
+
+    #[test]
+    fn entropy_of_even_split_is_one_bit() {
+        let r = Q2Result::<u128> { counts: vec![4, 4], total: 8 };
+        assert!((r.entropy_bits() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn winner_tie_breaks_low() {
+        let r = Q2Result::<u128> { counts: vec![4, 4], total: 8 };
+        assert_eq!(r.winner(), 0);
+    }
+
+    #[test]
+    fn biguint_probabilities_survive_huge_totals() {
+        let base = BigUint::from_u64(5).pow(500);
+        let r = Q2Result::<BigUint> {
+            counts: vec![base.mul_small(3), base.mul_small(1)],
+            total: base.mul_small(4),
+        };
+        let p = r.probabilities();
+        assert!((p[0] - 0.75).abs() < 1e-12);
+        assert!((p[1] - 0.25).abs() < 1e-12);
+    }
+}

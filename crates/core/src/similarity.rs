@@ -1,0 +1,189 @@
+//! Similarity index: the sorted similarity structure every SortScan variant
+//! and the MM algorithm consume.
+//!
+//! For a test point `t`, the index holds every candidate `(i, j)` of the
+//! incomplete dataset sorted *ascending* by `(similarity, set, candidate)` —
+//! the paper's "sort all x_{i,j} pairs by their similarity to t" (§3.1.2)
+//! with its no-ties assumption made concrete as a strict total order. Each
+//! candidate's position in this order is its **rank**; all possible-world
+//! reasoning (including brute force) compares ranks, never raw floats, so
+//! every algorithm in the workspace agrees on neighbor ordering bit-for-bit.
+
+use crate::dataset::IncompleteDataset;
+use crate::pins::Pins;
+use cp_knn::Kernel;
+use std::cmp::Ordering;
+
+/// Sorted similarity structure for one test point.
+#[derive(Clone, Debug)]
+pub struct SimilarityIndex {
+    /// `(set, candidate)` pairs in ascending similarity order.
+    order: Vec<(u32, u32)>,
+    /// `rank[set][cand]` = position of that candidate in `order`.
+    rank: Vec<Vec<u32>>,
+    /// Similarity values aligned with `order`.
+    sims: Vec<f64>,
+}
+
+impl SimilarityIndex {
+    /// Compute all candidate similarities to `t` and sort.
+    ///
+    /// Cost: `O(NM log NM)` — the sorting term of every SS complexity bound.
+    ///
+    /// # Panics
+    /// Panics if `t`'s dimension does not match the dataset.
+    pub fn build(ds: &IncompleteDataset, kernel: Kernel, t: &[f64]) -> Self {
+        assert_eq!(t.len(), ds.dim(), "test point dimension mismatch");
+        let total = ds.total_candidates();
+        let mut entries: Vec<(f64, u32, u32)> = Vec::with_capacity(total);
+        for i in 0..ds.len() {
+            for j in 0..ds.set_size(i) {
+                let s = kernel.similarity(ds.candidate(i, j), t);
+                entries.push((s, i as u32, j as u32));
+            }
+        }
+        entries.sort_by(|a, b| {
+            match a.0.total_cmp(&b.0) {
+                Ordering::Equal => (a.1, a.2).cmp(&(b.1, b.2)),
+                ord => ord,
+            }
+        });
+        let mut rank: Vec<Vec<u32>> =
+            (0..ds.len()).map(|i| vec![0u32; ds.set_size(i)]).collect();
+        let mut order = Vec::with_capacity(total);
+        let mut sims = Vec::with_capacity(total);
+        for (pos, &(s, i, j)) in entries.iter().enumerate() {
+            rank[i as usize][j as usize] = pos as u32;
+            order.push((i, j));
+            sims.push(s);
+        }
+        SimilarityIndex { order, rank, sims }
+    }
+
+    /// Number of candidates in the index.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// `true` iff the index is empty (never true for a validated dataset).
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Candidates in ascending similarity order.
+    pub fn order(&self) -> &[(u32, u32)] {
+        &self.order
+    }
+
+    /// Rank (ascending-similarity position) of candidate `(i, j)`.
+    pub fn rank(&self, i: usize, j: usize) -> u32 {
+        self.rank[i][j]
+    }
+
+    /// Similarity of the candidate at a given rank.
+    pub fn sim_at(&self, pos: usize) -> f64 {
+        self.sims[pos]
+    }
+
+    /// Candidate of set `i` with the **lowest** similarity among candidates
+    /// permitted by `pins` (the `arg min_j κ(x_{i,j}, t)` of MM).
+    pub fn least_similar(&self, i: usize, pins: &Pins) -> usize {
+        self.extreme(i, pins, false)
+    }
+
+    /// Candidate of set `i` with the **highest** similarity among candidates
+    /// permitted by `pins` (the `arg max_j κ(x_{i,j}, t)` of MM).
+    pub fn most_similar(&self, i: usize, pins: &Pins) -> usize {
+        self.extreme(i, pins, true)
+    }
+
+    fn extreme(&self, i: usize, pins: &Pins, max: bool) -> usize {
+        if let Some(j) = pins.pinned(i) {
+            return j;
+        }
+        let ranks = &self.rank[i];
+        let mut best = 0usize;
+        for (j, &r) in ranks.iter().enumerate().skip(1) {
+            let better = if max { r > ranks[best] } else { r < ranks[best] };
+            if better {
+                best = j;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::IncompleteExample;
+
+    fn ds() -> IncompleteDataset {
+        IncompleteDataset::new(
+            vec![
+                IncompleteExample::incomplete(vec![vec![0.0], vec![10.0]], 0),
+                IncompleteExample::incomplete(vec![vec![3.0], vec![4.0]], 1),
+                IncompleteExample::complete(vec![5.0], 1),
+            ],
+            2,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn ascending_similarity_order() {
+        // test point at 5.0; NegEuclidean similarity = -(x-5)^2
+        let ds = ds();
+        let idx = SimilarityIndex::build(&ds, Kernel::NegEuclidean, &[5.0]);
+        // distances: (0,0)=25, (0,1)=25, (1,0)=4, (1,1)=1, (2,0)=0
+        // ascending similarity = descending distance; tie (0,0)/(0,1) broken by candidate index
+        assert_eq!(idx.order(), &[(0, 0), (0, 1), (1, 0), (1, 1), (2, 0)]);
+        assert_eq!(idx.rank(2, 0), 4);
+        assert_eq!(idx.rank(0, 0), 0);
+        assert!(idx.sim_at(0) <= idx.sim_at(4));
+    }
+
+    #[test]
+    fn extremes_per_set() {
+        let ds = ds();
+        let idx = SimilarityIndex::build(&ds, Kernel::NegEuclidean, &[5.0]);
+        let pins = Pins::none(ds.len());
+        assert_eq!(idx.most_similar(0, &pins), 1); // 10.0 closer to 5 than 0.0? dist 25 both; tie -> higher rank = cand 1
+        assert_eq!(idx.least_similar(0, &pins), 0);
+        assert_eq!(idx.most_similar(1, &pins), 1); // 4.0 closer than 3.0
+        assert_eq!(idx.least_similar(1, &pins), 0);
+    }
+
+    #[test]
+    fn pins_override_extremes() {
+        let ds = ds();
+        let idx = SimilarityIndex::build(&ds, Kernel::NegEuclidean, &[5.0]);
+        let pins = Pins::single(ds.len(), 1, 0);
+        assert_eq!(idx.most_similar(1, &pins), 0);
+        assert_eq!(idx.least_similar(1, &pins), 0);
+        // unpinned sets unaffected
+        assert_eq!(idx.most_similar(0, &pins), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn rejects_wrong_test_dimension() {
+        let ds = ds();
+        SimilarityIndex::build(&ds, Kernel::NegEuclidean, &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn ranks_are_a_permutation() {
+        let ds = ds();
+        let idx = SimilarityIndex::build(&ds, Kernel::NegEuclidean, &[0.0]);
+        let mut seen = vec![false; idx.len()];
+        for i in 0..ds.len() {
+            for j in 0..ds.set_size(i) {
+                let r = idx.rank(i, j) as usize;
+                assert!(!seen[r]);
+                seen[r] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

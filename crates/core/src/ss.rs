@@ -1,0 +1,249 @@
+//! The general SortScan (SS) algorithm — Algorithm 1 of the paper (§3.1.3),
+//! with the label-support dynamic program recomputed from scratch at every
+//! boundary candidate.
+//!
+//! This is the *naive* variant: per boundary candidate it rebuilds each
+//! label's slot polynomial in `O(N·K)`, giving an overall
+//! `O(NM·(N·K + |Γ|·|Y|))` after the `O(NM log NM)` sort. It exists as the
+//! directly-from-the-paper reference and as the ablation baseline against the
+//! divide-and-conquer variant in [`crate::ss_tree`] (Appendix A.2).
+
+use crate::config::CpConfig;
+use crate::dataset::IncompleteDataset;
+use crate::mass::UniformMass;
+use crate::pins::Pins;
+use crate::result::Q2Result;
+use crate::similarity::SimilarityIndex;
+use crate::tally::{accumulate_supports, compositions};
+use cp_numeric::CountSemiring;
+
+/// Q2 via the naive general SortScan.
+pub fn q2_sortscan<S: CountSemiring>(
+    ds: &IncompleteDataset,
+    cfg: &CpConfig,
+    t: &[f64],
+    pins: &Pins,
+) -> Q2Result<S> {
+    let idx = SimilarityIndex::build(ds, cfg.kernel, t);
+    q2_sortscan_with_index(ds, cfg, &idx, pins)
+}
+
+/// Q2 via the naive general SortScan, reusing a prebuilt similarity index.
+pub fn q2_sortscan_with_index<S: CountSemiring>(
+    ds: &IncompleteDataset,
+    cfg: &CpConfig,
+    idx: &SimilarityIndex,
+    pins: &Pins,
+) -> Q2Result<S> {
+    pins.validate(ds);
+    let n = ds.len();
+    let n_labels = ds.n_labels();
+    let k = cfg.k_eff(n);
+
+    // partition candidate sets by label (the D_l of §3.1.1)
+    let mut label_sets: Vec<Vec<usize>> = vec![Vec::new(); n_labels];
+    for i in 0..n {
+        label_sets[ds.label(i)].push(i);
+    }
+
+    let mut mass = UniformMass::new(ds, pins);
+    let comps = compositions(n_labels, k);
+    let mut counts = vec![S::zero(); n_labels];
+
+    for &(iu, ju) in idx.order() {
+        let (i, j) = (iu as usize, ju as usize);
+        if !pins.allows(i, j) {
+            continue;
+        }
+        mass.bump(i);
+        let yi = ds.label(i);
+
+        // recompute every label's slot polynomial (the C_l DP), excluding the
+        // boundary set from its own label
+        let polys: Vec<Vec<S>> = (0..n_labels)
+            .map(|l| {
+                let exclude = if l == yi { Some(i) } else { None };
+                label_poly::<S>(&label_sets[l], exclude, &mass, k)
+            })
+            .collect();
+        let poly_refs: Vec<&[S]> = polys.iter().map(|p| p.as_slice()).collect();
+
+        let boundary = S::from_count(1, mass.size(i));
+        accumulate_supports(&comps, yi, &boundary, &poly_refs, &mut counts);
+    }
+
+    let total = {
+        let mut acc = S::one();
+        for i in 0..n {
+            let m = mass.size(i);
+            acc.mul_assign(&S::from_count(m, m));
+        }
+        acc
+    };
+    Q2Result { counts, total }
+}
+
+/// The label-support DP `C_l(c, n)` of §3.1.1, as a knapsack over the label's
+/// candidate sets: coefficient `c` = mass of placing exactly `c` of them in
+/// the top-K.
+fn label_poly<S: CountSemiring>(
+    sets: &[usize],
+    exclude: Option<usize>,
+    mass: &UniformMass,
+    k: usize,
+) -> Vec<S> {
+    let mut dp = vec![S::zero(); k + 1];
+    dp[0] = S::one();
+    for &nset in sets {
+        if exclude == Some(nset) {
+            continue;
+        }
+        let alpha = mass.alpha(nset);
+        let size = mass.size(nset);
+        let out = S::from_count(alpha, size);
+        let in_ = S::from_count(size - alpha, size);
+        // in-place knapsack update, descending slot index
+        for c in (0..=k).rev() {
+            let mut v = dp[c].mul(&out);
+            if c > 0 {
+                let up = dp[c - 1].mul(&in_);
+                v.add_assign(&up);
+            }
+            dp[c] = v;
+        }
+    }
+    dp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bruteforce::q2_brute;
+    use crate::dataset::IncompleteExample;
+    use cp_numeric::{BigUint, Possibility};
+    use proptest::prelude::*;
+
+    /// The Figure 6 worked example (see `bruteforce::tests`).
+    fn figure6() -> (IncompleteDataset, Vec<f64>) {
+        let ds = IncompleteDataset::new(
+            vec![
+                IncompleteExample::incomplete(vec![vec![0.0], vec![8.0]], 1),
+                IncompleteExample::incomplete(vec![vec![2.0], vec![4.0]], 1),
+                IncompleteExample::incomplete(vec![vec![6.0], vec![9.0]], 0),
+            ],
+            2,
+        )
+        .unwrap();
+        (ds, vec![10.0])
+    }
+
+    #[test]
+    fn figure6_k1_counts() {
+        let (ds, t) = figure6();
+        let r = q2_sortscan::<u128>(&ds, &CpConfig::new(1), &t, &Pins::none(ds.len()));
+        assert_eq!(r.counts, vec![6, 2]);
+        assert_eq!(r.total, 8);
+    }
+
+    #[test]
+    fn figure_a1_k3_counts() {
+        // Appendix Figure A.1 runs the same dataset with K = 3: every world's
+        // top-3 is all three examples, labels {1,1,0} -> always predicts 1.
+        // The figure reports "Result: 0 / 8" (8 worlds for label 1... shown
+        // as 64? its tree uses M=4 per set; with our M=2 sets: total = 8).
+        let (ds, t) = figure6();
+        let r = q2_sortscan::<u128>(&ds, &CpConfig::new(3), &t, &Pins::none(ds.len()));
+        assert_eq!(r.counts, vec![0, 8]);
+        assert!(r.is_certain());
+    }
+
+    fn arb_instance() -> impl Strategy<Value = (IncompleteDataset, Vec<f64>, usize)> {
+        // up to 6 sets, up to 3 candidates each, 1-d features on a small grid
+        // (grid coordinates force frequent similarity ties through the
+        // tie-break path), up to 3 labels, k in 1..=4
+        (2usize..=3, 1usize..=6, 1usize..=4).prop_flat_map(|(n_labels, n, k)| {
+            let example = (
+                proptest::collection::vec(-8i32..8, 1..=3),
+                0..n_labels,
+            )
+                .prop_map(|(grid, label)| {
+                    let candidates: Vec<Vec<f64>> =
+                        grid.into_iter().map(|g| vec![g as f64]).collect();
+                    IncompleteExample::incomplete(candidates, label)
+                });
+            (
+                proptest::collection::vec(example, n..=n),
+                -8i32..8,
+                Just(n_labels),
+                Just(k),
+            )
+                .prop_map(move |(examples, t, n_labels, k)| {
+                    let ds = IncompleteDataset::new(examples, n_labels).unwrap();
+                    (ds, vec![t as f64], k)
+                })
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(192))]
+        #[test]
+        fn matches_brute_force_exact((ds, t, k) in arb_instance()) {
+            let cfg = CpConfig::new(k);
+            let pins = Pins::none(ds.len());
+            let brute = q2_brute::<u128>(&ds, &cfg, &t, &pins);
+            let ss = q2_sortscan::<u128>(&ds, &cfg, &t, &pins);
+            prop_assert_eq!(&ss.counts, &brute.counts);
+            prop_assert_eq!(ss.total, brute.total);
+        }
+
+        #[test]
+        fn matches_brute_force_probability((ds, t, k) in arb_instance()) {
+            let cfg = CpConfig::new(k);
+            let pins = Pins::none(ds.len());
+            let brute = q2_brute::<u128>(&ds, &cfg, &t, &pins).probabilities();
+            let ss = q2_sortscan::<f64>(&ds, &cfg, &t, &pins);
+            prop_assert!((ss.total - 1.0).abs() < 1e-9);
+            for (a, b) in ss.probabilities().iter().zip(&brute) {
+                prop_assert!((a - b).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn possibility_semiring_matches_exact_nonzeroness((ds, t, k) in arb_instance()) {
+            let cfg = CpConfig::new(k);
+            let pins = Pins::none(ds.len());
+            let exact = q2_sortscan::<u128>(&ds, &cfg, &t, &pins);
+            let poss = q2_sortscan::<Possibility>(&ds, &cfg, &t, &pins);
+            for (c, p) in exact.counts.iter().zip(&poss.counts) {
+                prop_assert_eq!(*c > 0, p.0);
+            }
+        }
+
+        #[test]
+        fn pinned_scan_matches_pinned_brute_force((ds, t, k) in arb_instance()) {
+            let cfg = CpConfig::new(k);
+            // pin the first dirty set to each of its candidates
+            if let Some(&i) = ds.dirty_indices().first() {
+                for j in 0..ds.set_size(i) {
+                    let pins = Pins::single(ds.len(), i, j);
+                    let brute = q2_brute::<u128>(&ds, &cfg, &t, &pins);
+                    let ss = q2_sortscan::<u128>(&ds, &cfg, &t, &pins);
+                    prop_assert_eq!(&ss.counts, &brute.counts);
+                    prop_assert_eq!(ss.total, brute.total);
+                }
+            }
+        }
+
+        #[test]
+        fn world_count_is_conserved((ds, t, k) in arb_instance()) {
+            // structural invariant: summed supports over all labels equal the
+            // total world count — every world is counted exactly once at its
+            // K-th most similar member.
+            let cfg = CpConfig::new(k);
+            let pins = Pins::none(ds.len());
+            let ss = q2_sortscan::<BigUint>(&ds, &cfg, &t, &pins);
+            let sum = ss.counts.iter().fold(BigUint::zero(), |a, c| a.add(c));
+            prop_assert_eq!(sum, ds.world_count());
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! The K = 1 SortScan fast path (§3.1.2).
+//!
+//! For a 1-NN classifier the boundary candidate *is* the entire top-K set, so
+//! the support of boundary `(i, j)` collapses to
+//! `∏_{n≠i} α_{i,j}[n]` — the product of the other sets' similarity tallies.
+//! The scan maintains that product incrementally: each step changes one tally
+//! entry, so one division and one multiplication update the running product
+//! (which is why this path requires a [`DivSemiring`]). Zero factors are kept
+//! *out* of the product and counted separately, so division never sees a
+//! zero. Total cost `O(NM log NM)` — the first row of Figure 4.
+//!
+//! The paper states this case for `|Y| = 2`, but the derivation never uses
+//! binarity (the top-1 label is the boundary's label), so this implementation
+//! accepts any number of classes.
+
+use crate::config::CpConfig;
+use crate::dataset::IncompleteDataset;
+use crate::mass::UniformMass;
+use crate::pins::Pins;
+use crate::result::Q2Result;
+use crate::similarity::SimilarityIndex;
+use cp_numeric::DivSemiring;
+
+/// Q2 for K = 1 via the incremental-product SortScan.
+///
+/// # Panics
+/// Panics if the effective K (`min(k, N)`) is not 1.
+pub fn q2_sortscan_k1<S: DivSemiring>(
+    ds: &IncompleteDataset,
+    cfg: &CpConfig,
+    t: &[f64],
+    pins: &Pins,
+) -> Q2Result<S> {
+    let idx = SimilarityIndex::build(ds, cfg.kernel, t);
+    q2_sortscan_k1_with_index(ds, cfg, &idx, pins)
+}
+
+/// Q2 for K = 1, reusing a prebuilt similarity index.
+pub fn q2_sortscan_k1_with_index<S: DivSemiring>(
+    ds: &IncompleteDataset,
+    cfg: &CpConfig,
+    idx: &SimilarityIndex,
+    pins: &Pins,
+) -> Q2Result<S> {
+    pins.validate(ds);
+    let n = ds.len();
+    assert_eq!(cfg.k_eff(n), 1, "the K=1 fast path requires an effective K of 1");
+
+    let mut mass = UniformMass::new(ds, pins);
+    // running product over sets with a non-zero tally; zero-tally sets are
+    // counted in `zeros` instead so the product is always divisible
+    let mut prod = S::one();
+    let mut zeros = n;
+    let mut factors = vec![S::zero(); n];
+    let mut counts = vec![S::zero(); ds.n_labels()];
+
+    for &(iu, ju) in idx.order() {
+        let (i, j) = (iu as usize, ju as usize);
+        if !pins.allows(i, j) {
+            continue;
+        }
+        mass.bump(i);
+        let newf = S::from_count(mass.alpha(i), mass.size(i));
+        debug_assert!(!newf.is_zero());
+        let oldf = std::mem::replace(&mut factors[i], newf.clone());
+        if oldf.is_zero() {
+            zeros -= 1;
+        } else {
+            prod = prod.div(&oldf);
+        }
+        prod = prod.mul(&newf);
+
+        // support = boundary mass × ∏_{n≠i} α[n]; any remaining zero tally
+        // belongs to a set other than i, so the product is zero
+        if zeros == 0 {
+            let others = prod.div(&newf);
+            if !others.is_zero() {
+                let boundary = S::from_count(1, mass.size(i));
+                let support = boundary.mul(&others);
+                counts[ds.label(i)].add_assign(&support);
+            }
+        }
+    }
+
+    let total = {
+        let mut acc = S::one();
+        for i in 0..n {
+            let m = mass.size(i);
+            acc.mul_assign(&S::from_count(m, m));
+        }
+        acc
+    };
+    Q2Result { counts, total }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::IncompleteExample;
+    use crate::ss::q2_sortscan;
+    use cp_numeric::ScaledF64;
+    use proptest::prelude::*;
+
+    fn figure6() -> (IncompleteDataset, Vec<f64>) {
+        let ds = IncompleteDataset::new(
+            vec![
+                IncompleteExample::incomplete(vec![vec![0.0], vec![8.0]], 1),
+                IncompleteExample::incomplete(vec![vec![2.0], vec![4.0]], 1),
+                IncompleteExample::incomplete(vec![vec![6.0], vec![9.0]], 0),
+            ],
+            2,
+        )
+        .unwrap();
+        (ds, vec![10.0])
+    }
+
+    #[test]
+    fn figure6_counts() {
+        let (ds, t) = figure6();
+        let r = q2_sortscan_k1::<u128>(&ds, &CpConfig::new(1), &t, &Pins::none(ds.len()));
+        assert_eq!(r.counts, vec![6, 2]);
+        assert_eq!(r.total, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "effective K of 1")]
+    fn rejects_k_above_one() {
+        let (ds, t) = figure6();
+        q2_sortscan_k1::<u128>(&ds, &CpConfig::new(2), &t, &Pins::none(ds.len()));
+    }
+
+    #[test]
+    fn single_example_dataset() {
+        // N = 1, K = 1: the lone example always wins
+        let ds = IncompleteDataset::new(
+            vec![IncompleteExample::incomplete(vec![vec![1.0], vec![2.0], vec![3.0]], 1)],
+            2,
+        )
+        .unwrap();
+        let r = q2_sortscan_k1::<u128>(&ds, &CpConfig::new(1), &[0.0], &Pins::none(1));
+        assert_eq!(r.counts, vec![0, 3]);
+        assert_eq!(r.total, 3);
+    }
+
+    fn arb_instance() -> impl Strategy<Value = (IncompleteDataset, Vec<f64>)> {
+        (2usize..=3, 1usize..=7).prop_flat_map(|(n_labels, n)| {
+            let example = (
+                proptest::collection::vec(-9i32..9, 1..=3),
+                0..n_labels,
+            )
+                .prop_map(|(grid, label)| {
+                    IncompleteExample::incomplete(
+                        grid.into_iter().map(|g| vec![g as f64]).collect(),
+                        label,
+                    )
+                });
+            (
+                proptest::collection::vec(example, n..=n),
+                -9i32..9,
+                Just(n_labels),
+            )
+                .prop_map(move |(examples, t, n_labels)| {
+                    (IncompleteDataset::new(examples, n_labels).unwrap(), vec![t as f64])
+                })
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+        #[test]
+        fn matches_general_ss((ds, t) in arb_instance()) {
+            let cfg = CpConfig::new(1);
+            let pins = Pins::none(ds.len());
+            let general = q2_sortscan::<u128>(&ds, &cfg, &t, &pins);
+            let fast = q2_sortscan_k1::<u128>(&ds, &cfg, &t, &pins);
+            prop_assert_eq!(&fast.counts, &general.counts);
+            prop_assert_eq!(fast.total, general.total);
+        }
+
+        #[test]
+        fn matches_general_ss_under_pins((ds, t) in arb_instance()) {
+            let cfg = CpConfig::new(1);
+            if let Some(&i) = ds.dirty_indices().first() {
+                let pins = Pins::single(ds.len(), i, 0);
+                let general = q2_sortscan::<u128>(&ds, &cfg, &t, &pins);
+                let fast = q2_sortscan_k1::<u128>(&ds, &cfg, &t, &pins);
+                prop_assert_eq!(&fast.counts, &general.counts);
+            }
+        }
+
+        #[test]
+        fn scaled_and_probability_semirings_agree((ds, t) in arb_instance()) {
+            let cfg = CpConfig::new(1);
+            let pins = Pins::none(ds.len());
+            let exact = q2_sortscan_k1::<u128>(&ds, &cfg, &t, &pins);
+            let prob = q2_sortscan_k1::<f64>(&ds, &cfg, &t, &pins);
+            let scaled = q2_sortscan_k1::<ScaledF64>(&ds, &cfg, &t, &pins);
+            for l in 0..ds.n_labels() {
+                let p = exact.counts[l] as f64 / exact.total as f64;
+                prop_assert!((prob.counts[l] - p).abs() < 1e-9);
+                let rel = (scaled.counts[l].to_f64() - exact.counts[l] as f64).abs()
+                    / (exact.counts[l] as f64).max(1.0);
+                prop_assert!(rel < 1e-9);
+            }
+        }
+    }
+}

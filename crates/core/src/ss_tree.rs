@@ -1,0 +1,223 @@
+//! SS-DC: the divide-and-conquer SortScan — Algorithm A.1 of the appendix.
+//!
+//! Identical counting semantics to [`crate::ss`], but the label-support DP is
+//! maintained incrementally in per-label [`TallyTree`]s: a scan step updates
+//! exactly one similarity-tally entry (Equation 1), hence exactly one tree
+//! leaf, so each boundary candidate costs `O(K² log N)` instead of `O(N·K)`.
+//! Overall: `O(NM·(log NM + K² log N))` — the headline complexity of
+//! Figure 4's third row.
+//!
+//! The scan is generic over the [`MassModel`], which is how the probabilistic
+//! extension ([`crate::prior`]) reuses it with non-uniform candidate priors.
+
+use crate::config::CpConfig;
+use crate::dataset::IncompleteDataset;
+use crate::mass::{MassModel, UniformMass};
+use crate::pins::Pins;
+use crate::poly::TallyTree;
+use crate::result::Q2Result;
+use crate::similarity::SimilarityIndex;
+use crate::ss_mc::accumulate_supports_mc;
+use crate::tally::{accumulate_supports, composition_count, compositions};
+use cp_numeric::CountSemiring;
+
+/// Above this many tally vectors the scan switches from enumerating `Γ`
+/// (Algorithm A.1) to the label-capped DP of Algorithm A.2, which is
+/// polynomial in `|Y|`.
+const MC_TALLY_THRESHOLD: u64 = 64;
+
+/// Q2 via the divide-and-conquer SortScan (the production algorithm).
+pub fn q2_sortscan_tree<S: CountSemiring>(
+    ds: &IncompleteDataset,
+    cfg: &CpConfig,
+    t: &[f64],
+    pins: &Pins,
+) -> Q2Result<S> {
+    let idx = SimilarityIndex::build(ds, cfg.kernel, t);
+    q2_sortscan_tree_with_index(ds, cfg, &idx, pins)
+}
+
+/// Q2 via the divide-and-conquer SortScan, reusing a prebuilt similarity
+/// index (the CPClean hot path: one index per validation example, many
+/// pinned scans).
+pub fn q2_sortscan_tree_with_index<S: CountSemiring>(
+    ds: &IncompleteDataset,
+    cfg: &CpConfig,
+    idx: &SimilarityIndex,
+    pins: &Pins,
+) -> Q2Result<S> {
+    let mass = UniformMass::new(ds, pins);
+    let use_mc = composition_count(ds.n_labels(), cfg.k_eff(ds.len())) > MC_TALLY_THRESHOLD;
+    scan_tree(ds, cfg, idx, pins, mass, use_mc)
+}
+
+/// Force the multi-class (Algorithm A.2) accumulation regardless of `|Y|`.
+pub fn q2_sortscan_multiclass_with_index<S: CountSemiring>(
+    ds: &IncompleteDataset,
+    cfg: &CpConfig,
+    idx: &SimilarityIndex,
+    pins: &Pins,
+) -> Q2Result<S> {
+    let mass = UniformMass::new(ds, pins);
+    scan_tree(ds, cfg, idx, pins, mass, true)
+}
+
+/// The shared tree-based scan over a mass model.
+pub(crate) fn scan_tree<S: CountSemiring, M: MassModel<S>>(
+    ds: &IncompleteDataset,
+    cfg: &CpConfig,
+    idx: &SimilarityIndex,
+    pins: &Pins,
+    mut mass: M,
+    use_mc: bool,
+) -> Q2Result<S> {
+    pins.validate(ds);
+    let n = ds.len();
+    let n_labels = ds.n_labels();
+    let k = cfg.k_eff(n);
+
+    // map each candidate set to a leaf of its label's tree
+    let mut leaf_pos = vec![0usize; n];
+    let mut label_counts = vec![0usize; n_labels];
+    for (i, pos) in leaf_pos.iter_mut().enumerate() {
+        let l = ds.label(i);
+        *pos = label_counts[l];
+        label_counts[l] += 1;
+    }
+    let mut trees: Vec<TallyTree<S>> = label_counts
+        .iter()
+        .map(|&c| TallyTree::new(c, k))
+        .collect();
+    // initialize leaves at α = 0: everything is still "more similar than the
+    // boundary", i.e. out-mass 0, in-mass = the whole set
+    for i in 0..n {
+        trees[ds.label(i)].set_leaf(leaf_pos[i], mass.seen(i), mass.unseen(i));
+    }
+
+    let comps = if use_mc { Vec::new() } else { compositions(n_labels, k) };
+    let mut counts = vec![S::zero(); n_labels];
+
+    for &(iu, ju) in idx.order() {
+        let (i, j) = (iu as usize, ju as usize);
+        if !pins.allows(i, j) {
+            continue;
+        }
+        mass.advance(i, j);
+        let yi = ds.label(i);
+        // one leaf changed -> O(K² log N) tree refresh
+        trees[yi].set_leaf(leaf_pos[i], mass.seen(i), mass.unseen(i));
+        // slot polynomial of yi's sets with the boundary set excluded
+        let ex = trees[yi].excluding(leaf_pos[i]);
+        let boundary = mass.boundary(i, j);
+
+        let poly_refs: Vec<&[S]> = (0..n_labels)
+            .map(|l| {
+                if l == yi {
+                    ex.as_slice()
+                } else {
+                    trees[l].root()
+                }
+            })
+            .collect();
+        if use_mc {
+            accumulate_supports_mc(k, yi, &boundary, &poly_refs, &mut counts);
+        } else {
+            accumulate_supports(&comps, yi, &boundary, &poly_refs, &mut counts);
+        }
+    }
+
+    Q2Result { counts, total: mass.total() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::IncompleteExample;
+    use crate::ss::q2_sortscan_with_index;
+    use cp_numeric::{BigUint, Possibility, ScaledF64};
+    use proptest::prelude::*;
+
+    fn arb_instance() -> impl Strategy<Value = (IncompleteDataset, Vec<f64>, usize)> {
+        (2usize..=4, 1usize..=7, 1usize..=5).prop_flat_map(|(n_labels, n, k)| {
+            let example = (
+                proptest::collection::vec(-9i32..9, 1..=3),
+                0..n_labels,
+            )
+                .prop_map(|(grid, label)| {
+                    let candidates: Vec<Vec<f64>> =
+                        grid.into_iter().map(|g| vec![g as f64]).collect();
+                    IncompleteExample::incomplete(candidates, label)
+                });
+            (
+                proptest::collection::vec(example, n..=n),
+                -9i32..9,
+                Just(n_labels),
+                Just(k),
+            )
+                .prop_map(move |(examples, t, n_labels, k)| {
+                    let ds = IncompleteDataset::new(examples, n_labels).unwrap();
+                    (ds, vec![t as f64], k)
+                })
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+        #[test]
+        fn tree_matches_naive_ss_exact((ds, t, k) in arb_instance()) {
+            let cfg = CpConfig::new(k);
+            let pins = Pins::none(ds.len());
+            let idx = SimilarityIndex::build(&ds, cfg.kernel, &t);
+            let naive = q2_sortscan_with_index::<u128>(&ds, &cfg, &idx, &pins);
+            let tree = q2_sortscan_tree_with_index::<u128>(&ds, &cfg, &idx, &pins);
+            prop_assert_eq!(&tree.counts, &naive.counts);
+            prop_assert_eq!(tree.total, naive.total);
+        }
+
+        #[test]
+        fn tree_matches_naive_under_pins((ds, t, k) in arb_instance()) {
+            let cfg = CpConfig::new(k);
+            let idx = SimilarityIndex::build(&ds, cfg.kernel, &t);
+            if let Some(&i) = ds.dirty_indices().first() {
+                for j in 0..ds.set_size(i) {
+                    let pins = Pins::single(ds.len(), i, j);
+                    let naive = q2_sortscan_with_index::<u128>(&ds, &cfg, &idx, &pins);
+                    let tree = q2_sortscan_tree_with_index::<u128>(&ds, &cfg, &idx, &pins);
+                    prop_assert_eq!(&tree.counts, &naive.counts);
+                }
+            }
+        }
+
+        #[test]
+        fn multiclass_accumulator_matches_tally_enumeration((ds, t, k) in arb_instance()) {
+            let cfg = CpConfig::new(k);
+            let pins = Pins::none(ds.len());
+            let idx = SimilarityIndex::build(&ds, cfg.kernel, &t);
+            let gamma = q2_sortscan_tree_with_index::<u128>(&ds, &cfg, &idx, &pins);
+            let mc = q2_sortscan_multiclass_with_index::<u128>(&ds, &cfg, &idx, &pins);
+            prop_assert_eq!(&mc.counts, &gamma.counts);
+            prop_assert_eq!(mc.total, gamma.total);
+        }
+
+        #[test]
+        fn semirings_agree((ds, t, k) in arb_instance()) {
+            let cfg = CpConfig::new(k);
+            let pins = Pins::none(ds.len());
+            let idx = SimilarityIndex::build(&ds, cfg.kernel, &t);
+            let exact = q2_sortscan_tree_with_index::<u128>(&ds, &cfg, &idx, &pins);
+            let big = q2_sortscan_tree_with_index::<BigUint>(&ds, &cfg, &idx, &pins);
+            let scaled = q2_sortscan_tree_with_index::<ScaledF64>(&ds, &cfg, &idx, &pins);
+            let prob = q2_sortscan_tree_with_index::<f64>(&ds, &cfg, &idx, &pins);
+            let poss = q2_sortscan_tree_with_index::<Possibility>(&ds, &cfg, &idx, &pins);
+            for l in 0..ds.n_labels() {
+                prop_assert_eq!(Some(exact.counts[l]), big.counts[l].to_u128());
+                let rel = (scaled.counts[l].to_f64() - exact.counts[l] as f64).abs()
+                    / (exact.counts[l] as f64).max(1.0);
+                prop_assert!(rel < 1e-9);
+                let p = exact.counts[l] as f64 / exact.total as f64;
+                prop_assert!((prob.counts[l] - p).abs() < 1e-9);
+                prop_assert_eq!(poss.counts[l].0, exact.counts[l] > 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,323 @@
+//! Experiment bundles: profile → (dirty train, ground truth, validation,
+//! test), then the fully-encoded [`PreparedDataset`] the cleaning framework
+//! consumes.
+//!
+//! Mirrors §5.1's setup: "we randomly select 1,000 examples as the validation
+//! set and 1,000 examples as the test set. The remaining examples are used as
+//! the training set"; only the training set carries missing values
+//! (§1: "D_train may contain missing information whereas D_val is complete").
+
+use crate::mnar::{inject_mnar, inject_real_style};
+use crate::profiles::{DatasetProfile, MissingSpec};
+use crate::split::shuffle_split;
+use cp_table::{
+    build_incomplete_dataset, build_repair_space, closest_candidate, ColumnStats, Encoder,
+    RepairOptions, Table, TableDataset,
+};
+
+/// Sizing/seeding for one experiment run.
+#[derive(Clone, Debug)]
+pub struct BundleConfig {
+    /// Training rows (dirty).
+    pub n_train: usize,
+    /// Validation rows (complete).
+    pub n_val: usize,
+    /// Test rows (complete).
+    pub n_test: usize,
+    /// Master seed (generation, injection and splitting all derive from it).
+    pub seed: u64,
+    /// Probability that a dirty row loses a second cell (MNAR profiles).
+    pub second_cell_prob: f64,
+    /// Candidate-repair options.
+    pub repair: RepairOptions,
+}
+
+impl BundleConfig {
+    /// Laptop-scale defaults (the experiment *shapes* are scale-stable; see
+    /// DESIGN.md §3).
+    pub fn laptop(seed: u64) -> Self {
+        BundleConfig {
+            n_train: 400,
+            n_val: 120,
+            n_test: 600,
+            seed,
+            second_cell_prob: 0.6,
+            repair: RepairOptions::default(),
+        }
+    }
+
+    /// The paper's full-scale split (1000 validation + 1000 test, remainder
+    /// train).
+    pub fn paper_scale(profile: &DatasetProfile, seed: u64) -> Self {
+        BundleConfig {
+            n_train: profile.n_rows.saturating_sub(2000).max(100),
+            n_val: 1000,
+            n_test: 1000,
+            seed,
+            second_cell_prob: 0.6,
+            repair: RepairOptions::default(),
+        }
+    }
+}
+
+/// Raw tables of one experiment instance.
+#[derive(Clone, Debug)]
+pub struct DatasetBundle {
+    /// Dataset name (Table 1 row).
+    pub name: String,
+    /// Ground-truth training table (complete).
+    pub clean_train: Table,
+    /// Dirty training table (missing values injected / real-style).
+    pub dirty_train: Table,
+    /// Complete validation table.
+    pub val: Table,
+    /// Complete test table.
+    pub test: Table,
+    /// Label column index.
+    pub label_col: usize,
+    /// Feature column indices.
+    pub feature_cols: Vec<usize>,
+}
+
+/// Build a bundle from a profile: generate, split, inject.
+pub fn make_bundle(profile: &DatasetProfile, cfg: &BundleConfig) -> DatasetBundle {
+    let total = cfg.n_train + cfg.n_val + cfg.n_test;
+    let mut sized = profile.clone();
+    sized.n_rows = total;
+    let full = sized.generate(cfg.seed);
+    let parts = shuffle_split(total, &[cfg.n_train, cfg.n_val, cfg.n_test], cfg.seed ^ 0x51);
+    let clean_train = full.select_rows(&parts[0]);
+    let val = full.select_rows(&parts[1]);
+    let test = full.select_rows(&parts[2]);
+    let label_col = profile.label_col();
+    let feature_cols: Vec<usize> = (0..profile.n_features()).collect();
+
+    let dirty_train = match &profile.missing {
+        MissingSpec::RealStyle { cols, row_rate } => {
+            let col_idx: Vec<usize> = cols
+                .iter()
+                .map(|name| {
+                    clean_train
+                        .schema()
+                        .index_of(name)
+                        .unwrap_or_else(|| panic!("unknown real-style column {name}"))
+                })
+                .collect();
+            inject_real_style(&clean_train, &col_idx, *row_rate, cfg.seed ^ 0xd1)
+        }
+        MissingSpec::Mnar { row_rate } => inject_mnar(
+            &clean_train,
+            &feature_cols,
+            label_col,
+            *row_rate,
+            cfg.second_cell_prob,
+            cfg.seed ^ 0xd1,
+        ),
+    };
+
+    DatasetBundle {
+        name: profile.name.clone(),
+        clean_train,
+        dirty_train,
+        val,
+        test,
+        label_col,
+        feature_cols,
+    }
+}
+
+/// A bundle encoded and ready for CP queries and cleaning experiments.
+#[derive(Clone, Debug)]
+pub struct PreparedDataset {
+    /// Dataset name.
+    pub name: String,
+    /// The incomplete dataset + repair bookkeeping (from the dirty train
+    /// table).
+    pub table_dataset: TableDataset,
+    /// Ground-truth candidate index per training row (`None` for clean
+    /// rows): the candidate closest to the clean cell values — what the
+    /// simulated human returns when asked to clean that row.
+    pub truth_choice: Vec<Option<usize>>,
+    /// Default-imputation candidate index per training row (`None` for clean
+    /// rows): the candidate closest to the mean/mode-imputed cell values.
+    /// Used to materialize "any world" for rows not yet cleaned, so the
+    /// zero-cleaning world coincides with the Default Cleaning baseline.
+    pub default_choice: Vec<Option<usize>>,
+    /// Ground-truth training features (encoded clean train table).
+    pub gt_train_x: Vec<Vec<f64>>,
+    /// Validation features/labels (complete).
+    pub val_x: Vec<Vec<f64>>,
+    /// Validation labels.
+    pub val_y: Vec<usize>,
+    /// Test features/labels (complete).
+    pub test_x: Vec<Vec<f64>>,
+    /// Test labels.
+    pub test_y: Vec<usize>,
+    /// The fitted feature encoder (fit on the dirty train's observed cells).
+    pub encoder: Encoder,
+    /// Number of classes.
+    pub n_labels: usize,
+}
+
+/// Encode a bundle.
+pub fn prepare(bundle: &DatasetBundle, repair: &RepairOptions) -> PreparedDataset {
+    let space = build_repair_space(&bundle.dirty_train, repair);
+    let encoder = Encoder::fit(&bundle.dirty_train, &bundle.feature_cols, Some(&space));
+    let table_dataset = build_incomplete_dataset(
+        &bundle.dirty_train,
+        bundle.label_col,
+        &encoder,
+        &space,
+        repair,
+    );
+
+    // shared label map: class names must align across train/val/test
+    let class_names = &table_dataset.class_names;
+    let to_labels = |t: &Table| -> Vec<usize> {
+        t.rows()
+            .iter()
+            .map(|row| {
+                let name = row[bundle.label_col].to_string();
+                class_names
+                    .iter()
+                    .position(|n| *n == name)
+                    .unwrap_or_else(|| panic!("label {name:?} unseen in training data"))
+            })
+            .collect()
+    };
+
+    // per-column scale for the oracle's closest-candidate distance
+    let col_scale: Vec<f64> = (0..bundle.dirty_train.n_cols())
+        .map(|c| match ColumnStats::compute(&bundle.dirty_train, c) {
+            Some(ColumnStats::Numeric { std, .. }) if std > 0.0 => std,
+            _ => 1.0,
+        })
+        .collect();
+    let truth_choice: Vec<Option<usize>> = table_dataset
+        .assignments
+        .iter()
+        .enumerate()
+        .map(|(r, a)| {
+            a.as_ref()
+                .map(|ra| closest_candidate(ra, bundle.clean_train.row(r), &col_scale))
+        })
+        .collect();
+    let default_imputed = cp_table::default_clean(&bundle.dirty_train);
+    let default_choice: Vec<Option<usize>> = table_dataset
+        .assignments
+        .iter()
+        .enumerate()
+        .map(|(r, a)| {
+            a.as_ref()
+                .map(|ra| closest_candidate(ra, default_imputed.row(r), &col_scale))
+        })
+        .collect();
+
+    PreparedDataset {
+        name: bundle.name.clone(),
+        gt_train_x: encoder.encode_table(&bundle.clean_train),
+        val_x: encoder.encode_table(&bundle.val),
+        val_y: to_labels(&bundle.val),
+        test_x: encoder.encode_table(&bundle.test),
+        test_y: to_labels(&bundle.test),
+        n_labels: table_dataset.class_names.len().max(2),
+        truth_choice,
+        default_choice,
+        table_dataset,
+        encoder,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::{babyproduct, bank};
+
+    fn small_cfg(seed: u64) -> BundleConfig {
+        BundleConfig {
+            n_train: 80,
+            n_val: 30,
+            n_test: 40,
+            seed,
+            second_cell_prob: 0.2,
+            repair: RepairOptions::default(),
+        }
+    }
+
+    #[test]
+    fn bundle_shapes_and_cleanliness() {
+        let b = make_bundle(&bank(), &small_cfg(3));
+        assert_eq!(b.clean_train.n_rows(), 80);
+        assert_eq!(b.val.n_rows(), 30);
+        assert_eq!(b.test.n_rows(), 40);
+        assert!(b.clean_train.rows_with_missing().is_empty());
+        assert!(b.val.rows_with_missing().is_empty());
+        assert!(b.test.rows_with_missing().is_empty());
+        assert!((b.dirty_train.missing_row_rate() - 0.2).abs() < 0.05);
+    }
+
+    #[test]
+    fn real_style_profile_blanks_brand_only() {
+        let b = make_bundle(&babyproduct(), &small_cfg(5));
+        let brand = b.dirty_train.schema().index_of("brand").unwrap();
+        for r in b.dirty_train.rows_with_missing() {
+            assert_eq!(b.dirty_train.missing_cols_in_row(r), vec![brand]);
+        }
+    }
+
+    #[test]
+    fn prepared_dataset_is_consistent() {
+        let cfg = small_cfg(7);
+        let b = make_bundle(&bank(), &cfg);
+        let p = prepare(&b, &cfg.repair);
+        assert_eq!(p.table_dataset.dataset.len(), 80);
+        assert_eq!(p.gt_train_x.len(), 80);
+        assert_eq!(p.val_x.len(), 30);
+        assert_eq!(p.test_x.len(), 40);
+        assert_eq!(p.n_labels, 2);
+        // truth choices exist exactly for dirty rows
+        for (r, choice) in p.truth_choice.iter().enumerate() {
+            assert_eq!(
+                choice.is_some(),
+                p.table_dataset.assignments[r].is_some(),
+                "row {r}"
+            );
+            if let Some(j) = choice {
+                assert!(*j < p.table_dataset.dataset.set_size(r));
+            }
+        }
+        // feature dimensions line up everywhere
+        let dim = p.encoder.dim();
+        assert!(p.gt_train_x.iter().all(|x| x.len() == dim));
+        assert!(p.val_x.iter().all(|x| x.len() == dim));
+        assert_eq!(p.table_dataset.dataset.dim(), dim);
+    }
+
+    #[test]
+    fn bundles_are_deterministic() {
+        let a = make_bundle(&bank(), &small_cfg(9));
+        let b = make_bundle(&bank(), &small_cfg(9));
+        assert_eq!(a.dirty_train, b.dirty_train);
+        assert_eq!(a.val, b.val);
+    }
+
+    #[test]
+    fn ground_truth_model_beats_default_clean_shape() {
+        // the premise of the whole evaluation: training on ground truth beats
+        // training on default-cleaned data (there is a gap to close)
+        let cfg = BundleConfig {
+            n_train: 150,
+            n_val: 50,
+            n_test: 120,
+            seed: 21,
+            second_cell_prob: 0.2,
+            repair: RepairOptions::default(),
+        };
+        let b = make_bundle(&bank(), &cfg);
+        let p = prepare(&b, &cfg.repair);
+        let labels = &p.table_dataset.labels;
+        let gt = cp_knn::KnnClassifier::new(3).fit(p.gt_train_x.clone(), labels.clone(), 2);
+        let acc_gt = gt.accuracy(&p.test_x, &p.test_y);
+        assert!(acc_gt > 0.6, "ground-truth accuracy {acc_gt} too low");
+    }
+}

@@ -1,0 +1,21 @@
+//! # cp-datasets — dataset substrate for the evaluation
+//!
+//! The paper evaluates on four datasets (Table 1): BabyProduct (real missing
+//! values), Supreme, Bank and Puma (synthetic MNAR injection at 20%). The
+//! originals cannot ship with this repository, so [`profiles`] provides
+//! seeded class-conditional generators matching each dataset's shape, and
+//! [`mnar`] reproduces the paper's injection procedure faithfully (feature
+//! importance by accuracy-loss-after-removal → missingness probability).
+//! [`bundle`] assembles the experiment setup of §5.1: dirty training set,
+//! ground truth, complete validation and test sets, encoded and bridged into
+//! a [`cp_core::IncompleteDataset`].
+
+pub mod bundle;
+pub mod mnar;
+pub mod profiles;
+pub mod split;
+
+pub use bundle::{make_bundle, prepare, BundleConfig, DatasetBundle, PreparedDataset};
+pub use mnar::{feature_importance, inject_mnar, inject_real_style};
+pub use profiles::{all_profiles, babyproduct, bank, puma, supreme, DatasetProfile};
+pub use split::shuffle_split;

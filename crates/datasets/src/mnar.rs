@@ -1,0 +1,287 @@
+//! Missing-value injection.
+//!
+//! Reproduces §5.1's procedure: "We follow the popular 'Missing Not At
+//! Random' assumption, where the probability of missing may be higher for
+//! more sensitive/important attributes. We first assess the relative
+//! importance of each feature in a classification task (by measuring the
+//! accuracy loss after removing a feature), and use the relative feature
+//! importance as the relative probability of a feature missing."
+
+use cp_table::{extract_labels, Encoder, Table, Value};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Feature importance by accuracy-loss-after-removal, measured with a 3-NN
+/// on a train/holdout split of the (complete) table.
+///
+/// Returns one non-negative weight per feature column (floored at a small
+/// epsilon so every feature keeps a non-zero chance of going missing).
+pub fn feature_importance(
+    table: &Table,
+    feature_cols: &[usize],
+    label_col: usize,
+    seed: u64,
+) -> Vec<f64> {
+    let (labels, names) = extract_labels(table, label_col);
+    let n_labels = names.len().max(2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    // subsample for speed; importance only needs relative magnitudes
+    let mut order: Vec<usize> = (0..table.n_rows()).collect();
+    order.shuffle(&mut rng);
+    order.truncate(400.min(order.len()));
+    let split = (order.len() * 2) / 3;
+    let (train_idx, eval_idx) = order.split_at(split.max(1));
+    if eval_idx.is_empty() {
+        return vec![1.0; feature_cols.len()];
+    }
+
+    let accuracy_with = |cols: &[usize]| -> f64 {
+        let enc = Encoder::fit(table, cols, None);
+        let train_x: Vec<Vec<f64>> =
+            train_idx.iter().map(|&r| enc.encode_row(table.row(r), &[])).collect();
+        let train_y: Vec<usize> = train_idx.iter().map(|&r| labels[r]).collect();
+        let eval_x: Vec<Vec<f64>> =
+            eval_idx.iter().map(|&r| enc.encode_row(table.row(r), &[])).collect();
+        let eval_y: Vec<usize> = eval_idx.iter().map(|&r| labels[r]).collect();
+        cp_knn::KnnClassifier::new(3)
+            .fit(train_x, train_y, n_labels)
+            .accuracy(&eval_x, &eval_y)
+    };
+
+    let full = accuracy_with(feature_cols);
+    feature_cols
+        .iter()
+        .map(|&drop| {
+            let reduced: Vec<usize> =
+                feature_cols.iter().copied().filter(|&c| c != drop).collect();
+            if reduced.is_empty() {
+                return 1.0;
+            }
+            (full - accuracy_with(&reduced)).max(0.005)
+        })
+        .collect()
+}
+
+/// Inject MNAR missing values: `row_rate` of the rows are made dirty; each
+/// dirty row blanks one feature cell drawn with probability proportional to
+/// feature importance, plus a second cell with probability
+/// `second_cell_prob` and a third with half that probability — exercising
+/// the Cartesian-product repair path.
+///
+/// Returns the dirtied copy; the input is the ground truth.
+pub fn inject_mnar(
+    table: &Table,
+    feature_cols: &[usize],
+    label_col: usize,
+    row_rate: f64,
+    second_cell_prob: f64,
+    seed: u64,
+) -> Table {
+    assert!((0.0..=1.0).contains(&row_rate));
+    let importance = feature_importance(table, feature_cols, label_col, seed ^ 0x5eed);
+    inject_with_weights(table, feature_cols, &importance, row_rate, second_cell_prob, seed)
+}
+
+/// Inject "real-style" missingness: `row_rate` of the rows blank one cell
+/// drawn uniformly among `cols` (BabyProduct's scraped-column regime).
+pub fn inject_real_style(
+    table: &Table,
+    cols: &[usize],
+    row_rate: f64,
+    seed: u64,
+) -> Table {
+    let weights = vec![1.0; cols.len()];
+    inject_with_weights(table, cols, &weights, row_rate, 0.0, seed)
+}
+
+fn inject_with_weights(
+    table: &Table,
+    cols: &[usize],
+    weights: &[f64],
+    row_rate: f64,
+    second_cell_prob: f64,
+    seed: u64,
+) -> Table {
+    assert_eq!(cols.len(), weights.len());
+    assert!(!cols.is_empty(), "need at least one target column");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut dirty = table.clone();
+    let n_dirty = (table.n_rows() as f64 * row_rate).round() as usize;
+
+    // MNAR is value-dependent (§5.1's example: "high income people are more
+    // likely to not report their income"): within the importance-chosen
+    // column, rows with tail values are more likely to go missing. Blanked
+    // cells are therefore systematically far from the column mean, which is
+    // what makes default (mean/mode) imputation *biased*, not just noisy.
+    let tail = tail_weights(table, cols);
+    let mut available: Vec<bool> = vec![true; table.n_rows()];
+    for _ in 0..n_dirty {
+        let ci = sample_weighted(&mut rng, weights);
+        let col = cols[ci];
+        let row_weights: Vec<f64> = (0..table.n_rows())
+            .map(|r| if available[r] { tail[ci][r] } else { 0.0 })
+            .collect();
+        if row_weights.iter().sum::<f64>() <= 0.0 {
+            break;
+        }
+        let r = sample_weighted(&mut rng, &row_weights);
+        available[r] = false;
+        dirty.set(r, col, Value::Null);
+        let mut blanked = vec![col];
+        for extra_prob in [second_cell_prob, second_cell_prob * 0.5] {
+            if blanked.len() >= cols.len() || rng.gen::<f64>() >= extra_prob {
+                break;
+            }
+            // draw a distinct additional column
+            loop {
+                let c = cols[sample_weighted(&mut rng, weights)];
+                if !blanked.contains(&c) {
+                    dirty.set(r, c, Value::Null);
+                    blanked.push(c);
+                    break;
+                }
+            }
+        }
+    }
+    dirty
+}
+
+/// Per-(column, row) missingness propensity: numeric cells weighted by how
+/// far they sit in the column's **upper tail** (the paper's §5.1 example:
+/// "high income people are more likely to not report their income" — the
+/// under-reporting is one-sided, which is precisely what biases the observed
+/// column statistics and makes mean-imputation systematically wrong rather
+/// than merely noisy); categorical cells by inverse category frequency (rare
+/// values under-reported — BabyProduct's niche brands).
+fn tail_weights(table: &Table, cols: &[usize]) -> Vec<Vec<f64>> {
+    cols.iter()
+        .enumerate()
+        .map(|(ci, &c)| {
+            // which tail is "sensitive" differs per attribute (income: high
+            // side; grades: low side); alternate deterministically so that no
+            // single global repair statistic (min/mean/max) can undo the bias
+            // across all columns at once
+            let sign = if ci % 2 == 0 { 1.0 } else { -1.0 };
+            let numeric: Vec<Option<f64>> =
+                (0..table.n_rows()).map(|r| table.get(r, c).as_num()).collect();
+            let observed: Vec<f64> = numeric.iter().filter_map(|v| *v).collect();
+            if !observed.is_empty() {
+                let median =
+                    cp_numeric::stats::percentile(&observed, 50.0).unwrap_or(0.0);
+                let scale = cp_numeric::stats::std_dev(&observed).unwrap_or(1.0).max(1e-9);
+                (0..table.n_rows())
+                    .map(|r| match numeric[r] {
+                        Some(v) => {
+                            let z = (sign * (v - median) / scale).max(0.0);
+                            1e-3 + z * z
+                        }
+                        None => 1e-3,
+                    })
+                    .collect()
+            } else {
+                // categorical: inverse frequency
+                let mut counts: std::collections::HashMap<&str, usize> =
+                    std::collections::HashMap::new();
+                for r in 0..table.n_rows() {
+                    if let Some(cat) = table.get(r, c).as_cat() {
+                        *counts.entry(cat).or_insert(0) += 1;
+                    }
+                }
+                (0..table.n_rows())
+                    .map(|r| match table.get(r, c).as_cat() {
+                        Some(cat) => 1.0 / (*counts.get(cat).unwrap_or(&1) as f64),
+                        None => 1e-3,
+                    })
+                    .collect()
+            }
+        })
+        .collect()
+}
+
+fn sample_weighted(rng: &mut StdRng, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    let mut u: f64 = rng.gen::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        if u < w {
+            return i;
+        }
+        u -= w;
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::{bank, supreme};
+
+    #[test]
+    fn importance_favors_informative_features() {
+        // supreme's first feature has the widest class separation
+        let p = supreme().scaled(0.08);
+        let t = p.generate(11);
+        let cols: Vec<usize> = (0..p.n_features()).collect();
+        let imp = feature_importance(&t, &cols, p.label_col(), 1);
+        assert_eq!(imp.len(), cols.len());
+        assert!(imp.iter().all(|&w| w > 0.0));
+        let best = imp
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        // the top-importance feature should be one of the two most separated
+        assert!(best <= 1, "unexpected most-important feature {best} ({imp:?})");
+    }
+
+    #[test]
+    fn mnar_hits_requested_row_rate() {
+        let p = bank().scaled(0.1);
+        let t = p.generate(5);
+        let cols: Vec<usize> = (0..p.n_features()).collect();
+        let dirty = inject_mnar(&t, &cols, p.label_col(), 0.2, 0.0, 9);
+        let rate = dirty.missing_row_rate();
+        assert!((rate - 0.2).abs() < 0.01, "rate {rate}");
+        // ground truth untouched
+        assert!(t.rows_with_missing().is_empty());
+        // labels never blanked
+        for r in 0..dirty.n_rows() {
+            assert!(!dirty.get(r, p.label_col()).is_null());
+        }
+    }
+
+    #[test]
+    fn second_cell_probability_creates_multi_missing_rows() {
+        let p = bank().scaled(0.1);
+        let t = p.generate(5);
+        let cols: Vec<usize> = (0..p.n_features()).collect();
+        let dirty = inject_mnar(&t, &cols, p.label_col(), 0.3, 0.5, 9);
+        let multi = dirty
+            .rows_with_missing()
+            .iter()
+            .filter(|&&r| dirty.missing_cols_in_row(r).len() > 1)
+            .count();
+        assert!(multi > 0, "expected some rows with two missing cells");
+    }
+
+    #[test]
+    fn real_style_targets_named_columns_only() {
+        let p = bank().scaled(0.1);
+        let t = p.generate(6);
+        let dirty = inject_real_style(&t, &[6], 0.15, 3);
+        for r in dirty.rows_with_missing() {
+            assert_eq!(dirty.missing_cols_in_row(r), vec![6]);
+        }
+        assert!((dirty.missing_row_rate() - 0.15).abs() < 0.01);
+    }
+
+    #[test]
+    fn injection_is_deterministic() {
+        let p = bank().scaled(0.05);
+        let t = p.generate(5);
+        let cols: Vec<usize> = (0..p.n_features()).collect();
+        let a = inject_mnar(&t, &cols, p.label_col(), 0.2, 0.2, 17);
+        let b = inject_mnar(&t, &cols, p.label_col(), 0.2, 0.2, 17);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,454 @@
+//! Seeded synthetic dataset profiles matching the paper's Table 1.
+//!
+//! The originals (BabyProduct from the Magellan repository; Supreme, Bank and
+//! Puma from Simonoff / the Delve collection) cannot be redistributed here,
+//! so each profile is a class-conditional generator reproducing the shape the
+//! experiments depend on: row/feature counts, numeric/categorical mix, a
+//! learnable-but-imperfect decision boundary, and the error type of Table 1
+//! ("real"-style missingness concentrated on one informative column for
+//! BabyProduct; synthetic MNAR for the rest — injected by
+//! [`crate::mnar`]). See DESIGN.md §3 for the substitution rationale.
+
+use cp_table::{Column, ColumnType, Schema, Table, Value};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// How one feature is generated, conditioned on the binary class.
+#[derive(Clone, Debug)]
+pub enum FeatureKind {
+    /// Gaussian with per-class means and standard deviations. Mean
+    /// separation controls informativeness; *asymmetric* deviations make the
+    /// column mean land inside one class's territory — the property that
+    /// makes mean-imputation of real skewed data actively misleading.
+    Gaussian {
+        /// Mean for class 0 and class 1.
+        means: [f64; 2],
+        /// Standard deviation for class 0 and class 1.
+        stds: [f64; 2],
+    },
+    /// Categorical with per-class distributions over the category list.
+    Categorical {
+        /// Category names.
+        categories: Vec<String>,
+        /// Per-class probabilities, one row per class, aligned with
+        /// `categories` (each row sums to 1).
+        probs: [Vec<f64>; 2],
+    },
+    /// Discrete numeric: class-conditional distribution over a few numeric
+    /// levels plus small jitter. Real tabular attributes are mostly
+    /// discrete/quantized (votes, counts, codes, buckets); the geometry
+    /// matters because a mean-imputed cell then sits *between* levels, in
+    /// otherwise-empty space, where it can enter many test points'
+    /// neighborhoods — the mechanism behind the paper's large
+    /// default-cleaning losses.
+    DiscreteNumeric {
+        /// The attainable levels.
+        levels: Vec<f64>,
+        /// Per-class probabilities over `levels`.
+        probs: [Vec<f64>; 2],
+        /// Std of the Gaussian jitter added on top of the level.
+        jitter: f64,
+    },
+}
+
+/// A named feature.
+#[derive(Clone, Debug)]
+pub struct FeatureSpec {
+    /// Column name.
+    pub name: String,
+    /// Generator.
+    pub kind: FeatureKind,
+}
+
+impl FeatureSpec {
+    /// A Gaussian feature with a class-shared standard deviation.
+    pub fn gaussian(name: &str, mean0: f64, mean1: f64, std: f64) -> Self {
+        FeatureSpec {
+            name: name.to_string(),
+            kind: FeatureKind::Gaussian { means: [mean0, mean1], stds: [std, std] },
+        }
+    }
+
+    /// A skewed Gaussian feature: per-class mean and deviation.
+    pub fn gaussian_skewed(name: &str, mean0: f64, std0: f64, mean1: f64, std1: f64) -> Self {
+        FeatureSpec {
+            name: name.to_string(),
+            kind: FeatureKind::Gaussian { means: [mean0, mean1], stds: [std0, std1] },
+        }
+    }
+
+    /// A discrete numeric feature with per-class level weights (normalized
+    /// internally).
+    pub fn discrete(name: &str, levels: &[f64], w0: &[f64], w1: &[f64], jitter: f64) -> Self {
+        assert_eq!(levels.len(), w0.len());
+        assert_eq!(levels.len(), w1.len());
+        let norm = |w: &[f64]| {
+            let s: f64 = w.iter().sum();
+            w.iter().map(|x| x / s).collect::<Vec<f64>>()
+        };
+        FeatureSpec {
+            name: name.to_string(),
+            kind: FeatureKind::DiscreteNumeric {
+                levels: levels.to_vec(),
+                probs: [norm(w0), norm(w1)],
+                jitter,
+            },
+        }
+    }
+
+    /// A categorical feature with per-class category weights (normalized
+    /// internally).
+    pub fn categorical(name: &str, categories: &[&str], w0: &[f64], w1: &[f64]) -> Self {
+        assert_eq!(categories.len(), w0.len());
+        assert_eq!(categories.len(), w1.len());
+        let norm = |w: &[f64]| {
+            let s: f64 = w.iter().sum();
+            w.iter().map(|x| x / s).collect::<Vec<f64>>()
+        };
+        FeatureSpec {
+            name: name.to_string(),
+            kind: FeatureKind::Categorical {
+                categories: categories.iter().map(|s| s.to_string()).collect(),
+                probs: [norm(w0), norm(w1)],
+            },
+        }
+    }
+}
+
+/// Missingness regime (Table 1's "Error Type").
+#[derive(Clone, Debug, PartialEq)]
+pub enum MissingSpec {
+    /// "Real"-style: missing values concentrated on specific columns
+    /// (BabyProduct's scraped `brand`), independent of the label.
+    RealStyle {
+        /// Names of the affected columns.
+        cols: Vec<String>,
+        /// Fraction of rows made dirty.
+        row_rate: f64,
+    },
+    /// Synthetic MNAR: rows chosen uniformly, the blanked cell chosen with
+    /// probability proportional to measured feature importance (§5.1).
+    Mnar {
+        /// Fraction of rows made dirty.
+        row_rate: f64,
+    },
+}
+
+/// A full dataset profile (one row of the paper's Table 1).
+#[derive(Clone, Debug)]
+pub struct DatasetProfile {
+    /// Dataset name.
+    pub name: String,
+    /// Total example count before splitting.
+    pub n_rows: usize,
+    /// Label column name.
+    pub label_name: String,
+    /// The two class names.
+    pub class_names: [String; 2],
+    /// Prior probability of class 1.
+    pub positive_rate: f64,
+    /// Feature generators.
+    pub features: Vec<FeatureSpec>,
+    /// Probability of flipping a generated label (bounds achievable
+    /// accuracy, like real data does).
+    pub label_noise: f64,
+    /// Missingness regime.
+    pub missing: MissingSpec,
+}
+
+impl DatasetProfile {
+    /// Scale the row count (experiments run reduced sizes by default; scale
+    /// 1.0 reproduces the Table 1 row counts).
+    pub fn scaled(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0);
+        self.n_rows = ((self.n_rows as f64 * factor).round() as usize).max(40);
+        self
+    }
+
+    /// Number of feature columns (Table 1's `#Features`).
+    pub fn n_features(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Generate the complete (ground-truth) table, labels in the last column.
+    pub fn generate(&self, seed: u64) -> Table {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut columns: Vec<Column> = self
+            .features
+            .iter()
+            .map(|f| {
+                let ty = match f.kind {
+                    FeatureKind::Gaussian { .. } | FeatureKind::DiscreteNumeric { .. } => {
+                        ColumnType::Numeric
+                    }
+                    FeatureKind::Categorical { .. } => ColumnType::Categorical,
+                };
+                Column::new(f.name.clone(), ty)
+            })
+            .collect();
+        columns.push(Column::new(self.label_name.clone(), ColumnType::Categorical));
+        let schema = Schema::new(columns);
+
+        let mut rows = Vec::with_capacity(self.n_rows);
+        for _ in 0..self.n_rows {
+            let class = usize::from(rng.gen::<f64>() < self.positive_rate);
+            let mut row: Vec<Value> = self
+                .features
+                .iter()
+                .map(|f| match &f.kind {
+                    FeatureKind::Gaussian { means, stds } => {
+                        Value::Num(means[class] + stds[class] * gauss(&mut rng))
+                    }
+                    FeatureKind::Categorical { categories, probs } => {
+                        Value::Cat(categories[sample_discrete(&mut rng, &probs[class])].clone())
+                    }
+                    FeatureKind::DiscreteNumeric { levels, probs, jitter } => {
+                        let level = levels[sample_discrete(&mut rng, &probs[class])];
+                        Value::Num(level + jitter * gauss(&mut rng))
+                    }
+                })
+                .collect();
+            let observed = if rng.gen::<f64>() < self.label_noise {
+                1 - class
+            } else {
+                class
+            };
+            row.push(Value::Cat(self.class_names[observed].clone()));
+            rows.push(row);
+        }
+        Table::new(schema, rows)
+    }
+
+    /// Index of the label column in generated tables.
+    pub fn label_col(&self) -> usize {
+        self.features.len()
+    }
+}
+
+/// Standard normal via Box–Muller.
+fn gauss(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+fn sample_discrete(rng: &mut StdRng, probs: &[f64]) -> usize {
+    let mut u: f64 = rng.gen();
+    for (i, &p) in probs.iter().enumerate() {
+        if u < p {
+            return i;
+        }
+        u -= p;
+    }
+    probs.len() - 1
+}
+
+/// **BabyProduct** profile (Table 1: real errors, 3042 rows, 7 features,
+/// 11.8% missing): predict high vs low price from product attributes; the
+/// scraped `brand` column carries the missing values.
+pub fn babyproduct() -> DatasetProfile {
+    DatasetProfile {
+        name: "BabyProduct".to_string(),
+        n_rows: 3042,
+        label_name: "price_class".to_string(),
+        class_names: ["low".to_string(), "high".to_string()],
+        positive_rate: 0.45,
+        features: vec![
+            // side features carry only weak signal: the scraped brand column
+            // dominates the price class, so losing it hurts
+            FeatureSpec::gaussian_skewed("weight_lb", 5.4, 1.6, 6.6, 3.4),
+            FeatureSpec::gaussian("length_in", 17.3, 18.2, 5.5),
+            FeatureSpec::gaussian("width_in", 11.4, 11.6, 4.0),
+            FeatureSpec::gaussian("height_in", 9.0, 9.2, 3.5),
+            FeatureSpec::gaussian("title_len", 47.0, 49.0, 14.0),
+            // brand is dominant: premium brands almost exclusively class 1
+            FeatureSpec::categorical(
+                "brand",
+                &["JustBorn", "Graco", "Chicco", "Summer", "Badger", "Delta", "Dream", "Trend"],
+                &[0.2, 3.0, 0.2, 3.0, 2.5, 3.0, 0.1, 2.2],
+                &[3.0, 0.2, 3.0, 0.1, 0.1, 0.2, 2.8, 0.2],
+            ),
+            FeatureSpec::categorical(
+                "category",
+                &["bedding", "stroller", "safety", "feeding", "bath"],
+                &[2.2, 1.2, 2.0, 2.0, 1.8],
+                &[1.6, 2.4, 1.6, 1.4, 1.4],
+            ),
+        ],
+        label_noise: 0.12,
+        missing: MissingSpec::RealStyle { cols: vec!["brand".to_string()], row_rate: 0.118 },
+    }
+}
+
+/// **Supreme** profile (Table 1: synthetic errors, 3052 rows, 7 features,
+/// 20% missing): court-decision style with all-numeric features.
+pub fn supreme() -> DatasetProfile {
+    DatasetProfile {
+        name: "Supreme".to_string(),
+        n_rows: 3052,
+        label_name: "decision".to_string(),
+        class_names: ["reverse".to_string(), "affirm".to_string()],
+        positive_rate: 0.5,
+        features: vec![
+            // discrete court attributes (directions, codes, vote counts):
+            // two dominant, the rest weak. Mean imputation parks a cell
+            // between levels, in empty space near many neighborhoods.
+            FeatureSpec::discrete("liberal_direction", &[-1.0, 1.0], &[9.0, 1.0], &[1.0, 9.0], 0.03),
+            FeatureSpec::discrete("lower_court", &[-1.0, 1.0], &[1.0, 3.5], &[3.5, 1.0], 0.03),
+            FeatureSpec::discrete("petitioner_type", &[0.0, 1.0, 2.0], &[2.0, 2.0, 1.0], &[1.0, 2.0, 2.0], 0.03),
+            FeatureSpec::discrete("respondent_type", &[0.0, 1.0, 2.0], &[1.0, 2.0, 2.0], &[2.0, 2.0, 1.0], 0.03),
+            FeatureSpec::discrete("issue_area", &[0.0, 1.0, 2.0, 3.0], &[1.0, 1.2, 1.0, 0.8], &[0.8, 1.0, 1.2, 1.0], 0.03),
+            FeatureSpec::discrete("term_quarter", &[0.0, 1.0, 2.0, 3.0], &[1.0, 1.0, 1.0, 1.0], &[1.0, 1.1, 1.0, 0.9], 0.03),
+            FeatureSpec::discrete("cert_reason", &[0.0, 1.0, 2.0], &[1.1, 1.0, 0.9], &[0.9, 1.0, 1.1], 0.03),
+        ],
+        label_noise: 0.02,
+        missing: MissingSpec::Mnar { row_rate: 0.20 },
+    }
+}
+
+/// **Bank** profile (Table 1: synthetic errors, 3192 rows, 8 features,
+/// 20% missing): marketing-style mixed numeric/categorical features.
+pub fn bank() -> DatasetProfile {
+    DatasetProfile {
+        name: "Bank".to_string(),
+        n_rows: 3192,
+        label_name: "subscribed".to_string(),
+        class_names: ["no".to_string(), "yes".to_string()],
+        positive_rate: 0.42,
+        features: vec![
+            // quantized marketing attributes: call-duration bucket
+            // dominates (as in the real bank-marketing data), balance
+            // bucket is secondary, the rest weak
+            FeatureSpec::gaussian("age", 41.5, 42.5, 11.0),
+            FeatureSpec::discrete("balance_bucket", &[0.0, 1.0, 2.0, 3.0], &[2.4, 2.6, 2.0, 1.0], &[1.6, 2.2, 2.4, 1.8], 0.05),
+            FeatureSpec::discrete("duration_bucket", &[0.0, 1.0, 2.0, 3.0], &[6.0, 3.0, 0.8, 0.2], &[0.3, 0.9, 3.0, 5.8], 0.05),
+            FeatureSpec::discrete("campaign", &[1.0, 2.0, 3.0, 5.0], &[0.4, 0.8, 1.6, 2.2], &[2.4, 1.6, 0.7, 0.3], 0.05),
+            FeatureSpec::discrete("pdays_bucket", &[0.0, 1.0, 2.0], &[1.2, 1.0, 0.8], &[1.0, 1.0, 1.0], 0.05),
+            FeatureSpec::discrete("previous", &[0.0, 1.0, 2.0], &[1.3, 1.0, 0.7], &[1.0, 1.0, 1.0], 0.05),
+            FeatureSpec::categorical(
+                "job",
+                &["admin", "blue-collar", "technician", "services", "management", "retired"],
+                &[2.0, 2.6, 2.0, 2.0, 1.2, 0.8],
+                &[2.0, 1.4, 1.8, 1.4, 2.2, 1.4],
+            ),
+            FeatureSpec::categorical(
+                "marital",
+                &["married", "single", "divorced"],
+                &[3.0, 1.6, 1.0],
+                &[2.4, 2.2, 0.9],
+            ),
+        ],
+        label_noise: 0.14,
+        missing: MissingSpec::Mnar { row_rate: 0.20 },
+    }
+}
+
+/// **Puma** profile (Table 1: synthetic errors, 8192 rows, 8 features,
+/// 20% missing): robot-arm dynamics (the Delve pumadyn family) — all numeric,
+/// moderately nonlinear, noisier labels.
+pub fn puma() -> DatasetProfile {
+    DatasetProfile {
+        name: "Puma".to_string(),
+        n_rows: 8192,
+        label_name: "accel_class".to_string(),
+        class_names: ["low".to_string(), "high".to_string()],
+        positive_rate: 0.5,
+        features: vec![
+            // two skewed torque inputs dominate the arm acceleration; the
+            // rest of the state contributes marginally (pumadyn's fat-tailed
+            // relevance profile), with noisier labels overall
+            FeatureSpec::gaussian_skewed("tau1", -0.6, 0.4, 1.3, 1.3),
+            FeatureSpec::gaussian_skewed("tau2", 0.8, 1.1, -0.45, 0.35),
+            FeatureSpec::gaussian("theta1", -0.06, 0.06, 1.0),
+            FeatureSpec::gaussian("theta2", 0.05, -0.05, 1.1),
+            FeatureSpec::gaussian("thetad1", -0.04, 0.04, 1.1),
+            FeatureSpec::gaussian("thetad2", 0.04, -0.04, 1.2),
+            FeatureSpec::gaussian("dm", -0.03, 0.03, 1.2),
+            FeatureSpec::gaussian("da", 0.03, -0.03, 1.3),
+        ],
+        label_noise: 0.14,
+        missing: MissingSpec::Mnar { row_rate: 0.20 },
+    }
+}
+
+/// All four Table 1 profiles, in the paper's order.
+pub fn all_profiles() -> Vec<DatasetProfile> {
+    vec![babyproduct(), supreme(), bank(), puma()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_shapes() {
+        let expect = [
+            ("BabyProduct", 3042, 7),
+            ("Supreme", 3052, 7),
+            ("Bank", 3192, 8),
+            ("Puma", 8192, 8),
+        ];
+        for (profile, (name, rows, feats)) in all_profiles().iter().zip(expect) {
+            assert_eq!(profile.name, name);
+            assert_eq!(profile.n_rows, rows);
+            assert_eq!(profile.n_features(), feats);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let p = bank().scaled(0.05);
+        let a = p.generate(7);
+        let b = p.generate(7);
+        let c = p.generate(8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn generated_tables_are_complete_and_typed() {
+        for p in all_profiles() {
+            let p = p.scaled(0.03);
+            let t = p.generate(1);
+            assert_eq!(t.n_rows(), p.n_rows);
+            assert_eq!(t.n_cols(), p.n_features() + 1);
+            assert!(t.rows_with_missing().is_empty());
+            assert_eq!(t.schema().column(p.label_col()).name, p.label_name);
+        }
+    }
+
+    #[test]
+    fn both_classes_appear() {
+        let t = supreme().scaled(0.05).generate(3);
+        let (labels, names) = cp_table::extract_labels(&t, supreme().label_col());
+        assert_eq!(names.len(), 2);
+        let ones = labels.iter().filter(|&&l| l == 1).count();
+        assert!(ones > 10 && ones < labels.len() - 10);
+    }
+
+    #[test]
+    fn scaled_changes_row_count_only() {
+        let p = puma().scaled(0.1);
+        assert_eq!(p.n_rows, 819);
+        assert_eq!(p.n_features(), 8);
+    }
+
+    #[test]
+    fn features_are_class_informative() {
+        // sanity: a 3-NN on generated supreme data beats chance comfortably
+        let p = supreme().scaled(0.06);
+        let t = p.generate(42);
+        let (labels, _) = cp_table::extract_labels(&t, p.label_col());
+        let feature_cols: Vec<usize> = (0..p.n_features()).collect();
+        let enc = cp_table::Encoder::fit(&t, &feature_cols, None);
+        let x = enc.encode_table(&t);
+        let n_train = x.len() / 2;
+        let model = cp_knn::KnnClassifier::new(3).fit(
+            x[..n_train].to_vec(),
+            labels[..n_train].to_vec(),
+            2,
+        );
+        let acc = model.accuracy(&x[n_train..], &labels[n_train..]);
+        assert!(acc > 0.75, "accuracy {acc} too low for an informative profile");
+    }
+}

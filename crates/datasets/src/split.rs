@@ -1,0 +1,59 @@
+//! Seeded shuffling and splitting.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Shuffle `0..n` and split into consecutive parts of the given sizes.
+///
+/// # Panics
+/// Panics if the sizes sum to more than `n`.
+pub fn shuffle_split(n: usize, sizes: &[usize], seed: u64) -> Vec<Vec<usize>> {
+    let total: usize = sizes.iter().sum();
+    assert!(total <= n, "split sizes ({total}) exceed population ({n})");
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    order.shuffle(&mut rng);
+    let mut out = Vec::with_capacity(sizes.len());
+    let mut start = 0;
+    for &s in sizes {
+        out.push(order[start..start + s].to_vec());
+        start += s;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parts_are_disjoint_and_sized() {
+        let parts = shuffle_split(100, &[20, 30, 50], 1);
+        assert_eq!(parts[0].len(), 20);
+        assert_eq!(parts[1].len(), 30);
+        assert_eq!(parts[2].len(), 50);
+        let mut all: Vec<usize> = parts.concat();
+        all.sort_unstable();
+        let expected: Vec<usize> = (0..100).collect();
+        assert_eq!(all, expected);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(shuffle_split(50, &[10, 10], 7), shuffle_split(50, &[10, 10], 7));
+        assert_ne!(shuffle_split(50, &[10, 10], 7), shuffle_split(50, &[10, 10], 8));
+    }
+
+    #[test]
+    fn partial_split_leaves_remainder_out() {
+        let parts = shuffle_split(10, &[3], 1);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed population")]
+    fn oversized_split_rejected() {
+        shuffle_split(5, &[3, 3], 1);
+    }
+}

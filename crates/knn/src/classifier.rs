@@ -1,0 +1,222 @@
+//! A textbook KNN classifier over complete training data.
+//!
+//! This is the downstream model `A` of every experiment in the paper (§5.1:
+//! "We use a KNN classifier with K=3 and use Euclidean distance as the
+//! similarity function"). Training is lazy (KNN memorizes the data);
+//! prediction computes similarities, selects the top-K under the workspace's
+//! deterministic total order, and majority-votes.
+
+use crate::kernel::Kernel;
+use crate::topk::top_k_indices;
+use crate::vote::majority_label;
+use crate::Label;
+
+/// KNN classifier configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct KnnClassifier {
+    /// Number of neighbors (the paper's experiments use `k = 3`).
+    pub k: usize,
+    /// Similarity kernel.
+    pub kernel: Kernel,
+}
+
+impl KnnClassifier {
+    /// New classifier with the given `k` and the default (Euclidean) kernel.
+    pub fn new(k: usize) -> Self {
+        KnnClassifier { k, kernel: Kernel::default() }
+    }
+
+    /// New classifier with an explicit kernel.
+    pub fn with_kernel(k: usize, kernel: Kernel) -> Self {
+        KnnClassifier { k, kernel }
+    }
+
+    /// Memorize the training data.
+    ///
+    /// # Panics
+    /// Panics if the training set is empty, if `k == 0`, if feature vectors
+    /// have inconsistent dimensions, if any feature is non-finite, or if any
+    /// label is `>= n_labels`.
+    pub fn fit(&self, train_x: Vec<Vec<f64>>, train_y: Vec<Label>, n_labels: usize) -> FittedKnn {
+        assert!(self.k > 0, "k must be positive");
+        assert!(!train_x.is_empty(), "empty training set");
+        assert_eq!(train_x.len(), train_y.len(), "feature/label length mismatch");
+        assert!(n_labels > 0, "need at least one class");
+        let dim = train_x[0].len();
+        for (i, x) in train_x.iter().enumerate() {
+            assert_eq!(x.len(), dim, "inconsistent feature dimension at row {i}");
+            assert!(
+                x.iter().all(|v| v.is_finite()),
+                "non-finite feature at row {i}"
+            );
+        }
+        for (i, &y) in train_y.iter().enumerate() {
+            assert!(y < n_labels, "label out of range at row {i}");
+        }
+        FittedKnn {
+            config: *self,
+            train_x,
+            train_y,
+            n_labels,
+        }
+    }
+}
+
+/// A fitted KNN classifier (memorized training set).
+#[derive(Clone, Debug)]
+pub struct FittedKnn {
+    config: KnnClassifier,
+    train_x: Vec<Vec<f64>>,
+    train_y: Vec<Label>,
+    n_labels: usize,
+}
+
+impl FittedKnn {
+    /// Number of training examples.
+    pub fn len(&self) -> usize {
+        self.train_x.len()
+    }
+
+    /// Whether the training set is empty (never true for a fitted model).
+    pub fn is_empty(&self) -> bool {
+        self.train_x.is_empty()
+    }
+
+    /// Number of classes.
+    pub fn n_labels(&self) -> usize {
+        self.n_labels
+    }
+
+    /// Indices of the top-K training examples for a test point.
+    pub fn neighbors(&self, t: &[f64]) -> Vec<usize> {
+        let sims: Vec<f64> = self
+            .train_x
+            .iter()
+            .map(|x| self.config.kernel.similarity(x, t))
+            .collect();
+        top_k_indices(&sims, self.config.k)
+    }
+
+    /// Predicted label for a test point.
+    pub fn predict(&self, t: &[f64]) -> Label {
+        let neighbors = self.neighbors(t);
+        majority_label(neighbors.into_iter().map(|i| self.train_y[i]), self.n_labels)
+    }
+
+    /// Predictions for a batch of test points.
+    pub fn predict_batch(&self, tests: &[Vec<f64>]) -> Vec<Label> {
+        tests.iter().map(|t| self.predict(t)).collect()
+    }
+
+    /// Fraction of test points whose prediction matches the given labels.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ or the test set is empty.
+    pub fn accuracy(&self, tests: &[Vec<f64>], labels: &[Label]) -> f64 {
+        assert_eq!(tests.len(), labels.len(), "test feature/label mismatch");
+        assert!(!tests.is_empty(), "empty test set");
+        let correct = tests
+            .iter()
+            .zip(labels)
+            .filter(|(t, &y)| self.predict(t) == y)
+            .count();
+        correct as f64 / tests.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_cluster_data() -> (Vec<Vec<f64>>, Vec<Label>) {
+        let xs = vec![
+            vec![0.0, 0.0],
+            vec![0.1, 0.1],
+            vec![0.2, 0.0],
+            vec![5.0, 5.0],
+            vec![5.1, 4.9],
+            vec![4.9, 5.2],
+        ];
+        let ys = vec![0, 0, 0, 1, 1, 1];
+        (xs, ys)
+    }
+
+    #[test]
+    fn classifies_clusters() {
+        let (xs, ys) = two_cluster_data();
+        let model = KnnClassifier::new(3).fit(xs, ys, 2);
+        assert_eq!(model.predict(&[0.05, 0.05]), 0);
+        assert_eq!(model.predict(&[5.05, 5.0]), 1);
+    }
+
+    #[test]
+    fn k1_returns_nearest_label() {
+        let (xs, ys) = two_cluster_data();
+        let model = KnnClassifier::new(1).fit(xs, ys, 2);
+        assert_eq!(model.predict(&[4.0, 4.0]), 1);
+        assert_eq!(model.predict(&[1.0, 1.0]), 0);
+    }
+
+    #[test]
+    fn perfect_accuracy_on_train() {
+        let (xs, ys) = two_cluster_data();
+        let model = KnnClassifier::new(1).fit(xs.clone(), ys.clone(), 2);
+        assert_eq!(model.accuracy(&xs, &ys), 1.0);
+    }
+
+    #[test]
+    fn k_exceeding_train_size_votes_over_all() {
+        let xs = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let ys = vec![1, 1, 0];
+        let model = KnnClassifier::new(10).fit(xs, ys, 2);
+        // all three vote: 2x label 1, 1x label 0
+        assert_eq!(model.predict(&[0.5]), 1);
+    }
+
+    #[test]
+    fn neighbors_ordered_most_similar_first() {
+        let xs = vec![vec![0.0], vec![1.0], vec![10.0]];
+        let ys = vec![0, 0, 1];
+        let model = KnnClassifier::new(2).fit(xs, ys, 2);
+        assert_eq!(model.neighbors(&[0.2]), vec![0, 1]);
+        assert_eq!(model.neighbors(&[9.0]), vec![2, 1]);
+    }
+
+    #[test]
+    fn rbf_kernel_also_classifies() {
+        let (xs, ys) = two_cluster_data();
+        let model = KnnClassifier::with_kernel(3, Kernel::Rbf { gamma: 0.5 }).fit(xs, ys, 2);
+        assert_eq!(model.predict(&[0.0, 0.1]), 0);
+        assert_eq!(model.predict(&[5.0, 5.1]), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty training set")]
+    fn rejects_empty_train() {
+        KnnClassifier::new(3).fit(Vec::new(), Vec::new(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn rejects_k_zero() {
+        KnnClassifier::new(0).fit(vec![vec![0.0]], vec![0], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite feature")]
+    fn rejects_nan_features() {
+        KnnClassifier::new(1).fit(vec![vec![f64::NAN]], vec![0], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn rejects_bad_label() {
+        KnnClassifier::new(1).fit(vec![vec![0.0]], vec![7], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent feature dimension")]
+    fn rejects_ragged_features() {
+        KnnClassifier::new(1).fit(vec![vec![0.0], vec![0.0, 1.0]], vec![0, 0], 1);
+    }
+}

@@ -1,0 +1,149 @@
+//! Similarity kernels.
+//!
+//! A kernel maps a pair of feature vectors to a similarity score: *larger is
+//! more similar*. Distances are negated so that every kernel agrees on that
+//! convention. The paper's experiments use Euclidean distance (§5.1: "use
+//! Euclidean distance as the similarity function"); linear and RBF kernels
+//! are mentioned in §3 and provided for completeness.
+
+/// A similarity kernel. Larger similarity = closer / more alike.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Kernel {
+    /// Negative squared Euclidean distance: `-Σ (a_i - b_i)²`.
+    ///
+    /// Monotone-equivalent to negative Euclidean distance (it induces the
+    /// same neighbor ordering) while avoiding the square root.
+    NegEuclidean,
+    /// Negative Manhattan (L1) distance: `-Σ |a_i - b_i|`.
+    NegManhattan,
+    /// Linear kernel (dot product): `Σ a_i · b_i`.
+    Linear,
+    /// Gaussian RBF kernel: `exp(-γ · Σ (a_i - b_i)²)`.
+    Rbf {
+        /// Bandwidth parameter γ > 0.
+        gamma: f64,
+    },
+    /// Cosine similarity: `a·b / (‖a‖·‖b‖)`; defined as 0 if either vector
+    /// has zero norm.
+    Cosine,
+}
+
+impl Kernel {
+    /// Similarity between two equal-length feature vectors.
+    ///
+    /// # Panics
+    /// Debug-panics if the vectors differ in length. NaN inputs are rejected
+    /// at dataset construction time (see `cp-core`), so outputs are always
+    /// comparable.
+    pub fn similarity(&self, a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len(), "kernel inputs must have equal dimension");
+        match self {
+            Kernel::NegEuclidean => -sq_euclidean(a, b),
+            Kernel::NegManhattan => {
+                -a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum::<f64>()
+            }
+            Kernel::Linear => dot(a, b),
+            Kernel::Rbf { gamma } => (-gamma * sq_euclidean(a, b)).exp(),
+            Kernel::Cosine => {
+                let na = dot(a, a).sqrt();
+                let nb = dot(b, b).sqrt();
+                if na == 0.0 || nb == 0.0 {
+                    0.0
+                } else {
+                    dot(a, b) / (na * nb)
+                }
+            }
+        }
+    }
+}
+
+impl Default for Kernel {
+    /// The paper's experimental default (Euclidean-distance similarity).
+    fn default() -> Self {
+        Kernel::NegEuclidean
+    }
+}
+
+#[inline]
+fn sq_euclidean(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[inline]
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identical_points_are_maximally_similar_under_distances() {
+        let p = [1.0, -2.0, 3.5];
+        assert_eq!(Kernel::NegEuclidean.similarity(&p, &p), 0.0);
+        assert_eq!(Kernel::NegManhattan.similarity(&p, &p), 0.0);
+        assert_eq!(Kernel::Rbf { gamma: 0.7 }.similarity(&p, &p), 1.0);
+    }
+
+    #[test]
+    fn neg_euclidean_known_value() {
+        let a = [0.0, 0.0];
+        let b = [3.0, 4.0];
+        assert_eq!(Kernel::NegEuclidean.similarity(&a, &b), -25.0);
+        assert_eq!(Kernel::NegManhattan.similarity(&a, &b), -7.0);
+    }
+
+    #[test]
+    fn linear_kernel_is_dot_product() {
+        assert_eq!(Kernel::Linear.similarity(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+    }
+
+    #[test]
+    fn cosine_parallel_and_orthogonal() {
+        let k = Kernel::Cosine;
+        assert!((k.similarity(&[1.0, 0.0], &[5.0, 0.0]) - 1.0).abs() < 1e-12);
+        assert!(k.similarity(&[1.0, 0.0], &[0.0, 3.0]).abs() < 1e-12);
+        assert!((k.similarity(&[1.0, 0.0], &[-2.0, 0.0]) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_zero_vector_defined() {
+        assert_eq!(Kernel::Cosine.similarity(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn rbf_decays_with_distance() {
+        let k = Kernel::Rbf { gamma: 1.0 };
+        let near = k.similarity(&[0.0], &[0.1]);
+        let far = k.similarity(&[0.0], &[2.0]);
+        assert!(near > far);
+        assert!(far > 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn distance_kernels_are_symmetric(
+            a in proptest::collection::vec(-100.0f64..100.0, 3),
+            b in proptest::collection::vec(-100.0f64..100.0, 3),
+        ) {
+            for k in [Kernel::NegEuclidean, Kernel::NegManhattan, Kernel::Linear,
+                      Kernel::Rbf { gamma: 0.5 }, Kernel::Cosine] {
+                let ab = k.similarity(&a, &b);
+                let ba = k.similarity(&b, &a);
+                prop_assert!((ab - ba).abs() <= 1e-9 * ab.abs().max(1.0));
+            }
+        }
+
+        #[test]
+        fn self_similarity_dominates_for_metric_kernels(
+            a in proptest::collection::vec(-100.0f64..100.0, 3),
+            b in proptest::collection::vec(-100.0f64..100.0, 3),
+        ) {
+            for k in [Kernel::NegEuclidean, Kernel::NegManhattan, Kernel::Rbf { gamma: 0.5 }] {
+                prop_assert!(k.similarity(&a, &a) >= k.similarity(&a, &b));
+            }
+        }
+    }
+}

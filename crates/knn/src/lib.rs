@@ -1,0 +1,31 @@
+//! K-nearest-neighbor classifier substrate.
+//!
+//! The certain-prediction algorithms of `cp-core` reason about the *structure*
+//! of a KNN classifier (who is in the top-K set, how labels are tallied). This
+//! crate owns that structure for the complete-data case:
+//!
+//! * [`kernel::Kernel`] — similarity kernels (§3 of the paper: "this
+//!   similarity can be calculated using different kernel functions κ such as
+//!   linear kernel, RBF kernel, etc."),
+//! * [`topk`] — deterministic top-K selection under the paper's no-ties
+//!   assumption, realized as a strict total order on `(similarity, index)`,
+//! * [`vote`] — label tallies and majority vote with deterministic tie-break,
+//! * [`classifier::KnnClassifier`] — a textbook KNN classifier over complete
+//!   training data, used as the downstream model in every cleaning experiment.
+//!
+//! Determinism is load-bearing: the CP algorithms and the brute-force
+//! reference must order candidates identically or the possible-world
+//! semantics would diverge between implementations.
+
+pub mod classifier;
+pub mod kernel;
+pub mod topk;
+pub mod vote;
+
+pub use classifier::{FittedKnn, KnnClassifier};
+pub use kernel::Kernel;
+pub use topk::top_k_indices;
+pub use vote::{tally_labels, vote_winner};
+
+/// A class label, `0 .. n_labels`.
+pub type Label = usize;

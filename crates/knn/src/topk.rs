@@ -1,0 +1,127 @@
+//! Deterministic top-K selection.
+//!
+//! The paper assumes "there are no ties in these similarity scores (we can
+//! always break a tie by favoring a smaller i and j)". We realize that
+//! assumption as a strict total order on `(similarity, index)` pairs:
+//! similarity compared by [`f64::total_cmp`], and — between equal
+//! similarities — the *larger* index is treated as more similar. The chosen
+//! direction is arbitrary but must be (and is) identical across every
+//! algorithm in the workspace, including brute-force possible-world
+//! enumeration in `cp-core`.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Strict total order on `(similarity, index)`: returns the ordering of `a`
+/// relative to `b` where `Greater` means *more similar*.
+#[inline]
+pub fn cmp_sim(a: (f64, usize), b: (f64, usize)) -> Ordering {
+    match a.0.total_cmp(&b.0) {
+        Ordering::Equal => a.1.cmp(&b.1),
+        ord => ord,
+    }
+}
+
+/// Indices of the `k` most similar entries, ordered from most to least
+/// similar.
+///
+/// If `k >= sims.len()`, all indices are returned (still ordered). Runs in
+/// `O(N log K)` using a bounded min-heap, matching the cost model the paper
+/// assumes for the MM algorithm's `argmax_k` step.
+pub fn top_k_indices(sims: &[f64], k: usize) -> Vec<usize> {
+    if k == 0 || sims.is_empty() {
+        return Vec::new();
+    }
+    // Min-heap of the current best k, keyed so the *least* similar of the
+    // kept set is at the top.
+    struct Entry(f64, usize);
+    impl PartialEq for Entry {
+        fn eq(&self, other: &Self) -> bool {
+            cmp_sim((self.0, self.1), (other.0, other.1)) == Ordering::Equal
+        }
+    }
+    impl Eq for Entry {}
+    impl PartialOrd for Entry {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Entry {
+        fn cmp(&self, other: &Self) -> Ordering {
+            // reversed: BinaryHeap is a max-heap, we want the least similar on top
+            cmp_sim((other.0, other.1), (self.0, self.1))
+        }
+    }
+
+    let mut heap: BinaryHeap<Entry> = BinaryHeap::with_capacity(k + 1);
+    for (i, &s) in sims.iter().enumerate() {
+        if heap.len() < k {
+            heap.push(Entry(s, i));
+        } else if let Some(worst) = heap.peek() {
+            if cmp_sim((s, i), (worst.0, worst.1)) == Ordering::Greater {
+                heap.pop();
+                heap.push(Entry(s, i));
+            }
+        }
+    }
+    let mut picked: Vec<(f64, usize)> = heap.into_iter().map(|e| (e.0, e.1)).collect();
+    picked.sort_by(|a, b| cmp_sim(*b, *a));
+    picked.into_iter().map(|(_, i)| i).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn selects_largest() {
+        let sims = [0.1, 0.9, 0.5, 0.7];
+        assert_eq!(top_k_indices(&sims, 2), vec![1, 3]);
+        assert_eq!(top_k_indices(&sims, 1), vec![1]);
+    }
+
+    #[test]
+    fn k_zero_and_empty() {
+        assert!(top_k_indices(&[1.0, 2.0], 0).is_empty());
+        assert!(top_k_indices(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn k_larger_than_input_returns_all_sorted() {
+        let sims = [0.3, 0.1, 0.2];
+        assert_eq!(top_k_indices(&sims, 10), vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn ties_favor_larger_index_as_more_similar() {
+        let sims = [0.5, 0.5, 0.5];
+        assert_eq!(top_k_indices(&sims, 2), vec![2, 1]);
+        assert_eq!(top_k_indices(&sims, 3), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn cmp_sim_is_strict_total_order_on_distinct_indices() {
+        assert_eq!(cmp_sim((1.0, 0), (1.0, 1)), Ordering::Less);
+        assert_eq!(cmp_sim((2.0, 0), (1.0, 1)), Ordering::Greater);
+        assert_eq!(cmp_sim((1.0, 5), (1.0, 5)), Ordering::Equal);
+    }
+
+    #[test]
+    fn negative_and_signed_zero_similarities_ordered_totally() {
+        // total_cmp puts -0.0 < +0.0; the ordering must stay strict
+        let sims = [-0.0, 0.0, -1.0];
+        assert_eq!(top_k_indices(&sims, 3), vec![1, 0, 2]);
+    }
+
+    proptest! {
+        #[test]
+        fn matches_naive_sort(sims in proptest::collection::vec(-100.0f64..100.0, 0..40), k in 0usize..10) {
+            let fast = top_k_indices(&sims, k);
+            let mut idx: Vec<usize> = (0..sims.len()).collect();
+            idx.sort_by(|&a, &b| cmp_sim((sims[b], b), (sims[a], a)));
+            idx.truncate(k);
+            prop_assert_eq!(fast, idx);
+        }
+    }
+}

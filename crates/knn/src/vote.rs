@@ -1,0 +1,97 @@
+//! Label tallies and majority voting.
+//!
+//! Given the labels of the top-K set, the classifier predicts the label with
+//! the largest tally (the paper's `γ` vector, §3.1.1). Vote ties are broken
+//! deterministically toward the smaller label — the same rule is applied by
+//! every CP algorithm, including the tally-vector `argmax` inside SortScan.
+
+use crate::Label;
+
+/// Count how many of `labels` equal each class in `0..n_labels`.
+///
+/// # Panics
+/// Panics if any label is `>= n_labels`.
+pub fn tally_labels(labels: impl IntoIterator<Item = Label>, n_labels: usize) -> Vec<u32> {
+    let mut tally = vec![0u32; n_labels];
+    for l in labels {
+        assert!(l < n_labels, "label {l} out of range (n_labels = {n_labels})");
+        tally[l] += 1;
+    }
+    tally
+}
+
+/// Winning label of a tally: `argmax`, ties broken toward the smaller label.
+///
+/// # Panics
+/// Panics on an empty tally.
+pub fn vote_winner(tally: &[u32]) -> Label {
+    assert!(!tally.is_empty(), "vote over zero classes");
+    let mut best = 0usize;
+    for (l, &count) in tally.iter().enumerate().skip(1) {
+        if count > tally[best] {
+            best = l;
+        }
+    }
+    best
+}
+
+/// Convenience: tally then vote in one step.
+pub fn majority_label(labels: impl IntoIterator<Item = Label>, n_labels: usize) -> Label {
+    vote_winner(&tally_labels(labels, n_labels))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn tally_counts() {
+        assert_eq!(tally_labels([0, 1, 1, 2, 1], 3), vec![1, 3, 1]);
+        assert_eq!(tally_labels([], 2), vec![0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn tally_rejects_out_of_range() {
+        tally_labels([5], 2);
+    }
+
+    #[test]
+    fn winner_majority() {
+        assert_eq!(vote_winner(&[1, 3, 1]), 1);
+        assert_eq!(vote_winner(&[4, 3]), 0);
+    }
+
+    #[test]
+    fn winner_tie_breaks_low() {
+        assert_eq!(vote_winner(&[2, 2]), 0);
+        assert_eq!(vote_winner(&[0, 3, 3]), 1);
+        assert_eq!(vote_winner(&[0, 0, 0]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero classes")]
+    fn winner_rejects_empty() {
+        vote_winner(&[]);
+    }
+
+    #[test]
+    fn majority_label_composes() {
+        assert_eq!(majority_label([1, 1, 0], 2), 1);
+        assert_eq!(majority_label([0, 1], 2), 0); // tie -> low
+    }
+
+    proptest! {
+        #[test]
+        fn winner_is_argmax(tally in proptest::collection::vec(0u32..20, 1..6)) {
+            let w = vote_winner(&tally);
+            let max = *tally.iter().max().unwrap();
+            prop_assert_eq!(tally[w], max);
+            // tie-break: no smaller label has the same count
+            for &count in &tally[..w] {
+                prop_assert!(count < max);
+            }
+        }
+    }
+}

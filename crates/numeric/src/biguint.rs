@@ -1,0 +1,486 @@
+//! A minimal arbitrary-precision unsigned integer.
+//!
+//! Possible-world counts grow like `∏ M_i` and therefore need arbitrary
+//! precision when exact values are required (primarily in tests, where the
+//! efficient algorithms are checked against brute-force enumeration, and in
+//! demos that print exact world counts). Only the operations the CP
+//! algorithms need are implemented: addition, multiplication, comparison,
+//! conversion to `f64`, and decimal formatting.
+//!
+//! Representation: little-endian base-2^32 limbs with no trailing zero limbs
+//! (so `0` is the empty limb vector).
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Arbitrary-precision unsigned integer (little-endian `u32` limbs).
+#[derive(Clone, PartialEq, Eq, Default, Hash)]
+pub struct BigUint {
+    limbs: Vec<u32>,
+}
+
+impl BigUint {
+    /// The value `0`.
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// The value `1`.
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// Build from a `u64`.
+    pub fn from_u64(v: u64) -> Self {
+        let mut limbs = Vec::new();
+        if v != 0 {
+            limbs.push((v & 0xffff_ffff) as u32);
+            let hi = (v >> 32) as u32;
+            if hi != 0 {
+                limbs.push(hi);
+            }
+        }
+        BigUint { limbs }
+    }
+
+    /// Build from a `u128`.
+    pub fn from_u128(v: u128) -> Self {
+        let mut limbs = Vec::new();
+        let mut rest = v;
+        while rest != 0 {
+            limbs.push((rest & 0xffff_ffff) as u32);
+            rest >>= 32;
+        }
+        BigUint { limbs }
+    }
+
+    /// `true` iff the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Number of limbs (mostly useful for capacity heuristics in callers).
+    pub fn limb_count(&self) -> usize {
+        self.limbs.len()
+    }
+
+    fn trim(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &BigUint) -> BigUint {
+        let (long, short) = if self.limbs.len() >= other.limbs.len() {
+            (&self.limbs, &other.limbs)
+        } else {
+            (&other.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry: u64 = 0;
+        for i in 0..long.len() {
+            let mut sum = long[i] as u64 + carry;
+            if i < short.len() {
+                sum += short[i] as u64;
+            }
+            out.push((sum & 0xffff_ffff) as u32);
+            carry = sum >> 32;
+        }
+        if carry != 0 {
+            out.push(carry as u32);
+        }
+        BigUint { limbs: out }
+    }
+
+    /// `self * other` (schoolbook multiplication; counts stay small enough
+    /// that asymptotically faster algorithms are unnecessary).
+    pub fn mul(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() || other.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = vec![0u32; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            if a == 0 {
+                continue;
+            }
+            let mut carry: u64 = 0;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let cur = out[i + j] as u64 + a as u64 * b as u64 + carry;
+                out[i + j] = (cur & 0xffff_ffff) as u32;
+                carry = cur >> 32;
+            }
+            let mut k = i + other.limbs.len();
+            while carry != 0 {
+                let cur = out[k] as u64 + carry;
+                out[k] = (cur & 0xffff_ffff) as u32;
+                carry = cur >> 32;
+                k += 1;
+            }
+        }
+        let mut r = BigUint { limbs: out };
+        r.trim();
+        r
+    }
+
+    /// Multiply by a small scalar in place.
+    pub fn mul_small(&self, scalar: u32) -> BigUint {
+        if scalar == 0 || self.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() + 1);
+        let mut carry: u64 = 0;
+        for &a in &self.limbs {
+            let cur = a as u64 * scalar as u64 + carry;
+            out.push((cur & 0xffff_ffff) as u32);
+            carry = cur >> 32;
+        }
+        if carry != 0 {
+            out.push(carry as u32);
+        }
+        BigUint { limbs: out }
+    }
+
+    /// `self^exp` by repeated squaring.
+    pub fn pow(&self, mut exp: u32) -> BigUint {
+        let mut base = self.clone();
+        let mut acc = BigUint::one();
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = acc.mul(&base);
+            }
+            exp >>= 1;
+            if exp > 0 {
+                base = base.mul(&base);
+            }
+        }
+        acc
+    }
+
+    /// Divide by a small scalar, returning `(quotient, remainder)`.
+    ///
+    /// # Panics
+    /// Panics if `scalar == 0`.
+    pub fn div_rem_small(&self, scalar: u32) -> (BigUint, u32) {
+        assert!(scalar != 0, "division by zero");
+        let mut out = vec![0u32; self.limbs.len()];
+        let mut rem: u64 = 0;
+        for i in (0..self.limbs.len()).rev() {
+            let cur = (rem << 32) | self.limbs[i] as u64;
+            out[i] = (cur / scalar as u64) as u32;
+            rem = cur % scalar as u64;
+        }
+        let mut q = BigUint { limbs: out };
+        q.trim();
+        (q, rem as u32)
+    }
+
+    /// Number of significant bits (0 for zero).
+    pub fn bit_len(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => (self.limbs.len() - 1) * 32 + (32 - top.leading_zeros() as usize),
+        }
+    }
+
+    /// Logical right shift by `n` bits.
+    pub fn shr_bits(&self, n: usize) -> BigUint {
+        let limb_shift = n / 32;
+        let bit_shift = (n % 32) as u32;
+        if limb_shift >= self.limbs.len() {
+            return BigUint::zero();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() - limb_shift);
+        for idx in limb_shift..self.limbs.len() {
+            let mut v = self.limbs[idx] >> bit_shift;
+            if bit_shift > 0 && idx + 1 < self.limbs.len() {
+                v |= self.limbs[idx + 1] << (32 - bit_shift);
+            }
+            out.push(v);
+        }
+        let mut r = BigUint { limbs: out };
+        r.trim();
+        r
+    }
+
+    /// `self / total` as an `f64`, correct even when both values far exceed
+    /// `f64` range (both are shifted down together before dividing).
+    ///
+    /// # Panics
+    /// Panics if `total` is zero.
+    pub fn ratio(&self, total: &BigUint) -> f64 {
+        assert!(!total.is_zero(), "ratio with zero denominator");
+        if self.is_zero() {
+            return 0.0;
+        }
+        let bits = self.bit_len().max(total.bit_len());
+        if bits <= 1000 {
+            return self.to_f64() / total.to_f64();
+        }
+        let shift = bits - 96;
+        self.shr_bits(shift).to_f64() / total.shr_bits(shift).to_f64()
+    }
+
+    /// Best-effort conversion to `f64` (may round or become `inf` for huge
+    /// values; exactness is not required for reporting).
+    pub fn to_f64(&self) -> f64 {
+        let mut acc = 0.0f64;
+        for &limb in self.limbs.iter().rev() {
+            acc = acc * 4294967296.0 + limb as f64;
+        }
+        acc
+    }
+
+    /// Exact conversion to `u128` if the value fits.
+    pub fn to_u128(&self) -> Option<u128> {
+        if self.limbs.len() > 4 {
+            return None;
+        }
+        let mut acc: u128 = 0;
+        for &limb in self.limbs.iter().rev() {
+            acc = (acc << 32) | limb as u128;
+        }
+        Some(acc)
+    }
+
+    /// Decimal string (used by `Display`).
+    pub fn to_decimal(&self) -> String {
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        let mut chunks: Vec<u32> = Vec::new();
+        let mut cur = self.clone();
+        while !cur.is_zero() {
+            let (q, r) = cur.div_rem_small(1_000_000_000);
+            chunks.push(r);
+            cur = q;
+        }
+        let mut s = String::new();
+        for (idx, chunk) in chunks.iter().rev().enumerate() {
+            if idx == 0 {
+                s.push_str(&chunk.to_string());
+            } else {
+                s.push_str(&format!("{:09}", chunk));
+            }
+        }
+        s
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {
+                for i in (0..self.limbs.len()).rev() {
+                    match self.limbs[i].cmp(&other.limbs[i]) {
+                        Ordering::Equal => continue,
+                        ord => return ord,
+                    }
+                }
+                Ordering::Equal
+            }
+            ord => ord,
+        }
+    }
+}
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_decimal())
+    }
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigUint({})", self.to_decimal())
+    }
+}
+
+impl From<u64> for BigUint {
+    fn from(v: u64) -> Self {
+        BigUint::from_u64(v)
+    }
+}
+
+impl From<u32> for BigUint {
+    fn from(v: u32) -> Self {
+        BigUint::from_u64(v as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zero_and_one() {
+        assert!(BigUint::zero().is_zero());
+        assert!(!BigUint::one().is_zero());
+        assert_eq!(BigUint::zero().to_decimal(), "0");
+        assert_eq!(BigUint::one().to_decimal(), "1");
+    }
+
+    #[test]
+    fn add_small_values() {
+        let a = BigUint::from_u64(123);
+        let b = BigUint::from_u64(877);
+        assert_eq!(a.add(&b).to_decimal(), "1000");
+    }
+
+    #[test]
+    fn add_with_carry_across_limbs() {
+        let a = BigUint::from_u64(u64::MAX);
+        let b = BigUint::one();
+        assert_eq!(a.add(&b).to_decimal(), "18446744073709551616");
+    }
+
+    #[test]
+    fn mul_known_value() {
+        let a = BigUint::from_u64(1_000_000_007);
+        let b = BigUint::from_u64(998_244_353);
+        assert_eq!(a.mul(&b).to_decimal(), "998244359987710471");
+    }
+
+    #[test]
+    fn mul_by_zero_is_zero() {
+        let a = BigUint::from_u64(42);
+        assert!(a.mul(&BigUint::zero()).is_zero());
+        assert!(BigUint::zero().mul(&a).is_zero());
+    }
+
+    #[test]
+    fn pow_matches_shift() {
+        // 2^100
+        let two = BigUint::from_u64(2);
+        assert_eq!(two.pow(100).to_decimal(), "1267650600228229401496703205376");
+    }
+
+    #[test]
+    fn pow_exponent_zero_is_one() {
+        assert_eq!(BigUint::from_u64(987).pow(0).to_decimal(), "1");
+        assert_eq!(BigUint::zero().pow(0).to_decimal(), "1");
+    }
+
+    #[test]
+    fn world_count_5_pow_200_roundtrips_via_div() {
+        // The motivating case: 200 dirty rows with 5 candidates each.
+        let count = BigUint::from_u64(5).pow(200);
+        // dividing by 5 two hundred times must give exactly 1
+        let mut cur = count;
+        for _ in 0..200 {
+            let (q, r) = cur.div_rem_small(5);
+            assert_eq!(r, 0);
+            cur = q;
+        }
+        assert_eq!(cur.to_decimal(), "1");
+    }
+
+    #[test]
+    fn to_f64_reasonable() {
+        let v = BigUint::from_u64(1u64 << 53);
+        assert_eq!(v.to_f64(), 9007199254740992.0);
+        let big = BigUint::from_u64(10).pow(40);
+        let rel = (big.to_f64() - 1e40).abs() / 1e40;
+        assert!(rel < 1e-12);
+    }
+
+    #[test]
+    fn to_u128_boundaries() {
+        assert_eq!(BigUint::zero().to_u128(), Some(0));
+        assert_eq!(BigUint::from_u128(u128::MAX).to_u128(), Some(u128::MAX));
+        assert_eq!(BigUint::from_u128(u128::MAX).add(&BigUint::one()).to_u128(), None);
+    }
+
+    #[test]
+    fn ordering() {
+        let a = BigUint::from_u64(10).pow(30);
+        let b = BigUint::from_u64(10).pow(31);
+        assert!(a < b);
+        assert!(b > a);
+        assert_eq!(a.cmp(&a), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn bit_len_and_shift() {
+        assert_eq!(BigUint::zero().bit_len(), 0);
+        assert_eq!(BigUint::one().bit_len(), 1);
+        assert_eq!(BigUint::from_u64(1 << 40).bit_len(), 41);
+        let v = BigUint::from_u64(2).pow(100);
+        assert_eq!(v.bit_len(), 101);
+        assert_eq!(v.shr_bits(100).to_decimal(), "1");
+        assert_eq!(v.shr_bits(101).to_decimal(), "0");
+        assert_eq!(v.shr_bits(0), v);
+    }
+
+    #[test]
+    fn ratio_of_huge_counts() {
+        // 2·5^900 / 3·5^900 = 2/3 although both overflow f64
+        let base = BigUint::from_u64(5).pow(900);
+        let a = base.mul_small(2);
+        let b = base.mul_small(3);
+        assert!((a.ratio(&b) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(BigUint::zero().ratio(&b), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn shr_matches_u128(a in 0u128.., n in 0usize..130) {
+            let r = BigUint::from_u128(a).shr_bits(n);
+            let expect = if n >= 128 { 0 } else { a >> n };
+            prop_assert_eq!(r.to_u128(), Some(expect));
+        }
+
+        #[test]
+        fn ratio_matches_f64_small(a in 0u64.., b in 1u64..) {
+            let r = BigUint::from_u64(a).ratio(&BigUint::from_u64(b));
+            let expect = a as f64 / b as f64;
+            prop_assert!((r - expect).abs() <= 1e-12 * expect.abs().max(1.0));
+        }
+
+        #[test]
+        fn add_matches_u128(a in 0u64.., b in 0u64..) {
+            let r = BigUint::from_u64(a).add(&BigUint::from_u64(b));
+            prop_assert_eq!(r.to_u128(), Some(a as u128 + b as u128));
+        }
+
+        #[test]
+        fn mul_matches_u128(a in 0u64.., b in 0u64..) {
+            let r = BigUint::from_u64(a).mul(&BigUint::from_u64(b));
+            prop_assert_eq!(r.to_u128(), Some(a as u128 * b as u128));
+        }
+
+        #[test]
+        fn mul_small_matches_mul(a in 0u64.., s in 0u32..) {
+            let lhs = BigUint::from_u64(a).mul_small(s);
+            let rhs = BigUint::from_u64(a).mul(&BigUint::from_u64(s as u64));
+            prop_assert_eq!(lhs, rhs);
+        }
+
+        #[test]
+        fn div_rem_small_roundtrip(a in 0u128.., s in 1u32..) {
+            let v = BigUint::from_u128(a);
+            let (q, r) = v.div_rem_small(s);
+            prop_assert!((r as u64) < s as u64);
+            let back = q.mul_small(s).add(&BigUint::from_u64(r as u64));
+            prop_assert_eq!(back, v);
+        }
+
+        #[test]
+        fn decimal_matches_u128(a in 0u128..) {
+            prop_assert_eq!(BigUint::from_u128(a).to_decimal(), a.to_string());
+        }
+
+        #[test]
+        fn cmp_matches_u128(a in 0u128.., b in 0u128..) {
+            let ord = BigUint::from_u128(a).cmp(&BigUint::from_u128(b));
+            prop_assert_eq!(ord, a.cmp(&b));
+        }
+    }
+}

@@ -1,0 +1,318 @@
+//! Extended-range non-negative float: `mantissa × 2^exp`.
+//!
+//! `f64` products of thousands of per-candidate-set factors underflow (the
+//! smallest positive normal double is ≈ 1e-308, but a product of 1500 factors
+//! of 0.5 is ≈ 1e-452). [`ScaledF64`] stores a mantissa in `[1, 2)` together
+//! with an explicit `i64` binary exponent so products/sums of world counts
+//! (or world probabilities) never under- or overflow, while every arithmetic
+//! operation stays O(1).
+//!
+//! Only non-negative values are supported — counting semirings never produce
+//! negative quantities, and restricting the domain keeps comparison trivial.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+const EXP_MASK: u64 = 0x7ff0_0000_0000_0000;
+const EXP_BIAS: i64 = 1023;
+
+/// A non-negative extended-range float (`mantissa in [1,2) × 2^exp`, or zero).
+#[derive(Clone, Copy, PartialEq)]
+pub struct ScaledF64 {
+    mantissa: f64,
+    exp: i64,
+}
+
+impl ScaledF64 {
+    /// The value `0`.
+    pub fn zero() -> Self {
+        ScaledF64 { mantissa: 0.0, exp: 0 }
+    }
+
+    /// The value `1`.
+    pub fn one() -> Self {
+        ScaledF64 { mantissa: 1.0, exp: 0 }
+    }
+
+    /// Build from a plain non-negative `f64`.
+    ///
+    /// # Panics
+    /// Panics (debug) if `v` is negative, NaN or infinite.
+    pub fn from_f64(v: f64) -> Self {
+        debug_assert!(v.is_finite() && v >= 0.0, "ScaledF64 requires finite non-negative input");
+        Self::normalize(v, 0)
+    }
+
+    /// Build from an unsigned integer.
+    pub fn from_u64(v: u64) -> Self {
+        Self::from_f64(v as f64)
+    }
+
+    /// `mantissa * 2^extra_exp`, renormalized.
+    fn normalize(m: f64, e: i64) -> Self {
+        if m == 0.0 {
+            return Self::zero();
+        }
+        let bits = m.to_bits();
+        let raw_exp = ((bits & EXP_MASK) >> 52) as i64;
+        if raw_exp == 0 {
+            // subnormal mantissa: scale up and retry
+            return Self::normalize(m * f64::exp2(128.0), e - 128);
+        }
+        let shift = raw_exp - EXP_BIAS;
+        // replace the exponent bits with the bias (value in [1,2))
+        let mant = f64::from_bits((bits & !EXP_MASK) | ((EXP_BIAS as u64) << 52));
+        ScaledF64 { mantissa: mant, exp: e + shift }
+    }
+
+    /// `true` iff the value is exactly zero.
+    pub fn is_zero(&self) -> bool {
+        self.mantissa == 0.0
+    }
+
+    /// `self * other`.
+    pub fn mul(&self, other: &ScaledF64) -> ScaledF64 {
+        if self.is_zero() || other.is_zero() {
+            return ScaledF64::zero();
+        }
+        // product of two [1,2) mantissas is in [1,4): at most one renormalize step
+        let m = self.mantissa * other.mantissa;
+        if m < 2.0 {
+            ScaledF64 { mantissa: m, exp: self.exp + other.exp }
+        } else {
+            ScaledF64 { mantissa: m * 0.5, exp: self.exp + other.exp + 1 }
+        }
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &ScaledF64) -> ScaledF64 {
+        if self.is_zero() {
+            return *other;
+        }
+        if other.is_zero() {
+            return *self;
+        }
+        let (hi, lo) = if self.exp >= other.exp { (self, other) } else { (other, self) };
+        let diff = hi.exp - lo.exp;
+        if diff > 64 {
+            // the smaller addend is below the mantissa precision
+            return *hi;
+        }
+        let m = hi.mantissa + lo.mantissa * f64::exp2(-(diff as f64));
+        Self::normalize(m, hi.exp)
+    }
+
+    /// `self / other`.
+    ///
+    /// # Panics
+    /// Panics if `other` is zero.
+    pub fn div(&self, other: &ScaledF64) -> ScaledF64 {
+        assert!(!other.is_zero(), "ScaledF64 division by zero");
+        if self.is_zero() {
+            return ScaledF64::zero();
+        }
+        Self::normalize(self.mantissa / other.mantissa, self.exp - other.exp)
+    }
+
+    /// Natural logarithm; `-inf` for zero.
+    pub fn ln(&self) -> f64 {
+        if self.is_zero() {
+            f64::NEG_INFINITY
+        } else {
+            self.mantissa.ln() + self.exp as f64 * std::f64::consts::LN_2
+        }
+    }
+
+    /// Base-10 logarithm; `-inf` for zero.
+    pub fn log10(&self) -> f64 {
+        self.ln() / std::f64::consts::LN_10
+    }
+
+    /// Best-effort conversion to `f64` (0 on underflow, `inf` on overflow).
+    pub fn to_f64(&self) -> f64 {
+        if self.is_zero() {
+            return 0.0;
+        }
+        if self.exp > 1023 {
+            return f64::INFINITY;
+        }
+        if self.exp < -1070 {
+            return 0.0;
+        }
+        self.mantissa * f64::exp2(self.exp as f64)
+    }
+
+    /// The ratio `self / (self + rest)` as a plain `f64` — the normalized
+    /// probability a label receives out of the total count. Safe even when
+    /// both counts are far outside `f64` range.
+    pub fn ratio(&self, total: &ScaledF64) -> f64 {
+        if self.is_zero() {
+            return 0.0;
+        }
+        assert!(!total.is_zero(), "ratio with zero total");
+        let diff = self.exp - total.exp;
+        if diff < -1000 {
+            return 0.0;
+        }
+        (self.mantissa / total.mantissa) * f64::exp2(diff as f64)
+    }
+}
+
+impl PartialOrd for ScaledF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        if self.is_zero() && other.is_zero() {
+            return Some(Ordering::Equal);
+        }
+        if self.is_zero() {
+            return Some(Ordering::Less);
+        }
+        if other.is_zero() {
+            return Some(Ordering::Greater);
+        }
+        match self.exp.cmp(&other.exp) {
+            Ordering::Equal => self.mantissa.partial_cmp(&other.mantissa),
+            ord => Some(ord),
+        }
+    }
+}
+
+impl fmt::Display for ScaledF64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            write!(f, "0")
+        } else {
+            let log10 = self.log10();
+            let int_part = log10.floor();
+            let lead = f64::powf(10.0, log10 - int_part);
+            write!(f, "{:.6}e{}", lead, int_part as i64)
+        }
+    }
+}
+
+impl fmt::Debug for ScaledF64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ScaledF64({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        if a == 0.0 && b == 0.0 {
+            return true;
+        }
+        (a - b).abs() <= 1e-12 * a.abs().max(b.abs())
+    }
+
+    #[test]
+    fn zero_one_identities() {
+        let z = ScaledF64::zero();
+        let o = ScaledF64::one();
+        assert!(z.is_zero());
+        assert!(!o.is_zero());
+        assert!(close(o.to_f64(), 1.0));
+        assert!(close(z.add(&o).to_f64(), 1.0));
+        assert!(z.mul(&o).is_zero());
+    }
+
+    #[test]
+    fn extreme_products_do_not_underflow() {
+        // 0.5^3000 underflows f64 but not ScaledF64
+        let half = ScaledF64::from_f64(0.5);
+        let mut acc = ScaledF64::one();
+        for _ in 0..3000 {
+            acc = acc.mul(&half);
+        }
+        assert!(!acc.is_zero());
+        assert!(close(acc.log10(), 3000.0 * 0.5f64.log10()));
+        // and dividing back up recovers 1
+        let mut back = acc;
+        for _ in 0..3000 {
+            back = back.div(&half);
+        }
+        assert!(close(back.to_f64(), 1.0));
+    }
+
+    #[test]
+    fn extreme_products_do_not_overflow() {
+        let five = ScaledF64::from_u64(5);
+        let mut acc = ScaledF64::one();
+        for _ in 0..2000 {
+            acc = acc.mul(&five);
+        }
+        assert!(close(acc.log10(), 2000.0 * 5f64.log10()));
+    }
+
+    #[test]
+    fn ratio_of_huge_counts() {
+        // 2 * 5^800 vs 5^800 -> ratio of first to total(3*5^800) = 2/3
+        let five = ScaledF64::from_u64(5);
+        let mut base = ScaledF64::one();
+        for _ in 0..800 {
+            base = base.mul(&five);
+        }
+        let a = base.mul(&ScaledF64::from_u64(2));
+        let total = a.add(&base);
+        assert!(close(a.ratio(&total), 2.0 / 3.0));
+        assert!(close(base.ratio(&total), 1.0 / 3.0));
+    }
+
+    #[test]
+    fn add_with_large_exponent_gap_keeps_big_value() {
+        let big = ScaledF64::from_f64(1e300).mul(&ScaledF64::from_f64(1e300));
+        let tiny = ScaledF64::from_f64(1e-300);
+        let sum = big.add(&tiny);
+        assert!(close(sum.log10(), 600.0));
+    }
+
+    #[test]
+    fn subnormal_inputs_normalize() {
+        let sub = f64::MIN_POSITIVE / 1024.0; // subnormal
+        let v = ScaledF64::from_f64(sub);
+        assert!(!v.is_zero());
+        assert!(close(v.to_f64(), sub));
+    }
+
+    #[test]
+    fn display_huge_value() {
+        let v = ScaledF64::from_u64(5).mul(&ScaledF64::from_u64(5));
+        assert_eq!(format!("{v}"), "2.500000e1");
+        assert_eq!(format!("{}", ScaledF64::zero()), "0");
+    }
+
+    proptest! {
+        #[test]
+        fn mul_matches_f64(a in 0.0f64..1e100, b in 0.0f64..1e100) {
+            let r = ScaledF64::from_f64(a).mul(&ScaledF64::from_f64(b));
+            prop_assert!(close(r.to_f64(), a * b));
+        }
+
+        #[test]
+        fn add_matches_f64(a in 0.0f64..1e100, b in 0.0f64..1e100) {
+            let r = ScaledF64::from_f64(a).add(&ScaledF64::from_f64(b));
+            prop_assert!(close(r.to_f64(), a + b));
+        }
+
+        #[test]
+        fn div_matches_f64(a in 0.0f64..1e100, b in 1e-50f64..1e100) {
+            let r = ScaledF64::from_f64(a).div(&ScaledF64::from_f64(b));
+            prop_assert!(close(r.to_f64(), a / b));
+        }
+
+        #[test]
+        fn ordering_matches_f64(a in 0.0f64..1e200, b in 0.0f64..1e200) {
+            let x = ScaledF64::from_f64(a);
+            let y = ScaledF64::from_f64(b);
+            prop_assert_eq!(x.partial_cmp(&y), a.partial_cmp(&b));
+        }
+
+        #[test]
+        fn ln_matches_f64(a in 1e-100f64..1e100) {
+            let v = ScaledF64::from_f64(a);
+            prop_assert!((v.ln() - a.ln()).abs() < 1e-9);
+        }
+    }
+}

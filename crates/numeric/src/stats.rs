@@ -1,0 +1,190 @@
+//! Small statistics helpers shared by the repair generator (column
+//! percentiles), the MNAR injector (feature importance normalization) and the
+//! cleaning framework (prediction entropy).
+
+/// Arithmetic mean; `None` for an empty slice.
+pub fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    Some(values.iter().sum::<f64>() / values.len() as f64)
+}
+
+/// Population variance; `None` for an empty slice.
+pub fn variance(values: &[f64]) -> Option<f64> {
+    let m = mean(values)?;
+    Some(values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64)
+}
+
+/// Population standard deviation; `None` for an empty slice.
+pub fn std_dev(values: &[f64]) -> Option<f64> {
+    variance(values).map(f64::sqrt)
+}
+
+/// Percentile with linear interpolation between closest ranks.
+///
+/// `q` is in `[0, 100]`. Returns `None` for an empty slice.
+pub fn percentile(values: &[f64], q: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    debug_assert!((0.0..=100.0).contains(&q), "percentile out of range");
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let pos = q / 100.0 * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        return Some(sorted[lo]);
+    }
+    let frac = pos - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Shannon entropy (natural log) of a probability vector.
+///
+/// Zero entries contribute zero. The vector does not need to be perfectly
+/// normalized; entries are used as-is (CPClean always passes normalized
+/// probabilities from Q2).
+pub fn entropy_nats(probs: &[f64]) -> f64 {
+    probs
+        .iter()
+        .filter(|&&p| p > 0.0)
+        .map(|&p| -p * p.ln())
+        .sum()
+}
+
+/// Shannon entropy in bits.
+pub fn entropy_bits(probs: &[f64]) -> f64 {
+    entropy_nats(probs) / std::f64::consts::LN_2
+}
+
+/// Pearson correlation of two equally-long slices; `None` if degenerate
+/// (length < 2 or zero variance on either side).
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let mx = mean(xs)?;
+    let my = mean(ys)?;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return None;
+    }
+    Some(cov / (vx.sqrt() * vy.sqrt()))
+}
+
+/// Index of the maximum value, breaking ties toward the smaller index.
+///
+/// Returns `None` for an empty slice. This tie-break direction matches the
+/// deterministic label tie-break used throughout the CP algorithms.
+pub fn argmax_first(values: &[f64]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &v) in values.iter().enumerate() {
+        match best {
+            None => best = Some((i, v)),
+            Some((_, bv)) if v > bv => best = Some((i, v)),
+            _ => {}
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), Some(2.0));
+        assert_eq!(mean(&[]), None);
+    }
+
+    #[test]
+    fn variance_and_std() {
+        let v = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(variance(&v), Some(4.0));
+        assert_eq!(std_dev(&v), Some(2.0));
+    }
+
+    #[test]
+    fn percentile_endpoints_and_median() {
+        let v = [15.0, 20.0, 35.0, 40.0, 50.0];
+        assert_eq!(percentile(&v, 0.0), Some(15.0));
+        assert_eq!(percentile(&v, 100.0), Some(50.0));
+        assert_eq!(percentile(&v, 50.0), Some(35.0));
+        // interpolated quartile
+        assert_eq!(percentile(&v, 25.0), Some(20.0));
+        assert_eq!(percentile(&[], 50.0), None);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [0.0, 10.0];
+        assert_eq!(percentile(&v, 25.0), Some(2.5));
+        assert_eq!(percentile(&v, 75.0), Some(7.5));
+    }
+
+    #[test]
+    fn entropy_uniform_binary_is_one_bit() {
+        assert!((entropy_bits(&[0.5, 0.5]) - 1.0).abs() < 1e-12);
+        assert_eq!(entropy_bits(&[1.0, 0.0]), 0.0);
+        assert_eq!(entropy_bits(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn entropy_uniform_k_is_log_k() {
+        let p = [0.25; 4];
+        assert!((entropy_bits(&p) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_perfect_correlation() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        let neg = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&xs, &neg).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_degenerate_cases() {
+        assert_eq!(pearson(&[1.0], &[1.0]), None);
+        assert_eq!(pearson(&[1.0, 1.0], &[1.0, 2.0]), None);
+        assert_eq!(pearson(&[1.0, 2.0], &[1.0]), None);
+    }
+
+    #[test]
+    fn argmax_first_breaks_ties_low() {
+        assert_eq!(argmax_first(&[1.0, 3.0, 3.0]), Some(1));
+        assert_eq!(argmax_first(&[]), None);
+        assert_eq!(argmax_first(&[2.0]), Some(0));
+    }
+
+    proptest! {
+        #[test]
+        fn percentile_within_range(mut v in proptest::collection::vec(-1e6f64..1e6, 1..50), q in 0.0f64..100.0) {
+            let p = percentile(&v, q).unwrap();
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            prop_assert!(p >= v[0] - 1e-9 && p <= v[v.len() - 1] + 1e-9);
+        }
+
+        #[test]
+        fn entropy_nonnegative_and_bounded(v in proptest::collection::vec(0.0f64..1.0, 1..8)) {
+            let total: f64 = v.iter().sum();
+            prop_assume!(total > 0.0);
+            let probs: Vec<f64> = v.iter().map(|x| x / total).collect();
+            let h = entropy_bits(&probs);
+            prop_assert!(h >= 0.0);
+            prop_assert!(h <= (probs.len() as f64).log2() + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Bridge: dirty [`Table`] + [`RepairSpace`] → [`cp_core::IncompleteDataset`].
+//!
+//! Every row becomes one training example. Clean rows contribute a singleton
+//! candidate set; dirty rows contribute one candidate per element of their
+//! repair space's Cartesian product (each candidate = the row with its
+//! missing cells substituted, encoded to features). The assignment mapping is
+//! retained so the simulated cleaning oracle can later pick "the candidate
+//! repair that is closest to the ground truth" (§5.1).
+
+use crate::encode::{extract_labels, Encoder};
+use crate::repair::{RepairOptions, RepairSpace};
+use crate::table::Table;
+use crate::value::Value;
+use cp_core::{IncompleteDataset, IncompleteExample};
+
+/// The candidate cell assignments of one dirty row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RowAssignments {
+    /// Columns of the row's missing cells.
+    pub cols: Vec<usize>,
+    /// One entry per candidate: the values for `cols`, in order.
+    pub values: Vec<Vec<Value>>,
+}
+
+/// An incomplete dataset derived from a dirty table, with the bookkeeping
+/// needed to map candidates back to cell repairs.
+#[derive(Clone, Debug)]
+pub struct TableDataset {
+    /// The encoded incomplete dataset (example `i` = table row `i`).
+    pub dataset: IncompleteDataset,
+    /// Per-row class labels.
+    pub labels: Vec<usize>,
+    /// Class names in label order.
+    pub class_names: Vec<String>,
+    /// Candidate assignments per row (`None` for clean rows).
+    pub assignments: Vec<Option<RowAssignments>>,
+}
+
+/// Build the incomplete dataset from a dirty table.
+///
+/// # Panics
+/// Panics if the label column contains NULLs, or if a feature cell is NULL
+/// but absent from the repair space (every missing feature cell must have
+/// candidates).
+pub fn build_incomplete_dataset(
+    dirty: &Table,
+    label_col: usize,
+    encoder: &Encoder,
+    space: &RepairSpace,
+    opts: &RepairOptions,
+) -> TableDataset {
+    let (labels, class_names) = extract_labels(dirty, label_col);
+    let n_labels = class_names.len().max(2);
+    let mut examples = Vec::with_capacity(dirty.n_rows());
+    let mut assignments: Vec<Option<RowAssignments>> = Vec::with_capacity(dirty.n_rows());
+
+    for (r, row) in dirty.rows().iter().enumerate() {
+        match space.row(r) {
+            None => {
+                examples.push(IncompleteExample::complete(
+                    encoder.encode_row(row, &[]),
+                    labels[r],
+                ));
+                assignments.push(None);
+            }
+            Some(repair) => {
+                let cols: Vec<usize> = repair.cells.iter().map(|c| c.col).collect();
+                let values = repair.assignments(opts.max_row_candidates);
+                let candidates: Vec<Vec<f64>> = values
+                    .iter()
+                    .map(|assignment| {
+                        let subs: Vec<(usize, &Value)> = cols
+                            .iter()
+                            .copied()
+                            .zip(assignment.iter())
+                            .collect();
+                        encoder.encode_row(row, &subs)
+                    })
+                    .collect();
+                examples.push(IncompleteExample::incomplete(candidates, labels[r]));
+                assignments.push(Some(RowAssignments { cols, values }));
+            }
+        }
+    }
+
+    let dataset = IncompleteDataset::new(examples, n_labels)
+        .expect("bridge produced an invalid incomplete dataset");
+    TableDataset { dataset, labels, class_names, assignments }
+}
+
+/// The candidate closest to the ground-truth row — the paper's simulated
+/// human ("We simulate human cleaning by picking the candidate repair that is
+/// closest to the ground truth", §5.1).
+///
+/// Distance per repaired cell: normalized absolute difference for numeric
+/// values (`col_scale[col]` is the normalizer, e.g. the column's std),
+/// 0/1 mismatch for categorical values. Ties break toward the earlier
+/// candidate.
+pub fn closest_candidate(
+    assignments: &RowAssignments,
+    truth_row: &[Value],
+    col_scale: &[f64],
+) -> usize {
+    let mut best = 0usize;
+    let mut best_dist = f64::INFINITY;
+    for (j, candidate) in assignments.values.iter().enumerate() {
+        let mut dist = 0.0;
+        for (cell, value) in candidate.iter().enumerate() {
+            let col = assignments.cols[cell];
+            let truth = &truth_row[col];
+            dist += match (value, truth) {
+                (Value::Num(v), Value::Num(t)) => {
+                    let scale = col_scale.get(col).copied().unwrap_or(1.0).max(1e-12);
+                    (v - t).abs() / scale
+                }
+                (Value::Cat(v), Value::Cat(t)) if v == t => 0.0,
+                (Value::Cat(_), Value::Cat(_)) => 1.0,
+                // mismatched kinds (shouldn't happen with a typed table)
+                _ => 1.0,
+            };
+        }
+        if dist < best_dist {
+            best_dist = dist;
+            best = j;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::repair::build_repair_space;
+    use crate::schema::{Column, ColumnType, Schema};
+
+    fn dirty_with_truth() -> (Table, Table) {
+        let schema = Schema::new(vec![
+            Column::new("x", ColumnType::Numeric),
+            Column::new("c", ColumnType::Categorical),
+            Column::new("y", ColumnType::Categorical),
+        ]);
+        let truth = Table::new(
+            schema.clone(),
+            vec![
+                vec![Value::Num(1.0), Value::Cat("a".into()), Value::Cat("no".into())],
+                vec![Value::Num(5.0), Value::Cat("b".into()), Value::Cat("yes".into())],
+                vec![Value::Num(9.0), Value::Cat("a".into()), Value::Cat("yes".into())],
+                vec![Value::Num(9.5), Value::Cat("a".into()), Value::Cat("yes".into())],
+            ],
+        );
+        let mut dirty = truth.clone();
+        dirty.set(1, 0, Value::Null);
+        dirty.set(2, 1, Value::Null);
+        (dirty, truth)
+    }
+
+    #[test]
+    fn bridge_shapes() {
+        let (dirty, _) = dirty_with_truth();
+        let opts = RepairOptions::default();
+        let space = build_repair_space(&dirty, &opts);
+        let encoder = Encoder::fit(&dirty, &[0, 1], Some(&space));
+        let td = build_incomplete_dataset(&dirty, 2, &encoder, &space, &opts);
+        assert_eq!(td.dataset.len(), 4);
+        assert_eq!(td.class_names, vec!["no".to_string(), "yes".to_string()]);
+        assert_eq!(td.labels, vec![0, 1, 1, 1]);
+        // row 0 and 3 clean, rows 1-2 dirty
+        assert!(td.assignments[0].is_none());
+        assert!(td.assignments[1].is_some());
+        assert!(td.assignments[2].is_some());
+        assert!(td.assignments[3].is_none());
+        // numeric candidates: observed x = {1, 9, 9.5} -> 5 stats (distinct)
+        assert_eq!(td.dataset.set_size(1), 5);
+        // categorical candidates: 2 observed cats + other = 3
+        assert_eq!(td.dataset.set_size(2), 3);
+        assert_eq!(td.dataset.dirty_indices(), vec![1, 2]);
+    }
+
+    #[test]
+    fn candidates_encode_substituted_cells() {
+        let (dirty, _) = dirty_with_truth();
+        let opts = RepairOptions::default();
+        let space = build_repair_space(&dirty, &opts);
+        let encoder = Encoder::fit(&dirty, &[0, 1], Some(&space));
+        let td = build_incomplete_dataset(&dirty, 2, &encoder, &space, &opts);
+        // every candidate of row 1 differs only in the numeric slot
+        let cands = &td.dataset.example(1).candidates;
+        for c in cands {
+            assert_eq!(c.len(), encoder.dim());
+            assert_eq!(&c[1..], &cands[0][1..]);
+        }
+        let firsts: Vec<f64> = cands.iter().map(|c| c[0]).collect();
+        let distinct = firsts.iter().filter(|&&v| v != firsts[0]).count();
+        assert!(distinct > 0, "numeric candidates must vary");
+    }
+
+    #[test]
+    fn closest_candidate_picks_ground_truth_neighbor() {
+        let (dirty, truth) = dirty_with_truth();
+        let opts = RepairOptions::default();
+        let space = build_repair_space(&dirty, &opts);
+        let encoder = Encoder::fit(&dirty, &[0, 1], Some(&space));
+        let td = build_incomplete_dataset(&dirty, 2, &encoder, &space, &opts);
+
+        // row 1 truth x = 5; candidates = stats of {1, 9, 9.5}
+        let ra = td.assignments[1].as_ref().unwrap();
+        let j = closest_candidate(ra, truth.row(1), &[1.0, 1.0, 1.0]);
+        let picked = ra.values[j][0].as_num().unwrap();
+        for v in &ra.values {
+            let other = v[0].as_num().unwrap();
+            assert!((picked - 5.0).abs() <= (other - 5.0).abs() + 1e-12);
+        }
+
+        // row 2 truth c = "a": candidate list contains "a", must match exactly
+        let ra2 = td.assignments[2].as_ref().unwrap();
+        let j2 = closest_candidate(ra2, truth.row(2), &[1.0, 1.0, 1.0]);
+        assert_eq!(ra2.values[j2][0], Value::Cat("a".into()));
+    }
+
+    #[test]
+    fn single_class_table_still_builds_binary_dataset() {
+        let schema = Schema::new(vec![
+            Column::new("x", ColumnType::Numeric),
+            Column::new("y", ColumnType::Categorical),
+        ]);
+        let t = Table::new(
+            schema,
+            vec![vec![Value::Num(1.0), Value::Cat("only".into())]],
+        );
+        let opts = RepairOptions::default();
+        let space = build_repair_space(&t, &opts);
+        let encoder = Encoder::fit(&t, &[0], Some(&space));
+        let td = build_incomplete_dataset(&t, 1, &encoder, &space, &opts);
+        // n_labels padded to 2 so binary-only algorithms (MM) stay usable
+        assert_eq!(td.dataset.n_labels(), 2);
+    }
+}

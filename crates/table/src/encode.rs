@@ -1,0 +1,267 @@
+//! Feature encoding: tables → the `f64` feature vectors the KNN kernels
+//! consume.
+//!
+//! Numeric columns are z-scored with statistics fitted on the (observed part
+//! of the) training table; categorical columns are one-hot encoded over a
+//! vocabulary fitted on the training table plus any repair candidates (so the
+//! "other" category has a stable slot). Unknown categories encode as the
+//! all-zero block — distance-wise equidistant from every known category.
+
+use crate::repair::RepairSpace;
+use crate::schema::ColumnType;
+use crate::stats::ColumnStats;
+use crate::table::Table;
+use crate::value::Value;
+
+#[derive(Clone, Debug)]
+enum ColEncoder {
+    Numeric { mean: f64, std: f64 },
+    Categorical { vocab: Vec<String> },
+}
+
+/// A fitted feature encoder over a fixed list of feature columns.
+#[derive(Clone, Debug)]
+pub struct Encoder {
+    feature_cols: Vec<usize>,
+    encoders: Vec<ColEncoder>,
+    dim: usize,
+}
+
+impl Encoder {
+    /// Fit on a table. `feature_cols` selects and orders the encoded columns
+    /// (typically: all columns except the label). `space`, when given,
+    /// extends categorical vocabularies with the repair candidates.
+    pub fn fit(table: &Table, feature_cols: &[usize], space: Option<&RepairSpace>) -> Encoder {
+        let extra: Vec<(usize, String)> =
+            space.map(|s| s.categorical_candidates()).unwrap_or_default();
+        let mut encoders = Vec::with_capacity(feature_cols.len());
+        let mut dim = 0;
+        for &col in feature_cols {
+            let enc = match table.schema().column(col).ty {
+                ColumnType::Numeric => {
+                    let (mean, std) = match ColumnStats::compute(table, col) {
+                        Some(ColumnStats::Numeric { mean, std, .. }) => {
+                            (mean, if std > 0.0 { std } else { 1.0 })
+                        }
+                        _ => (0.0, 1.0),
+                    };
+                    dim += 1;
+                    ColEncoder::Numeric { mean, std }
+                }
+                ColumnType::Categorical => {
+                    let mut vocab: Vec<String> = Vec::new();
+                    if let Some(ColumnStats::Categorical { frequencies, .. }) =
+                        ColumnStats::compute(table, col)
+                    {
+                        vocab.extend(frequencies.into_iter().map(|(s, _)| s));
+                    }
+                    for (c, cat) in &extra {
+                        if *c == col && !vocab.contains(cat) {
+                            vocab.push(cat.clone());
+                        }
+                    }
+                    dim += vocab.len();
+                    ColEncoder::Categorical { vocab }
+                }
+            };
+            encoders.push(enc);
+        }
+        Encoder { feature_cols: feature_cols.to_vec(), encoders, dim }
+    }
+
+    /// Encoded feature dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The encoded feature columns, in order.
+    pub fn feature_cols(&self) -> &[usize] {
+        &self.feature_cols
+    }
+
+    /// Encode a row, substituting `subs` (column → value) over the row's own
+    /// cells — how candidate repairs are materialized without copying the
+    /// table.
+    ///
+    /// # Panics
+    /// Panics if any encoded cell is NULL after substitution (candidate sets
+    /// must cover every missing feature cell before encoding).
+    pub fn encode_row(&self, row: &[Value], subs: &[(usize, &Value)]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.dim);
+        for (slot, &col) in self.feature_cols.iter().enumerate() {
+            let value = subs
+                .iter()
+                .find(|(c, _)| *c == col)
+                .map(|(_, v)| *v)
+                .unwrap_or(&row[col]);
+            match &self.encoders[slot] {
+                ColEncoder::Numeric { mean, std } => {
+                    let v = value
+                        .as_num()
+                        .unwrap_or_else(|| panic!("NULL or non-numeric cell in column {col}"));
+                    out.push((v - mean) / std);
+                }
+                ColEncoder::Categorical { vocab } => {
+                    let cat = value
+                        .as_cat()
+                        .unwrap_or_else(|| panic!("NULL or non-categorical cell in column {col}"));
+                    let start = out.len();
+                    out.extend(std::iter::repeat_n(0.0, vocab.len()));
+                    if let Some(pos) = vocab.iter().position(|v| v == cat) {
+                        out[start + pos] = 1.0;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Encode a complete table (no substitutions).
+    pub fn encode_table(&self, table: &Table) -> Vec<Vec<f64>> {
+        table.rows().iter().map(|r| self.encode_row(r, &[])).collect()
+    }
+}
+
+/// Extract labels from a column: distinct observed values (sorted for
+/// determinism) become classes `0..n_labels`.
+///
+/// Returns `(labels, class_names)`.
+///
+/// # Panics
+/// Panics if any label cell is NULL (the paper's data model assumes "no
+/// uncertainty on the label", §2).
+pub fn extract_labels(table: &Table, label_col: usize) -> (Vec<usize>, Vec<String>) {
+    let mut names: Vec<String> = Vec::new();
+    for row in table.rows() {
+        let v = &row[label_col];
+        assert!(!v.is_null(), "NULL label: the CP data model requires certain labels");
+        let name = v.to_string();
+        if !names.contains(&name) {
+            names.push(name);
+        }
+    }
+    names.sort();
+    let labels = table
+        .rows()
+        .iter()
+        .map(|row| {
+            let name = row[label_col].to_string();
+            names.iter().position(|n| *n == name).unwrap()
+        })
+        .collect();
+    (labels, names)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::repair::{build_repair_space, RepairOptions};
+    use crate::schema::{Column, Schema};
+    use crate::value::OTHER_CATEGORY;
+
+    fn sample() -> Table {
+        let schema = Schema::new(vec![
+            Column::new("x", ColumnType::Numeric),
+            Column::new("c", ColumnType::Categorical),
+            Column::new("y", ColumnType::Categorical),
+        ]);
+        Table::new(
+            schema,
+            vec![
+                vec![Value::Num(0.0), Value::Cat("a".into()), Value::Cat("no".into())],
+                vec![Value::Num(2.0), Value::Cat("b".into()), Value::Cat("yes".into())],
+                vec![Value::Num(4.0), Value::Cat("a".into()), Value::Cat("yes".into())],
+            ],
+        )
+    }
+
+    #[test]
+    fn zscore_and_onehot() {
+        let t = sample();
+        let enc = Encoder::fit(&t, &[0, 1], None);
+        // x: mean 2, std sqrt(8/3); c vocab: [a (2), b (1)]
+        assert_eq!(enc.dim(), 3);
+        let row0 = enc.encode_row(t.row(0), &[]);
+        assert!((row0[0] - (0.0 - 2.0) / (8.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(&row0[1..], &[1.0, 0.0]);
+        let row1 = enc.encode_row(t.row(1), &[]);
+        assert_eq!(&row1[1..], &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn substitution_overrides_cell() {
+        let t = sample();
+        let enc = Encoder::fit(&t, &[0, 1], None);
+        let sub = Value::Num(4.0);
+        let encoded = enc.encode_row(t.row(0), &[(0, &sub)]);
+        let direct = enc.encode_row(t.row(2), &[]);
+        assert_eq!(encoded[0], direct[0]);
+    }
+
+    #[test]
+    fn unknown_category_encodes_as_zeros() {
+        let t = sample();
+        let enc = Encoder::fit(&t, &[1], None);
+        let unknown = Value::Cat("zzz".into());
+        let encoded = enc.encode_row(t.row(0), &[(1, &unknown)]);
+        assert_eq!(encoded, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn repair_space_extends_vocab_with_other() {
+        let schema = Schema::new(vec![Column::new("c", ColumnType::Categorical)]);
+        let t = Table::new(
+            schema,
+            vec![vec![Value::Cat("a".into())], vec![Value::Null]],
+        );
+        let space = build_repair_space(&t, &RepairOptions::default());
+        let enc = Encoder::fit(&t, &[0], Some(&space));
+        // vocab = [a, <other>]
+        assert_eq!(enc.dim(), 2);
+        let other = Value::Cat(OTHER_CATEGORY.into());
+        let encoded = enc.encode_row(t.row(1), &[(0, &other)]);
+        assert_eq!(encoded, vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn constant_numeric_column_does_not_divide_by_zero() {
+        let schema = Schema::new(vec![Column::new("x", ColumnType::Numeric)]);
+        let t = Table::new(schema, vec![vec![Value::Num(5.0)], vec![Value::Num(5.0)]]);
+        let enc = Encoder::fit(&t, &[0], None);
+        assert_eq!(enc.encode_table(&t), vec![vec![0.0], vec![0.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "NULL or non-numeric")]
+    fn encoding_null_panics() {
+        let schema = Schema::new(vec![Column::new("x", ColumnType::Numeric)]);
+        let t = Table::new(schema, vec![vec![Value::Null]]);
+        let enc = Encoder::fit(&t, &[0], None);
+        enc.encode_row(t.row(0), &[]);
+    }
+
+    #[test]
+    fn labels_extracted_sorted() {
+        let t = sample();
+        let (labels, names) = extract_labels(&t, 2);
+        assert_eq!(names, vec!["no".to_string(), "yes".to_string()]);
+        assert_eq!(labels, vec![0, 1, 1]);
+    }
+
+    #[test]
+    fn numeric_labels_work() {
+        let schema = Schema::new(vec![Column::new("y", ColumnType::Numeric)]);
+        let t = Table::new(schema, vec![vec![Value::Num(1.0)], vec![Value::Num(0.0)]]);
+        let (labels, names) = extract_labels(&t, 0);
+        assert_eq!(names, vec!["0".to_string(), "1".to_string()]);
+        assert_eq!(labels, vec![1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "NULL label")]
+    fn null_label_rejected() {
+        let schema = Schema::new(vec![Column::new("y", ColumnType::Categorical)]);
+        let t = Table::new(schema, vec![vec![Value::Null]]);
+        extract_labels(&t, 0);
+    }
+}

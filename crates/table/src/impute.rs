@@ -1,0 +1,189 @@
+//! Imputation: filling NULLs with single values.
+//!
+//! * [`default_clean`] is the paper's **Default Cleaning** baseline (§5.1):
+//!   "missing cells in a numerical column are filled in using the mean value
+//!   of the column, and those in a categorical column are filled using the
+//!   most frequent value of that column."
+//! * [`impute_with`] fills with any of the five repair statistics — the
+//!   "predefined set of cleaning methods" BoostClean selects from.
+
+use crate::stats::{table_stats, ColumnStats};
+use crate::table::Table;
+use crate::value::{Value, OTHER_CATEGORY};
+
+/// One member of the predefined repair-method family for numeric columns.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NumericImpute {
+    /// Column minimum.
+    Min,
+    /// 25th percentile.
+    P25,
+    /// Column mean (the default-cleaning choice).
+    Mean,
+    /// 75th percentile.
+    P75,
+    /// Column maximum.
+    Max,
+}
+
+/// One member of the predefined repair-method family for categorical columns.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CategoricalImpute {
+    /// The i-th most frequent category (0 = mode, the default-cleaning
+    /// choice). Falls back to the last available category when the column has
+    /// fewer distinct values.
+    Top(usize),
+    /// The dummy "other" category.
+    Other,
+}
+
+/// All numeric repair methods, aligned with the candidate-repair order.
+pub const NUMERIC_METHODS: [NumericImpute; 5] = [
+    NumericImpute::Min,
+    NumericImpute::P25,
+    NumericImpute::Mean,
+    NumericImpute::P75,
+    NumericImpute::Max,
+];
+
+/// All categorical repair methods, aligned with the candidate-repair order.
+pub const CATEGORICAL_METHODS: [CategoricalImpute; 5] = [
+    CategoricalImpute::Top(0),
+    CategoricalImpute::Top(1),
+    CategoricalImpute::Top(2),
+    CategoricalImpute::Top(3),
+    CategoricalImpute::Other,
+];
+
+fn numeric_value(stats: &ColumnStats, method: NumericImpute) -> Option<f64> {
+    match stats {
+        ColumnStats::Numeric { min, p25, mean, p75, max, .. } => Some(match method {
+            NumericImpute::Min => *min,
+            NumericImpute::P25 => *p25,
+            NumericImpute::Mean => *mean,
+            NumericImpute::P75 => *p75,
+            NumericImpute::Max => *max,
+        }),
+        _ => None,
+    }
+}
+
+fn categorical_value(stats: &ColumnStats, method: CategoricalImpute) -> Option<String> {
+    match stats {
+        ColumnStats::Categorical { frequencies, .. } => Some(match method {
+            CategoricalImpute::Top(i) => {
+                let idx = i.min(frequencies.len().saturating_sub(1));
+                frequencies[idx].0.clone()
+            }
+            CategoricalImpute::Other => OTHER_CATEGORY.to_string(),
+        }),
+        _ => None,
+    }
+}
+
+/// Fill every NULL with the chosen per-type repair method.
+///
+/// Fully-NULL columns fall back to 0 / "other".
+pub fn impute_with(table: &Table, num: NumericImpute, cat: CategoricalImpute) -> Table {
+    let stats = table_stats(table);
+    let mut out = table.clone();
+    for r in 0..table.n_rows() {
+        for c in table.missing_cols_in_row(r) {
+            let value = match &stats[c] {
+                Some(s) => match table.schema().column(c).ty {
+                    crate::schema::ColumnType::Numeric => {
+                        Value::Num(numeric_value(s, num).unwrap_or(0.0))
+                    }
+                    crate::schema::ColumnType::Categorical => Value::Cat(
+                        categorical_value(s, cat).unwrap_or_else(|| OTHER_CATEGORY.to_string()),
+                    ),
+                },
+                None => match table.schema().column(c).ty {
+                    crate::schema::ColumnType::Numeric => Value::Num(0.0),
+                    crate::schema::ColumnType::Categorical => {
+                        Value::Cat(OTHER_CATEGORY.to_string())
+                    }
+                },
+            };
+            out.set(r, c, value);
+        }
+    }
+    out
+}
+
+/// The paper's Default Cleaning baseline: mean for numeric, mode for
+/// categorical.
+pub fn default_clean(table: &Table) -> Table {
+    impute_with(table, NumericImpute::Mean, CategoricalImpute::Top(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, ColumnType, Schema};
+
+    fn dirty() -> Table {
+        let schema = Schema::new(vec![
+            Column::new("x", ColumnType::Numeric),
+            Column::new("c", ColumnType::Categorical),
+        ]);
+        Table::new(
+            schema,
+            vec![
+                vec![Value::Num(1.0), Value::Cat("a".into())],
+                vec![Value::Num(3.0), Value::Cat("a".into())],
+                vec![Value::Num(8.0), Value::Cat("b".into())],
+                vec![Value::Null, Value::Null],
+            ],
+        )
+    }
+
+    #[test]
+    fn default_clean_uses_mean_and_mode() {
+        let t = dirty();
+        let cleaned = default_clean(&t);
+        assert_eq!(cleaned.get(3, 0), &Value::Num(4.0)); // mean of 1,3,8
+        assert_eq!(cleaned.get(3, 1), &Value::Cat("a".into())); // mode
+        assert!(cleaned.rows_with_missing().is_empty());
+        // original untouched
+        assert!(t.get(3, 0).is_null());
+    }
+
+    #[test]
+    fn impute_with_other_methods() {
+        let t = dirty();
+        let min_other = impute_with(&t, NumericImpute::Min, CategoricalImpute::Other);
+        assert_eq!(min_other.get(3, 0), &Value::Num(1.0));
+        assert_eq!(min_other.get(3, 1), &Value::Cat(OTHER_CATEGORY.into()));
+        let max_t1 = impute_with(&t, NumericImpute::Max, CategoricalImpute::Top(1));
+        assert_eq!(max_t1.get(3, 0), &Value::Num(8.0));
+        assert_eq!(max_t1.get(3, 1), &Value::Cat("b".into()));
+    }
+
+    #[test]
+    fn top_index_clamps_to_available_categories() {
+        let t = dirty();
+        let imputed = impute_with(&t, NumericImpute::Mean, CategoricalImpute::Top(7));
+        // only two categories exist; Top(7) clamps to the last one
+        assert_eq!(imputed.get(3, 1), &Value::Cat("b".into()));
+    }
+
+    #[test]
+    fn fully_null_column_fallbacks() {
+        let schema = Schema::new(vec![
+            Column::new("x", ColumnType::Numeric),
+            Column::new("c", ColumnType::Categorical),
+        ]);
+        let t = Table::new(schema, vec![vec![Value::Null, Value::Null]]);
+        let cleaned = default_clean(&t);
+        assert_eq!(cleaned.get(0, 0), &Value::Num(0.0));
+        assert_eq!(cleaned.get(0, 1), &Value::Cat(OTHER_CATEGORY.into()));
+    }
+
+    #[test]
+    fn clean_table_is_unchanged() {
+        let schema = Schema::new(vec![Column::new("x", ColumnType::Numeric)]);
+        let t = Table::new(schema, vec![vec![Value::Num(1.0)]]);
+        assert_eq!(default_clean(&t), t);
+    }
+}

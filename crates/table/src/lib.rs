@@ -1,0 +1,42 @@
+//! # cp-table — Codd-table substrate for certain predictions
+//!
+//! The paper's data model is relational: dirty tables with NULLs (Codd
+//! tables, Figure 2) whose missing cells get *candidate repairs*, inducing an
+//! incomplete dataset over possible worlds. This crate owns that relational
+//! layer:
+//!
+//! * [`value`] / [`schema`] / [`table`] — typed tables with NULLs,
+//! * [`csv`] — a small RFC-4180 reader/writer with type inference (built
+//!   in-repo; no external dependency),
+//! * [`stats`] — per-column statistics over observed values,
+//! * [`repair`] — the §5.1 candidate-repair space (numeric: five column
+//!   statistics; categorical: top-4 categories + "other"; Cartesian products
+//!   for multi-missing rows),
+//! * [`impute`] — Default Cleaning (mean/mode) and the full repair-method
+//!   family BoostClean selects from,
+//! * [`encode`] — z-score + one-hot feature encoding,
+//! * [`bridge`] — assembly of a [`cp_core::IncompleteDataset`] from a dirty
+//!   table, plus the ground-truth-closest candidate choice used by the
+//!   simulated cleaning oracle.
+
+pub mod bridge;
+pub mod csv;
+pub mod encode;
+pub mod impute;
+pub mod repair;
+pub mod schema;
+pub mod stats;
+pub mod table;
+pub mod value;
+
+pub use bridge::{build_incomplete_dataset, closest_candidate, RowAssignments, TableDataset};
+pub use encode::{extract_labels, Encoder};
+pub use impute::{
+    default_clean, impute_with, CategoricalImpute, NumericImpute, CATEGORICAL_METHODS,
+    NUMERIC_METHODS,
+};
+pub use repair::{build_repair_space, RepairOptions, RepairSpace};
+pub use schema::{Column, ColumnType, Schema};
+pub use stats::ColumnStats;
+pub use table::Table;
+pub use value::{Value, OTHER_CATEGORY};

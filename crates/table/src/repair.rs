@@ -1,0 +1,285 @@
+//! The candidate-repair space of §5.1.
+//!
+//! For each missing cell the paper's CPClean setup generates:
+//!
+//! * numeric column → **{min, 25th percentile, mean, 75th percentile, max}**
+//!   of the column's observed values,
+//! * categorical column → the **top-4 most frequent categories** plus the
+//!   dummy **"other" category**.
+//!
+//! A row with several missing cells takes the **Cartesian product** of its
+//! cells' candidate lists ("If a record i has multiple missing values, then
+//! the Cartesian product of all candidate repairs for all missing cells
+//! forms C_i"). A configurable cap bounds the product for heavily-damaged
+//! rows (the paper's datasets stay well under it).
+
+use crate::stats::{table_stats, ColumnStats};
+use crate::table::Table;
+use crate::value::{Value, OTHER_CATEGORY};
+
+/// Options controlling repair-space generation.
+#[derive(Clone, Debug)]
+pub struct RepairOptions {
+    /// Maximum number of candidate assignments per row; Cartesian products
+    /// beyond this are truncated (odometer order, so every cell still varies).
+    pub max_row_candidates: usize,
+    /// Number of top categories for categorical cells (paper: 4, plus
+    /// "other").
+    pub top_categories: usize,
+}
+
+impl Default for RepairOptions {
+    fn default() -> Self {
+        // Multi-missing rows would take 25–125 candidates (Cartesian products
+        // of 5-candidate cells); the cap keeps the possible-world machinery
+        // laptop-tractable while an evenly-strided subset preserves variation
+        // in every cell. Raise it to reproduce the paper's unbounded space.
+        RepairOptions { max_row_candidates: 12, top_categories: 4 }
+    }
+}
+
+/// Candidate repairs for one missing cell.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CellRepair {
+    /// Column of the missing cell.
+    pub col: usize,
+    /// Candidate values (non-empty, deduplicated, deterministic order).
+    pub choices: Vec<Value>,
+}
+
+/// Candidate repairs for one dirty row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RowRepair {
+    /// Row index in the dirty table.
+    pub row: usize,
+    /// Per-missing-cell candidates.
+    pub cells: Vec<CellRepair>,
+}
+
+impl RowRepair {
+    /// All candidate assignments for the row: each assignment is a vector of
+    /// values aligned with [`RowRepair::cells`] (odometer order over the
+    /// Cartesian product). When the product exceeds `cap`, an evenly-strided
+    /// subset is returned so every cell still varies across the kept
+    /// candidates (plain truncation would freeze the leading cells).
+    pub fn assignments(&self, cap: usize) -> Vec<Vec<Value>> {
+        assert!(cap > 0, "candidate cap must be positive");
+        let sizes: Vec<usize> = self.cells.iter().map(|c| c.choices.len()).collect();
+        let total: usize = sizes.iter().product();
+        let keep = total.min(cap);
+        let mut out = Vec::with_capacity(keep);
+        for i in 0..keep {
+            // evenly spaced positions across the full product
+            let mut pos = if keep == total { i } else { i * total / keep };
+            let mut assignment = Vec::with_capacity(sizes.len());
+            for (cell, &size) in sizes.iter().enumerate().rev() {
+                assignment.push(self.cells[cell].choices[pos % size].clone());
+                pos /= size;
+            }
+            assignment.reverse();
+            out.push(assignment);
+        }
+        out
+    }
+}
+
+/// Candidate repairs for every dirty row of a table.
+#[derive(Clone, Debug, Default)]
+pub struct RepairSpace {
+    /// One entry per dirty row.
+    pub rows: Vec<RowRepair>,
+}
+
+impl RepairSpace {
+    /// Repairs for a given row index, if the row is dirty.
+    pub fn row(&self, row: usize) -> Option<&RowRepair> {
+        self.rows.iter().find(|r| r.row == row)
+    }
+
+    /// Every candidate categorical value appearing in the space, per column —
+    /// used to extend encoder vocabularies (e.g. with the "other" category).
+    pub fn categorical_candidates(&self) -> Vec<(usize, String)> {
+        let mut out = Vec::new();
+        for row in &self.rows {
+            for cell in &row.cells {
+                for v in &cell.choices {
+                    if let Value::Cat(s) = v {
+                        if !out.contains(&(cell.col, s.clone())) {
+                            out.push((cell.col, s.clone()));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Candidate values for a missing cell in a column with the given stats.
+///
+/// Degenerate columns (no observed values) fall back to a single neutral
+/// candidate (0 for numeric, "other" for categorical) so every candidate set
+/// stays non-empty — the validity assumption of §2 requires at least one
+/// candidate per cell.
+pub fn cell_candidates(stats: Option<&ColumnStats>, opts: &RepairOptions) -> Vec<Value> {
+    match stats {
+        Some(ColumnStats::Numeric { min, p25, mean, p75, max, .. }) => {
+            let mut out: Vec<Value> = Vec::with_capacity(5);
+            for v in [*min, *p25, *mean, *p75, *max] {
+                let val = Value::Num(v);
+                if !out.contains(&val) {
+                    out.push(val);
+                }
+            }
+            out
+        }
+        Some(ColumnStats::Categorical { frequencies, .. }) => {
+            let mut out: Vec<Value> = frequencies
+                .iter()
+                .take(opts.top_categories)
+                .map(|(s, _)| Value::Cat(s.clone()))
+                .collect();
+            out.push(Value::Cat(OTHER_CATEGORY.to_string()));
+            out
+        }
+        None => vec![Value::Cat(OTHER_CATEGORY.to_string())],
+    }
+}
+
+/// Build the repair space of a dirty table: one [`RowRepair`] per row with
+/// missing values, one [`CellRepair`] per missing cell.
+pub fn build_repair_space(table: &Table, opts: &RepairOptions) -> RepairSpace {
+    let stats = table_stats(table);
+    let mut rows = Vec::new();
+    for r in table.rows_with_missing() {
+        let cells: Vec<CellRepair> = table
+            .missing_cols_in_row(r)
+            .into_iter()
+            .map(|col| {
+                let mut choices = cell_candidates(stats[col].as_ref(), opts);
+                // numeric fallback for degenerate numeric columns
+                if choices.is_empty() {
+                    choices.push(Value::Num(0.0));
+                }
+                CellRepair { col, choices }
+            })
+            .collect();
+        rows.push(RowRepair { row: r, cells });
+    }
+    RepairSpace { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, ColumnType, Schema};
+
+    fn dirty_table() -> Table {
+        let schema = Schema::new(vec![
+            Column::new("x", ColumnType::Numeric),
+            Column::new("c", ColumnType::Categorical),
+        ]);
+        Table::new(
+            schema,
+            vec![
+                vec![Value::Num(0.0), Value::Cat("a".into())],
+                vec![Value::Num(4.0), Value::Cat("a".into())],
+                vec![Value::Num(8.0), Value::Cat("b".into())],
+                vec![Value::Num(12.0), Value::Cat("c".into())],
+                vec![Value::Num(16.0), Value::Cat("d".into())],
+                vec![Value::Num(20.0), Value::Cat("e".into())],
+                vec![Value::Null, Value::Null], // dirty row 6
+                vec![Value::Num(2.0), Value::Null], // dirty row 7
+            ],
+        )
+    }
+
+    #[test]
+    fn numeric_candidates_are_five_stats() {
+        let t = dirty_table();
+        let space = build_repair_space(&t, &RepairOptions::default());
+        let row6 = space.row(6).unwrap();
+        let num_cell = &row6.cells[0];
+        assert_eq!(num_cell.col, 0);
+        // observed x: 0,4,8,12,16,20,2 -> min 0, p25 3, mean 8.857…, p75 14, max 20
+        assert_eq!(num_cell.choices.len(), 5);
+        assert_eq!(num_cell.choices[0], Value::Num(0.0));
+        assert_eq!(num_cell.choices[4], Value::Num(20.0));
+    }
+
+    #[test]
+    fn categorical_candidates_are_top4_plus_other() {
+        let t = dirty_table();
+        let space = build_repair_space(&t, &RepairOptions::default());
+        let cat_cell = &space.row(7).unwrap().cells[0];
+        assert_eq!(cat_cell.col, 1);
+        assert_eq!(cat_cell.choices.len(), 5);
+        // "a" appears twice -> top; then alphabetical singles b, c, d; then other
+        assert_eq!(cat_cell.choices[0], Value::Cat("a".into()));
+        assert_eq!(cat_cell.choices[4], Value::Cat(OTHER_CATEGORY.into()));
+        assert!(!cat_cell.choices.contains(&Value::Cat("e".into())));
+    }
+
+    #[test]
+    fn multi_missing_row_takes_cartesian_product() {
+        let t = dirty_table();
+        let space = build_repair_space(&t, &RepairOptions::default());
+        let row6 = space.row(6).unwrap();
+        assert_eq!(row6.cells.len(), 2);
+        let assignments = row6.assignments(1000);
+        assert_eq!(assignments.len(), 25); // 5 numeric × 5 categorical
+        // all distinct
+        for a in 0..assignments.len() {
+            for b in (a + 1)..assignments.len() {
+                assert_ne!(assignments[a], assignments[b]);
+            }
+        }
+    }
+
+    #[test]
+    fn assignments_respect_cap() {
+        let t = dirty_table();
+        let space = build_repair_space(&t, &RepairOptions::default());
+        let row6 = space.row(6).unwrap();
+        assert_eq!(row6.assignments(7).len(), 7);
+    }
+
+    #[test]
+    fn clean_rows_have_no_repairs() {
+        let t = dirty_table();
+        let space = build_repair_space(&t, &RepairOptions::default());
+        assert_eq!(space.rows.len(), 2);
+        assert!(space.row(0).is_none());
+    }
+
+    #[test]
+    fn numeric_dedup_on_constant_column() {
+        let schema = Schema::new(vec![Column::new("x", ColumnType::Numeric)]);
+        let t = Table::new(
+            schema,
+            vec![vec![Value::Num(7.0)], vec![Value::Num(7.0)], vec![Value::Null]],
+        );
+        let space = build_repair_space(&t, &RepairOptions::default());
+        assert_eq!(space.rows[0].cells[0].choices, vec![Value::Num(7.0)]);
+    }
+
+    #[test]
+    fn categorical_candidates_listed_for_vocab() {
+        let t = dirty_table();
+        let space = build_repair_space(&t, &RepairOptions::default());
+        let cats = space.categorical_candidates();
+        assert!(cats.contains(&(1, OTHER_CATEGORY.to_string())));
+        assert!(cats.contains(&(1, "a".to_string())));
+    }
+
+    #[test]
+    fn fully_null_column_falls_back_to_other() {
+        let schema = Schema::new(vec![Column::new("c", ColumnType::Categorical)]);
+        let t = Table::new(schema, vec![vec![Value::Null]]);
+        let space = build_repair_space(&t, &RepairOptions::default());
+        assert_eq!(
+            space.rows[0].cells[0].choices,
+            vec![Value::Cat(OTHER_CATEGORY.into())]
+        );
+    }
+}

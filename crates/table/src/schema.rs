@@ -1,0 +1,137 @@
+//! Table schemas: named, typed columns.
+
+use std::fmt;
+
+/// Column data type.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ColumnType {
+    /// Real-valued.
+    Numeric,
+    /// Discrete categories.
+    Categorical,
+}
+
+/// A named, typed column.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Column {
+    /// Column name.
+    pub name: String,
+    /// Column type.
+    pub ty: ColumnType,
+}
+
+impl Column {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, ty: ColumnType) -> Self {
+        Column { name: name.into(), ty }
+    }
+}
+
+/// An ordered collection of columns.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Schema {
+    columns: Vec<Column>,
+}
+
+impl Schema {
+    /// Build a schema.
+    ///
+    /// # Panics
+    /// Panics on duplicate column names.
+    pub fn new(columns: Vec<Column>) -> Self {
+        for i in 0..columns.len() {
+            for j in (i + 1)..columns.len() {
+                assert_ne!(
+                    columns[i].name, columns[j].name,
+                    "duplicate column name {:?}",
+                    columns[i].name
+                );
+            }
+        }
+        Schema { columns }
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// `true` iff the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// The columns in order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// The column at an index.
+    pub fn column(&self, idx: usize) -> &Column {
+        &self.columns[idx]
+    }
+
+    /// Index of a column by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// All column indices of a given type.
+    pub fn indices_of_type(&self, ty: ColumnType) -> Vec<usize> {
+        (0..self.len()).filter(|&i| self.columns[i].ty == ty).collect()
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self
+            .columns
+            .iter()
+            .map(|c| format!("{}:{:?}", c.name, c.ty))
+            .collect();
+        write!(f, "({})", parts.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_by_name() {
+        let s = Schema::new(vec![
+            Column::new("age", ColumnType::Numeric),
+            Column::new("city", ColumnType::Categorical),
+        ]);
+        assert_eq!(s.index_of("age"), Some(0));
+        assert_eq!(s.index_of("city"), Some(1));
+        assert_eq!(s.index_of("zip"), None);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn indices_by_type() {
+        let s = Schema::new(vec![
+            Column::new("a", ColumnType::Numeric),
+            Column::new("b", ColumnType::Categorical),
+            Column::new("c", ColumnType::Numeric),
+        ]);
+        assert_eq!(s.indices_of_type(ColumnType::Numeric), vec![0, 2]);
+        assert_eq!(s.indices_of_type(ColumnType::Categorical), vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column name")]
+    fn rejects_duplicates() {
+        Schema::new(vec![
+            Column::new("x", ColumnType::Numeric),
+            Column::new("x", ColumnType::Categorical),
+        ]);
+    }
+
+    #[test]
+    fn display() {
+        let s = Schema::new(vec![Column::new("a", ColumnType::Numeric)]);
+        assert_eq!(s.to_string(), "(a:Numeric)");
+    }
+}

@@ -1,0 +1,168 @@
+//! Per-column statistics over *observed* (non-NULL) values — the inputs to
+//! the paper's candidate-repair space (§5.1) and to default imputation.
+
+use crate::schema::ColumnType;
+use crate::table::Table;
+use crate::value::Value;
+use cp_numeric::stats as nstats;
+use std::collections::HashMap;
+
+/// Statistics of one column, computed over non-NULL cells.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ColumnStats {
+    /// Numeric column summary.
+    Numeric {
+        /// Minimum observed value.
+        min: f64,
+        /// 25th percentile.
+        p25: f64,
+        /// Mean.
+        mean: f64,
+        /// 75th percentile.
+        p75: f64,
+        /// Maximum observed value.
+        max: f64,
+        /// Population standard deviation.
+        std: f64,
+        /// Number of observed cells.
+        count: usize,
+    },
+    /// Categorical column summary.
+    Categorical {
+        /// Categories with occurrence counts, most frequent first (ties by
+        /// name for determinism).
+        frequencies: Vec<(String, usize)>,
+        /// Number of observed cells.
+        count: usize,
+    },
+}
+
+impl ColumnStats {
+    /// Compute stats for one column.
+    ///
+    /// Returns `None` if the column has no observed values.
+    pub fn compute(table: &Table, col: usize) -> Option<ColumnStats> {
+        match table.schema().column(col).ty {
+            ColumnType::Numeric => {
+                let values = table.observed_numeric(col);
+                if values.is_empty() {
+                    return None;
+                }
+                Some(ColumnStats::Numeric {
+                    min: nstats::percentile(&values, 0.0)?,
+                    p25: nstats::percentile(&values, 25.0)?,
+                    mean: nstats::mean(&values)?,
+                    p75: nstats::percentile(&values, 75.0)?,
+                    max: nstats::percentile(&values, 100.0)?,
+                    std: nstats::std_dev(&values)?,
+                    count: values.len(),
+                })
+            }
+            ColumnType::Categorical => {
+                let mut counts: HashMap<&str, usize> = HashMap::new();
+                for v in table.rows().iter().map(|r| &r[col]) {
+                    if let Value::Cat(s) = v {
+                        *counts.entry(s.as_str()).or_insert(0) += 1;
+                    }
+                }
+                if counts.is_empty() {
+                    return None;
+                }
+                let count = counts.values().sum();
+                let mut frequencies: Vec<(String, usize)> =
+                    counts.into_iter().map(|(s, c)| (s.to_string(), c)).collect();
+                frequencies.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+                Some(ColumnStats::Categorical { frequencies, count })
+            }
+        }
+    }
+
+    /// The mode (most frequent category) of a categorical column.
+    pub fn mode(&self) -> Option<&str> {
+        match self {
+            ColumnStats::Categorical { frequencies, .. } => {
+                frequencies.first().map(|(s, _)| s.as_str())
+            }
+            _ => None,
+        }
+    }
+
+    /// The mean of a numeric column.
+    pub fn mean(&self) -> Option<f64> {
+        match self {
+            ColumnStats::Numeric { mean, .. } => Some(*mean),
+            _ => None,
+        }
+    }
+}
+
+/// Stats for every column (entries are `None` for fully-NULL columns).
+pub fn table_stats(table: &Table) -> Vec<Option<ColumnStats>> {
+    (0..table.n_cols()).map(|c| ColumnStats::compute(table, c)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, Schema};
+
+    fn sample() -> Table {
+        let schema = Schema::new(vec![
+            Column::new("x", ColumnType::Numeric),
+            Column::new("c", ColumnType::Categorical),
+        ]);
+        Table::new(
+            schema,
+            vec![
+                vec![Value::Num(1.0), Value::Cat("a".into())],
+                vec![Value::Num(2.0), Value::Cat("b".into())],
+                vec![Value::Num(3.0), Value::Cat("b".into())],
+                vec![Value::Num(4.0), Value::Null],
+                vec![Value::Null, Value::Cat("c".into())],
+            ],
+        )
+    }
+
+    #[test]
+    fn numeric_stats() {
+        let t = sample();
+        let s = ColumnStats::compute(&t, 0).unwrap();
+        match s {
+            ColumnStats::Numeric { min, p25, mean, p75, max, count, .. } => {
+                assert_eq!(min, 1.0);
+                assert_eq!(p25, 1.75);
+                assert_eq!(mean, 2.5);
+                assert_eq!(p75, 3.25);
+                assert_eq!(max, 4.0);
+                assert_eq!(count, 4);
+            }
+            _ => panic!("expected numeric stats"),
+        }
+    }
+
+    #[test]
+    fn categorical_stats_sorted_by_frequency() {
+        let t = sample();
+        let s = ColumnStats::compute(&t, 1).unwrap();
+        match &s {
+            ColumnStats::Categorical { frequencies, count } => {
+                assert_eq!(*count, 4);
+                assert_eq!(frequencies[0], ("b".to_string(), 2));
+                // ties broken alphabetically for determinism
+                assert_eq!(frequencies[1], ("a".to_string(), 1));
+                assert_eq!(frequencies[2], ("c".to_string(), 1));
+            }
+            _ => panic!("expected categorical stats"),
+        }
+        assert_eq!(s.mode(), Some("b"));
+        assert_eq!(s.mean(), None);
+    }
+
+    #[test]
+    fn all_null_column_gives_none() {
+        let schema = Schema::new(vec![Column::new("x", ColumnType::Numeric)]);
+        let t = Table::new(schema, vec![vec![Value::Null], vec![Value::Null]]);
+        assert!(ColumnStats::compute(&t, 0).is_none());
+        assert_eq!(table_stats(&t), vec![None]);
+    }
+}

@@ -1,0 +1,243 @@
+//! In-memory relational tables with NULLs (Codd tables).
+
+use crate::schema::{ColumnType, Schema};
+use crate::value::Value;
+use std::fmt;
+
+/// A typed table: schema plus rows of [`Value`]s.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Table {
+    schema: Schema,
+    rows: Vec<Vec<Value>>,
+}
+
+impl Table {
+    /// Build a table, validating each cell against its column type
+    /// (NULL is allowed anywhere).
+    ///
+    /// # Panics
+    /// Panics on row-length or type mismatches.
+    pub fn new(schema: Schema, rows: Vec<Vec<Value>>) -> Self {
+        for (r, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), schema.len(), "row {r} has wrong arity");
+            for (c, v) in row.iter().enumerate() {
+                Self::check_type(&schema, r, c, v);
+            }
+        }
+        Table { schema, rows }
+    }
+
+    fn check_type(schema: &Schema, r: usize, c: usize, v: &Value) {
+        let ok = matches!(
+            (schema.column(c).ty, v),
+            (_, Value::Null)
+                | (ColumnType::Numeric, Value::Num(_))
+                | (ColumnType::Categorical, Value::Cat(_))
+        );
+        assert!(
+            ok,
+            "row {r} column {c} ({}): value {v:?} does not match column type",
+            schema.column(c).name
+        );
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.schema.len()
+    }
+
+    /// A row by index.
+    pub fn row(&self, r: usize) -> &[Value] {
+        &self.rows[r]
+    }
+
+    /// All rows.
+    pub fn rows(&self) -> &[Vec<Value>] {
+        &self.rows
+    }
+
+    /// A single cell.
+    pub fn get(&self, r: usize, c: usize) -> &Value {
+        &self.rows[r][c]
+    }
+
+    /// Overwrite a single cell (type-checked).
+    pub fn set(&mut self, r: usize, c: usize, v: Value) {
+        Self::check_type(&self.schema, r, c, &v);
+        self.rows[r][c] = v;
+    }
+
+    /// Append a row (type-checked).
+    pub fn push_row(&mut self, row: Vec<Value>) {
+        assert_eq!(row.len(), self.schema.len(), "row has wrong arity");
+        let r = self.rows.len();
+        for (c, v) in row.iter().enumerate() {
+            Self::check_type(&self.schema, r, c, v);
+        }
+        self.rows.push(row);
+    }
+
+    /// Non-NULL values of one column.
+    pub fn observed_column(&self, c: usize) -> Vec<&Value> {
+        self.rows.iter().map(|r| &r[c]).filter(|v| !v.is_null()).collect()
+    }
+
+    /// Observed numeric values of one column.
+    pub fn observed_numeric(&self, c: usize) -> Vec<f64> {
+        self.rows.iter().filter_map(|r| r[c].as_num()).collect()
+    }
+
+    /// Column indices with at least one NULL in a given row.
+    pub fn missing_cols_in_row(&self, r: usize) -> Vec<usize> {
+        (0..self.n_cols()).filter(|&c| self.rows[r][c].is_null()).collect()
+    }
+
+    /// Row indices containing at least one NULL.
+    pub fn rows_with_missing(&self) -> Vec<usize> {
+        (0..self.n_rows())
+            .filter(|&r| self.rows[r].iter().any(Value::is_null))
+            .collect()
+    }
+
+    /// Fraction of rows containing at least one NULL — the "missing rate" of
+    /// the paper's Table 1.
+    pub fn missing_row_rate(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        self.rows_with_missing().len() as f64 / self.n_rows() as f64
+    }
+
+    /// Fraction of cells that are NULL.
+    pub fn missing_cell_rate(&self) -> f64 {
+        let total = self.n_rows() * self.n_cols();
+        if total == 0 {
+            return 0.0;
+        }
+        let nulls: usize = self
+            .rows
+            .iter()
+            .map(|r| r.iter().filter(|v| v.is_null()).count())
+            .sum();
+        nulls as f64 / total as f64
+    }
+
+    /// A new table containing the given rows (by index), in order.
+    pub fn select_rows(&self, indices: &[usize]) -> Table {
+        Table {
+            schema: self.schema.clone(),
+            rows: indices.iter().map(|&r| self.rows[r].clone()).collect(),
+        }
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.schema)?;
+        for row in self.rows.iter().take(10) {
+            let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+            writeln!(f, "  {}", cells.join(", "))?;
+        }
+        if self.rows.len() > 10 {
+            writeln!(f, "  … {} more rows", self.rows.len() - 10)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+
+    fn sample() -> Table {
+        let schema = Schema::new(vec![
+            Column::new("age", ColumnType::Numeric),
+            Column::new("city", ColumnType::Categorical),
+        ]);
+        Table::new(
+            schema,
+            vec![
+                vec![Value::Num(32.0), Value::Cat("Paris".into())],
+                vec![Value::Null, Value::Cat("Rome".into())],
+                vec![Value::Num(29.0), Value::Null],
+                vec![Value::Num(41.0), Value::Cat("Rome".into())],
+            ],
+        )
+    }
+
+    #[test]
+    fn shape_and_access() {
+        let t = sample();
+        assert_eq!(t.n_rows(), 4);
+        assert_eq!(t.n_cols(), 2);
+        assert_eq!(t.get(0, 0), &Value::Num(32.0));
+        assert_eq!(t.get(1, 0), &Value::Null);
+    }
+
+    #[test]
+    fn missing_bookkeeping() {
+        let t = sample();
+        assert_eq!(t.rows_with_missing(), vec![1, 2]);
+        assert_eq!(t.missing_cols_in_row(1), vec![0]);
+        assert_eq!(t.missing_row_rate(), 0.5);
+        assert_eq!(t.missing_cell_rate(), 2.0 / 8.0);
+    }
+
+    #[test]
+    fn observed_values() {
+        let t = sample();
+        assert_eq!(t.observed_numeric(0), vec![32.0, 29.0, 41.0]);
+        assert_eq!(t.observed_column(1).len(), 3);
+    }
+
+    #[test]
+    fn set_and_push_are_typechecked() {
+        let mut t = sample();
+        t.set(1, 0, Value::Num(30.0));
+        assert_eq!(t.rows_with_missing(), vec![2]);
+        t.push_row(vec![Value::Num(5.0), Value::Null]);
+        assert_eq!(t.n_rows(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match column type")]
+    fn rejects_type_mismatch() {
+        let mut t = sample();
+        t.set(0, 0, Value::Cat("oops".into()));
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong arity")]
+    fn rejects_wrong_arity() {
+        let mut t = sample();
+        t.push_row(vec![Value::Num(1.0)]);
+    }
+
+    #[test]
+    fn select_rows_preserves_order() {
+        let t = sample();
+        let s = t.select_rows(&[3, 0]);
+        assert_eq!(s.n_rows(), 2);
+        assert_eq!(s.get(0, 0), &Value::Num(41.0));
+        assert_eq!(s.get(1, 0), &Value::Num(32.0));
+    }
+
+    #[test]
+    fn empty_table_rates_are_zero() {
+        let schema = Schema::new(vec![Column::new("x", ColumnType::Numeric)]);
+        let t = Table::new(schema, vec![]);
+        assert_eq!(t.missing_row_rate(), 0.0);
+        assert_eq!(t.missing_cell_rate(), 0.0);
+    }
+}

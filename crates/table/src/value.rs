@@ -1,0 +1,137 @@
+//! Cell values: numeric, categorical, or NULL (the Codd-table `@`).
+
+use std::fmt;
+
+/// The dummy category the paper's repair space adds for categorical columns
+/// ("a dummy category named 'other category'", §5.1).
+pub const OTHER_CATEGORY: &str = "<other>";
+
+/// A relational cell value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// Missing / unknown (the Codd-table NULL).
+    Null,
+    /// A numeric value (always finite).
+    Num(f64),
+    /// A categorical value.
+    Cat(String),
+}
+
+impl Value {
+    /// `true` iff the value is NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The numeric payload, if any.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The categorical payload, if any.
+    pub fn as_cat(&self) -> Option<&str> {
+        match self {
+            Value::Cat(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Parse a raw CSV field: empty / `NULL` / `NA` / `?` become NULL,
+    /// numbers become [`Value::Num`], everything else [`Value::Cat`].
+    pub fn parse(field: &str) -> Value {
+        let trimmed = field.trim();
+        if trimmed.is_empty()
+            || trimmed.eq_ignore_ascii_case("null")
+            || trimmed.eq_ignore_ascii_case("na")
+            || trimmed == "?"
+        {
+            return Value::Null;
+        }
+        match trimmed.parse::<f64>() {
+            Ok(v) if v.is_finite() => Value::Num(v),
+            _ => Value::Cat(trimmed.to_string()),
+        }
+    }
+
+    /// Render for CSV output (NULL becomes the empty field).
+    pub fn to_csv_field(&self) -> String {
+        match self {
+            Value::Null => String::new(),
+            Value::Num(v) => format_num(*v),
+            Value::Cat(s) => s.clone(),
+        }
+    }
+}
+
+fn format_num(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Num(v) => write!(f, "{}", format_num(*v)),
+            Value::Cat(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_nulls() {
+        for s in ["", "  ", "NULL", "null", "NA", "na", "?"] {
+            assert_eq!(Value::parse(s), Value::Null, "input {s:?}");
+        }
+    }
+
+    #[test]
+    fn parse_numbers() {
+        assert_eq!(Value::parse("42"), Value::Num(42.0));
+        assert_eq!(Value::parse("-3.5"), Value::Num(-3.5));
+        assert_eq!(Value::parse(" 1e3 "), Value::Num(1000.0));
+    }
+
+    #[test]
+    fn parse_non_finite_as_category() {
+        // "inf"/"NaN" parse as f64 but are not valid cell numbers
+        assert_eq!(Value::parse("inf"), Value::Cat("inf".into()));
+        assert_eq!(Value::parse("NaN"), Value::Cat("NaN".into()));
+    }
+
+    #[test]
+    fn parse_categories() {
+        assert_eq!(Value::parse("red"), Value::Cat("red".into()));
+        assert_eq!(Value::parse("  Just Born "), Value::Cat("Just Born".into()));
+    }
+
+    #[test]
+    fn accessors() {
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::Num(2.0).as_num(), Some(2.0));
+        assert_eq!(Value::Num(2.0).as_cat(), None);
+        assert_eq!(Value::Cat("x".into()).as_cat(), Some("x"));
+    }
+
+    #[test]
+    fn display_and_csv_roundtrip() {
+        assert_eq!(Value::Num(3.0).to_string(), "3");
+        assert_eq!(Value::Num(3.25).to_string(), "3.25");
+        assert_eq!(Value::Null.to_csv_field(), "");
+        assert_eq!(Value::parse(&Value::Num(3.25).to_csv_field()), Value::Num(3.25));
+        assert_eq!(
+            Value::parse(&Value::Cat("blue".into()).to_csv_field()),
+            Value::Cat("blue".into())
+        );
+    }
+}

@@ -1,0 +1,89 @@
+//! The Figure 1 narrative: from *certain answers* over a Codd table to
+//! *certain predictions* over the induced possible worlds.
+//!
+//! A Codd table with one NULL age induces one possible world per candidate
+//! value. A SQL-style filter (`age < 30`) has a *certain answer* set — the
+//! tuples returned in every world. A KNN classifier trained per world has a
+//! *certain prediction* — a test tuple whose label agrees across worlds.
+//! Run:
+//!
+//! ```text
+//! cargo run --release --example certain_answers_vs_predictions
+//! ```
+
+use cpclean::core::{certain_label, q2, CpConfig, IncompleteDataset, IncompleteExample};
+use cpclean::table::{Column, ColumnType, Schema, Table, Value};
+
+fn main() {
+    // ── the Codd table of Figure 1 ──────────────────────────────────────
+    let schema = Schema::new(vec![
+        Column::new("name", ColumnType::Categorical),
+        Column::new("age", ColumnType::Numeric),
+    ]);
+    let table = Table::new(
+        schema,
+        vec![
+            vec![Value::Cat("John".into()), Value::Num(32.0)],
+            vec![Value::Cat("Anna".into()), Value::Num(29.0)],
+            vec![Value::Cat("Kevin".into()), Value::Null], // age unknown
+        ],
+    );
+    println!("Codd table (@ = NULL):\n{table}");
+
+    // candidate repairs for Kevin's age, as in the figure: 1, 2, or 30
+    let candidates = [1.0, 2.0, 30.0];
+
+    // ── certain answers for `SELECT * WHERE age < 30` ───────────────────
+    println!("query: SELECT name FROM person WHERE age < 30\n");
+    let mut always_in: Vec<&str> = vec!["John", "Anna", "Kevin"];
+    for &age in &candidates {
+        let mut world_answer = Vec::new();
+        for row in table.rows() {
+            let a = row[1].as_num().unwrap_or(age); // NULL takes the candidate
+            if a < 30.0 {
+                world_answer.push(row[0].as_cat().unwrap());
+            }
+        }
+        println!("  world(age={age:>2}): answer = {world_answer:?}");
+        always_in.retain(|n| world_answer.contains(n));
+    }
+    println!("  certain answer (in every world): {always_in:?}");
+    assert_eq!(always_in, vec!["Anna"]);
+
+    // ── certain predictions for a 1-NN over the same worlds ─────────────
+    // label: does the person qualify for the young-adult rate (age < 30)?
+    // John (32) -> no (0), Anna (29) -> yes (1), Kevin -> observed label yes
+    let dataset = IncompleteDataset::new(
+        vec![
+            IncompleteExample::complete(vec![32.0], 0),
+            IncompleteExample::complete(vec![29.0], 1),
+            IncompleteExample::incomplete(candidates.iter().map(|&a| vec![a]).collect(), 1),
+        ],
+        2,
+    )
+    .expect("valid dataset");
+    let cfg = CpConfig::new(1);
+
+    println!("\n1-NN prediction for a new 25-year-old across the {} worlds:", dataset.world_count());
+    let q = q2::<u128>(&dataset, &cfg, &[25.0]);
+    println!("  worlds per label: {:?} (certain: {:?})", q.counts, q.certain_label());
+    // Kevin's candidates 1/2/30 are all nearer to 25 than John (32) or Anna
+    // (29)? No — age 1 and 2 are far; the nearest neighbor flips between
+    // Kevin(30) and Anna(29) — but both have label 1, so the prediction is
+    // certain even though the nearest *neighbor* is not!
+    assert_eq!(q.certain_label(), Some(1));
+
+    println!("\nand for a 5-year-old:");
+    let q5 = q2::<u128>(&dataset, &cfg, &[5.0]);
+    println!("  worlds per label: {:?} (certain: {:?})", q5.counts, q5.certain_label());
+    // here Kevin (ages 1 or 2) is nearest in 2 worlds (label 1), Anna in the
+    // age=30 world (label 1) — still certain
+    assert_eq!(certain_label(&dataset, &cfg, &[5.0]), Some(1));
+
+    println!("\nand for a 31-year-old (between John and Kevin's age=30 candidate):");
+    let q31 = q2::<u128>(&dataset, &cfg, &[31.0]);
+    println!("  worlds per label: {:?} (certain: {:?})", q31.counts, q31.certain_label());
+    assert_eq!(q31.certain_label(), None, "the prediction depends on Kevin's true age");
+
+    println!("\ncertain answers reason about query results; certain predictions about models.");
+}

@@ -1,0 +1,61 @@
+//! Quickstart: certain predictions on the paper's own worked example.
+//!
+//! Reproduces Figure 6 (§3.1.2): three training examples with two candidate
+//! values each — 8 possible worlds — and a 1-NN classifier. The counting
+//! query must report 6 worlds predicting label 0 and 2 predicting label 1,
+//! and the checking query must report that nothing is certain yet. Run:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use cpclean::core::{
+    certain_label, q2, q2_probabilities, CpConfig, IncompleteDataset, IncompleteExample,
+};
+
+fn main() {
+    // The Figure 6 layout on a line, test point at 10.0 (similarity =
+    // negative squared distance, so larger coordinates are more similar):
+    //   x11=0 < x21=2 < x22=4 < x31=6 < x12=8 < x32=9   (ascending similarity)
+    let dataset = IncompleteDataset::new(
+        vec![
+            IncompleteExample::incomplete(vec![vec![0.0], vec![8.0]], 1), // C1, y=1
+            IncompleteExample::incomplete(vec![vec![2.0], vec![4.0]], 1), // C2, y=1
+            IncompleteExample::incomplete(vec![vec![6.0], vec![9.0]], 0), // C3, y=0
+        ],
+        2,
+    )
+    .expect("valid dataset");
+    let test_point = vec![10.0];
+    let cfg = CpConfig::new(1); // 1-NN, Euclidean
+
+    println!("incomplete dataset: {} examples, {} possible worlds", dataset.len(), dataset.world_count());
+
+    // Q2 — counting query (Definition 5), exact counts
+    let counts = q2::<u128>(&dataset, &cfg, &test_point);
+    println!("\nQ2 (counting): how many worlds predict each label?");
+    for (label, count) in counts.counts.iter().enumerate() {
+        println!("  label {label}: {count} / {} worlds", counts.total);
+    }
+    assert_eq!(counts.counts, vec![6, 2], "Figure 6's result is 6 / 2");
+
+    // the same query as probabilities (what CPClean's entropy consumes)
+    let probs = q2_probabilities(&dataset, &cfg, &test_point);
+    println!("  as probabilities: {probs:?}");
+
+    // Q1 — checking query (Definition 4)
+    println!("\nQ1 (checking): is any label certainly predicted?");
+    match certain_label(&dataset, &cfg, &test_point) {
+        Some(label) => println!("  yes — label {label} wins in every world"),
+        None => println!("  no — the prediction still depends on the unknown values"),
+    }
+    assert_eq!(certain_label(&dataset, &cfg, &test_point), None);
+
+    // With K = 3 every example votes in every world: labels {1,1,0} make
+    // label 1 certain regardless of the missing values (Figure B.1).
+    let cfg3 = CpConfig::new(3);
+    let certain = certain_label(&dataset, &cfg3, &test_point);
+    println!("\nwith K = 3 instead: certain label = {certain:?}");
+    assert_eq!(certain, Some(1));
+    println!("\ncleaning those cells cannot change the 3-NN prediction — don't pay for it!");
+}

@@ -1,0 +1,46 @@
+//! # cpclean — Certain Predictions for KNN classifiers over incomplete data
+//!
+//! Facade crate re-exporting the full workspace: a reproduction of
+//! *"Nearest Neighbor Classifiers over Incomplete Information: From Certain
+//! Answers to Certain Predictions"* (Karlaš et al., VLDB 2020).
+//!
+//! ```
+//! use cpclean::core::{CpConfig, IncompleteDataset, IncompleteExample};
+//!
+//! // A tiny incomplete training set: the middle example's feature is unknown
+//! // (two candidate repairs), the labels are certain.
+//! let ds = IncompleteDataset::new(
+//!     vec![
+//!         IncompleteExample::complete(vec![0.0], 0),
+//!         IncompleteExample::incomplete(vec![vec![4.0], vec![9.0]], 1),
+//!         IncompleteExample::complete(vec![10.0], 1),
+//!     ],
+//!     2,
+//! )
+//! .unwrap();
+//!
+//! let cfg = CpConfig::new(1); // 1-NN
+//! // Q2: how many of the 2 possible worlds predict each label at t = 5?
+//! let q2 = cpclean::core::q2::<u128>(&ds, &cfg, &[5.0]);
+//! assert_eq!(q2.counts.iter().sum::<u128>(), 2);
+//! // Q1: t = 9.5 is certainly predicted as label 1 in every world
+//! assert!(cpclean::core::q1(&ds, &cfg, &[9.5], 1));
+//! ```
+
+/// Numeric substrates: big integers, scaled floats, counting semirings.
+pub use cp_numeric as numeric;
+
+/// KNN classifier substrate: kernels, top-K, voting.
+pub use cp_knn as knn;
+
+/// Certain-prediction queries (Q1/Q2) and the SS/MM algorithm family.
+pub use cp_core as core;
+
+/// Codd tables, CSV, candidate repairs, encoding.
+pub use cp_table as table;
+
+/// Synthetic dataset profiles and MNAR injection.
+pub use cp_datasets as datasets;
+
+/// CPClean and the cleaning baselines.
+pub use cp_clean as clean;

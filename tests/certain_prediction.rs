@@ -1,0 +1,150 @@
+//! Cross-crate integration tests: the CP query stack end to end, from the
+//! facade crate's public API.
+
+use cpclean::core::{
+    bruteforce, certain_label, prediction_entropy_bits, q1, q2, q2_probabilities,
+    q2_with_algorithm, CpConfig, IncompleteDataset, IncompleteExample, Pins, Q2Algorithm,
+    SimilarityIndex,
+};
+use cpclean::knn::Kernel;
+use cpclean::numeric::BigUint;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+fn random_instance(seed: u64, n: usize, m: usize, n_labels: usize) -> (IncompleteDataset, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let examples: Vec<IncompleteExample> = (0..n)
+        .map(|_| {
+            let m_i = rng.gen_range(1..=m);
+            IncompleteExample::incomplete(
+                (0..m_i)
+                    .map(|_| vec![rng.gen_range(-5.0..5.0), rng.gen_range(-5.0..5.0)])
+                    .collect(),
+                rng.gen_range(0..n_labels),
+            )
+        })
+        .collect();
+    let ds = IncompleteDataset::new(examples, n_labels).unwrap();
+    let t = vec![rng.gen_range(-5.0..5.0), rng.gen_range(-5.0..5.0)];
+    (ds, t)
+}
+
+#[test]
+fn all_q2_algorithms_agree_on_many_random_instances() {
+    for seed in 0..40 {
+        let (ds, t) = random_instance(seed, 6, 3, 2 + (seed % 2) as usize);
+        for k in [1, 2, 3] {
+            let cfg = CpConfig::new(k);
+            let reference = q2_with_algorithm::<u128>(&ds, &cfg, &t, Q2Algorithm::BruteForce);
+            for algo in [
+                Q2Algorithm::SortScan,
+                Q2Algorithm::SortScanTree,
+                Q2Algorithm::SortScanMultiClass,
+            ] {
+                let r = q2_with_algorithm::<u128>(&ds, &cfg, &t, algo);
+                assert_eq!(r.counts, reference.counts, "seed={seed} k={k} algo={algo:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn q1_matches_brute_force_for_binary_and_multiclass() {
+    for seed in 0..40 {
+        let n_labels = 2 + (seed % 3) as usize;
+        let (ds, t) = random_instance(seed * 7 + 1, 5, 3, n_labels);
+        for k in [1, 3] {
+            let cfg = CpConfig::new(k);
+            let fast = certain_label(&ds, &cfg, &t);
+            let brute = bruteforce::certain_label_brute(&ds, &cfg, &t);
+            assert_eq!(fast, brute, "seed={seed} k={k} |Y|={n_labels}");
+            for y in 0..n_labels {
+                assert_eq!(q1(&ds, &cfg, &t, y), brute == Some(y));
+            }
+        }
+    }
+}
+
+#[test]
+fn probabilities_normalize_and_match_counts() {
+    for seed in 0..20 {
+        let (ds, t) = random_instance(seed * 13 + 3, 6, 3, 2);
+        let cfg = CpConfig::new(3);
+        let probs = q2_probabilities(&ds, &cfg, &t);
+        assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-9, "seed={seed}");
+        let exact = q2::<BigUint>(&ds, &cfg, &t);
+        for (p, q) in probs.iter().zip(exact.probabilities()) {
+            assert!((p - q).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn entropy_is_zero_exactly_when_certain() {
+    for seed in 0..25 {
+        let (ds, t) = random_instance(seed * 31 + 5, 5, 3, 2);
+        let cfg = CpConfig::new(3);
+        let idx = SimilarityIndex::build(&ds, cfg.kernel, &t);
+        let pins = Pins::none(ds.len());
+        let h = prediction_entropy_bits(&ds, &cfg, &idx, &pins);
+        let certain = certain_label(&ds, &cfg, &t).is_some();
+        if certain {
+            assert!(h < 1e-9, "seed={seed}: certain prediction must have zero entropy");
+        } else {
+            assert!(h > 0.0, "seed={seed}: uncertain prediction must have positive entropy");
+        }
+    }
+}
+
+#[test]
+fn cleaning_monotonicity_pinning_never_revokes_certainty() {
+    // Once a test point is CP'ed, conditioning any candidate set further can
+    // never change the prediction (the foundation of CPClean's guarantee).
+    for seed in 0..25 {
+        let (ds, t) = random_instance(seed * 17 + 11, 5, 3, 2);
+        let cfg = CpConfig::new(3);
+        let idx = SimilarityIndex::build(&ds, cfg.kernel, &t);
+        let before =
+            cpclean::core::certain_label_with_index(&ds, &cfg, &idx, &Pins::none(ds.len()));
+        if let Some(label) = before {
+            for i in ds.dirty_indices() {
+                for j in 0..ds.set_size(i) {
+                    let pins = Pins::single(ds.len(), i, j);
+                    let after = cpclean::core::certain_label_with_index(&ds, &cfg, &idx, &pins);
+                    assert_eq!(after, Some(label), "seed={seed} pin=({i},{j})");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn kernels_affect_ranking_but_all_conserve_worlds() {
+    let (ds, t) = random_instance(99, 6, 3, 2);
+    for kernel in [
+        Kernel::NegEuclidean,
+        Kernel::NegManhattan,
+        Kernel::Rbf { gamma: 0.3 },
+        Kernel::Linear,
+        Kernel::Cosine,
+    ] {
+        let cfg = CpConfig::with_kernel(3, kernel);
+        let r = q2::<BigUint>(&ds, &cfg, &t);
+        let sum = r.counts.iter().fold(BigUint::zero(), |a, c| a.add(c));
+        assert_eq!(sum, ds.world_count(), "kernel {kernel:?}");
+    }
+}
+
+#[test]
+fn complete_dataset_is_always_certain() {
+    let ds = IncompleteDataset::from_complete(
+        vec![vec![0.0, 0.0], vec![1.0, 1.0], vec![5.0, 5.0]],
+        vec![0, 0, 1],
+        2,
+    )
+    .unwrap();
+    let cfg = CpConfig::new(1);
+    for t in [[0.1, 0.1], [4.9, 4.9], [2.6, 2.6]] {
+        assert!(certain_label(&ds, &cfg, &t).is_some(), "complete data has one world");
+    }
+}

