@@ -3,16 +3,18 @@
 //! optimization (certified validation examples contribute zero entropy and
 //! are skipped — §4.1 termination logic made incremental).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use cp_bench::problem_from_prepared;
 use cp_clean::{select_next, val_cp_status, CleaningState};
 use cp_datasets::{bank, make_bundle, prepare, BundleConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
 
 fn bench_selection(c: &mut Criterion) {
     let mut group = c.benchmark_group("cpclean");
-    group.measurement_time(Duration::from_secs(5)).sample_size(10);
+    group
+        .measurement_time(Duration::from_secs(5))
+        .sample_size(10);
 
     let mut cfg = BundleConfig::laptop(3);
     cfg.n_train = 120;

@@ -1,10 +1,10 @@
 //! KNN substrate bench: similarity-index construction (the sort term of
 //! every SS bound) and plain classifier prediction.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cp_bench::random_incomplete_dataset;
 use cp_core::SimilarityIndex;
 use cp_knn::{Kernel, KnnClassifier};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::prelude::*;
 use rand::rngs::StdRng;
 use std::hint::black_box;
@@ -12,7 +12,9 @@ use std::time::Duration;
 
 fn bench_knn(c: &mut Criterion) {
     let mut group = c.benchmark_group("knn");
-    group.measurement_time(Duration::from_secs(2)).sample_size(10);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(10);
 
     for n in [400usize, 1600] {
         let (ds, t) = random_incomplete_dataset(n, 5, 0.2, 2, 5, 42);

@@ -1,16 +1,18 @@
 //! Q1 ablation bench: MM (§3.2) vs the Possibility-semiring SS-DC scan vs
 //! deriving Q1 from an exact Q2 — "one can do significantly better" (§3.2).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cp_bench::random_incomplete_dataset;
 use cp_core::{mm, ss_tree, CpConfig, Pins, SimilarityIndex};
 use cp_numeric::Possibility;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
 
 fn bench_q1_algorithms(c: &mut Criterion) {
     let mut group = c.benchmark_group("q1");
-    group.measurement_time(Duration::from_secs(2)).sample_size(10);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(10);
 
     for n in [100usize, 400, 1600] {
         let (ds, t) = random_incomplete_dataset(n, 5, 0.2, 2, 5, 42);
@@ -30,7 +32,9 @@ fn bench_q1_algorithms(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("ss_tree_exact_counts", n), &n, |b, _| {
             b.iter(|| {
-                black_box(ss_tree::q2_sortscan_tree_with_index::<f64>(&ds, &cfg, &idx, &pins))
+                black_box(ss_tree::q2_sortscan_tree_with_index::<f64>(
+                    &ds, &cfg, &idx, &pins,
+                ))
             })
         });
     }

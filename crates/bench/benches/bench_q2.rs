@@ -2,15 +2,17 @@
 //! fast path (§3.1.2) vs brute force — the design choices DESIGN.md calls
 //! out, across N.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cp_bench::random_incomplete_dataset;
 use cp_core::{bruteforce, ss, ss_k1, ss_tree, CpConfig, Pins, SimilarityIndex};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
 
 fn bench_q2_algorithms(c: &mut Criterion) {
     let mut group = c.benchmark_group("q2");
-    group.measurement_time(Duration::from_secs(2)).sample_size(10);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(10);
 
     for n in [100usize, 400, 1600] {
         let (ds, t) = random_incomplete_dataset(n, 5, 0.2, 2, 5, 42);
@@ -23,18 +25,26 @@ fn bench_q2_algorithms(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("ss_tree_k3", n), &n, |b, _| {
             b.iter(|| {
-                black_box(ss_tree::q2_sortscan_tree_with_index::<f64>(&ds, &cfg, &idx, &pins))
+                black_box(ss_tree::q2_sortscan_tree_with_index::<f64>(
+                    &ds, &cfg, &idx, &pins,
+                ))
             })
         });
 
         let cfg1 = CpConfig::new(1);
         let idx1 = SimilarityIndex::build(&ds, cfg1.kernel, &t);
         group.bench_with_input(BenchmarkId::new("ss_k1_fast_path", n), &n, |b, _| {
-            b.iter(|| black_box(ss_k1::q2_sortscan_k1_with_index::<f64>(&ds, &cfg1, &idx1, &pins)))
+            b.iter(|| {
+                black_box(ss_k1::q2_sortscan_k1_with_index::<f64>(
+                    &ds, &cfg1, &idx1, &pins,
+                ))
+            })
         });
         group.bench_with_input(BenchmarkId::new("ss_tree_k1", n), &n, |b, _| {
             b.iter(|| {
-                black_box(ss_tree::q2_sortscan_tree_with_index::<f64>(&ds, &cfg1, &idx1, &pins))
+                black_box(ss_tree::q2_sortscan_tree_with_index::<f64>(
+                    &ds, &cfg1, &idx1, &pins,
+                ))
             })
         });
     }
@@ -45,7 +55,11 @@ fn bench_q2_algorithms(c: &mut Criterion) {
     let idx = SimilarityIndex::build(&ds, cfg.kernel, &t);
     let pins = Pins::none(ds.len());
     group.bench_function("brute_force_20x2_1024_worlds", |b| {
-        b.iter(|| black_box(bruteforce::q2_brute_with_index::<f64>(&ds, &cfg, &idx, &pins)))
+        b.iter(|| {
+            black_box(bruteforce::q2_brute_with_index::<f64>(
+                &ds, &cfg, &idx, &pins,
+            ))
+        })
     });
 
     group.finish();

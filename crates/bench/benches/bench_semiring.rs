@@ -2,16 +2,18 @@
 //! semiring — the price of exactness (`BigUint`) vs probability space
 //! (`f64`) vs extended range (`ScaledF64`) vs boolean certainty.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use cp_bench::random_incomplete_dataset;
 use cp_core::{ss_tree, CpConfig, Pins, SimilarityIndex};
 use cp_numeric::{BigUint, Possibility, ScaledF64};
+use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
 
 fn bench_semirings(c: &mut Criterion) {
     let mut group = c.benchmark_group("semiring");
-    group.measurement_time(Duration::from_secs(2)).sample_size(10);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(10);
 
     let (ds, t) = random_incomplete_dataset(400, 5, 0.2, 2, 5, 42);
     let cfg = CpConfig::new(3);
@@ -19,21 +21,31 @@ fn bench_semirings(c: &mut Criterion) {
     let pins = Pins::none(ds.len());
 
     group.bench_function("f64_probability", |b| {
-        b.iter(|| black_box(ss_tree::q2_sortscan_tree_with_index::<f64>(&ds, &cfg, &idx, &pins)))
+        b.iter(|| {
+            black_box(ss_tree::q2_sortscan_tree_with_index::<f64>(
+                &ds, &cfg, &idx, &pins,
+            ))
+        })
     });
     group.bench_function("scaled_f64", |b| {
         b.iter(|| {
-            black_box(ss_tree::q2_sortscan_tree_with_index::<ScaledF64>(&ds, &cfg, &idx, &pins))
+            black_box(ss_tree::q2_sortscan_tree_with_index::<ScaledF64>(
+                &ds, &cfg, &idx, &pins,
+            ))
         })
     });
     group.bench_function("possibility_bool", |b| {
         b.iter(|| {
-            black_box(ss_tree::q2_sortscan_tree_with_index::<Possibility>(&ds, &cfg, &idx, &pins))
+            black_box(ss_tree::q2_sortscan_tree_with_index::<Possibility>(
+                &ds, &cfg, &idx, &pins,
+            ))
         })
     });
     group.bench_function("biguint_exact", |b| {
         b.iter(|| {
-            black_box(ss_tree::q2_sortscan_tree_with_index::<BigUint>(&ds, &cfg, &idx, &pins))
+            black_box(ss_tree::q2_sortscan_tree_with_index::<BigUint>(
+                &ds, &cfg, &idx, &pins,
+            ))
         })
     });
     group.finish();

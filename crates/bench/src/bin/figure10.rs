@@ -40,7 +40,8 @@ fn main() {
                 .accuracy(&prep.test_x, &prep.test_y);
             let acc_default = KnnClassifier::new(3)
                 .fit(
-                    prep.encoder.encode_table(&default_clean(&bundle.dirty_train)),
+                    prep.encoder
+                        .encode_table(&default_clean(&bundle.dirty_train)),
                     labels.clone(),
                     prep.n_labels,
                 )

@@ -33,7 +33,8 @@ fn main() {
             .accuracy(&prep.test_x, &prep.test_y);
         let acc_default = KnnClassifier::new(3)
             .fit(
-                prep.encoder.encode_table(&default_clean(&bundle.dirty_train)),
+                prep.encoder
+                    .encode_table(&default_clean(&bundle.dirty_train)),
                 labels.clone(),
                 prep.n_labels,
             )
@@ -43,8 +44,7 @@ fn main() {
         let opts = scale.run_options();
         let cp_run = run_cpclean(&problem, &prep.test_x, &prep.test_y, &opts);
         let seeds: Vec<u64> = (0..n_random as u64).map(|s| scale.seed ^ (s + 1)).collect();
-        let random_avg =
-            average_random_runs(&problem, &prep.test_x, &prep.test_y, &seeds, &opts);
+        let random_avg = average_random_runs(&problem, &prep.test_x, &prep.test_y, &seeds, &opts);
 
         r.section(&format!(
             "Figure 9 ({}): examples cleaned → val CP'ed % and test gap closed %",

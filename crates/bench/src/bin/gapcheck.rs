@@ -42,7 +42,8 @@ fn main() {
                 .accuracy(&prep.test_x, &prep.test_y);
             let def = KnnClassifier::new(3)
                 .fit(
-                    prep.encoder.encode_table(&default_clean(&bundle.dirty_train)),
+                    prep.encoder
+                        .encode_table(&default_clean(&bundle.dirty_train)),
                     labels.clone(),
                     prep.n_labels,
                 )
@@ -55,10 +56,30 @@ fn main() {
         rows.push(vec![
             profile.name.clone(),
             gts.iter().map(|v| acc(*v)).collect::<Vec<_>>().join("/"),
-            defaults.iter().map(|v| acc(*v)).collect::<Vec<_>>().join("/"),
-            gaps.iter().map(|v| format!("{:+.3}", v)).collect::<Vec<_>>().join("/"),
-            ceilings.iter().map(|v| acc(*v)).collect::<Vec<_>>().join("/"),
+            defaults
+                .iter()
+                .map(|v| acc(*v))
+                .collect::<Vec<_>>()
+                .join("/"),
+            gaps.iter()
+                .map(|v| format!("{:+.3}", v))
+                .collect::<Vec<_>>()
+                .join("/"),
+            ceilings
+                .iter()
+                .map(|v| acc(*v))
+                .collect::<Vec<_>>()
+                .join("/"),
         ]);
     }
-    r.table(&["Dataset", "GT acc (3 seeds)", "Default acc", "gap", "all-cleaned ceiling"], &rows);
+    r.table(
+        &[
+            "Dataset",
+            "GT acc (3 seeds)",
+            "Default acc",
+            "gap",
+            "all-cleaned ceiling",
+        ],
+        &rows,
+    );
 }

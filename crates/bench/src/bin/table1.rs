@@ -4,10 +4,12 @@
 //! the measured characteristics of a concrete bundle at the current
 //! experiment scale (honours `CP_SCALE` / `CP_SEED`).
 
-use cp_bench::report::pct1;
+use cp_bench::report::{pct, pct1};
 use cp_bench::{ExperimentScale, Reporter};
-use cp_datasets::{all_profiles, make_bundle};
+use cp_core::batch::evaluate_batch;
+use cp_core::{CpConfig, Pins};
 use cp_datasets::profiles::MissingSpec;
+use cp_datasets::{all_profiles, make_bundle, prepare};
 
 fn main() {
     let r = Reporter;
@@ -31,7 +33,13 @@ fn main() {
         })
         .collect();
     r.table(
-        &["Dataset", "Error Type", "#Examples", "#Features", "Missing rate"],
+        &[
+            "Dataset",
+            "Error Type",
+            "#Examples",
+            "#Features",
+            "Missing rate",
+        ],
         &rows,
     );
 
@@ -39,18 +47,32 @@ fn main() {
     let rows: Vec<Vec<String>> = all_profiles()
         .iter()
         .map(|p| {
-            let bundle = make_bundle(p, &scale.bundle_config());
+            let cfg = scale.bundle_config();
+            let bundle = make_bundle(p, &cfg);
+            // fraction of validation points already certainly predicted with
+            // zero cleaning, via the batch engine (3-NN, the paper's model)
+            let prep = prepare(&bundle, &cfg.repair);
+            let ds = &prep.table_dataset.dataset;
+            let summary = evaluate_batch(ds, &CpConfig::new(3), &prep.val_x, &Pins::none(ds.len()));
             vec![
                 p.name.clone(),
                 bundle.dirty_train.n_rows().to_string(),
                 (bundle.dirty_train.n_cols() - 1).to_string(),
                 pct1(bundle.dirty_train.missing_row_rate()),
                 bundle.dirty_train.rows_with_missing().len().to_string(),
+                pct(summary.fraction_certain()),
             ]
         })
         .collect();
     r.table(
-        &["Dataset", "Train rows", "#Features", "Missing row rate", "Dirty rows"],
+        &[
+            "Dataset",
+            "Train rows",
+            "#Features",
+            "Missing row rate",
+            "Dirty rows",
+            "Val CP'd uncleaned",
+        ],
         &rows,
     );
     r.note(&format!(

@@ -18,7 +18,10 @@ use cp_datasets::all_profiles;
 fn main() {
     let r = Reporter;
     let scale = ExperimentScale::from_env();
-    let reps: usize = std::env::var("CP_REPS").ok().and_then(|s| s.parse().ok()).unwrap_or(3);
+    let reps: usize = std::env::var("CP_REPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
     r.section("Table 2: End-to-End Performance Comparison");
 
     let mut rows = Vec::new();

@@ -34,8 +34,14 @@ impl ExperimentScale {
     /// Laptop-scale defaults scaled by `CP_SCALE` (the paper's full scale is
     /// roughly `CP_SCALE=3` with 1000-example validation/test sets).
     pub fn from_env() -> Self {
-        let scale: f64 = std::env::var("CP_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0);
-        let seed: u64 = std::env::var("CP_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(7);
+        let scale: f64 = std::env::var("CP_SCALE")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(1.0);
+        let seed: u64 = std::env::var("CP_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(7);
         let n_threads = std::env::var("CP_THREADS")
             .ok()
             .and_then(|s| s.parse().ok())
@@ -60,7 +66,11 @@ impl ExperimentScale {
 
     /// Run options for the cleaning loops.
     pub fn run_options(&self) -> RunOptions {
-        RunOptions { max_cleaned: None, n_threads: self.n_threads, record_every: 1 }
+        RunOptions {
+            max_cleaned: None,
+            n_threads: self.n_threads,
+            record_every: 1,
+        }
     }
 }
 
@@ -187,7 +197,10 @@ fn run_raw(profile: &DatasetProfile, scale: &ExperimentScale) -> EndToEndRaw {
 
     // bounds
     let acc_ground_truth = fit_score(prep.gt_train_x.clone());
-    let acc_default = fit_score(prep.encoder.encode_table(&default_clean(&bundle.dirty_train)));
+    let acc_default = fit_score(
+        prep.encoder
+            .encode_table(&default_clean(&bundle.dirty_train)),
+    );
 
     // BoostClean (boosted ensemble over the shared repair family)
     let boost = run_boostclean(

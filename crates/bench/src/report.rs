@@ -14,7 +14,10 @@ impl Reporter {
     /// Print one markdown table.
     pub fn table(&self, headers: &[&str], rows: &[Vec<String>]) {
         println!("| {} |", headers.join(" | "));
-        println!("|{}|", headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+        println!(
+            "|{}|",
+            headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        );
         for row in rows {
             println!("| {} |", row.join(" | "));
         }

@@ -140,7 +140,10 @@ pub fn run_boostclean(
         best_val_accuracy: accuracies[best],
         best_test_accuracy,
         ensemble_test_accuracy,
-        ensemble: ensemble.into_iter().map(|(mi, a)| (methods[mi], a)).collect(),
+        ensemble: ensemble
+            .into_iter()
+            .map(|(mi, a)| (methods[mi], a))
+            .collect(),
     }
 }
 
@@ -189,7 +192,11 @@ mod tests {
         );
         // mean imputation would park the missing rows around 4.0 (mixing the
         // classes); max imputation puts them at ~10.7 (correct side)
-        assert!(r.best_val_accuracy >= 0.8, "val accuracy {}", r.best_val_accuracy);
+        assert!(
+            r.best_val_accuracy >= 0.8,
+            "val accuracy {}",
+            r.best_val_accuracy
+        );
         assert!(r.ensemble_test_accuracy >= r.best_test_accuracy - 0.2);
         assert!(!r.ensemble.is_empty());
     }

@@ -93,7 +93,11 @@ pub fn run_cpclean(
         curve.push(point(problem, &state, &cp, n_dirty, test_x, test_y));
     }
 
-    CleaningRun { order: state.order().to_vec(), curve, converged }
+    CleaningRun {
+        order: state.order().to_vec(),
+        curve,
+        converged,
+    }
 }
 
 /// The greedy selection step (Algorithm 3, lines 5–9): the uncleaned row
@@ -209,7 +213,10 @@ mod tests {
         let cp = val_cp_status(&p, state.pins(), 1);
         assert_eq!(cp, vec![false]);
         let row = select_next(&p, &state, &cp, &[1, 3], 1);
-        assert_eq!(row, 1, "CPClean must target the row that affects the val point");
+        assert_eq!(
+            row, 1,
+            "CPClean must target the row that affects the val point"
+        );
     }
 
     #[test]
@@ -217,7 +224,11 @@ mod tests {
         let p = targeted_problem();
         let run = run_cpclean(&p, &[vec![5.0]], &[0], &RunOptions::default());
         assert!(run.converged);
-        assert_eq!(run.order, vec![1], "only the influential row needed cleaning");
+        assert_eq!(
+            run.order,
+            vec![1],
+            "only the influential row needed cleaning"
+        );
         assert_eq!(run.final_point().frac_val_cp, 1.0);
         // curve starts at zero cleaned
         assert_eq!(run.curve[0].cleaned, 0);
@@ -227,7 +238,10 @@ mod tests {
     #[test]
     fn budget_stops_early() {
         let p = targeted_problem();
-        let opts = RunOptions { max_cleaned: Some(0), ..RunOptions::default() };
+        let opts = RunOptions {
+            max_cleaned: Some(0),
+            ..RunOptions::default()
+        };
         let run = run_cpclean(&p, &[vec![5.0]], &[0], &opts);
         assert_eq!(run.n_cleaned(), 0);
         assert!(!run.converged);

@@ -1,9 +1,11 @@
-//! Evaluation plumbing: world accuracy, validation CP status, and a small
-//! scoped-thread parallel map (CPClean's inner loop is embarrassingly
-//! parallel over validation examples).
+//! Evaluation plumbing: world accuracy, validation CP status (served by the
+//! rayon-backed batch engine in [`cp_core::batch`]), and a small
+//! scoped-thread parallel map for CPClean's entropy loop (also
+//! embarrassingly parallel over validation examples).
 
 use crate::problem::CleaningProblem;
 use crate::state::CleaningState;
+use cp_core::batch::certain_labels_batch_pinned;
 use cp_core::{certain_label_with_index, Pins, SimilarityIndex};
 use cp_knn::KnnClassifier;
 
@@ -19,20 +21,22 @@ where
     }
     let threads = n_threads.min(n);
     let chunk = n.div_ceil(threads);
-    let mut chunks: Vec<Vec<T>> = crossbeam::thread::scope(|scope| {
+    let mut chunks: Vec<Vec<T>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|t| {
                 let f = &f;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let start = t * chunk;
                     let end = ((t + 1) * chunk).min(n);
                     (start..end).map(f).collect::<Vec<T>>()
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-    })
-    .expect("thread scope failed");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
     let mut out = Vec::with_capacity(n);
     for c in chunks.iter_mut() {
         out.append(c);
@@ -42,7 +46,9 @@ where
 
 /// Default worker count: the machine's available parallelism.
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// Train a KNN on the world selected by `choices` and score it on a test
@@ -75,12 +81,30 @@ pub fn state_accuracy(
 /// Q1 status of every validation example under the current pins: `true` iff
 /// the example is certainly predicted (its prediction can no longer be
 /// changed by any further cleaning).
+///
+/// `n_threads <= 1` runs the per-point loop sequentially in the calling
+/// thread; an explicit cap *below* the machine's parallelism is honoured via
+/// the scoped-thread map; otherwise (the default: `n_threads =`
+/// [`default_threads`]) the whole validation set goes through the
+/// rayon-backed batch engine ([`cp_core::batch`]). The answer is identical
+/// on every path.
 pub fn val_cp_status(problem: &CleaningProblem, pins: &Pins, n_threads: usize) -> Vec<bool> {
-    parallel_map(problem.val_x.len(), n_threads, |vi| {
-        let t = &problem.val_x[vi];
+    let per_point = |t: &Vec<f64>| {
         let idx = SimilarityIndex::build(&problem.dataset, problem.config.kernel, t);
         certain_label_with_index(&problem.dataset, &problem.config, &idx, pins).is_some()
-    })
+    };
+    if n_threads <= 1 {
+        return problem.val_x.iter().map(per_point).collect();
+    }
+    if n_threads < default_threads() {
+        return parallel_map(problem.val_x.len(), n_threads, |vi| {
+            per_point(&problem.val_x[vi])
+        });
+    }
+    certain_labels_batch_pinned(&problem.dataset, &problem.config, &problem.val_x, pins)
+        .iter()
+        .map(|l| l.is_some())
+        .collect()
 }
 
 #[cfg(test)]
@@ -123,6 +147,18 @@ mod tests {
         let p = problem();
         let status = val_cp_status(&p, &Pins::none(3), 2);
         assert_eq!(status, vec![true, false]);
+    }
+
+    #[test]
+    fn batch_and_sequential_paths_agree() {
+        let p = problem();
+        for pins in [Pins::none(3), Pins::single(3, 1, 0), Pins::single(3, 1, 1)] {
+            assert_eq!(
+                val_cp_status(&p, &pins, 1),
+                val_cp_status(&p, &pins, 4),
+                "pins={pins:?}"
+            );
+        }
     }
 
     #[test]

@@ -30,7 +30,10 @@ pub struct HoloCleanOptions {
 
 impl Default for HoloCleanOptions {
     fn default() -> Self {
-        HoloCleanOptions { k_neighbors: 10, neighbor_weight: 0.8 }
+        HoloCleanOptions {
+            k_neighbors: 10,
+            neighbor_weight: 0.8,
+        }
     }
 }
 
@@ -39,8 +42,9 @@ impl Default for HoloCleanOptions {
 /// in row similarity (the label column must not be among them — the cleaner
 /// is downstream-oblivious).
 pub fn holoclean_impute(dirty: &Table, feature_cols: &[usize], opts: &HoloCleanOptions) -> Table {
-    let stats: Vec<Option<ColumnStats>> =
-        (0..dirty.n_cols()).map(|c| ColumnStats::compute(dirty, c)).collect();
+    let stats: Vec<Option<ColumnStats>> = (0..dirty.n_cols())
+        .map(|c| ColumnStats::compute(dirty, c))
+        .collect();
     // rows complete on all feature columns form the evidence pool
     let pool: Vec<usize> = (0..dirty.n_rows())
         .filter(|&r| feature_cols.iter().all(|&c| !dirty.get(r, c).is_null()))
@@ -119,8 +123,10 @@ fn impute_cell(
 ) -> Value {
     match dirty.schema().column(c).ty {
         ColumnType::Numeric => {
-            let neighbor_vals: Vec<f64> =
-                neighbors.iter().filter_map(|&p| dirty.get(p, c).as_num()).collect();
+            let neighbor_vals: Vec<f64> = neighbors
+                .iter()
+                .filter_map(|&p| dirty.get(p, c).as_num())
+                .collect();
             let prior_mean = stats[c].as_ref().and_then(|s| s.mean()).unwrap_or(0.0);
             if neighbor_vals.is_empty() {
                 return Value::Num(prior_mean);
@@ -141,7 +147,11 @@ fn impute_cell(
             };
             if let Some(ColumnStats::Categorical { frequencies, count }) = stats[c].as_ref() {
                 for (name, freq) in frequencies {
-                    bump(name, (1.0 - opts.neighbor_weight) * *freq as f64 / *count as f64, &mut scores);
+                    bump(
+                        name,
+                        (1.0 - opts.neighbor_weight) * *freq as f64 / *count as f64,
+                        &mut scores,
+                    );
                 }
             }
             let denom = neighbors.len().max(1) as f64;
@@ -175,7 +185,10 @@ mod tests {
         let mut rows = Vec::new();
         for i in 0..6 {
             rows.push(vec![Value::Num(i as f64 * 0.1), Value::Cat("a".into())]);
-            rows.push(vec![Value::Num(10.0 + i as f64 * 0.1), Value::Cat("b".into())]);
+            rows.push(vec![
+                Value::Num(10.0 + i as f64 * 0.1),
+                Value::Cat("b".into()),
+            ]);
         }
         rows.push(vec![Value::Num(10.05), Value::Null]); // should become "b"
         rows.push(vec![Value::Null, Value::Cat("a".into())]); // should become ~0.25
@@ -186,7 +199,10 @@ mod tests {
     fn exploits_value_correlations() {
         let t = correlated_table();
         // each cluster has 6 complete rows, so consult 5 neighbors
-        let opts = HoloCleanOptions { k_neighbors: 5, neighbor_weight: 0.8 };
+        let opts = HoloCleanOptions {
+            k_neighbors: 5,
+            neighbor_weight: 0.8,
+        };
         let cleaned = holoclean_impute(&t, &[0, 1], &opts);
         assert!(cleaned.rows_with_missing().is_empty());
         // categorical imputation follows the x-cluster, not the global mode
@@ -194,7 +210,10 @@ mod tests {
         // numeric imputation follows the "a"-cluster (≈0.25), far below the
         // global mean (≈5)
         let v = cleaned.get(13, 0).as_num().unwrap();
-        assert!(v < 4.0, "imputed {v}, expected cluster-driven value below the global mean");
+        assert!(
+            v < 4.0,
+            "imputed {v}, expected cluster-driven value below the global mean"
+        );
     }
 
     #[test]

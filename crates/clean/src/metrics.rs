@@ -86,9 +86,24 @@ mod tests {
         let run = CleaningRun {
             order: vec![4, 2],
             curve: vec![
-                CurvePoint { cleaned: 0, frac_cleaned: 0.0, frac_val_cp: 0.5, test_accuracy: 0.70 },
-                CurvePoint { cleaned: 1, frac_cleaned: 0.5, frac_val_cp: 0.8, test_accuracy: 0.80 },
-                CurvePoint { cleaned: 2, frac_cleaned: 1.0, frac_val_cp: 1.0, test_accuracy: 0.90 },
+                CurvePoint {
+                    cleaned: 0,
+                    frac_cleaned: 0.0,
+                    frac_val_cp: 0.5,
+                    test_accuracy: 0.70,
+                },
+                CurvePoint {
+                    cleaned: 1,
+                    frac_cleaned: 0.5,
+                    frac_val_cp: 0.8,
+                    test_accuracy: 0.80,
+                },
+                CurvePoint {
+                    cleaned: 2,
+                    frac_cleaned: 1.0,
+                    frac_val_cp: 1.0,
+                    test_accuracy: 0.90,
+                },
             ],
             converged: true,
         };

@@ -34,14 +34,21 @@ impl CleaningProblem {
     pub fn validate(&self) {
         let n = self.dataset.len();
         assert_eq!(self.truth_choice.len(), n, "truth_choice length mismatch");
-        assert_eq!(self.default_choice.len(), n, "default_choice length mismatch");
+        assert_eq!(
+            self.default_choice.len(),
+            n,
+            "default_choice length mismatch"
+        );
         assert!(!self.val_x.is_empty(), "empty validation set");
         for x in &self.val_x {
             assert_eq!(x.len(), self.dataset.dim(), "validation dimension mismatch");
         }
         for i in 0..n {
             let dirty = self.dataset.example(i).is_dirty();
-            for (name, choice) in [("truth", &self.truth_choice[i]), ("default", &self.default_choice[i])] {
+            for (name, choice) in [
+                ("truth", &self.truth_choice[i]),
+                ("default", &self.default_choice[i]),
+            ] {
                 match choice {
                     Some(j) => {
                         assert!(dirty, "{name} choice given for clean row {i}");

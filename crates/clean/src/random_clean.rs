@@ -52,7 +52,11 @@ pub fn run_random_clean(
         curve.push(point(problem, &state, &cp, n_dirty, test_x, test_y));
     }
 
-    CleaningRun { order: state.order().to_vec(), curve, converged }
+    CleaningRun {
+        order: state.order().to_vec(),
+        curve,
+        converged,
+    }
 }
 
 fn point(
@@ -156,13 +160,22 @@ mod tests {
         let orders: Vec<Vec<usize>> = (0..8)
             .map(|s| run_random_clean(&p, &[vec![5.0]], &[0], s, &RunOptions::default()).order)
             .collect();
-        assert!(orders.iter().any(|o| o != &orders[0]), "all seeds gave identical orders");
+        assert!(
+            orders.iter().any(|o| o != &orders[0]),
+            "all seeds gave identical orders"
+        );
     }
 
     #[test]
     fn averaged_curve_has_grid_shape() {
         let p = problem();
-        let avg = average_random_runs(&p, &[vec![5.0]], &[0], &[0, 1, 2, 3], &RunOptions::default());
+        let avg = average_random_runs(
+            &p,
+            &[vec![5.0]],
+            &[0],
+            &[0, 1, 2, 3],
+            &RunOptions::default(),
+        );
         assert_eq!(avg.len(), p.dirty_rows().len() + 1);
         assert_eq!(avg[0].cleaned, 0);
         // CP fraction is monotone for the average of monotone curves

@@ -63,8 +63,7 @@ impl CleaningState {
     /// Panics if the row is clean or already cleaned.
     pub fn clean_row(&mut self, problem: &CleaningProblem, row: usize) {
         assert!(!self.cleaned[row], "row {row} already cleaned");
-        let truth = problem.truth_choice[row]
-            .unwrap_or_else(|| panic!("row {row} is not dirty"));
+        let truth = problem.truth_choice[row].unwrap_or_else(|| panic!("row {row} is not dirty"));
         self.pins.pin(row, truth);
         self.cleaned[row] = true;
         self.order.push(row);

@@ -1,0 +1,378 @@
+//! Batch evaluation: whole test sets of CP queries, in parallel.
+//!
+//! The per-point entry points in [`crate::queries`] are what CPClean's inner
+//! loop composes; production serving and the experiment harness instead ask
+//! the *batch* question — "evaluate Q1/Q2 for these `T` test points against
+//! this incomplete dataset" — which is embarrassingly parallel over points.
+//! This module fans each test point out to a rayon worker, builds that
+//! point's [`SimilarityIndex`] exactly once, and drives the existing
+//! `*_with_index` twins, with the same per-query dispatch as the sequential
+//! API (MM for binary Q1, SS-DC — with the K=1 fast path where the semiring
+//! permits — otherwise). Results always come back in input order.
+//!
+//! [`evaluate_batch`] additionally aggregates what the callers downstream
+//! want as a unit: the certainly-predicted label per point, the per-point ×
+//! per-label world-probability matrix, the fraction of points already
+//! certain, and the mean prediction entropy — the quantities `cp_clean`'s
+//! validation loop and the `figure4_scaling` regenerator consume.
+
+use crate::config::CpConfig;
+use crate::dataset::IncompleteDataset;
+use crate::mass::WeightedMass;
+use crate::pins::Pins;
+use crate::queries::{
+    certain_label_with_index, q1_with_index, q2_probabilities_with_index, Q2Algorithm,
+};
+use crate::result::Q2Result;
+use crate::similarity::SimilarityIndex;
+use crate::ss_tree::scan_tree;
+use crate::tally::composition_count;
+use crate::{bruteforce, ss, ss_tree};
+use cp_knn::Label;
+use cp_numeric::CountSemiring;
+use rayon::prelude::*;
+
+/// Run `f` once per test point on the rayon pool, giving it the point's
+/// freshly built (and thereafter reused) similarity index.
+fn for_each_point<R, F>(ds: &IncompleteDataset, cfg: &CpConfig, points: &[Vec<f64>], f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&[f64], &SimilarityIndex) -> R + Sync,
+{
+    points
+        .par_iter()
+        .map(|t| {
+            let idx = SimilarityIndex::build(ds, cfg.kernel, t);
+            f(t, &idx)
+        })
+        .collect()
+}
+
+/// **Q2 over a batch**: world mass per label for every test point, in
+/// semiring `S`. Parallel twin of [`crate::queries::q2`].
+pub fn q2_batch<S: CountSemiring>(
+    ds: &IncompleteDataset,
+    cfg: &CpConfig,
+    points: &[Vec<f64>],
+) -> Vec<Q2Result<S>> {
+    q2_batch_pinned(ds, cfg, points, &Pins::none(ds.len()))
+}
+
+/// [`q2_batch`] under a pin mask (shared by all points — pins condition the
+/// *training* candidate sets, not the test points).
+pub fn q2_batch_pinned<S: CountSemiring>(
+    ds: &IncompleteDataset,
+    cfg: &CpConfig,
+    points: &[Vec<f64>],
+    pins: &Pins,
+) -> Vec<Q2Result<S>> {
+    for_each_point(ds, cfg, points, |_, idx| {
+        ss_tree::q2_sortscan_tree_with_index(ds, cfg, idx, pins)
+    })
+}
+
+/// [`q2_batch_pinned`] with an explicit algorithm choice — the hook the
+/// batch-vs-sequential agreement tests and ablation benches drive.
+pub fn q2_batch_with_algorithm<S: CountSemiring>(
+    ds: &IncompleteDataset,
+    cfg: &CpConfig,
+    points: &[Vec<f64>],
+    pins: &Pins,
+    algo: Q2Algorithm,
+) -> Vec<Q2Result<S>> {
+    for_each_point(ds, cfg, points, |_, idx| match algo {
+        Q2Algorithm::BruteForce => bruteforce::q2_brute_with_index(ds, cfg, idx, pins),
+        Q2Algorithm::SortScan => ss::q2_sortscan_with_index(ds, cfg, idx, pins),
+        Q2Algorithm::Auto | Q2Algorithm::SortScanTree => {
+            ss_tree::q2_sortscan_tree_with_index(ds, cfg, idx, pins)
+        }
+        Q2Algorithm::SortScanMultiClass => {
+            ss_tree::q2_sortscan_multiclass_with_index(ds, cfg, idx, pins)
+        }
+    })
+}
+
+/// Per-label prediction probabilities for every test point (the uniform
+/// prior). Parallel twin of [`crate::queries::q2_probabilities`], including
+/// its K=1 fast path.
+pub fn q2_probabilities_batch(
+    ds: &IncompleteDataset,
+    cfg: &CpConfig,
+    points: &[Vec<f64>],
+    pins: &Pins,
+) -> Vec<Vec<f64>> {
+    for_each_point(ds, cfg, points, |_, idx| {
+        q2_probabilities_with_index(ds, cfg, idx, pins)
+    })
+}
+
+/// Posterior prediction probabilities for every test point under
+/// per-candidate priors. Parallel twin of [`crate::prior::q2_weighted`].
+///
+/// The prior matrix is validated and pin-renormalized **once** for the whole
+/// batch; workers share it behind the [`WeightedMass`] `Arc` and clone only
+/// their per-scan state.
+pub fn q2_weighted_batch(
+    ds: &IncompleteDataset,
+    cfg: &CpConfig,
+    points: &[Vec<f64>],
+    pins: &Pins,
+    priors: &[Vec<f64>],
+) -> Vec<Vec<f64>> {
+    let mass = WeightedMass::new(ds, pins, priors.to_vec());
+    let use_mc = composition_count(ds.n_labels(), cfg.k_eff(ds.len())) > 64;
+    for_each_point(ds, cfg, points, |_, idx| {
+        scan_tree::<f64, _>(ds, cfg, idx, pins, mass.clone(), use_mc).probabilities()
+    })
+}
+
+/// **Q1 over a batch**: is `y` certainly predicted, per test point?
+/// Parallel twin of [`crate::queries::q1`] with the same dispatch (MM for
+/// binary label spaces, SS-DC in the `Possibility` semiring otherwise).
+pub fn q1_batch(
+    ds: &IncompleteDataset,
+    cfg: &CpConfig,
+    points: &[Vec<f64>],
+    y: Label,
+) -> Vec<bool> {
+    q1_batch_pinned(ds, cfg, points, &Pins::none(ds.len()), y)
+}
+
+/// [`q1_batch`] under a pin mask.
+pub fn q1_batch_pinned(
+    ds: &IncompleteDataset,
+    cfg: &CpConfig,
+    points: &[Vec<f64>],
+    pins: &Pins,
+    y: Label,
+) -> Vec<bool> {
+    assert!(y < ds.n_labels(), "label out of range");
+    for_each_point(ds, cfg, points, |_, idx| {
+        q1_with_index(ds, cfg, idx, pins, y)
+    })
+}
+
+/// The certainly-predicted label (if any) per test point. Parallel twin of
+/// [`crate::queries::certain_label`].
+pub fn certain_labels_batch(
+    ds: &IncompleteDataset,
+    cfg: &CpConfig,
+    points: &[Vec<f64>],
+) -> Vec<Option<Label>> {
+    certain_labels_batch_pinned(ds, cfg, points, &Pins::none(ds.len()))
+}
+
+/// [`certain_labels_batch`] under a pin mask — the exact query CPClean's
+/// convergence check (`val_cp_status`) issues once per iteration.
+pub fn certain_labels_batch_pinned(
+    ds: &IncompleteDataset,
+    cfg: &CpConfig,
+    points: &[Vec<f64>],
+    pins: &Pins,
+) -> Vec<Option<Label>> {
+    for_each_point(ds, cfg, points, |_, idx| {
+        certain_label_with_index(ds, cfg, idx, pins)
+    })
+}
+
+/// Aggregate certainty statistics for a batch — see [`evaluate_batch`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct BatchSummary {
+    /// Per point: the certainly-predicted label, if the point is CP'ed.
+    pub certain_labels: Vec<Option<Label>>,
+    /// `probabilities[p][y]` = world probability that point `p` is predicted
+    /// label `y` (rows sum to 1).
+    pub probabilities: Vec<Vec<f64>>,
+    /// Mean Shannon entropy (bits) of the rows of `probabilities` — the
+    /// batch-level version of CPClean's uncertainty objective.
+    pub mean_entropy_bits: f64,
+}
+
+impl BatchSummary {
+    /// Number of test points evaluated.
+    pub fn len(&self) -> usize {
+        self.certain_labels.len()
+    }
+
+    /// `true` iff the batch was empty.
+    pub fn is_empty(&self) -> bool {
+        self.certain_labels.is_empty()
+    }
+
+    /// How many points are certainly predicted.
+    pub fn n_certain(&self) -> usize {
+        self.certain_labels.iter().filter(|l| l.is_some()).count()
+    }
+
+    /// Fraction of points certainly predicted (1.0 for an empty batch:
+    /// nothing is left to certify — the convention CPClean's convergence
+    /// check relies on).
+    pub fn fraction_certain(&self) -> f64 {
+        if self.certain_labels.is_empty() {
+            1.0
+        } else {
+            self.n_certain() as f64 / self.certain_labels.len() as f64
+        }
+    }
+
+    /// Per-point certainty flags (the shape `val_cp_status` returns).
+    pub fn cp_status(&self) -> Vec<bool> {
+        self.certain_labels.iter().map(|l| l.is_some()).collect()
+    }
+
+    /// Column means of the probability matrix: the batch-averaged world
+    /// probability of each label being predicted.
+    pub fn mean_probabilities(&self) -> Vec<f64> {
+        let n = self.probabilities.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let n_labels = self.probabilities[0].len();
+        let mut mean = vec![0.0; n_labels];
+        for row in &self.probabilities {
+            for (m, p) in mean.iter_mut().zip(row) {
+                *m += p;
+            }
+        }
+        for m in &mut mean {
+            *m /= n as f64;
+        }
+        mean
+    }
+}
+
+/// Evaluate a whole test set in one parallel pass: per point, one index
+/// build feeding both the Q1 dispatch (certain label) and the Q2
+/// probabilities, aggregated into a [`BatchSummary`].
+pub fn evaluate_batch(
+    ds: &IncompleteDataset,
+    cfg: &CpConfig,
+    points: &[Vec<f64>],
+    pins: &Pins,
+) -> BatchSummary {
+    let per_point: Vec<(Option<Label>, Vec<f64>)> = for_each_point(ds, cfg, points, |_, idx| {
+        (
+            certain_label_with_index(ds, cfg, idx, pins),
+            q2_probabilities_with_index(ds, cfg, idx, pins),
+        )
+    });
+    let (certain_labels, probabilities): (Vec<_>, Vec<_>) = per_point.into_iter().unzip();
+    let mean_entropy_bits = if probabilities.is_empty() {
+        0.0
+    } else {
+        probabilities
+            .iter()
+            .map(|p| cp_numeric::stats::entropy_bits(p))
+            .sum::<f64>()
+            / probabilities.len() as f64
+    };
+    BatchSummary {
+        certain_labels,
+        probabilities,
+        mean_entropy_bits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::IncompleteExample;
+    use crate::queries::{certain_label, q2, q2_probabilities};
+
+    fn figure6() -> (IncompleteDataset, Vec<Vec<f64>>) {
+        let ds = IncompleteDataset::new(
+            vec![
+                IncompleteExample::incomplete(vec![vec![0.0], vec![8.0]], 1),
+                IncompleteExample::incomplete(vec![vec![2.0], vec![4.0]], 1),
+                IncompleteExample::incomplete(vec![vec![6.0], vec![9.0]], 0),
+            ],
+            2,
+        )
+        .unwrap();
+        let points = vec![vec![10.0], vec![-1.0], vec![4.5], vec![7.0]];
+        (ds, points)
+    }
+
+    #[test]
+    fn q2_batch_matches_sequential_q2() {
+        let (ds, points) = figure6();
+        for k in 1..=3 {
+            let cfg = CpConfig::new(k);
+            let batch = q2_batch::<u128>(&ds, &cfg, &points);
+            assert_eq!(batch.len(), points.len());
+            for (t, r) in points.iter().zip(&batch) {
+                assert_eq!(r, &q2::<u128>(&ds, &cfg, t), "k={k} t={t:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn certain_labels_and_q1_match_sequential() {
+        let (ds, points) = figure6();
+        for k in [1, 3] {
+            let cfg = CpConfig::new(k);
+            let labels = certain_labels_batch(&ds, &cfg, &points);
+            for (t, l) in points.iter().zip(&labels) {
+                assert_eq!(*l, certain_label(&ds, &cfg, t));
+            }
+            for y in 0..ds.n_labels() {
+                let q1s = q1_batch(&ds, &cfg, &points, y);
+                for (l, q) in labels.iter().zip(q1s) {
+                    assert_eq!(q, *l == Some(y));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn summary_aggregates_are_consistent() {
+        let (ds, points) = figure6();
+        let cfg = CpConfig::new(3);
+        let pins = Pins::none(ds.len());
+        let summary = evaluate_batch(&ds, &cfg, &points, &pins);
+        assert_eq!(summary.len(), points.len());
+        assert_eq!(summary.cp_status().len(), points.len());
+        assert_eq!(
+            summary.n_certain(),
+            summary.cp_status().iter().filter(|&&c| c).count()
+        );
+        let frac = summary.fraction_certain();
+        assert!((0.0..=1.0).contains(&frac));
+        // probability rows match the sequential API and sum to 1
+        for (t, row) in points.iter().zip(&summary.probabilities) {
+            assert_eq!(row, &q2_probabilities(&ds, &cfg, t));
+            assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+        // mean matrix is a probability vector
+        let mean = summary.mean_probabilities();
+        assert_eq!(mean.len(), ds.n_labels());
+        assert!((mean.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // K=3 on figure 6 makes every point certain of label 1 ⇒ zero entropy
+        assert_eq!(summary.mean_entropy_bits, 0.0);
+        assert_eq!(frac, 1.0);
+    }
+
+    #[test]
+    fn pinning_flows_through_the_batch() {
+        let (ds, points) = figure6();
+        let cfg = CpConfig::new(1);
+        let unpinned = evaluate_batch(&ds, &cfg, &points, &Pins::none(ds.len()));
+        assert!(unpinned.fraction_certain() < 1.0);
+        // pin every set: exactly one world remains ⇒ everything certain
+        let pins = Pins::from_pairs(ds.len(), &[(0, 0), (1, 0), (2, 0)]);
+        let pinned = evaluate_batch(&ds, &cfg, &points, &pins);
+        assert_eq!(pinned.fraction_certain(), 1.0);
+        assert_eq!(pinned.mean_entropy_bits, 0.0);
+    }
+
+    #[test]
+    fn empty_batch_is_trivially_certain() {
+        let (ds, _) = figure6();
+        let cfg = CpConfig::new(1);
+        let summary = evaluate_batch(&ds, &cfg, &[], &Pins::none(ds.len()));
+        assert!(summary.is_empty());
+        assert_eq!(summary.fraction_certain(), 1.0);
+        assert_eq!(summary.mean_probabilities(), Vec::<f64>::new());
+        assert_eq!(summary.mean_entropy_bits, 0.0);
+    }
+}

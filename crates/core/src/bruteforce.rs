@@ -121,11 +121,7 @@ pub fn q1_brute(ds: &IncompleteDataset, cfg: &CpConfig, t: &[f64], y: Label) -> 
 }
 
 /// The certainly-predicted label, if any, by exhaustive enumeration.
-pub fn certain_label_brute(
-    ds: &IncompleteDataset,
-    cfg: &CpConfig,
-    t: &[f64],
-) -> Option<Label> {
+pub fn certain_label_brute(ds: &IncompleteDataset, cfg: &CpConfig, t: &[f64]) -> Option<Label> {
     let pins = Pins::none(ds.len());
     assert!(
         pinned_world_count(ds, &pins) <= BRUTE_FORCE_WORLD_LIMIT,

@@ -15,7 +15,10 @@ impl CpConfig {
     /// Config with the given K and the default (Euclidean) kernel.
     pub fn new(k: usize) -> Self {
         assert!(k > 0, "k must be positive");
-        CpConfig { k, kernel: Kernel::default() }
+        CpConfig {
+            k,
+            kernel: Kernel::default(),
+        }
     }
 
     /// Config with an explicit kernel.

@@ -7,8 +7,8 @@
 //! are `∏ M_i` of them. This mirrors a block tuple-independent probabilistic
 //! database without the probabilities (§2, "Data Model").
 
-use cp_numeric::BigUint;
 use cp_knn::Label;
+use cp_numeric::BigUint;
 use std::fmt;
 
 /// One training example with incomplete information: a candidate set plus a
@@ -24,7 +24,10 @@ pub struct IncompleteExample {
 impl IncompleteExample {
     /// A *complete* example: exactly one candidate.
     pub fn complete(features: Vec<f64>, label: Label) -> Self {
-        IncompleteExample { candidates: vec![features], label }
+        IncompleteExample {
+            candidates: vec![features],
+            label,
+        }
     }
 
     /// An example with several candidate repairs.
@@ -91,15 +94,30 @@ impl fmt::Display for DatasetError {
             DatasetError::EmptyCandidateSet { example } => {
                 write!(f, "example {example} has an empty candidate set")
             }
-            DatasetError::DimensionMismatch { example, candidate, expected, found } => write!(
+            DatasetError::DimensionMismatch {
+                example,
+                candidate,
+                expected,
+                found,
+            } => write!(
                 f,
                 "example {example} candidate {candidate}: dimension {found}, expected {expected}"
             ),
             DatasetError::NonFiniteFeature { example, candidate } => {
-                write!(f, "example {example} candidate {candidate} has a non-finite feature")
+                write!(
+                    f,
+                    "example {example} candidate {candidate} has a non-finite feature"
+                )
             }
-            DatasetError::LabelOutOfRange { example, label, n_labels } => {
-                write!(f, "example {example} label {label} out of range for {n_labels} classes")
+            DatasetError::LabelOutOfRange {
+                example,
+                label,
+                n_labels,
+            } => {
+                write!(
+                    f,
+                    "example {example} label {label} out of range for {n_labels} classes"
+                )
             }
             DatasetError::NoClasses => write!(f, "n_labels must be positive"),
         }
@@ -118,10 +136,7 @@ pub struct IncompleteDataset {
 
 impl IncompleteDataset {
     /// Validate and build a dataset.
-    pub fn new(
-        examples: Vec<IncompleteExample>,
-        n_labels: usize,
-    ) -> Result<Self, DatasetError> {
+    pub fn new(examples: Vec<IncompleteExample>, n_labels: usize) -> Result<Self, DatasetError> {
         if n_labels == 0 {
             return Err(DatasetError::NoClasses);
         }
@@ -151,11 +166,18 @@ impl IncompleteDataset {
                     });
                 }
                 if !cand.iter().all(|v| v.is_finite()) {
-                    return Err(DatasetError::NonFiniteFeature { example: i, candidate: j });
+                    return Err(DatasetError::NonFiniteFeature {
+                        example: i,
+                        candidate: j,
+                    });
                 }
             }
         }
-        Ok(IncompleteDataset { examples, n_labels, dim: dim.unwrap_or(0) })
+        Ok(IncompleteDataset {
+            examples,
+            n_labels,
+            dim: dim.unwrap_or(0),
+        })
     }
 
     /// Build from a *complete* dataset (every candidate set a singleton).
@@ -164,7 +186,11 @@ impl IncompleteDataset {
         labels: Vec<Label>,
         n_labels: usize,
     ) -> Result<Self, DatasetError> {
-        assert_eq!(features.len(), labels.len(), "feature/label length mismatch");
+        assert_eq!(
+            features.len(),
+            labels.len(),
+            "feature/label length mismatch"
+        );
         let examples = features
             .into_iter()
             .zip(labels)
@@ -220,7 +246,9 @@ impl IncompleteDataset {
 
     /// Indices of dirty examples (candidate sets with more than one element).
     pub fn dirty_indices(&self) -> Vec<usize> {
-        (0..self.len()).filter(|&i| self.examples[i].is_dirty()).collect()
+        (0..self.len())
+            .filter(|&i| self.examples[i].is_dirty())
+            .collect()
     }
 
     /// Total candidate count `Σ M_i` (the `N·M` of the complexity bounds).
@@ -239,7 +267,10 @@ impl IncompleteDataset {
 
     /// `log10` of the world count (cheap; for reporting).
     pub fn world_count_log10(&self) -> f64 {
-        self.examples.iter().map(|e| (e.set_size() as f64).log10()).sum()
+        self.examples
+            .iter()
+            .map(|e| (e.set_size() as f64).log10())
+            .sum()
     }
 
     /// Replace the i-th candidate set with the single candidate `j` —
@@ -277,7 +308,11 @@ impl IncompleteDataset {
     /// verification on small instances — the caller is responsible for
     /// checking [`IncompleteDataset::world_count`] first.
     pub fn iter_worlds(&self) -> WorldIter<'_> {
-        WorldIter { ds: self, choice: vec![0; self.len()], done: false }
+        WorldIter {
+            ds: self,
+            choice: vec![0; self.len()],
+            done: false,
+        }
     }
 }
 
@@ -383,12 +418,9 @@ mod tests {
 
     #[test]
     fn from_complete_builds_singletons() {
-        let ds = IncompleteDataset::from_complete(
-            vec![vec![1.0, 2.0], vec![3.0, 4.0]],
-            vec![0, 1],
-            2,
-        )
-        .unwrap();
+        let ds =
+            IncompleteDataset::from_complete(vec![vec![1.0, 2.0], vec![3.0, 4.0]], vec![0, 1], 2)
+                .unwrap();
         assert_eq!(ds.world_count().to_decimal(), "1");
         assert_eq!(ds.dim(), 2);
         assert!(ds.dirty_indices().is_empty());
@@ -402,7 +434,10 @@ mod tests {
         );
         assert_eq!(
             IncompleteDataset::new(
-                vec![IncompleteExample { candidates: vec![], label: 0 }],
+                vec![IncompleteExample {
+                    candidates: vec![],
+                    label: 0
+                }],
                 2
             )
             .unwrap_err(),
@@ -420,21 +455,16 @@ mod tests {
             DatasetError::DimensionMismatch { .. }
         ));
         assert!(matches!(
-            IncompleteDataset::new(
-                vec![IncompleteExample::complete(vec![f64::NAN], 0)],
-                2
-            )
-            .unwrap_err(),
+            IncompleteDataset::new(vec![IncompleteExample::complete(vec![f64::NAN], 0)], 2)
+                .unwrap_err(),
             DatasetError::NonFiniteFeature { .. }
         ));
         assert!(matches!(
-            IncompleteDataset::new(vec![IncompleteExample::complete(vec![0.0], 3)], 2)
-                .unwrap_err(),
+            IncompleteDataset::new(vec![IncompleteExample::complete(vec![0.0], 3)], 2).unwrap_err(),
             DatasetError::LabelOutOfRange { .. }
         ));
         assert_eq!(
-            IncompleteDataset::new(vec![IncompleteExample::complete(vec![0.0], 0)], 0)
-                .unwrap_err(),
+            IncompleteDataset::new(vec![IncompleteExample::complete(vec![0.0], 0)], 0).unwrap_err(),
             DatasetError::NoClasses
         );
     }

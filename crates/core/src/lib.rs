@@ -24,6 +24,12 @@
 //! | MM (MinMax), Q1 binary | §3.2 / App. B | `O(NM + N log K)` | [`mm`] |
 //! | brute force (reference) | §2.1 | `O(M^N)` | [`bruteforce`] |
 //!
+//! [`batch`] scales the same queries out over whole test sets: one rayon
+//! task per test point, one [`SimilarityIndex`] built and reused per point,
+//! and the per-query dispatch above applied automatically — plus aggregate
+//! certainty statistics ([`BatchSummary`]) for the evaluation loops built on
+//! top.
+//!
 //! All counting code is generic over a [`cp_numeric::CountSemiring`], so the
 //! same scan produces exact big-integer counts, underflow-free scaled counts,
 //! label probabilities, or exact boolean certainty. [`prior`] extends Q2 to
@@ -31,6 +37,7 @@
 //! database view of §2.1), and [`pins::Pins`] provides the conditioning
 //! primitive (`c_i = x_{i,j}`) CPClean's entropy objective is built on.
 
+pub mod batch;
 pub mod bruteforce;
 pub mod config;
 pub mod dataset;
@@ -48,6 +55,11 @@ pub mod ss_mc;
 pub mod ss_tree;
 pub mod tally;
 
+pub use batch::{
+    certain_labels_batch, certain_labels_batch_pinned, evaluate_batch, q1_batch, q1_batch_pinned,
+    q2_batch, q2_batch_pinned, q2_batch_with_algorithm, q2_probabilities_batch, q2_weighted_batch,
+    BatchSummary,
+};
 pub use config::CpConfig;
 pub use dataset::{DatasetError, IncompleteDataset, IncompleteExample};
 pub use pins::Pins;

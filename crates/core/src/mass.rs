@@ -18,6 +18,7 @@
 use crate::dataset::IncompleteDataset;
 use crate::pins::Pins;
 use cp_numeric::CountSemiring;
+use std::sync::Arc;
 
 /// Per-set boundary masses driving the SortScan dynamic programs.
 pub trait MassModel<S: CountSemiring> {
@@ -47,10 +48,11 @@ impl UniformMass {
     /// Build for a dataset under a pin mask (pinned sets have effective
     /// size 1).
     pub fn new(ds: &IncompleteDataset, pins: &Pins) -> Self {
-        let sizes: Vec<u32> = (0..ds.len())
-            .map(|i| pins.eff_size(ds, i) as u32)
-            .collect();
-        UniformMass { alpha: vec![0; ds.len()], sizes }
+        let sizes: Vec<u32> = (0..ds.len()).map(|i| pins.eff_size(ds, i) as u32).collect();
+        UniformMass {
+            alpha: vec![0; ds.len()],
+            sizes,
+        }
     }
 
     /// Current similarity tally `α[set]`.
@@ -62,7 +64,10 @@ impl UniformMass {
     /// scanning past a candidate bumps exactly one tally entry).
     pub fn bump(&mut self, set: usize) {
         self.alpha[set] += 1;
-        debug_assert!(self.alpha[set] <= self.sizes[set], "tally exceeded set size");
+        debug_assert!(
+            self.alpha[set] <= self.sizes[set],
+            "tally exceeded set size"
+        );
     }
 
     /// Effective set size `M_set`.
@@ -101,9 +106,13 @@ impl<S: CountSemiring> MassModel<S> for UniformMass {
 /// probability; the per-set probabilities must sum to 1.
 ///
 /// Only meaningful in probability space, hence implemented for `S = f64`.
+/// Cloning is cheap: the (validated, pin-renormalized) weight matrix is
+/// shared behind an [`Arc`]; only the per-scan `seen_mass` state is copied —
+/// the property the batch engine relies on to evaluate many test points
+/// against one prior without re-copying the matrix.
 #[derive(Clone, Debug)]
 pub struct WeightedMass {
-    weights: Vec<Vec<f64>>,
+    weights: Arc<Vec<Vec<f64>>>,
     seen_mass: Vec<f64>,
 }
 
@@ -140,7 +149,10 @@ impl WeightedMass {
             }
         }
         let n = ds.len();
-        WeightedMass { weights, seen_mass: vec![0.0; n] }
+        WeightedMass {
+            weights: Arc::new(weights),
+            seen_mass: vec![0.0; n],
+        }
     }
 }
 
@@ -224,23 +236,31 @@ mod tests {
         let ds = ds();
         let pins = Pins::none(ds.len());
         let mut m = UniformMass::new(&ds, &pins);
-        assert_eq!(<UniformMass as MassModel<Possibility>>::seen(&m, 0), Possibility(false));
-        assert_eq!(<UniformMass as MassModel<Possibility>>::unseen(&m, 0), Possibility(true));
+        assert_eq!(
+            <UniformMass as MassModel<Possibility>>::seen(&m, 0),
+            Possibility(false)
+        );
+        assert_eq!(
+            <UniformMass as MassModel<Possibility>>::unseen(&m, 0),
+            Possibility(true)
+        );
         MassModel::<Possibility>::advance(&mut m, 0, 0);
         MassModel::<Possibility>::advance(&mut m, 0, 1);
-        assert_eq!(<UniformMass as MassModel<Possibility>>::seen(&m, 0), Possibility(true));
-        assert_eq!(<UniformMass as MassModel<Possibility>>::unseen(&m, 0), Possibility(false));
+        assert_eq!(
+            <UniformMass as MassModel<Possibility>>::seen(&m, 0),
+            Possibility(true)
+        );
+        assert_eq!(
+            <UniformMass as MassModel<Possibility>>::unseen(&m, 0),
+            Possibility(false)
+        );
     }
 
     #[test]
     fn weighted_mass_tracks_cumulative_probability() {
         let ds = ds();
         let pins = Pins::none(ds.len());
-        let mut m = WeightedMass::new(
-            &ds,
-            &pins,
-            vec![vec![0.3, 0.7], vec![0.2, 0.5, 0.3]],
-        );
+        let mut m = WeightedMass::new(&ds, &pins, vec![vec![0.3, 0.7], vec![0.2, 0.5, 0.3]]);
         assert_eq!(m.total(), 1.0);
         m.advance(1, 1);
         assert!((MassModel::<f64>::seen(&m, 1) - 0.5).abs() < 1e-12);

@@ -179,24 +179,23 @@ mod tests {
 
     fn arb_binary_instance() -> impl Strategy<Value = (IncompleteDataset, Vec<f64>, usize)> {
         (1usize..=7, 1usize..=5).prop_flat_map(|(n, k)| {
-            let example = (
-                proptest::collection::vec(-9i32..9, 1..=3),
-                0usize..2,
-            )
-                .prop_map(|(grid, label)| {
+            let example = (proptest::collection::vec(-9i32..9, 1..=3), 0usize..2).prop_map(
+                |(grid, label)| {
                     IncompleteExample::incomplete(
                         grid.into_iter().map(|g| vec![g as f64]).collect(),
                         label,
                     )
-                });
-            (
-                proptest::collection::vec(example, n..=n),
-                -9i32..9,
-                Just(k),
+                },
+            );
+            (proptest::collection::vec(example, n..=n), -9i32..9, Just(k)).prop_map(
+                move |(examples, t, k)| {
+                    (
+                        IncompleteDataset::new(examples, 2).unwrap(),
+                        vec![t as f64],
+                        k,
+                    )
+                },
             )
-                .prop_map(move |(examples, t, k)| {
-                    (IncompleteDataset::new(examples, 2).unwrap(), vec![t as f64], k)
-                })
         })
     }
 

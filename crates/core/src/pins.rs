@@ -19,7 +19,9 @@ pub struct Pins {
 impl Pins {
     /// No pins for a dataset of `n` examples.
     pub fn none(n: usize) -> Self {
-        Pins { pinned: vec![None; n] }
+        Pins {
+            pinned: vec![None; n],
+        }
     }
 
     /// Pin exactly one set.

@@ -72,7 +72,12 @@ impl<S: CountSemiring> TallyTree<S> {
         for v in 1..2 * cap {
             nodes[v * stride] = S::one();
         }
-        TallyTree { k, n_leaves, cap, nodes }
+        TallyTree {
+            k,
+            n_leaves,
+            cap,
+            nodes,
+        }
     }
 
     /// Slot budget K.
@@ -202,7 +207,11 @@ mod tests {
                 .filter(|(i, _)| *i != skip)
                 .map(|(_, &f)| f)
                 .collect();
-            assert_eq!(tree.excluding(skip), direct_product(&rest, k), "skip={skip}");
+            assert_eq!(
+                tree.excluding(skip),
+                direct_product(&rest, k),
+                "skip={skip}"
+            );
         }
     }
 

@@ -112,7 +112,10 @@ mod tests {
                     for (cands, label) in raw {
                         let total: u32 = cands.iter().map(|c| c.1).sum();
                         priors.push(
-                            cands.iter().map(|c| c.1 as f64 / total as f64).collect::<Vec<_>>(),
+                            cands
+                                .iter()
+                                .map(|c| c.1 as f64 / total as f64)
+                                .collect::<Vec<_>>(),
                         );
                         examples.push(IncompleteExample::incomplete(
                             cands.into_iter().map(|c| vec![c.0 as f64]).collect(),

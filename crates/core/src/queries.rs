@@ -132,8 +132,7 @@ pub fn certain_label_with_index(
     if ds.n_labels() == 2 {
         mm::certain_label_minmax(ds, cfg, idx, pins)
     } else {
-        let r: Q2Result<Possibility> =
-            ss_tree::q2_sortscan_tree_with_index(ds, cfg, idx, pins);
+        let r: Q2Result<Possibility> = ss_tree::q2_sortscan_tree_with_index(ds, cfg, idx, pins);
         r.certain_label()
     }
 }
@@ -221,16 +220,14 @@ mod tests {
 
     fn arb_multiclass() -> impl Strategy<Value = (IncompleteDataset, Vec<f64>, usize)> {
         (3usize..=4, 2usize..=6, 1usize..=4).prop_flat_map(|(n_labels, n, k)| {
-            let example = (
-                proptest::collection::vec(-9i32..9, 1..=3),
-                0..n_labels,
-            )
-                .prop_map(|(grid, label)| {
+            let example = (proptest::collection::vec(-9i32..9, 1..=3), 0..n_labels).prop_map(
+                |(grid, label)| {
                     IncompleteExample::incomplete(
                         grid.into_iter().map(|g| vec![g as f64]).collect(),
                         label,
                     )
-                });
+                },
+            );
             (
                 proptest::collection::vec(example, n..=n),
                 -9i32..9,
@@ -238,7 +235,11 @@ mod tests {
                 Just(k),
             )
                 .prop_map(move |(examples, t, n_labels, k)| {
-                    (IncompleteDataset::new(examples, n_labels).unwrap(), vec![t as f64], k)
+                    (
+                        IncompleteDataset::new(examples, n_labels).unwrap(),
+                        vec![t as f64],
+                        k,
+                    )
                 })
         })
     }

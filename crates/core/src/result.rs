@@ -69,7 +69,10 @@ mod tests {
 
     #[test]
     fn probabilities_normalize() {
-        let r = Q2Result::<u128> { counts: vec![6, 2], total: 8 };
+        let r = Q2Result::<u128> {
+            counts: vec![6, 2],
+            total: 8,
+        };
         assert_eq!(r.probabilities(), vec![0.75, 0.25]);
         assert_eq!(r.winner(), 0);
         assert!(!r.is_certain());
@@ -78,7 +81,10 @@ mod tests {
 
     #[test]
     fn certainty_detection() {
-        let r = Q2Result::<u128> { counts: vec![0, 8], total: 8 };
+        let r = Q2Result::<u128> {
+            counts: vec![0, 8],
+            total: 8,
+        };
         assert!(r.is_certain());
         assert_eq!(r.certain_label(), Some(1));
         assert_eq!(r.entropy_bits(), 0.0);
@@ -86,13 +92,19 @@ mod tests {
 
     #[test]
     fn entropy_of_even_split_is_one_bit() {
-        let r = Q2Result::<u128> { counts: vec![4, 4], total: 8 };
+        let r = Q2Result::<u128> {
+            counts: vec![4, 4],
+            total: 8,
+        };
         assert!((r.entropy_bits() - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn winner_tie_breaks_low() {
-        let r = Q2Result::<u128> { counts: vec![4, 4], total: 8 };
+        let r = Q2Result::<u128> {
+            counts: vec![4, 4],
+            total: 8,
+        };
         assert_eq!(r.winner(), 0);
     }
 

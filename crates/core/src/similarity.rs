@@ -42,14 +42,11 @@ impl SimilarityIndex {
                 entries.push((s, i as u32, j as u32));
             }
         }
-        entries.sort_by(|a, b| {
-            match a.0.total_cmp(&b.0) {
-                Ordering::Equal => (a.1, a.2).cmp(&(b.1, b.2)),
-                ord => ord,
-            }
+        entries.sort_by(|a, b| match a.0.total_cmp(&b.0) {
+            Ordering::Equal => (a.1, a.2).cmp(&(b.1, b.2)),
+            ord => ord,
         });
-        let mut rank: Vec<Vec<u32>> =
-            (0..ds.len()).map(|i| vec![0u32; ds.set_size(i)]).collect();
+        let mut rank: Vec<Vec<u32>> = (0..ds.len()).map(|i| vec![0u32; ds.set_size(i)]).collect();
         let mut order = Vec::with_capacity(total);
         let mut sims = Vec::with_capacity(total);
         for (pos, &(s, i, j)) in entries.iter().enumerate() {
@@ -104,7 +101,11 @@ impl SimilarityIndex {
         let ranks = &self.rank[i];
         let mut best = 0usize;
         for (j, &r) in ranks.iter().enumerate().skip(1) {
-            let better = if max { r > ranks[best] } else { r < ranks[best] };
+            let better = if max {
+                r > ranks[best]
+            } else {
+                r < ranks[best]
+            };
             if better {
                 best = j;
             }

@@ -162,15 +162,13 @@ mod tests {
         // (grid coordinates force frequent similarity ties through the
         // tie-break path), up to 3 labels, k in 1..=4
         (2usize..=3, 1usize..=6, 1usize..=4).prop_flat_map(|(n_labels, n, k)| {
-            let example = (
-                proptest::collection::vec(-8i32..8, 1..=3),
-                0..n_labels,
-            )
-                .prop_map(|(grid, label)| {
+            let example = (proptest::collection::vec(-8i32..8, 1..=3), 0..n_labels).prop_map(
+                |(grid, label)| {
                     let candidates: Vec<Vec<f64>> =
                         grid.into_iter().map(|g| vec![g as f64]).collect();
                     IncompleteExample::incomplete(candidates, label)
-                });
+                },
+            );
             (
                 proptest::collection::vec(example, n..=n),
                 -8i32..8,

@@ -44,7 +44,11 @@ pub fn q2_sortscan_k1_with_index<S: DivSemiring>(
 ) -> Q2Result<S> {
     pins.validate(ds);
     let n = ds.len();
-    assert_eq!(cfg.k_eff(n), 1, "the K=1 fast path requires an effective K of 1");
+    assert_eq!(
+        cfg.k_eff(n),
+        1,
+        "the K=1 fast path requires an effective K of 1"
+    );
 
     let mut mass = UniformMass::new(ds, pins);
     // running product over sets with a non-zero tally; zero-tally sets are
@@ -133,7 +137,10 @@ mod tests {
     fn single_example_dataset() {
         // N = 1, K = 1: the lone example always wins
         let ds = IncompleteDataset::new(
-            vec![IncompleteExample::incomplete(vec![vec![1.0], vec![2.0], vec![3.0]], 1)],
+            vec![IncompleteExample::incomplete(
+                vec![vec![1.0], vec![2.0], vec![3.0]],
+                1,
+            )],
             2,
         )
         .unwrap();
@@ -144,23 +151,24 @@ mod tests {
 
     fn arb_instance() -> impl Strategy<Value = (IncompleteDataset, Vec<f64>)> {
         (2usize..=3, 1usize..=7).prop_flat_map(|(n_labels, n)| {
-            let example = (
-                proptest::collection::vec(-9i32..9, 1..=3),
-                0..n_labels,
-            )
-                .prop_map(|(grid, label)| {
+            let example = (proptest::collection::vec(-9i32..9, 1..=3), 0..n_labels).prop_map(
+                |(grid, label)| {
                     IncompleteExample::incomplete(
                         grid.into_iter().map(|g| vec![g as f64]).collect(),
                         label,
                     )
-                });
+                },
+            );
             (
                 proptest::collection::vec(example, n..=n),
                 -9i32..9,
                 Just(n_labels),
             )
                 .prop_map(move |(examples, t, n_labels)| {
-                    (IncompleteDataset::new(examples, n_labels).unwrap(), vec![t as f64])
+                    (
+                        IncompleteDataset::new(examples, n_labels).unwrap(),
+                        vec![t as f64],
+                    )
                 })
         })
     }

@@ -84,17 +84,18 @@ pub(crate) fn scan_tree<S: CountSemiring, M: MassModel<S>>(
         *pos = label_counts[l];
         label_counts[l] += 1;
     }
-    let mut trees: Vec<TallyTree<S>> = label_counts
-        .iter()
-        .map(|&c| TallyTree::new(c, k))
-        .collect();
+    let mut trees: Vec<TallyTree<S>> = label_counts.iter().map(|&c| TallyTree::new(c, k)).collect();
     // initialize leaves at α = 0: everything is still "more similar than the
     // boundary", i.e. out-mass 0, in-mass = the whole set
     for i in 0..n {
         trees[ds.label(i)].set_leaf(leaf_pos[i], mass.seen(i), mass.unseen(i));
     }
 
-    let comps = if use_mc { Vec::new() } else { compositions(n_labels, k) };
+    let comps = if use_mc {
+        Vec::new()
+    } else {
+        compositions(n_labels, k)
+    };
     let mut counts = vec![S::zero(); n_labels];
 
     for &(iu, ju) in idx.order() {
@@ -126,7 +127,10 @@ pub(crate) fn scan_tree<S: CountSemiring, M: MassModel<S>>(
         }
     }
 
-    Q2Result { counts, total: mass.total() }
+    Q2Result {
+        counts,
+        total: mass.total(),
+    }
 }
 
 #[cfg(test)]
@@ -139,15 +143,13 @@ mod tests {
 
     fn arb_instance() -> impl Strategy<Value = (IncompleteDataset, Vec<f64>, usize)> {
         (2usize..=4, 1usize..=7, 1usize..=5).prop_flat_map(|(n_labels, n, k)| {
-            let example = (
-                proptest::collection::vec(-9i32..9, 1..=3),
-                0..n_labels,
-            )
-                .prop_map(|(grid, label)| {
+            let example = (proptest::collection::vec(-9i32..9, 1..=3), 0..n_labels).prop_map(
+                |(grid, label)| {
                     let candidates: Vec<Vec<f64>> =
                         grid.into_iter().map(|g| vec![g as f64]).collect();
                     IncompleteExample::incomplete(candidates, label)
-                });
+                },
+            );
             (
                 proptest::collection::vec(example, n..=n),
                 -9i32..9,

@@ -85,7 +85,11 @@ pub fn make_bundle(profile: &DatasetProfile, cfg: &BundleConfig) -> DatasetBundl
     let mut sized = profile.clone();
     sized.n_rows = total;
     let full = sized.generate(cfg.seed);
-    let parts = shuffle_split(total, &[cfg.n_train, cfg.n_val, cfg.n_test], cfg.seed ^ 0x51);
+    let parts = shuffle_split(
+        total,
+        &[cfg.n_train, cfg.n_val, cfg.n_test],
+        cfg.seed ^ 0x51,
+    );
     let clean_train = full.select_rows(&parts[0]);
     let val = full.select_rows(&parts[1]);
     let test = full.select_rows(&parts[2]);

@@ -37,11 +37,15 @@ pub fn feature_importance(
 
     let accuracy_with = |cols: &[usize]| -> f64 {
         let enc = Encoder::fit(table, cols, None);
-        let train_x: Vec<Vec<f64>> =
-            train_idx.iter().map(|&r| enc.encode_row(table.row(r), &[])).collect();
+        let train_x: Vec<Vec<f64>> = train_idx
+            .iter()
+            .map(|&r| enc.encode_row(table.row(r), &[]))
+            .collect();
         let train_y: Vec<usize> = train_idx.iter().map(|&r| labels[r]).collect();
-        let eval_x: Vec<Vec<f64>> =
-            eval_idx.iter().map(|&r| enc.encode_row(table.row(r), &[])).collect();
+        let eval_x: Vec<Vec<f64>> = eval_idx
+            .iter()
+            .map(|&r| enc.encode_row(table.row(r), &[]))
+            .collect();
         let eval_y: Vec<usize> = eval_idx.iter().map(|&r| labels[r]).collect();
         cp_knn::KnnClassifier::new(3)
             .fit(train_x, train_y, n_labels)
@@ -52,8 +56,11 @@ pub fn feature_importance(
     feature_cols
         .iter()
         .map(|&drop| {
-            let reduced: Vec<usize> =
-                feature_cols.iter().copied().filter(|&c| c != drop).collect();
+            let reduced: Vec<usize> = feature_cols
+                .iter()
+                .copied()
+                .filter(|&c| c != drop)
+                .collect();
             if reduced.is_empty() {
                 return 1.0;
             }
@@ -79,17 +86,19 @@ pub fn inject_mnar(
 ) -> Table {
     assert!((0.0..=1.0).contains(&row_rate));
     let importance = feature_importance(table, feature_cols, label_col, seed ^ 0x5eed);
-    inject_with_weights(table, feature_cols, &importance, row_rate, second_cell_prob, seed)
+    inject_with_weights(
+        table,
+        feature_cols,
+        &importance,
+        row_rate,
+        second_cell_prob,
+        seed,
+    )
 }
 
 /// Inject "real-style" missingness: `row_rate` of the rows blank one cell
 /// drawn uniformly among `cols` (BabyProduct's scraped-column regime).
-pub fn inject_real_style(
-    table: &Table,
-    cols: &[usize],
-    row_rate: f64,
-    seed: u64,
-) -> Table {
+pub fn inject_real_style(table: &Table, cols: &[usize], row_rate: f64, seed: u64) -> Table {
     let weights = vec![1.0; cols.len()];
     inject_with_weights(table, cols, &weights, row_rate, 0.0, seed)
 }
@@ -162,13 +171,15 @@ fn tail_weights(table: &Table, cols: &[usize]) -> Vec<Vec<f64>> {
             // single global repair statistic (min/mean/max) can undo the bias
             // across all columns at once
             let sign = if ci % 2 == 0 { 1.0 } else { -1.0 };
-            let numeric: Vec<Option<f64>> =
-                (0..table.n_rows()).map(|r| table.get(r, c).as_num()).collect();
+            let numeric: Vec<Option<f64>> = (0..table.n_rows())
+                .map(|r| table.get(r, c).as_num())
+                .collect();
             let observed: Vec<f64> = numeric.iter().filter_map(|v| *v).collect();
             if !observed.is_empty() {
-                let median =
-                    cp_numeric::stats::percentile(&observed, 50.0).unwrap_or(0.0);
-                let scale = cp_numeric::stats::std_dev(&observed).unwrap_or(1.0).max(1e-9);
+                let median = cp_numeric::stats::percentile(&observed, 50.0).unwrap_or(0.0);
+                let scale = cp_numeric::stats::std_dev(&observed)
+                    .unwrap_or(1.0)
+                    .max(1e-9);
                 (0..table.n_rows())
                     .map(|r| match numeric[r] {
                         Some(v) => {
@@ -231,7 +242,10 @@ mod tests {
             .unwrap()
             .0;
         // the top-importance feature should be one of the two most separated
-        assert!(best <= 1, "unexpected most-important feature {best} ({imp:?})");
+        assert!(
+            best <= 1,
+            "unexpected most-important feature {best} ({imp:?})"
+        );
     }
 
     #[test]

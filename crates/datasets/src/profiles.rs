@@ -65,7 +65,10 @@ impl FeatureSpec {
     pub fn gaussian(name: &str, mean0: f64, mean1: f64, std: f64) -> Self {
         FeatureSpec {
             name: name.to_string(),
-            kind: FeatureKind::Gaussian { means: [mean0, mean1], stds: [std, std] },
+            kind: FeatureKind::Gaussian {
+                means: [mean0, mean1],
+                stds: [std, std],
+            },
         }
     }
 
@@ -73,7 +76,10 @@ impl FeatureSpec {
     pub fn gaussian_skewed(name: &str, mean0: f64, std0: f64, mean1: f64, std1: f64) -> Self {
         FeatureSpec {
             name: name.to_string(),
-            kind: FeatureKind::Gaussian { means: [mean0, mean1], stds: [std0, std1] },
+            kind: FeatureKind::Gaussian {
+                means: [mean0, mean1],
+                stds: [std0, std1],
+            },
         }
     }
 
@@ -186,7 +192,10 @@ impl DatasetProfile {
                 Column::new(f.name.clone(), ty)
             })
             .collect();
-        columns.push(Column::new(self.label_name.clone(), ColumnType::Categorical));
+        columns.push(Column::new(
+            self.label_name.clone(),
+            ColumnType::Categorical,
+        ));
         let schema = Schema::new(columns);
 
         let mut rows = Vec::with_capacity(self.n_rows);
@@ -202,7 +211,11 @@ impl DatasetProfile {
                     FeatureKind::Categorical { categories, probs } => {
                         Value::Cat(categories[sample_discrete(&mut rng, &probs[class])].clone())
                     }
-                    FeatureKind::DiscreteNumeric { levels, probs, jitter } => {
+                    FeatureKind::DiscreteNumeric {
+                        levels,
+                        probs,
+                        jitter,
+                    } => {
                         let level = levels[sample_discrete(&mut rng, &probs[class])];
                         Value::Num(level + jitter * gauss(&mut rng))
                     }
@@ -264,7 +277,9 @@ pub fn babyproduct() -> DatasetProfile {
             // brand is dominant: premium brands almost exclusively class 1
             FeatureSpec::categorical(
                 "brand",
-                &["JustBorn", "Graco", "Chicco", "Summer", "Badger", "Delta", "Dream", "Trend"],
+                &[
+                    "JustBorn", "Graco", "Chicco", "Summer", "Badger", "Delta", "Dream", "Trend",
+                ],
                 &[0.2, 3.0, 0.2, 3.0, 2.5, 3.0, 0.1, 2.2],
                 &[3.0, 0.2, 3.0, 0.1, 0.1, 0.2, 2.8, 0.2],
             ),
@@ -276,7 +291,10 @@ pub fn babyproduct() -> DatasetProfile {
             ),
         ],
         label_noise: 0.12,
-        missing: MissingSpec::RealStyle { cols: vec!["brand".to_string()], row_rate: 0.118 },
+        missing: MissingSpec::RealStyle {
+            cols: vec!["brand".to_string()],
+            row_rate: 0.118,
+        },
     }
 }
 
@@ -293,13 +311,49 @@ pub fn supreme() -> DatasetProfile {
             // discrete court attributes (directions, codes, vote counts):
             // two dominant, the rest weak. Mean imputation parks a cell
             // between levels, in empty space near many neighborhoods.
-            FeatureSpec::discrete("liberal_direction", &[-1.0, 1.0], &[9.0, 1.0], &[1.0, 9.0], 0.03),
+            FeatureSpec::discrete(
+                "liberal_direction",
+                &[-1.0, 1.0],
+                &[9.0, 1.0],
+                &[1.0, 9.0],
+                0.03,
+            ),
             FeatureSpec::discrete("lower_court", &[-1.0, 1.0], &[1.0, 3.5], &[3.5, 1.0], 0.03),
-            FeatureSpec::discrete("petitioner_type", &[0.0, 1.0, 2.0], &[2.0, 2.0, 1.0], &[1.0, 2.0, 2.0], 0.03),
-            FeatureSpec::discrete("respondent_type", &[0.0, 1.0, 2.0], &[1.0, 2.0, 2.0], &[2.0, 2.0, 1.0], 0.03),
-            FeatureSpec::discrete("issue_area", &[0.0, 1.0, 2.0, 3.0], &[1.0, 1.2, 1.0, 0.8], &[0.8, 1.0, 1.2, 1.0], 0.03),
-            FeatureSpec::discrete("term_quarter", &[0.0, 1.0, 2.0, 3.0], &[1.0, 1.0, 1.0, 1.0], &[1.0, 1.1, 1.0, 0.9], 0.03),
-            FeatureSpec::discrete("cert_reason", &[0.0, 1.0, 2.0], &[1.1, 1.0, 0.9], &[0.9, 1.0, 1.1], 0.03),
+            FeatureSpec::discrete(
+                "petitioner_type",
+                &[0.0, 1.0, 2.0],
+                &[2.0, 2.0, 1.0],
+                &[1.0, 2.0, 2.0],
+                0.03,
+            ),
+            FeatureSpec::discrete(
+                "respondent_type",
+                &[0.0, 1.0, 2.0],
+                &[1.0, 2.0, 2.0],
+                &[2.0, 2.0, 1.0],
+                0.03,
+            ),
+            FeatureSpec::discrete(
+                "issue_area",
+                &[0.0, 1.0, 2.0, 3.0],
+                &[1.0, 1.2, 1.0, 0.8],
+                &[0.8, 1.0, 1.2, 1.0],
+                0.03,
+            ),
+            FeatureSpec::discrete(
+                "term_quarter",
+                &[0.0, 1.0, 2.0, 3.0],
+                &[1.0, 1.0, 1.0, 1.0],
+                &[1.0, 1.1, 1.0, 0.9],
+                0.03,
+            ),
+            FeatureSpec::discrete(
+                "cert_reason",
+                &[0.0, 1.0, 2.0],
+                &[1.1, 1.0, 0.9],
+                &[0.9, 1.0, 1.1],
+                0.03,
+            ),
         ],
         label_noise: 0.02,
         missing: MissingSpec::Mnar { row_rate: 0.20 },
@@ -320,14 +374,51 @@ pub fn bank() -> DatasetProfile {
             // dominates (as in the real bank-marketing data), balance
             // bucket is secondary, the rest weak
             FeatureSpec::gaussian("age", 41.5, 42.5, 11.0),
-            FeatureSpec::discrete("balance_bucket", &[0.0, 1.0, 2.0, 3.0], &[2.4, 2.6, 2.0, 1.0], &[1.6, 2.2, 2.4, 1.8], 0.05),
-            FeatureSpec::discrete("duration_bucket", &[0.0, 1.0, 2.0, 3.0], &[6.0, 3.0, 0.8, 0.2], &[0.3, 0.9, 3.0, 5.8], 0.05),
-            FeatureSpec::discrete("campaign", &[1.0, 2.0, 3.0, 5.0], &[0.4, 0.8, 1.6, 2.2], &[2.4, 1.6, 0.7, 0.3], 0.05),
-            FeatureSpec::discrete("pdays_bucket", &[0.0, 1.0, 2.0], &[1.2, 1.0, 0.8], &[1.0, 1.0, 1.0], 0.05),
-            FeatureSpec::discrete("previous", &[0.0, 1.0, 2.0], &[1.3, 1.0, 0.7], &[1.0, 1.0, 1.0], 0.05),
+            FeatureSpec::discrete(
+                "balance_bucket",
+                &[0.0, 1.0, 2.0, 3.0],
+                &[2.4, 2.6, 2.0, 1.0],
+                &[1.6, 2.2, 2.4, 1.8],
+                0.05,
+            ),
+            FeatureSpec::discrete(
+                "duration_bucket",
+                &[0.0, 1.0, 2.0, 3.0],
+                &[6.0, 3.0, 0.8, 0.2],
+                &[0.3, 0.9, 3.0, 5.8],
+                0.05,
+            ),
+            FeatureSpec::discrete(
+                "campaign",
+                &[1.0, 2.0, 3.0, 5.0],
+                &[0.4, 0.8, 1.6, 2.2],
+                &[2.4, 1.6, 0.7, 0.3],
+                0.05,
+            ),
+            FeatureSpec::discrete(
+                "pdays_bucket",
+                &[0.0, 1.0, 2.0],
+                &[1.2, 1.0, 0.8],
+                &[1.0, 1.0, 1.0],
+                0.05,
+            ),
+            FeatureSpec::discrete(
+                "previous",
+                &[0.0, 1.0, 2.0],
+                &[1.3, 1.0, 0.7],
+                &[1.0, 1.0, 1.0],
+                0.05,
+            ),
             FeatureSpec::categorical(
                 "job",
-                &["admin", "blue-collar", "technician", "services", "management", "retired"],
+                &[
+                    "admin",
+                    "blue-collar",
+                    "technician",
+                    "services",
+                    "management",
+                    "retired",
+                ],
                 &[2.0, 2.6, 2.0, 2.0, 1.2, 0.8],
                 &[2.0, 1.4, 1.8, 1.4, 2.2, 1.4],
             ),
@@ -443,12 +534,12 @@ mod tests {
         let enc = cp_table::Encoder::fit(&t, &feature_cols, None);
         let x = enc.encode_table(&t);
         let n_train = x.len() / 2;
-        let model = cp_knn::KnnClassifier::new(3).fit(
-            x[..n_train].to_vec(),
-            labels[..n_train].to_vec(),
-            2,
-        );
+        let model =
+            cp_knn::KnnClassifier::new(3).fit(x[..n_train].to_vec(), labels[..n_train].to_vec(), 2);
         let acc = model.accuracy(&x[n_train..], &labels[n_train..]);
-        assert!(acc > 0.75, "accuracy {acc} too low for an informative profile");
+        assert!(
+            acc > 0.75,
+            "accuracy {acc} too low for an informative profile"
+        );
     }
 }

@@ -40,8 +40,14 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        assert_eq!(shuffle_split(50, &[10, 10], 7), shuffle_split(50, &[10, 10], 7));
-        assert_ne!(shuffle_split(50, &[10, 10], 7), shuffle_split(50, &[10, 10], 8));
+        assert_eq!(
+            shuffle_split(50, &[10, 10], 7),
+            shuffle_split(50, &[10, 10], 7)
+        );
+        assert_ne!(
+            shuffle_split(50, &[10, 10], 7),
+            shuffle_split(50, &[10, 10], 8)
+        );
     }
 
     #[test]

@@ -23,7 +23,10 @@ pub struct KnnClassifier {
 impl KnnClassifier {
     /// New classifier with the given `k` and the default (Euclidean) kernel.
     pub fn new(k: usize) -> Self {
-        KnnClassifier { k, kernel: Kernel::default() }
+        KnnClassifier {
+            k,
+            kernel: Kernel::default(),
+        }
     }
 
     /// New classifier with an explicit kernel.
@@ -40,7 +43,11 @@ impl KnnClassifier {
     pub fn fit(&self, train_x: Vec<Vec<f64>>, train_y: Vec<Label>, n_labels: usize) -> FittedKnn {
         assert!(self.k > 0, "k must be positive");
         assert!(!train_x.is_empty(), "empty training set");
-        assert_eq!(train_x.len(), train_y.len(), "feature/label length mismatch");
+        assert_eq!(
+            train_x.len(),
+            train_y.len(),
+            "feature/label length mismatch"
+        );
         assert!(n_labels > 0, "need at least one class");
         let dim = train_x[0].len();
         for (i, x) in train_x.iter().enumerate() {
@@ -100,7 +107,10 @@ impl FittedKnn {
     /// Predicted label for a test point.
     pub fn predict(&self, t: &[f64]) -> Label {
         let neighbors = self.neighbors(t);
-        majority_label(neighbors.into_iter().map(|i| self.train_y[i]), self.n_labels)
+        majority_label(
+            neighbors.into_iter().map(|i| self.train_y[i]),
+            self.n_labels,
+        )
     }
 
     /// Predictions for a batch of test points.

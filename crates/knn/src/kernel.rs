@@ -39,9 +39,7 @@ impl Kernel {
         debug_assert_eq!(a.len(), b.len(), "kernel inputs must have equal dimension");
         match self {
             Kernel::NegEuclidean => -sq_euclidean(a, b),
-            Kernel::NegManhattan => {
-                -a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum::<f64>()
-            }
+            Kernel::NegManhattan => -a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum::<f64>(),
             Kernel::Linear => dot(a, b),
             Kernel::Rbf { gamma } => (-gamma * sq_euclidean(a, b)).exp(),
             Kernel::Cosine => {

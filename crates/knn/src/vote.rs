@@ -14,7 +14,10 @@ use crate::Label;
 pub fn tally_labels(labels: impl IntoIterator<Item = Label>, n_labels: usize) -> Vec<u32> {
     let mut tally = vec![0u32; n_labels];
     for l in labels {
-        assert!(l < n_labels, "label {l} out of range (n_labels = {n_labels})");
+        assert!(
+            l < n_labels,
+            "label {l} out of range (n_labels = {n_labels})"
+        );
         tally[l] += 1;
     }
     tally

@@ -395,7 +395,10 @@ mod tests {
     fn to_u128_boundaries() {
         assert_eq!(BigUint::zero().to_u128(), Some(0));
         assert_eq!(BigUint::from_u128(u128::MAX).to_u128(), Some(u128::MAX));
-        assert_eq!(BigUint::from_u128(u128::MAX).add(&BigUint::one()).to_u128(), None);
+        assert_eq!(
+            BigUint::from_u128(u128::MAX).add(&BigUint::one()).to_u128(),
+            None
+        );
     }
 
     #[test]

@@ -26,12 +26,18 @@ pub struct ScaledF64 {
 impl ScaledF64 {
     /// The value `0`.
     pub fn zero() -> Self {
-        ScaledF64 { mantissa: 0.0, exp: 0 }
+        ScaledF64 {
+            mantissa: 0.0,
+            exp: 0,
+        }
     }
 
     /// The value `1`.
     pub fn one() -> Self {
-        ScaledF64 { mantissa: 1.0, exp: 0 }
+        ScaledF64 {
+            mantissa: 1.0,
+            exp: 0,
+        }
     }
 
     /// Build from a plain non-negative `f64`.
@@ -39,7 +45,10 @@ impl ScaledF64 {
     /// # Panics
     /// Panics (debug) if `v` is negative, NaN or infinite.
     pub fn from_f64(v: f64) -> Self {
-        debug_assert!(v.is_finite() && v >= 0.0, "ScaledF64 requires finite non-negative input");
+        debug_assert!(
+            v.is_finite() && v >= 0.0,
+            "ScaledF64 requires finite non-negative input"
+        );
         Self::normalize(v, 0)
     }
 
@@ -62,7 +71,10 @@ impl ScaledF64 {
         let shift = raw_exp - EXP_BIAS;
         // replace the exponent bits with the bias (value in [1,2))
         let mant = f64::from_bits((bits & !EXP_MASK) | ((EXP_BIAS as u64) << 52));
-        ScaledF64 { mantissa: mant, exp: e + shift }
+        ScaledF64 {
+            mantissa: mant,
+            exp: e + shift,
+        }
     }
 
     /// `true` iff the value is exactly zero.
@@ -78,9 +90,15 @@ impl ScaledF64 {
         // product of two [1,2) mantissas is in [1,4): at most one renormalize step
         let m = self.mantissa * other.mantissa;
         if m < 2.0 {
-            ScaledF64 { mantissa: m, exp: self.exp + other.exp }
+            ScaledF64 {
+                mantissa: m,
+                exp: self.exp + other.exp,
+            }
         } else {
-            ScaledF64 { mantissa: m * 0.5, exp: self.exp + other.exp + 1 }
+            ScaledF64 {
+                mantissa: m * 0.5,
+                exp: self.exp + other.exp + 1,
+            }
         }
     }
 
@@ -92,7 +110,11 @@ impl ScaledF64 {
         if other.is_zero() {
             return *self;
         }
-        let (hi, lo) = if self.exp >= other.exp { (self, other) } else { (other, self) };
+        let (hi, lo) = if self.exp >= other.exp {
+            (self, other)
+        } else {
+            (other, self)
+        };
         let diff = hi.exp - lo.exp;
         if diff > 64 {
             // the smaller addend is below the mantissa precision

@@ -338,7 +338,10 @@ mod tests {
     #[test]
     fn counting_from_count_ignores_set_size() {
         assert_eq!(<u128 as CountSemiring>::from_count(3, 5), 3);
-        assert_eq!(<BigUint as CountSemiring>::from_count(3, 5), BigUint::from_u64(3));
+        assert_eq!(
+            <BigUint as CountSemiring>::from_count(3, 5),
+            BigUint::from_u64(3)
+        );
         assert_eq!(Possibility::from_count(3, 5), Possibility(true));
         assert_eq!(Possibility::from_count(0, 5), Possibility(false));
     }

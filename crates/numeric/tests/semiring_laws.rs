@@ -1,0 +1,152 @@
+//! Semiring-law property tests on randomized operands.
+//!
+//! [`CountSemiring`]'s contract — associativity and commutativity of
+//! `add`/`mul`, identities, distributivity, annihilating zero — is what lets
+//! every SortScan variant run unchanged over any substrate. These tests pin
+//! the laws down for the exact integer semirings ([`BigUint`], `u128`), the
+//! boolean [`Possibility`] semiring, and (approximately, as floating point
+//! admits) the extended-range [`ScaledF64`].
+
+use cp_numeric::{BigUint, CountSemiring, Possibility, ScaledF64};
+use proptest::prelude::*;
+
+/// Check every exact law on one operand triple.
+fn check_exact_laws<S: CountSemiring>(a: S, b: S, c: S) -> Result<(), String> {
+    let err = |law: &str, l: &S, r: &S| Err(format!("{law}: {l:?} != {r:?}"));
+    // associativity
+    let l = a.add(&b).add(&c);
+    let r = a.add(&b.add(&c));
+    if l != r {
+        return err("add associativity", &l, &r);
+    }
+    let l = a.mul(&b).mul(&c);
+    let r = a.mul(&b.mul(&c));
+    if l != r {
+        return err("mul associativity", &l, &r);
+    }
+    // commutativity
+    if a.add(&b) != b.add(&a) {
+        return err("add commutativity", &a.add(&b), &b.add(&a));
+    }
+    if a.mul(&b) != b.mul(&a) {
+        return err("mul commutativity", &a.mul(&b), &b.mul(&a));
+    }
+    // identities
+    if a.add(&S::zero()) != a {
+        return err("additive identity", &a.add(&S::zero()), &a);
+    }
+    if a.mul(&S::one()) != a {
+        return err("multiplicative identity", &a.mul(&S::one()), &a);
+    }
+    // zero annihilates
+    if !a.mul(&S::zero()).is_zero() {
+        return err("zero annihilation", &a.mul(&S::zero()), &S::zero());
+    }
+    // distributivity
+    let l = a.mul(&b.add(&c));
+    let r = a.mul(&b).add(&a.mul(&c));
+    if l != r {
+        return err("distributivity", &l, &r);
+    }
+    // in-place twins agree with the pure operations
+    let mut x = a.clone();
+    x.add_assign(&b);
+    if x != a.add(&b) {
+        return err("add_assign", &x, &a.add(&b));
+    }
+    let mut x = a.clone();
+    x.mul_assign(&b);
+    if x != a.mul(&b) {
+        return err("mul_assign", &x, &a.mul(&b));
+    }
+    // is_zero describes the additive identity
+    if !S::zero().is_zero() || S::one().is_zero() {
+        return Err("is_zero misclassifies an identity".into());
+    }
+    Ok(())
+}
+
+/// Arbitrary `BigUint` spanning one to several dozen limbs.
+fn arb_biguint() -> impl Strategy<Value = BigUint> {
+    (0u128.., 0u32..12, 1u32..6).prop_map(|(v, exp, base)| {
+        BigUint::from_u128(v).mul(&BigUint::from_u64(base as u64 + 1).pow(exp * 10))
+    })
+}
+
+/// Arbitrary `ScaledF64` far outside plain-`f64` range: a positive mantissa
+/// raised to an exponent by repeated exact squaring.
+fn arb_scaled() -> impl Strategy<Value = ScaledF64> {
+    (0.5f64..1e18, 0u32..5).prop_map(|(m, squarings)| {
+        let mut s = ScaledF64::from_f64(m);
+        for _ in 0..squarings {
+            s = s.mul(&s);
+        }
+        s
+    })
+}
+
+fn arb_possibility() -> impl Strategy<Value = Possibility> {
+    (0u32..2).prop_map(|b| Possibility(b == 1))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn biguint_laws((a, b, c) in (arb_biguint(), arb_biguint(), arb_biguint())) {
+        if let Err(msg) = check_exact_laws(a, b, c) {
+            prop_assert!(false, "BigUint violates {msg}");
+        }
+    }
+
+    #[test]
+    fn u128_laws_on_overflow_safe_operands(
+        (a, b, c) in (0u128..1 << 40, 0u128..1 << 40, 0u128..1 << 40)
+    ) {
+        if let Err(msg) = check_exact_laws(a, b, c) {
+            prop_assert!(false, "u128 violates {msg}");
+        }
+    }
+
+    #[test]
+    fn possibility_laws((a, b, c) in (arb_possibility(), arb_possibility(), arb_possibility())) {
+        if let Err(msg) = check_exact_laws(a, b, c) {
+            prop_assert!(false, "Possibility violates {msg}");
+        }
+    }
+
+    #[test]
+    fn scaled_laws_hold_approximately((a, b, c) in (arb_scaled(), arb_scaled(), arb_scaled())) {
+        // ScaledF64 is floating point under the hood: compare magnitudes via
+        // ln with a relative tolerance instead of bit equality.
+        fn close(x: &ScaledF64, y: &ScaledF64) -> bool {
+            match (x.is_zero(), y.is_zero()) {
+                (true, true) => true,
+                (false, false) => (x.ln() - y.ln()).abs() < 1e-9 * x.ln().abs().max(1.0),
+                _ => false,
+            }
+        }
+        prop_assert!(close(&a.add(&b).add(&c), &a.add(&b.add(&c))), "add associativity");
+        prop_assert!(close(&a.mul(&b).mul(&c), &a.mul(&b.mul(&c))), "mul associativity");
+        prop_assert!(close(&a.add(&b), &b.add(&a)), "add commutativity");
+        prop_assert!(close(&a.mul(&b), &b.mul(&a)), "mul commutativity");
+        prop_assert!(close(&a.add(&ScaledF64::zero()), &a), "additive identity");
+        prop_assert!(close(&a.mul(&ScaledF64::one()), &a), "multiplicative identity");
+        prop_assert!(a.mul(&ScaledF64::zero()).is_zero(), "zero annihilation");
+        prop_assert!(
+            close(&a.mul(&b.add(&c)), &a.mul(&b).add(&a.mul(&c))),
+            "distributivity"
+        );
+    }
+
+    #[test]
+    fn from_count_is_consistent_across_semirings(count in 0u32..7, extra in 0u32..7) {
+        let set_size = count + extra + 1;
+        let exact = u128::from_count(count, set_size);
+        prop_assert_eq!(BigUint::from_count(count, set_size).to_u128(), Some(exact));
+        prop_assert_eq!(Possibility::from_count(count, set_size), Possibility(count > 0));
+        let p = f64::from_count(count, set_size);
+        prop_assert!((p - count as f64 / set_size as f64).abs() < 1e-15);
+        prop_assert!((ScaledF64::from_count(count, set_size).to_f64() - exact as f64).abs() < 1e-9);
+    }
+}

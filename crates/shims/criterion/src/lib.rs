@@ -1,0 +1,215 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Supports the API surface the workspace's benches use — `Criterion`,
+//! `benchmark_group` (with `measurement_time` / `sample_size`),
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros. Each benchmark is warmed up
+//! once, then timed for a fraction of the configured measurement time, and
+//! the mean time per iteration is printed. No statistical analysis, no
+//! reports — just enough to compile `cargo bench --no-run` in CI and to give
+//! a usable number when run by hand.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for a parameterized benchmark (`function_name/parameter`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Timing driver handed to every benchmark closure.
+pub struct Bencher {
+    /// Accumulated (iterations, elapsed) of the measurement phase.
+    result: Option<(u64, Duration)>,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Run `routine` repeatedly: one warm-up call, then timed batches until
+    /// the measurement budget is spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        let mut iters: u64 = 0;
+        let start = Instant::now();
+        let mut batch = 1u64;
+        loop {
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            iters += batch;
+            let elapsed = start.elapsed();
+            if elapsed >= self.budget {
+                self.result = Some((iters, elapsed));
+                return;
+            }
+            batch = batch.saturating_mul(2).min(1 << 20);
+        }
+    }
+}
+
+fn run_bench(id: &str, budget: Duration, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        result: None,
+        budget,
+    };
+    f(&mut b);
+    match b.result {
+        Some((iters, elapsed)) => {
+            let per_iter = elapsed.as_nanos() as f64 / iters as f64;
+            println!("bench {id:<50} {per_iter:>14.1} ns/iter ({iters} iters)");
+        }
+        None => println!("bench {id:<50} (no measurement: Bencher::iter never called)"),
+    }
+}
+
+/// A named group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    budget: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Total measurement time per benchmark (the stand-in spends a fraction
+    /// of it: enough for a stable mean, cheap enough for CI).
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.budget = time / 10;
+        self
+    }
+
+    /// Accepted for API compatibility; the stand-in is time-budgeted, not
+    /// sample-counted.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_bench(&full, self.budget, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        run_bench(&full, self.budget, &mut |b| f(b, input));
+        self
+    }
+
+    /// No-op: results are printed as benchmarks run.
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            budget: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let budget = self.budget;
+        BenchmarkGroup {
+            name: name.into(),
+            budget,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&id.into(), self.budget, &mut f);
+        self
+    }
+
+    /// Called by `criterion_main!` after all groups ran.
+    pub fn final_summary(&mut self) {}
+}
+
+/// Define a benchmark group: a function list runnable by [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+}
+
+/// Generate `main` running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(c: &mut Criterion) {
+        let mut group = c.benchmark_group("toy");
+        group
+            .measurement_time(Duration::from_millis(50))
+            .sample_size(10);
+        group.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
+        group.bench_with_input(BenchmarkId::new("square", 7), &7u64, |b, &x| {
+            b.iter(|| x * x)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn group_and_bencher_run() {
+        criterion_group!(benches, toy);
+        benches();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 32).id, "f/32");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+}

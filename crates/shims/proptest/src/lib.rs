@@ -1,0 +1,556 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so this workspace ships the
+//! subset of the proptest API its property tests use:
+//!
+//! * [`strategy::Strategy`] with `prop_map` / `prop_flat_map` / `prop_filter`,
+//! * strategies for numeric ranges (`a..b`, `a..=b`, `a..`), tuples, `Just`,
+//!   and simple `"[lo-hi]{min,max}"` regex string literals,
+//! * [`collection::vec`] with exact, half-open or inclusive size specs,
+//! * the [`proptest!`] macro with optional `#![proptest_config(..)]`, and the
+//!   `prop_assert!` / `prop_assert_eq!` / `prop_assume!` result macros.
+//!
+//! Failing cases are reported with their case number and re-runnable via the
+//! deterministic per-case seed printed in the panic message. There is **no
+//! shrinking** — a failing input is reported as sampled.
+
+pub mod test_runner {
+    use rand::prelude::*;
+
+    /// Runner configuration (`ProptestConfig`).
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of accepted cases to run per property.
+        pub cases: u32,
+        /// Give up after this many `prop_assume!` rejections.
+        pub max_global_rejects: u32,
+    }
+
+    impl Config {
+        /// Config running `cases` accepted cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config {
+                cases,
+                ..Config::default()
+            }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config {
+                cases: 256,
+                max_global_rejects: 65_536,
+            }
+        }
+    }
+
+    /// Why a test case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the input — resample, don't fail.
+        Reject,
+        /// `prop_assert!`-family failure.
+        Fail(String),
+    }
+
+    /// Drives a property over sampled inputs.
+    pub struct TestRunner {
+        config: Config,
+    }
+
+    impl TestRunner {
+        pub fn new(config: Config) -> Self {
+            TestRunner { config }
+        }
+
+        /// Run `test` on `config.cases` accepted samples of `strategy`.
+        ///
+        /// Sampling is deterministic: case `c` uses seed `BASE ^ c`, so a
+        /// failure message's case number identifies the exact input.
+        pub fn run<S, F>(&mut self, strategy: &S, mut test: F)
+        where
+            S: crate::strategy::Strategy,
+            F: FnMut(S::Value) -> Result<(), TestCaseError>,
+        {
+            const BASE: u64 = 0x00C0_FFEE_5EED;
+            let mut accepted = 0u32;
+            let mut rejected = 0u32;
+            let mut case = 0u64;
+            while accepted < self.config.cases {
+                let mut rng = StdRng::seed_from_u64(BASE ^ case);
+                let value = strategy.sample(&mut rng);
+                match test(value) {
+                    Ok(()) => accepted += 1,
+                    Err(TestCaseError::Reject) => {
+                        rejected += 1;
+                        if rejected > self.config.max_global_rejects {
+                            panic!(
+                                "proptest: too many prop_assume! rejections \
+                                 ({rejected}) — strategy too narrow"
+                            );
+                        }
+                    }
+                    Err(TestCaseError::Fail(msg)) => {
+                        panic!("proptest case #{case} failed: {msg}");
+                    }
+                }
+                case += 1;
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    use rand::prelude::*;
+    use std::ops::{Range, RangeFrom, RangeInclusive};
+
+    /// A generator of test-case values.
+    ///
+    /// Unlike real proptest there is no value tree / shrinking: a strategy is
+    /// just a deterministic function of an RNG.
+    pub trait Strategy {
+        type Value;
+
+        /// Sample one value.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Transform every sampled value.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Build a dependent strategy from every sampled value.
+        fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Discard samples failing `pred` (resampled, bounded retries).
+        fn prop_filter<F>(self, whence: &'static str, pred: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                whence,
+                pred,
+            }
+        }
+    }
+
+    /// Always the same (cloned) value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn sample(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn sample(&self, rng: &mut StdRng) -> S2::Value {
+            (self.f)(self.inner.sample(rng)).sample(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        inner: S,
+        whence: &'static str,
+        pred: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut StdRng) -> S::Value {
+            for _ in 0..10_000 {
+                let v = self.inner.sample(rng);
+                if (self.pred)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter exhausted retries: {}", self.whence);
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut StdRng) -> S::Value {
+            (**self).sample(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeFrom<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    // full upper tail: uniform over [start, MAX]
+                    loop {
+                        let v: $t = rng.gen();
+                        if v >= self.start {
+                            return v;
+                        }
+                    }
+                }
+            }
+        )*};
+    }
+    impl_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<u128> {
+        type Value = u128;
+        fn sample(&self, rng: &mut StdRng) -> u128 {
+            assert!(self.start < self.end, "cannot sample empty range");
+            self.start + rng.gen::<u128>() % (self.end - self.start)
+        }
+    }
+
+    impl Strategy for RangeFrom<u128> {
+        type Value = u128;
+        fn sample(&self, rng: &mut StdRng) -> u128 {
+            loop {
+                let v: u128 = rng.gen();
+                if v >= self.start {
+                    return v;
+                }
+            }
+        }
+    }
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut StdRng) -> f64 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl Strategy for RangeInclusive<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut StdRng) -> f64 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// String literals are regex strategies. This stand-in supports the one
+    /// shape the workspace uses: `"[<lo>-<hi>]{<min>,<max>}"` — a counted
+    /// repetition of one character class given as an inclusive ASCII range.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn sample(&self, rng: &mut StdRng) -> String {
+            let (lo, hi, min, max) = parse_class_repeat(self).unwrap_or_else(|| {
+                panic!(
+                    "unsupported regex strategy {self:?}: the offline proptest \
+                     stand-in only supports \"[a-b]{{min,max}}\""
+                )
+            });
+            let len = rng.gen_range(min..=max);
+            (0..len)
+                .map(|_| rng.gen_range(lo..=hi) as u8 as char)
+                .collect()
+        }
+    }
+
+    /// Parse `"[<lo>-<hi>]{<min>,<max>}"` into `(lo, hi, min, max)`.
+    fn parse_class_repeat(pattern: &str) -> Option<(u32, u32, usize, usize)> {
+        let rest = pattern.strip_prefix('[')?;
+        let (class, rest) = rest.split_once(']')?;
+        let mut chars = class.chars();
+        let (lo, dash, hi) = (chars.next()?, chars.next()?, chars.next()?);
+        if dash != '-' || chars.next().is_some() {
+            return None;
+        }
+        let counts = rest.strip_prefix('{')?.strip_suffix('}')?;
+        let (min, max) = counts.split_once(',')?;
+        Some((lo as u32, hi as u32, min.parse().ok()?, max.parse().ok()?))
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::prelude::*;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive length bounds for [`vec`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            let (min, max) = r.into_inner();
+            assert!(min <= max, "empty size range");
+            SizeRange { min, max }
+        }
+    }
+
+    /// Strategy for `Vec`s whose elements come from `element` and whose
+    /// length is sampled from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.min..=self.size.max);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Assert inside a `proptest!` body; failure reports the sampled case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// `assert_eq!` inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "{l:?} != {r:?}");
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "{l:?} != {r:?}: {}", format!($($fmt)*));
+    }};
+}
+
+/// `assert_ne!` inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "both sides equal {l:?}");
+    }};
+}
+
+/// Reject the current sample (resampled, not a failure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// The `proptest!` test-definition macro: each `fn name(pat in strategy, ..)`
+/// becomes a `#[test]` driven by [`test_runner::TestRunner`].
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::test_runner::Config::default()); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr);) => {};
+    (($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let mut runner = $crate::test_runner::TestRunner::new($cfg);
+            runner.run(
+                &($($strat,)+),
+                |($($pat,)+)| {
+                    $body
+                    ::core::result::Result::Ok(())
+                },
+            );
+        }
+        $crate::__proptest_fns!(($cfg); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_vec_sample_in_bounds() {
+        use crate::strategy::Strategy;
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..200 {
+            let v = (1usize..=4).sample(&mut rng);
+            assert!((1..=4).contains(&v));
+            let xs = collection::vec(-3i32..3, 0..5).sample(&mut rng);
+            assert!(xs.len() < 5);
+            assert!(xs.iter().all(|x| (-3..3).contains(x)));
+            let s = "[a-c]{2,6}".sample(&mut rng);
+            assert!((2..=6).contains(&s.len()));
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn macro_single_param(x in 0u32..100) {
+            prop_assert!(x < 100);
+        }
+
+        #[test]
+        fn macro_multi_param_and_patterns((a, b) in (0i32..10, 0i32..10), mut v in collection::vec(0usize..5, 1..4)) {
+            v.push(a as usize + b as usize);
+            prop_assert!(!v.is_empty());
+            prop_assert_eq!(*v.last().unwrap(), a as usize + b as usize);
+        }
+
+        #[test]
+        fn macro_assume_rejects_without_failing(x in 0u32..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn flat_map_and_just_compose(len_and_v in (1usize..5).prop_flat_map(|n| {
+            (Just(n), collection::vec(0u8..10, n..=n))
+        })) {
+            let (n, v) = len_and_v;
+            prop_assert_eq!(v.len(), n);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_property_panics_with_case_number() {
+        proptest! {
+            fn always_fails(x in 0u32..10) {
+                prop_assert!(x > 100, "x was {x}");
+            }
+        }
+        always_fails();
+    }
+}

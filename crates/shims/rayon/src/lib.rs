@@ -1,0 +1,303 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Implements the `par_iter().map(..).collect()` shape the workspace's batch
+//! engine uses, with genuine data parallelism: items are fed through a shared
+//! work queue drained by `std::thread::scope` workers (one per available
+//! core), so skewed per-item costs — e.g. CP queries whose cost varies with
+//! the candidate count near the decision boundary — balance dynamically, like
+//! rayon's work stealing. Item order is preserved in the collected output.
+//!
+//! Scope is deliberately minimal: parallel iteration over slices, `Vec`s and
+//! `Range<usize>`, with `map` / `for_each` / `collect` / `sum` / `reduce` as
+//! inherent methods (no trait import needed beyond the entry points in
+//! [`prelude`]).
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Number of worker threads: `RAYON_NUM_THREADS` if set to a positive
+/// integer (the same knob the real crate honours), else the machine's
+/// available parallelism.
+pub fn current_num_threads() -> usize {
+    if let Some(n) = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Run `f` over `items` on scoped worker threads, preserving order.
+fn run_parallel<I, R, F>(items: Vec<I>, f: F) -> Vec<R>
+where
+    I: Send,
+    R: Send,
+    F: Fn(I) -> R + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads().min(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let queue: Mutex<VecDeque<(usize, I)>> = Mutex::new(items.into_iter().enumerate().collect());
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let job = queue.lock().expect("queue poisoned").pop_front();
+                match job {
+                    Some((i, item)) => {
+                        let r = f(item);
+                        *results[i].lock().expect("slot poisoned") = Some(r);
+                    }
+                    None => break,
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("slot poisoned")
+                .expect("worker dropped item")
+        })
+        .collect()
+}
+
+/// A materialized parallel iterator over items of type `I`.
+pub struct ParIter<I> {
+    items: Vec<I>,
+}
+
+/// The result of [`ParIter::map`]: a lazy parallel map pipeline.
+pub struct ParMap<I, F> {
+    items: Vec<I>,
+    f: F,
+}
+
+/// Collecting targets for parallel iterators.
+pub trait FromParallelIterator<T> {
+    fn from_results(results: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_results(results: Vec<T>) -> Self {
+        results
+    }
+}
+
+impl<I: Send> ParIter<I> {
+    /// Lazily apply `f` to every item in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<I, F>
+    where
+        R: Send,
+        F: Fn(I) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Evaluate and collect in input order (only `Vec` targets supported).
+    pub fn collect<C: FromParallelIterator<I>>(self) -> C {
+        C::from_results(self.items)
+    }
+
+    /// Apply `f` to every item in parallel, discarding results.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(I) + Sync,
+    {
+        let _ = run_parallel(self.items, f);
+    }
+}
+
+impl<I, R, F> ParMap<I, F>
+where
+    I: Send,
+    R: Send,
+    F: Fn(I) -> R + Sync,
+{
+    /// Evaluate the pipeline on worker threads, preserving input order.
+    fn run(self) -> Vec<R> {
+        run_parallel(self.items, self.f)
+    }
+
+    /// Evaluate and collect in input order (only `Vec` targets supported).
+    pub fn collect<C: FromParallelIterator<R>>(self) -> C {
+        C::from_results(self.run())
+    }
+
+    /// Chain another map; both functions run in the same parallel pass.
+    pub fn map<R2, F2>(self, f2: F2) -> ParMap<I, impl Fn(I) -> R2 + Sync>
+    where
+        R2: Send,
+        F2: Fn(R) -> R2 + Sync,
+    {
+        let f1 = self.f;
+        ParMap {
+            items: self.items,
+            f: move |item| f2(f1(item)),
+        }
+    }
+
+    /// Evaluate, applying `f` for its effects only.
+    pub fn for_each<F2>(self, f2: F2)
+    where
+        F2: Fn(R) + Sync,
+    {
+        let f1 = self.f;
+        let _ = run_parallel(self.items, move |item| f2(f1(item)));
+    }
+
+    /// Evaluate and sum the results.
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<R>,
+    {
+        self.run().into_iter().sum()
+    }
+
+    /// Evaluate and fold the results with `op`, starting from `identity()`.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> R
+    where
+        ID: Fn() -> R,
+        OP: Fn(R, R) -> R,
+    {
+        self.run().into_iter().fold(identity(), op)
+    }
+}
+
+/// Conversion into a parallel iterator by value.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// `.par_iter()` sugar over borrowed collections.
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Send;
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParIter, ParMap,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let out: Vec<usize> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let out: Vec<usize> = (0..257).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(out, (0..257).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chained_maps_compose() {
+        let out: Vec<String> = (0..10)
+            .into_par_iter()
+            .map(|i| i + 1)
+            .map(|i| format!("{i}"))
+            .collect();
+        assert_eq!(out[9], "10");
+    }
+
+    #[test]
+    fn sum_and_reduce() {
+        let s: usize = (0..100).into_par_iter().map(|i| i).sum();
+        assert_eq!(s, 4950);
+        let m = (0..100).into_par_iter().map(|i| i).reduce(|| 0, usize::max);
+        assert_eq!(m, 99);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<usize> = Vec::<usize>::new().par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn actually_runs_on_multiple_threads() {
+        if super::current_num_threads() < 2 {
+            return; // nothing to assert on a single-core machine
+        }
+        let ids: Vec<std::thread::ThreadId> = (0..64)
+            .into_par_iter()
+            .map(|_| {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                std::thread::current().id()
+            })
+            .collect();
+        let distinct: std::collections::HashSet<_> = ids.into_iter().collect();
+        assert!(distinct.len() > 1, "expected work on more than one thread");
+    }
+}

@@ -69,11 +69,8 @@ pub fn build_incomplete_dataset(
                 let candidates: Vec<Vec<f64>> = values
                     .iter()
                     .map(|assignment| {
-                        let subs: Vec<(usize, &Value)> = cols
-                            .iter()
-                            .copied()
-                            .zip(assignment.iter())
-                            .collect();
+                        let subs: Vec<(usize, &Value)> =
+                            cols.iter().copied().zip(assignment.iter()).collect();
                         encoder.encode_row(row, &subs)
                     })
                     .collect();
@@ -85,7 +82,12 @@ pub fn build_incomplete_dataset(
 
     let dataset = IncompleteDataset::new(examples, n_labels)
         .expect("bridge produced an invalid incomplete dataset");
-    TableDataset { dataset, labels, class_names, assignments }
+    TableDataset {
+        dataset,
+        labels,
+        class_names,
+        assignments,
+    }
 }
 
 /// The candidate closest to the ground-truth row — the paper's simulated
@@ -142,10 +144,26 @@ mod tests {
         let truth = Table::new(
             schema.clone(),
             vec![
-                vec![Value::Num(1.0), Value::Cat("a".into()), Value::Cat("no".into())],
-                vec![Value::Num(5.0), Value::Cat("b".into()), Value::Cat("yes".into())],
-                vec![Value::Num(9.0), Value::Cat("a".into()), Value::Cat("yes".into())],
-                vec![Value::Num(9.5), Value::Cat("a".into()), Value::Cat("yes".into())],
+                vec![
+                    Value::Num(1.0),
+                    Value::Cat("a".into()),
+                    Value::Cat("no".into()),
+                ],
+                vec![
+                    Value::Num(5.0),
+                    Value::Cat("b".into()),
+                    Value::Cat("yes".into()),
+                ],
+                vec![
+                    Value::Num(9.0),
+                    Value::Cat("a".into()),
+                    Value::Cat("yes".into()),
+                ],
+                vec![
+                    Value::Num(9.5),
+                    Value::Cat("a".into()),
+                    Value::Cat("yes".into()),
+                ],
             ],
         );
         let mut dirty = truth.clone();

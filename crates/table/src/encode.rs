@@ -32,8 +32,9 @@ impl Encoder {
     /// (typically: all columns except the label). `space`, when given,
     /// extends categorical vocabularies with the repair candidates.
     pub fn fit(table: &Table, feature_cols: &[usize], space: Option<&RepairSpace>) -> Encoder {
-        let extra: Vec<(usize, String)> =
-            space.map(|s| s.categorical_candidates()).unwrap_or_default();
+        let extra: Vec<(usize, String)> = space
+            .map(|s| s.categorical_candidates())
+            .unwrap_or_default();
         let mut encoders = Vec::with_capacity(feature_cols.len());
         let mut dim = 0;
         for &col in feature_cols {
@@ -66,7 +67,11 @@ impl Encoder {
             };
             encoders.push(enc);
         }
-        Encoder { feature_cols: feature_cols.to_vec(), encoders, dim }
+        Encoder {
+            feature_cols: feature_cols.to_vec(),
+            encoders,
+            dim,
+        }
     }
 
     /// Encoded feature dimension.
@@ -118,7 +123,11 @@ impl Encoder {
 
     /// Encode a complete table (no substitutions).
     pub fn encode_table(&self, table: &Table) -> Vec<Vec<f64>> {
-        table.rows().iter().map(|r| self.encode_row(r, &[])).collect()
+        table
+            .rows()
+            .iter()
+            .map(|r| self.encode_row(r, &[]))
+            .collect()
     }
 }
 
@@ -134,7 +143,10 @@ pub fn extract_labels(table: &Table, label_col: usize) -> (Vec<usize>, Vec<Strin
     let mut names: Vec<String> = Vec::new();
     for row in table.rows() {
         let v = &row[label_col];
-        assert!(!v.is_null(), "NULL label: the CP data model requires certain labels");
+        assert!(
+            !v.is_null(),
+            "NULL label: the CP data model requires certain labels"
+        );
         let name = v.to_string();
         if !names.contains(&name) {
             names.push(name);
@@ -168,9 +180,21 @@ mod tests {
         Table::new(
             schema,
             vec![
-                vec![Value::Num(0.0), Value::Cat("a".into()), Value::Cat("no".into())],
-                vec![Value::Num(2.0), Value::Cat("b".into()), Value::Cat("yes".into())],
-                vec![Value::Num(4.0), Value::Cat("a".into()), Value::Cat("yes".into())],
+                vec![
+                    Value::Num(0.0),
+                    Value::Cat("a".into()),
+                    Value::Cat("no".into()),
+                ],
+                vec![
+                    Value::Num(2.0),
+                    Value::Cat("b".into()),
+                    Value::Cat("yes".into()),
+                ],
+                vec![
+                    Value::Num(4.0),
+                    Value::Cat("a".into()),
+                    Value::Cat("yes".into()),
+                ],
             ],
         )
     }

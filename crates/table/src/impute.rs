@@ -57,7 +57,14 @@ pub const CATEGORICAL_METHODS: [CategoricalImpute; 5] = [
 
 fn numeric_value(stats: &ColumnStats, method: NumericImpute) -> Option<f64> {
     match stats {
-        ColumnStats::Numeric { min, p25, mean, p75, max, .. } => Some(match method {
+        ColumnStats::Numeric {
+            min,
+            p25,
+            mean,
+            p75,
+            max,
+            ..
+        } => Some(match method {
             NumericImpute::Min => *min,
             NumericImpute::P25 => *p25,
             NumericImpute::Mean => *mean,

@@ -34,7 +34,10 @@ impl Default for RepairOptions {
         // of 5-candidate cells); the cap keeps the possible-world machinery
         // laptop-tractable while an evenly-strided subset preserves variation
         // in every cell. Raise it to reproduce the paper's unbounded space.
-        RepairOptions { max_row_candidates: 12, top_categories: 4 }
+        RepairOptions {
+            max_row_candidates: 12,
+            top_categories: 4,
+        }
     }
 }
 
@@ -123,7 +126,14 @@ impl RepairSpace {
 /// candidate per cell.
 pub fn cell_candidates(stats: Option<&ColumnStats>, opts: &RepairOptions) -> Vec<Value> {
     match stats {
-        Some(ColumnStats::Numeric { min, p25, mean, p75, max, .. }) => {
+        Some(ColumnStats::Numeric {
+            min,
+            p25,
+            mean,
+            p75,
+            max,
+            ..
+        }) => {
             let mut out: Vec<Value> = Vec::with_capacity(5);
             for v in [*min, *p25, *mean, *p75, *max] {
                 let val = Value::Num(v);
@@ -188,7 +198,7 @@ mod tests {
                 vec![Value::Num(12.0), Value::Cat("c".into())],
                 vec![Value::Num(16.0), Value::Cat("d".into())],
                 vec![Value::Num(20.0), Value::Cat("e".into())],
-                vec![Value::Null, Value::Null], // dirty row 6
+                vec![Value::Null, Value::Null],     // dirty row 6
                 vec![Value::Num(2.0), Value::Null], // dirty row 7
             ],
         )
@@ -228,7 +238,7 @@ mod tests {
         assert_eq!(row6.cells.len(), 2);
         let assignments = row6.assignments(1000);
         assert_eq!(assignments.len(), 25); // 5 numeric × 5 categorical
-        // all distinct
+                                           // all distinct
         for a in 0..assignments.len() {
             for b in (a + 1)..assignments.len() {
                 assert_ne!(assignments[a], assignments[b]);
@@ -257,7 +267,11 @@ mod tests {
         let schema = Schema::new(vec![Column::new("x", ColumnType::Numeric)]);
         let t = Table::new(
             schema,
-            vec![vec![Value::Num(7.0)], vec![Value::Num(7.0)], vec![Value::Null]],
+            vec![
+                vec![Value::Num(7.0)],
+                vec![Value::Num(7.0)],
+                vec![Value::Null],
+            ],
         );
         let space = build_repair_space(&t, &RepairOptions::default());
         assert_eq!(space.rows[0].cells[0].choices, vec![Value::Num(7.0)]);

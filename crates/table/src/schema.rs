@@ -23,7 +23,10 @@ pub struct Column {
 impl Column {
     /// Convenience constructor.
     pub fn new(name: impl Into<String>, ty: ColumnType) -> Self {
-        Column { name: name.into(), ty }
+        Column {
+            name: name.into(),
+            ty,
+        }
     }
 }
 
@@ -78,7 +81,9 @@ impl Schema {
 
     /// All column indices of a given type.
     pub fn indices_of_type(&self, ty: ColumnType) -> Vec<usize> {
-        (0..self.len()).filter(|&i| self.columns[i].ty == ty).collect()
+        (0..self.len())
+            .filter(|&i| self.columns[i].ty == ty)
+            .collect()
     }
 }
 

@@ -69,8 +69,10 @@ impl ColumnStats {
                     return None;
                 }
                 let count = counts.values().sum();
-                let mut frequencies: Vec<(String, usize)> =
-                    counts.into_iter().map(|(s, c)| (s.to_string(), c)).collect();
+                let mut frequencies: Vec<(String, usize)> = counts
+                    .into_iter()
+                    .map(|(s, c)| (s.to_string(), c))
+                    .collect();
                 frequencies.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
                 Some(ColumnStats::Categorical { frequencies, count })
             }
@@ -98,7 +100,9 @@ impl ColumnStats {
 
 /// Stats for every column (entries are `None` for fully-NULL columns).
 pub fn table_stats(table: &Table) -> Vec<Option<ColumnStats>> {
-    (0..table.n_cols()).map(|c| ColumnStats::compute(table, c)).collect()
+    (0..table.n_cols())
+        .map(|c| ColumnStats::compute(table, c))
+        .collect()
 }
 
 #[cfg(test)]
@@ -128,7 +132,15 @@ mod tests {
         let t = sample();
         let s = ColumnStats::compute(&t, 0).unwrap();
         match s {
-            ColumnStats::Numeric { min, p25, mean, p75, max, count, .. } => {
+            ColumnStats::Numeric {
+                min,
+                p25,
+                mean,
+                p75,
+                max,
+                count,
+                ..
+            } => {
                 assert_eq!(min, 1.0);
                 assert_eq!(p25, 1.75);
                 assert_eq!(mean, 2.5);

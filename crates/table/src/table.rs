@@ -89,7 +89,11 @@ impl Table {
 
     /// Non-NULL values of one column.
     pub fn observed_column(&self, c: usize) -> Vec<&Value> {
-        self.rows.iter().map(|r| &r[c]).filter(|v| !v.is_null()).collect()
+        self.rows
+            .iter()
+            .map(|r| &r[c])
+            .filter(|v| !v.is_null())
+            .collect()
     }
 
     /// Observed numeric values of one column.
@@ -99,7 +103,9 @@ impl Table {
 
     /// Column indices with at least one NULL in a given row.
     pub fn missing_cols_in_row(&self, r: usize) -> Vec<usize> {
-        (0..self.n_cols()).filter(|&c| self.rows[r][c].is_null()).collect()
+        (0..self.n_cols())
+            .filter(|&c| self.rows[r][c].is_null())
+            .collect()
     }
 
     /// Row indices containing at least one NULL.

@@ -128,7 +128,10 @@ mod tests {
         assert_eq!(Value::Num(3.0).to_string(), "3");
         assert_eq!(Value::Num(3.25).to_string(), "3.25");
         assert_eq!(Value::Null.to_csv_field(), "");
-        assert_eq!(Value::parse(&Value::Num(3.25).to_csv_field()), Value::Num(3.25));
+        assert_eq!(
+            Value::parse(&Value::Num(3.25).to_csv_field()),
+            Value::Num(3.25)
+        );
         assert_eq!(
             Value::parse(&Value::Cat("blue".into()).to_csv_field()),
             Value::Cat("blue".into())

@@ -1,0 +1,56 @@
+//! Batch evaluation: a whole test set of CP queries in one parallel pass.
+//!
+//! The per-point API answers "is *this* test point certainly predicted?";
+//! serving and evaluation ask that question for a whole batch. The batch
+//! engine fans test points out across cores (one similarity index built and
+//! reused per point) and aggregates the answers. Run:
+//!
+//! ```text
+//! cargo run --release --example batch_queries
+//! ```
+
+use cpclean::core::{evaluate_batch, q1_batch, q2_batch, CpConfig, Pins};
+use cpclean::core::{IncompleteDataset, IncompleteExample};
+
+fn main() {
+    // Figure 6's incomplete training set: 8 possible worlds.
+    let dataset = IncompleteDataset::new(
+        vec![
+            IncompleteExample::incomplete(vec![vec![0.0], vec![8.0]], 1),
+            IncompleteExample::incomplete(vec![vec![2.0], vec![4.0]], 1),
+            IncompleteExample::incomplete(vec![vec![6.0], vec![9.0]], 0),
+        ],
+        2,
+    )
+    .expect("valid dataset");
+    let cfg = CpConfig::new(1); // 1-NN
+
+    // A batch of test points along the line.
+    let points: Vec<Vec<f64>> = (-2..=12).map(|x| vec![x as f64]).collect();
+
+    // Q2 for the whole batch: exact world counts per label, in parallel.
+    let counts = q2_batch::<u128>(&dataset, &cfg, &points);
+    println!("Q2 over {} test points (worlds per label):", points.len());
+    for (t, r) in points.iter().zip(&counts) {
+        println!("  t={:>5}: {:?} / {}", t[0], r.counts, r.total);
+    }
+
+    // Q1 for one label across the batch.
+    let certain_of_1 = q1_batch(&dataset, &cfg, &points, 1);
+    let n1 = certain_of_1.iter().filter(|&&c| c).count();
+    println!(
+        "\nQ1: {n1}/{} points certainly predict label 1",
+        points.len()
+    );
+
+    // The aggregate view the evaluation loops consume.
+    let summary = evaluate_batch(&dataset, &cfg, &points, &Pins::none(dataset.len()));
+    println!("\nbatch summary:");
+    println!("  fraction certain : {:.2}", summary.fraction_certain());
+    println!("  mean entropy     : {:.3} bits", summary.mean_entropy_bits);
+    println!("  mean label probs : {:?}", summary.mean_probabilities());
+
+    // Sanity: the middle of the line is where predictions stay uncertain.
+    assert!(summary.fraction_certain() > 0.0);
+    assert!(summary.fraction_certain() < 1.0);
+}

@@ -64,9 +64,16 @@ fn main() {
     .expect("valid dataset");
     let cfg = CpConfig::new(1);
 
-    println!("\n1-NN prediction for a new 25-year-old across the {} worlds:", dataset.world_count());
+    println!(
+        "\n1-NN prediction for a new 25-year-old across the {} worlds:",
+        dataset.world_count()
+    );
     let q = q2::<u128>(&dataset, &cfg, &[25.0]);
-    println!("  worlds per label: {:?} (certain: {:?})", q.counts, q.certain_label());
+    println!(
+        "  worlds per label: {:?} (certain: {:?})",
+        q.counts,
+        q.certain_label()
+    );
     // Kevin's candidates 1/2/30 are all nearer to 25 than John (32) or Anna
     // (29)? No — age 1 and 2 are far; the nearest neighbor flips between
     // Kevin(30) and Anna(29) — but both have label 1, so the prediction is
@@ -75,15 +82,27 @@ fn main() {
 
     println!("\nand for a 5-year-old:");
     let q5 = q2::<u128>(&dataset, &cfg, &[5.0]);
-    println!("  worlds per label: {:?} (certain: {:?})", q5.counts, q5.certain_label());
+    println!(
+        "  worlds per label: {:?} (certain: {:?})",
+        q5.counts,
+        q5.certain_label()
+    );
     // here Kevin (ages 1 or 2) is nearest in 2 worlds (label 1), Anna in the
     // age=30 world (label 1) — still certain
     assert_eq!(certain_label(&dataset, &cfg, &[5.0]), Some(1));
 
     println!("\nand for a 31-year-old (between John and Kevin's age=30 candidate):");
     let q31 = q2::<u128>(&dataset, &cfg, &[31.0]);
-    println!("  worlds per label: {:?} (certain: {:?})", q31.counts, q31.certain_label());
-    assert_eq!(q31.certain_label(), None, "the prediction depends on Kevin's true age");
+    println!(
+        "  worlds per label: {:?} (certain: {:?})",
+        q31.counts,
+        q31.certain_label()
+    );
+    assert_eq!(
+        q31.certain_label(),
+        None,
+        "the prediction depends on Kevin's true age"
+    );
 
     println!("\ncertain answers reason about query results; certain predictions about models.");
 }

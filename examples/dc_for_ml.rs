@@ -8,9 +8,7 @@
 //! cargo run --release --example dc_for_ml
 //! ```
 
-use cpclean::clean::{
-    average_random_runs, gap_closed, run_cpclean, CleaningProblem, RunOptions,
-};
+use cpclean::clean::{average_random_runs, gap_closed, run_cpclean, CleaningProblem, RunOptions};
 use cpclean::core::CpConfig;
 use cpclean::datasets::{bank, make_bundle, prepare, BundleConfig};
 use cpclean::knn::KnnClassifier;
@@ -42,7 +40,8 @@ fn main() {
         .accuracy(&prep.test_x, &prep.test_y);
     let acc_default = KnnClassifier::new(3)
         .fit(
-            prep.encoder.encode_table(&default_clean(&bundle.dirty_train)),
+            prep.encoder
+                .encode_table(&default_clean(&bundle.dirty_train)),
             labels,
             prep.n_labels,
         )
@@ -66,7 +65,12 @@ fn main() {
     println!("\ncleaned | CPClean CP'ed | CPClean acc | Random CP'ed | Random acc");
     let n_dirty = problem.dirty_rows().len();
     for cleaned in (0..=n_dirty).step_by((n_dirty / 10).max(1)) {
-        let cp_pt = cp.curve.iter().rev().find(|p| p.cleaned <= cleaned).unwrap();
+        let cp_pt = cp
+            .curve
+            .iter()
+            .rev()
+            .find(|p| p.cleaned <= cleaned)
+            .unwrap();
         let rn_pt = random.iter().rev().find(|p| p.cleaned <= cleaned).unwrap();
         println!(
             "{cleaned:>7} | {:>12.0}% | {:>11.3} | {:>11.0}% | {:>10.3}",
@@ -87,7 +91,12 @@ fn main() {
     println!(
         "at the same cleaning budget, RandomClean closed {:.0}% of the gap",
         gap_closed(
-            random.iter().rev().find(|p| p.cleaned <= cp.n_cleaned()).unwrap().test_accuracy,
+            random
+                .iter()
+                .rev()
+                .find(|p| p.cleaned <= cp.n_cleaned())
+                .unwrap()
+                .test_accuracy,
             acc_default,
             acc_gt
         ) * 100.0,

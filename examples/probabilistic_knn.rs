@@ -54,12 +54,7 @@ fn main() {
 
     // Sharpening the prior toward the trusted repair makes the prediction
     // effectively certain.
-    let confident = vec![
-        vec![1.0],
-        vec![1.0],
-        vec![0.98, 0.01, 0.01],
-        vec![1.0],
-    ];
+    let confident = vec![vec![1.0], vec![1.0], vec![0.98, 0.01, 0.01], vec![1.0]];
     let sharp = q2_weighted(&dataset, &cfg, &t, confident);
     println!("near-certain:     P(label) = {sharp:?}");
     assert!(sharp[0] > 0.95);

@@ -29,7 +29,11 @@ fn main() {
     let test_point = vec![10.0];
     let cfg = CpConfig::new(1); // 1-NN, Euclidean
 
-    println!("incomplete dataset: {} examples, {} possible worlds", dataset.len(), dataset.world_count());
+    println!(
+        "incomplete dataset: {} examples, {} possible worlds",
+        dataset.len(),
+        dataset.world_count()
+    );
 
     // Q2 — counting query (Definition 5), exact counts
     let counts = q2::<u128>(&dataset, &cfg, &test_point);

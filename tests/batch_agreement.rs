@@ -1,0 +1,197 @@
+//! Agreement tests for the batch engine: on randomized instances, every
+//! batch entry point must return exactly what its sequential per-point twin
+//! returns — for every `Q2Algorithm`, under pin masks, and under non-uniform
+//! candidate priors. The batch API is a parallel *schedule*, never a
+//! different *computation*.
+
+use cpclean::core::{
+    bruteforce, certain_label_with_index, certain_labels_batch_pinned, evaluate_batch, prior,
+    q1_batch_pinned, q2_batch, q2_batch_with_algorithm, q2_probabilities_batch,
+    q2_probabilities_with_index, q2_weighted_batch, q2_with_algorithm, ss, ss_tree, CpConfig,
+    IncompleteDataset, IncompleteExample, Pins, Q2Algorithm, Q2Result, SimilarityIndex,
+};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// The sequential reference: one point, one prebuilt index, the same
+/// algorithm dispatch `q2_batch_with_algorithm` promises.
+fn sequential_q2(
+    ds: &IncompleteDataset,
+    cfg: &CpConfig,
+    idx: &SimilarityIndex,
+    pins: &Pins,
+    algo: Q2Algorithm,
+) -> Q2Result<u128> {
+    match algo {
+        Q2Algorithm::BruteForce => bruteforce::q2_brute_with_index(ds, cfg, idx, pins),
+        Q2Algorithm::SortScan => ss::q2_sortscan_with_index(ds, cfg, idx, pins),
+        Q2Algorithm::Auto | Q2Algorithm::SortScanTree => {
+            ss_tree::q2_sortscan_tree_with_index(ds, cfg, idx, pins)
+        }
+        Q2Algorithm::SortScanMultiClass => {
+            ss_tree::q2_sortscan_multiclass_with_index(ds, cfg, idx, pins)
+        }
+    }
+}
+
+const ALL_ALGORITHMS: [Q2Algorithm; 5] = [
+    Q2Algorithm::Auto,
+    Q2Algorithm::BruteForce,
+    Q2Algorithm::SortScan,
+    Q2Algorithm::SortScanTree,
+    Q2Algorithm::SortScanMultiClass,
+];
+
+/// A random incomplete dataset, a batch of test points, random pins over a
+/// subset of the dirty rows, and random (normalized) per-candidate priors.
+fn random_instance(
+    seed: u64,
+    n: usize,
+    m: usize,
+    n_labels: usize,
+    n_points: usize,
+) -> (IncompleteDataset, Vec<Vec<f64>>, Pins, Vec<Vec<f64>>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let examples: Vec<IncompleteExample> = (0..n)
+        .map(|_| {
+            let m_i = rng.gen_range(1..=m);
+            IncompleteExample::incomplete(
+                (0..m_i)
+                    .map(|_| vec![rng.gen_range(-5.0..5.0), rng.gen_range(-5.0..5.0)])
+                    .collect(),
+                rng.gen_range(0..n_labels),
+            )
+        })
+        .collect();
+    let ds = IncompleteDataset::new(examples, n_labels).unwrap();
+    let points: Vec<Vec<f64>> = (0..n_points)
+        .map(|_| vec![rng.gen_range(-5.0..5.0), rng.gen_range(-5.0..5.0)])
+        .collect();
+    let mut pins = Pins::none(ds.len());
+    for i in ds.dirty_indices() {
+        if rng.gen_range(0..2) == 0 {
+            pins.pin(i, rng.gen_range(0..ds.set_size(i)));
+        }
+    }
+    let priors: Vec<Vec<f64>> = (0..ds.len())
+        .map(|i| {
+            let raw: Vec<f64> = (0..ds.set_size(i))
+                .map(|_| rng.gen_range(0.05..1.0))
+                .collect();
+            let total: f64 = raw.iter().sum();
+            raw.into_iter().map(|w| w / total).collect()
+        })
+        .collect();
+    (ds, points, pins, priors)
+}
+
+#[test]
+fn q2_batch_agrees_with_every_sequential_algorithm() {
+    for seed in 0..12 {
+        let n_labels = 2 + (seed % 2) as usize;
+        let (ds, points, _, _) = random_instance(seed, 6, 3, n_labels, 5);
+        let none = Pins::none(ds.len());
+        for k in [1, 2, 3] {
+            let cfg = CpConfig::new(k);
+            for algo in ALL_ALGORITHMS {
+                let batch = q2_batch_with_algorithm::<u128>(&ds, &cfg, &points, &none, algo);
+                assert_eq!(batch.len(), points.len());
+                for (t, got) in points.iter().zip(&batch) {
+                    let want = q2_with_algorithm::<u128>(&ds, &cfg, t, algo);
+                    assert_eq!(got, &want, "seed={seed} k={k} algo={algo:?} t={t:?}");
+                }
+            }
+            // the default entry point equals the sequential default
+            let batch = q2_batch::<u128>(&ds, &cfg, &points);
+            for (t, got) in points.iter().zip(&batch) {
+                assert_eq!(
+                    got,
+                    &q2_with_algorithm::<u128>(&ds, &cfg, t, Q2Algorithm::Auto)
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn pinned_batch_agrees_with_per_point_evaluation() {
+    for seed in 0..12 {
+        let n_labels = 2 + (seed % 3) as usize;
+        let (ds, points, pins, _) = random_instance(seed * 31 + 7, 6, 3, n_labels, 4);
+        for k in [1, 3] {
+            let cfg = CpConfig::new(k);
+            // Q2 under pins, for every algorithm that accepts an index
+            for algo in ALL_ALGORITHMS {
+                let batch = q2_batch_with_algorithm::<u128>(&ds, &cfg, &points, &pins, algo);
+                for (t, got) in points.iter().zip(&batch) {
+                    let idx = SimilarityIndex::build(&ds, cfg.kernel, t);
+                    let want = sequential_q2(&ds, &cfg, &idx, &pins, algo);
+                    assert_eq!(got, &want, "seed={seed} k={k} algo={algo:?}");
+                }
+            }
+            // certain labels / Q1 / probabilities under pins
+            let labels = certain_labels_batch_pinned(&ds, &cfg, &points, &pins);
+            let probs = q2_probabilities_batch(&ds, &cfg, &points, &pins);
+            for ((t, label), prob) in points.iter().zip(&labels).zip(&probs) {
+                let idx = SimilarityIndex::build(&ds, cfg.kernel, t);
+                assert_eq!(*label, certain_label_with_index(&ds, &cfg, &idx, &pins));
+                assert_eq!(prob, &q2_probabilities_with_index(&ds, &cfg, &idx, &pins));
+            }
+            for y in 0..ds.n_labels() {
+                let q1s = q1_batch_pinned(&ds, &cfg, &points, &pins, y);
+                for (label, got) in labels.iter().zip(q1s) {
+                    assert_eq!(got, *label == Some(y), "seed={seed} k={k} y={y}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn weighted_batch_agrees_with_sequential_weighted_scan() {
+    for seed in 0..12 {
+        let n_labels = 2 + (seed % 2) as usize;
+        let (ds, points, pins, priors) = random_instance(seed * 17 + 3, 5, 3, n_labels, 4);
+        for k in [1, 2] {
+            let cfg = CpConfig::new(k);
+            for mask in [Pins::none(ds.len()), pins.clone()] {
+                let batch = q2_weighted_batch(&ds, &cfg, &points, &mask, &priors);
+                for (t, got) in points.iter().zip(&batch) {
+                    let idx = SimilarityIndex::build(&ds, cfg.kernel, t);
+                    let want =
+                        prior::q2_weighted_with_index(&ds, &cfg, &idx, &mask, priors.clone());
+                    assert_eq!(got.len(), want.len());
+                    for (a, b) in got.iter().zip(&want) {
+                        assert!((a - b).abs() < 1e-12, "seed={seed} k={k}: {a} vs {b}");
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn evaluate_batch_is_consistent_with_its_parts() {
+    for seed in [2u64, 19, 47] {
+        let (ds, points, pins, _) = random_instance(seed, 6, 3, 2, 6);
+        let cfg = CpConfig::new(3);
+        let summary = evaluate_batch(&ds, &cfg, &points, &pins);
+        assert_eq!(
+            summary.certain_labels,
+            certain_labels_batch_pinned(&ds, &cfg, &points, &pins)
+        );
+        assert_eq!(
+            summary.probabilities,
+            q2_probabilities_batch(&ds, &cfg, &points, &pins)
+        );
+        let n_certain = summary
+            .certain_labels
+            .iter()
+            .filter(|l| l.is_some())
+            .count();
+        assert_eq!(summary.n_certain(), n_certain);
+        assert!(
+            (summary.fraction_certain() - n_certain as f64 / points.len() as f64).abs() < 1e-15
+        );
+    }
+}

@@ -11,7 +11,12 @@ use cpclean::numeric::BigUint;
 use rand::prelude::*;
 use rand::rngs::StdRng;
 
-fn random_instance(seed: u64, n: usize, m: usize, n_labels: usize) -> (IncompleteDataset, Vec<f64>) {
+fn random_instance(
+    seed: u64,
+    n: usize,
+    m: usize,
+    n_labels: usize,
+) -> (IncompleteDataset, Vec<f64>) {
     let mut rng = StdRng::seed_from_u64(seed);
     let examples: Vec<IncompleteExample> = (0..n)
         .map(|_| {
@@ -42,7 +47,10 @@ fn all_q2_algorithms_agree_on_many_random_instances() {
                 Q2Algorithm::SortScanMultiClass,
             ] {
                 let r = q2_with_algorithm::<u128>(&ds, &cfg, &t, algo);
-                assert_eq!(r.counts, reference.counts, "seed={seed} k={k} algo={algo:?}");
+                assert_eq!(
+                    r.counts, reference.counts,
+                    "seed={seed} k={k} algo={algo:?}"
+                );
             }
         }
     }
@@ -71,7 +79,10 @@ fn probabilities_normalize_and_match_counts() {
         let (ds, t) = random_instance(seed * 13 + 3, 6, 3, 2);
         let cfg = CpConfig::new(3);
         let probs = q2_probabilities(&ds, &cfg, &t);
-        assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-9, "seed={seed}");
+        assert!(
+            (probs.iter().sum::<f64>() - 1.0).abs() < 1e-9,
+            "seed={seed}"
+        );
         let exact = q2::<BigUint>(&ds, &cfg, &t);
         for (p, q) in probs.iter().zip(exact.probabilities()) {
             assert!((p - q).abs() < 1e-9);
@@ -89,9 +100,15 @@ fn entropy_is_zero_exactly_when_certain() {
         let h = prediction_entropy_bits(&ds, &cfg, &idx, &pins);
         let certain = certain_label(&ds, &cfg, &t).is_some();
         if certain {
-            assert!(h < 1e-9, "seed={seed}: certain prediction must have zero entropy");
+            assert!(
+                h < 1e-9,
+                "seed={seed}: certain prediction must have zero entropy"
+            );
         } else {
-            assert!(h > 0.0, "seed={seed}: uncertain prediction must have positive entropy");
+            assert!(
+                h > 0.0,
+                "seed={seed}: uncertain prediction must have positive entropy"
+            );
         }
     }
 }
@@ -145,6 +162,9 @@ fn complete_dataset_is_always_certain() {
     .unwrap();
     let cfg = CpConfig::new(1);
     for t in [[0.1, 0.1], [4.9, 4.9], [2.6, 2.6]] {
-        assert!(certain_label(&ds, &cfg, &t).is_some(), "complete data has one world");
+        assert!(
+            certain_label(&ds, &cfg, &t).is_some(),
+            "complete data has one world"
+        );
     }
 }

@@ -2,9 +2,7 @@
 //! generation, MNAR injection, repair space, CP queries and the cleaning
 //! strategies — exercised together at small scale.
 
-use cpclean::clean::{
-    run_boostclean, run_cpclean, run_random_clean, CleaningProblem, RunOptions,
-};
+use cpclean::clean::{run_boostclean, run_cpclean, run_random_clean, CleaningProblem, RunOptions};
 use cpclean::core::CpConfig;
 use cpclean::datasets::{bank, make_bundle, prepare, supreme, BundleConfig};
 use cpclean::knn::KnnClassifier;
@@ -37,9 +35,15 @@ fn cpclean_converges_and_certifies_validation() {
     let bundle = make_bundle(&bank(), &cfg);
     let prep = prepare(&bundle, &cfg.repair);
     let p = problem(&prep);
-    let opts = RunOptions { n_threads: 2, ..RunOptions::default() };
+    let opts = RunOptions {
+        n_threads: 2,
+        ..RunOptions::default()
+    };
     let run = run_cpclean(&p, &prep.test_x, &prep.test_y, &opts);
-    assert!(run.converged, "CPClean must certify every validation example");
+    assert!(
+        run.converged,
+        "CPClean must certify every validation example"
+    );
     assert!((run.final_point().frac_val_cp - 1.0).abs() < 1e-12);
     // it must not have needed to clean everything
     assert!(run.n_cleaned() <= p.dirty_rows().len());
@@ -54,7 +58,10 @@ fn cpclean_certifies_no_slower_than_random_on_average() {
     let bundle = make_bundle(&supreme(), &cfg);
     let prep = prepare(&bundle, &cfg.repair);
     let p = problem(&prep);
-    let opts = RunOptions { n_threads: 2, ..RunOptions::default() };
+    let opts = RunOptions {
+        n_threads: 2,
+        ..RunOptions::default()
+    };
     let cp = run_cpclean(&p, &prep.test_x, &prep.test_y, &opts);
     // average random cleaning effort to convergence over a few seeds
     let random_effort: f64 = (0..4)
@@ -77,7 +84,10 @@ fn certified_validation_accuracy_equals_ground_truth_world_accuracy() {
     let bundle = make_bundle(&bank(), &cfg);
     let prep = prepare(&bundle, &cfg.repair);
     let p = problem(&prep);
-    let opts = RunOptions { n_threads: 2, ..RunOptions::default() };
+    let opts = RunOptions {
+        n_threads: 2,
+        ..RunOptions::default()
+    };
     let run = run_cpclean(&p, &prep.val_x, &prep.val_y, &opts);
     assert!(run.converged);
 
@@ -116,7 +126,11 @@ fn budgeted_runs_respect_the_budget_and_record_partial_curves() {
     let bundle = make_bundle(&bank(), &cfg);
     let prep = prepare(&bundle, &cfg.repair);
     let p = problem(&prep);
-    let opts = RunOptions { max_cleaned: Some(3), n_threads: 2, record_every: 1 };
+    let opts = RunOptions {
+        max_cleaned: Some(3),
+        n_threads: 2,
+        record_every: 1,
+    };
     let run = run_cpclean(&p, &prep.test_x, &prep.test_y, &opts);
     assert!(run.n_cleaned() <= 3);
     let random = run_random_clean(&p, &prep.test_x, &prep.test_y, 1, &opts);
@@ -159,7 +173,10 @@ fn pipeline_is_deterministic_end_to_end() {
         let bundle = make_bundle(&bank(), &cfg);
         let prep = prepare(&bundle, &cfg.repair);
         let p = problem(&prep);
-        let opts = RunOptions { n_threads: 2, ..RunOptions::default() };
+        let opts = RunOptions {
+            n_threads: 2,
+            ..RunOptions::default()
+        };
         run_cpclean(&p, &prep.test_x, &prep.test_y, &opts).order
     };
     assert_eq!(run(cfg.seed), run(cfg.seed));
