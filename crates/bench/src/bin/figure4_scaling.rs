@@ -9,14 +9,22 @@
 //! | K | \|Y\| | Q1/Q2 | SS-DC | O(NM (log NM + K² log N)) |
 //!
 //! Brute force is included at tiny N to show the exponential wall.
+//!
+//! Pass `--smoke` for a seconds-scale run over tiny sizes — the CI mode
+//! that keeps this regenerator binary runnable without paying for the full
+//! sweep.
 
 use cp_bench::report::{duration_ms, loglog_slope};
-use cp_bench::{random_incomplete_dataset, Reporter};
+use cp_bench::{
+    problem_from_prepared, random_incomplete_dataset, seed_style_status_updates, Reporter,
+};
+use cp_clean::{CleaningSession, RunOptions};
 use cp_core::batch::evaluate_batch;
 use cp_core::{
     bruteforce, certain_label_with_index, mm, q2_probabilities_with_index, q2_with_algorithm,
     ss_k1, CpConfig, Pins, Q2Algorithm, SimilarityIndex,
 };
+use cp_datasets::{bank, make_bundle, prepare, BundleConfig};
 use rand::prelude::*;
 use rand::rngs::StdRng;
 use std::time::Instant;
@@ -35,11 +43,19 @@ fn time_it(mut f: impl FnMut()) -> f64 {
 
 fn main() {
     let r = Reporter;
+    let smoke = std::env::args().any(|a| a == "--smoke");
     let m = 5;
     let dirty_frac = 0.2;
     let dim = 5;
-    let ns = [200usize, 400, 800, 1600, 3200];
+    let ns: Vec<usize> = if smoke {
+        vec![100, 200]
+    } else {
+        vec![200, 400, 800, 1600, 3200]
+    };
 
+    if smoke {
+        r.note("--smoke: tiny sizes, CI-speed run (fitted exponents are noisy at this scale)");
+    }
     r.section("Figure 4: empirical scaling of the CP algorithms (M=5, 20% dirty, |Y|=2)");
 
     let mut rows = Vec::new();
@@ -91,7 +107,8 @@ fn main() {
             let pins = Pins::none(ds.len());
             times.push(time_it(|| run(&ds, &cfg, &idx, &pins)));
         }
-        let slope = loglog_slope(&ns.map(|n| n as f64), &times);
+        let ns_f: Vec<f64> = ns.iter().map(|&n| n as f64).collect();
+        let slope = loglog_slope(&ns_f, &times);
         let mut row = vec![label.to_string(), bound.to_string()];
         row.extend(times.iter().map(|&t| duration_ms(t)));
         row.push(format!("{slope:.2}"));
@@ -108,7 +125,8 @@ fn main() {
     // brute force at tiny N: exponential in the number of dirty rows
     r.section("Brute force (reference): exponential in the dirty-row count");
     let mut rows = Vec::new();
-    for n_dirty in [4usize, 8, 12, 16] {
+    let brute_sizes: &[usize] = if smoke { &[4, 8] } else { &[4, 8, 12, 16] };
+    for &n_dirty in brute_sizes {
         let n = 20;
         let (ds, t) = random_incomplete_dataset(n, 2, n_dirty as f64 / n as f64, 2, dim, 17);
         let cfg = CpConfig::new(3);
@@ -126,10 +144,14 @@ fn main() {
     r.table(&["dirty rows (M=2)", "possible worlds", "time"], &rows);
 
     // SS-DC vs tally enumeration for growing |Y| (the A.3 motivation)
-    r.section("Multi-class accumulator (App. A.3) vs tally enumeration, K=4, N=400");
+    let mc_n = if smoke { 100 } else { 400 };
+    r.section(&format!(
+        "Multi-class accumulator (App. A.3) vs tally enumeration, K=4, N={mc_n}"
+    ));
     let mut rows = Vec::new();
-    for n_labels in [2usize, 4, 8, 16] {
-        let (ds, t) = random_incomplete_dataset(400, m, dirty_frac, n_labels, dim, 5);
+    let label_counts: &[usize] = if smoke { &[2, 4] } else { &[2, 4, 8, 16] };
+    for &n_labels in label_counts {
+        let (ds, t) = random_incomplete_dataset(mc_n, m, dirty_frac, n_labels, dim, 5);
         let cfg = CpConfig::new(4);
         let gamma = time_it(|| {
             let _ = q2_with_algorithm::<f64>(&ds, &cfg, &t, Q2Algorithm::SortScanTree);
@@ -151,7 +173,12 @@ fn main() {
     r.section("Batch engine: sequential per-point loop vs rayon evaluate_batch");
     let mut rows = Vec::new();
     let mut rng = StdRng::seed_from_u64(23);
-    for (n, n_points) in [(400usize, 64usize), (1600, 64), (1600, 256)] {
+    let batch_sizes: &[(usize, usize)] = if smoke {
+        &[(200, 16)]
+    } else {
+        &[(400, 64), (1600, 64), (1600, 256)]
+    };
+    for &(n, n_points) in batch_sizes {
         let (ds, _) = random_incomplete_dataset(n, m, dirty_frac, 2, dim, 23);
         let points: Vec<Vec<f64>> = (0..n_points)
             .map(|_| (0..dim).map(|_| rng.gen_range(-3.0..3.0)).collect())
@@ -191,6 +218,67 @@ fn main() {
         &rows,
     );
     r.note("both arms build one similarity index per point and run the Q1 dispatch plus Q2 probabilities; the batch arm fans points out across cores");
+
+    // the session engine: cached indexes + incremental CP status vs the
+    // seed's per-iteration rebuild of both. The workload is a fixed
+    // cleaning order with a CP-status update after every step (RandomClean's
+    // shape, and the ROADMAP's dominant `O(iterations × |val| × NM log NM)`
+    // cost) — in greedy CPClean the selection entropy loop additionally
+    // dominates both arms equally (see bench_session for that comparison).
+    r.section("CleaningSession: cached indexes vs seed-style per-iteration rebuild");
+    let mut rows = Vec::new();
+    let session_sizes: &[(usize, usize, usize)] = if smoke {
+        &[(60, 40, 6)]
+    } else {
+        &[(120, 80, 8), (240, 160, 8)]
+    };
+    for &(n_train, n_val, steps) in session_sizes {
+        let mut bcfg = BundleConfig::laptop(3);
+        bcfg.n_train = n_train;
+        bcfg.n_val = n_val;
+        bcfg.n_test = 20;
+        let bundle = make_bundle(&bank(), &bcfg);
+        let prep = prepare(&bundle, &bcfg.repair);
+        let problem = problem_from_prepared(&prep, 3);
+        let opts = RunOptions {
+            max_cleaned: None,
+            n_threads: 1,
+            record_every: 1,
+        };
+        let order: Vec<usize> = problem.dirty_rows().into_iter().take(steps).collect();
+        let cached = time_it(|| {
+            let mut session = CleaningSession::new(&problem, &opts);
+            for &row in &order {
+                if session.converged() {
+                    break;
+                }
+                session.clean(row);
+            }
+        });
+        let rebuild = time_it(|| {
+            let _ = seed_style_status_updates(&problem, &order, 1);
+        });
+        rows.push(vec![
+            n_train.to_string(),
+            n_val.to_string(),
+            order.len().to_string(),
+            duration_ms(cached),
+            duration_ms(rebuild),
+            format!("{:.2}x", rebuild / cached),
+        ]);
+    }
+    r.table(
+        &[
+            "N train",
+            "|val|",
+            "cleaning steps",
+            "cached session",
+            "per-iteration rebuild",
+            "speedup",
+        ],
+        &rows,
+    );
+    r.note("identical cleaning order and status checks; the cached arm builds each validation index once per run instead of once per iteration and re-evaluates only not-yet-certain points");
 
     r.section("Scaling summary vs paper bounds");
     let rows: Vec<Vec<String>> = summary

@@ -6,8 +6,7 @@
 
 use cp_bench::report::{pct, pct1};
 use cp_bench::{ExperimentScale, Reporter};
-use cp_core::batch::evaluate_batch;
-use cp_core::{CpConfig, Pins};
+use cp_core::{evaluate_with_cache, CpConfig, Pins, ValIndexCache};
 use cp_datasets::profiles::MissingSpec;
 use cp_datasets::{all_profiles, make_bundle, prepare};
 
@@ -50,10 +49,13 @@ fn main() {
             let cfg = scale.bundle_config();
             let bundle = make_bundle(p, &cfg);
             // fraction of validation points already certainly predicted with
-            // zero cleaning, via the batch engine (3-NN, the paper's model)
+            // zero cleaning, via the cached session-style evaluation path
+            // (3-NN, the paper's model)
             let prep = prepare(&bundle, &cfg.repair);
             let ds = &prep.table_dataset.dataset;
-            let summary = evaluate_batch(ds, &CpConfig::new(3), &prep.val_x, &Pins::none(ds.len()));
+            let cp_cfg = CpConfig::new(3);
+            let cache = ValIndexCache::for_config(ds, &cp_cfg, &prep.val_x);
+            let summary = evaluate_with_cache(ds, &cp_cfg, &cache, &Pins::none(ds.len()));
             vec![
                 p.name.clone(),
                 bundle.dirty_train.n_rows().to_string(),

@@ -2,7 +2,7 @@
 //! the end-to-end Table 2 runner.
 
 use cp_clean::{
-    gap_closed, holoclean_impute, run_boostclean, run_cpclean, CleaningProblem, CleaningRun,
+    gap_closed, holoclean_impute, run_boostclean, CleaningProblem, CleaningRun, CleaningSession,
     HoloCleanOptions, RunOptions,
 };
 use cp_core::CpConfig;
@@ -42,10 +42,7 @@ impl ExperimentScale {
             .ok()
             .and_then(|s| s.parse().ok())
             .unwrap_or(7);
-        let n_threads = std::env::var("CP_THREADS")
-            .ok()
-            .and_then(|s| s.parse().ok())
-            .unwrap_or_else(cp_clean::eval::default_threads);
+        let n_threads = cp_clean::eval::env_threads();
         ExperimentScale {
             n_train: ((300.0 * scale) as usize).max(60),
             n_val: ((150.0 * scale) as usize).max(20),
@@ -72,6 +69,31 @@ impl ExperimentScale {
             record_every: 1,
         }
     }
+}
+
+/// The seed implementation's cleaning loop, kept as the **rebuild baseline**
+/// the session benchmarks compare against: clean `order`'s rows one at a
+/// time with a full `val_cp_status` recompute (one similarity-index build
+/// per validation point) after every step, stopping at convergence. Both
+/// `bench_session` and `figure4_scaling` time this one definition, so the
+/// published speedups measure the same baseline.
+///
+/// Returns `(rows_cleaned, final_cp_status)`.
+pub fn seed_style_status_updates(
+    problem: &CleaningProblem,
+    order: &[usize],
+    n_threads: usize,
+) -> (usize, Vec<bool>) {
+    let mut state = cp_clean::CleaningState::new(problem);
+    let mut cp = cp_clean::val_cp_status(problem, state.pins(), n_threads);
+    for &row in order {
+        if cp.iter().all(|&c| c) {
+            break;
+        }
+        state.clean_row(problem, row);
+        cp = cp_clean::val_cp_status(problem, state.pins(), n_threads);
+    }
+    (state.n_cleaned(), cp)
 }
 
 /// Adapt a prepared dataset into the cleaning framework's problem type
@@ -224,9 +246,11 @@ fn run_raw(profile: &DatasetProfile, scale: &ExperimentScale) -> EndToEndRaw {
     );
     let acc_holo = fit_score(prep.encoder.encode_table(&holo_table));
 
-    // CPClean to convergence
+    // CPClean to convergence, on the stateful session engine (indexes built
+    // once per run, CP status maintained incrementally)
     let problem = problem_from_prepared(&prep, k);
-    let run = run_cpclean(&problem, &prep.test_x, &prep.test_y, &scale.run_options());
+    let run = CleaningSession::new(&problem, &scale.run_options())
+        .run_to_convergence(&prep.test_x, &prep.test_y);
 
     EndToEndRaw {
         acc_ground_truth,

@@ -22,7 +22,8 @@ pub mod gen;
 pub mod report;
 
 pub use experiments::{
-    problem_from_prepared, run_end_to_end, run_end_to_end_averaged, EndToEndResult, ExperimentScale,
+    problem_from_prepared, run_end_to_end, run_end_to_end_averaged, seed_style_status_updates,
+    EndToEndResult, ExperimentScale,
 };
 pub use gen::random_incomplete_dataset;
 pub use report::Reporter;

@@ -10,20 +10,18 @@
 //! including the unknown ground truth — yields the same validation
 //! predictions), a cleaning budget, or nothing dirty left.
 //!
-//! Two load-bearing optimizations, both consequences of CP monotonicity
-//! (cleaning only shrinks the world set, so a certain example stays certain):
-//!
-//! * already-CP'ed validation examples are skipped in the entropy loop —
-//!   their conditional entropy is 0 under every pin;
-//! * each validation example's similarity index is built once per iteration
-//!   and shared across all `(i, j)` pin evaluations.
+//! The engine behind this module is the stateful [`CleaningSession`]:
+//! similarity indexes are built once per run and cached across iterations,
+//! and the CP status
+//! vector is maintained incrementally (certainty is monotone under
+//! cleaning). [`run_cpclean`] and [`select_next`] are thin wrappers kept for
+//! source compatibility with the seed API.
 
-use crate::eval::{parallel_map, state_accuracy, val_cp_status};
-use crate::metrics::{CleaningRun, CurvePoint};
 use crate::problem::CleaningProblem;
+use crate::session::{select_next_with, CleaningSession};
 use crate::state::CleaningState;
-use cp_core::{q2_probabilities_with_index, SimilarityIndex};
-use cp_numeric::stats::entropy_bits;
+use cp_core::SimilarityIndex;
+use std::sync::Arc;
 
 /// Options for a cleaning run (shared by CPClean and RandomClean).
 #[derive(Clone, Debug)]
@@ -42,7 +40,7 @@ impl Default for RunOptions {
     fn default() -> Self {
         RunOptions {
             max_cleaned: None,
-            n_threads: crate::eval::default_threads(),
+            n_threads: crate::eval::env_threads(),
             record_every: 1,
         }
     }
@@ -50,59 +48,26 @@ impl Default for RunOptions {
 
 /// Run CPClean on a problem, recording the cleaning curve against the given
 /// test set.
+///
+/// Thin wrapper: opens a [`CleaningSession`] (one similarity-index build per
+/// validation point for the whole run) and drives it to convergence.
 pub fn run_cpclean(
     problem: &CleaningProblem,
     test_x: &[Vec<f64>],
     test_y: &[usize],
     opts: &RunOptions,
-) -> CleaningRun {
-    problem.validate();
-    let mut state = CleaningState::new(problem);
-    let n_dirty = problem.dirty_rows().len().max(1);
-    let mut curve = Vec::new();
-    let mut cp = val_cp_status(problem, state.pins(), opts.n_threads);
-    curve.push(point(problem, &state, &cp, n_dirty, test_x, test_y));
-    let mut converged = cp.iter().all(|&c| c);
-
-    loop {
-        if converged {
-            break;
-        }
-        let remaining = state.remaining(problem);
-        if remaining.is_empty() {
-            break;
-        }
-        if let Some(budget) = opts.max_cleaned {
-            if state.n_cleaned() >= budget {
-                break;
-            }
-        }
-
-        let row = select_next(problem, &state, &cp, &remaining, opts.n_threads);
-        state.clean_row(problem, row);
-        cp = val_cp_status(problem, state.pins(), opts.n_threads);
-        converged = cp.iter().all(|&c| c);
-
-        let step = state.n_cleaned();
-        if step.is_multiple_of(opts.record_every.max(1)) || converged {
-            curve.push(point(problem, &state, &cp, n_dirty, test_x, test_y));
-        }
-    }
-    // make sure the final state is on the curve
-    if curve.last().map(|p| p.cleaned) != Some(state.n_cleaned()) {
-        curve.push(point(problem, &state, &cp, n_dirty, test_x, test_y));
-    }
-
-    CleaningRun {
-        order: state.order().to_vec(),
-        curve,
-        converged,
-    }
+) -> crate::metrics::CleaningRun {
+    CleaningSession::new(problem, opts).run_to_convergence(test_x, test_y)
 }
 
 /// The greedy selection step (Algorithm 3, lines 5–9): the uncleaned row
 /// minimizing the expected conditional entropy of validation predictions,
 /// the expectation taken uniformly over which candidate is the truth.
+///
+/// One-shot compatibility wrapper: builds each uncertain validation point's
+/// index for this call only. Inside a run, use
+/// [`CleaningSession::select_next`], which reuses the session's cached
+/// indexes instead.
 pub fn select_next(
     problem: &CleaningProblem,
     state: &CleaningState,
@@ -110,73 +75,19 @@ pub fn select_next(
     remaining: &[usize],
     n_threads: usize,
 ) -> usize {
-    debug_assert!(!remaining.is_empty());
-    let uncertain: Vec<usize> = (0..problem.val_x.len()).filter(|&v| !cp[v]).collect();
-    if uncertain.is_empty() {
-        return remaining[0];
-    }
-
-    // per validation example: entropy of Q2 probabilities under every pin
-    let per_val: Vec<Vec<Vec<f64>>> = parallel_map(uncertain.len(), n_threads, |u| {
-        let t = &problem.val_x[uncertain[u]];
-        let idx = SimilarityIndex::build(&problem.dataset, problem.config.kernel, t);
-        remaining
-            .iter()
-            .map(|&row| {
-                (0..problem.dataset.set_size(row))
-                    .map(|j| {
-                        let mut pins = state.pins().clone();
-                        pins.pin(row, j);
-                        let probs = q2_probabilities_with_index(
-                            &problem.dataset,
-                            &problem.config,
-                            &idx,
-                            &pins,
-                        );
-                        entropy_bits(&probs)
-                    })
-                    .collect()
-            })
-            .collect()
-    });
-
-    // expected entropy per candidate row: mean over candidates (uniform
-    // prior), summed over uncertain validation examples
-    let mut best_row = remaining[0];
-    let mut best_score = f64::INFINITY;
-    for (pos, &row) in remaining.iter().enumerate() {
-        let m = problem.dataset.set_size(row) as f64;
-        let mut score = 0.0;
-        for ent in &per_val {
-            score += ent[pos].iter().sum::<f64>() / m;
-        }
-        if score < best_score - 1e-12 {
-            best_score = score;
-            best_row = row;
-        }
-    }
-    best_row
-}
-
-fn point(
-    problem: &CleaningProblem,
-    state: &CleaningState,
-    cp: &[bool],
-    n_dirty: usize,
-    test_x: &[Vec<f64>],
-    test_y: &[usize],
-) -> CurvePoint {
-    CurvePoint {
-        cleaned: state.n_cleaned(),
-        frac_cleaned: state.n_cleaned() as f64 / n_dirty as f64,
-        frac_val_cp: cp.iter().filter(|&&c| c).count() as f64 / cp.len().max(1) as f64,
-        test_accuracy: state_accuracy(problem, state, test_x, test_y),
-    }
+    select_next_with(problem, state.pins(), cp, remaining, n_threads, |v| {
+        Arc::new(SimilarityIndex::build(
+            &problem.dataset,
+            problem.config.kernel,
+            &problem.val_x[v],
+        ))
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::eval::val_cp_status;
     use cp_core::{CpConfig, IncompleteDataset, IncompleteExample};
 
     /// Two dirty rows; only row 1 matters for the validation point, so

@@ -51,6 +51,17 @@ pub fn default_threads() -> usize {
         .unwrap_or(1)
 }
 
+/// Worker count honouring the `CP_THREADS` environment override (the
+/// ROADMAP's controlled-scaling knob; also respected by the batch engine's
+/// thread pool), falling back to [`default_threads`].
+pub fn env_threads() -> usize {
+    std::env::var("CP_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(default_threads)
+}
+
 /// Train a KNN on the world selected by `choices` and score it on a test
 /// set.
 pub fn world_accuracy(
@@ -81,6 +92,12 @@ pub fn state_accuracy(
 /// Q1 status of every validation example under the current pins: `true` iff
 /// the example is certainly predicted (its prediction can no longer be
 /// changed by any further cleaning).
+///
+/// This is the **one-shot, from-scratch** recompute: it builds one
+/// similarity index per validation example per call. Cleaning loops should
+/// not call it per iteration — a [`crate::session::CleaningSession`] caches
+/// the indexes and maintains the status incrementally; the property tests
+/// use this function as the independent oracle the session must agree with.
 ///
 /// `n_threads <= 1` runs the per-point loop sequentially in the calling
 /// thread; an explicit cap *below* the machine's parallelism is honoured via

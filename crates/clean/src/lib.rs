@@ -10,6 +10,9 @@
 //!   predictions; terminates when every validation example is certainly
 //!   predicted, at which point any remaining possible world — including the
 //!   unknown ground truth — has identical validation accuracy.
+//! * [`session`] — the **stateful cleaning engine**: a [`CleaningSession`]
+//!   owns the run's cached similarity indexes and incrementally maintained
+//!   CP status; `run_cpclean` and the baselines are thin wrappers over it.
 //! * [`random_clean`] — the RandomClean baseline (same machinery, random
 //!   order).
 //! * [`boostclean`] — BoostClean: validation-driven selection (plus
@@ -26,6 +29,7 @@ pub mod holoclean_sim;
 pub mod metrics;
 pub mod problem;
 pub mod random_clean;
+pub mod session;
 pub mod state;
 
 pub use boostclean::{run_boostclean, BoostCleanResult};
@@ -35,4 +39,5 @@ pub use holoclean_sim::{holoclean_impute, HoloCleanOptions};
 pub use metrics::{gap_closed, CleaningRun, CurvePoint};
 pub use problem::CleaningProblem;
 pub use random_clean::{average_random_runs, run_random_clean};
+pub use session::CleaningSession;
 pub use state::CleaningState;

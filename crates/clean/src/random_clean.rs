@@ -1,12 +1,13 @@
 //! RandomClean — the §5.2 baseline: "simply selects an example randomly to
 //! clean" each iteration. Shares every mechanism with CPClean except the
-//! selection rule, so curves are directly comparable.
+//! selection rule — it drives the same [`CleaningSession`] engine (cached
+//! indexes, incremental CP status) with a shuffled order instead of the
+//! greedy pick — so curves are directly comparable.
 
 use crate::cpclean::RunOptions;
-use crate::eval::{state_accuracy, val_cp_status};
 use crate::metrics::{CleaningRun, CurvePoint};
 use crate::problem::CleaningProblem;
-use crate::state::CleaningState;
+use crate::session::CleaningSession;
 use rand::prelude::*;
 use rand::rngs::StdRng;
 
@@ -18,61 +19,10 @@ pub fn run_random_clean(
     seed: u64,
     opts: &RunOptions,
 ) -> CleaningRun {
-    problem.validate();
-    let mut state = CleaningState::new(problem);
-    let n_dirty = problem.dirty_rows().len().max(1);
-
     let mut order = problem.dirty_rows();
     let mut rng = StdRng::seed_from_u64(seed);
     order.shuffle(&mut rng);
-
-    let mut curve = Vec::new();
-    let mut cp = val_cp_status(problem, state.pins(), opts.n_threads);
-    curve.push(point(problem, &state, &cp, n_dirty, test_x, test_y));
-    let mut converged = cp.iter().all(|&c| c);
-
-    for &row in &order {
-        if converged {
-            break;
-        }
-        if let Some(budget) = opts.max_cleaned {
-            if state.n_cleaned() >= budget {
-                break;
-            }
-        }
-        state.clean_row(problem, row);
-        cp = val_cp_status(problem, state.pins(), opts.n_threads);
-        converged = cp.iter().all(|&c| c);
-        let step = state.n_cleaned();
-        if step.is_multiple_of(opts.record_every.max(1)) || converged {
-            curve.push(point(problem, &state, &cp, n_dirty, test_x, test_y));
-        }
-    }
-    if curve.last().map(|p| p.cleaned) != Some(state.n_cleaned()) {
-        curve.push(point(problem, &state, &cp, n_dirty, test_x, test_y));
-    }
-
-    CleaningRun {
-        order: state.order().to_vec(),
-        curve,
-        converged,
-    }
-}
-
-fn point(
-    problem: &CleaningProblem,
-    state: &CleaningState,
-    cp: &[bool],
-    n_dirty: usize,
-    test_x: &[Vec<f64>],
-    test_y: &[usize],
-) -> CurvePoint {
-    CurvePoint {
-        cleaned: state.n_cleaned(),
-        frac_cleaned: state.n_cleaned() as f64 / n_dirty as f64,
-        frac_val_cp: cp.iter().filter(|&&c| c).count() as f64 / cp.len().max(1) as f64,
-        test_accuracy: state_accuracy(problem, state, test_x, test_y),
-    }
+    CleaningSession::new(problem, opts).run_order(&order, test_x, test_y)
 }
 
 /// Average several RandomClean runs onto a common grid of cleaned counts

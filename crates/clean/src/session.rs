@@ -1,0 +1,430 @@
+//! The stateful cleaning engine: one [`CleaningSession`] per cleaning run.
+//!
+//! The seed port of CPClean (§4.1, Algorithm 3) re-evaluated every
+//! validation point from scratch each iteration: `val_cp_status` and
+//! `select_next` rebuilt each point's `SimilarityIndex` (the
+//! `O(NM log NM)` sort) every time they were called, and the full CP status
+//! vector was recomputed after every cleaning step. Both costs are
+//! avoidable, and this module is where they are avoided:
+//!
+//! * **Index caching.** Pinning never changes candidate similarities — a
+//!   [`cp_core::Pins`] mask only selects which candidates participate — so a
+//!   validation point's similarity index is invariant across the whole run.
+//!   The session builds a [`ValIndexCache`] once (`O(|val| · NM log NM)`)
+//!   and every subsequent selection step and status update reuses it,
+//!   reducing the per-iteration cost from `O(|val| · NM log NM)` sorting
+//!   plus scanning to scanning alone.
+//! * **Incremental CP status.** CP certainty is monotone under cleaning:
+//!   pinning a row shrinks the world set, and if every world predicted the
+//!   same label before, every remaining world still does. The session
+//!   therefore keeps a status vector and, after each cleaning step,
+//!   re-evaluates *only* the not-yet-certain validation points.
+//!
+//! A session owns the problem reference, the [`CleaningState`], the index
+//! cache and the status vector; [`CleaningSession::step`] performs one
+//! greedy CPClean iteration, [`CleaningSession::run_to_convergence`] drives
+//! a full run with curve recording, and [`CleaningSession::clean`] applies
+//! an externally chosen row (the RandomClean baseline and the
+//! incrementality property tests drive this). The legacy free functions
+//! (`run_cpclean`, `select_next`, `val_cp_status`, `run_random_clean`) are
+//! thin wrappers over this engine, so existing callers are source
+//! compatible.
+//!
+//! A session is also the designed unit of *sharding* (ROADMAP): a shard
+//! will own one session over its partition of the candidate sets and merge
+//! per-label polynomial factors upward.
+
+use crate::cpclean::RunOptions;
+use crate::eval::{parallel_map, state_accuracy};
+use crate::metrics::{CleaningRun, CurvePoint};
+use crate::problem::CleaningProblem;
+use crate::state::CleaningState;
+use cp_core::{
+    certain_label_with_index, q2_probabilities_with_index, Pins, SimilarityIndex, ValIndexCache,
+};
+use cp_numeric::stats::entropy_bits;
+use std::sync::Arc;
+
+/// A cleaning run in progress: problem + cleaning state + cached similarity
+/// indexes + incrementally maintained CP status.
+#[derive(Clone, Debug)]
+pub struct CleaningSession<'a> {
+    problem: &'a CleaningProblem,
+    opts: RunOptions,
+    state: CleaningState,
+    cache: ValIndexCache,
+    cp: Vec<bool>,
+}
+
+impl<'a> CleaningSession<'a> {
+    /// Open a session: validate the problem, build every validation point's
+    /// similarity index **once** (under the session's own thread cap, not
+    /// the rayon pool's), and evaluate the initial CP status.
+    pub fn new(problem: &'a CleaningProblem, opts: &RunOptions) -> Self {
+        problem.validate();
+        let indexes = parallel_map(problem.val_x.len(), opts.n_threads, |v| {
+            Arc::new(SimilarityIndex::build(
+                &problem.dataset,
+                problem.config.kernel,
+                &problem.val_x[v],
+            ))
+        });
+        let cache =
+            ValIndexCache::from_indexes(problem.config.kernel, problem.val_x.clone(), indexes);
+        let mut session = CleaningSession {
+            problem,
+            opts: opts.clone(),
+            state: CleaningState::new(problem),
+            cache,
+            cp: vec![false; problem.val_x.len()],
+        };
+        session.refresh_status();
+        session
+    }
+
+    /// The problem this session cleans.
+    pub fn problem(&self) -> &CleaningProblem {
+        self.problem
+    }
+
+    /// The cleaning progress so far.
+    pub fn state(&self) -> &CleaningState {
+        &self.state
+    }
+
+    /// The shared per-validation-point index cache.
+    pub fn cache(&self) -> &ValIndexCache {
+        &self.cache
+    }
+
+    /// Per-validation-point CP status under the current pins (`true` =
+    /// certainly predicted), maintained incrementally.
+    pub fn status(&self) -> &[bool] {
+        &self.cp
+    }
+
+    /// Number of validation points currently certainly predicted.
+    pub fn n_certain(&self) -> usize {
+        self.cp.iter().filter(|&&c| c).count()
+    }
+
+    /// `true` iff every validation point is certainly predicted — CPClean's
+    /// termination condition.
+    pub fn converged(&self) -> bool {
+        self.cp.iter().all(|&c| c)
+    }
+
+    /// Rows cleaned so far.
+    pub fn n_cleaned(&self) -> usize {
+        self.state.n_cleaned()
+    }
+
+    /// Dirty rows not yet cleaned.
+    pub fn remaining(&self) -> Vec<usize> {
+        self.state.remaining(self.problem)
+    }
+
+    /// Re-evaluate the not-yet-certain validation points under the current
+    /// pins. Already-certain points are skipped — certainty is monotone
+    /// under cleaning, so their status cannot change.
+    fn refresh_status(&mut self) {
+        let uncertain: Vec<usize> = (0..self.cp.len()).filter(|&v| !self.cp[v]).collect();
+        if uncertain.is_empty() {
+            return;
+        }
+        let pins = self.state.pins();
+        let fresh = parallel_map(uncertain.len(), self.opts.n_threads, |u| {
+            certain_label_with_index(
+                &self.problem.dataset,
+                &self.problem.config,
+                &self.cache[uncertain[u]],
+                pins,
+            )
+            .is_some()
+        });
+        for (&v, now_certain) in uncertain.iter().zip(fresh) {
+            self.cp[v] = now_certain;
+        }
+    }
+
+    /// Clean one externally chosen row (the RandomClean path and the
+    /// simulated human of §4), then incrementally update the CP status.
+    ///
+    /// # Panics
+    /// Panics if the row is clean or already cleaned.
+    pub fn clean(&mut self, row: usize) {
+        self.state.clean_row(self.problem, row);
+        self.refresh_status();
+    }
+
+    /// The greedy CPClean selection (Algorithm 3, lines 5–9) over the given
+    /// candidate rows, using the cached indexes.
+    pub fn select_next(&self, remaining: &[usize]) -> usize {
+        let cache = &self.cache;
+        select_next_with(
+            self.problem,
+            self.state.pins(),
+            &self.cp,
+            remaining,
+            self.opts.n_threads,
+            |v| Arc::clone(&cache[v]),
+        )
+    }
+
+    /// One CPClean iteration: greedily select the most informative dirty
+    /// row, clean it, and update the status. Returns the cleaned row, or
+    /// `None` without cleaning when the run is over (converged, nothing
+    /// dirty remaining, or the `max_cleaned` budget is exhausted).
+    pub fn step(&mut self) -> Option<usize> {
+        let row = self.next_greedy()?;
+        self.clean(row);
+        Some(row)
+    }
+
+    /// The row [`CleaningSession::step`] would clean, without cleaning it.
+    fn next_greedy(&self) -> Option<usize> {
+        if self.converged() || self.budget_exhausted() {
+            return None;
+        }
+        let remaining = self.remaining();
+        if remaining.is_empty() {
+            return None;
+        }
+        Some(self.select_next(&remaining))
+    }
+
+    fn budget_exhausted(&self) -> bool {
+        self.opts
+            .max_cleaned
+            .is_some_and(|budget| self.state.n_cleaned() >= budget)
+    }
+
+    /// Run greedy CPClean steps until convergence, budget exhaustion or no
+    /// dirty rows remain, recording the cleaning curve against the given
+    /// test set.
+    pub fn run_to_convergence(&mut self, test_x: &[Vec<f64>], test_y: &[usize]) -> CleaningRun {
+        self.drive(test_x, test_y, |session| session.next_greedy())
+    }
+
+    /// Clean rows in the given order (skipping nothing — the order must
+    /// contain each dirty row at most once) until convergence or budget
+    /// exhaustion, recording the cleaning curve. RandomClean is this with a
+    /// shuffled order.
+    pub fn run_order(
+        &mut self,
+        order: &[usize],
+        test_x: &[Vec<f64>],
+        test_y: &[usize],
+    ) -> CleaningRun {
+        let mut queue = order.iter().copied();
+        self.drive(test_x, test_y, move |session| {
+            if session.converged() || session.budget_exhausted() {
+                None
+            } else {
+                queue.next()
+            }
+        })
+    }
+
+    /// The shared run loop: repeatedly ask `pick` for the next row, clean
+    /// it, and record curve points per `record_every` (first and last points
+    /// always included).
+    fn drive(
+        &mut self,
+        test_x: &[Vec<f64>],
+        test_y: &[usize],
+        mut pick: impl FnMut(&CleaningSession) -> Option<usize>,
+    ) -> CleaningRun {
+        let n_dirty = self.problem.dirty_rows().len().max(1);
+        let mut curve = vec![self.curve_point(n_dirty, test_x, test_y)];
+        while let Some(row) = pick(self) {
+            self.clean(row);
+            let step = self.state.n_cleaned();
+            if step.is_multiple_of(self.opts.record_every.max(1)) || self.converged() {
+                curve.push(self.curve_point(n_dirty, test_x, test_y));
+            }
+        }
+        // make sure the final state is on the curve
+        if curve.last().map(|p| p.cleaned) != Some(self.state.n_cleaned()) {
+            curve.push(self.curve_point(n_dirty, test_x, test_y));
+        }
+        CleaningRun {
+            order: self.state.order().to_vec(),
+            curve,
+            converged: self.converged(),
+        }
+    }
+
+    fn curve_point(&self, n_dirty: usize, test_x: &[Vec<f64>], test_y: &[usize]) -> CurvePoint {
+        CurvePoint {
+            cleaned: self.state.n_cleaned(),
+            frac_cleaned: self.state.n_cleaned() as f64 / n_dirty as f64,
+            frac_val_cp: self.n_certain() as f64 / self.cp.len().max(1) as f64,
+            test_accuracy: state_accuracy(self.problem, &self.state, test_x, test_y),
+        }
+    }
+}
+
+/// The greedy selection core shared by the session (cached indexes) and the
+/// legacy one-shot [`crate::cpclean::select_next`] (per-call builds): the
+/// uncleaned row minimizing the expected conditional entropy of validation
+/// predictions, the expectation taken uniformly over which candidate is the
+/// truth (Equation 4).
+///
+/// `index_of` supplies each uncertain validation point's similarity index;
+/// it is called at most once per point per invocation.
+pub(crate) fn select_next_with<F>(
+    problem: &CleaningProblem,
+    base_pins: &Pins,
+    cp: &[bool],
+    remaining: &[usize],
+    n_threads: usize,
+    index_of: F,
+) -> usize
+where
+    F: Fn(usize) -> Arc<SimilarityIndex> + Sync,
+{
+    debug_assert!(!remaining.is_empty());
+    let uncertain: Vec<usize> = (0..problem.val_x.len()).filter(|&v| !cp[v]).collect();
+    if uncertain.is_empty() {
+        return remaining[0];
+    }
+
+    // per validation example: entropy of Q2 probabilities under every pin;
+    // one pins clone per worker item, scoped pin/unpin per candidate
+    let per_val: Vec<Vec<Vec<f64>>> = parallel_map(uncertain.len(), n_threads, |u| {
+        let idx = index_of(uncertain[u]);
+        let mut pins = base_pins.clone();
+        remaining
+            .iter()
+            .map(|&row| {
+                (0..problem.dataset.set_size(row))
+                    .map(|j| {
+                        pins.with_pin(row, j, |conditioned| {
+                            let probs = q2_probabilities_with_index(
+                                &problem.dataset,
+                                &problem.config,
+                                &idx,
+                                conditioned,
+                            );
+                            entropy_bits(&probs)
+                        })
+                    })
+                    .collect()
+            })
+            .collect()
+    });
+
+    // expected entropy per candidate row: mean over candidates (uniform
+    // prior), summed over uncertain validation examples
+    let mut best_row = remaining[0];
+    let mut best_score = f64::INFINITY;
+    for (pos, &row) in remaining.iter().enumerate() {
+        let m = problem.dataset.set_size(row) as f64;
+        let mut score = 0.0;
+        for ent in &per_val {
+            score += ent[pos].iter().sum::<f64>() / m;
+        }
+        if score < best_score - 1e-12 {
+            best_score = score;
+            best_row = row;
+        }
+    }
+    best_row
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::val_cp_status;
+    use cp_core::{CpConfig, IncompleteDataset, IncompleteExample};
+
+    /// Two dirty rows; only row 1 matters for the validation point (same
+    /// instance as the cpclean module tests).
+    fn targeted_problem() -> CleaningProblem {
+        let dataset = IncompleteDataset::new(
+            vec![
+                IncompleteExample::complete(vec![0.0], 0),
+                IncompleteExample::incomplete(vec![vec![4.8], vec![7.0]], 0),
+                IncompleteExample::complete(vec![5.5], 1),
+                IncompleteExample::incomplete(vec![vec![100.0], vec![101.0]], 1),
+            ],
+            2,
+        )
+        .unwrap();
+        CleaningProblem {
+            dataset,
+            config: CpConfig::new(1),
+            val_x: vec![vec![5.0], vec![0.1]],
+            truth_choice: vec![None, Some(0), None, Some(0)],
+            default_choice: vec![None, Some(1), None, Some(1)],
+        }
+    }
+
+    fn opts(n_threads: usize) -> RunOptions {
+        RunOptions {
+            max_cleaned: None,
+            n_threads,
+            record_every: 1,
+        }
+    }
+
+    #[test]
+    fn session_status_matches_from_scratch_recompute() {
+        let p = targeted_problem();
+        let mut session = CleaningSession::new(&p, &opts(2));
+        assert_eq!(
+            session.status(),
+            val_cp_status(&p, session.state().pins(), 1).as_slice()
+        );
+        // clean in an arbitrary (non-greedy) order and re-check after each
+        for row in [3usize, 1] {
+            session.clean(row);
+            assert_eq!(
+                session.status(),
+                val_cp_status(&p, session.state().pins(), 1).as_slice(),
+                "after cleaning row {row}"
+            );
+        }
+        assert!(session.converged());
+    }
+
+    #[test]
+    fn step_selects_cleans_and_converges() {
+        let p = targeted_problem();
+        let mut session = CleaningSession::new(&p, &opts(1));
+        assert!(!session.converged());
+        assert_eq!(session.n_certain(), 1); // val point 0.1 is already CP'ed
+        let row = session.step().expect("one step available");
+        assert_eq!(row, 1, "greedy step must target the influential row");
+        assert!(session.converged());
+        assert_eq!(session.step(), None, "converged session refuses to step");
+        assert_eq!(session.n_cleaned(), 1);
+    }
+
+    #[test]
+    fn budget_stops_stepping() {
+        let p = targeted_problem();
+        let mut o = opts(1);
+        o.max_cleaned = Some(0);
+        let mut session = CleaningSession::new(&p, &o);
+        assert_eq!(session.step(), None);
+        assert_eq!(session.n_cleaned(), 0);
+        assert!(!session.converged());
+    }
+
+    #[test]
+    fn run_order_respects_order_and_convergence() {
+        let p = targeted_problem();
+        let run = CleaningSession::new(&p, &opts(1)).run_order(&[1, 3], &[vec![5.0]], &[0]);
+        assert!(run.converged);
+        assert_eq!(run.order, vec![1], "stops as soon as converged");
+        let run_far_first =
+            CleaningSession::new(&p, &opts(1)).run_order(&[3, 1], &[vec![5.0]], &[0]);
+        assert_eq!(run_far_first.order, vec![3, 1]);
+    }
+
+    // index-reuse accounting (via cp_core::similarity::build_count) lives in
+    // the dedicated single-test binary tests/build_counter.rs — the global
+    // counter can't be asserted exactly amid this binary's concurrent tests
+}

@@ -1,0 +1,104 @@
+//! Index-build accounting for the session engine.
+//!
+//! The acceptance property of the caching refactor: a cleaning run builds
+//! each validation point's `SimilarityIndex` **exactly once**, no matter how
+//! many iterations it takes — the seed implementation rebuilt all of them
+//! every iteration (in `val_cp_status`) plus the uncertain ones again in
+//! `select_next`.
+//!
+//! This lives in its own integration-test binary with a single `#[test]`
+//! because `cp_core::similarity::build_count` is a process-wide counter:
+//! concurrent tests in a shared binary would perturb the arithmetic.
+
+use cp_clean::{run_cpclean, run_random_clean, CleaningProblem, RunOptions};
+use cp_core::similarity::build_count;
+use cp_core::{CpConfig, IncompleteDataset, IncompleteExample};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Two 1-D label clusters plus dirty rows whose candidates straddle the
+/// decision boundary — enough ambiguity that CPClean needs several
+/// iterations to certify every validation point.
+fn synthetic_problem(
+    seed: u64,
+    n_clean: usize,
+    n_dirty: usize,
+    n_val: usize,
+) -> (CleaningProblem, Vec<Vec<f64>>, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut examples = Vec::new();
+    for i in 0..n_clean {
+        let label = i % 2;
+        let center = if label == 0 { 0.0 } else { 10.0 };
+        examples.push(IncompleteExample::complete(
+            vec![center + rng.gen_range(-1.5..1.5)],
+            label,
+        ));
+    }
+    for _ in 0..n_dirty {
+        let label = rng.gen_range(0usize..2);
+        let candidates = vec![
+            vec![rng.gen_range(0.0..10.0)],
+            vec![rng.gen_range(0.0..10.0)],
+        ];
+        examples.push(IncompleteExample::incomplete(candidates, label));
+    }
+    let n = examples.len();
+    let dataset = IncompleteDataset::new(examples, 2).unwrap();
+    let mut truth_choice = vec![None; n];
+    let mut default_choice = vec![None; n];
+    for i in n_clean..n {
+        truth_choice[i] = Some(0);
+        default_choice[i] = Some(1);
+    }
+    let problem = CleaningProblem {
+        dataset,
+        config: CpConfig::new(3),
+        val_x: (0..n_val).map(|_| vec![rng.gen_range(0.0..10.0)]).collect(),
+        truth_choice,
+        default_choice,
+    };
+    let test_x: Vec<Vec<f64>> = (0..n_val).map(|_| vec![rng.gen_range(0.0..10.0)]).collect();
+    let test_y: Vec<usize> = (0..n_val).map(|_| rng.gen_range(0usize..2)).collect();
+    (problem, test_x, test_y)
+}
+
+#[test]
+fn one_index_build_per_validation_point_per_run() {
+    let (problem, test_x, test_y) = synthetic_problem(42, 16, 10, 8);
+    let opts = RunOptions {
+        max_cleaned: None,
+        n_threads: 2,
+        record_every: 1,
+    };
+
+    // CPClean to convergence: multi-iteration, still one build per val point
+    let before = build_count();
+    let run = run_cpclean(&problem, &test_x, &test_y, &opts);
+    let builds = build_count() - before;
+    assert!(
+        run.n_cleaned() >= 2,
+        "workload must be multi-iteration (cleaned {})",
+        run.n_cleaned()
+    );
+    assert!(run.converged);
+    assert_eq!(
+        builds,
+        problem.val_x.len() as u64,
+        "CPClean run must build each validation index exactly once \
+         ({} iterations would have cost {} seed-style)",
+        run.n_cleaned() + 1,
+        (run.n_cleaned() + 1) * problem.val_x.len(),
+    );
+
+    // RandomClean rides the same session engine: same accounting
+    let before = build_count();
+    let rnd = run_random_clean(&problem, &test_x, &test_y, 7, &opts);
+    let builds = build_count() - before;
+    assert!(rnd.n_cleaned() >= 1);
+    assert_eq!(
+        builds,
+        problem.val_x.len() as u64,
+        "RandomClean run must build each validation index exactly once"
+    );
+}

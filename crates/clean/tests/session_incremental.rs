@@ -1,0 +1,173 @@
+//! Incrementality properties of the [`CleaningSession`] engine.
+//!
+//! The session skips already-certain validation points when updating its CP
+//! status (monotonicity) and evaluates everything against cached similarity
+//! indexes. Neither shortcut may change any answer:
+//!
+//! * after `k` arbitrary `clean` steps — random orders, not just the greedy
+//!   CPClean order — the session's status vector must equal a from-scratch
+//!   `val_cp_status` recompute under the same pins;
+//! * the cached certain-label path must agree with every `Q2Algorithm`
+//!   (brute force included) under arbitrary pin masks, not only the
+//!   pinned-to-truth masks cleaning can produce.
+
+use cp_clean::{val_cp_status, CleaningProblem, CleaningSession, RunOptions};
+use cp_core::{
+    certain_labels_with_cache, q2_batch_with_algorithm, CpConfig, IncompleteDataset,
+    IncompleteExample, Pins, Q2Algorithm, Q2Result, ValIndexCache,
+};
+use cp_numeric::Possibility;
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+const ALL_ALGORITHMS: [Q2Algorithm; 5] = [
+    Q2Algorithm::Auto,
+    Q2Algorithm::BruteForce,
+    Q2Algorithm::SortScan,
+    Q2Algorithm::SortScanTree,
+    Q2Algorithm::SortScanMultiClass,
+];
+
+/// A random small cleaning problem: 1-D candidate grids (ties allowed, the
+/// index breaks them deterministically), 2–3 labels so both the MM and the
+/// Possibility-semiring certain-label dispatches are exercised, plus a seed
+/// for the derived randomness (truth/default choices, cleaning order, pins).
+fn arb_instance() -> impl Strategy<Value = (CleaningProblem, u64)> {
+    (2usize..=3, 4usize..=6, 1usize..=3).prop_flat_map(|(n_labels, n, k)| {
+        let example =
+            (proptest::collection::vec(-9i32..9, 1..=3), 0..n_labels).prop_map(|(grid, label)| {
+                let candidates: Vec<Vec<f64>> = grid.into_iter().map(|g| vec![g as f64]).collect();
+                if candidates.len() == 1 {
+                    IncompleteExample::complete(candidates.into_iter().next().unwrap(), label)
+                } else {
+                    IncompleteExample::incomplete(candidates, label)
+                }
+            });
+        (
+            proptest::collection::vec(example, n..=n),
+            proptest::collection::vec(-9i32..9, 1..=3),
+            Just(n_labels),
+            Just(k),
+            0u64..u64::MAX,
+        )
+            .prop_map(move |(examples, val, n_labels, k, seed)| {
+                let dataset = IncompleteDataset::new(examples, n_labels).unwrap();
+                let mut rng = StdRng::seed_from_u64(seed);
+                let choices = |rng: &mut StdRng| -> Vec<Option<usize>> {
+                    (0..dataset.len())
+                        .map(|i| {
+                            let m = dataset.set_size(i);
+                            (m > 1).then(|| rng.gen_range(0..m))
+                        })
+                        .collect()
+                };
+                let truth_choice = choices(&mut rng);
+                let default_choice = choices(&mut rng);
+                let problem = CleaningProblem {
+                    dataset,
+                    config: CpConfig::new(k),
+                    val_x: val.into_iter().map(|v| vec![v as f64]).collect(),
+                    truth_choice,
+                    default_choice,
+                };
+                (problem, seed)
+            })
+    })
+}
+
+/// A pin mask not restricted to pinned-to-truth: each dirty row is pinned to
+/// a random candidate with probability ~1/2.
+fn random_pins(problem: &CleaningProblem, rng: &mut StdRng) -> Pins {
+    let ds = &problem.dataset;
+    let mut pins = Pins::none(ds.len());
+    for i in 0..ds.len() {
+        if ds.set_size(i) > 1 && rng.gen_bool(0.5) {
+            pins.pin(i, rng.gen_range(0..ds.set_size(i)));
+        }
+    }
+    pins
+}
+
+fn assert_all_algorithms_agree(
+    problem: &CleaningProblem,
+    cache: &ValIndexCache,
+    pins: &Pins,
+) -> Result<(), TestCaseError> {
+    let ds = &problem.dataset;
+    let cached = certain_labels_with_cache(ds, &problem.config, cache, pins);
+    for algo in ALL_ALGORITHMS {
+        let per_point: Vec<Q2Result<Possibility>> =
+            q2_batch_with_algorithm(ds, &problem.config, &problem.val_x, pins, algo);
+        for (v, result) in per_point.iter().enumerate() {
+            prop_assert_eq!(
+                result.certain_label(),
+                cached[v],
+                "algo {:?} disagrees with the cached dispatch at val point {} under {:?}",
+                algo,
+                v,
+                pins
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Session status after k arbitrary steps == from-scratch recompute.
+    #[test]
+    fn incremental_status_matches_from_scratch((problem, seed) in arb_instance()) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5e55);
+        let opts = RunOptions {
+            max_cleaned: None,
+            n_threads: 1 + (seed % 3) as usize,
+            record_every: 1,
+        };
+        let mut session = CleaningSession::new(&problem, &opts);
+        prop_assert_eq!(
+            session.status().to_vec(),
+            val_cp_status(&problem, session.state().pins(), 1),
+            "fresh session"
+        );
+        let mut order = problem.dirty_rows();
+        order.shuffle(&mut rng);
+        for row in order {
+            session.clean(row);
+            prop_assert_eq!(
+                session.status().to_vec(),
+                val_cp_status(&problem, session.state().pins(), 1),
+                "after cleaning row {}",
+                row
+            );
+        }
+        // everything pinned to a single world: all certain
+        prop_assert!(session.converged());
+    }
+
+    /// The cached certain-label path agrees with every Q2 algorithm — both
+    /// along a random cleaning trajectory and under arbitrary pin masks.
+    #[test]
+    fn cached_queries_agree_with_all_algorithms((problem, seed) in arb_instance()) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xa190);
+        let cache = ValIndexCache::for_config(&problem.dataset, &problem.config, &problem.val_x);
+
+        // arbitrary pin masks (not reachable by cleaning)
+        for _ in 0..2 {
+            let pins = random_pins(&problem, &mut rng);
+            assert_all_algorithms_agree(&problem, &cache, &pins)?;
+        }
+
+        // the masks a session actually produces
+        let opts = RunOptions { max_cleaned: None, n_threads: 1, record_every: 1 };
+        let mut session = CleaningSession::new(&problem, &opts);
+        let mut order = problem.dirty_rows();
+        order.shuffle(&mut rng);
+        for row in order.into_iter().take(2) {
+            session.clean(row);
+            assert_all_algorithms_agree(&problem, &cache, session.state().pins())?;
+        }
+    }
+}

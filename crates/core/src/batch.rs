@@ -31,6 +31,7 @@ use crate::{bruteforce, ss, ss_tree};
 use cp_knn::Label;
 use cp_numeric::CountSemiring;
 use rayon::prelude::*;
+use std::sync::Arc;
 
 /// Run `f` once per test point on the rayon pool, giving it the point's
 /// freshly built (and thereafter reused) similarity index.
@@ -46,6 +47,17 @@ where
             f(t, &idx)
         })
         .collect()
+}
+
+/// Run `f` once per prebuilt index on the rayon pool — the zero-build twin
+/// of [`for_each_point`] that [`crate::cache::ValIndexCache`] consumers
+/// drive.
+fn for_each_index<R, F>(indexes: &[Arc<SimilarityIndex>], f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&SimilarityIndex) -> R + Sync,
+{
+    indexes.par_iter().map(|idx| f(idx)).collect()
 }
 
 /// **Q2 over a batch**: world mass per label for every test point, in
@@ -175,6 +187,18 @@ pub fn certain_labels_batch_pinned(
     })
 }
 
+/// [`certain_labels_batch_pinned`] against prebuilt indexes: no sorting cost
+/// at all, only the pin-dependent scans. The cleaning session's incremental
+/// status update is this query over its not-yet-certain points.
+pub fn certain_labels_batch_with_indexes(
+    ds: &IncompleteDataset,
+    cfg: &CpConfig,
+    indexes: &[Arc<SimilarityIndex>],
+    pins: &Pins,
+) -> Vec<Option<Label>> {
+    for_each_index(indexes, |idx| certain_label_with_index(ds, cfg, idx, pins))
+}
+
 /// Aggregate certainty statistics for a batch — see [`evaluate_batch`].
 #[derive(Clone, Debug, PartialEq)]
 pub struct BatchSummary {
@@ -250,12 +274,31 @@ pub fn evaluate_batch(
     points: &[Vec<f64>],
     pins: &Pins,
 ) -> BatchSummary {
-    let per_point: Vec<(Option<Label>, Vec<f64>)> = for_each_point(ds, cfg, points, |_, idx| {
+    summarize(for_each_point(ds, cfg, points, |_, idx| {
         (
             certain_label_with_index(ds, cfg, idx, pins),
             q2_probabilities_with_index(ds, cfg, idx, pins),
         )
-    });
+    }))
+}
+
+/// [`evaluate_batch`] against prebuilt indexes — the repeated-evaluation
+/// shape (same points, changing pins) pays the sort cost zero times here.
+pub fn evaluate_batch_with_indexes(
+    ds: &IncompleteDataset,
+    cfg: &CpConfig,
+    indexes: &[Arc<SimilarityIndex>],
+    pins: &Pins,
+) -> BatchSummary {
+    summarize(for_each_index(indexes, |idx| {
+        (
+            certain_label_with_index(ds, cfg, idx, pins),
+            q2_probabilities_with_index(ds, cfg, idx, pins),
+        )
+    }))
+}
+
+fn summarize(per_point: Vec<(Option<Label>, Vec<f64>)>) -> BatchSummary {
     let (certain_labels, probabilities): (Vec<_>, Vec<_>) = per_point.into_iter().unzip();
     let mean_entropy_bits = if probabilities.is_empty() {
         0.0

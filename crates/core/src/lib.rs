@@ -28,7 +28,10 @@
 //! task per test point, one [`SimilarityIndex`] built and reused per point,
 //! and the per-query dispatch above applied automatically — plus aggregate
 //! certainty statistics ([`BatchSummary`]) for the evaluation loops built on
-//! top.
+//! top. For *repeated* evaluation of the same points under changing pins —
+//! CPClean's iteration structure — [`cache::ValIndexCache`] builds each
+//! point's index exactly once and the `*_with_indexes` / `*_with_cache`
+//! entry points evaluate against it with zero per-call sorting.
 //!
 //! All counting code is generic over a [`cp_numeric::CountSemiring`], so the
 //! same scan produces exact big-integer counts, underflow-free scaled counts,
@@ -39,6 +42,7 @@
 
 pub mod batch;
 pub mod bruteforce;
+pub mod cache;
 pub mod config;
 pub mod dataset;
 pub mod mass;
@@ -56,9 +60,13 @@ pub mod ss_tree;
 pub mod tally;
 
 pub use batch::{
-    certain_labels_batch, certain_labels_batch_pinned, evaluate_batch, q1_batch, q1_batch_pinned,
-    q2_batch, q2_batch_pinned, q2_batch_with_algorithm, q2_probabilities_batch, q2_weighted_batch,
+    certain_labels_batch, certain_labels_batch_pinned, certain_labels_batch_with_indexes,
+    evaluate_batch, evaluate_batch_with_indexes, q1_batch, q1_batch_pinned, q2_batch,
+    q2_batch_pinned, q2_batch_with_algorithm, q2_probabilities_batch, q2_weighted_batch,
     BatchSummary,
+};
+pub use cache::{
+    certain_labels_with_cache, evaluate_with_cache, q2_probabilities_with_cache, ValIndexCache,
 };
 pub use config::CpConfig;
 pub use dataset::{DatasetError, IncompleteDataset, IncompleteExample};

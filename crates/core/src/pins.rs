@@ -50,6 +50,20 @@ impl Pins {
         self.pinned[set] = None;
     }
 
+    /// Run `f` with `(set, cand)` pinned, then restore the set's previous
+    /// pin state.
+    ///
+    /// The scoped alternative to cloning the whole mask for one conditioned
+    /// evaluation: CPClean's selection step issues `O(N·M)` single-pin
+    /// evaluations per iteration, and each used to pay an `O(N)` clone.
+    pub fn with_pin<R>(&mut self, set: usize, cand: usize, f: impl FnOnce(&Pins) -> R) -> R {
+        let prev = self.pinned[set];
+        self.pinned[set] = Some(cand as u32);
+        let out = f(self);
+        self.pinned[set] = prev;
+        out
+    }
+
     /// The pinned candidate of a set, if any.
     pub fn pinned(&self, set: usize) -> Option<usize> {
         self.pinned[set].map(|j| j as usize)
@@ -149,6 +163,27 @@ mod tests {
         p.unpin(0);
         assert_eq!(p.pinned(0), None);
         p.validate(&ds);
+    }
+
+    #[test]
+    fn with_pin_is_scoped() {
+        let ds = ds();
+        let mut p = Pins::none(ds.len());
+        // pin applies inside the closure only
+        let eff = p.with_pin(0, 1, |q| {
+            assert_eq!(q.pinned(0), Some(1));
+            q.eff_size(&ds, 0)
+        });
+        assert_eq!(eff, 1);
+        assert_eq!(p.pinned(0), None);
+        // a pre-existing pin on the same set is restored, not erased
+        p.pin(0, 2);
+        p.with_pin(0, 0, |q| assert_eq!(q.pinned(0), Some(0)));
+        assert_eq!(p.pinned(0), Some(2));
+        // matches the clone-and-pin it replaces
+        let mut cloned = p.clone();
+        cloned.pin(1, 0);
+        p.with_pin(1, 0, |q| assert_eq!(q, &cloned));
     }
 
     #[test]

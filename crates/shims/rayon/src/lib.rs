@@ -16,15 +16,19 @@ use std::collections::VecDeque;
 use std::sync::Mutex;
 
 /// Number of worker threads: `RAYON_NUM_THREADS` if set to a positive
-/// integer (the same knob the real crate honours), else the machine's
-/// available parallelism.
+/// integer (the same knob the real crate honours), else `CP_THREADS` (this
+/// workspace's experiment-wide thread cap, so one knob controls both the
+/// scoped-thread loops and the batch engine), else the machine's available
+/// parallelism.
 pub fn current_num_threads() -> usize {
-    if let Some(n) = std::env::var("RAYON_NUM_THREADS")
-        .ok()
-        .and_then(|s| s.parse::<usize>().ok())
-        .filter(|&n| n > 0)
-    {
-        return n;
+    for var in ["RAYON_NUM_THREADS", "CP_THREADS"] {
+        if let Some(n) = std::env::var(var)
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+        {
+            return n;
+        }
     }
     std::thread::available_parallelism()
         .map(|n| n.get())
