@@ -18,6 +18,7 @@
 use cp_bench::{problem_from_prepared, seed_style_status_updates};
 use cp_clean::{select_next, val_cp_status, CleaningSession, CleaningState, RunOptions};
 use cp_datasets::{bank, make_bundle, prepare, BundleConfig};
+use cp_shard::ShardedSession;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
@@ -98,6 +99,26 @@ fn bench_session(c: &mut Criterion) {
             black_box((state.n_cleaned(), cp.iter().filter(|&&c| c).count()))
         })
     });
+
+    // the same status-update workload through the partition-parallel
+    // engine: unsharded CleaningSession vs ShardedSession at 1 and 4
+    // shards. Answers are identical by construction; the sharded arms pay
+    // the per-boundary factor merge (O(S·|Y|·K²)) and win back wall time
+    // only when CP_THREADS lets shards fan out
+    for n_shards in [1usize, 4] {
+        group.bench_function(format!("status_updates_sharded_{n_shards}"), |b| {
+            b.iter(|| {
+                let mut session = ShardedSession::new(&problem, n_shards, &opts);
+                for &row in &order {
+                    if session.converged() {
+                        break;
+                    }
+                    session.clean(row);
+                }
+                black_box(session.n_certain())
+            })
+        });
+    }
 
     group.finish();
 }

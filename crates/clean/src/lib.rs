@@ -38,6 +38,6 @@ pub use eval::{state_accuracy, val_cp_status, world_accuracy};
 pub use holoclean_sim::{holoclean_impute, HoloCleanOptions};
 pub use metrics::{gap_closed, CleaningRun, CurvePoint};
 pub use problem::CleaningProblem;
-pub use random_clean::{average_random_runs, run_random_clean};
-pub use session::CleaningSession;
+pub use random_clean::{average_random_runs, run_random_clean, run_random_clean_arc};
+pub use session::{pick_min_expected_entropy, CleaningEngine, CleaningSession};
 pub use state::CleaningState;

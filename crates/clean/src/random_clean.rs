@@ -10,6 +10,7 @@ use crate::problem::CleaningProblem;
 use crate::session::CleaningSession;
 use rand::prelude::*;
 use rand::rngs::StdRng;
+use std::sync::Arc;
 
 /// Run RandomClean with a fixed shuffle seed.
 pub fn run_random_clean(
@@ -19,10 +20,23 @@ pub fn run_random_clean(
     seed: u64,
     opts: &RunOptions,
 ) -> CleaningRun {
+    run_random_clean_arc(Arc::new(problem.clone()), test_x, test_y, seed, opts)
+}
+
+/// [`run_random_clean`] over an already-shared problem — the zero-copy path
+/// [`average_random_runs`] drives so a 20-seed average copies the problem
+/// zero times instead of once per seed.
+pub fn run_random_clean_arc(
+    problem: Arc<CleaningProblem>,
+    test_x: &[Vec<f64>],
+    test_y: &[usize],
+    seed: u64,
+    opts: &RunOptions,
+) -> CleaningRun {
     let mut order = problem.dirty_rows();
     let mut rng = StdRng::seed_from_u64(seed);
     order.shuffle(&mut rng);
-    CleaningSession::new(problem, opts).run_order(&order, test_x, test_y)
+    CleaningSession::from_arc(problem, opts).run_order(&order, test_x, test_y)
 }
 
 /// Average several RandomClean runs onto a common grid of cleaned counts
@@ -38,9 +52,10 @@ pub fn average_random_runs(
 ) -> Vec<CurvePoint> {
     assert!(!seeds.is_empty());
     let n_dirty = problem.dirty_rows().len();
+    let shared = Arc::new(problem.clone());
     let runs: Vec<CleaningRun> = seeds
         .iter()
-        .map(|&s| run_random_clean(problem, test_x, test_y, s, opts))
+        .map(|&s| run_random_clean_arc(Arc::clone(&shared), test_x, test_y, s, opts))
         .collect();
     (0..=n_dirty)
         .map(|cleaned| {

@@ -47,20 +47,44 @@ use std::sync::Arc;
 
 /// A cleaning run in progress: problem + cleaning state + cached similarity
 /// indexes + incrementally maintained CP status.
+///
+/// The session *shares* its problem behind an [`Arc`] rather than borrowing
+/// it, so sessions are freely movable across threads and owners — the shape
+/// the sharded engine needs, where a `ShardedSession` owns one
+/// `CleaningSession` per dataset shard alongside the shard problems
+/// themselves.
 #[derive(Clone, Debug)]
-pub struct CleaningSession<'a> {
-    problem: &'a CleaningProblem,
+pub struct CleaningSession {
+    problem: Arc<CleaningProblem>,
     opts: RunOptions,
     state: CleaningState,
     cache: ValIndexCache,
     cp: Vec<bool>,
 }
 
-impl<'a> CleaningSession<'a> {
+impl CleaningSession {
+    /// Open a session over a clone of the problem. See
+    /// [`CleaningSession::from_arc`] for the zero-copy variant.
+    pub fn new(problem: &CleaningProblem, opts: &RunOptions) -> Self {
+        Self::from_arc(Arc::new(problem.clone()), opts)
+    }
+
     /// Open a session: validate the problem, build every validation point's
     /// similarity index **once** (under the session's own thread cap, not
     /// the rayon pool's), and evaluate the initial CP status.
-    pub fn new(problem: &'a CleaningProblem, opts: &RunOptions) -> Self {
+    pub fn from_arc(problem: Arc<CleaningProblem>, opts: &RunOptions) -> Self {
+        let mut session = Self::from_arc_deferred(problem, opts);
+        session.refresh_status();
+        session
+    }
+
+    /// [`CleaningSession::from_arc`] without the initial CP-status
+    /// evaluation — for coordinators that derive certainty globally (a
+    /// sharded session merges factors across shards) and use this session
+    /// only for pin ownership and its cached indexes.
+    /// [`CleaningSession::status`] reports every point as not-yet-certain
+    /// until a [`CleaningSession::clean`] refreshes it.
+    pub fn from_arc_deferred(problem: Arc<CleaningProblem>, opts: &RunOptions) -> Self {
         problem.validate();
         let indexes = parallel_map(problem.val_x.len(), opts.n_threads, |v| {
             Arc::new(SimilarityIndex::build(
@@ -71,20 +95,20 @@ impl<'a> CleaningSession<'a> {
         });
         let cache =
             ValIndexCache::from_indexes(problem.config.kernel, problem.val_x.clone(), indexes);
-        let mut session = CleaningSession {
+        let state = CleaningState::new(&problem);
+        let cp = vec![false; problem.val_x.len()];
+        CleaningSession {
             problem,
             opts: opts.clone(),
-            state: CleaningState::new(problem),
+            state,
             cache,
-            cp: vec![false; problem.val_x.len()],
-        };
-        session.refresh_status();
-        session
+            cp,
+        }
     }
 
     /// The problem this session cleans.
     pub fn problem(&self) -> &CleaningProblem {
-        self.problem
+        &self.problem
     }
 
     /// The cleaning progress so far.
@@ -121,7 +145,7 @@ impl<'a> CleaningSession<'a> {
 
     /// Dirty rows not yet cleaned.
     pub fn remaining(&self) -> Vec<usize> {
-        self.state.remaining(self.problem)
+        self.state.remaining(&self.problem)
     }
 
     /// Re-evaluate the not-yet-certain validation points under the current
@@ -153,8 +177,23 @@ impl<'a> CleaningSession<'a> {
     /// # Panics
     /// Panics if the row is clean or already cleaned.
     pub fn clean(&mut self, row: usize) {
-        self.state.clean_row(self.problem, row);
+        self.state.clean_row(&self.problem, row);
         self.refresh_status();
+    }
+
+    /// Apply a cleaning pin **without** re-evaluating this session's own CP
+    /// status — for coordinators that derive certainty globally (a sharded
+    /// session answers status questions by merging factors across shards)
+    /// and use this session only for pin ownership and its index cache.
+    ///
+    /// The local status vector keeps its last refreshed value, which stays
+    /// *sound* (certainty is monotone under cleaning, so stale entries can
+    /// only under-report) but may lag until the next [`CleaningSession::clean`].
+    ///
+    /// # Panics
+    /// Panics if the row is clean or already cleaned.
+    pub fn clean_pin_only(&mut self, row: usize) {
+        self.state.clean_row(&self.problem, row);
     }
 
     /// The greedy CPClean selection (Algorithm 3, lines 5–9) over the given
@@ -162,7 +201,7 @@ impl<'a> CleaningSession<'a> {
     pub fn select_next(&self, remaining: &[usize]) -> usize {
         let cache = &self.cache;
         select_next_with(
-            self.problem,
+            &self.problem,
             self.state.pins(),
             &self.cp,
             remaining,
@@ -171,18 +210,121 @@ impl<'a> CleaningSession<'a> {
         )
     }
 
-    /// One CPClean iteration: greedily select the most informative dirty
-    /// row, clean it, and update the status. Returns the cleaned row, or
-    /// `None` without cleaning when the run is over (converged, nothing
-    /// dirty remaining, or the `max_cleaned` budget is exhausted).
+    /// One CPClean iteration — [`CleaningEngine::step`].
     pub fn step(&mut self) -> Option<usize> {
-        let row = self.next_greedy()?;
-        self.clean(row);
-        Some(row)
+        CleaningEngine::step(self)
     }
 
-    /// The row [`CleaningSession::step`] would clean, without cleaning it.
-    fn next_greedy(&self) -> Option<usize> {
+    /// Greedy run with curve recording —
+    /// [`CleaningEngine::run_to_convergence`].
+    pub fn run_to_convergence(&mut self, test_x: &[Vec<f64>], test_y: &[usize]) -> CleaningRun {
+        CleaningEngine::run_to_convergence(self, test_x, test_y)
+    }
+
+    /// Fixed-order run with curve recording — [`CleaningEngine::run_order`].
+    /// RandomClean is this with a shuffled order.
+    pub fn run_order(
+        &mut self,
+        order: &[usize],
+        test_x: &[Vec<f64>],
+        test_y: &[usize],
+    ) -> CleaningRun {
+        CleaningEngine::run_order(self, order, test_x, test_y)
+    }
+}
+
+impl CleaningEngine for CleaningSession {
+    fn problem(&self) -> &CleaningProblem {
+        &self.problem
+    }
+
+    fn run_options(&self) -> &RunOptions {
+        &self.opts
+    }
+
+    fn cleaning_state(&self) -> &CleaningState {
+        &self.state
+    }
+
+    fn n_certain(&self) -> usize {
+        CleaningSession::n_certain(self)
+    }
+
+    fn n_val(&self) -> usize {
+        self.cp.len()
+    }
+
+    fn clean(&mut self, row: usize) {
+        CleaningSession::clean(self, row);
+    }
+
+    fn select_next(&self, remaining: &[usize]) -> usize {
+        CleaningSession::select_next(self, remaining)
+    }
+}
+
+/// The run-loop surface shared by every cleaning engine — the
+/// single-process [`CleaningSession`] and partition-parallel engines
+/// (`cp-shard`'s `ShardedSession`) alike.
+///
+/// An engine supplies problem access, its CP-status counts, cleaning and
+/// greedy selection; the trait supplies the *identical* stepping and
+/// run-driving loops on top (budget handling, curve-recording cadence,
+/// termination), so every engine records the same run schedules by
+/// construction rather than by parallel copies of the loop.
+pub trait CleaningEngine {
+    /// The problem being cleaned.
+    fn problem(&self) -> &CleaningProblem;
+
+    /// The run options (budget, thread cap, curve-recording cadence).
+    fn run_options(&self) -> &RunOptions;
+
+    /// The cleaning progress so far.
+    fn cleaning_state(&self) -> &CleaningState;
+
+    /// Number of validation points currently certainly predicted.
+    fn n_certain(&self) -> usize;
+
+    /// Number of validation points tracked.
+    fn n_val(&self) -> usize;
+
+    /// Clean one externally chosen row and update the engine's CP status.
+    ///
+    /// # Panics
+    /// Panics if the row is clean or already cleaned.
+    fn clean(&mut self, row: usize);
+
+    /// The greedy CPClean selection over the given candidate rows.
+    fn select_next(&self, remaining: &[usize]) -> usize;
+
+    /// `true` iff every validation point is certainly predicted — CPClean's
+    /// termination condition.
+    fn converged(&self) -> bool {
+        self.n_certain() == self.n_val()
+    }
+
+    /// Rows cleaned so far.
+    fn n_cleaned(&self) -> usize {
+        self.cleaning_state().n_cleaned()
+    }
+
+    /// Dirty rows not yet cleaned.
+    fn remaining(&self) -> Vec<usize> {
+        self.cleaning_state().remaining(self.problem())
+    }
+
+    /// Whether the `max_cleaned` budget is exhausted.
+    fn budget_exhausted(&self) -> bool {
+        self.run_options()
+            .max_cleaned
+            .is_some_and(|budget| self.n_cleaned() >= budget)
+    }
+
+    /// The row [`CleaningEngine::step`] would clean, without cleaning it.
+    fn next_greedy(&self) -> Option<usize>
+    where
+        Self: Sized,
+    {
         if self.converged() || self.budget_exhausted() {
             return None;
         }
@@ -193,32 +335,39 @@ impl<'a> CleaningSession<'a> {
         Some(self.select_next(&remaining))
     }
 
-    fn budget_exhausted(&self) -> bool {
-        self.opts
-            .max_cleaned
-            .is_some_and(|budget| self.state.n_cleaned() >= budget)
+    /// One CPClean iteration: greedily select the most informative dirty
+    /// row, clean it, and update the status. Returns the cleaned row, or
+    /// `None` without cleaning when the run is over (converged, nothing
+    /// dirty remaining, or the `max_cleaned` budget is exhausted).
+    fn step(&mut self) -> Option<usize>
+    where
+        Self: Sized,
+    {
+        let row = self.next_greedy()?;
+        self.clean(row);
+        Some(row)
     }
 
     /// Run greedy CPClean steps until convergence, budget exhaustion or no
     /// dirty rows remain, recording the cleaning curve against the given
     /// test set.
-    pub fn run_to_convergence(&mut self, test_x: &[Vec<f64>], test_y: &[usize]) -> CleaningRun {
-        self.drive(test_x, test_y, |session| session.next_greedy())
+    fn run_to_convergence(&mut self, test_x: &[Vec<f64>], test_y: &[usize]) -> CleaningRun
+    where
+        Self: Sized,
+    {
+        self.drive(test_x, test_y, |engine| engine.next_greedy())
     }
 
     /// Clean rows in the given order (skipping nothing — the order must
     /// contain each dirty row at most once) until convergence or budget
-    /// exhaustion, recording the cleaning curve. RandomClean is this with a
-    /// shuffled order.
-    pub fn run_order(
-        &mut self,
-        order: &[usize],
-        test_x: &[Vec<f64>],
-        test_y: &[usize],
-    ) -> CleaningRun {
+    /// exhaustion, recording the cleaning curve.
+    fn run_order(&mut self, order: &[usize], test_x: &[Vec<f64>], test_y: &[usize]) -> CleaningRun
+    where
+        Self: Sized,
+    {
         let mut queue = order.iter().copied();
-        self.drive(test_x, test_y, move |session| {
-            if session.converged() || session.budget_exhausted() {
+        self.drive(test_x, test_y, move |engine| {
+            if engine.converged() || engine.budget_exhausted() {
                 None
             } else {
                 queue.next()
@@ -233,34 +382,41 @@ impl<'a> CleaningSession<'a> {
         &mut self,
         test_x: &[Vec<f64>],
         test_y: &[usize],
-        mut pick: impl FnMut(&CleaningSession) -> Option<usize>,
-    ) -> CleaningRun {
-        let n_dirty = self.problem.dirty_rows().len().max(1);
+        mut pick: impl FnMut(&Self) -> Option<usize>,
+    ) -> CleaningRun
+    where
+        Self: Sized,
+    {
+        let n_dirty = self.problem().dirty_rows().len().max(1);
         let mut curve = vec![self.curve_point(n_dirty, test_x, test_y)];
         while let Some(row) = pick(self) {
             self.clean(row);
-            let step = self.state.n_cleaned();
-            if step.is_multiple_of(self.opts.record_every.max(1)) || self.converged() {
+            let step = self.n_cleaned();
+            if step.is_multiple_of(self.run_options().record_every.max(1)) || self.converged() {
                 curve.push(self.curve_point(n_dirty, test_x, test_y));
             }
         }
         // make sure the final state is on the curve
-        if curve.last().map(|p| p.cleaned) != Some(self.state.n_cleaned()) {
+        if curve.last().map(|p| p.cleaned) != Some(self.n_cleaned()) {
             curve.push(self.curve_point(n_dirty, test_x, test_y));
         }
         CleaningRun {
-            order: self.state.order().to_vec(),
+            order: self.cleaning_state().order().to_vec(),
             curve,
             converged: self.converged(),
         }
     }
 
-    fn curve_point(&self, n_dirty: usize, test_x: &[Vec<f64>], test_y: &[usize]) -> CurvePoint {
+    /// One point of the cleaning curve under the current state.
+    fn curve_point(&self, n_dirty: usize, test_x: &[Vec<f64>], test_y: &[usize]) -> CurvePoint
+    where
+        Self: Sized,
+    {
         CurvePoint {
-            cleaned: self.state.n_cleaned(),
-            frac_cleaned: self.state.n_cleaned() as f64 / n_dirty as f64,
-            frac_val_cp: self.n_certain() as f64 / self.cp.len().max(1) as f64,
-            test_accuracy: state_accuracy(self.problem, &self.state, test_x, test_y),
+            cleaned: self.n_cleaned(),
+            frac_cleaned: self.n_cleaned() as f64 / n_dirty as f64,
+            frac_val_cp: self.n_certain() as f64 / self.n_val().max(1) as f64,
+            test_accuracy: state_accuracy(self.problem(), self.cleaning_state(), test_x, test_y),
         }
     }
 }
@@ -315,14 +471,30 @@ where
             .collect()
     });
 
-    // expected entropy per candidate row: mean over candidates (uniform
-    // prior), summed over uncertain validation examples
+    pick_min_expected_entropy(problem, remaining, &per_val)
+}
+
+/// The greedy scoring rule (Equation 4), shared by every selection front-end
+/// — the single-process `select_next_with` above and `cp-shard`'s routed
+/// selection — so the rule can never silently diverge between engines:
+/// expected entropy per candidate row is the mean over its candidates
+/// (uniform prior on which is the truth) summed over the evaluated
+/// validation examples; the winner must improve strictly by `1e-12`, ties
+/// keeping the earliest row in `remaining` order.
+///
+/// `per_val[u][pos][j]` = conditional entropy for the `u`-th evaluated
+/// validation example under `remaining[pos]` pinned to candidate `j`.
+pub fn pick_min_expected_entropy(
+    problem: &CleaningProblem,
+    remaining: &[usize],
+    per_val: &[Vec<Vec<f64>>],
+) -> usize {
     let mut best_row = remaining[0];
     let mut best_score = f64::INFINITY;
     for (pos, &row) in remaining.iter().enumerate() {
         let m = problem.dataset.set_size(row) as f64;
         let mut score = 0.0;
-        for ent in &per_val {
+        for ent in per_val {
             score += ent[pos].iter().sum::<f64>() / m;
         }
         if score < best_score - 1e-12 {
@@ -422,6 +594,23 @@ mod tests {
         let run_far_first =
             CleaningSession::new(&p, &opts(1)).run_order(&[3, 1], &[vec![5.0]], &[0]);
         assert_eq!(run_far_first.order, vec![3, 1]);
+    }
+
+    #[test]
+    fn clean_pin_only_defers_the_status_refresh() {
+        let p = targeted_problem();
+        let mut session = CleaningSession::new(&p, &opts(1));
+        let stale = session.status().to_vec();
+        session.clean_pin_only(1);
+        assert_eq!(session.state().pins().pinned(1), Some(0), "pin applied");
+        assert_eq!(session.status(), stale.as_slice(), "status not refreshed");
+        // the next full clean catches the status up
+        session.clean(3);
+        assert_eq!(
+            session.status(),
+            val_cp_status(&p, session.state().pins(), 1).as_slice()
+        );
+        assert!(session.converged());
     }
 
     // index-reuse accounting (via cp_core::similarity::build_count) lives in

@@ -26,7 +26,6 @@ use crate::queries::{
 use crate::result::Q2Result;
 use crate::similarity::SimilarityIndex;
 use crate::ss_tree::scan_tree;
-use crate::tally::composition_count;
 use crate::{bruteforce, ss, ss_tree};
 use cp_knn::Label;
 use cp_numeric::CountSemiring;
@@ -132,7 +131,7 @@ pub fn q2_weighted_batch(
     priors: &[Vec<f64>],
 ) -> Vec<Vec<f64>> {
     let mass = WeightedMass::new(ds, pins, priors.to_vec());
-    let use_mc = composition_count(ds.n_labels(), cfg.k_eff(ds.len())) > 64;
+    let use_mc = ss_tree::use_multiclass_accumulator(ds.n_labels(), cfg.k_eff(ds.len()));
     for_each_point(ds, cfg, points, |_, idx| {
         scan_tree::<f64, _>(ds, cfg, idx, pins, mass.clone(), use_mc).probabilities()
     })
@@ -230,7 +229,8 @@ impl BatchSummary {
 
     /// Fraction of points certainly predicted (1.0 for an empty batch:
     /// nothing is left to certify — the convention CPClean's convergence
-    /// check relies on).
+    /// check relies on; the explicit branch also keeps a zero-length batch
+    /// from producing the `0/0 = NaN` a naive ratio would).
     pub fn fraction_certain(&self) -> f64 {
         if self.certain_labels.is_empty() {
             1.0
@@ -245,7 +245,8 @@ impl BatchSummary {
     }
 
     /// Column means of the probability matrix: the batch-averaged world
-    /// probability of each label being predicted.
+    /// probability of each label being predicted. A zero-length batch yields
+    /// an empty vector (never a NaN-filled one — there is no `0/0` path).
     pub fn mean_probabilities(&self) -> Vec<f64> {
         let n = self.probabilities.len();
         if n == 0 {
@@ -417,5 +418,40 @@ mod tests {
         assert_eq!(summary.fraction_certain(), 1.0);
         assert_eq!(summary.mean_probabilities(), Vec::<f64>::new());
         assert_eq!(summary.mean_entropy_bits, 0.0);
+    }
+
+    #[test]
+    fn empty_batch_aggregates_are_nan_free() {
+        // a directly constructed zero-length summary (not routed through
+        // evaluate_batch) must not hit any 0/0 path
+        let summary = BatchSummary {
+            certain_labels: Vec::new(),
+            probabilities: Vec::new(),
+            mean_entropy_bits: 0.0,
+        };
+        assert_eq!(summary.len(), 0);
+        assert_eq!(summary.n_certain(), 0);
+        assert!(summary.cp_status().is_empty());
+        let frac = summary.fraction_certain();
+        assert!(frac.is_finite(), "fraction_certain must never be NaN");
+        assert_eq!(frac, 1.0);
+        let mean = summary.mean_probabilities();
+        assert!(mean.is_empty());
+        assert!(mean.iter().all(|p| p.is_finite()));
+        assert!(summary.mean_entropy_bits.is_finite());
+    }
+
+    #[test]
+    fn empty_batch_with_prebuilt_indexes_matches_point_path() {
+        let (ds, _) = figure6();
+        let cfg = CpConfig::new(1);
+        let pins = Pins::none(ds.len());
+        let summary = evaluate_batch_with_indexes(&ds, &cfg, &[], &pins);
+        assert!(summary.is_empty());
+        assert!(summary.fraction_certain().is_finite());
+        assert_eq!(summary.fraction_certain(), 1.0);
+        assert_eq!(summary.mean_probabilities(), Vec::<f64>::new());
+        assert_eq!(summary.mean_entropy_bits, 0.0);
+        assert_eq!(summary, evaluate_batch(&ds, &cfg, &[], &pins));
     }
 }

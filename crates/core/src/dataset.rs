@@ -7,9 +7,11 @@
 //! are `∏ M_i` of them. This mirrors a block tuple-independent probabilistic
 //! database without the probabilities (§2, "Data Model").
 
+use crate::pins::Pins;
 use cp_knn::Label;
 use cp_numeric::BigUint;
 use std::fmt;
+use std::ops::Range;
 
 /// One training example with incomplete information: a candidate set plus a
 /// certain label.
@@ -314,6 +316,118 @@ impl IncompleteDataset {
             done: false,
         }
     }
+
+    /// Partition the dataset into (at most) `n_shards` contiguous row-range
+    /// shards of near-equal size — the unit of ownership of the sharded
+    /// query engine (`cp-shard`).
+    ///
+    /// Row ranges are contiguous and cover `0..N` exactly once, so the
+    /// global↔local row mapping of each [`DatasetShard`] is a constant
+    /// offset. When `n_shards > N` the shard count is clamped to `N` (every
+    /// shard must own at least one candidate set to form a valid
+    /// sub-dataset).
+    ///
+    /// # Panics
+    /// Panics if `n_shards` is zero.
+    pub fn partition(&self, n_shards: usize) -> Vec<DatasetShard> {
+        assert!(n_shards > 0, "n_shards must be positive");
+        let k = n_shards.min(self.len());
+        let base = self.len() / k;
+        let rem = self.len() % k;
+        let mut out = Vec::with_capacity(k);
+        let mut start = 0;
+        for s in 0..k {
+            let len = base + usize::from(s < rem);
+            let dataset =
+                IncompleteDataset::new(self.examples[start..start + len].to_vec(), self.n_labels)
+                    .expect("a contiguous slice of a validated dataset is valid");
+            out.push(DatasetShard { dataset, start });
+            start += len;
+        }
+        debug_assert_eq!(start, self.len());
+        out
+    }
+}
+
+/// One contiguous row-range partition of an [`IncompleteDataset`].
+///
+/// A shard is itself a validated incomplete dataset (over its own rows,
+/// locally indexed from zero) plus the offset mapping local rows back to the
+/// global row space. The sharded query engine gives each shard its own
+/// similarity indexes, scan state and polynomial factors; only the global
+/// row ids (for pin routing) and the compact per-label factors cross shard
+/// boundaries.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DatasetShard {
+    dataset: IncompleteDataset,
+    start: usize,
+}
+
+impl DatasetShard {
+    /// The shard's rows as a local, validated incomplete dataset.
+    pub fn dataset(&self) -> &IncompleteDataset {
+        &self.dataset
+    }
+
+    /// First global row owned by this shard.
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// One past the last global row owned by this shard.
+    pub fn end(&self) -> usize {
+        self.start + self.dataset.len()
+    }
+
+    /// The owned global row range.
+    pub fn rows(&self) -> Range<usize> {
+        self.start..self.end()
+    }
+
+    /// Number of rows owned.
+    pub fn len(&self) -> usize {
+        self.dataset.len()
+    }
+
+    /// `true` iff the shard owns no rows (never true for a shard produced by
+    /// [`IncompleteDataset::partition`]).
+    pub fn is_empty(&self) -> bool {
+        self.dataset.is_empty()
+    }
+
+    /// Whether the shard owns a global row.
+    pub fn contains(&self, global_row: usize) -> bool {
+        self.rows().contains(&global_row)
+    }
+
+    /// Global row id of a local row.
+    ///
+    /// # Panics
+    /// Panics if `local_row` is out of range.
+    pub fn global_row(&self, local_row: usize) -> usize {
+        assert!(local_row < self.len(), "local row out of range");
+        self.start + local_row
+    }
+
+    /// Local row id of a global row, if this shard owns it.
+    pub fn local_row(&self, global_row: usize) -> Option<usize> {
+        self.contains(global_row).then(|| global_row - self.start)
+    }
+
+    /// Restrict a global pin mask to this shard's rows (in local indexing) —
+    /// how a coordinator's conditioning state is routed to the owning shard.
+    ///
+    /// # Panics
+    /// Panics if the mask is shorter than the shard's row range.
+    pub fn local_pins(&self, global: &Pins) -> Pins {
+        let mut local = Pins::none(self.len());
+        for (i, g) in self.rows().enumerate() {
+            if let Some(j) = global.pinned(g) {
+                local.pin(i, j);
+            }
+        }
+        local
+    }
 }
 
 /// Odometer iterator over all possible worlds (by candidate-choice vector).
@@ -467,6 +581,67 @@ mod tests {
             IncompleteDataset::new(vec![IncompleteExample::complete(vec![0.0], 0)], 0).unwrap_err(),
             DatasetError::NoClasses
         );
+    }
+
+    #[test]
+    fn partition_covers_all_rows_contiguously() {
+        let ds = tiny();
+        for n_shards in 1..=5 {
+            let shards = ds.partition(n_shards);
+            assert_eq!(shards.len(), n_shards.min(ds.len()), "n_shards={n_shards}");
+            let mut next = 0;
+            for sh in &shards {
+                assert_eq!(sh.start(), next, "contiguous coverage");
+                assert!(!sh.is_empty());
+                assert_eq!(sh.dataset().n_labels(), ds.n_labels());
+                for local in 0..sh.len() {
+                    let g = sh.global_row(local);
+                    assert!(sh.contains(g));
+                    assert_eq!(sh.local_row(g), Some(local));
+                    assert_eq!(sh.dataset().example(local), ds.example(g));
+                }
+                next = sh.end();
+            }
+            assert_eq!(next, ds.len(), "all rows covered");
+            // shard sizes are balanced: differ by at most one
+            let sizes: Vec<usize> = shards.iter().map(|s| s.len()).collect();
+            let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            assert!(max - min <= 1, "unbalanced shards {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn shard_row_mapping_rejects_foreign_rows() {
+        let ds = tiny();
+        let shards = ds.partition(2);
+        assert_eq!(shards[1].local_row(0), None);
+        assert_eq!(shards[0].local_row(shards[0].end()), None);
+    }
+
+    #[test]
+    fn local_pins_restrict_to_owned_rows() {
+        let ds = tiny();
+        let shards = ds.partition(2);
+        let global = Pins::from_pairs(ds.len(), &[(0, 1), (2, 2)]);
+        let p0 = shards[0].local_pins(&global);
+        let p1 = shards[1].local_pins(&global);
+        assert_eq!(p0.len(), shards[0].len());
+        assert_eq!(p1.len(), shards[1].len());
+        assert_eq!(p0.pinned(0), Some(1));
+        let local2 = shards[1].local_row(2).unwrap();
+        assert_eq!(p1.pinned(local2), Some(2));
+        // the unpinned row stays unpinned wherever it landed
+        for sh in [&shards[0], &shards[1]] {
+            if let Some(l) = sh.local_row(1) {
+                assert_eq!(sh.local_pins(&global).pinned(l), None);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "n_shards must be positive")]
+    fn partition_rejects_zero_shards() {
+        tiny().partition(0);
     }
 
     #[test]

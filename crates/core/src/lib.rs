@@ -33,6 +33,14 @@
 //! point's index exactly once and the `*_with_indexes` / `*_with_cache`
 //! entry points evaluate against it with zero per-call sorting.
 //!
+//! For scale-out beyond one process's batch parallelism, the data model and
+//! counting algebra are *shardable*: [`IncompleteDataset::partition`] splits
+//! a dataset into contiguous row-range [`DatasetShard`]s, and the label
+//! supports every SortScan maintains factorize over any such partition into
+//! mergeable per-label [`poly::ShardFactors`] (with [`mass::merge_totals`]
+//! combining world masses) — the algebra the `cp-shard` crate's
+//! partition-parallel query engine is built on.
+//!
 //! All counting code is generic over a [`cp_numeric::CountSemiring`], so the
 //! same scan produces exact big-integer counts, underflow-free scaled counts,
 //! label probabilities, or exact boolean certainty. [`prior`] extends Q2 to
@@ -69,8 +77,10 @@ pub use cache::{
     certain_labels_with_cache, evaluate_with_cache, q2_probabilities_with_cache, ValIndexCache,
 };
 pub use config::CpConfig;
-pub use dataset::{DatasetError, IncompleteDataset, IncompleteExample};
+pub use dataset::{DatasetError, DatasetShard, IncompleteDataset, IncompleteExample};
+pub use mass::merge_totals;
 pub use pins::Pins;
+pub use poly::ShardFactors;
 pub use queries::{
     certain_label, certain_label_with_index, prediction_entropy_bits, q1, q1_with_index, q2,
     q2_probabilities, q2_probabilities_with_index, q2_with_algorithm, Q2Algorithm,

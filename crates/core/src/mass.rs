@@ -37,6 +37,22 @@ pub trait MassModel<S: CountSemiring> {
     fn total(&self) -> S;
 }
 
+/// Merge the total world masses of disjoint dataset partitions.
+///
+/// The world set of a partitioned dataset is the Cartesian product of the
+/// shards' world sets, so totals combine by semiring multiplication:
+/// `∏ M_i` factors over shards in counting semirings, and stays `1` in
+/// probability space. This is the [`MassModel::total`] leg of the sharded
+/// engine's merge algebra (the per-label polynomial leg lives in
+/// [`crate::poly::ShardFactors`]).
+pub fn merge_totals<S: CountSemiring>(totals: impl IntoIterator<Item = S>) -> S {
+    let mut acc = S::one();
+    for t in totals {
+        acc.mul_assign(&t);
+    }
+    acc
+}
+
 /// Uniform candidate mass: the paper's counting setting.
 #[derive(Clone, Debug)]
 pub struct UniformMass {
@@ -193,6 +209,36 @@ mod tests {
             2,
         )
         .unwrap()
+    }
+
+    #[test]
+    fn merged_totals_multiply_per_shard_masses() {
+        let ds = ds();
+        let pins = Pins::none(ds.len());
+        // shard totals are the per-shard set-size products; their merge is
+        // the global world count
+        for n_shards in 1..=2 {
+            let shards = ds.partition(n_shards);
+            let totals = shards.iter().map(|sh| {
+                let m = UniformMass::new(sh.dataset(), &Pins::none(sh.len()));
+                MassModel::<u128>::total(&m)
+            });
+            let global = UniformMass::new(&ds, &pins);
+            assert_eq!(
+                merge_totals::<u128>(totals),
+                MassModel::<u128>::total(&global),
+                "n_shards={n_shards}"
+            );
+        }
+        // probability space: every shard total is 1, so the merge is 1
+        let shards = ds.partition(2);
+        let totals = shards.iter().map(|sh| {
+            let m = UniformMass::new(sh.dataset(), &Pins::none(sh.len()));
+            MassModel::<f64>::total(&m)
+        });
+        assert_eq!(merge_totals::<f64>(totals), 1.0);
+        // empty merge is the semiring one
+        assert_eq!(merge_totals::<u128>(std::iter::empty()), 1);
     }
 
     #[test]

@@ -148,6 +148,121 @@ impl<S: CountSemiring> TallyTree<S> {
     }
 }
 
+/// Per-label partial slot polynomials of one dataset shard — the compact
+/// summary a shard's SortScan exchanges with the coordinator.
+///
+/// The label-support polynomial of the full dataset is a product over that
+/// label's candidate sets, so it factorizes over any partition of the sets:
+/// a shard contributes the product over *its* sets, and the coordinator
+/// recovers the global polynomial by multiplying shard factors per label.
+/// The payload is `|Y| · (K + 1)` semiring values, independent of the shard
+/// size — this is what makes the sharded engine's per-boundary exchange
+/// cheap.
+///
+/// [`ShardFactors::merge`] is **associative** with [`ShardFactors::identity`]
+/// as the unit (truncated polynomial multiplication per label — truncation
+/// at degree `K` is compositional because a product coefficient of degree
+/// `≤ K` only ever consumes factor coefficients of degree `≤ K`), so shard
+/// summaries can be combined in any grouping: pairwise at a coordinator,
+/// tree-wise across racks, or incrementally as shard results stream in.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardFactors<S> {
+    k: usize,
+    /// `polys[l]` has exactly `k + 1` coefficients.
+    polys: Vec<Vec<S>>,
+}
+
+impl<S: CountSemiring> ShardFactors<S> {
+    /// The merge identity: one identity polynomial per label (the factors of
+    /// a shard owning no candidate sets).
+    pub fn identity(n_labels: usize, k: usize) -> Self {
+        ShardFactors {
+            k,
+            polys: (0..n_labels).map(|_| poly_one::<S>(k)).collect(),
+        }
+    }
+
+    /// Build from per-label polynomials.
+    ///
+    /// # Panics
+    /// Panics if any polynomial does not have exactly `k + 1` coefficients.
+    pub fn from_polys(polys: Vec<Vec<S>>, k: usize) -> Self {
+        for (l, p) in polys.iter().enumerate() {
+            assert_eq!(p.len(), k + 1, "label {l}: expected {} coefficients", k + 1);
+        }
+        ShardFactors { k, polys }
+    }
+
+    /// Slot budget K.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of labels covered.
+    pub fn n_labels(&self) -> usize {
+        self.polys.len()
+    }
+
+    /// The partial slot polynomial of one label.
+    pub fn poly(&self, label: usize) -> &[S] {
+        &self.polys[label]
+    }
+
+    /// Replace one label's polynomial (the owning shard's update after a
+    /// boundary step touches exactly one label).
+    ///
+    /// # Panics
+    /// Panics if the polynomial does not have exactly `k + 1` coefficients.
+    pub fn set_poly(&mut self, label: usize, poly: Vec<S>) {
+        assert_eq!(
+            poly.len(),
+            self.k + 1,
+            "expected {} coefficients",
+            self.k + 1
+        );
+        self.polys[label] = poly;
+    }
+
+    /// A copy with one label's polynomial replaced — how the owning shard
+    /// presents its factors with the boundary set excluded from its own
+    /// label.
+    ///
+    /// # Panics
+    /// Panics if the polynomial does not have exactly `k + 1` coefficients.
+    pub fn with_poly(&self, label: usize, poly: Vec<S>) -> Self {
+        let mut out = self.clone();
+        out.set_poly(label, poly);
+        out
+    }
+
+    /// Merge another shard's factors into this one (per-label truncated
+    /// polynomial product). Associative; [`ShardFactors::identity`] is the
+    /// unit.
+    ///
+    /// # Panics
+    /// Panics on a label-count or K mismatch.
+    pub fn merge_assign(&mut self, other: &Self) {
+        assert_eq!(self.k, other.k, "slot budget mismatch");
+        assert_eq!(self.polys.len(), other.polys.len(), "label count mismatch");
+        for (mine, theirs) in self.polys.iter_mut().zip(&other.polys) {
+            *mine = poly_mul(mine, theirs, self.k);
+        }
+    }
+
+    /// [`ShardFactors::merge_assign`] returning a new value.
+    pub fn merge(&self, other: &Self) -> Self {
+        let mut out = self.clone();
+        out.merge_assign(other);
+        out
+    }
+
+    /// Borrowed per-label polynomials in the shape the support accumulators
+    /// consume.
+    pub fn poly_refs(&self) -> Vec<&[S]> {
+        self.polys.iter().map(|p| p.as_slice()).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -251,6 +366,62 @@ mod tests {
     fn set_leaf_rejects_out_of_range() {
         let mut tree = TallyTree::<u128>::new(2, 1);
         tree.set_leaf(5, 1, 1);
+    }
+
+    fn factors(polys: &[&[u128]], k: usize) -> ShardFactors<u128> {
+        ShardFactors::from_polys(polys.iter().map(|p| p.to_vec()).collect(), k)
+    }
+
+    #[test]
+    fn shard_factors_merge_is_associative_with_identity() {
+        let k = 2;
+        let a = factors(&[&[1, 2, 3], &[2, 0, 1]], k);
+        let b = factors(&[&[4, 1, 0], &[1, 5, 2]], k);
+        let c = factors(&[&[0, 3, 1], &[2, 2, 2]], k);
+        // associativity: (a·b)·c == a·(b·c)
+        assert_eq!(a.merge(&b).merge(&c), a.merge(&b.merge(&c)));
+        // identity laws
+        let one = ShardFactors::<u128>::identity(2, k);
+        assert_eq!(a.merge(&one), a);
+        assert_eq!(one.merge(&a), a);
+        assert_eq!(one.n_labels(), 2);
+        assert_eq!(one.k(), k);
+    }
+
+    #[test]
+    fn shard_factors_merge_matches_per_label_poly_mul() {
+        let k = 3;
+        let a = factors(&[&[1, 2, 0, 1], &[3, 1, 1, 0]], k);
+        let b = factors(&[&[2, 1, 1, 0], &[1, 0, 4, 2]], k);
+        let merged = a.merge(&b);
+        for l in 0..2 {
+            assert_eq!(merged.poly(l), &poly_mul(a.poly(l), b.poly(l), k)[..]);
+        }
+        assert_eq!(merged.poly_refs().len(), 2);
+    }
+
+    #[test]
+    fn shard_factors_with_poly_replaces_one_label() {
+        let k = 1;
+        let a = factors(&[&[1, 2], &[3, 4]], k);
+        let b = a.with_poly(0, vec![7, 8]);
+        assert_eq!(b.poly(0), &[7u128, 8][..]);
+        assert_eq!(b.poly(1), a.poly(1));
+        assert_eq!(a.poly(0), &[1u128, 2][..], "original untouched");
+    }
+
+    #[test]
+    #[should_panic(expected = "coefficients")]
+    fn shard_factors_reject_wrong_degree() {
+        ShardFactors::<u128>::from_polys(vec![vec![1, 2, 3]], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "label count mismatch")]
+    fn shard_factors_reject_label_mismatch() {
+        let a = ShardFactors::<u128>::identity(2, 1);
+        let b = ShardFactors::<u128>::identity(3, 1);
+        a.merge(&b);
     }
 
     #[test]

@@ -13,8 +13,7 @@ use crate::dataset::IncompleteDataset;
 use crate::mass::WeightedMass;
 use crate::pins::Pins;
 use crate::similarity::SimilarityIndex;
-use crate::ss_tree::scan_tree;
-use crate::tally::composition_count;
+use crate::ss_tree::{scan_tree, use_multiclass_accumulator};
 
 /// Per-label prediction probabilities under per-candidate priors.
 ///
@@ -41,7 +40,7 @@ pub fn q2_weighted_with_index(
     priors: Vec<Vec<f64>>,
 ) -> Vec<f64> {
     let mass = WeightedMass::new(ds, pins, priors);
-    let use_mc = composition_count(ds.n_labels(), cfg.k_eff(ds.len())) > 64;
+    let use_mc = use_multiclass_accumulator(ds.n_labels(), cfg.k_eff(ds.len()));
     let result = scan_tree::<f64, _>(ds, cfg, idx, pins, mass, use_mc);
     result.probabilities()
 }

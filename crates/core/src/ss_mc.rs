@@ -22,7 +22,9 @@ use cp_numeric::CountSemiring;
 /// Accumulate boundary supports into per-label counts using the label-capped
 /// DP. Same contract as [`crate::tally::accumulate_supports`]: `polys[yi]`
 /// excludes the boundary set, whose occupied slot is accounted for here.
-pub(crate) fn accumulate_supports_mc<S: CountSemiring>(
+/// Public so the sharded engine (`cp-shard`) can drive it against merged
+/// cross-shard polynomials.
+pub fn accumulate_supports_mc<S: CountSemiring>(
     k: usize,
     yi: Label,
     boundary: &S,

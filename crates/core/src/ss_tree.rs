@@ -26,6 +26,16 @@ use cp_numeric::CountSemiring;
 /// polynomial in `|Y|`.
 const MC_TALLY_THRESHOLD: u64 = 64;
 
+/// Whether a scan over `n_labels` labels with slot budget `k` should use the
+/// label-capped multi-class accumulator instead of tally enumeration.
+///
+/// Exported so every scan front-end — this module, the batch engine, and
+/// the sharded engine (`cp-shard`) — takes the same accumulation path on
+/// the same instance; the choice never changes answers, only constants.
+pub fn use_multiclass_accumulator(n_labels: usize, k: usize) -> bool {
+    composition_count(n_labels, k) > MC_TALLY_THRESHOLD
+}
+
 /// Q2 via the divide-and-conquer SortScan (the production algorithm).
 pub fn q2_sortscan_tree<S: CountSemiring>(
     ds: &IncompleteDataset,
@@ -47,7 +57,7 @@ pub fn q2_sortscan_tree_with_index<S: CountSemiring>(
     pins: &Pins,
 ) -> Q2Result<S> {
     let mass = UniformMass::new(ds, pins);
-    let use_mc = composition_count(ds.n_labels(), cfg.k_eff(ds.len())) > MC_TALLY_THRESHOLD;
+    let use_mc = use_multiclass_accumulator(ds.n_labels(), cfg.k_eff(ds.len()));
     scan_tree(ds, cfg, idx, pins, mass, use_mc)
 }
 

@@ -46,7 +46,10 @@ pub fn tally_winner(tally: &[u32]) -> Label {
 /// * `polys[l]` — slot polynomial of label `l`'s candidate sets, with the
 ///   boundary set excluded from `polys[yi]`,
 /// * `counts[w]` — accumulates the support of every tally won by `w`.
-pub(crate) fn accumulate_supports<S: cp_numeric::CountSemiring>(
+///
+/// Public so the sharded engine (`cp-shard`) can drive it against merged
+/// cross-shard polynomials.
+pub fn accumulate_supports<S: cp_numeric::CountSemiring>(
     comps: &[Vec<u32>],
     yi: Label,
     boundary: &S,

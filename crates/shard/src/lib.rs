@@ -1,0 +1,75 @@
+//! # cp-shard — partition-parallel certain predictions
+//!
+//! Scale-out layer for the CP query engine: one incomplete dataset is
+//! partitioned into contiguous row-range [`DatasetShard`]s, each shard
+//! scans **only its own candidate sets**, and a coordinator reassembles
+//! exact global answers from compact per-shard summaries. This is the
+//! single-query analogue of the batch engine's point-parallelism — a single
+//! huge Q1/Q2/CPClean query now scales across workers too — and the
+//! designed foundation for a multi-process/RPC serving layer (each
+//! `ShardScan`/`CleaningSession` below is the state a remote worker would
+//! own; only the merge messages cross the boundary).
+//!
+//! ## The factor-merge algebra
+//!
+//! The SS counting algorithm's per-label support is a product of per-set
+//! slot polynomials (`out + in·z`, truncated at degree K). Products
+//! factorize over any partition of the candidate sets, so for shards
+//! `D = D₁ ∪ … ∪ D_S` and every label `l`:
+//!
+//! ```text
+//! poly_l(D) = poly_l(D₁) · poly_l(D₂) · … · poly_l(D_S)   (mod z^{K+1})
+//! ```
+//!
+//! Each shard maintains its partial `poly_l` incrementally in per-label
+//! tally trees (exactly the single-process SS-DC machinery, over fewer
+//! leaves) and exports it as a [`cp_core::ShardFactors`] value: `|Y|·(K+1)`
+//! semiring coefficients, independent of shard size. `ShardFactors::merge`
+//! is associative with an identity, so the coordinator may combine shard
+//! summaries pairwise, tree-wise, or in streaming order; world-mass totals
+//! merge by semiring multiplication ([`cp_core::merge_totals`]). Truncation
+//! at degree K commutes with merging because a product coefficient of
+//! degree ≤ K never consumes factor coefficients of degree > K.
+//!
+//! The only global sequencing the scan needs is the boundary order: the
+//! coordinator merges the shards' (locally sorted) candidate streams by the
+//! same `(similarity, row, candidate)` total order the single-process scan
+//! sorts by, advances the owning shard, and accumulates supports from the
+//! merged factors. Counts are therefore **exactly** — bit-for-bit in exact
+//! semirings — the single-process counts, for every shard count; the
+//! property tests in `tests/shard_equivalence.rs` assert this together with
+//! status/selection equivalence of [`ShardedSession`] against
+//! `cp_clean::CleaningSession`.
+//!
+//! What does *not* decompose: MinMax (per-set extremes are not products)
+//! and brute force (worlds couple across shards). Those entry points fall
+//! back gracefully to the merged Possibility-semiring/tree scans — same
+//! exact answers, different constant factors (see
+//! [`scan::q2_sharded_with_algorithm`]).
+//!
+//! ## Layers
+//!
+//! * [`scan`] — [`ShardScan`] (per-shard scan state) and the merged-scan
+//!   query functions (`q2_sharded*`, `certain_label_sharded_with_indexes`,
+//!   `q2_probabilities_sharded_with_indexes`).
+//! * [`session`] — [`ShardedSession`]: one `cp_clean::CleaningSession` per
+//!   shard (each with its partition-local index cache built exactly once),
+//!   with the same `step()`/`status()`/`run_to_convergence()`/`run_order()`
+//!   surface as the single-process engine and greedy selection routed to
+//!   the owning shard.
+
+pub mod scan;
+pub mod session;
+
+pub use scan::{
+    build_shard_indexes, certain_label_sharded_with_indexes, local_pins,
+    q2_probabilities_sharded_with_indexes, q2_sharded, q2_sharded_with_algorithm,
+    q2_sharded_with_indexes, ShardScan,
+};
+pub use session::ShardedSession;
+
+/// Re-export: the partition type the whole crate operates on.
+pub use cp_core::DatasetShard;
+
+/// Re-export: the mergeable per-label factor summary.
+pub use cp_core::ShardFactors;

@@ -1,0 +1,510 @@
+//! The partition-parallel SortScan: per-shard scan state plus the
+//! coordinator's merged scan.
+//!
+//! One [`ShardScan`] owns everything local to a shard: the shard's
+//! similarity index for the test point, its pin mask, its [`UniformMass`]
+//! tallies and its per-label [`TallyTree`]s. The coordinator
+//! ([`q2_sharded_with_indexes`]) never sees candidates or similarities in
+//! bulk — it merges the shard streams one boundary event at a time and
+//! combines the shards' compact [`ShardFactors`] summaries:
+//!
+//! 1. each shard exposes its next not-yet-scanned candidate (similarity +
+//!    global row id); the coordinator picks the global minimum under the
+//!    same `(similarity, set, candidate)` total order the single-process
+//!    scan sorts by, so the merged stream *is* the global scan order;
+//! 2. the owning shard advances: one mass tally bump, one tree-leaf update
+//!    (`O(K² log N_s)`), exactly as in the single-process SS-DC scan;
+//! 3. the owning shard presents its factors with the boundary set excluded
+//!    from its own label; the coordinator merges all shards' factors
+//!    (associative per-label polynomial products, `O(S · |Y| · K²)`) and
+//!    feeds the merged polynomials to the ordinary support accumulator.
+//!
+//! Because the label-support polynomial of the full dataset factorizes over
+//! any partition of its candidate sets, the merged counts are *exactly* the
+//! single-process counts — in every semiring (the property tests pin this
+//! down in `u128`, where equality is bit-for-bit).
+
+use cp_core::mass::{merge_totals, MassModel, UniformMass};
+use cp_core::poly::TallyTree;
+use cp_core::queries::Q2Algorithm;
+use cp_core::ss_mc::accumulate_supports_mc;
+use cp_core::ss_tree::use_multiclass_accumulator;
+use cp_core::tally::{accumulate_supports, compositions};
+use cp_core::{CpConfig, DatasetShard, Pins, Q2Result, ShardFactors, SimilarityIndex};
+use cp_knn::{Kernel, Label};
+use cp_numeric::{CountSemiring, Possibility};
+use std::borrow::Borrow;
+use std::cmp::Ordering;
+
+/// One shard's scan state for one test point: local similarity order, local
+/// mass tallies, per-label tally trees over the shard's candidate sets.
+#[derive(Clone, Debug)]
+pub struct ShardScan<'a, S> {
+    shard: &'a DatasetShard,
+    idx: &'a SimilarityIndex,
+    pins: &'a Pins,
+    mass: UniformMass,
+    trees: Vec<TallyTree<S>>,
+    leaf_pos: Vec<usize>,
+    cursor: usize,
+}
+
+impl<'a, S: CountSemiring> ShardScan<'a, S> {
+    /// Open a scan at the position before the first boundary candidate.
+    ///
+    /// `idx` must be the similarity index of the *shard's* dataset for the
+    /// test point, and `pins` the shard-local restriction of the global pin
+    /// mask (see [`DatasetShard::local_pins`]); `k` is the **global**
+    /// effective K.
+    ///
+    /// # Panics
+    /// Panics if the pin mask does not validate against the shard dataset.
+    pub fn new(
+        shard: &'a DatasetShard,
+        idx: &'a SimilarityIndex,
+        pins: &'a Pins,
+        k: usize,
+    ) -> Self {
+        let ds = shard.dataset();
+        pins.validate(ds);
+        let n = ds.len();
+        let n_labels = ds.n_labels();
+        let mass = UniformMass::new(ds, pins);
+        // map each local candidate set to a leaf of its label's tree
+        let mut leaf_pos = vec![0usize; n];
+        let mut label_counts = vec![0usize; n_labels];
+        for (i, pos) in leaf_pos.iter_mut().enumerate() {
+            let l = ds.label(i);
+            *pos = label_counts[l];
+            label_counts[l] += 1;
+        }
+        let mut trees: Vec<TallyTree<S>> =
+            label_counts.iter().map(|&c| TallyTree::new(c, k)).collect();
+        for i in 0..n {
+            trees[ds.label(i)].set_leaf(leaf_pos[i], mass.seen(i), mass.unseen(i));
+        }
+        let mut scan = ShardScan {
+            shard,
+            idx,
+            pins,
+            mass,
+            trees,
+            leaf_pos,
+            cursor: 0,
+        };
+        scan.skip_disallowed();
+        scan
+    }
+
+    /// Move the cursor past candidates the pin mask excludes from the scan.
+    fn skip_disallowed(&mut self) {
+        while let Some(&(i, j)) = self.idx.order().get(self.cursor) {
+            if self.pins.allows(i as usize, j as usize) {
+                break;
+            }
+            self.cursor += 1;
+        }
+    }
+
+    /// The next boundary event, if any: `(similarity, global row, candidate)`
+    /// — the key the coordinator merges shard streams by.
+    pub fn peek(&self) -> Option<(f64, usize, u32)> {
+        self.idx.order().get(self.cursor).map(|&(i, j)| {
+            (
+                self.idx.sim_at(self.cursor),
+                self.shard.global_row(i as usize),
+                j,
+            )
+        })
+    }
+
+    /// Process the next boundary event: bump the owning set's tally, refresh
+    /// its tree leaf, move on. Returns `(local set, candidate)`.
+    ///
+    /// # Panics
+    /// Panics if the shard stream is exhausted.
+    pub fn advance(&mut self) -> (usize, u32) {
+        let (i, j) = self.idx.order()[self.cursor];
+        let (i, j) = (i as usize, j);
+        MassModel::<S>::advance(&mut self.mass, i, j as usize);
+        let label = self.shard.dataset().label(i);
+        self.trees[label].set_leaf(self.leaf_pos[i], self.mass.seen(i), self.mass.unseen(i));
+        self.cursor += 1;
+        self.skip_disallowed();
+        (i, j)
+    }
+
+    /// Label of a local candidate set.
+    pub fn label(&self, local_set: usize) -> Label {
+        self.shard.dataset().label(local_set)
+    }
+
+    /// This shard's current per-label partial factors (tree roots) — the
+    /// compact summary it exchanges with the coordinator.
+    pub fn factors(&self) -> ShardFactors<S> {
+        ShardFactors::from_polys(
+            self.trees.iter().map(|t| t.root().to_vec()).collect(),
+            self.trees[0].k(),
+        )
+    }
+
+    /// The current partial polynomial of one label.
+    pub fn label_poly(&self, label: usize) -> &[S] {
+        self.trees[label].root()
+    }
+
+    /// The boundary label's partial polynomial with `local_set` excluded —
+    /// how the boundary set is removed from its own label's support.
+    pub fn excluding_poly(&self, local_set: usize) -> Vec<S> {
+        self.trees[self.label(local_set)].excluding(self.leaf_pos[local_set])
+    }
+
+    /// Mass of the boundary set choosing exactly candidate `cand`.
+    /// (Uniform mass ignores the candidate, but threading the real one
+    /// keeps this correct for any future non-uniform [`MassModel`].)
+    pub fn boundary_mass(&self, local_set: usize, cand: u32) -> S {
+        self.mass.boundary(local_set, cand as usize)
+    }
+
+    /// This shard's total world mass (`∏ M_i` over its own sets).
+    pub fn total(&self) -> S {
+        self.mass.total()
+    }
+}
+
+/// Check that `shards` is a contiguous partition starting at row zero and
+/// that the per-shard slices line up; returns `(total rows, n_labels)`.
+fn check_shards<I, P>(shards: &[DatasetShard], indexes: &[I], pins: &[P]) -> (usize, usize) {
+    assert!(!shards.is_empty(), "need at least one shard");
+    assert_eq!(shards.len(), indexes.len(), "one index per shard");
+    assert_eq!(shards.len(), pins.len(), "one pin mask per shard");
+    let mut next = 0;
+    for sh in shards {
+        assert_eq!(sh.start(), next, "shards must be a contiguous partition");
+        next = sh.end();
+    }
+    (next, shards[0].dataset().n_labels())
+}
+
+/// Build one similarity index per shard for a test point — the per-shard
+/// `O(N_s M log N_s M)` sort, independent across shards.
+pub fn build_shard_indexes(
+    shards: &[DatasetShard],
+    kernel: Kernel,
+    t: &[f64],
+) -> Vec<SimilarityIndex> {
+    shards
+        .iter()
+        .map(|sh| SimilarityIndex::build(sh.dataset(), kernel, t))
+        .collect()
+}
+
+/// Restrict a global pin mask to every shard (local indexing).
+pub fn local_pins(shards: &[DatasetShard], global: &Pins) -> Vec<Pins> {
+    shards.iter().map(|sh| sh.local_pins(global)).collect()
+}
+
+/// The merged partition-parallel scan (see the module docs for the
+/// protocol). `force_mc` overrides the tally-enumeration/multi-class
+/// accumulator auto-dispatch; `stop` is polled after each boundary event
+/// and may cut the scan short once the caller's question is already
+/// answered (the counts are then partial, the total is still exact).
+fn merged_scan_until<S, I, P>(
+    shards: &[DatasetShard],
+    indexes: &[I],
+    pins: &[P],
+    cfg: &CpConfig,
+    force_mc: Option<bool>,
+    stop: impl Fn(&[S]) -> bool,
+) -> Q2Result<S>
+where
+    S: CountSemiring,
+    I: Borrow<SimilarityIndex>,
+    P: Borrow<Pins>,
+{
+    let (n_total, n_labels) = check_shards(shards, indexes, pins);
+    let k = cfg.k_eff(n_total);
+    let use_mc = force_mc.unwrap_or_else(|| use_multiclass_accumulator(n_labels, k));
+    let comps = if use_mc {
+        Vec::new()
+    } else {
+        compositions(n_labels, k)
+    };
+
+    let mut scans: Vec<ShardScan<'_, S>> = shards
+        .iter()
+        .zip(indexes)
+        .zip(pins)
+        .map(|((sh, idx), p)| ShardScan::new(sh, idx.borrow(), p.borrow(), k))
+        .collect();
+    // cached per-shard factor summaries; only the owner's entry changes per
+    // boundary event
+    let mut factors: Vec<ShardFactors<S>> = scans.iter().map(|sc| sc.factors()).collect();
+    let mut counts = vec![S::zero(); n_labels];
+
+    loop {
+        // the shard owning the globally next boundary candidate, under the
+        // exact (similarity, row, candidate) order the single scan sorts by
+        let mut owner: Option<(usize, (f64, usize, u32))> = None;
+        for (s, sc) in scans.iter().enumerate() {
+            if let Some(ev) = sc.peek() {
+                let better = match &owner {
+                    None => true,
+                    Some((_, best)) => match ev.0.total_cmp(&best.0) {
+                        Ordering::Less => true,
+                        Ordering::Equal => (ev.1, ev.2) < (best.1, best.2),
+                        Ordering::Greater => false,
+                    },
+                };
+                if better {
+                    owner = Some((s, ev));
+                }
+            }
+        }
+        let Some((s, _)) = owner else { break };
+
+        let (local_set, cand) = scans[s].advance();
+        let yi = scans[s].label(local_set);
+        factors[s].set_poly(yi, scans[s].label_poly(yi).to_vec());
+
+        // merge: owner's factors with the boundary set excluded from its own
+        // label, times every other shard's summary
+        let mut merged = factors[s].with_poly(yi, scans[s].excluding_poly(local_set));
+        for (u, f) in factors.iter().enumerate() {
+            if u != s {
+                merged.merge_assign(f);
+            }
+        }
+        let boundary = scans[s].boundary_mass(local_set, cand);
+        let polys = merged.poly_refs();
+        if use_mc {
+            accumulate_supports_mc(k, yi, &boundary, &polys, &mut counts);
+        } else {
+            accumulate_supports(&comps, yi, &boundary, &polys, &mut counts);
+        }
+        if stop(&counts) {
+            break;
+        }
+    }
+
+    Q2Result {
+        counts,
+        total: merge_totals(scans.iter().map(|sc| sc.total())),
+    }
+}
+
+/// **Q2 over a sharded dataset**, against prebuilt per-shard indexes and
+/// shard-local pin masks — the sharded twin of
+/// `cp_core::ss_tree::q2_sortscan_tree_with_index`.
+///
+/// `indexes` and `pins` accept owned values or references (anything
+/// [`Borrow`]-ing the shard index / pin mask), so callers can pass the
+/// `Vec<SimilarityIndex>` from [`build_shard_indexes`] or borrowed
+/// per-shard state without building reference vectors.
+pub fn q2_sharded_with_indexes<S, I, P>(
+    shards: &[DatasetShard],
+    indexes: &[I],
+    pins: &[P],
+    cfg: &CpConfig,
+) -> Q2Result<S>
+where
+    S: CountSemiring,
+    I: Borrow<SimilarityIndex>,
+    P: Borrow<Pins>,
+{
+    merged_scan_until(shards, indexes, pins, cfg, None, |_| false)
+}
+
+/// [`q2_sharded_with_indexes`] with an explicit algorithm choice.
+///
+/// Only the SortScan family decomposes over partitions; the selectors
+/// without a sharded counterpart **fall back gracefully** to the merged
+/// tree scan, which returns the identical exact counts:
+///
+/// * `Auto` / `SortScanTree` — the merged divide-and-conquer scan;
+/// * `SortScanMultiClass` — the merged scan with the label-capped
+///   accumulator forced on;
+/// * `SortScan` / `BruteForce` — no partition-parallel decomposition exists
+///   (brute force enumerates cross-shard worlds; the naive DP rebuilds
+///   global state per boundary), so both fall back to the merged tree scan.
+pub fn q2_sharded_with_algorithm<S, I, P>(
+    shards: &[DatasetShard],
+    indexes: &[I],
+    pins: &[P],
+    cfg: &CpConfig,
+    algo: Q2Algorithm,
+) -> Q2Result<S>
+where
+    S: CountSemiring,
+    I: Borrow<SimilarityIndex>,
+    P: Borrow<Pins>,
+{
+    let force_mc = match algo {
+        Q2Algorithm::SortScanMultiClass => Some(true),
+        Q2Algorithm::Auto
+        | Q2Algorithm::SortScanTree
+        | Q2Algorithm::SortScan
+        | Q2Algorithm::BruteForce => None,
+    };
+    merged_scan_until(shards, indexes, pins, cfg, force_mc, |_| false)
+}
+
+/// **Q2 for one test point** over a sharded dataset: builds the per-shard
+/// indexes, restricts the global pin mask, runs the merged scan.
+pub fn q2_sharded<S: CountSemiring>(
+    shards: &[DatasetShard],
+    cfg: &CpConfig,
+    t: &[f64],
+    global_pins: &Pins,
+) -> Q2Result<S> {
+    let indexes = build_shard_indexes(shards, cfg.kernel, t);
+    let pins = local_pins(shards, global_pins);
+    q2_sharded_with_indexes(shards, &indexes, &pins, cfg)
+}
+
+/// The certainly-predicted label (if any) via the merged scan in the exact
+/// boolean [`Possibility`] semiring.
+///
+/// The single-process dispatch uses MinMax for binary label spaces; MM has
+/// no factor-merge decomposition (its per-set extremes are not products), so
+/// the sharded engine **falls back gracefully** to the Possibility-semiring
+/// scan for every `|Y|` — exact, overflow-free, and property-tested equal to
+/// the MM answer.
+pub fn certain_label_sharded_with_indexes<I, P>(
+    shards: &[DatasetShard],
+    indexes: &[I],
+    pins: &[P],
+    cfg: &CpConfig,
+) -> Option<Label>
+where
+    I: Borrow<SimilarityIndex>,
+    P: Borrow<Pins>,
+{
+    // early exit: once two labels are possible the point is uncertain and
+    // possibility bits can only turn on, so the rest of the scan cannot
+    // change the answer
+    let uncertain = |counts: &[Possibility]| counts.iter().filter(|c| c.0).count() >= 2;
+    let r: Q2Result<Possibility> = merged_scan_until(shards, indexes, pins, cfg, None, uncertain);
+    r.certain_label()
+}
+
+/// Q2 prediction probabilities (uniform candidate prior) via the merged scan
+/// in probability space.
+pub fn q2_probabilities_sharded_with_indexes<I, P>(
+    shards: &[DatasetShard],
+    indexes: &[I],
+    pins: &[P],
+    cfg: &CpConfig,
+) -> Vec<f64>
+where
+    I: Borrow<SimilarityIndex>,
+    P: Borrow<Pins>,
+{
+    let r: Q2Result<f64> = q2_sharded_with_indexes(shards, indexes, pins, cfg);
+    r.probabilities()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cp_core::queries::q2_with_algorithm;
+    use cp_core::{IncompleteDataset, IncompleteExample};
+
+    fn figure6() -> (IncompleteDataset, Vec<f64>) {
+        let ds = IncompleteDataset::new(
+            vec![
+                IncompleteExample::incomplete(vec![vec![0.0], vec![8.0]], 1),
+                IncompleteExample::incomplete(vec![vec![2.0], vec![4.0]], 1),
+                IncompleteExample::incomplete(vec![vec![6.0], vec![9.0]], 0),
+            ],
+            2,
+        )
+        .unwrap();
+        (ds, vec![10.0])
+    }
+
+    #[test]
+    fn sharded_counts_match_single_process_for_every_shard_count() {
+        let (ds, t) = figure6();
+        for k in 1..=3 {
+            let cfg = CpConfig::new(k);
+            let single = cp_core::q2::<u128>(&ds, &cfg, &t);
+            for n_shards in 1..=3 {
+                let shards = ds.partition(n_shards);
+                let sharded = q2_sharded::<u128>(&shards, &cfg, &t, &Pins::none(ds.len()));
+                assert_eq!(sharded.counts, single.counts, "k={k} n_shards={n_shards}");
+                assert_eq!(sharded.total, single.total);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_scan_respects_global_pins() {
+        let (ds, t) = figure6();
+        let cfg = CpConfig::new(1);
+        for (set, cand) in [(0, 1), (1, 0), (2, 1)] {
+            let pins = Pins::single(ds.len(), set, cand);
+            let single = cp_core::ss_tree::q2_sortscan_tree::<u128>(&ds, &cfg, &t, &pins);
+            for n_shards in [2, 3] {
+                let shards = ds.partition(n_shards);
+                let sharded = q2_sharded::<u128>(&shards, &cfg, &t, &pins);
+                assert_eq!(
+                    sharded.counts, single.counts,
+                    "pin ({set},{cand}) n_shards={n_shards}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn algorithm_selectors_fall_back_to_identical_counts() {
+        let (ds, t) = figure6();
+        let cfg = CpConfig::new(2);
+        let shards = ds.partition(2);
+        let indexes = build_shard_indexes(&shards, cfg.kernel, &t);
+        let pins = local_pins(&shards, &Pins::none(ds.len()));
+        let reference = q2_with_algorithm::<u128>(&ds, &cfg, &t, Q2Algorithm::BruteForce);
+        for algo in [
+            Q2Algorithm::Auto,
+            Q2Algorithm::BruteForce,
+            Q2Algorithm::SortScan,
+            Q2Algorithm::SortScanTree,
+            Q2Algorithm::SortScanMultiClass,
+        ] {
+            let r = q2_sharded_with_algorithm::<u128, _, _>(&shards, &indexes, &pins, &cfg, algo);
+            assert_eq!(r.counts, reference.counts, "algo={algo:?}");
+            assert_eq!(r.total, reference.total);
+        }
+    }
+
+    #[test]
+    fn certain_label_and_probabilities_match_single_process() {
+        let (ds, t) = figure6();
+        for k in [1, 3] {
+            let cfg = CpConfig::new(k);
+            let shards = ds.partition(3);
+            let indexes = build_shard_indexes(&shards, cfg.kernel, &t);
+            let pins = local_pins(&shards, &Pins::none(ds.len()));
+            assert_eq!(
+                certain_label_sharded_with_indexes(&shards, &indexes, &pins, &cfg),
+                cp_core::certain_label(&ds, &cfg, &t),
+                "k={k}"
+            );
+            let sharded = q2_probabilities_sharded_with_indexes(&shards, &indexes, &pins, &cfg);
+            let single = cp_core::q2_probabilities(&ds, &cfg, &t);
+            for (a, b) in sharded.iter().zip(&single) {
+                assert!((a - b).abs() < 1e-12, "k={k}: {sharded:?} vs {single:?}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "contiguous partition")]
+    fn rejects_non_contiguous_shards() {
+        let (ds, t) = figure6();
+        let cfg = CpConfig::new(1);
+        let shards = ds.partition(2);
+        let reversed: Vec<DatasetShard> = shards.into_iter().rev().collect();
+        q2_sharded::<u128>(&reversed, &cfg, &t, &Pins::none(ds.len()));
+    }
+}

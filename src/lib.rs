@@ -44,3 +44,6 @@ pub use cp_datasets as datasets;
 
 /// CPClean and the cleaning baselines.
 pub use cp_clean as clean;
+
+/// Partition-parallel CP queries and sharded cleaning sessions.
+pub use cp_shard as shard;
