@@ -1,0 +1,168 @@
+//! Multi-process serving experiment: a coordinator driving shard servers
+//! over loopback TCP, verified against (and timed against) the in-process
+//! `ShardedSession`.
+//!
+//! Two modes:
+//!
+//! * self-contained (default): spawns its own `--shards N` single-connection
+//!   server accept loops on ephemeral loopback ports — an in-one-binary
+//!   rehearsal of the multi-host deployment;
+//! * `--connect ADDR1,ADDR2,…`: drives externally launched `shard-server`
+//!   processes (the CI smoke test starts two real processes and points this
+//!   binary at them).
+//!
+//! Every run cross-checks the RPC path: initial CP status, the full greedy
+//! cleaning order and the final status must equal the in-process sharded
+//! session's exactly, for the same problem. `--smoke` keeps CI runs at
+//! seconds scale.
+
+use cp_bench::{random_incomplete_dataset, Reporter};
+use cp_clean::{CleaningProblem, RunOptions};
+use cp_core::CpConfig;
+use cp_rpc::{serve_ephemeral, RpcCoordinator};
+use cp_shard::ShardedSession;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// A synthetic cleaning problem over the shared random-instance generator.
+fn synthetic_problem(n: usize, m: usize, n_val: usize, seed: u64) -> CleaningProblem {
+    let (dataset, _) = random_incomplete_dataset(n, m, 0.3, 2, 3, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xbead);
+    let choices = |rng: &mut StdRng| -> Vec<Option<usize>> {
+        (0..dataset.len())
+            .map(|i| {
+                let m = dataset.set_size(i);
+                (m > 1).then(|| rng.gen_range(0..m))
+            })
+            .collect()
+    };
+    let truth_choice = choices(&mut rng);
+    let default_choice = choices(&mut rng);
+    let gauss = |rng: &mut StdRng| {
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen::<f64>();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    };
+    let val_x: Vec<Vec<f64>> = (0..n_val)
+        .map(|_| (0..dataset.dim()).map(|_| gauss(&mut rng)).collect())
+        .collect();
+    CleaningProblem::new(
+        dataset,
+        CpConfig::new(3),
+        val_x,
+        truth_choice,
+        default_choice,
+    )
+}
+
+fn spawn_servers(n: usize) -> (Vec<String>, Vec<JoinHandle<()>>) {
+    serve_ephemeral(n).expect("bind loopback servers")
+}
+
+fn main() {
+    let r = Reporter;
+    let mut smoke = false;
+    let mut shards = 2usize;
+    let mut connect: Option<Vec<String>> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--shards" => {
+                shards = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&v| v > 0)
+                    .expect("--shards requires a positive integer");
+            }
+            "--connect" => {
+                connect = Some(
+                    args.next()
+                        .expect("--connect requires ADDR1,ADDR2,…")
+                        .split(',')
+                        .map(|s| s.trim().to_string())
+                        .filter(|s| !s.is_empty())
+                        .collect(),
+                );
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
+    let (n, m, n_val) = if smoke { (60, 3, 4) } else { (200, 4, 8) };
+    let problem = synthetic_problem(n, m, n_val, 7);
+    let opts = RunOptions {
+        record_every: usize::MAX, // curve points don't matter here
+        ..RunOptions::default()
+    };
+    let test_x: Vec<Vec<f64>> = problem.val_x().to_vec();
+    let test_y = vec![0usize; test_x.len()];
+
+    r.section("Multi-process serving: coordinator + shard servers over loopback TCP");
+    r.note(&format!(
+        "problem: N={n} M={m} |val|={n_val}, {} dirty rows; opts.n_threads={}",
+        problem.dirty_rows().len(),
+        opts.n_threads
+    ));
+
+    // in-process baseline (same shard count)
+    let n_shards = connect.as_ref().map(|a| a.len()).unwrap_or(shards);
+    let t0 = Instant::now();
+    let mut local = ShardedSession::new(&problem, n_shards, &opts);
+    let local_open_s = t0.elapsed().as_secs_f64();
+    let initial_status = local.status().to_vec();
+    let t0 = Instant::now();
+    let local_run = local.run_to_convergence(&test_x, &test_y);
+    let local_run_s = t0.elapsed().as_secs_f64();
+
+    // RPC path
+    let (addrs, handles) = match &connect {
+        Some(addrs) => {
+            r.note(&format!("connecting to external servers: {addrs:?}"));
+            (addrs.clone(), Vec::new())
+        }
+        None => {
+            r.note(&format!("self-spawning {n_shards} loopback servers"));
+            spawn_servers(n_shards)
+        }
+    };
+    let t0 = Instant::now();
+    let mut remote = RpcCoordinator::connect(&problem, &addrs, &opts).expect("connect coordinator");
+    let remote_open_s = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        remote.status(),
+        initial_status,
+        "initial CP status must match the in-process session"
+    );
+    let t0 = Instant::now();
+    let remote_run = remote.run_to_convergence(&test_x, &test_y);
+    let remote_run_s = t0.elapsed().as_secs_f64();
+
+    assert_eq!(
+        remote_run.order, local_run.order,
+        "greedy cleaning order must match over RPC"
+    );
+    assert_eq!(remote_run.converged, local_run.converged);
+    assert_eq!(remote.status(), local.status(), "final status must match");
+    remote.shutdown().expect("shutdown servers");
+    for h in handles {
+        h.join().expect("server thread");
+    }
+
+    r.note("verified: order, convergence and status identical to ShardedSession");
+    println!();
+    println!("| engine | open (s) | greedy run (s) | rows cleaned |");
+    println!("|--------|---------:|---------------:|-------------:|");
+    println!(
+        "| ShardedSession (in-process, {n_shards} shards) | {local_open_s:.3} | {local_run_s:.3} | {} |",
+        local_run.order.len()
+    );
+    println!(
+        "| RpcCoordinator ({n_shards} servers, loopback TCP) | {remote_open_s:.3} | {remote_run_s:.3} | {} |",
+        remote_run.order.len()
+    );
+    println!();
+    r.note("the RPC column pays serialization + loopback round trips for the same exact answers");
+}

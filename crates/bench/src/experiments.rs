@@ -102,7 +102,7 @@ pub fn problem_from_prepared(prep: &PreparedDataset, k: usize) -> CleaningProble
     CleaningProblem {
         dataset: prep.table_dataset.dataset.clone(),
         config: CpConfig::new(k),
-        val_x: prep.val_x.clone(),
+        val_x: std::sync::Arc::new(prep.val_x.clone()),
         truth_choice: prep.truth_choice.clone(),
         default_choice: prep.default_choice.clone(),
     }

@@ -111,7 +111,7 @@ mod tests {
         CleaningProblem {
             dataset,
             config: CpConfig::new(1),
-            val_x: vec![vec![5.0]],
+            val_x: std::sync::Arc::new(vec![vec![5.0]]),
             truth_choice: vec![None, Some(0), None, Some(0)],
             default_choice: vec![None, Some(1), None, Some(1)],
         }
@@ -161,7 +161,7 @@ mod tests {
     #[test]
     fn already_certain_validation_set_needs_no_cleaning() {
         let mut p = targeted_problem();
-        p.val_x = vec![vec![0.1]]; // dominated by the complete example 0
+        p.val_x = std::sync::Arc::new(vec![vec![0.1]]); // dominated by the complete example 0
         let run = run_cpclean(&p, &[vec![0.1]], &[0], &RunOptions::default());
         assert!(run.converged);
         assert_eq!(run.n_cleaned(), 0);

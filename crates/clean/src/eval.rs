@@ -144,7 +144,7 @@ mod tests {
             config: CpConfig::new(1),
             // val point 0.5 -> nearest is always example 0 or 1 (label 0): CP'ed
             // val point 8.5 -> depends on example 1's candidate: uncertain
-            val_x: vec![vec![0.5], vec![8.5]],
+            val_x: std::sync::Arc::new(vec![vec![0.5], vec![8.5]]),
             truth_choice: vec![None, Some(0), None],
             default_choice: vec![None, Some(1), None],
         }

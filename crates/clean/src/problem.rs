@@ -6,16 +6,26 @@
 //! simulated-human bookkeeping (the ground-truth candidate per dirty row).
 
 use cp_core::{CpConfig, IncompleteDataset};
+use std::sync::Arc;
 
 /// A data-cleaning-for-ML problem instance.
+///
+/// The validation features sit behind an [`Arc`]: cloning a problem (or
+/// deriving per-shard sub-problems, as the sharded and RPC engines do) shares
+/// the one `val_x` allocation instead of copying it per clone — an S-shard
+/// session used to hold S+1 copies of the validation set. Read access is
+/// unchanged (`problem.val_x[v]`, iteration and `.len()` all work through
+/// the `Arc`); construct via [`CleaningProblem::new`] to keep call sites free
+/// of the wrapping.
 #[derive(Clone, Debug)]
 pub struct CleaningProblem {
     /// The dirty training set with candidate repairs.
     pub dataset: IncompleteDataset,
     /// Classifier configuration (the paper: 3-NN, Euclidean).
     pub config: CpConfig,
-    /// Validation features (complete; drawn from the same distribution).
-    pub val_x: Vec<Vec<f64>>,
+    /// Validation features (complete; drawn from the same distribution),
+    /// shared across clones and shard sub-problems.
+    pub val_x: Arc<Vec<Vec<f64>>>,
     /// The candidate the simulated human picks when asked to clean each row
     /// (`None` for clean rows). Indices refer to the dataset's candidate
     /// lists.
@@ -26,6 +36,29 @@ pub struct CleaningProblem {
 }
 
 impl CleaningProblem {
+    /// Assemble a problem, wrapping the validation features into their
+    /// shared handle.
+    pub fn new(
+        dataset: IncompleteDataset,
+        config: CpConfig,
+        val_x: Vec<Vec<f64>>,
+        truth_choice: Vec<Option<usize>>,
+        default_choice: Vec<Option<usize>>,
+    ) -> Self {
+        CleaningProblem {
+            dataset,
+            config,
+            val_x: Arc::new(val_x),
+            truth_choice,
+            default_choice,
+        }
+    }
+
+    /// The validation features as a plain slice (accessor twin of the
+    /// `val_x` field for callers that don't care about the sharing).
+    pub fn val_x(&self) -> &[Vec<f64>] {
+        &self.val_x
+    }
     /// Validate cross-field consistency.
     ///
     /// # Panics
@@ -40,7 +73,7 @@ impl CleaningProblem {
             "default_choice length mismatch"
         );
         assert!(!self.val_x.is_empty(), "empty validation set");
-        for x in &self.val_x {
+        for x in self.val_x.iter() {
             assert_eq!(x.len(), self.dataset.dim(), "validation dimension mismatch");
         }
         for i in 0..n {
@@ -85,13 +118,13 @@ mod tests {
             2,
         )
         .unwrap();
-        CleaningProblem {
+        CleaningProblem::new(
             dataset,
-            config: CpConfig::new(1),
-            val_x: vec![vec![0.5], vec![9.5]],
-            truth_choice: vec![None, Some(0), None, Some(2)],
-            default_choice: vec![None, Some(1), None, Some(1)],
-        }
+            CpConfig::new(1),
+            vec![vec![0.5], vec![9.5]],
+            vec![None, Some(0), None, Some(2)],
+            vec![None, Some(1), None, Some(1)],
+        )
     }
 
     #[test]
@@ -120,7 +153,15 @@ mod tests {
     #[should_panic(expected = "dimension mismatch")]
     fn bad_val_dim_rejected() {
         let mut p = tiny_problem();
-        p.val_x[0] = vec![1.0, 2.0];
+        Arc::make_mut(&mut p.val_x)[0] = vec![1.0, 2.0];
         p.validate();
+    }
+
+    #[test]
+    fn clones_share_the_validation_features() {
+        let p = tiny_problem();
+        let q = p.clone();
+        assert!(Arc::ptr_eq(&p.val_x, &q.val_x), "clone must alias val_x");
+        assert_eq!(p.val_x(), q.val_x());
     }
 }

@@ -102,7 +102,7 @@ mod tests {
         CleaningProblem {
             dataset,
             config: CpConfig::new(1),
-            val_x: vec![vec![5.0]],
+            val_x: std::sync::Arc::new(vec![vec![5.0]]),
             truth_choice: vec![None, Some(0), None, Some(0)],
             default_choice: vec![None, Some(1), None, Some(1)],
         }

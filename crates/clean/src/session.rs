@@ -527,7 +527,7 @@ mod tests {
         CleaningProblem {
             dataset,
             config: CpConfig::new(1),
-            val_x: vec![vec![5.0], vec![0.1]],
+            val_x: std::sync::Arc::new(vec![vec![5.0], vec![0.1]]),
             truth_choice: vec![None, Some(0), None, Some(0)],
             default_choice: vec![None, Some(1), None, Some(1)],
         }

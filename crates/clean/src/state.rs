@@ -104,7 +104,7 @@ mod tests {
         CleaningProblem {
             dataset,
             config: CpConfig::new(1),
-            val_x: vec![vec![0.5]],
+            val_x: std::sync::Arc::new(vec![vec![0.5]]),
             truth_choice: vec![None, Some(0), Some(2)],
             default_choice: vec![None, Some(1), Some(1)],
         }

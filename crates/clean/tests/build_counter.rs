@@ -54,7 +54,7 @@ fn synthetic_problem(
     let problem = CleaningProblem {
         dataset,
         config: CpConfig::new(3),
-        val_x: (0..n_val).map(|_| vec![rng.gen_range(0.0..10.0)]).collect(),
+        val_x: std::sync::Arc::new((0..n_val).map(|_| vec![rng.gen_range(0.0..10.0)]).collect()),
         truth_choice,
         default_choice,
     };

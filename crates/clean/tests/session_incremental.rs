@@ -68,7 +68,7 @@ fn arb_instance() -> impl Strategy<Value = (CleaningProblem, u64)> {
                 let problem = CleaningProblem {
                     dataset,
                     config: CpConfig::new(k),
-                    val_x: val.into_iter().map(|v| vec![v as f64]).collect(),
+                    val_x: std::sync::Arc::new(val.into_iter().map(|v| vec![v as f64]).collect()),
                     truth_choice,
                     default_choice,
                 };

@@ -25,10 +25,15 @@ use std::sync::Arc;
 
 /// Similarity indexes for a fixed set of query points, built once and
 /// `Arc`-shared thereafter.
+///
+/// The query points themselves are also held behind an `Arc`: a cleaning
+/// session hands its problem's (already `Arc`-shared) validation features
+/// straight to its cache, so opening any number of sessions or caches over
+/// one problem keeps exactly one `val_x` allocation alive.
 #[derive(Clone, Debug)]
 pub struct ValIndexCache {
     kernel: Kernel,
-    points: Vec<Vec<f64>>,
+    points: Arc<Vec<Vec<f64>>>,
     indexes: Vec<Arc<SimilarityIndex>>,
 }
 
@@ -42,7 +47,7 @@ impl ValIndexCache {
             .collect();
         ValIndexCache {
             kernel,
-            points: points.to_vec(),
+            points: Arc::new(points.to_vec()),
             indexes,
         }
     }
@@ -55,12 +60,14 @@ impl ValIndexCache {
     /// Assemble a cache from indexes built elsewhere — the hook for callers
     /// that must control the build parallelism themselves (e.g. a cleaning
     /// session honouring its own thread cap instead of the rayon pool).
+    /// `points` is taken as a shared handle so a session's cache aliases the
+    /// problem's validation features instead of copying them.
     ///
     /// # Panics
     /// Panics if `points` and `indexes` lengths differ.
     pub fn from_indexes(
         kernel: Kernel,
-        points: Vec<Vec<f64>>,
+        points: Arc<Vec<Vec<f64>>>,
         indexes: Vec<Arc<SimilarityIndex>>,
     ) -> Self {
         assert_eq!(
@@ -92,6 +99,12 @@ impl ValIndexCache {
 
     /// The cached query points, in cache order.
     pub fn points(&self) -> &[Vec<f64>] {
+        &self.points
+    }
+
+    /// The shared handle to the cached query points — lets callers check
+    /// (or keep) the aliasing with the problem's own validation features.
+    pub fn points_shared(&self) -> &Arc<Vec<Vec<f64>>> {
         &self.points
     }
 

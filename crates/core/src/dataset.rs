@@ -364,6 +364,14 @@ pub struct DatasetShard {
 }
 
 impl DatasetShard {
+    /// Assemble a shard from a local dataset and its global row offset — the
+    /// inverse of [`IncompleteDataset::partition`] for one shard, used by
+    /// remote workers that receive their partition over a transport (the
+    /// `cp-rpc` shard server) rather than slicing a dataset they own.
+    pub fn from_parts(dataset: IncompleteDataset, start: usize) -> Self {
+        DatasetShard { dataset, start }
+    }
+
     /// The shard's rows as a local, validated incomplete dataset.
     pub fn dataset(&self) -> &IncompleteDataset {
         &self.dataset
@@ -642,6 +650,37 @@ mod tests {
     #[should_panic(expected = "n_shards must be positive")]
     fn partition_rejects_zero_shards() {
         tiny().partition(0);
+    }
+
+    /// Regression: `n_shards > n_rows` (or a non-divisible row count) must
+    /// never yield empty shards — the arity clamps to the row count and the
+    /// returned vector's length *is* the actual partition arity.
+    #[test]
+    fn partition_clamps_oversubscribed_shard_counts() {
+        let ds = tiny(); // 3 rows
+        for n_shards in [3, 4, 7, 100] {
+            let shards = ds.partition(n_shards);
+            assert_eq!(shards.len(), 3, "arity clamps to row count");
+            assert!(shards.iter().all(|s| !s.is_empty()), "no empty shards");
+            assert_eq!(shards.last().unwrap().end(), ds.len());
+        }
+        // single-row dataset: every shard count collapses to one shard
+        let one =
+            IncompleteDataset::new(vec![IncompleteExample::complete(vec![0.0], 0)], 1).unwrap();
+        for n_shards in [1, 2, 5] {
+            let shards = one.partition(n_shards);
+            assert_eq!(shards.len(), 1);
+            assert_eq!(shards[0].len(), 1);
+        }
+    }
+
+    #[test]
+    fn from_parts_round_trips_partition() {
+        let ds = tiny();
+        for sh in ds.partition(2) {
+            let rebuilt = DatasetShard::from_parts(sh.dataset().clone(), sh.start());
+            assert_eq!(rebuilt, sh);
+        }
     }
 
     #[test]

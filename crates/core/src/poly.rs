@@ -208,6 +208,12 @@ impl<S: CountSemiring> ShardFactors<S> {
         &self.polys[label]
     }
 
+    /// All per-label polynomials, in label order — the shape serializers
+    /// (the `cp-rpc` wire codec) walk when putting factors on the wire.
+    pub fn polys(&self) -> &[Vec<S>] {
+        &self.polys
+    }
+
     /// Replace one label's polynomial (the owning shard's update after a
     /// boundary step touches exactly one label).
     ///

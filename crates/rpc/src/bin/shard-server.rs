@@ -1,0 +1,61 @@
+//! The shard-server binary: bind a TCP listener and serve shard sessions.
+//!
+//! ```text
+//! shard-server --listen 127.0.0.1:7701 [--once]
+//! ```
+//!
+//! Each connection gets a fresh [`cp_rpc::ShardServer`]: the coordinator
+//! opens it with the shard's rows (`Open`), drives scans and cleaning steps,
+//! and ends with `Shutdown`. With `--once` the process exits after its
+//! first connection closes — the mode CI's loopback smoke test uses.
+
+use std::net::TcpListener;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut listen = String::from("127.0.0.1:7701");
+    let mut once = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--listen" => match args.next() {
+                Some(addr) => listen = addr,
+                None => {
+                    eprintln!("shard-server: --listen requires an address");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--once" => once = true,
+            "--help" | "-h" => {
+                println!("usage: shard-server [--listen ADDR] [--once]");
+                println!("  --listen ADDR  bind address (default 127.0.0.1:7701)");
+                println!("  --once         exit after the first connection closes");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("shard-server: unknown argument {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let listener = match TcpListener::bind(&listen) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("shard-server: cannot bind {listen}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match listener.local_addr() {
+        Ok(addr) => println!("shard-server listening on {addr}"),
+        Err(_) => println!("shard-server listening on {listen}"),
+    }
+
+    match cp_rpc::serve(listener, once) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("shard-server: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

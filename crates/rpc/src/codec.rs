@@ -1,0 +1,501 @@
+//! The hand-rolled frame codec: length-prefixed frames over any
+//! `Read`/`Write` transport, plus the binary encodings of every value the
+//! shard protocol ships — [`ShardFactors`], [`Pins`], CP status bit
+//! vectors, and whole batched [`ShardStream`]s.
+//!
+//! ## Frame format
+//!
+//! ```text
+//! ┌──────────────┬──────────────────────────────┐
+//! │ u32 BE: len  │ payload (len bytes)          │
+//! └──────────────┴──────────────────────────────┘
+//! ```
+//!
+//! The length is bounded by [`MAX_FRAME_LEN`]; a larger announcement is
+//! rejected before any allocation. Payloads are self-describing: the first
+//! byte is a message tag (see [`crate::proto`]), and semiring-carrying
+//! values lead with a semiring tag so a decoder instantiated at the wrong
+//! type fails with a typed error instead of misreading bytes.
+//!
+//! All decoders take untrusted input: truncations, unknown tags, hostile
+//! length prefixes and trailing bytes all surface as [`crate::RpcError`]s —
+//! property-tested in `tests/codec_roundtrip.rs`.
+
+use crate::error::{RpcError, RpcResult};
+use crate::wire::{put_bool, put_f64, put_opt_u32, put_u128, put_u32, put_u8, put_usize, Reader};
+use cp_core::{Pins, ShardFactors};
+use cp_knn::Kernel;
+use cp_numeric::{CountSemiring, Possibility};
+use cp_shard::{BoundaryEvent, ShardStream, ShardStreamEvent};
+use std::io::{Read, Write};
+
+/// Sanity bound on a frame's announced length (64 MiB) — far above any real
+/// message in this protocol, far below an allocation that could hurt.
+pub const MAX_FRAME_LEN: u64 = 64 << 20;
+
+/// Write one length-prefixed frame.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> RpcResult<()> {
+    let len = payload.len() as u64;
+    if len > MAX_FRAME_LEN {
+        return Err(RpcError::FrameTooLarge {
+            length: len,
+            max: MAX_FRAME_LEN,
+        });
+    }
+    w.write_all(&(len as u32).to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one length-prefixed frame. Truncated input (including EOF midway
+/// through the prefix) and oversized announcements are typed errors.
+pub fn read_frame<R: Read>(r: &mut R) -> RpcResult<Vec<u8>> {
+    read_frame_opt(r)?.ok_or(RpcError::Truncated {
+        context: "frame length prefix",
+    })
+}
+
+/// [`read_frame`], distinguishing an **orderly EOF** — the transport ending
+/// exactly at a frame boundary, i.e. zero bytes before the next prefix —
+/// as `Ok(None)`. This is how a server tells a coordinator's clean
+/// disconnect apart from a frame cut off mid-flight (still a typed error).
+pub fn read_frame_opt<R: Read>(r: &mut R) -> RpcResult<Option<Vec<u8>>> {
+    let mut prefix = [0u8; 4];
+    let mut filled = 0;
+    while filled < prefix.len() {
+        match r.read(&mut prefix[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(RpcError::Truncated {
+                    context: "frame length prefix",
+                })
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(RpcError::Io(e)),
+        }
+    }
+    let len = u32::from_be_bytes(prefix) as u64;
+    if len > MAX_FRAME_LEN {
+        return Err(RpcError::FrameTooLarge {
+            length: len,
+            max: MAX_FRAME_LEN,
+        });
+    }
+    let mut payload = vec![0u8; len as usize];
+    read_exact_or_truncated(r, &mut payload, "frame payload")?;
+    Ok(Some(payload))
+}
+
+fn read_exact_or_truncated<R: Read>(
+    r: &mut R,
+    buf: &mut [u8],
+    context: &'static str,
+) -> RpcResult<()> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            RpcError::Truncated { context }
+        } else {
+            RpcError::Io(e)
+        }
+    })
+}
+
+/// A counting semiring with a wire encoding — the scalar layer every
+/// factor/stream message is generic over.
+///
+/// Only the semirings the serving path actually ships implement this:
+/// exact `u128` counts, probability-space `f64`, and the boolean
+/// [`Possibility`] semiring the status scans run in. (`BigUint` /
+/// `ScaledF64` are reporting-side types and stay process-local.)
+pub trait WireSemiring: CountSemiring {
+    /// This semiring's wire tag (leads every encoded factor/stream value).
+    const TAG: u8;
+    /// Human-readable name for error messages.
+    const NAME: &'static str;
+    /// Minimum encoded size of one scalar, for pre-allocation bounds checks.
+    const MIN_SCALAR_BYTES: usize;
+
+    /// Append one scalar.
+    fn put(&self, out: &mut Vec<u8>);
+    /// Read one scalar.
+    fn get(r: &mut Reader<'_>) -> RpcResult<Self>;
+}
+
+impl WireSemiring for u128 {
+    const TAG: u8 = 1;
+    const NAME: &'static str = "u128";
+    const MIN_SCALAR_BYTES: usize = 16;
+
+    fn put(&self, out: &mut Vec<u8>) {
+        put_u128(out, *self);
+    }
+
+    fn get(r: &mut Reader<'_>) -> RpcResult<Self> {
+        r.u128("u128 scalar")
+    }
+}
+
+impl WireSemiring for f64 {
+    const TAG: u8 = 2;
+    const NAME: &'static str = "f64";
+    const MIN_SCALAR_BYTES: usize = 8;
+
+    fn put(&self, out: &mut Vec<u8>) {
+        put_f64(out, *self);
+    }
+
+    fn get(r: &mut Reader<'_>) -> RpcResult<Self> {
+        r.f64("f64 scalar")
+    }
+}
+
+impl WireSemiring for Possibility {
+    const TAG: u8 = 3;
+    const NAME: &'static str = "possibility";
+    const MIN_SCALAR_BYTES: usize = 1;
+
+    fn put(&self, out: &mut Vec<u8>) {
+        put_bool(out, self.0);
+    }
+
+    fn get(r: &mut Reader<'_>) -> RpcResult<Self> {
+        Ok(Possibility(r.bool("possibility scalar")?))
+    }
+}
+
+fn check_semiring_tag<S: WireSemiring>(r: &mut Reader<'_>) -> RpcResult<()> {
+    let tag = r.u8("semiring tag")?;
+    if tag != S::TAG {
+        return Err(RpcError::Protocol(format!(
+            "semiring mismatch: expected {} (tag {}), found tag {tag}",
+            S::NAME,
+            S::TAG
+        )));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Kernel
+// ---------------------------------------------------------------------------
+
+/// Append a [`Kernel`].
+pub fn put_kernel(out: &mut Vec<u8>, kernel: Kernel) {
+    match kernel {
+        Kernel::NegEuclidean => put_u8(out, 1),
+        Kernel::NegManhattan => put_u8(out, 2),
+        Kernel::Linear => put_u8(out, 3),
+        Kernel::Rbf { gamma } => {
+            put_u8(out, 4);
+            put_f64(out, gamma);
+        }
+        Kernel::Cosine => put_u8(out, 5),
+    }
+}
+
+/// Read a [`Kernel`].
+pub fn get_kernel(r: &mut Reader<'_>) -> RpcResult<Kernel> {
+    match r.u8("kernel tag")? {
+        1 => Ok(Kernel::NegEuclidean),
+        2 => Ok(Kernel::NegManhattan),
+        3 => Ok(Kernel::Linear),
+        4 => Ok(Kernel::Rbf {
+            gamma: r.f64("rbf gamma")?,
+        }),
+        5 => Ok(Kernel::Cosine),
+        tag => Err(RpcError::BadTag {
+            what: "kernel",
+            tag,
+        }),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pins and status bits
+// ---------------------------------------------------------------------------
+
+/// Append a [`Pins`] mask (length + one `Option<u32>` per set).
+pub fn put_pins(out: &mut Vec<u8>, pins: &Pins) {
+    put_u32(out, pins.len() as u32);
+    for i in 0..pins.len() {
+        put_opt_u32(out, pins.pinned(i).map(|j| j as u32));
+    }
+}
+
+/// Read a [`Pins`] mask.
+pub fn get_pins(r: &mut Reader<'_>) -> RpcResult<Pins> {
+    let n = r.count(1, "pins")?;
+    let mut pins = Pins::none(n);
+    for i in 0..n {
+        if let Some(j) = r.opt_u32("pin entry")? {
+            pins.pin(i, j as usize);
+        }
+    }
+    Ok(pins)
+}
+
+/// Append a CP status bit vector.
+pub fn put_status_bits(out: &mut Vec<u8>, bits: &[bool]) {
+    put_u32(out, bits.len() as u32);
+    for &b in bits {
+        put_bool(out, b);
+    }
+}
+
+/// Read a CP status bit vector (strict boolean bytes).
+pub fn get_status_bits(r: &mut Reader<'_>) -> RpcResult<Vec<bool>> {
+    let n = r.count(1, "status bits")?;
+    let mut bits = Vec::with_capacity(n);
+    for _ in 0..n {
+        bits.push(r.bool("status bit")?);
+    }
+    Ok(bits)
+}
+
+// ---------------------------------------------------------------------------
+// Vectors of feature vectors (Open payloads)
+// ---------------------------------------------------------------------------
+
+/// Append a list of feature vectors (count, then per-vector dim + values).
+pub fn put_points(out: &mut Vec<u8>, points: &[Vec<f64>]) {
+    put_u32(out, points.len() as u32);
+    for p in points {
+        put_u32(out, p.len() as u32);
+        for &v in p {
+            put_f64(out, v);
+        }
+    }
+}
+
+/// Read a list of feature vectors.
+pub fn get_points(r: &mut Reader<'_>) -> RpcResult<Vec<Vec<f64>>> {
+    let n = r.count(4, "points")?;
+    let mut points = Vec::with_capacity(n);
+    for _ in 0..n {
+        let dim = r.count(8, "point dim")?;
+        let mut p = Vec::with_capacity(dim);
+        for _ in 0..dim {
+            p.push(r.f64("feature")?);
+        }
+        points.push(p);
+    }
+    Ok(points)
+}
+
+// ---------------------------------------------------------------------------
+// ShardFactors
+// ---------------------------------------------------------------------------
+
+fn put_factors_body<S: WireSemiring>(out: &mut Vec<u8>, factors: &ShardFactors<S>) {
+    put_u32(out, factors.k() as u32);
+    put_u32(out, factors.n_labels() as u32);
+    for poly in factors.polys() {
+        for c in poly {
+            c.put(out);
+        }
+    }
+}
+
+fn get_factors_body<S: WireSemiring>(r: &mut Reader<'_>) -> RpcResult<ShardFactors<S>> {
+    let k = r.u32("factor slot budget")? as usize;
+    let n_labels = r.u32("factor label count")? as usize;
+    let scalars = n_labels.saturating_mul(k + 1);
+    if scalars.saturating_mul(S::MIN_SCALAR_BYTES) > r.remaining() {
+        return Err(RpcError::Truncated {
+            context: "factor polynomials",
+        });
+    }
+    let mut polys = Vec::with_capacity(n_labels);
+    for _ in 0..n_labels {
+        let mut poly = Vec::with_capacity(k + 1);
+        for _ in 0..=k {
+            poly.push(S::get(r)?);
+        }
+        polys.push(poly);
+    }
+    Ok(ShardFactors::from_polys(polys, k))
+}
+
+/// Encode a [`ShardFactors`] value (self-tagged with its semiring).
+pub fn encode_factors<S: WireSemiring>(factors: &ShardFactors<S>) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u8(&mut out, S::TAG);
+    put_factors_body(&mut out, factors);
+    out
+}
+
+/// Decode a [`ShardFactors`] value, checking the semiring tag.
+pub fn decode_factors<S: WireSemiring>(buf: &[u8]) -> RpcResult<ShardFactors<S>> {
+    let mut r = Reader::new(buf);
+    check_semiring_tag::<S>(&mut r)?;
+    let factors = get_factors_body::<S>(&mut r)?;
+    r.finish("shard factors")?;
+    Ok(factors)
+}
+
+// ---------------------------------------------------------------------------
+// ShardStream — the per-scan batched event stream
+// ---------------------------------------------------------------------------
+
+/// Encode a whole batched [`ShardStream`] — one scan's worth of
+/// locally-sorted boundary events with factor deltas, the message that
+/// replaces one round-trip per boundary event.
+pub fn encode_stream<S: WireSemiring>(stream: &ShardStream<S>) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u8(&mut out, S::TAG);
+    put_factors_body(&mut out, &stream.initial);
+    stream.total.put(&mut out);
+    put_u32(&mut out, stream.events.len() as u32);
+    for ev in &stream.events {
+        put_f64(&mut out, ev.sim);
+        put_usize(&mut out, ev.row);
+        put_u32(&mut out, ev.cand);
+        put_u32(&mut out, ev.event.label as u32);
+        debug_assert_eq!(ev.event.updated_poly.len(), stream.initial.k() + 1);
+        debug_assert_eq!(ev.event.excluding_poly.len(), stream.initial.k() + 1);
+        for c in &ev.event.updated_poly {
+            c.put(&mut out);
+        }
+        for c in &ev.event.excluding_poly {
+            c.put(&mut out);
+        }
+        ev.event.boundary_mass.put(&mut out);
+    }
+    out
+}
+
+/// Decode a batched [`ShardStream`], checking the semiring tag, label
+/// ranges and polynomial shapes.
+pub fn decode_stream<S: WireSemiring>(buf: &[u8]) -> RpcResult<ShardStream<S>> {
+    let mut r = Reader::new(buf);
+    check_semiring_tag::<S>(&mut r)?;
+    let initial = get_factors_body::<S>(&mut r)?;
+    let (k, n_labels) = (initial.k(), initial.n_labels());
+    let total = S::get(&mut r)?;
+    // each event carries ≥ 24 bytes of key plus 2(k+1)+1 scalars
+    let min_event = 24 + (2 * (k + 1) + 1) * S::MIN_SCALAR_BYTES;
+    let n_events = r.count(min_event, "stream events")?;
+    let mut events = Vec::with_capacity(n_events);
+    for _ in 0..n_events {
+        let sim = r.f64("event similarity")?;
+        let row = r.usize("event row")?;
+        let cand = r.u32("event candidate")?;
+        let label = r.u32("event label")? as usize;
+        if label >= n_labels {
+            return Err(RpcError::Malformed(format!(
+                "event label {label} out of range for {n_labels} labels"
+            )));
+        }
+        let mut updated_poly = Vec::with_capacity(k + 1);
+        for _ in 0..=k {
+            updated_poly.push(S::get(&mut r)?);
+        }
+        let mut excluding_poly = Vec::with_capacity(k + 1);
+        for _ in 0..=k {
+            excluding_poly.push(S::get(&mut r)?);
+        }
+        let boundary_mass = S::get(&mut r)?;
+        events.push(ShardStreamEvent {
+            sim,
+            row,
+            cand,
+            event: BoundaryEvent {
+                label,
+                updated_poly,
+                excluding_poly,
+                boundary_mass,
+            },
+        });
+    }
+    r.finish("shard stream")?;
+    Ok(ShardStream {
+        initial,
+        total,
+        events,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut transport = Vec::new();
+        write_frame(&mut transport, b"hello").unwrap();
+        write_frame(&mut transport, b"").unwrap();
+        let mut r = Cursor::new(transport);
+        assert_eq!(read_frame(&mut r).unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap(), b"");
+        assert!(matches!(
+            read_frame(&mut r),
+            Err(RpcError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn orderly_eof_is_distinguished_from_truncation() {
+        // zero bytes at a frame boundary: orderly disconnect
+        let mut empty = Cursor::new(Vec::<u8>::new());
+        assert!(matches!(read_frame_opt(&mut empty), Ok(None)));
+        // a partial length prefix is a real truncation
+        let mut partial = Cursor::new(vec![0u8, 0]);
+        assert!(matches!(
+            read_frame_opt(&mut partial),
+            Err(RpcError::Truncated { .. })
+        ));
+        // a full prefix with a cut-off payload too
+        let mut transport = Vec::new();
+        write_frame(&mut transport, b"abcdef").unwrap();
+        transport.truncate(7);
+        let mut r = Cursor::new(transport);
+        assert!(matches!(
+            read_frame_opt(&mut r),
+            Err(RpcError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_frame_announcement_is_rejected() {
+        let mut bytes = (u32::MAX).to_be_bytes().to_vec();
+        bytes.extend_from_slice(&[0; 16]);
+        let mut r = Cursor::new(bytes);
+        assert!(matches!(
+            read_frame(&mut r),
+            Err(RpcError::FrameTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn factors_reject_wrong_semiring() {
+        let f = ShardFactors::<u128>::identity(2, 1);
+        let bytes = encode_factors(&f);
+        assert!(matches!(
+            decode_factors::<f64>(&bytes),
+            Err(RpcError::Protocol(_))
+        ));
+        assert_eq!(decode_factors::<u128>(&bytes).unwrap(), f);
+    }
+
+    #[test]
+    fn kernel_round_trips() {
+        for kernel in [
+            Kernel::NegEuclidean,
+            Kernel::NegManhattan,
+            Kernel::Linear,
+            Kernel::Rbf { gamma: 0.25 },
+            Kernel::Cosine,
+        ] {
+            let mut out = Vec::new();
+            put_kernel(&mut out, kernel);
+            let mut r = Reader::new(&out);
+            assert_eq!(get_kernel(&mut r).unwrap(), kernel);
+            r.finish("kernel").unwrap();
+        }
+        let mut r = Reader::new(&[9]);
+        assert!(matches!(get_kernel(&mut r), Err(RpcError::BadTag { .. })));
+    }
+}

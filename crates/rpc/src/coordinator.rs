@@ -1,0 +1,496 @@
+//! The coordinator client: drives N shard servers through the existing
+//! merged-scan logic and exposes the same
+//! `step()` / `status()` / `run_to_convergence()` / `run_order()` surface as
+//! the in-process [`cp_shard::ShardedSession`].
+//!
+//! An [`RpcCoordinator`] owns the global problem, the cleaning state and the
+//! CP status vector; shard servers own everything partition-local (rows,
+//! similarity indexes, pin masks). Per status refresh the coordinator asks
+//! every server for one batched `Possibility` stream and merges them with
+//! [`cp_shard::certain_label_from_streams`]; per greedy selection it fetches
+//! each shard's base probability stream once and, for every candidate pin,
+//! one hypothetical stream from the *owning* shard only — every other
+//! shard's stream is replayed as-is, mirroring the in-process engine's
+//! "only the owner's mask changes" structure. Because the streams are
+//! produced by the same `ShardScan` code and merged by the same
+//! [`cp_shard::merged_scan_sources`] loop in the same shard order, the
+//! coordinator's status vectors, greedy choices and cleaned orders are
+//! **identical** to `ShardedSession`'s — property-tested over real loopback
+//! sockets in `tests/rpc_equivalence.rs`.
+
+use crate::codec::{decode_stream, read_frame, write_frame, WireSemiring};
+use crate::error::{RpcError, RpcResult};
+use crate::proto::{decode_response, encode_request, OpenShard, Request, Response, ShardStatus};
+use cp_clean::metrics::CleaningRun;
+use cp_clean::{
+    pick_min_expected_entropy, CleaningEngine, CleaningProblem, CleaningState, RunOptions,
+};
+use cp_core::{DatasetShard, Pins, Q2Algorithm, Q2Result};
+use cp_knn::Label;
+use cp_numeric::stats::entropy_bits;
+use cp_numeric::Possibility;
+use cp_shard::scan::{certain_label_from_streams, q2_from_streams_with_algorithm};
+use cp_shard::{merged_scan_sources, ShardStream, StreamCursor};
+use std::cell::RefCell;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+
+/// A connection to one shard server.
+#[derive(Debug)]
+pub struct ShardClient {
+    stream: TcpStream,
+}
+
+impl ShardClient {
+    /// Connect to a server. `TCP_NODELAY` is set: the protocol is strict
+    /// request/response with small frames, where Nagle batching only adds
+    /// latency.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> RpcResult<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(ShardClient { stream })
+    }
+
+    /// One request/response round trip.
+    pub fn call(&mut self, req: &Request) -> RpcResult<Response> {
+        write_frame(&mut self.stream, &encode_request(req))?;
+        decode_response(&read_frame(&mut self.stream)?)
+    }
+
+    fn expect_ok(&mut self, req: &Request) -> RpcResult<()> {
+        match self.call(req)? {
+            Response::Ok => Ok(()),
+            Response::Error(msg) => Err(RpcError::Remote(msg)),
+            other => Err(RpcError::Protocol(format!("expected Ok, got {other:?}"))),
+        }
+    }
+
+    /// Request one batched scan stream in semiring `S`.
+    pub fn scan<S: WireSemiring>(
+        &mut self,
+        val: usize,
+        k: usize,
+        pins: Option<&Pins>,
+    ) -> RpcResult<ShardStream<S>> {
+        let req = Request::Scan {
+            val: val as u32,
+            k: k as u32,
+            semiring: S::TAG,
+            pins: pins.cloned(),
+        };
+        match self.call(&req)? {
+            Response::Stream(bytes) => decode_stream::<S>(&bytes),
+            Response::Error(msg) => Err(RpcError::Remote(msg)),
+            other => Err(RpcError::Protocol(format!(
+                "expected Stream, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Ask for the server's local view.
+    pub fn status(&mut self) -> RpcResult<ShardStatus> {
+        match self.call(&Request::Status)? {
+            Response::Status(status) => Ok(status),
+            Response::Error(msg) => Err(RpcError::Remote(msg)),
+            other => Err(RpcError::Protocol(format!(
+                "expected Status, got {other:?}"
+            ))),
+        }
+    }
+}
+
+/// A cleaning run distributed over shard servers: the multi-process twin of
+/// [`cp_shard::ShardedSession`], answering through the same merged-scan
+/// algebra over decoded streams instead of live scans.
+#[derive(Debug)]
+pub struct RpcCoordinator {
+    problem: Arc<CleaningProblem>,
+    opts: RunOptions,
+    shards: Vec<DatasetShard>,
+    /// `owner[row]` = index of the shard (and server) owning a global row.
+    owner: Vec<usize>,
+    /// One connection per shard; `RefCell` because the engine surface takes
+    /// `&self` for selection while each call is a socket round trip.
+    clients: Vec<RefCell<ShardClient>>,
+    /// Coordinator-side mirror of each server's local pin mask.
+    masks: Vec<Pins>,
+    state: CleaningState,
+    cp: Vec<bool>,
+    /// Global effective K, computed once from the full dataset.
+    k: usize,
+}
+
+impl RpcCoordinator {
+    /// Connect to shard servers and distribute the problem: partition the
+    /// dataset over (at most) `addrs.len()` shards — clamped to the row
+    /// count exactly like [`cp_core::IncompleteDataset::partition`] — ship
+    /// each shard to its server via [`Request::Open`], and evaluate the
+    /// initial global CP status by merged stream scans. Servers beyond the
+    /// clamped arity are left untouched.
+    ///
+    /// # Panics
+    /// Panics if `addrs` is empty or the problem does not validate.
+    pub fn connect<A: ToSocketAddrs>(
+        problem: &CleaningProblem,
+        addrs: &[A],
+        opts: &RunOptions,
+    ) -> RpcResult<Self> {
+        assert!(!addrs.is_empty(), "need at least one shard server");
+        problem.validate();
+        let problem = Arc::new(problem.clone());
+        let shards = problem.dataset.partition(addrs.len());
+        let mut owner = vec![0usize; problem.dataset.len()];
+        for (s, sh) in shards.iter().enumerate() {
+            for row in sh.rows() {
+                owner[row] = s;
+            }
+        }
+        let k = problem.config.k_eff(problem.dataset.len());
+        let mut clients = Vec::with_capacity(shards.len());
+        for (sh, addr) in shards.iter().zip(addrs) {
+            let mut client = ShardClient::connect(addr)?;
+            let open = OpenShard {
+                start: sh.start(),
+                n_labels: sh.dataset().n_labels(),
+                k: problem.config.k,
+                kernel: problem.config.kernel,
+                n_threads: opts.n_threads.max(1),
+                examples: (0..sh.len())
+                    .map(|i| {
+                        let ex = sh.dataset().example(i);
+                        (ex.label, ex.candidates.clone())
+                    })
+                    .collect(),
+                val_x: problem.val_x.as_ref().clone(),
+                truth_choice: slice_choices(&problem.truth_choice, sh),
+                default_choice: slice_choices(&problem.default_choice, sh),
+            };
+            match client.call(&Request::Open(Box::new(open)))? {
+                Response::Opened { n_rows } if n_rows == sh.len() => {}
+                Response::Opened { n_rows } => {
+                    return Err(RpcError::Protocol(format!(
+                        "server opened {n_rows} rows, expected {}",
+                        sh.len()
+                    )))
+                }
+                Response::Error(msg) => return Err(RpcError::Remote(msg)),
+                other => {
+                    return Err(RpcError::Protocol(format!(
+                        "expected Opened, got {other:?}"
+                    )))
+                }
+            }
+            clients.push(RefCell::new(client));
+        }
+        let masks = shards.iter().map(|sh| Pins::none(sh.len())).collect();
+        let state = CleaningState::new(&problem);
+        let cp = vec![false; problem.val_x.len()];
+        let mut coordinator = RpcCoordinator {
+            problem,
+            opts: opts.clone(),
+            shards,
+            owner,
+            clients,
+            masks,
+            state,
+            cp,
+            k,
+        };
+        coordinator.try_refresh_status()?;
+        Ok(coordinator)
+    }
+
+    /// The (global) problem this coordinator cleans.
+    pub fn problem(&self) -> &CleaningProblem {
+        &self.problem
+    }
+
+    /// Number of shards actually served (the clamped partition arity).
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The dataset partition.
+    pub fn shards(&self) -> &[DatasetShard] {
+        &self.shards
+    }
+
+    /// The shard owning a global row.
+    pub fn owner_of(&self, row: usize) -> usize {
+        self.owner[row]
+    }
+
+    /// The global cleaning progress so far.
+    pub fn state(&self) -> &CleaningState {
+        &self.state
+    }
+
+    /// Per-validation-point global CP status under the current pins,
+    /// maintained incrementally by merged stream scans.
+    pub fn status(&self) -> &[bool] {
+        &self.cp
+    }
+
+    /// Number of validation points currently certainly predicted.
+    pub fn n_certain(&self) -> usize {
+        self.cp.iter().filter(|&&c| c).count()
+    }
+
+    /// `true` iff every validation point is certainly predicted.
+    pub fn converged(&self) -> bool {
+        self.cp.iter().all(|&c| c)
+    }
+
+    /// Rows cleaned so far.
+    pub fn n_cleaned(&self) -> usize {
+        self.state.n_cleaned()
+    }
+
+    /// Dirty rows not yet cleaned (global row ids).
+    pub fn remaining(&self) -> Vec<usize> {
+        self.state.remaining(&self.problem)
+    }
+
+    /// Reject a decoded stream whose factor shape does not match what was
+    /// requested: the merge layer `assert!`s on shape mismatches, and a
+    /// remote peer's data must surface as a typed error, never a panic.
+    fn check_stream_shape<S: WireSemiring>(
+        &self,
+        stream: ShardStream<S>,
+    ) -> RpcResult<ShardStream<S>> {
+        let n_labels = self.problem.dataset.n_labels();
+        if stream.k() != self.k || stream.n_labels() != n_labels {
+            return Err(RpcError::Protocol(format!(
+                "stream shape mismatch: got k={} |Y|={}, expected k={} |Y|={n_labels}",
+                stream.k(),
+                stream.n_labels(),
+                self.k
+            )));
+        }
+        Ok(stream)
+    }
+
+    /// Fetch one batched stream per shard for validation point `v` under
+    /// the servers' current pin masks.
+    fn fetch_streams<S: WireSemiring>(&self, v: usize) -> RpcResult<Vec<ShardStream<S>>> {
+        self.clients
+            .iter()
+            .map(|c| self.check_stream_shape(c.borrow_mut().scan::<S>(v, self.k, None)?))
+            .collect()
+    }
+
+    /// The certainly-predicted label of validation point `v` (if any) under
+    /// the current pins, by one merged scan over fresh per-shard streams.
+    pub fn certain_label_at(&self, v: usize) -> RpcResult<Option<Label>> {
+        let streams = self.fetch_streams::<Possibility>(v)?;
+        Ok(certain_label_from_streams(&streams))
+    }
+
+    /// Exact Q2 counts for validation point `v` under the current pins, in
+    /// any wire semiring and with the same algorithm-selector fallbacks as
+    /// the in-process engine — the handle the every-semiring equivalence
+    /// tests drive.
+    pub fn q2_at<S: WireSemiring>(&self, v: usize, algo: Q2Algorithm) -> RpcResult<Q2Result<S>> {
+        let streams = self.fetch_streams::<S>(v)?;
+        Ok(q2_from_streams_with_algorithm(&streams, algo))
+    }
+
+    /// [`RpcCoordinator::q2_at`] under an explicit *global* pin mask
+    /// (restricted per shard and shipped with each scan request) instead of
+    /// the servers' current masks.
+    pub fn q2_with_pins<S: WireSemiring>(
+        &self,
+        v: usize,
+        global_pins: &Pins,
+        algo: Q2Algorithm,
+    ) -> RpcResult<Q2Result<S>> {
+        let streams: Vec<ShardStream<S>> = self
+            .shards
+            .iter()
+            .zip(&self.clients)
+            .map(|(sh, client)| {
+                let local = sh.local_pins(global_pins);
+                self.check_stream_shape(client.borrow_mut().scan::<S>(v, self.k, Some(&local))?)
+            })
+            .collect::<RpcResult<_>>()?;
+        Ok(q2_from_streams_with_algorithm(&streams, algo))
+    }
+
+    /// Re-evaluate the not-yet-certain validation points (certainty is
+    /// monotone under cleaning, exactly as in the in-process sessions), then
+    /// publish the refreshed global status to every server.
+    fn try_refresh_status(&mut self) -> RpcResult<()> {
+        let uncertain: Vec<usize> = (0..self.cp.len()).filter(|&v| !self.cp[v]).collect();
+        if uncertain.is_empty() {
+            return Ok(());
+        }
+        for v in uncertain {
+            self.cp[v] = self.certain_label_at(v)?.is_some();
+        }
+        for client in &self.clients {
+            client
+                .borrow_mut()
+                .expect_ok(&Request::SyncStatus(self.cp.clone()))?;
+        }
+        Ok(())
+    }
+
+    /// Clean one externally chosen global row: route the pin to the owning
+    /// server first, then mirror it in the coordinator's state and mask and
+    /// refresh the global CP status.
+    ///
+    /// Failure semantics: if the `Step` round trip errors before a success
+    /// response arrives, nothing local has been mutated (a lost *ack* can
+    /// still leave the server pinned — retrying then surfaces as a
+    /// `Remote("row … already cleaned")` error, never silent divergence).
+    /// If the subsequent status refresh errors instead, the pin is already
+    /// applied consistently on both sides and only the cached [`Self::status`]
+    /// may lag; staleness is *sound* (certainty is monotone, so stale
+    /// entries only under-report) and the next successful refresh catches
+    /// up.
+    ///
+    /// # Panics
+    /// Panics if the row is clean or already cleaned (the same misuse
+    /// contract as every other engine's `clean`).
+    pub fn clean(&mut self, row: usize) -> RpcResult<()> {
+        // validate the misuse preconditions up front so the server is never
+        // asked to pin a row the local mutation below would then reject
+        assert!(!self.state.is_cleaned(row), "row {row} already cleaned");
+        let truth =
+            self.problem.truth_choice[row].unwrap_or_else(|| panic!("row {row} is not dirty"));
+        let s = self.owner[row];
+        let local = self.shards[s].local_row(row).expect("owner map is exact");
+        self.clients[s].borrow_mut().expect_ok(&Request::Step {
+            local_row: local as u32,
+        })?;
+        self.state.clean_row(&self.problem, row);
+        self.masks[s].pin(local, truth);
+        self.try_refresh_status()
+    }
+
+    /// The greedy CPClean selection over the given candidate rows — the
+    /// same structure as [`cp_shard::ShardedSession::select_next`]: per
+    /// uncertain validation point, every shard's base stream is fetched once
+    /// and replayed for every candidate pin; only the owning shard computes
+    /// a per-candidate hypothetical stream. Scoring is
+    /// [`pick_min_expected_entropy`] — the same code every engine scores
+    /// with.
+    pub fn try_select_next(&self, remaining: &[usize]) -> RpcResult<usize> {
+        debug_assert!(!remaining.is_empty());
+        let uncertain: Vec<usize> = (0..self.cp.len()).filter(|&v| !self.cp[v]).collect();
+        if uncertain.is_empty() {
+            return Ok(remaining[0]);
+        }
+        let n_labels = self.problem.dataset.n_labels();
+        let mut per_val: Vec<Vec<Vec<f64>>> = Vec::with_capacity(uncertain.len());
+        for &v in &uncertain {
+            let base: Vec<ShardStream<f64>> = self.fetch_streams(v)?;
+            let mut rows = Vec::with_capacity(remaining.len());
+            for &row in remaining {
+                let s = self.owner[row];
+                let local = self.shards[s].local_row(row).expect("owner map is exact");
+                let mut cands = Vec::with_capacity(self.problem.dataset.set_size(row));
+                for j in 0..self.problem.dataset.set_size(row) {
+                    let mut pinned = self.masks[s].clone();
+                    pinned.pin(local, j);
+                    let hyp: ShardStream<f64> = self.check_stream_shape(
+                        self.clients[s]
+                            .borrow_mut()
+                            .scan(v, self.k, Some(&pinned))?,
+                    )?;
+                    let mut cursors: Vec<StreamCursor<'_, f64>> = base
+                        .iter()
+                        .enumerate()
+                        .map(|(u, st)| if u == s { hyp.cursor() } else { st.cursor() })
+                        .collect();
+                    let probs =
+                        merged_scan_sources(&mut cursors, n_labels, self.k, None, |_| false)
+                            .probabilities();
+                    cands.push(entropy_bits(&probs));
+                }
+                rows.push(cands);
+            }
+            per_val.push(rows);
+        }
+        Ok(pick_min_expected_entropy(
+            &self.problem,
+            remaining,
+            &per_val,
+        ))
+    }
+
+    /// One greedy CPClean iteration — [`CleaningEngine::step`], same
+    /// contract as the in-process sessions.
+    pub fn step(&mut self) -> Option<usize> {
+        CleaningEngine::step(self)
+    }
+
+    /// Greedy run with curve recording —
+    /// [`CleaningEngine::run_to_convergence`]: the *same* run loop the
+    /// single-process and sharded sessions drive.
+    pub fn run_to_convergence(&mut self, test_x: &[Vec<f64>], test_y: &[usize]) -> CleaningRun {
+        CleaningEngine::run_to_convergence(self, test_x, test_y)
+    }
+
+    /// Fixed-order run with curve recording — [`CleaningEngine::run_order`]
+    /// (global row ids).
+    pub fn run_order(
+        &mut self,
+        order: &[usize],
+        test_x: &[Vec<f64>],
+        test_y: &[usize],
+    ) -> CleaningRun {
+        CleaningEngine::run_order(self, order, test_x, test_y)
+    }
+
+    /// End the session: ask every server to shut down, consuming the
+    /// coordinator.
+    pub fn shutdown(self) -> RpcResult<()> {
+        for client in &self.clients {
+            client.borrow_mut().expect_ok(&Request::Shutdown)?;
+        }
+        Ok(())
+    }
+}
+
+/// The engine surface takes infallible methods; a transport failure mid-run
+/// is unrecoverable for the run, so the `CleaningEngine` impl panics with
+/// the underlying [`RpcError`]. Use [`RpcCoordinator::try_select_next`] /
+/// [`RpcCoordinator::clean`] directly for fallible control.
+impl CleaningEngine for RpcCoordinator {
+    fn problem(&self) -> &CleaningProblem {
+        &self.problem
+    }
+
+    fn run_options(&self) -> &RunOptions {
+        &self.opts
+    }
+
+    fn cleaning_state(&self) -> &CleaningState {
+        &self.state
+    }
+
+    fn n_certain(&self) -> usize {
+        RpcCoordinator::n_certain(self)
+    }
+
+    fn n_val(&self) -> usize {
+        self.cp.len()
+    }
+
+    fn clean(&mut self, row: usize) {
+        RpcCoordinator::clean(self, row).expect("shard-server RPC failed during clean");
+    }
+
+    fn select_next(&self, remaining: &[usize]) -> usize {
+        self.try_select_next(remaining)
+            .expect("shard-server RPC failed during selection")
+    }
+}
+
+fn slice_choices(choices: &[Option<usize>], shard: &DatasetShard) -> Vec<Option<u32>> {
+    choices[shard.rows()]
+        .iter()
+        .map(|c| c.map(|j| j as u32))
+        .collect()
+}

@@ -1,0 +1,125 @@
+//! The typed error surface of the RPC layer.
+//!
+//! Every byte that crosses the deserialization boundary is untrusted: a
+//! truncated frame, a flipped tag or a hostile length prefix must surface as
+//! an [`RpcError`], never as a panic or an unbounded allocation. The
+//! fuzz-style property tests in `tests/codec_roundtrip.rs` feed arbitrary
+//! garbage and truncations through every decoder and assert exactly that.
+
+use std::fmt;
+use std::io;
+
+/// Everything that can go wrong between two CP processes.
+#[derive(Debug)]
+pub enum RpcError {
+    /// Transport-level I/O failure.
+    Io(io::Error),
+    /// A frame or payload ended before its announced content.
+    Truncated {
+        /// What was being decoded when the bytes ran out.
+        context: &'static str,
+    },
+    /// A frame announced a length beyond the codec's sanity bound.
+    FrameTooLarge {
+        /// The announced length.
+        length: u64,
+        /// The codec's bound ([`crate::codec::MAX_FRAME_LEN`]).
+        max: u64,
+    },
+    /// An unknown message / semiring / kernel / option tag.
+    BadTag {
+        /// Which tag namespace the byte came from.
+        what: &'static str,
+        /// The offending byte.
+        tag: u8,
+    },
+    /// A field held a value no encoder produces (out-of-range label,
+    /// non-boolean flag byte, inconsistent lengths, trailing bytes, …).
+    Malformed(String),
+    /// The peer answered with its error response.
+    Remote(String),
+    /// Messages were well-formed but violated the session protocol
+    /// (scan before open, semiring mismatch, unexpected response kind, …).
+    Protocol(String),
+}
+
+impl fmt::Display for RpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RpcError::Io(e) => write!(f, "transport error: {e}"),
+            RpcError::Truncated { context } => {
+                write!(f, "truncated input while decoding {context}")
+            }
+            RpcError::FrameTooLarge { length, max } => {
+                write!(f, "frame length {length} exceeds the {max}-byte bound")
+            }
+            RpcError::BadTag { what, tag } => write!(f, "unknown {what} tag {tag:#04x}"),
+            RpcError::Malformed(msg) => write!(f, "malformed payload: {msg}"),
+            RpcError::Remote(msg) => write!(f, "remote error: {msg}"),
+            RpcError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RpcError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RpcError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for RpcError {
+    fn from(e: io::Error) -> Self {
+        RpcError::Io(e)
+    }
+}
+
+/// The RPC layer's result alias.
+pub type RpcResult<T> = Result<T, RpcError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let cases: Vec<(RpcError, &str)> = vec![
+            (
+                RpcError::Truncated { context: "pins" },
+                "truncated input while decoding pins",
+            ),
+            (
+                RpcError::FrameTooLarge {
+                    length: 99,
+                    max: 10,
+                },
+                "frame length 99",
+            ),
+            (
+                RpcError::BadTag {
+                    what: "semiring",
+                    tag: 0xff,
+                },
+                "semiring tag 0xff",
+            ),
+            (RpcError::Malformed("x".into()), "malformed"),
+            (RpcError::Remote("boom".into()), "remote error: boom"),
+            (RpcError::Protocol("early".into()), "protocol violation"),
+        ];
+        for (err, needle) in cases {
+            assert!(
+                err.to_string().contains(needle),
+                "{err:?} display missing {needle:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn io_errors_convert_and_chain() {
+        let err: RpcError = io::Error::new(io::ErrorKind::ConnectionReset, "gone").into();
+        assert!(err.to_string().contains("gone"));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+}

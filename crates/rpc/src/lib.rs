@@ -1,0 +1,59 @@
+//! # cp-rpc — the multi-process serving layer
+//!
+//! `cp-shard` made a single CP query partition-parallel in-process and left
+//! the seams message-shaped: a worker owns one [`cp_core::DatasetShard`]
+//! plus a shard-local [`cp_clean::CleaningSession`] (state that never needs
+//! to leave the worker), and the coordinator's exchange per scan is compact
+//! polynomial factors and boundary keys. This crate turns those seams into
+//! an actual wire protocol over `std::net::TcpStream` — no external
+//! dependencies, a hand-rolled length-prefixed frame codec.
+//!
+//! ## Layers
+//!
+//! * [`wire`] / [`codec`] — bounds-checked primitive encodings, the frame
+//!   layer (`u32` big-endian length prefix, bounded by
+//!   [`codec::MAX_FRAME_LEN`]), and serializers for
+//!   [`cp_core::ShardFactors`], [`cp_core::Pins`], CP status bit vectors
+//!   and whole batched [`cp_shard::ShardStream`]s. Wire semirings: exact
+//!   `u128`, probability-space `f64`, and the boolean
+//!   [`cp_numeric::Possibility`] ([`codec::WireSemiring`]).
+//! * [`proto`] — the message schema: `Open`, `Scan`, `Step`, `SyncStatus`,
+//!   `Status`, `Shutdown` and their responses.
+//! * [`server`] — [`server::ShardServer`]: adopts one shard, builds its
+//!   partition-local index cache once, and answers each scan request with
+//!   the shard's **whole** locally-sorted boundary-event stream (factor
+//!   deltas included) in a single message — one round trip per *scan*, not
+//!   one per boundary event. Runs behind the `shard-server` binary.
+//! * [`coordinator`] — [`coordinator::RpcCoordinator`]: partitions a
+//!   cleaning problem over N servers, replays their decoded streams through
+//!   the same [`cp_shard::merged_scan_sources`] loop the in-process engine
+//!   uses, and exposes the `step()` / `status()` / `run_to_convergence()` /
+//!   `run_order()` engine surface. Answers are *identical* to
+//!   [`cp_shard::ShardedSession`]'s — bit-for-bit, property-tested over
+//!   real loopback sockets.
+//!
+//! ## Robustness
+//!
+//! Every decoder treats its input as hostile: truncations, unknown tags,
+//! non-boolean flag bytes, out-of-range labels, oversized length prefixes
+//! and trailing bytes are all typed [`RpcError`]s, never panics or
+//! unbounded allocations (fuzz-style property tests feed garbage and
+//! truncated frames through every entry point). A shard server survives
+//! malformed requests, rejecting them per-request without dropping the
+//! connection.
+
+pub mod codec;
+pub mod coordinator;
+pub mod error;
+pub mod proto;
+pub mod server;
+pub mod wire;
+
+pub use codec::{
+    decode_factors, decode_stream, encode_factors, encode_stream, read_frame, read_frame_opt,
+    write_frame, WireSemiring,
+};
+pub use coordinator::{RpcCoordinator, ShardClient};
+pub use error::{RpcError, RpcResult};
+pub use proto::{OpenShard, Request, Response, ShardStatus};
+pub use server::{serve, serve_connection, serve_ephemeral, ShardServer};

@@ -1,0 +1,436 @@
+//! The shard-serving message schema: what a coordinator sends a shard
+//! server and what comes back.
+//!
+//! One frame carries one message; the payload's first byte is the message
+//! tag. The conversation is strictly request/response over a single
+//! connection:
+//!
+//! | request                | response                                  |
+//! |------------------------|-------------------------------------------|
+//! | [`Request::Open`]      | [`Response::Opened`] — shard adopted       |
+//! | [`Request::Scan`]      | [`Response::Stream`] — batched event stream |
+//! | [`Request::Step`]      | [`Response::Ok`] — pin applied             |
+//! | [`Request::SyncStatus`]| [`Response::Ok`] — global CP bits stored   |
+//! | [`Request::Status`]    | [`Response::Status`] — shard's local view  |
+//! | [`Request::Shutdown`]  | [`Response::Ok`] — connection ends         |
+//!
+//! Anything the server rejects (malformed pins, scan before open, unknown
+//! semiring) comes back as [`Response::Error`] with a message; transport
+//! and codec failures are [`crate::RpcError`]s on either side.
+
+use crate::codec::{
+    get_kernel, get_pins, get_points, get_status_bits, put_kernel, put_pins, put_points,
+    put_status_bits,
+};
+use crate::error::{RpcError, RpcResult};
+use crate::wire::{put_opt_u32, put_u32, put_u8, put_usize, Reader};
+use cp_core::Pins;
+use cp_knn::{Kernel, Label};
+
+/// Everything a shard server needs to adopt its partition: the shard's rows
+/// (with labels and candidate sets), its global row offset, the classifier
+/// configuration, the full validation features, and the simulated human's
+/// choices restricted to the shard's rows.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OpenShard {
+    /// First global row owned by the shard.
+    pub start: usize,
+    /// Number of classes `|Y|`.
+    pub n_labels: usize,
+    /// Classifier K (the *configured* K; effective K travels per scan).
+    pub k: usize,
+    /// Similarity kernel.
+    pub kernel: Kernel,
+    /// Worker threads the server may use for its index builds.
+    pub n_threads: usize,
+    /// The shard's rows: `(label, candidate set)` per local row.
+    pub examples: Vec<(Label, Vec<Vec<f64>>)>,
+    /// The full validation features (every shard indexes all of them).
+    pub val_x: Vec<Vec<f64>>,
+    /// Ground-truth candidate per local row (`None` for clean rows).
+    pub truth_choice: Vec<Option<u32>>,
+    /// Default-imputation candidate per local row (`None` for clean rows).
+    pub default_choice: Vec<Option<u32>>,
+}
+
+/// A coordinator→server message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Adopt a shard (must precede everything below).
+    Open(Box<OpenShard>),
+    /// Compute one batched scan stream for validation point `val`.
+    Scan {
+        /// Validation-point index into the opened `val_x`.
+        val: u32,
+        /// The **global** effective K for the scan's tally trees.
+        k: u32,
+        /// Requested [`crate::codec::WireSemiring`] tag.
+        semiring: u8,
+        /// Shard-local pin mask override; `None` scans under the server
+        /// session's current pins (hypothetical selection pins travel as
+        /// `Some`).
+        pins: Option<Pins>,
+    },
+    /// Clean one shard-local row (pin it to its ground-truth candidate).
+    Step {
+        /// Local row index within the shard.
+        local_row: u32,
+    },
+    /// Publish the coordinator's global CP status bits to the server.
+    SyncStatus(Vec<bool>),
+    /// Ask for the server's local view.
+    Status,
+    /// End the session.
+    Shutdown,
+}
+
+/// A shard server's local view, as reported by [`Response::Status`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardStatus {
+    /// First global row owned.
+    pub start: usize,
+    /// Number of rows owned.
+    pub n_rows: usize,
+    /// Rows cleaned so far.
+    pub n_cleaned: usize,
+    /// The shard-local pin mask.
+    pub pins: Pins,
+    /// The last global CP status published via [`Request::SyncStatus`]
+    /// (empty until the first sync).
+    pub global_cp: Vec<bool>,
+}
+
+/// A server→coordinator message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Request applied; nothing to report.
+    Ok,
+    /// Shard adopted; echoes the row count as a handshake check.
+    Opened {
+        /// Rows owned by the opened shard.
+        n_rows: usize,
+    },
+    /// One batched scan stream, encoded with
+    /// [`crate::codec::encode_stream`] (self-tagged with its semiring).
+    Stream(Vec<u8>),
+    /// The server's local view.
+    Status(ShardStatus),
+    /// The request was understood but rejected.
+    Error(String),
+}
+
+const REQ_OPEN: u8 = 1;
+const REQ_SCAN: u8 = 2;
+const REQ_STEP: u8 = 3;
+const REQ_SYNC_STATUS: u8 = 4;
+const REQ_STATUS: u8 = 5;
+const REQ_SHUTDOWN: u8 = 6;
+
+const RESP_OK: u8 = 1;
+const RESP_OPENED: u8 = 2;
+const RESP_STREAM: u8 = 3;
+const RESP_STATUS: u8 = 4;
+const RESP_ERROR: u8 = 5;
+
+fn put_choices(out: &mut Vec<u8>, choices: &[Option<u32>]) {
+    put_u32(out, choices.len() as u32);
+    for &c in choices {
+        put_opt_u32(out, c);
+    }
+}
+
+fn get_choices(r: &mut Reader<'_>) -> RpcResult<Vec<Option<u32>>> {
+    let n = r.count(1, "choices")?;
+    let mut choices = Vec::with_capacity(n);
+    for _ in 0..n {
+        choices.push(r.opt_u32("choice")?);
+    }
+    Ok(choices)
+}
+
+fn put_string(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn get_string(r: &mut Reader<'_>) -> RpcResult<String> {
+    let n = r.count(1, "string")?;
+    let bytes = r.take(n, "string bytes")?;
+    String::from_utf8(bytes.to_vec())
+        .map_err(|_| RpcError::Malformed("string is not valid utf-8".into()))
+}
+
+/// Encode a request into a frame payload.
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut out = Vec::new();
+    match req {
+        Request::Open(open) => {
+            put_u8(&mut out, REQ_OPEN);
+            put_usize(&mut out, open.start);
+            put_u32(&mut out, open.n_labels as u32);
+            put_u32(&mut out, open.k as u32);
+            put_kernel(&mut out, open.kernel);
+            put_u32(&mut out, open.n_threads as u32);
+            put_u32(&mut out, open.examples.len() as u32);
+            for (label, candidates) in &open.examples {
+                put_u32(&mut out, *label as u32);
+                put_points(&mut out, candidates);
+            }
+            put_points(&mut out, &open.val_x);
+            put_choices(&mut out, &open.truth_choice);
+            put_choices(&mut out, &open.default_choice);
+        }
+        Request::Scan {
+            val,
+            k,
+            semiring,
+            pins,
+        } => {
+            put_u8(&mut out, REQ_SCAN);
+            put_u32(&mut out, *val);
+            put_u32(&mut out, *k);
+            put_u8(&mut out, *semiring);
+            match pins {
+                None => put_u8(&mut out, 0),
+                Some(p) => {
+                    put_u8(&mut out, 1);
+                    put_pins(&mut out, p);
+                }
+            }
+        }
+        Request::Step { local_row } => {
+            put_u8(&mut out, REQ_STEP);
+            put_u32(&mut out, *local_row);
+        }
+        Request::SyncStatus(bits) => {
+            put_u8(&mut out, REQ_SYNC_STATUS);
+            put_status_bits(&mut out, bits);
+        }
+        Request::Status => put_u8(&mut out, REQ_STATUS),
+        Request::Shutdown => put_u8(&mut out, REQ_SHUTDOWN),
+    }
+    out
+}
+
+/// Decode a frame payload into a request.
+pub fn decode_request(buf: &[u8]) -> RpcResult<Request> {
+    let mut r = Reader::new(buf);
+    let req = match r.u8("request tag")? {
+        REQ_OPEN => {
+            let start = r.usize("shard start")?;
+            let n_labels = r.u32("n_labels")? as usize;
+            let k = r.u32("config k")? as usize;
+            let kernel = get_kernel(&mut r)?;
+            let n_threads = r.u32("n_threads")? as usize;
+            let n_examples = r.count(5, "examples")?;
+            let mut examples = Vec::with_capacity(n_examples);
+            for _ in 0..n_examples {
+                let label = r.u32("example label")? as Label;
+                let candidates = get_points(&mut r)?;
+                examples.push((label, candidates));
+            }
+            let val_x = get_points(&mut r)?;
+            let truth_choice = get_choices(&mut r)?;
+            let default_choice = get_choices(&mut r)?;
+            Request::Open(Box::new(OpenShard {
+                start,
+                n_labels,
+                k,
+                kernel,
+                n_threads,
+                examples,
+                val_x,
+                truth_choice,
+                default_choice,
+            }))
+        }
+        REQ_SCAN => {
+            let val = r.u32("scan val")?;
+            let k = r.u32("scan k")?;
+            let semiring = r.u8("scan semiring")?;
+            let pins = match r.u8("scan pins flag")? {
+                0 => None,
+                1 => Some(get_pins(&mut r)?),
+                tag => {
+                    return Err(RpcError::BadTag {
+                        what: "scan pins flag",
+                        tag,
+                    })
+                }
+            };
+            Request::Scan {
+                val,
+                k,
+                semiring,
+                pins,
+            }
+        }
+        REQ_STEP => Request::Step {
+            local_row: r.u32("step row")?,
+        },
+        REQ_SYNC_STATUS => Request::SyncStatus(get_status_bits(&mut r)?),
+        REQ_STATUS => Request::Status,
+        REQ_SHUTDOWN => Request::Shutdown,
+        tag => {
+            return Err(RpcError::BadTag {
+                what: "request",
+                tag,
+            })
+        }
+    };
+    r.finish("request")?;
+    Ok(req)
+}
+
+/// Encode a response into a frame payload.
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut out = Vec::new();
+    match resp {
+        Response::Ok => put_u8(&mut out, RESP_OK),
+        Response::Opened { n_rows } => {
+            put_u8(&mut out, RESP_OPENED);
+            put_usize(&mut out, *n_rows);
+        }
+        Response::Stream(bytes) => {
+            put_u8(&mut out, RESP_STREAM);
+            put_u32(&mut out, bytes.len() as u32);
+            out.extend_from_slice(bytes);
+        }
+        Response::Status(status) => {
+            put_u8(&mut out, RESP_STATUS);
+            put_usize(&mut out, status.start);
+            put_usize(&mut out, status.n_rows);
+            put_usize(&mut out, status.n_cleaned);
+            put_pins(&mut out, &status.pins);
+            put_status_bits(&mut out, &status.global_cp);
+        }
+        Response::Error(msg) => {
+            put_u8(&mut out, RESP_ERROR);
+            put_string(&mut out, msg);
+        }
+    }
+    out
+}
+
+/// Decode a frame payload into a response.
+pub fn decode_response(buf: &[u8]) -> RpcResult<Response> {
+    let mut r = Reader::new(buf);
+    let resp = match r.u8("response tag")? {
+        RESP_OK => Response::Ok,
+        RESP_OPENED => Response::Opened {
+            n_rows: r.usize("opened rows")?,
+        },
+        RESP_STREAM => {
+            let n = r.count(1, "stream bytes")?;
+            Response::Stream(r.take(n, "stream payload")?.to_vec())
+        }
+        RESP_STATUS => Response::Status(ShardStatus {
+            start: r.usize("status start")?,
+            n_rows: r.usize("status rows")?,
+            n_cleaned: r.usize("status cleaned")?,
+            pins: get_pins(&mut r)?,
+            global_cp: get_status_bits(&mut r)?,
+        }),
+        RESP_ERROR => Response::Error(get_string(&mut r)?),
+        tag => {
+            return Err(RpcError::BadTag {
+                what: "response",
+                tag,
+            })
+        }
+    };
+    r.finish("response")?;
+    Ok(resp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_requests_round_trip() {
+        let cases = vec![
+            Request::Scan {
+                val: 3,
+                k: 2,
+                semiring: 2,
+                pins: Some(Pins::from_pairs(4, &[(1, 2), (3, 0)])),
+            },
+            Request::Scan {
+                val: 0,
+                k: 1,
+                semiring: 1,
+                pins: None,
+            },
+            Request::Step { local_row: 9 },
+            Request::SyncStatus(vec![true, false, true]),
+            Request::Status,
+            Request::Shutdown,
+        ];
+        for req in cases {
+            assert_eq!(decode_request(&encode_request(&req)).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn open_round_trips() {
+        let open = OpenShard {
+            start: 5,
+            n_labels: 3,
+            k: 2,
+            kernel: Kernel::Rbf { gamma: 0.5 },
+            n_threads: 4,
+            examples: vec![
+                (0, vec![vec![0.0, 1.0]]),
+                (2, vec![vec![1.0, 2.0], vec![3.0, 4.0]]),
+            ],
+            val_x: vec![vec![0.5, 0.5]],
+            truth_choice: vec![None, Some(1)],
+            default_choice: vec![None, Some(0)],
+        };
+        let req = Request::Open(Box::new(open));
+        assert_eq!(decode_request(&encode_request(&req)).unwrap(), req);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let cases = vec![
+            Response::Ok,
+            Response::Opened { n_rows: 12 },
+            Response::Stream(vec![1, 2, 3]),
+            Response::Status(ShardStatus {
+                start: 2,
+                n_rows: 3,
+                n_cleaned: 1,
+                pins: Pins::single(3, 1, 0),
+                global_cp: vec![false, true],
+            }),
+            Response::Error("nope".into()),
+        ];
+        for resp in cases {
+            assert_eq!(decode_response(&encode_response(&resp)).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn unknown_tags_are_typed_errors() {
+        assert!(matches!(
+            decode_request(&[0xfe]),
+            Err(RpcError::BadTag {
+                what: "request",
+                ..
+            })
+        ));
+        assert!(matches!(
+            decode_response(&[0xfe]),
+            Err(RpcError::BadTag {
+                what: "response",
+                ..
+            })
+        ));
+        assert!(matches!(
+            decode_request(&[]),
+            Err(RpcError::Truncated { .. })
+        ));
+    }
+}

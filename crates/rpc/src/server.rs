@@ -1,0 +1,471 @@
+//! The shard server: owns one [`DatasetShard`] plus its shard-local
+//! [`CleaningSession`] and answers scan / step / status requests.
+//!
+//! A server is the remote half of the seam `cp-shard` left message-shaped:
+//! everything heavy stays here — the shard's rows, its per-validation-point
+//! similarity indexes (built once at [`Request::Open`]), and its local pin
+//! mask — while each [`Request::Scan`] ships one batched
+//! [`cp_shard::ShardStream`] back: the shard's whole locally-sorted
+//! boundary-event stream with factor deltas, computed by exactly the
+//! [`cp_shard::ShardScan`] code the in-process engine runs.
+//!
+//! The request handler ([`ShardServer::handle`]) is a pure state machine
+//! over decoded messages, so the protocol is unit-testable without sockets;
+//! [`serve_connection`]/[`serve`] wrap it in the frame codec over
+//! `std::net`. Malformed or out-of-order requests produce
+//! [`Response::Error`] — a shard server must never be panicked by its
+//! network input.
+
+use crate::codec::{encode_stream, read_frame_opt, write_frame, WireSemiring};
+use crate::error::RpcResult;
+use crate::proto::{decode_request, encode_response, OpenShard, Request, Response, ShardStatus};
+use cp_clean::{CleaningProblem, CleaningSession, RunOptions};
+use cp_core::{CpConfig, DatasetShard, IncompleteDataset, IncompleteExample, Pins};
+use cp_numeric::Possibility;
+use cp_shard::ShardStream;
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+
+/// One shard's serving state: nothing until [`Request::Open`], then the
+/// shard, its session (index cache + local pins) and the last synced global
+/// CP status.
+#[derive(Debug, Default)]
+pub struct ShardServer {
+    worker: Option<Worker>,
+}
+
+#[derive(Debug)]
+struct Worker {
+    shard: DatasetShard,
+    session: CleaningSession,
+    global_cp: Vec<bool>,
+}
+
+impl ShardServer {
+    /// A server with no shard adopted yet.
+    pub fn new() -> Self {
+        ShardServer { worker: None }
+    }
+
+    /// Whether a shard has been adopted.
+    pub fn is_open(&self) -> bool {
+        self.worker.is_some()
+    }
+
+    /// Apply one decoded request. Protocol-level rejections come back as
+    /// [`Response::Error`]; this function does not panic on any input.
+    pub fn handle(&mut self, req: Request) -> Response {
+        match req {
+            Request::Open(open) => self.handle_open(*open),
+            Request::Scan {
+                val,
+                k,
+                semiring,
+                pins,
+            } => self.handle_scan(val, k, semiring, pins),
+            Request::Step { local_row } => self.handle_step(local_row),
+            Request::SyncStatus(bits) => self.handle_sync_status(bits),
+            Request::Status => self.handle_status(),
+            Request::Shutdown => Response::Ok,
+        }
+    }
+
+    fn handle_open(&mut self, open: OpenShard) -> Response {
+        if self.worker.is_some() {
+            return Response::Error("shard already opened on this connection".into());
+        }
+        let examples: Vec<IncompleteExample> = open
+            .examples
+            .into_iter()
+            .map(|(label, candidates)| IncompleteExample { candidates, label })
+            .collect();
+        let dataset = match IncompleteDataset::new(examples, open.n_labels) {
+            Ok(ds) => ds,
+            Err(e) => return Response::Error(format!("invalid shard dataset: {e}")),
+        };
+        if open.k == 0 {
+            return Response::Error("k must be positive".into());
+        }
+        if open.val_x.is_empty() {
+            return Response::Error("empty validation set".into());
+        }
+        if open.val_x.iter().any(|x| x.len() != dataset.dim()) {
+            return Response::Error("validation dimension mismatch".into());
+        }
+        // the simulated-human choices must validate against the shard rows
+        // (CleaningSession::from_arc_deferred would panic on what we reject
+        // here — network input must never reach a panic)
+        for (name, choices) in [
+            ("truth", &open.truth_choice),
+            ("default", &open.default_choice),
+        ] {
+            if choices.len() != dataset.len() {
+                return Response::Error(format!("{name} choice length mismatch"));
+            }
+            for (i, c) in choices.iter().enumerate() {
+                let dirty = dataset.example(i).is_dirty();
+                match c {
+                    Some(j) if !dirty => {
+                        return Response::Error(format!("{name} choice {j} on clean row {i}"))
+                    }
+                    Some(j) if *j as usize >= dataset.set_size(i) => {
+                        return Response::Error(format!(
+                            "{name} choice {j} out of range at row {i}"
+                        ))
+                    }
+                    None if dirty => {
+                        return Response::Error(format!("dirty row {i} lacks a {name} choice"))
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let to_usize = |v: &[Option<u32>]| -> Vec<Option<usize>> {
+            v.iter().map(|c| c.map(|j| j as usize)).collect()
+        };
+        let problem = CleaningProblem::new(
+            dataset.clone(),
+            CpConfig::with_kernel(open.k, open.kernel),
+            open.val_x,
+            to_usize(&open.truth_choice),
+            to_usize(&open.default_choice),
+        );
+        let n_rows = dataset.len();
+        let shard = DatasetShard::from_parts(dataset, open.start);
+        let opts = RunOptions {
+            max_cleaned: None,
+            n_threads: open.n_threads.max(1),
+            record_every: 1,
+        };
+        // deferred: global certainty is the coordinator's job — this session
+        // exists for its index cache and pin ownership
+        let session = CleaningSession::from_arc_deferred(Arc::new(problem), &opts);
+        self.worker = Some(Worker {
+            shard,
+            session,
+            global_cp: Vec::new(),
+        });
+        Response::Opened { n_rows }
+    }
+
+    fn handle_scan(&mut self, val: u32, k: u32, semiring: u8, pins: Option<Pins>) -> Response {
+        let Some(worker) = &self.worker else {
+            return Response::Error("scan before open".into());
+        };
+        let val = val as usize;
+        if val >= worker.session.cache().len() {
+            return Response::Error(format!("validation point {val} out of range"));
+        }
+        if k == 0 {
+            return Response::Error("scan k must be positive".into());
+        }
+        // the global effective K is always ≤ the configured K shipped at
+        // open — anything larger is malformed, and an unbounded k would
+        // size every polynomial allocation from network input
+        let configured_k = worker.session.problem().config.k;
+        if k as usize > configured_k {
+            return Response::Error(format!(
+                "scan k {k} exceeds the opened classifier's k {configured_k}"
+            ));
+        }
+        let ds = worker.shard.dataset();
+        if let Some(p) = &pins {
+            if p.len() != ds.len() {
+                return Response::Error("pin mask length mismatch".into());
+            }
+            for i in 0..p.len() {
+                if let Some(j) = p.pinned(i) {
+                    if j >= ds.set_size(i) {
+                        return Response::Error(format!("pin ({i}, {j}) out of range"));
+                    }
+                }
+            }
+        }
+        let pins = pins
+            .as_ref()
+            .unwrap_or_else(|| worker.session.state().pins());
+        let idx = &worker.session.cache()[val];
+        let k = k as usize;
+        let bytes = match semiring {
+            <u128 as WireSemiring>::TAG => {
+                encode_stream(&ShardStream::<u128>::capture(&worker.shard, idx, pins, k))
+            }
+            <f64 as WireSemiring>::TAG => {
+                encode_stream(&ShardStream::<f64>::capture(&worker.shard, idx, pins, k))
+            }
+            <Possibility as WireSemiring>::TAG => encode_stream(
+                &ShardStream::<Possibility>::capture(&worker.shard, idx, pins, k),
+            ),
+            tag => return Response::Error(format!("unknown semiring tag {tag}")),
+        };
+        // an oversized stream must be a per-request rejection, not a dead
+        // connection: leave headroom for the response tag + length field
+        if bytes.len() as u64 + 16 > crate::codec::MAX_FRAME_LEN {
+            return Response::Error(format!(
+                "scan stream of {} bytes exceeds the frame bound — repartition over more shards",
+                bytes.len()
+            ));
+        }
+        Response::Stream(bytes)
+    }
+
+    fn handle_step(&mut self, local_row: u32) -> Response {
+        let Some(worker) = &mut self.worker else {
+            return Response::Error("step before open".into());
+        };
+        let row = local_row as usize;
+        let ds = worker.shard.dataset();
+        if row >= ds.len() {
+            return Response::Error(format!("row {row} out of range"));
+        }
+        if !ds.example(row).is_dirty() {
+            return Response::Error(format!("row {row} is not dirty"));
+        }
+        if worker.session.state().is_cleaned(row) {
+            return Response::Error(format!("row {row} already cleaned"));
+        }
+        worker.session.clean_pin_only(row);
+        Response::Ok
+    }
+
+    fn handle_sync_status(&mut self, bits: Vec<bool>) -> Response {
+        let Some(worker) = &mut self.worker else {
+            return Response::Error("sync before open".into());
+        };
+        if bits.len() != worker.session.cache().len() {
+            return Response::Error("status length mismatch".into());
+        }
+        worker.global_cp = bits;
+        Response::Ok
+    }
+
+    fn handle_status(&self) -> Response {
+        let Some(worker) = &self.worker else {
+            return Response::Error("status before open".into());
+        };
+        Response::Status(ShardStatus {
+            start: worker.shard.start(),
+            n_rows: worker.shard.len(),
+            n_cleaned: worker.session.n_cleaned(),
+            pins: worker.session.state().pins().clone(),
+            global_cp: worker.global_cp.clone(),
+        })
+    }
+}
+
+/// Serve one established connection until the peer shuts down or
+/// disconnects. Returns `true` if the session ended with
+/// [`Request::Shutdown`], `false` on orderly EOF.
+pub fn serve_connection(server: &mut ShardServer, stream: &mut TcpStream) -> RpcResult<bool> {
+    loop {
+        // an EOF at a frame boundary is an orderly disconnect
+        let Some(frame) = read_frame_opt(stream)? else {
+            return Ok(false);
+        };
+        // a malformed request poisons only that request, not the connection
+        let (resp, shutdown) = match decode_request(&frame) {
+            Ok(req) => {
+                let shutdown = matches!(req, Request::Shutdown);
+                (server.handle(req), shutdown)
+            }
+            Err(e) => (Response::Error(format!("bad request: {e}")), false),
+        };
+        write_frame(stream, &encode_response(&resp))?;
+        if shutdown {
+            return Ok(true);
+        }
+    }
+}
+
+/// Accept loop: one [`ShardServer`] per connection (a shard's serving state
+/// lives exactly as long as its coordinator's connection). With
+/// `once = true` the loop returns after the first connection ends — the
+/// mode CI's loopback smoke test uses so servers exit on coordinator
+/// shutdown.
+pub fn serve(listener: TcpListener, once: bool) -> RpcResult<()> {
+    for stream in listener.incoming() {
+        let mut stream = stream?;
+        // strict request/response with small frames: Nagle only adds latency
+        stream.set_nodelay(true)?;
+        let mut server = ShardServer::new();
+        // per-connection faults should not take the whole server down
+        if let Err(e) = serve_connection(&mut server, &mut stream) {
+            eprintln!("shard-server: connection error: {e}");
+        }
+        if once {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Spawn `n` single-connection servers on ephemeral loopback ports — one
+/// background accept loop each, exiting when its first connection closes.
+/// Returns the bound addresses plus the join handles. The in-one-process
+/// deployment shape the loopback tests and the `rpc_loopback` experiment
+/// share; multi-host deployments run the `shard-server` binary instead.
+pub fn serve_ephemeral(n: usize) -> RpcResult<(Vec<String>, Vec<std::thread::JoinHandle<()>>)> {
+    let mut addrs = Vec::with_capacity(n);
+    let mut handles = Vec::with_capacity(n);
+    for _ in 0..n {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        addrs.push(listener.local_addr()?.to_string());
+        handles.push(std::thread::spawn(move || {
+            if let Err(e) = serve(listener, true) {
+                eprintln!("shard-server (ephemeral): {e}");
+            }
+        }));
+    }
+    Ok((addrs, handles))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::decode_stream;
+    use cp_knn::Kernel;
+
+    fn tiny_open() -> OpenShard {
+        OpenShard {
+            start: 0,
+            n_labels: 2,
+            k: 1,
+            kernel: Kernel::default(),
+            n_threads: 1,
+            examples: vec![
+                (0, vec![vec![0.0]]),
+                (0, vec![vec![4.8], vec![7.0]]),
+                (1, vec![vec![5.5]]),
+            ],
+            val_x: vec![vec![5.0], vec![0.1]],
+            truth_choice: vec![None, Some(0), None],
+            default_choice: vec![None, Some(1), None],
+        }
+    }
+
+    #[test]
+    fn open_scan_step_status_flow() {
+        let mut server = ShardServer::new();
+        assert!(matches!(server.handle(Request::Status), Response::Error(_)));
+        let resp = server.handle(Request::Open(Box::new(tiny_open())));
+        assert_eq!(resp, Response::Opened { n_rows: 3 });
+        assert!(server.is_open());
+
+        let resp = server.handle(Request::Scan {
+            val: 0,
+            k: 1,
+            semiring: <u128 as WireSemiring>::TAG,
+            pins: None,
+        });
+        let Response::Stream(bytes) = resp else {
+            panic!("expected stream, got {resp:?}");
+        };
+        let stream = decode_stream::<u128>(&bytes).unwrap();
+        assert_eq!(stream.n_labels(), 2);
+        assert!(!stream.events.is_empty());
+
+        assert_eq!(server.handle(Request::Step { local_row: 1 }), Response::Ok);
+        assert!(matches!(
+            server.handle(Request::Step { local_row: 1 }),
+            Response::Error(_)
+        ));
+        assert_eq!(
+            server.handle(Request::SyncStatus(vec![true, false])),
+            Response::Ok
+        );
+        let Response::Status(status) = server.handle(Request::Status) else {
+            panic!("expected status");
+        };
+        assert_eq!(status.n_cleaned, 1);
+        assert_eq!(status.pins.pinned(1), Some(0));
+        assert_eq!(status.global_cp, vec![true, false]);
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_not_panicked() {
+        let mut server = ShardServer::new();
+        server.handle(Request::Open(Box::new(tiny_open())));
+        for req in [
+            Request::Open(Box::new(tiny_open())), // double open
+            Request::Scan {
+                val: 99,
+                k: 1,
+                semiring: 1,
+                pins: None,
+            },
+            Request::Scan {
+                val: 0,
+                k: 0,
+                semiring: 1,
+                pins: None,
+            },
+            // k beyond the opened classifier's k would size allocations
+            // from network input
+            Request::Scan {
+                val: 0,
+                k: u32::MAX,
+                semiring: 1,
+                pins: None,
+            },
+            Request::Scan {
+                val: 0,
+                k: 1,
+                semiring: 0xee,
+                pins: None,
+            },
+            Request::Scan {
+                val: 0,
+                k: 1,
+                semiring: 1,
+                pins: Some(Pins::single(3, 1, 9)),
+            },
+            Request::Scan {
+                val: 0,
+                k: 1,
+                semiring: 1,
+                pins: Some(Pins::none(7)),
+            },
+            Request::Step { local_row: 77 },
+            Request::Step { local_row: 0 }, // clean row
+            Request::SyncStatus(vec![true]),
+        ] {
+            assert!(
+                matches!(server.handle(req.clone()), Response::Error(_)),
+                "{req:?} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_open_payloads_are_rejected() {
+        type Mutation = fn(&mut OpenShard);
+        let cases: Vec<(Mutation, &str)> = vec![
+            (|o| o.examples.clear(), "invalid shard dataset"),
+            (|o| o.k = 0, "k must be positive"),
+            (|o| o.val_x.clear(), "empty validation"),
+            (|o| o.val_x[0] = vec![1.0, 2.0], "dimension mismatch"),
+            (|o| o.truth_choice[1] = None, "lacks a truth"),
+            (|o| o.truth_choice[1] = Some(9), "out of range"),
+            (|o| o.default_choice[0] = Some(0), "on clean row"),
+            (
+                |o| {
+                    o.truth_choice.pop();
+                },
+                "length mismatch",
+            ),
+        ];
+        for (mutate, needle) in cases {
+            let mut open = tiny_open();
+            mutate(&mut open);
+            let mut server = ShardServer::new();
+            let resp = server.handle(Request::Open(Box::new(open)));
+            match resp {
+                Response::Error(msg) => {
+                    assert!(msg.contains(needle), "{msg:?} missing {needle:?}")
+                }
+                other => panic!("expected error for {needle}, got {other:?}"),
+            }
+            assert!(!server.is_open());
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Primitive wire encodings: a bounds-checked byte reader and the matching
+//! append-only writers.
+//!
+//! Everything is big-endian (network order). `f64` travels as its IEEE-754
+//! bit pattern, so round trips are bit-exact — a requirement for the
+//! coordinator's answers to be *identical* to the in-process engine's, not
+//! merely close. Every read returns a typed [`RpcError`]; nothing panics on
+//! malformed input, and length prefixes are checked against the bytes
+//! actually present before any allocation is sized from them.
+
+use crate::error::{RpcError, RpcResult};
+
+/// A cursor over an untrusted byte slice.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Start reading at the front of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Take `n` raw bytes.
+    pub fn take(&mut self, n: usize, context: &'static str) -> RpcResult<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(RpcError::Truncated { context });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// One byte.
+    pub fn u8(&mut self, context: &'static str) -> RpcResult<u8> {
+        Ok(self.take(1, context)?[0])
+    }
+
+    /// Big-endian `u32`.
+    pub fn u32(&mut self, context: &'static str) -> RpcResult<u32> {
+        let b = self.take(4, context)?;
+        Ok(u32::from_be_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    /// Big-endian `u64`.
+    pub fn u64(&mut self, context: &'static str) -> RpcResult<u64> {
+        let b = self.take(8, context)?;
+        Ok(u64::from_be_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Big-endian `u128`.
+    pub fn u128(&mut self, context: &'static str) -> RpcResult<u128> {
+        let b = self.take(16, context)?;
+        Ok(u128::from_be_bytes(b.try_into().expect("16 bytes")))
+    }
+
+    /// `f64` from its IEEE-754 bit pattern.
+    pub fn f64(&mut self, context: &'static str) -> RpcResult<f64> {
+        Ok(f64::from_bits(self.u64(context)?))
+    }
+
+    /// A `u64` that must fit the native `usize`.
+    pub fn usize(&mut self, context: &'static str) -> RpcResult<usize> {
+        usize::try_from(self.u64(context)?)
+            .map_err(|_| RpcError::Malformed(format!("{context}: value exceeds usize")))
+    }
+
+    /// A strict boolean byte (`0` or `1`; anything else is malformed).
+    pub fn bool(&mut self, context: &'static str) -> RpcResult<bool> {
+        match self.u8(context)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(RpcError::Malformed(format!(
+                "{context}: boolean byte {b:#04x}"
+            ))),
+        }
+    }
+
+    /// `Option<u32>` as a flag byte plus (when present) the value.
+    pub fn opt_u32(&mut self, context: &'static str) -> RpcResult<Option<u32>> {
+        if self.bool(context)? {
+            Ok(Some(self.u32(context)?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// A `u32` element count that must be plausible for the bytes left:
+    /// each element occupies at least `min_element_bytes`, so a count
+    /// implying more content than remains is rejected *before* any
+    /// allocation is sized from it.
+    pub fn count(&mut self, min_element_bytes: usize, context: &'static str) -> RpcResult<usize> {
+        let n = self.u32(context)? as usize;
+        if n.saturating_mul(min_element_bytes.max(1)) > self.remaining() {
+            return Err(RpcError::Truncated { context });
+        }
+        Ok(n)
+    }
+
+    /// Assert the payload is fully consumed (trailing bytes are malformed —
+    /// they would mean the two sides disagree about the schema).
+    pub fn finish(self, context: &'static str) -> RpcResult<()> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(RpcError::Malformed(format!(
+                "{context}: {} trailing bytes",
+                self.remaining()
+            )))
+        }
+    }
+}
+
+/// Append a `u8`.
+pub fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+/// Append a big-endian `u32`.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+/// Append a big-endian `u64`.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+/// Append a big-endian `u128`.
+pub fn put_u128(out: &mut Vec<u8>, v: u128) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+/// Append an `f64` as its bit pattern.
+pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+/// Append a `usize` as a `u64`.
+pub fn put_usize(out: &mut Vec<u8>, v: usize) {
+    put_u64(out, v as u64);
+}
+
+/// Append a boolean flag byte.
+pub fn put_bool(out: &mut Vec<u8>, v: bool) {
+    put_u8(out, u8::from(v));
+}
+
+/// Append an `Option<u32>` (flag byte + value when present).
+pub fn put_opt_u32(out: &mut Vec<u8>, v: Option<u32>) {
+    match v {
+        None => put_bool(out, false),
+        Some(x) => {
+            put_bool(out, true);
+            put_u32(out, x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut buf = Vec::new();
+        put_u8(&mut buf, 7);
+        put_u32(&mut buf, 0xDEAD_BEEF);
+        put_u64(&mut buf, u64::MAX - 3);
+        put_u128(&mut buf, u128::MAX / 3);
+        put_f64(&mut buf, -0.125);
+        put_bool(&mut buf, true);
+        put_opt_u32(&mut buf, Some(42));
+        put_opt_u32(&mut buf, None);
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8("a").unwrap(), 7);
+        assert_eq!(r.u32("b").unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64("c").unwrap(), u64::MAX - 3);
+        assert_eq!(r.u128("d").unwrap(), u128::MAX / 3);
+        assert_eq!(r.f64("e").unwrap(), -0.125);
+        assert!(r.bool("f").unwrap());
+        assert_eq!(r.opt_u32("g").unwrap(), Some(42));
+        assert_eq!(r.opt_u32("h").unwrap(), None);
+        r.finish("tail").unwrap();
+    }
+
+    #[test]
+    fn truncation_is_a_typed_error() {
+        let mut r = Reader::new(&[1, 2]);
+        assert!(matches!(
+            r.u32("x"),
+            Err(RpcError::Truncated { context: "x" })
+        ));
+    }
+
+    #[test]
+    fn bad_boolean_byte_is_malformed() {
+        let mut r = Reader::new(&[2]);
+        assert!(matches!(r.bool("flag"), Err(RpcError::Malformed(_))));
+    }
+
+    #[test]
+    fn trailing_bytes_are_malformed() {
+        let r = Reader::new(&[0]);
+        assert!(matches!(r.finish("msg"), Err(RpcError::Malformed(_))));
+    }
+
+    #[test]
+    fn hostile_count_is_rejected_before_allocation() {
+        // claims u32::MAX elements with 4 bytes of content
+        let mut buf = Vec::new();
+        put_u32(&mut buf, u32::MAX);
+        put_u32(&mut buf, 0);
+        let mut r = Reader::new(&buf);
+        assert!(matches!(r.count(1, "vec"), Err(RpcError::Truncated { .. })));
+    }
+}

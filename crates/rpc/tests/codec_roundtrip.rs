@@ -1,0 +1,220 @@
+//! Codec round-trip and robustness properties.
+//!
+//! * `decode(encode(x)) == x` for [`ShardFactors`] in every wire semiring
+//!   (binary and multiclass label spaces), [`Pins`], CP status vectors, and
+//!   whole batched [`ShardStream`]s;
+//! * every decoder survives arbitrary garbage bytes and every strict prefix
+//!   of a valid encoding with a typed [`RpcError`] — no panics, no
+//!   unbounded allocations.
+
+use cp_core::{Pins, ShardFactors};
+use cp_numeric::Possibility;
+use cp_rpc::codec::{
+    decode_factors, decode_stream, encode_factors, encode_stream, get_pins, get_status_bits,
+    put_pins, put_status_bits, read_frame, write_frame,
+};
+use cp_rpc::proto::{decode_request, decode_response, encode_request, Request};
+use cp_rpc::wire::Reader;
+use cp_rpc::RpcError;
+use cp_shard::{BoundaryEvent, ShardStream, ShardStreamEvent};
+use proptest::prelude::*;
+use std::io::Cursor;
+
+/// `(n_labels, k, flat scalars)` — enough to assemble factors in any
+/// semiring; label counts cover binary (2) and multiclass (3..=5) spaces.
+fn arb_factor_shape() -> impl Strategy<Value = (usize, usize, Vec<u64>)> {
+    (2usize..=5, 0usize..=4).prop_flat_map(|(n_labels, k)| {
+        let n = n_labels * (k + 1);
+        (
+            Just(n_labels),
+            Just(k),
+            proptest::collection::vec(0u64..1_000_000_000, n..=n),
+        )
+    })
+}
+
+fn factors_from<S, F>(n_labels: usize, k: usize, scalars: &[u64], lift: F) -> ShardFactors<S>
+where
+    S: cp_numeric::CountSemiring,
+    F: Fn(u64) -> S,
+{
+    let polys: Vec<Vec<S>> = (0..n_labels)
+        .map(|l| (0..=k).map(|c| lift(scalars[l * (k + 1) + c])).collect())
+        .collect();
+    ShardFactors::from_polys(polys, k)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn factors_round_trip_u128((n_labels, k, scalars) in arb_factor_shape()) {
+        let f = factors_from(n_labels, k, &scalars, |v| v as u128);
+        prop_assert_eq!(decode_factors::<u128>(&encode_factors(&f)).unwrap(), f);
+    }
+
+    #[test]
+    fn factors_round_trip_f64((n_labels, k, scalars) in arb_factor_shape()) {
+        let f = factors_from(n_labels, k, &scalars, |v| v as f64 / 7.0);
+        prop_assert_eq!(decode_factors::<f64>(&encode_factors(&f)).unwrap(), f);
+    }
+
+    #[test]
+    fn factors_round_trip_possibility((n_labels, k, scalars) in arb_factor_shape()) {
+        let f = factors_from(n_labels, k, &scalars, |v| Possibility(v % 2 == 0));
+        prop_assert_eq!(decode_factors::<Possibility>(&encode_factors(&f)).unwrap(), f);
+    }
+
+    #[test]
+    fn factors_reject_every_other_semiring((n_labels, k, scalars) in arb_factor_shape()) {
+        let f = factors_from(n_labels, k, &scalars, |v| v as u128);
+        let bytes = encode_factors(&f);
+        prop_assert!(decode_factors::<f64>(&bytes).is_err());
+        prop_assert!(decode_factors::<Possibility>(&bytes).is_err());
+    }
+
+    #[test]
+    fn pins_round_trip(entries in proptest::collection::vec(0u32..8, 0..=12)) {
+        let mut pins = Pins::none(entries.len());
+        for (i, &e) in entries.iter().enumerate() {
+            if e > 0 {
+                pins.pin(i, (e - 1) as usize);
+            }
+        }
+        let mut buf = Vec::new();
+        put_pins(&mut buf, &pins);
+        let mut r = Reader::new(&buf);
+        prop_assert_eq!(get_pins(&mut r).unwrap(), pins);
+        r.finish("pins").unwrap();
+    }
+
+    #[test]
+    fn status_bits_round_trip(raw in proptest::collection::vec(0u8..2, 0..=32)) {
+        let bits: Vec<bool> = raw.into_iter().map(|b| b == 1).collect();
+        let mut buf = Vec::new();
+        put_status_bits(&mut buf, &bits);
+        let mut r = Reader::new(&buf);
+        prop_assert_eq!(get_status_bits(&mut r).unwrap(), bits);
+        r.finish("bits").unwrap();
+    }
+
+    #[test]
+    fn streams_round_trip(
+        (n_labels, k, scalars) in arb_factor_shape(),
+        raw_events in proptest::collection::vec(
+            (0u64..1_000, 0usize..50, 0u32..6, 0u64..1_000_000),
+            0..=10,
+        ),
+    ) {
+        let initial = factors_from(n_labels, k, &scalars, |v| v as f64 / 3.0);
+        let events: Vec<ShardStreamEvent<f64>> = raw_events
+            .into_iter()
+            .map(|(sim, row, cand, seed)| ShardStreamEvent {
+                sim: sim as f64 / 13.0,
+                row,
+                cand,
+                event: BoundaryEvent {
+                    label: (seed % n_labels as u64) as usize,
+                    updated_poly: (0..=k).map(|c| (seed + c as u64) as f64).collect(),
+                    excluding_poly: (0..=k).map(|c| (seed * 2 + c as u64) as f64).collect(),
+                    boundary_mass: seed as f64 / 11.0,
+                },
+            })
+            .collect();
+        let stream = ShardStream { initial, total: 0.5, events };
+        prop_assert_eq!(decode_stream::<f64>(&encode_stream(&stream)).unwrap(), stream);
+    }
+
+    /// Garbage never panics any decoder; it returns Ok or a typed error.
+    #[test]
+    fn garbage_is_handled_gracefully(bytes in proptest::collection::vec(0u8..=255, 0..=96)) {
+        let _ = decode_request(&bytes);
+        let _ = decode_response(&bytes);
+        let _ = decode_factors::<u128>(&bytes);
+        let _ = decode_factors::<f64>(&bytes);
+        let _ = decode_factors::<Possibility>(&bytes);
+        let _ = decode_stream::<u128>(&bytes);
+        let _ = decode_stream::<f64>(&bytes);
+        let _ = decode_stream::<Possibility>(&bytes);
+        let mut r = Reader::new(&bytes);
+        let _ = get_pins(&mut r);
+        let mut r = Reader::new(&bytes);
+        let _ = get_status_bits(&mut r);
+        let mut cursor = Cursor::new(bytes);
+        let _ = read_frame(&mut cursor);
+    }
+
+    /// Every strict prefix of a valid encoding is a typed error, not a
+    /// panic — the two `.unwrap()`-shaped failure modes (truncation and
+    /// shape mismatch) both cross this boundary.
+    #[test]
+    fn truncated_valid_encodings_error_cleanly(
+        (n_labels, k, scalars) in arb_factor_shape(),
+        cut_seed in 0usize..10_000,
+    ) {
+        let f = factors_from(n_labels, k, &scalars, |v| v as u128);
+        let stream = ShardStream {
+            initial: f.clone(),
+            total: 3u128,
+            events: vec![ShardStreamEvent {
+                sim: 0.25,
+                row: 1,
+                cand: 0,
+                event: BoundaryEvent {
+                    label: 0,
+                    updated_poly: vec![1u128; k + 1],
+                    excluding_poly: vec![2u128; k + 1],
+                    boundary_mass: 1,
+                },
+            }],
+        };
+        let factor_bytes = encode_factors(&f);
+        let cut = cut_seed % factor_bytes.len();
+        prop_assert!(
+            decode_factors::<u128>(&factor_bytes[..cut]).is_err(),
+            "strict factor prefix must not decode (cut {})", cut
+        );
+        let stream_bytes = encode_stream(&stream);
+        let cut = cut_seed % stream_bytes.len();
+        prop_assert!(
+            decode_stream::<u128>(&stream_bytes[..cut]).is_err(),
+            "strict stream prefix must not decode (cut {})", cut
+        );
+        let req = encode_request(&Request::SyncStatus(vec![true, false, true]));
+        let cut = cut_seed % req.len();
+        prop_assert!(decode_request(&req[..cut]).is_err());
+    }
+}
+
+#[test]
+fn frames_round_trip_over_a_byte_transport() {
+    let payloads: Vec<Vec<u8>> = vec![vec![], vec![1], vec![0xAB; 1000]];
+    let mut transport = Vec::new();
+    for p in &payloads {
+        write_frame(&mut transport, p).unwrap();
+    }
+    let mut r = Cursor::new(&transport);
+    for p in &payloads {
+        assert_eq!(&read_frame(&mut r).unwrap(), p);
+    }
+    // EOF at a frame boundary is the orderly-disconnect signal
+    assert!(matches!(
+        read_frame(&mut r),
+        Err(RpcError::Truncated {
+            context: "frame length prefix"
+        })
+    ));
+}
+
+#[test]
+fn truncated_frames_error_at_every_cut() {
+    let mut transport = Vec::new();
+    write_frame(&mut transport, b"twelve bytes").unwrap();
+    for cut in 0..transport.len() {
+        let mut r = Cursor::new(&transport[..cut]);
+        assert!(
+            matches!(read_frame(&mut r), Err(RpcError::Truncated { .. })),
+            "cut at {cut} must be a truncation error"
+        );
+    }
+}

@@ -1,0 +1,303 @@
+//! Coordinator-over-TCP equivalence with the in-process engines, over real
+//! loopback sockets.
+//!
+//! For shard counts `{1, 2, 3}` and random small cleaning problems, an
+//! [`RpcCoordinator`] driving actual `shard-server` accept loops must be
+//! indistinguishable from [`ShardedSession`]:
+//!
+//! * identical CP status vectors, fresh and after every step of arbitrary
+//!   random cleaning orders;
+//! * identical greedy pin choices in lockstep, and identical full greedy
+//!   `run_to_convergence` runs (order, convergence flag, every curve
+//!   point);
+//! * identical `run_order` results under random budgets;
+//! * **exactly** equal Q2 counts in every wire semiring under random global
+//!   pin masks, for every `Q2Algorithm` selector — bit-for-bit, `f64`
+//!   included (the stream payloads are produced by the same `ShardScan`
+//!   code and merged by the same loop in the same order).
+//!
+//! Also covered: partition clamping when more servers are offered than the
+//! dataset has rows.
+
+use cp_clean::{CleaningProblem, RunOptions};
+use cp_core::{CpConfig, IncompleteDataset, IncompleteExample, Pins, Q2Algorithm, Q2Result};
+use cp_numeric::Possibility;
+use cp_rpc::{serve_ephemeral, RpcCoordinator};
+use cp_shard::{build_shard_indexes, local_pins, q2_sharded_with_algorithm, ShardedSession};
+use proptest::prelude::*;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::net::TcpStream;
+use std::thread::JoinHandle;
+
+const SHARD_COUNTS: [usize; 3] = [1, 2, 3];
+
+const ALL_ALGORITHMS: [Q2Algorithm; 5] = [
+    Q2Algorithm::Auto,
+    Q2Algorithm::BruteForce,
+    Q2Algorithm::SortScan,
+    Q2Algorithm::SortScanTree,
+    Q2Algorithm::SortScanMultiClass,
+];
+
+/// Spawn `n` single-connection shard servers on ephemeral loopback ports.
+fn spawn_servers(n: usize) -> (Vec<String>, Vec<JoinHandle<()>>) {
+    serve_ephemeral(n).expect("bind loopback servers")
+}
+
+/// Unblock never-connected `--once` servers so their threads can be joined.
+fn release_unused(addrs: &[String]) {
+    for addr in addrs {
+        drop(TcpStream::connect(addr).expect("release connect"));
+    }
+}
+
+/// A random small cleaning problem — the same family as the cp-shard
+/// equivalence suite, sized so every tested shard count divides real rows.
+fn arb_instance() -> impl Strategy<Value = (CleaningProblem, u64)> {
+    (2usize..=3, 4usize..=6, 1usize..=3).prop_flat_map(|(n_labels, n, k)| {
+        let example =
+            (proptest::collection::vec(-9i32..9, 1..=3), 0..n_labels).prop_map(|(grid, label)| {
+                let candidates: Vec<Vec<f64>> = grid.into_iter().map(|g| vec![g as f64]).collect();
+                if candidates.len() == 1 {
+                    IncompleteExample::complete(candidates.into_iter().next().unwrap(), label)
+                } else {
+                    IncompleteExample::incomplete(candidates, label)
+                }
+            });
+        (
+            proptest::collection::vec(example, n..=n),
+            proptest::collection::vec(-9i32..9, 1..=2),
+            Just(n_labels),
+            Just(k),
+            0u64..u64::MAX,
+        )
+            .prop_map(move |(examples, val, n_labels, k, seed)| {
+                let dataset = IncompleteDataset::new(examples, n_labels).unwrap();
+                let mut rng = StdRng::seed_from_u64(seed);
+                let choices = |rng: &mut StdRng| -> Vec<Option<usize>> {
+                    (0..dataset.len())
+                        .map(|i| {
+                            let m = dataset.set_size(i);
+                            (m > 1).then(|| rng.gen_range(0..m))
+                        })
+                        .collect()
+                };
+                let truth_choice = choices(&mut rng);
+                let default_choice = choices(&mut rng);
+                let problem = CleaningProblem::new(
+                    dataset,
+                    CpConfig::new(k),
+                    val.into_iter().map(|v| vec![v as f64]).collect(),
+                    truth_choice,
+                    default_choice,
+                );
+                (problem, seed)
+            })
+    })
+}
+
+fn random_pins(problem: &CleaningProblem, rng: &mut StdRng) -> Pins {
+    let ds = &problem.dataset;
+    let mut pins = Pins::none(ds.len());
+    for i in 0..ds.len() {
+        if ds.set_size(i) > 1 && rng.gen_bool(0.5) {
+            pins.pin(i, rng.gen_range(0..ds.set_size(i)));
+        }
+    }
+    pins
+}
+
+fn opts(n_threads: usize) -> RunOptions {
+    RunOptions {
+        max_cleaned: None,
+        n_threads,
+        record_every: 1,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Status-vector equivalence along arbitrary cleaning trajectories, and
+    /// greedy lockstep plus the full greedy run, over real sockets.
+    #[test]
+    fn tcp_coordinator_matches_sharded_session((problem, seed) in arb_instance()) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x7c7);
+        let mut order = problem.dirty_rows();
+        order.shuffle(&mut rng);
+        for n_shards in SHARD_COUNTS {
+            // --- arbitrary-order cleaning: status stays identical ---
+            let (addrs, handles) = spawn_servers(n_shards);
+            let mut remote = RpcCoordinator::connect(&problem, &addrs, &opts(1)).expect("connect");
+            let mut local = ShardedSession::new(&problem, n_shards, &opts(1));
+            prop_assert_eq!(remote.n_shards(), local.n_shards());
+            prop_assert_eq!(remote.status(), local.status(), "fresh, n_shards={}", n_shards);
+            for &row in &order {
+                local.clean(row);
+                remote.clean(row).expect("clean over rpc");
+                prop_assert_eq!(
+                    remote.status(),
+                    local.status(),
+                    "after row {}, n_shards={}",
+                    row,
+                    n_shards
+                );
+            }
+            remote.shutdown().expect("shutdown");
+            for h in handles {
+                h.join().expect("server thread");
+            }
+
+            // --- greedy lockstep ---
+            let (addrs, handles) = spawn_servers(n_shards);
+            let mut remote = RpcCoordinator::connect(&problem, &addrs, &opts(1)).expect("connect");
+            let mut local = ShardedSession::new(&problem, n_shards, &opts(1));
+            loop {
+                let expect = local.step();
+                let got = remote.step();
+                prop_assert_eq!(got, expect, "greedy step diverged, n_shards={}", n_shards);
+                if expect.is_none() {
+                    break;
+                }
+            }
+            prop_assert_eq!(remote.converged(), local.converged());
+            prop_assert_eq!(remote.status(), local.status());
+            remote.shutdown().expect("shutdown");
+            for h in handles {
+                h.join().expect("server thread");
+            }
+        }
+    }
+
+    /// Full greedy `run_to_convergence` and budgeted `run_order` through
+    /// real sockets equal the in-process runs curve-point for curve-point.
+    #[test]
+    fn tcp_runs_match_sharded_runs((problem, seed) in arb_instance()) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x2fd);
+        let test_x: Vec<Vec<f64>> = problem.val_x().to_vec();
+        let test_y = vec![0usize; test_x.len()];
+        let mut order = problem.dirty_rows();
+        order.shuffle(&mut rng);
+        let budget = if order.is_empty() { None } else { Some(rng.gen_range(0..=order.len())) };
+        for n_shards in SHARD_COUNTS {
+            let run_opts = RunOptions { max_cleaned: budget, ..opts(1) };
+
+            let (addrs, handles) = spawn_servers(n_shards);
+            let mut remote = RpcCoordinator::connect(&problem, &addrs, &opts(1)).expect("connect");
+            let remote_run = remote.run_to_convergence(&test_x, &test_y);
+            let local_run =
+                ShardedSession::new(&problem, n_shards, &opts(1)).run_to_convergence(&test_x, &test_y);
+            prop_assert_eq!(&remote_run.order, &local_run.order, "n_shards={}", n_shards);
+            prop_assert_eq!(remote_run.converged, local_run.converged);
+            prop_assert_eq!(&remote_run.curve, &local_run.curve, "n_shards={}", n_shards);
+            remote.shutdown().expect("shutdown");
+            for h in handles {
+                h.join().expect("server thread");
+            }
+
+            let (addrs, handles) = spawn_servers(n_shards);
+            let mut remote = RpcCoordinator::connect(&problem, &addrs, &run_opts).expect("connect");
+            let remote_run = remote.run_order(&order, &test_x, &test_y);
+            let local_run =
+                ShardedSession::new(&problem, n_shards, &run_opts).run_order(&order, &test_x, &test_y);
+            prop_assert_eq!(&remote_run.order, &local_run.order, "n_shards={}", n_shards);
+            prop_assert_eq!(remote_run.converged, local_run.converged);
+            prop_assert_eq!(&remote_run.curve, &local_run.curve);
+            remote.shutdown().expect("shutdown");
+            for h in handles {
+                h.join().expect("server thread");
+            }
+        }
+    }
+
+    /// Q2 counts fetched over TCP equal the in-process merged scan in every
+    /// wire semiring, for every algorithm selector, under random global pin
+    /// masks — exactly (`u128` and `f64` alike).
+    #[test]
+    fn tcp_q2_counts_match_in_every_semiring((problem, seed) in arb_instance()) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x41c3);
+        let ds = &problem.dataset;
+        let cfg = &problem.config;
+        for n_shards in SHARD_COUNTS {
+            let (addrs, handles) = spawn_servers(n_shards);
+            let remote = RpcCoordinator::connect(&problem, &addrs, &opts(1)).expect("connect");
+            let shards = ds.partition(n_shards);
+            for round in 0..2 {
+                let pins = if round == 0 {
+                    Pins::none(ds.len())
+                } else {
+                    random_pins(&problem, &mut rng)
+                };
+                let shard_pins = local_pins(&shards, &pins);
+                for (v, t) in problem.val_x.iter().enumerate() {
+                    let indexes = build_shard_indexes(&shards, cfg.kernel, t);
+                    for algo in ALL_ALGORITHMS {
+                        let live: Q2Result<u128> =
+                            q2_sharded_with_algorithm(&shards, &indexes, &shard_pins, cfg, algo);
+                        let over_tcp: Q2Result<u128> =
+                            remote.q2_with_pins(v, &pins, algo).expect("q2 over rpc");
+                        prop_assert_eq!(
+                            &over_tcp.counts, &live.counts,
+                            "u128 val {} algo {:?} n_shards={}", v, algo, n_shards
+                        );
+                        prop_assert_eq!(over_tcp.total, live.total);
+                    }
+                    let live_f: Q2Result<f64> = q2_sharded_with_algorithm(
+                        &shards, &indexes, &shard_pins, cfg, Q2Algorithm::Auto,
+                    );
+                    let tcp_f: Q2Result<f64> =
+                        remote.q2_with_pins(v, &pins, Q2Algorithm::Auto).expect("q2 f64");
+                    prop_assert_eq!(&tcp_f.counts, &live_f.counts, "f64 exact, val {}", v);
+                    prop_assert_eq!(tcp_f.total, live_f.total);
+                    let live_p: Q2Result<Possibility> = q2_sharded_with_algorithm(
+                        &shards, &indexes, &shard_pins, cfg, Q2Algorithm::Auto,
+                    );
+                    let tcp_p: Q2Result<Possibility> =
+                        remote.q2_with_pins(v, &pins, Q2Algorithm::Auto).expect("q2 possibility");
+                    prop_assert_eq!(&tcp_p.counts, &live_p.counts, "possibility, val {}", v);
+                }
+            }
+            remote.shutdown().expect("shutdown");
+            for h in handles {
+                h.join().expect("server thread");
+            }
+        }
+    }
+}
+
+/// Offering more servers than the dataset has rows clamps the partition —
+/// exactly like `IncompleteDataset::partition` — and leaves the surplus
+/// servers untouched.
+#[test]
+fn more_servers_than_rows_clamps_the_partition() {
+    let dataset = IncompleteDataset::new(
+        vec![
+            IncompleteExample::complete(vec![0.0], 0),
+            IncompleteExample::incomplete(vec![vec![4.8], vec![7.0]], 0),
+            IncompleteExample::complete(vec![5.5], 1),
+        ],
+        2,
+    )
+    .unwrap();
+    let problem = CleaningProblem::new(
+        dataset,
+        CpConfig::new(1),
+        vec![vec![5.0], vec![0.1]],
+        vec![None, Some(0), None],
+        vec![None, Some(1), None],
+    );
+    let (addrs, handles) = spawn_servers(5);
+    let mut remote = RpcCoordinator::connect(&problem, &addrs, &opts(1)).expect("connect");
+    assert_eq!(remote.n_shards(), 3, "arity clamps to the row count");
+    let local = ShardedSession::new(&problem, 5, &opts(1));
+    assert_eq!(remote.status(), local.status());
+    let row = remote.step().expect("one greedy step");
+    assert_eq!(row, 1);
+    assert!(remote.converged());
+    remote.shutdown().expect("shutdown");
+    release_unused(&addrs[3..]);
+    for h in handles {
+        h.join().expect("server thread");
+    }
+}

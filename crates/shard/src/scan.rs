@@ -172,6 +172,191 @@ impl<'a, S: CountSemiring> ShardScan<'a, S> {
     }
 }
 
+/// The factor payload of one boundary event, as the coordinator's merge
+/// loop consumes it: which label the boundary set belongs to, the owning
+/// shard's refreshed partial polynomial for that label, the same polynomial
+/// with the boundary set excluded, and the boundary candidate's own mass.
+///
+/// This is everything that crosses the shard boundary per event — `O(K)`
+/// semiring values — whether the shard is a live [`ShardScan`] in the same
+/// process or a remote worker whose whole event stream arrived in one
+/// [`ShardStream`] message.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BoundaryEvent<S> {
+    /// Label of the boundary candidate's set.
+    pub label: Label,
+    /// The owning shard's partial polynomial for `label` *after* this event.
+    pub updated_poly: Vec<S>,
+    /// The `label` polynomial with the boundary set excluded.
+    pub excluding_poly: Vec<S>,
+    /// Mass of the boundary set choosing exactly the boundary candidate.
+    pub boundary_mass: S,
+}
+
+/// A shard-local source of locally-sorted boundary events with factor
+/// payloads — the abstraction the merged scan drives.
+///
+/// Two implementations exist: a live [`ShardScan`] (in-process
+/// partition-parallelism, factors computed on demand) and a
+/// [`StreamCursor`] over a [`ShardStream`] (a remote shard's pre-computed
+/// stream, decoded from one RPC message). The merge loop cannot tell them
+/// apart, which is what makes the wire protocol's answers *identical* to
+/// the in-process engine's.
+pub trait FactorSource<S: CountSemiring> {
+    /// The next boundary event's global merge key
+    /// `(similarity, global row, candidate)`, if any.
+    fn peek_key(&self) -> Option<(f64, usize, u32)>;
+
+    /// Consume the next boundary event and return its factor payload.
+    ///
+    /// # Panics
+    /// Panics if the source is exhausted.
+    fn next_event(&mut self) -> BoundaryEvent<S>;
+
+    /// The shard's per-label factors before any event was consumed.
+    fn opening_factors(&self) -> ShardFactors<S>;
+
+    /// The shard's total world mass.
+    fn total_mass(&self) -> S;
+}
+
+impl<S: CountSemiring> FactorSource<S> for ShardScan<'_, S> {
+    fn peek_key(&self) -> Option<(f64, usize, u32)> {
+        self.peek()
+    }
+
+    fn next_event(&mut self) -> BoundaryEvent<S> {
+        let (local_set, cand) = self.advance();
+        let label = self.label(local_set);
+        BoundaryEvent {
+            label,
+            updated_poly: self.label_poly(label).to_vec(),
+            excluding_poly: self.excluding_poly(local_set),
+            boundary_mass: self.boundary_mass(local_set, cand),
+        }
+    }
+
+    fn opening_factors(&self) -> ShardFactors<S> {
+        self.factors()
+    }
+
+    fn total_mass(&self) -> S {
+        self.total()
+    }
+}
+
+/// One entry of a batched shard stream: the global merge key plus the factor
+/// payload of the event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardStreamEvent<S> {
+    /// Boundary similarity (the primary merge key).
+    pub sim: f64,
+    /// Global row id of the boundary set.
+    pub row: usize,
+    /// Boundary candidate index within its set.
+    pub cand: u32,
+    /// The factor payload.
+    pub event: BoundaryEvent<S>,
+}
+
+/// A shard's **whole** locally-sorted boundary-event stream with factor
+/// deltas, in one value — the batched exchange unit of the RPC layer: one
+/// scan request yields one `ShardStream` message instead of one round-trip
+/// per boundary event.
+///
+/// Captured by running the ordinary [`ShardScan`] to exhaustion
+/// ([`ShardStream::capture`]), so every payload is produced by exactly the
+/// code the in-process engine runs; replayed through [`StreamCursor`]s,
+/// which implement [`FactorSource`] over the recorded events. A stream can
+/// be replayed any number of times (the coordinator reuses every non-owner
+/// shard's stream across all of a selection step's candidate pins).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardStream<S> {
+    /// Per-label factors before the first event.
+    pub initial: ShardFactors<S>,
+    /// The shard's total world mass.
+    pub total: S,
+    /// The locally-sorted boundary events.
+    pub events: Vec<ShardStreamEvent<S>>,
+}
+
+impl<S: CountSemiring> ShardStream<S> {
+    /// Drain a fresh [`ShardScan`] into its batched stream (the shard-server
+    /// side of a scan request). Arguments are exactly [`ShardScan::new`]'s.
+    ///
+    /// # Panics
+    /// Panics if the pin mask does not validate against the shard dataset.
+    pub fn capture(shard: &DatasetShard, idx: &SimilarityIndex, pins: &Pins, k: usize) -> Self {
+        let mut scan: ShardScan<'_, S> = ShardScan::new(shard, idx, pins, k);
+        let initial = scan.factors();
+        let total = scan.total();
+        let mut events = Vec::new();
+        while let Some((sim, row, cand)) = scan.peek() {
+            let event = FactorSource::next_event(&mut scan);
+            events.push(ShardStreamEvent {
+                sim,
+                row,
+                cand,
+                event,
+            });
+        }
+        ShardStream {
+            initial,
+            total,
+            events,
+        }
+    }
+
+    /// A replay cursor positioned before the first event.
+    pub fn cursor(&self) -> StreamCursor<'_, S> {
+        StreamCursor {
+            stream: self,
+            pos: 0,
+        }
+    }
+
+    /// Slot budget K of the recorded factors.
+    pub fn k(&self) -> usize {
+        self.initial.k()
+    }
+
+    /// Number of labels covered.
+    pub fn n_labels(&self) -> usize {
+        self.initial.n_labels()
+    }
+}
+
+/// A replay position inside a [`ShardStream`] — the decoded-frames
+/// implementation of [`FactorSource`].
+#[derive(Clone, Debug)]
+pub struct StreamCursor<'a, S> {
+    stream: &'a ShardStream<S>,
+    pos: usize,
+}
+
+impl<S: CountSemiring> FactorSource<S> for StreamCursor<'_, S> {
+    fn peek_key(&self) -> Option<(f64, usize, u32)> {
+        self.stream
+            .events
+            .get(self.pos)
+            .map(|e| (e.sim, e.row, e.cand))
+    }
+
+    fn next_event(&mut self) -> BoundaryEvent<S> {
+        let e = &self.stream.events[self.pos];
+        self.pos += 1;
+        e.event.clone()
+    }
+
+    fn opening_factors(&self) -> ShardFactors<S> {
+        self.stream.initial.clone()
+    }
+
+    fn total_mass(&self) -> S {
+        self.stream.total.clone()
+    }
+}
+
 /// Check that `shards` is a contiguous partition starting at row zero and
 /// that the per-shard slices line up; returns `(total rows, n_labels)`.
 fn check_shards<I, P>(shards: &[DatasetShard], indexes: &[I], pins: &[P]) -> (usize, usize) {
@@ -224,6 +409,34 @@ where
 {
     let (n_total, n_labels) = check_shards(shards, indexes, pins);
     let k = cfg.k_eff(n_total);
+    let mut scans: Vec<ShardScan<'_, S>> = shards
+        .iter()
+        .zip(indexes)
+        .zip(pins)
+        .map(|((sh, idx), p)| ShardScan::new(sh, idx.borrow(), p.borrow(), k))
+        .collect();
+    merged_scan_sources(&mut scans, n_labels, k, force_mc, stop)
+}
+
+/// The merge loop over abstract factor sources — the engine shared by the
+/// in-process scan (live [`ShardScan`]s) and the RPC coordinator (decoded
+/// [`StreamCursor`]s): pick the globally next boundary event under the
+/// `(similarity, row, candidate)` total order, refresh the owner's cached
+/// factor summary, merge all shards' factors with the boundary set excluded
+/// from its own label, and accumulate supports. Identical inputs produce
+/// identical outputs bit-for-bit regardless of the source kind.
+pub fn merged_scan_sources<S, F>(
+    sources: &mut [F],
+    n_labels: usize,
+    k: usize,
+    force_mc: Option<bool>,
+    stop: impl Fn(&[S]) -> bool,
+) -> Q2Result<S>
+where
+    S: CountSemiring,
+    F: FactorSource<S>,
+{
+    assert!(!sources.is_empty(), "need at least one factor source");
     let use_mc = force_mc.unwrap_or_else(|| use_multiclass_accumulator(n_labels, k));
     let comps = if use_mc {
         Vec::new()
@@ -231,23 +444,17 @@ where
         compositions(n_labels, k)
     };
 
-    let mut scans: Vec<ShardScan<'_, S>> = shards
-        .iter()
-        .zip(indexes)
-        .zip(pins)
-        .map(|((sh, idx), p)| ShardScan::new(sh, idx.borrow(), p.borrow(), k))
-        .collect();
     // cached per-shard factor summaries; only the owner's entry changes per
     // boundary event
-    let mut factors: Vec<ShardFactors<S>> = scans.iter().map(|sc| sc.factors()).collect();
+    let mut factors: Vec<ShardFactors<S>> = sources.iter().map(|s| s.opening_factors()).collect();
     let mut counts = vec![S::zero(); n_labels];
 
     loop {
         // the shard owning the globally next boundary candidate, under the
         // exact (similarity, row, candidate) order the single scan sorts by
         let mut owner: Option<(usize, (f64, usize, u32))> = None;
-        for (s, sc) in scans.iter().enumerate() {
-            if let Some(ev) = sc.peek() {
+        for (s, src) in sources.iter().enumerate() {
+            if let Some(ev) = src.peek_key() {
                 let better = match &owner {
                     None => true,
                     Some((_, best)) => match ev.0.total_cmp(&best.0) {
@@ -263,24 +470,23 @@ where
         }
         let Some((s, _)) = owner else { break };
 
-        let (local_set, cand) = scans[s].advance();
-        let yi = scans[s].label(local_set);
-        factors[s].set_poly(yi, scans[s].label_poly(yi).to_vec());
+        let ev = sources[s].next_event();
+        let yi = ev.label;
+        factors[s].set_poly(yi, ev.updated_poly);
 
         // merge: owner's factors with the boundary set excluded from its own
         // label, times every other shard's summary
-        let mut merged = factors[s].with_poly(yi, scans[s].excluding_poly(local_set));
+        let mut merged = factors[s].with_poly(yi, ev.excluding_poly);
         for (u, f) in factors.iter().enumerate() {
             if u != s {
                 merged.merge_assign(f);
             }
         }
-        let boundary = scans[s].boundary_mass(local_set, cand);
         let polys = merged.poly_refs();
         if use_mc {
-            accumulate_supports_mc(k, yi, &boundary, &polys, &mut counts);
+            accumulate_supports_mc(k, yi, &ev.boundary_mass, &polys, &mut counts);
         } else {
-            accumulate_supports(&comps, yi, &boundary, &polys, &mut counts);
+            accumulate_supports(&comps, yi, &ev.boundary_mass, &polys, &mut counts);
         }
         if stop(&counts) {
             break;
@@ -289,8 +495,101 @@ where
 
     Q2Result {
         counts,
-        total: merge_totals(scans.iter().map(|sc| sc.total())),
+        total: merge_totals(sources.iter().map(|s| s.total_mass())),
     }
+}
+
+/// Check that a set of shard streams agree on slot budget and label count;
+/// returns `(n_labels, k)`.
+fn check_streams<S: CountSemiring, T: Borrow<ShardStream<S>>>(streams: &[T]) -> (usize, usize) {
+    assert!(!streams.is_empty(), "need at least one shard stream");
+    let (n_labels, k) = (streams[0].borrow().n_labels(), streams[0].borrow().k());
+    for st in streams {
+        assert_eq!(st.borrow().n_labels(), n_labels, "label count mismatch");
+        assert_eq!(st.borrow().k(), k, "slot budget mismatch");
+    }
+    (n_labels, k)
+}
+
+fn merged_streams_until<S, T>(
+    streams: &[T],
+    force_mc: Option<bool>,
+    stop: impl Fn(&[S]) -> bool,
+) -> Q2Result<S>
+where
+    S: CountSemiring,
+    T: Borrow<ShardStream<S>>,
+{
+    let (n_labels, k) = check_streams(streams);
+    let mut cursors: Vec<StreamCursor<'_, S>> =
+        streams.iter().map(|st| st.borrow().cursor()).collect();
+    merged_scan_sources(&mut cursors, n_labels, k, force_mc, stop)
+}
+
+/// Capture every shard's batched event stream for one test point — the
+/// stream twin of driving [`q2_sharded_with_indexes`] directly, and what a
+/// fleet of shard servers computes (one stream each) in response to a scan
+/// request.
+pub fn capture_streams<S, I, P>(
+    shards: &[DatasetShard],
+    indexes: &[I],
+    pins: &[P],
+    cfg: &CpConfig,
+) -> Vec<ShardStream<S>>
+where
+    S: CountSemiring,
+    I: Borrow<SimilarityIndex>,
+    P: Borrow<Pins>,
+{
+    let (n_total, _) = check_shards(shards, indexes, pins);
+    let k = cfg.k_eff(n_total);
+    shards
+        .iter()
+        .zip(indexes)
+        .zip(pins)
+        .map(|((sh, idx), p)| ShardStream::capture(sh, idx.borrow(), p.borrow(), k))
+        .collect()
+}
+
+/// **Q2 from batched shard streams** — the coordinator's side of the RPC
+/// exchange: merge pre-captured (or decoded) per-shard event streams into
+/// the exact global counts. Equal to [`q2_sharded_with_indexes`] on streams
+/// captured from the same shards/pins, bit-for-bit in exact semirings.
+pub fn q2_from_streams<S, T>(streams: &[T]) -> Q2Result<S>
+where
+    S: CountSemiring,
+    T: Borrow<ShardStream<S>>,
+{
+    merged_streams_until(streams, None, |_| false)
+}
+
+/// [`q2_from_streams`] with an explicit algorithm choice (same graceful
+/// fallbacks as [`q2_sharded_with_algorithm`]).
+pub fn q2_from_streams_with_algorithm<S, T>(streams: &[T], algo: Q2Algorithm) -> Q2Result<S>
+where
+    S: CountSemiring,
+    T: Borrow<ShardStream<S>>,
+{
+    merged_streams_until(streams, algorithm_force_mc(algo), |_| false)
+}
+
+/// The certainly-predicted label (if any) from batched `Possibility`-semiring
+/// shard streams, with the same two-labels-possible early exit as
+/// [`certain_label_sharded_with_indexes`].
+pub fn certain_label_from_streams<T>(streams: &[T]) -> Option<Label>
+where
+    T: Borrow<ShardStream<Possibility>>,
+{
+    let uncertain = |counts: &[Possibility]| counts.iter().filter(|c| c.0).count() >= 2;
+    merged_streams_until(streams, None, uncertain).certain_label()
+}
+
+/// Q2 prediction probabilities from batched probability-space shard streams.
+pub fn q2_probabilities_from_streams<T>(streams: &[T]) -> Vec<f64>
+where
+    T: Borrow<ShardStream<f64>>,
+{
+    q2_from_streams::<f64, T>(streams).probabilities()
 }
 
 /// **Q2 over a sharded dataset**, against prebuilt per-shard indexes and
@@ -339,14 +638,21 @@ where
     I: Borrow<SimilarityIndex>,
     P: Borrow<Pins>,
 {
-    let force_mc = match algo {
+    merged_scan_until(shards, indexes, pins, cfg, algorithm_force_mc(algo), |_| {
+        false
+    })
+}
+
+/// Map an algorithm selector onto the merged scan's accumulator override
+/// (the only selector degree of freedom that decomposes over shards).
+fn algorithm_force_mc(algo: Q2Algorithm) -> Option<bool> {
+    match algo {
         Q2Algorithm::SortScanMultiClass => Some(true),
         Q2Algorithm::Auto
         | Q2Algorithm::SortScanTree
         | Q2Algorithm::SortScan
         | Q2Algorithm::BruteForce => None,
-    };
-    merged_scan_until(shards, indexes, pins, cfg, force_mc, |_| false)
+    }
 }
 
 /// **Q2 for one test point** over a sharded dataset: builds the per-shard
@@ -496,6 +802,86 @@ mod tests {
                 assert!((a - b).abs() < 1e-12, "k={k}: {sharded:?} vs {single:?}");
             }
         }
+    }
+
+    #[test]
+    fn streams_replay_to_the_exact_live_counts() {
+        let (ds, t) = figure6();
+        for k in 1..=3 {
+            let cfg = CpConfig::new(k);
+            for n_shards in 1..=3 {
+                let shards = ds.partition(n_shards);
+                let indexes = build_shard_indexes(&shards, cfg.kernel, &t);
+                for pins in [Pins::none(ds.len()), Pins::single(ds.len(), 1, 0)] {
+                    let local = local_pins(&shards, &pins);
+                    let live: Q2Result<u128> =
+                        q2_sharded_with_indexes(&shards, &indexes, &local, &cfg);
+                    let streams: Vec<ShardStream<u128>> =
+                        capture_streams(&shards, &indexes, &local, &cfg);
+                    let replayed = q2_from_streams(&streams);
+                    assert_eq!(replayed.counts, live.counts, "k={k} n_shards={n_shards}");
+                    assert_eq!(replayed.total, live.total);
+                    // replays are repeatable: a second pass over the same
+                    // streams gives the same counts (the coordinator reuses
+                    // non-owner streams across candidate pins)
+                    assert_eq!(q2_from_streams(&streams).counts, live.counts);
+
+                    // probability space is bit-identical too: the stream
+                    // payloads are produced by the same f64 operations
+                    let live_p: Q2Result<f64> =
+                        q2_sharded_with_indexes(&shards, &indexes, &local, &cfg);
+                    let streams_p: Vec<ShardStream<f64>> =
+                        capture_streams(&shards, &indexes, &local, &cfg);
+                    assert_eq!(
+                        q2_probabilities_from_streams(&streams_p),
+                        live_p.probabilities()
+                    );
+
+                    // certain-label answers agree as well
+                    let streams_q: Vec<ShardStream<Possibility>> =
+                        capture_streams(&shards, &indexes, &local, &cfg);
+                    assert_eq!(
+                        certain_label_from_streams(&streams_q),
+                        certain_label_sharded_with_indexes(&shards, &indexes, &local, &cfg)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stream_algorithm_selectors_match_live_selectors() {
+        let (ds, t) = figure6();
+        let cfg = CpConfig::new(2);
+        let shards = ds.partition(2);
+        let indexes = build_shard_indexes(&shards, cfg.kernel, &t);
+        let pins = local_pins(&shards, &Pins::none(ds.len()));
+        let streams: Vec<ShardStream<u128>> = capture_streams(&shards, &indexes, &pins, &cfg);
+        for algo in [
+            Q2Algorithm::Auto,
+            Q2Algorithm::BruteForce,
+            Q2Algorithm::SortScan,
+            Q2Algorithm::SortScanTree,
+            Q2Algorithm::SortScanMultiClass,
+        ] {
+            let live =
+                q2_sharded_with_algorithm::<u128, _, _>(&shards, &indexes, &pins, &cfg, algo);
+            let replayed = q2_from_streams_with_algorithm(&streams, algo);
+            assert_eq!(replayed.counts, live.counts, "algo={algo:?}");
+            assert_eq!(replayed.total, live.total);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "slot budget mismatch")]
+    fn mismatched_streams_are_rejected() {
+        let (ds, t) = figure6();
+        let shards = ds.partition(2);
+        let indexes = build_shard_indexes(&shards, Kernel::default(), &t);
+        let pins = local_pins(&shards, &Pins::none(ds.len()));
+        let a: ShardStream<u128> = ShardStream::capture(&shards[0], &indexes[0], &pins[0], 1);
+        let b: ShardStream<u128> = ShardStream::capture(&shards[1], &indexes[1], &pins[1], 2);
+        q2_from_streams(&[a, b]);
     }
 
     #[test]

@@ -76,8 +76,9 @@ impl ShardedSession {
             }
         }
         // one sub-problem per shard: the shard's rows (locally indexed), the
-        // full validation set, and the matching slices of the simulated
-        // human's choices
+        // full validation set (shared — `val_x` is one Arc'd allocation
+        // across the session and every shard sub-problem), and the matching
+        // slices of the simulated human's choices
         let shard_problems: Vec<Arc<CleaningProblem>> = shards
             .iter()
             .map(|sh| {
@@ -352,7 +353,7 @@ mod tests {
         CleaningProblem {
             dataset,
             config: CpConfig::new(1),
-            val_x: vec![vec![5.0], vec![0.1]],
+            val_x: std::sync::Arc::new(vec![vec![5.0], vec![0.1]]),
             truth_choice: vec![None, Some(0), None, Some(0)],
             default_choice: vec![None, Some(1), None, Some(1)],
         }
@@ -415,6 +416,31 @@ mod tests {
                 session.shard_sessions()[other].state().pins().pinned(i),
                 None
             );
+        }
+    }
+
+    /// The S+1-copies bug regression: every shard sub-problem (and its
+    /// session's index cache) must alias the *same* `val_x` allocation as
+    /// the session's global problem — which itself aliases the caller's.
+    #[test]
+    fn one_val_x_allocation_per_session_regardless_of_shard_count() {
+        let p = targeted_problem();
+        for n_shards in [1, 2, 3, 9] {
+            let session = ShardedSession::new(&p, n_shards, &opts(1));
+            assert!(
+                Arc::ptr_eq(&p.val_x, &session.problem().val_x),
+                "session problem must alias the caller's val_x"
+            );
+            for (s, shard_session) in session.shard_sessions().iter().enumerate() {
+                assert!(
+                    Arc::ptr_eq(&p.val_x, &shard_session.problem().val_x),
+                    "shard {s} sub-problem must alias val_x (n_shards={n_shards})"
+                );
+                assert!(
+                    Arc::ptr_eq(&p.val_x, shard_session.cache().points_shared()),
+                    "shard {s} index cache must alias val_x (n_shards={n_shards})"
+                );
+            }
         }
     }
 

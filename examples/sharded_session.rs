@@ -42,7 +42,7 @@ fn example_problem() -> CleaningProblem {
     CleaningProblem {
         dataset,
         config: CpConfig::new(3),
-        val_x: (0..8).map(|v| vec![1.2 * v as f64]).collect(),
+        val_x: std::sync::Arc::new((0..8).map(|v| vec![1.2 * v as f64]).collect()),
         truth_choice,
         default_choice,
     }

@@ -47,3 +47,7 @@ pub use cp_clean as clean;
 
 /// Partition-parallel CP queries and sharded cleaning sessions.
 pub use cp_shard as shard;
+
+/// Multi-process serving: the TCP frame codec, shard servers and the
+/// coordinator client.
+pub use cp_rpc as rpc;

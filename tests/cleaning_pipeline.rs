@@ -23,7 +23,7 @@ fn problem(prep: &cpclean::datasets::PreparedDataset) -> CleaningProblem {
     CleaningProblem {
         dataset: prep.table_dataset.dataset.clone(),
         config: CpConfig::new(3),
-        val_x: prep.val_x.clone(),
+        val_x: std::sync::Arc::new(prep.val_x.clone()),
         truth_choice: prep.truth_choice.clone(),
         default_choice: prep.default_choice.clone(),
     }
