@@ -14,13 +14,22 @@
 //! * **greedy** — full CPClean iterations (selection + status update): the
 //!   entropy loop dominates both arms equally, so caching shows up as a
 //!   smaller relative margin here.
+//!
+//! The sharded rows (`status_updates_sharded_*`) drive the same fixed-order
+//! status workload through `ShardedSession`; the bank bundle is binary, so
+//! they exercise the rank-merged MM extreme-summary path. The
+//! `status_updates_rpc` group is their multi-process twin: an
+//! `RpcCoordinator` against persistent loopback `shard-server` accept
+//! loops, timing connect + `Open` + per-step `ExtremeSummary` exchanges.
 
 use cp_bench::{problem_from_prepared, seed_style_status_updates};
 use cp_clean::{select_next, val_cp_status, CleaningSession, CleaningState, RunOptions};
 use cp_datasets::{bank, make_bundle, prepare, BundleConfig};
+use cp_rpc::RpcCoordinator;
 use cp_shard::ShardedSession;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::net::TcpListener;
 use std::time::Duration;
 
 fn bench_session(c: &mut Criterion) {
@@ -102,9 +111,11 @@ fn bench_session(c: &mut Criterion) {
 
     // the same status-update workload through the partition-parallel
     // engine: unsharded CleaningSession vs ShardedSession at 1 and 4
-    // shards. Answers are identical by construction; the sharded arms pay
-    // the per-boundary factor merge (O(S·|Y|·K²)) and win back wall time
-    // only when CP_THREADS lets shards fan out
+    // shards. The bank bundle is binary, so status refreshes take the
+    // rank-merged MM extreme-summary path (no boundary-event stream, no
+    // tally trees) — the same fast path the unsharded session's MinMax
+    // dispatch uses, which is what keeps these rows near the cached-session
+    // row instead of paying the merged Possibility scan
     for n_shards in [1usize, 4] {
         group.bench_function(format!("status_updates_sharded_{n_shards}"), |b| {
             b.iter(|| {
@@ -121,6 +132,44 @@ fn bench_session(c: &mut Criterion) {
     }
 
     group.finish();
+
+    // the multi-process twin: the identical status-update workload driven
+    // through an RpcCoordinator against persistent shard-server accept
+    // loops on loopback TCP, so the serving path's status-check cost
+    // (Open + per-step ExtremeSummary exchanges) is tracked alongside the
+    // in-process sharded rows
+    let mut rpc_group = c.benchmark_group("status_updates_rpc");
+    rpc_group
+        .measurement_time(Duration::from_secs(5))
+        .sample_size(10);
+    let n_servers = 2usize;
+    let addrs: Vec<String> = (0..n_servers)
+        .map(|_| {
+            let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+            let addr = listener.local_addr().expect("local addr").to_string();
+            std::thread::spawn(move || {
+                // accept loop for the whole bench process lifetime
+                let _ = cp_rpc::serve(listener, false);
+            });
+            addr
+        })
+        .collect();
+    rpc_group.bench_function(format!("loopback_{n_servers}"), |b| {
+        b.iter(|| {
+            let mut remote =
+                RpcCoordinator::connect(&problem, &addrs, &opts).expect("connect coordinator");
+            for &row in &order {
+                if remote.converged() {
+                    break;
+                }
+                remote.clean(row).expect("clean over rpc");
+            }
+            let n = remote.n_certain();
+            remote.shutdown().expect("shutdown");
+            black_box(n)
+        })
+    });
+    rpc_group.finish();
 }
 
 criterion_group!(benches, bench_session);

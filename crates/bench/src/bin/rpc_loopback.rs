@@ -18,7 +18,8 @@
 
 use cp_bench::{random_incomplete_dataset, Reporter};
 use cp_clean::{CleaningProblem, RunOptions};
-use cp_core::CpConfig;
+use cp_core::{CpConfig, Q2Algorithm, Q2Result};
+use cp_numeric::Possibility;
 use cp_rpc::{serve_ephemeral, RpcCoordinator};
 use cp_shard::ShardedSession;
 use rand::prelude::*;
@@ -136,6 +137,37 @@ fn main() {
         initial_status,
         "initial CP status must match the in-process session"
     );
+
+    // binary-label problems dispatch status checks to the rank-merged
+    // extreme-summary path (O(K) entries per shard on the wire instead of
+    // the whole boundary-event stream); cross-check it against the full
+    // Possibility stream scan at every validation point, and time both
+    assert_eq!(problem.dataset.n_labels(), 2, "workload must be binary");
+    let n_val_points = problem.val_x().len();
+    let t0 = Instant::now();
+    let via_summaries: Vec<_> = (0..n_val_points)
+        .map(|v| remote.certain_label_at(v).expect("summary status check"))
+        .collect();
+    let summary_status_s = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let via_streams: Vec<_> = (0..n_val_points)
+        .map(|v| {
+            let r: Q2Result<Possibility> = remote
+                .q2_at(v, Q2Algorithm::Auto)
+                .expect("possibility stream status check");
+            r.certain_label()
+        })
+        .collect();
+    let stream_status_s = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        via_summaries, via_streams,
+        "the binary-Q1 summary path must equal the Possibility stream scan"
+    );
+    r.note(&format!(
+        "verified: extreme-summary status sweep == Possibility stream sweep on all {n_val_points} \
+         val points ({summary_status_s:.4}s via summaries vs {stream_status_s:.4}s via streams)"
+    ));
+
     let t0 = Instant::now();
     let remote_run = remote.run_to_convergence(&test_x, &test_y);
     let remote_run_s = t0.elapsed().as_secs_f64();

@@ -26,17 +26,32 @@ pub fn predict_world(
     cfg: &CpConfig,
     choice: &[usize],
 ) -> Label {
+    predict_world_with_ranks(ds, idx, cfg, choice, &mut Vec::new())
+}
+
+/// [`predict_world`] writing the per-set rank values into a caller-owned
+/// scratch buffer — the allocation-free shape MM's status sweeps drive
+/// (one buffer reused across every extreme-world check of a run).
+pub fn predict_world_with_ranks(
+    ds: &IncompleteDataset,
+    idx: &SimilarityIndex,
+    cfg: &CpConfig,
+    choice: &[usize],
+    ranks: &mut Vec<f64>,
+) -> Label {
     debug_assert_eq!(choice.len(), ds.len());
     let k_eff = cfg.k_eff(ds.len());
     // rank of each example's chosen candidate; larger rank = more similar.
     // u32 -> f64 is exact, and ranks are distinct, so the heap-based top-K
     // (O(N log K), the paper's cost model for MM) needs no tie-breaking.
-    let ranks: Vec<f64> = choice
-        .iter()
-        .enumerate()
-        .map(|(i, &j)| idx.rank(i, j) as f64)
-        .collect();
-    let top = cp_knn::top_k_indices(&ranks, k_eff);
+    ranks.clear();
+    ranks.extend(
+        choice
+            .iter()
+            .enumerate()
+            .map(|(i, &j)| idx.rank(i, j) as f64),
+    );
+    let top = cp_knn::top_k_indices(ranks, k_eff);
     majority_label(top.into_iter().map(|i| ds.label(i)), ds.n_labels())
 }
 

@@ -39,7 +39,10 @@
 //! supports every SortScan maintains factorize over any such partition into
 //! mergeable per-label [`poly::ShardFactors`] (with [`mass::merge_totals`]
 //! combining world masses) — the algebra the `cp-shard` crate's
-//! partition-parallel query engine is built on.
+//! partition-parallel query engine is built on. MM decomposes too, by a
+//! different algebra: per-shard rank-ordered [`mm_summary::ExtremeSummary`]
+//! values merge associatively into the global extreme worlds' top-K, so
+//! binary Q1 keeps its fast path across shards.
 //!
 //! All counting code is generic over a [`cp_numeric::CountSemiring`], so the
 //! same scan produces exact big-integer counts, underflow-free scaled counts,
@@ -55,6 +58,7 @@ pub mod config;
 pub mod dataset;
 pub mod mass;
 pub mod mm;
+pub mod mm_summary;
 pub mod pins;
 pub mod poly;
 pub mod prior;
@@ -79,6 +83,7 @@ pub use cache::{
 pub use config::CpConfig;
 pub use dataset::{DatasetError, DatasetShard, IncompleteDataset, IncompleteExample};
 pub use mass::merge_totals;
+pub use mm_summary::{ExtremeEntry, ExtremeSummary};
 pub use pins::Pins;
 pub use poly::ShardFactors;
 pub use queries::{

@@ -16,12 +16,39 @@
 //! [`extreme_world_predicts`] remain available for any `|Y|` because
 //! `E_l` predicts `l` ⟹ ∃ world predicting `l` holds unconditionally.
 
-use crate::bruteforce::predict_world;
+use crate::bruteforce::{predict_world, predict_world_with_ranks};
 use crate::config::CpConfig;
 use crate::dataset::IncompleteDataset;
 use crate::pins::Pins;
 use crate::similarity::SimilarityIndex;
 use cp_knn::Label;
+use std::cell::RefCell;
+
+/// Reusable MM work buffers: the extreme world's candidate-choice vector
+/// and the per-set rank values its prediction is voted from.
+///
+/// A status sweep calls [`certain_label_minmax`] once per not-yet-certain
+/// validation point per cleaning step; without scratch reuse every call
+/// pays two `O(N)` choice-vector allocations plus two rank buffers. One
+/// `MmScratch` (the default entry points keep a thread-local one) makes
+/// the whole sweep allocation-free on this path.
+#[derive(Debug, Default)]
+pub struct MmScratch {
+    choice: Vec<usize>,
+    ranks: Vec<f64>,
+}
+
+impl MmScratch {
+    /// Empty buffers; they grow to the dataset size on first use.
+    pub fn new() -> Self {
+        MmScratch::default()
+    }
+}
+
+thread_local! {
+    /// Per-thread scratch behind the allocation-free default entry points.
+    static SCRATCH: RefCell<MmScratch> = RefCell::new(MmScratch::new());
+}
 
 /// Candidate choice vector of the `l`-extreme world `E_l` (Equation B.1).
 pub fn extreme_world(
@@ -30,15 +57,28 @@ pub fn extreme_world(
     pins: &Pins,
     l: Label,
 ) -> Vec<usize> {
-    (0..ds.len())
-        .map(|i| {
-            if ds.label(i) == l {
-                idx.most_similar(i, pins)
-            } else {
-                idx.least_similar(i, pins)
-            }
-        })
-        .collect()
+    let mut out = Vec::new();
+    extreme_world_into(ds, idx, pins, l, &mut out);
+    out
+}
+
+/// [`extreme_world`] writing into a caller-owned buffer (cleared first) —
+/// the allocation-free shape the scratch-reusing entry points drive.
+pub fn extreme_world_into(
+    ds: &IncompleteDataset,
+    idx: &SimilarityIndex,
+    pins: &Pins,
+    l: Label,
+    out: &mut Vec<usize>,
+) {
+    out.clear();
+    out.extend((0..ds.len()).map(|i| {
+        if ds.label(i) == l {
+            idx.most_similar(i, pins)
+        } else {
+            idx.least_similar(i, pins)
+        }
+    }));
 }
 
 /// Whether the `l`-extreme world's classifier predicts `l`.
@@ -54,6 +94,20 @@ pub fn extreme_world_predicts(
 ) -> bool {
     let choice = extreme_world(ds, idx, pins, l);
     predict_world(ds, idx, cfg, &choice) == l
+}
+
+/// [`extreme_world_predicts`] against caller-owned scratch buffers.
+pub fn extreme_world_predicts_with_scratch(
+    ds: &IncompleteDataset,
+    cfg: &CpConfig,
+    idx: &SimilarityIndex,
+    pins: &Pins,
+    l: Label,
+    scratch: &mut MmScratch,
+) -> bool {
+    let MmScratch { choice, ranks } = scratch;
+    extreme_world_into(ds, idx, pins, l, choice);
+    predict_world_with_ranks(ds, idx, cfg, choice, ranks) == l
 }
 
 /// Q1 via MM: is `y` predicted in **every** possible world?
@@ -72,7 +126,9 @@ pub fn q1_minmax(
     certain_label_minmax(ds, cfg, idx, pins) == Some(y)
 }
 
-/// The certainly-predicted label, if any, via MM.
+/// The certainly-predicted label, if any, via MM. Reuses a thread-local
+/// [`MmScratch`], so repeated calls (a status sweep) allocate nothing on
+/// this path.
 ///
 /// # Panics
 /// Panics unless the dataset is binary (`|Y| = 2`).
@@ -82,14 +138,28 @@ pub fn certain_label_minmax(
     idx: &SimilarityIndex,
     pins: &Pins,
 ) -> Option<Label> {
+    SCRATCH.with(|s| certain_label_minmax_with_scratch(ds, cfg, idx, pins, &mut s.borrow_mut()))
+}
+
+/// [`certain_label_minmax`] against caller-owned scratch buffers.
+///
+/// # Panics
+/// Panics unless the dataset is binary (`|Y| = 2`).
+pub fn certain_label_minmax_with_scratch(
+    ds: &IncompleteDataset,
+    cfg: &CpConfig,
+    idx: &SimilarityIndex,
+    pins: &Pins,
+    scratch: &mut MmScratch,
+) -> Option<Label> {
     assert_eq!(
         ds.n_labels(),
         2,
         "MM answers Q1 only for binary classification; use the Possibility-semiring SortScan for |Y| > 2"
     );
     pins.validate(ds);
-    let exists0 = extreme_world_predicts(ds, cfg, idx, pins, 0);
-    let exists1 = extreme_world_predicts(ds, cfg, idx, pins, 1);
+    let exists0 = extreme_world_predicts_with_scratch(ds, cfg, idx, pins, 0, scratch);
+    let exists1 = extreme_world_predicts_with_scratch(ds, cfg, idx, pins, 1, scratch);
     match (exists0, exists1) {
         (true, false) => Some(0),
         (false, true) => Some(1),

@@ -18,6 +18,21 @@
 //! label's support.
 
 use cp_numeric::CountSemiring;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+
+/// Process-wide count of [`TallyTree::new`] invocations.
+static TREE_BUILD_COUNT: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide number of [`TallyTree::new`] calls so far.
+///
+/// Monotone; snapshot before and after a region and subtract to count the
+/// tree constructions it performed — the twin of
+/// [`crate::similarity::build_count`]. The MM extreme-summary fast path
+/// uses this to *prove* it never touches the polynomial machinery (a
+/// binary status sweep must build zero tally trees).
+pub fn tree_build_count() -> u64 {
+    TREE_BUILD_COUNT.load(AtomicOrdering::Relaxed)
+}
 
 /// Multiply two slot polynomials, truncating at degree `k` (inclusive).
 ///
@@ -65,6 +80,7 @@ pub struct TallyTree<S> {
 impl<S: CountSemiring> TallyTree<S> {
     /// Build a tree of `n_leaves` identity polynomials.
     pub fn new(n_leaves: usize, k: usize) -> Self {
+        TREE_BUILD_COUNT.fetch_add(1, AtomicOrdering::Relaxed);
         let cap = n_leaves.max(1).next_power_of_two();
         let stride = k + 1;
         let mut nodes = vec![S::zero(); 2 * cap * stride];

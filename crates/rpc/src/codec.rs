@@ -23,7 +23,7 @@
 
 use crate::error::{RpcError, RpcResult};
 use crate::wire::{put_bool, put_f64, put_opt_u32, put_u128, put_u32, put_u8, put_usize, Reader};
-use cp_core::{Pins, ShardFactors};
+use cp_core::{ExtremeEntry, ExtremeSummary, Pins, ShardFactors};
 use cp_knn::Kernel;
 use cp_numeric::{CountSemiring, Possibility};
 use cp_shard::{BoundaryEvent, ShardStream, ShardStreamEvent};
@@ -417,6 +417,71 @@ pub fn decode_stream<S: WireSemiring>(buf: &[u8]) -> RpcResult<ShardStream<S>> {
     })
 }
 
+// ---------------------------------------------------------------------------
+// ExtremeSummary — the rank-merged binary-Q1 status message
+// ---------------------------------------------------------------------------
+
+/// Minimum encoded size of one summary entry (`sim` + `row` + `cand` +
+/// `label`), for pre-allocation bounds checks.
+const SUMMARY_ENTRY_BYTES: usize = 8 + 8 + 4 + 4;
+
+/// Encode an [`ExtremeSummary`] — the `O(|Y|·K)` message a shard ships per
+/// binary status check instead of its whole boundary-event stream.
+/// Summaries are semiring-free (their entries are rank keys and label
+/// votes), so there is no semiring tag.
+pub fn encode_summary(summary: &ExtremeSummary) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u32(&mut out, summary.k() as u32);
+    put_u32(&mut out, summary.n_labels() as u32);
+    for top in summary.tops() {
+        put_u32(&mut out, top.len() as u32);
+        for e in top {
+            put_f64(&mut out, e.sim);
+            put_usize(&mut out, e.row);
+            put_u32(&mut out, e.cand);
+            put_u32(&mut out, e.label as u32);
+        }
+    }
+    out
+}
+
+/// Decode an [`ExtremeSummary`], enforcing every invariant the rank merge
+/// relies on: per-direction entry counts within the K budget, labels in
+/// range, strictly descending rank order (all re-checked by
+/// [`ExtremeSummary::from_parts`], so hostile input surfaces as a typed
+/// error, never a panic in the merge).
+pub fn decode_summary(buf: &[u8]) -> RpcResult<ExtremeSummary> {
+    let mut r = Reader::new(buf);
+    let k = r.u32("summary slot budget")? as usize;
+    let n_labels = r.count(4, "summary directions")?;
+    let mut tops = Vec::with_capacity(n_labels);
+    for _ in 0..n_labels {
+        let n = r.count(SUMMARY_ENTRY_BYTES, "summary entries")?;
+        if n > k {
+            return Err(RpcError::Malformed(format!(
+                "summary direction holds {n} entries, exceeding the K={k} budget"
+            )));
+        }
+        let mut top = Vec::with_capacity(n);
+        for _ in 0..n {
+            let sim = r.f64("entry similarity")?;
+            let row = r.usize("entry row")?;
+            let cand = r.u32("entry candidate")?;
+            let label = r.u32("entry label")? as usize;
+            top.push(ExtremeEntry {
+                sim,
+                row,
+                cand,
+                label,
+            });
+        }
+        tops.push(top);
+    }
+    r.finish("extreme summary")?;
+    ExtremeSummary::from_parts(k, tops)
+        .map_err(|e| RpcError::Malformed(format!("extreme summary: {e}")))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -478,6 +543,34 @@ mod tests {
             Err(RpcError::Protocol(_))
         ));
         assert_eq!(decode_factors::<u128>(&bytes).unwrap(), f);
+    }
+
+    #[test]
+    fn summaries_round_trip_and_reject_malformed_bytes() {
+        let e = |sim: f64, row: usize, label: usize| ExtremeEntry {
+            sim,
+            row,
+            cand: 1,
+            label,
+        };
+        let summary = ExtremeSummary::from_parts(
+            2,
+            vec![vec![e(2.0, 0, 1), e(1.0, 3, 0)], vec![e(5.0, 2, 1)]],
+        )
+        .unwrap();
+        let bytes = encode_summary(&summary);
+        assert_eq!(decode_summary(&bytes).unwrap(), summary);
+        // trailing garbage is malformed
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(matches!(
+            decode_summary(&extended),
+            Err(RpcError::Malformed(_))
+        ));
+        // every strict prefix errors cleanly
+        for cut in 0..bytes.len() {
+            assert!(decode_summary(&bytes[..cut]).is_err(), "cut {cut}");
+        }
     }
 
     #[test]

@@ -18,43 +18,179 @@
 //! **identical** to `ShardedSession`'s — property-tested over real loopback
 //! sockets in `tests/rpc_equivalence.rs`.
 
-use crate::codec::{decode_stream, read_frame, write_frame, WireSemiring};
+use crate::codec::{decode_stream, decode_summary, read_frame, write_frame, WireSemiring};
 use crate::error::{RpcError, RpcResult};
 use crate::proto::{decode_response, encode_request, OpenShard, Request, Response, ShardStatus};
 use cp_clean::metrics::CleaningRun;
 use cp_clean::{
     pick_min_expected_entropy, CleaningEngine, CleaningProblem, CleaningState, RunOptions,
 };
-use cp_core::{DatasetShard, Pins, Q2Algorithm, Q2Result};
+use cp_core::{DatasetShard, ExtremeSummary, Pins, Q2Algorithm, Q2Result};
 use cp_knn::Label;
 use cp_numeric::stats::entropy_bits;
 use cp_numeric::Possibility;
-use cp_shard::scan::{certain_label_from_streams, q2_from_streams_with_algorithm};
+use cp_shard::scan::{
+    certain_label_from_streams, certain_label_from_summaries, q2_from_streams_with_algorithm,
+};
 use cp_shard::{merged_scan_sources, ShardStream, StreamCursor};
 use std::cell::RefCell;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::Arc;
+use std::time::Duration;
+
+/// Connection policy for a [`ShardClient`] — the transport-hardening knobs
+/// for serving beyond loopback.
+///
+/// *Timeouts* bound how long a coordinator can hang on an unresponsive
+/// peer: `connect_timeout` caps the TCP handshake, `read_timeout` /
+/// `write_timeout` cap each half of a request round trip (an expired
+/// timeout surfaces as an [`RpcError::Io`]).
+///
+/// *Retries* apply to **connection establishment only** — `connect_retries`
+/// extra attempts, `retry_backoff` apart, on I/O failures (refused,
+/// unreachable, handshake timeout). In-flight requests are never retried:
+/// the protocol is not idempotent (a retried `Step` whose ack was lost
+/// would double-pin), so mid-session failures surface to the caller, which
+/// owns the recovery decision.
+///
+/// The default is the pre-hardening behavior: no timeouts, no retries.
+#[derive(Clone, Debug)]
+pub struct ClientConfig {
+    /// Cap on each TCP connect attempt (`None` = the OS default).
+    pub connect_timeout: Option<Duration>,
+    /// Cap on blocking reads of one response (`None` = block forever).
+    pub read_timeout: Option<Duration>,
+    /// Cap on blocking writes of one request (`None` = block forever).
+    pub write_timeout: Option<Duration>,
+    /// Extra connect attempts after the first fails with an I/O error.
+    pub connect_retries: u32,
+    /// Pause between connect attempts.
+    pub retry_backoff: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: None,
+            read_timeout: None,
+            write_timeout: None,
+            connect_retries: 0,
+            retry_backoff: Duration::from_millis(50),
+        }
+    }
+}
 
 /// A connection to one shard server.
 #[derive(Debug)]
 pub struct ShardClient {
     stream: TcpStream,
+    /// Set after a transport-level failure (I/O error, timeout, mid-frame
+    /// truncation, oversized frame). The protocol has no request IDs, so
+    /// once a round trip dies the stream may hold the dead request's
+    /// late-arriving response — reusing it would hand the *next* call the
+    /// *previous* call's answer. A poisoned client refuses further calls
+    /// with a typed error; reconnect to recover.
+    poisoned: bool,
 }
 
 impl ShardClient {
-    /// Connect to a server. `TCP_NODELAY` is set: the protocol is strict
-    /// request/response with small frames, where Nagle batching only adds
-    /// latency.
+    /// Connect to a server with the default (no-timeout, no-retry) policy.
+    /// `TCP_NODELAY` is set: the protocol is strict request/response with
+    /// small frames, where Nagle batching only adds latency.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> RpcResult<Self> {
-        let stream = TcpStream::connect(addr)?;
+        Self::connect_with(addr, &ClientConfig::default())
+    }
+
+    /// Connect under an explicit [`ClientConfig`]: bounded retries on I/O
+    /// failure during establishment, then per-call read/write timeouts for
+    /// the connection's lifetime.
+    pub fn connect_with<A: ToSocketAddrs>(addr: A, cfg: &ClientConfig) -> RpcResult<Self> {
+        let mut last: Option<RpcError> = None;
+        for attempt in 0..=cfg.connect_retries {
+            if attempt > 0 && !cfg.retry_backoff.is_zero() {
+                std::thread::sleep(cfg.retry_backoff);
+            }
+            match Self::connect_once(&addr, cfg) {
+                Ok(client) => return Ok(client),
+                // only transport-level failures are worth another attempt
+                Err(e @ RpcError::Io(_)) => last = Some(e),
+                Err(other) => return Err(other),
+            }
+        }
+        Err(last.unwrap_or_else(|| RpcError::Protocol("no socket address resolved".into())))
+    }
+
+    fn connect_once<A: ToSocketAddrs>(addr: &A, cfg: &ClientConfig) -> RpcResult<Self> {
+        let stream = match cfg.connect_timeout {
+            None => TcpStream::connect(addr)?,
+            Some(timeout) => {
+                // `connect_timeout` takes a single resolved address; try
+                // each resolution like `TcpStream::connect` does
+                let mut last_io: Option<std::io::Error> = None;
+                let mut connected = None;
+                for sock_addr in addr.to_socket_addrs()? {
+                    match TcpStream::connect_timeout(&sock_addr, timeout) {
+                        Ok(s) => {
+                            connected = Some(s);
+                            break;
+                        }
+                        Err(e) => last_io = Some(e),
+                    }
+                }
+                match connected {
+                    Some(s) => s,
+                    None => {
+                        return Err(RpcError::Io(last_io.unwrap_or_else(|| {
+                            std::io::Error::new(
+                                std::io::ErrorKind::InvalidInput,
+                                "address resolved to no socket addresses",
+                            )
+                        })))
+                    }
+                }
+            }
+        };
         stream.set_nodelay(true)?;
-        Ok(ShardClient { stream })
+        stream.set_read_timeout(cfg.read_timeout)?;
+        stream.set_write_timeout(cfg.write_timeout)?;
+        Ok(ShardClient {
+            stream,
+            poisoned: false,
+        })
+    }
+
+    /// Whether a transport failure has made this connection unusable (see
+    /// the `poisoned` field docs; every later [`ShardClient::call`] fails).
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
     }
 
     /// One request/response round trip.
+    ///
+    /// A transport-level failure (I/O error/timeout, truncated or oversized
+    /// frame) **poisons** the connection: the request/response pairing can
+    /// no longer be trusted, so every subsequent call fails with a typed
+    /// [`RpcError::Protocol`] instead of silently reading a stale response.
+    /// Payload-level decode failures (a complete frame that doesn't parse)
+    /// leave the stream at a frame boundary and do not poison.
     pub fn call(&mut self, req: &Request) -> RpcResult<Response> {
-        write_frame(&mut self.stream, &encode_request(req))?;
-        decode_response(&read_frame(&mut self.stream)?)
+        if self.poisoned {
+            return Err(RpcError::Protocol(
+                "connection poisoned by an earlier transport failure; reconnect to recover".into(),
+            ));
+        }
+        let round_trip = (|| {
+            write_frame(&mut self.stream, &encode_request(req))?;
+            read_frame(&mut self.stream)
+        })();
+        match round_trip {
+            Ok(frame) => decode_response(&frame),
+            Err(e) => {
+                // the stream may sit mid-frame or hold a late response
+                self.poisoned = true;
+                Err(e)
+            }
+        }
     }
 
     fn expect_ok(&mut self, req: &Request) -> RpcResult<()> {
@@ -83,6 +219,28 @@ impl ShardClient {
             Response::Error(msg) => Err(RpcError::Remote(msg)),
             other => Err(RpcError::Protocol(format!(
                 "expected Stream, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Request one rank-ordered extreme summary — the binary-Q1 status
+    /// exchange: `O(|Y|·K)` entries instead of a whole scan stream.
+    pub fn extreme_summary(
+        &mut self,
+        val: usize,
+        k: usize,
+        pins: Option<&Pins>,
+    ) -> RpcResult<ExtremeSummary> {
+        let req = Request::ExtremeSummary {
+            val: val as u32,
+            k: k as u32,
+            pins: pins.cloned(),
+        };
+        match self.call(&req)? {
+            Response::Summary(bytes) => decode_summary(&bytes),
+            Response::Error(msg) => Err(RpcError::Remote(msg)),
+            other => Err(RpcError::Protocol(format!(
+                "expected Summary, got {other:?}"
             ))),
         }
     }
@@ -135,6 +293,21 @@ impl RpcCoordinator {
         addrs: &[A],
         opts: &RunOptions,
     ) -> RpcResult<Self> {
+        Self::connect_with(problem, addrs, opts, &ClientConfig::default())
+    }
+
+    /// [`RpcCoordinator::connect`] under an explicit [`ClientConfig`]
+    /// (connect/read/write timeouts and bounded connect retries per shard
+    /// server).
+    ///
+    /// # Panics
+    /// Panics if `addrs` is empty or the problem does not validate.
+    pub fn connect_with<A: ToSocketAddrs>(
+        problem: &CleaningProblem,
+        addrs: &[A],
+        opts: &RunOptions,
+        client_cfg: &ClientConfig,
+    ) -> RpcResult<Self> {
         assert!(!addrs.is_empty(), "need at least one shard server");
         problem.validate();
         let problem = Arc::new(problem.clone());
@@ -148,7 +321,7 @@ impl RpcCoordinator {
         let k = problem.config.k_eff(problem.dataset.len());
         let mut clients = Vec::with_capacity(shards.len());
         for (sh, addr) in shards.iter().zip(addrs) {
-            let mut client = ShardClient::connect(addr)?;
+            let mut client = ShardClient::connect_with(addr, client_cfg)?;
             let open = OpenShard {
                 start: sh.start(),
                 n_labels: sh.dataset().n_labels(),
@@ -251,22 +424,25 @@ impl RpcCoordinator {
         self.state.remaining(&self.problem)
     }
 
-    /// Reject a decoded stream whose factor shape does not match what was
-    /// requested: the merge layer `assert!`s on shape mismatches, and a
+    /// Reject a decoded value whose `(K, |Y|)` shape does not match what
+    /// was requested: the merge layers `assert!` on shape mismatches, and a
     /// remote peer's data must surface as a typed error, never a panic.
+    fn check_shape(&self, what: &str, k: usize, n_labels: usize) -> RpcResult<()> {
+        let expect_labels = self.problem.dataset.n_labels();
+        if k != self.k || n_labels != expect_labels {
+            return Err(RpcError::Protocol(format!(
+                "{what} shape mismatch: got k={k} |Y|={n_labels}, expected k={} |Y|={expect_labels}",
+                self.k
+            )));
+        }
+        Ok(())
+    }
+
     fn check_stream_shape<S: WireSemiring>(
         &self,
         stream: ShardStream<S>,
     ) -> RpcResult<ShardStream<S>> {
-        let n_labels = self.problem.dataset.n_labels();
-        if stream.k() != self.k || stream.n_labels() != n_labels {
-            return Err(RpcError::Protocol(format!(
-                "stream shape mismatch: got k={} |Y|={}, expected k={} |Y|={n_labels}",
-                stream.k(),
-                stream.n_labels(),
-                self.k
-            )));
-        }
+        self.check_shape("stream", stream.k(), stream.n_labels())?;
         Ok(stream)
     }
 
@@ -279,11 +455,28 @@ impl RpcCoordinator {
             .collect()
     }
 
+    fn check_summary_shape(&self, summary: ExtremeSummary) -> RpcResult<ExtremeSummary> {
+        self.check_shape("summary", summary.k(), summary.n_labels())?;
+        Ok(summary)
+    }
+
     /// The certainly-predicted label of validation point `v` (if any) under
-    /// the current pins, by one merged scan over fresh per-shard streams.
+    /// the current pins — the same dispatch as the in-process engines:
+    /// binary label spaces ship one `O(|Y|·K)` [`ExtremeSummary`] per shard
+    /// and fold them by rank (no boundary-event stream crosses the wire);
+    /// everything else merges fresh `Possibility` streams.
     pub fn certain_label_at(&self, v: usize) -> RpcResult<Option<Label>> {
-        let streams = self.fetch_streams::<Possibility>(v)?;
-        Ok(certain_label_from_streams(&streams))
+        if self.problem.dataset.n_labels() == 2 {
+            let summaries: Vec<ExtremeSummary> = self
+                .clients
+                .iter()
+                .map(|c| self.check_summary_shape(c.borrow_mut().extreme_summary(v, self.k, None)?))
+                .collect::<RpcResult<_>>()?;
+            Ok(certain_label_from_summaries(&summaries))
+        } else {
+            let streams = self.fetch_streams::<Possibility>(v)?;
+            Ok(certain_label_from_streams(&streams))
+        }
     }
 
     /// Exact Q2 counts for validation point `v` under the current pins, in
@@ -340,9 +533,9 @@ impl RpcCoordinator {
     /// refresh the global CP status.
     ///
     /// Failure semantics: if the `Step` round trip errors before a success
-    /// response arrives, nothing local has been mutated (a lost *ack* can
-    /// still leave the server pinned — retrying then surfaces as a
-    /// `Remote("row … already cleaned")` error, never silent divergence).
+    /// response arrives, nothing local has been mutated (a lost *ack* also
+    /// poisons that shard's connection, so retrying surfaces as a typed
+    /// connection-poisoned error, never silent divergence).
     /// If the subsequent status refresh errors instead, the pin is already
     /// applied consistently on both sides and only the cached [`Self::status`]
     /// may lag; staleness is *sound* (certainty is monotone, so stale
@@ -493,4 +686,103 @@ fn slice_choices(choices: &[Option<usize>], shard: &DatasetShard) -> Vec<Option<
         .iter()
         .map(|c| c.map(|j| j as u32))
         .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::time::Instant;
+
+    /// A deliberately dropped listener: the address was just live, but by
+    /// connect time nothing accepts there. The bounded retry policy must
+    /// fail with a typed transport error after exhausting its attempts —
+    /// not hang, not panic.
+    #[test]
+    fn connecting_to_a_dropped_listener_exhausts_retries_with_a_typed_error() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        drop(listener);
+
+        let cfg = ClientConfig {
+            connect_timeout: Some(Duration::from_millis(250)),
+            connect_retries: 2,
+            retry_backoff: Duration::from_millis(5),
+            ..ClientConfig::default()
+        };
+        let started = Instant::now();
+        let err = ShardClient::connect_with(&addr, &cfg).expect_err("nothing listens there");
+        assert!(matches!(err, RpcError::Io(_)), "got {err:?}");
+        // all three attempts ran: at least two backoff pauses elapsed
+        assert!(started.elapsed() >= Duration::from_millis(10));
+    }
+
+    /// A retry window long enough for the server to come up turns the same
+    /// failure into a success: attempt one is refused, then the listener
+    /// appears on the same port and a later attempt lands.
+    #[test]
+    fn connect_retries_bridge_a_late_starting_server() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        drop(listener);
+        let spawner = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            // another process can legitimately be handed the just-freed
+            // ephemeral port; retry briefly, and report (rather than
+            // panic) if it stays taken — that's an environment race, not
+            // a retry-logic failure
+            for _ in 0..200 {
+                if let Ok(l) = TcpListener::bind(addr) {
+                    return Some(l);
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            None
+        });
+        let cfg = ClientConfig {
+            connect_retries: 150,
+            retry_backoff: Duration::from_millis(10),
+            ..ClientConfig::default()
+        };
+        let client = ShardClient::connect_with(addr.to_string(), &cfg);
+        let rebound = spawner.join().expect("listener thread");
+        if rebound.is_none() {
+            eprintln!("skipping assertion: freed ephemeral port was re-taken by the environment");
+            return;
+        }
+        client.expect("a retry after the rebind must succeed");
+    }
+
+    /// A connected-but-silent server must not hang a coordinator: with a
+    /// read timeout set, the blocked response read surfaces as `Io`.
+    #[test]
+    fn read_timeout_turns_a_silent_server_into_a_typed_error() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let hold = std::thread::spawn(move || {
+            // accept, then never answer; keep the socket open until the
+            // client has timed out
+            let (stream, _) = listener.accept().expect("accept");
+            std::thread::sleep(Duration::from_millis(400));
+            drop(stream);
+        });
+
+        let cfg = ClientConfig {
+            read_timeout: Some(Duration::from_millis(50)),
+            ..ClientConfig::default()
+        };
+        let mut client = ShardClient::connect_with(&addr, &cfg).expect("connect");
+        let err = client.call(&Request::Status).expect_err("server is silent");
+        assert!(matches!(err, RpcError::Io(_)), "got {err:?}");
+        // the timeout poisons the connection: a late response could still
+        // arrive on this stream and be mistaken for the next call's answer,
+        // so reuse must fail typed instead of returning wrong data
+        assert!(client.is_poisoned());
+        let err = client.call(&Request::Status).expect_err("poisoned");
+        assert!(
+            matches!(&err, RpcError::Protocol(msg) if msg.contains("poisoned")),
+            "got {err:?}"
+        );
+        hold.join().expect("server thread");
+    }
 }

@@ -17,8 +17,11 @@
 //!   and whole batched [`cp_shard::ShardStream`]s. Wire semirings: exact
 //!   `u128`, probability-space `f64`, and the boolean
 //!   [`cp_numeric::Possibility`] ([`codec::WireSemiring`]).
-//! * [`proto`] — the message schema: `Open`, `Scan`, `Step`, `SyncStatus`,
-//!   `Status`, `Shutdown` and their responses.
+//! * [`proto`] — the message schema: `Open`, `Scan`, `ExtremeSummary`,
+//!   `Step`, `SyncStatus`, `Status`, `Shutdown` and their responses.
+//!   Binary-label status checks ship `ExtremeSummary` messages —
+//!   `O(|Y|·K)` rank-ordered entries per shard, merged by rank at the
+//!   coordinator — instead of whole boundary-event streams.
 //! * [`server`] — [`server::ShardServer`]: adopts one shard, builds its
 //!   partition-local index cache once, and answers each scan request with
 //!   the shard's **whole** locally-sorted boundary-event stream (factor
@@ -50,10 +53,10 @@ pub mod server;
 pub mod wire;
 
 pub use codec::{
-    decode_factors, decode_stream, encode_factors, encode_stream, read_frame, read_frame_opt,
-    write_frame, WireSemiring,
+    decode_factors, decode_stream, decode_summary, encode_factors, encode_stream, encode_summary,
+    read_frame, read_frame_opt, write_frame, WireSemiring,
 };
-pub use coordinator::{RpcCoordinator, ShardClient};
+pub use coordinator::{ClientConfig, RpcCoordinator, ShardClient};
 pub use error::{RpcError, RpcResult};
 pub use proto::{OpenShard, Request, Response, ShardStatus};
 pub use server::{serve, serve_connection, serve_ephemeral, ShardServer};

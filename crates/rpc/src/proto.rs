@@ -9,6 +9,7 @@
 //! |------------------------|-------------------------------------------|
 //! | [`Request::Open`]      | [`Response::Opened`] — shard adopted       |
 //! | [`Request::Scan`]      | [`Response::Stream`] — batched event stream |
+//! | [`Request::ExtremeSummary`] | [`Response::Summary`] — rank-merged MM top-K |
 //! | [`Request::Step`]      | [`Response::Ok`] — pin applied             |
 //! | [`Request::SyncStatus`]| [`Response::Ok`] — global CP bits stored   |
 //! | [`Request::Status`]    | [`Response::Status`] — shard's local view  |
@@ -71,6 +72,18 @@ pub enum Request {
         /// `Some`).
         pins: Option<Pins>,
     },
+    /// Compute one rank-ordered extreme summary for validation point `val`
+    /// — the binary-Q1 MM fast path's `O(|Y|·K)` exchange, replacing the
+    /// whole boundary-event stream for status checks.
+    ExtremeSummary {
+        /// Validation-point index into the opened `val_x`.
+        val: u32,
+        /// The **global** effective K (how many top entries to keep).
+        k: u32,
+        /// Shard-local pin mask override; `None` summarizes under the
+        /// server session's current pins.
+        pins: Option<Pins>,
+    },
     /// Clean one shard-local row (pin it to its ground-truth candidate).
     Step {
         /// Local row index within the shard.
@@ -113,6 +126,9 @@ pub enum Response {
     /// One batched scan stream, encoded with
     /// [`crate::codec::encode_stream`] (self-tagged with its semiring).
     Stream(Vec<u8>),
+    /// One rank-ordered extreme summary, encoded with
+    /// [`crate::codec::encode_summary`].
+    Summary(Vec<u8>),
     /// The server's local view.
     Status(ShardStatus),
     /// The request was understood but rejected.
@@ -125,12 +141,14 @@ const REQ_STEP: u8 = 3;
 const REQ_SYNC_STATUS: u8 = 4;
 const REQ_STATUS: u8 = 5;
 const REQ_SHUTDOWN: u8 = 6;
+const REQ_EXTREME_SUMMARY: u8 = 7;
 
 const RESP_OK: u8 = 1;
 const RESP_OPENED: u8 = 2;
 const RESP_STREAM: u8 = 3;
 const RESP_STATUS: u8 = 4;
 const RESP_ERROR: u8 = 5;
+const RESP_SUMMARY: u8 = 6;
 
 fn put_choices(out: &mut Vec<u8>, choices: &[Option<u32>]) {
     put_u32(out, choices.len() as u32);
@@ -190,6 +208,18 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             put_u32(&mut out, *val);
             put_u32(&mut out, *k);
             put_u8(&mut out, *semiring);
+            match pins {
+                None => put_u8(&mut out, 0),
+                Some(p) => {
+                    put_u8(&mut out, 1);
+                    put_pins(&mut out, p);
+                }
+            }
+        }
+        Request::ExtremeSummary { val, k, pins } => {
+            put_u8(&mut out, REQ_EXTREME_SUMMARY);
+            put_u32(&mut out, *val);
+            put_u32(&mut out, *k);
             match pins {
                 None => put_u8(&mut out, 0),
                 Some(p) => {
@@ -265,6 +295,21 @@ pub fn decode_request(buf: &[u8]) -> RpcResult<Request> {
                 pins,
             }
         }
+        REQ_EXTREME_SUMMARY => {
+            let val = r.u32("summary val")?;
+            let k = r.u32("summary k")?;
+            let pins = match r.u8("summary pins flag")? {
+                0 => None,
+                1 => Some(get_pins(&mut r)?),
+                tag => {
+                    return Err(RpcError::BadTag {
+                        what: "summary pins flag",
+                        tag,
+                    })
+                }
+            };
+            Request::ExtremeSummary { val, k, pins }
+        }
         REQ_STEP => Request::Step {
             local_row: r.u32("step row")?,
         },
@@ -296,6 +341,11 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             put_u32(&mut out, bytes.len() as u32);
             out.extend_from_slice(bytes);
         }
+        Response::Summary(bytes) => {
+            put_u8(&mut out, RESP_SUMMARY);
+            put_u32(&mut out, bytes.len() as u32);
+            out.extend_from_slice(bytes);
+        }
         Response::Status(status) => {
             put_u8(&mut out, RESP_STATUS);
             put_usize(&mut out, status.start);
@@ -323,6 +373,10 @@ pub fn decode_response(buf: &[u8]) -> RpcResult<Response> {
         RESP_STREAM => {
             let n = r.count(1, "stream bytes")?;
             Response::Stream(r.take(n, "stream payload")?.to_vec())
+        }
+        RESP_SUMMARY => {
+            let n = r.count(1, "summary bytes")?;
+            Response::Summary(r.take(n, "summary payload")?.to_vec())
         }
         RESP_STATUS => Response::Status(ShardStatus {
             start: r.usize("status start")?,
@@ -362,6 +416,16 @@ mod tests {
                 semiring: 1,
                 pins: None,
             },
+            Request::ExtremeSummary {
+                val: 2,
+                k: 3,
+                pins: Some(Pins::from_pairs(3, &[(0, 1)])),
+            },
+            Request::ExtremeSummary {
+                val: 0,
+                k: 1,
+                pins: None,
+            },
             Request::Step { local_row: 9 },
             Request::SyncStatus(vec![true, false, true]),
             Request::Status,
@@ -398,6 +462,7 @@ mod tests {
             Response::Ok,
             Response::Opened { n_rows: 12 },
             Response::Stream(vec![1, 2, 3]),
+            Response::Summary(vec![7, 8]),
             Response::Status(ShardStatus {
                 start: 2,
                 n_rows: 3,

@@ -7,7 +7,10 @@
 //! mask — while each [`Request::Scan`] ships one batched
 //! [`cp_shard::ShardStream`] back: the shard's whole locally-sorted
 //! boundary-event stream with factor deltas, computed by exactly the
-//! [`cp_shard::ShardScan`] code the in-process engine runs.
+//! [`cp_shard::ShardScan`] code the in-process engine runs. Binary status
+//! checks are cheaper still: [`Request::ExtremeSummary`] answers with one
+//! rank-ordered [`ExtremeSummary`] — `O(|Y|·K)` entries instead of the
+//! whole event stream.
 //!
 //! The request handler ([`ShardServer::handle`]) is a pure state machine
 //! over decoded messages, so the protocol is unit-testable without sockets;
@@ -16,11 +19,11 @@
 //! [`Response::Error`] — a shard server must never be panicked by its
 //! network input.
 
-use crate::codec::{encode_stream, read_frame_opt, write_frame, WireSemiring};
+use crate::codec::{encode_stream, encode_summary, read_frame_opt, write_frame, WireSemiring};
 use crate::error::RpcResult;
 use crate::proto::{decode_request, encode_response, OpenShard, Request, Response, ShardStatus};
 use cp_clean::{CleaningProblem, CleaningSession, RunOptions};
-use cp_core::{CpConfig, DatasetShard, IncompleteDataset, IncompleteExample, Pins};
+use cp_core::{CpConfig, DatasetShard, ExtremeSummary, IncompleteDataset, IncompleteExample, Pins};
 use cp_numeric::Possibility;
 use cp_shard::ShardStream;
 use std::net::{TcpListener, TcpStream};
@@ -63,6 +66,7 @@ impl ShardServer {
                 semiring,
                 pins,
             } => self.handle_scan(val, k, semiring, pins),
+            Request::ExtremeSummary { val, k, pins } => self.handle_extreme_summary(val, k, pins),
             Request::Step { local_row } => self.handle_step(local_row),
             Request::SyncStatus(bits) => self.handle_sync_status(bits),
             Request::Status => self.handle_status(),
@@ -148,38 +152,54 @@ impl ShardServer {
         Response::Opened { n_rows }
     }
 
+    /// Shared validation of per-point query requests (scans and extreme
+    /// summaries): the validation point must exist, `k` must be positive
+    /// and within the opened classifier's configured K (an unbounded k
+    /// would size allocations from network input), and a pin-mask override
+    /// must fit the shard's rows.
+    fn validate_query(
+        worker: &Worker,
+        val: usize,
+        k: u32,
+        pins: &Option<Pins>,
+    ) -> Option<Response> {
+        if val >= worker.session.cache().len() {
+            return Some(Response::Error(format!(
+                "validation point {val} out of range"
+            )));
+        }
+        if k == 0 {
+            return Some(Response::Error("k must be positive".into()));
+        }
+        let configured_k = worker.session.problem().config.k;
+        if k as usize > configured_k {
+            return Some(Response::Error(format!(
+                "requested k {k} exceeds the opened classifier's k {configured_k}"
+            )));
+        }
+        let ds = worker.shard.dataset();
+        if let Some(p) = pins {
+            if p.len() != ds.len() {
+                return Some(Response::Error("pin mask length mismatch".into()));
+            }
+            for i in 0..p.len() {
+                if let Some(j) = p.pinned(i) {
+                    if j >= ds.set_size(i) {
+                        return Some(Response::Error(format!("pin ({i}, {j}) out of range")));
+                    }
+                }
+            }
+        }
+        None
+    }
+
     fn handle_scan(&mut self, val: u32, k: u32, semiring: u8, pins: Option<Pins>) -> Response {
         let Some(worker) = &self.worker else {
             return Response::Error("scan before open".into());
         };
         let val = val as usize;
-        if val >= worker.session.cache().len() {
-            return Response::Error(format!("validation point {val} out of range"));
-        }
-        if k == 0 {
-            return Response::Error("scan k must be positive".into());
-        }
-        // the global effective K is always ≤ the configured K shipped at
-        // open — anything larger is malformed, and an unbounded k would
-        // size every polynomial allocation from network input
-        let configured_k = worker.session.problem().config.k;
-        if k as usize > configured_k {
-            return Response::Error(format!(
-                "scan k {k} exceeds the opened classifier's k {configured_k}"
-            ));
-        }
-        let ds = worker.shard.dataset();
-        if let Some(p) = &pins {
-            if p.len() != ds.len() {
-                return Response::Error("pin mask length mismatch".into());
-            }
-            for i in 0..p.len() {
-                if let Some(j) = p.pinned(i) {
-                    if j >= ds.set_size(i) {
-                        return Response::Error(format!("pin ({i}, {j}) out of range"));
-                    }
-                }
-            }
+        if let Some(reject) = Self::validate_query(worker, val, k, &pins) {
+            return reject;
         }
         let pins = pins
             .as_ref()
@@ -207,6 +227,30 @@ impl ShardServer {
             ));
         }
         Response::Stream(bytes)
+    }
+
+    fn handle_extreme_summary(&mut self, val: u32, k: u32, pins: Option<Pins>) -> Response {
+        let Some(worker) = &self.worker else {
+            return Response::Error("extreme summary before open".into());
+        };
+        let val = val as usize;
+        if let Some(reject) = Self::validate_query(worker, val, k, &pins) {
+            return reject;
+        }
+        // the extreme-world equivalence is only proven for binary label
+        // spaces — the regime the coordinator dispatches summaries in
+        if worker.shard.dataset().n_labels() != 2 {
+            return Response::Error(
+                "extreme summaries answer binary Q1 only; scan the Possibility semiring instead"
+                    .into(),
+            );
+        }
+        let pins = pins
+            .as_ref()
+            .unwrap_or_else(|| worker.session.state().pins());
+        let idx = &worker.session.cache()[val];
+        let summary = ExtremeSummary::build(&worker.shard, idx, pins, k as usize);
+        Response::Summary(encode_summary(&summary))
     }
 
     fn handle_step(&mut self, local_row: u32) -> Response {
@@ -364,6 +408,18 @@ mod tests {
         assert_eq!(stream.n_labels(), 2);
         assert!(!stream.events.is_empty());
 
+        let resp = server.handle(Request::ExtremeSummary {
+            val: 0,
+            k: 1,
+            pins: None,
+        });
+        let Response::Summary(bytes) = resp else {
+            panic!("expected summary, got {resp:?}");
+        };
+        let summary = crate::codec::decode_summary(&bytes).unwrap();
+        assert_eq!(summary.n_labels(), 2);
+        assert_eq!(summary.k(), 1);
+
         assert_eq!(server.handle(Request::Step { local_row: 1 }), Response::Ok);
         assert!(matches!(
             server.handle(Request::Step { local_row: 1 }),
@@ -425,6 +481,26 @@ mod tests {
                 semiring: 1,
                 pins: Some(Pins::none(7)),
             },
+            Request::ExtremeSummary {
+                val: 99,
+                k: 1,
+                pins: None,
+            },
+            Request::ExtremeSummary {
+                val: 0,
+                k: 0,
+                pins: None,
+            },
+            Request::ExtremeSummary {
+                val: 0,
+                k: u32::MAX,
+                pins: None,
+            },
+            Request::ExtremeSummary {
+                val: 0,
+                k: 1,
+                pins: Some(Pins::single(3, 1, 9)),
+            },
             Request::Step { local_row: 77 },
             Request::Step { local_row: 0 }, // clean row
             Request::SyncStatus(vec![true]),
@@ -434,6 +510,38 @@ mod tests {
                 "{req:?} must be rejected"
             );
         }
+    }
+
+    #[test]
+    fn extreme_summaries_are_rejected_on_multiclass_shards() {
+        let mut server = ShardServer::new();
+        // summary before open is a protocol error
+        assert!(matches!(
+            server.handle(Request::ExtremeSummary {
+                val: 0,
+                k: 1,
+                pins: None
+            }),
+            Response::Error(_)
+        ));
+        let mut open = tiny_open();
+        open.n_labels = 3;
+        open.examples.push((2, vec![vec![9.0]]));
+        open.truth_choice.push(None);
+        open.default_choice.push(None);
+        assert!(matches!(
+            server.handle(Request::Open(Box::new(open))),
+            Response::Opened { .. }
+        ));
+        let resp = server.handle(Request::ExtremeSummary {
+            val: 0,
+            k: 1,
+            pins: None,
+        });
+        let Response::Error(msg) = resp else {
+            panic!("expected rejection, got {resp:?}");
+        };
+        assert!(msg.contains("binary Q1"), "{msg:?}");
     }
 
     #[test]

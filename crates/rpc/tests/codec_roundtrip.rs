@@ -7,11 +7,12 @@
 //!   of a valid encoding with a typed [`RpcError`] — no panics, no
 //!   unbounded allocations.
 
-use cp_core::{Pins, ShardFactors};
+use cp_core::mm_summary::cmp_entries;
+use cp_core::{ExtremeEntry, ExtremeSummary, Pins, ShardFactors};
 use cp_numeric::Possibility;
 use cp_rpc::codec::{
-    decode_factors, decode_stream, encode_factors, encode_stream, get_pins, get_status_bits,
-    put_pins, put_status_bits, read_frame, write_frame,
+    decode_factors, decode_stream, decode_summary, encode_factors, encode_stream, encode_summary,
+    get_pins, get_status_bits, put_pins, put_status_bits, read_frame, write_frame,
 };
 use cp_rpc::proto::{decode_request, decode_response, encode_request, Request};
 use cp_rpc::wire::Reader;
@@ -125,6 +126,35 @@ proptest! {
         prop_assert_eq!(decode_stream::<f64>(&encode_stream(&stream)).unwrap(), stream);
     }
 
+    /// Extreme summaries round-trip exactly, and every strict prefix of a
+    /// valid encoding is a typed error.
+    #[test]
+    fn summaries_round_trip(
+        k in 1usize..=4,
+        raw in proptest::collection::vec((0u64..1_000, 0u32..4, 0usize..2), 0..=10),
+        cut_seed in 0usize..10_000,
+    ) {
+        // distinct keys by construction (row = pool index), split across
+        // the two directions, sorted descending and clipped to the budget
+        let mut tops: Vec<Vec<ExtremeEntry>> = vec![Vec::new(), Vec::new()];
+        for (row, (sim, cand, label)) in raw.into_iter().enumerate() {
+            let e = ExtremeEntry { sim: sim as f64 / 9.0, row, cand, label };
+            tops[label].push(e);
+        }
+        for top in &mut tops {
+            top.sort_unstable_by(|a, b| cmp_entries(b, a));
+            top.truncate(k);
+        }
+        let summary = ExtremeSummary::from_parts(k, tops).expect("sorted by construction");
+        let bytes = encode_summary(&summary);
+        prop_assert_eq!(decode_summary(&bytes).unwrap(), summary);
+        let cut = cut_seed % bytes.len();
+        prop_assert!(
+            decode_summary(&bytes[..cut]).is_err(),
+            "strict summary prefix must not decode (cut {})", cut
+        );
+    }
+
     /// Garbage never panics any decoder; it returns Ok or a typed error.
     #[test]
     fn garbage_is_handled_gracefully(bytes in proptest::collection::vec(0u8..=255, 0..=96)) {
@@ -136,6 +166,7 @@ proptest! {
         let _ = decode_stream::<u128>(&bytes);
         let _ = decode_stream::<f64>(&bytes);
         let _ = decode_stream::<Possibility>(&bytes);
+        let _ = decode_summary(&bytes);
         let mut r = Reader::new(&bytes);
         let _ = get_pins(&mut r);
         let mut r = Reader::new(&bytes);

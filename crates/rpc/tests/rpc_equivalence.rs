@@ -223,6 +223,23 @@ proptest! {
             let (addrs, handles) = spawn_servers(n_shards);
             let remote = RpcCoordinator::connect(&problem, &addrs, &opts(1)).expect("connect");
             let shards = ds.partition(n_shards);
+            // the coordinator's certain-label dispatch (rank-merged extreme
+            // summaries on binary problems, Possibility streams otherwise)
+            // must agree with the full Possibility stream scan at every
+            // validation point
+            for v in 0..problem.val_x.len() {
+                let dispatched = remote.certain_label_at(v).expect("certain label over rpc");
+                let streamed: Q2Result<Possibility> =
+                    remote.q2_at(v, Q2Algorithm::Auto).expect("possibility streams");
+                prop_assert_eq!(
+                    dispatched,
+                    streamed.certain_label(),
+                    "certain-label dispatch vs stream scan, val {} |Y|={} n_shards={}",
+                    v,
+                    ds.n_labels(),
+                    n_shards
+                );
+            }
             for round in 0..2 {
                 let pins = if round == 0 {
                     Pins::none(ds.len())

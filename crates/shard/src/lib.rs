@@ -41,8 +41,23 @@
 //! status/selection equivalence of [`ShardedSession`] against
 //! `cp_clean::CleaningSession`.
 //!
-//! What does *not* decompose: MinMax (per-set extremes are not products)
-//! and brute force (worlds couple across shards). Those entry points fall
+//! ## The rank-merge algebra (binary Q1)
+//!
+//! MinMax does not factor into polynomial products (per-set extremes are
+//! not products), but it decomposes by **rank**: each shard's extreme-world
+//! choices are purely local, and the global extreme worlds' top-K is the
+//! top-K of the per-shard top-Ks. [`scan::extreme_summaries`] builds one
+//! rank-ordered [`cp_core::ExtremeSummary`] per shard (`O(|Y|·K)` entries,
+//! independent of shard size; associative merge with identity, law-tested
+//! like `ShardFactors`), and
+//! [`scan::certain_label_from_summaries`] folds them and runs the cheap
+//! two-extreme-worlds check — so sharded status checks on binary label
+//! spaces skip the boundary-event stream and the tally trees entirely,
+//! recovering the single-process MM fast path
+//! ([`scan::certain_label_sharded_with_indexes`] dispatches automatically).
+//!
+//! What still does *not* decompose: brute force (worlds couple across
+//! shards) and the non-tree SortScan selectors. Those entry points fall
 //! back gracefully to the merged Possibility-semiring/tree scans — same
 //! exact answers, different constant factors (see
 //! [`scan::q2_sharded_with_algorithm`]).
@@ -62,12 +77,12 @@ pub mod scan;
 pub mod session;
 
 pub use scan::{
-    build_shard_indexes, capture_streams, certain_label_from_streams,
-    certain_label_sharded_with_indexes, local_pins, merged_scan_sources, q2_from_streams,
-    q2_from_streams_with_algorithm, q2_probabilities_from_streams,
-    q2_probabilities_sharded_with_indexes, q2_sharded, q2_sharded_with_algorithm,
-    q2_sharded_with_indexes, BoundaryEvent, FactorSource, ShardScan, ShardStream, ShardStreamEvent,
-    StreamCursor,
+    build_shard_indexes, capture_streams, certain_label_from_streams, certain_label_from_summaries,
+    certain_label_sharded_merged_scan, certain_label_sharded_with_indexes, extreme_summaries,
+    local_pins, merged_scan_sources, q2_from_streams, q2_from_streams_with_algorithm,
+    q2_probabilities_from_streams, q2_probabilities_sharded_with_indexes, q2_sharded,
+    q2_sharded_with_algorithm, q2_sharded_with_indexes, BoundaryEvent, FactorSource, ShardScan,
+    ShardStream, ShardStreamEvent, StreamCursor,
 };
 pub use session::ShardedSession;
 
@@ -76,3 +91,6 @@ pub use cp_core::DatasetShard;
 
 /// Re-export: the mergeable per-label factor summary.
 pub use cp_core::ShardFactors;
+
+/// Re-export: the mergeable rank-ordered MM summary (binary Q1 fast path).
+pub use cp_core::ExtremeSummary;

@@ -30,7 +30,9 @@ use cp_core::queries::Q2Algorithm;
 use cp_core::ss_mc::accumulate_supports_mc;
 use cp_core::ss_tree::use_multiclass_accumulator;
 use cp_core::tally::{accumulate_supports, compositions};
-use cp_core::{CpConfig, DatasetShard, Pins, Q2Result, ShardFactors, SimilarityIndex};
+use cp_core::{
+    CpConfig, DatasetShard, ExtremeSummary, Pins, Q2Result, ShardFactors, SimilarityIndex,
+};
 use cp_knn::{Kernel, Label};
 use cp_numeric::{CountSemiring, Possibility};
 use std::borrow::Borrow;
@@ -668,15 +670,41 @@ pub fn q2_sharded<S: CountSemiring>(
     q2_sharded_with_indexes(shards, &indexes, &pins, cfg)
 }
 
-/// The certainly-predicted label (if any) via the merged scan in the exact
-/// boolean [`Possibility`] semiring.
+/// The certainly-predicted label (if any) over a sharded dataset, with the
+/// same dispatch as the single-process [`cp_core::certain_label_with_index`]:
 ///
-/// The single-process dispatch uses MinMax for binary label spaces; MM has
-/// no factor-merge decomposition (its per-set extremes are not products), so
-/// the sharded engine **falls back gracefully** to the Possibility-semiring
-/// scan for every `|Y|` — exact, overflow-free, and property-tested equal to
-/// the MM answer.
+/// * binary label spaces take the **MM extreme-summary fast path** — each
+///   shard summarizes its extreme-world top-K ([`extreme_summaries`]), the
+///   summaries merge by rank, and the two-extreme-worlds check decides; no
+///   boundary-event stream, no tally trees;
+/// * `|Y| ≠ 2` runs the merged [`Possibility`]-semiring scan
+///   ([`certain_label_sharded_merged_scan`]) — exact and overflow-free.
+///
+/// Both routes are property-tested equal to each other and to the
+/// single-process answers for every shard count.
 pub fn certain_label_sharded_with_indexes<I, P>(
+    shards: &[DatasetShard],
+    indexes: &[I],
+    pins: &[P],
+    cfg: &CpConfig,
+) -> Option<Label>
+where
+    I: Borrow<SimilarityIndex>,
+    P: Borrow<Pins>,
+{
+    let (_, n_labels) = check_shards(shards, indexes, pins);
+    if n_labels == 2 {
+        let summaries = extreme_summaries(shards, indexes, pins, cfg);
+        certain_label_from_summaries(&summaries)
+    } else {
+        certain_label_sharded_merged_scan(shards, indexes, pins, cfg)
+    }
+}
+
+/// The certainly-predicted label via the merged scan in the exact boolean
+/// [`Possibility`] semiring — the any-`|Y|` route, and the oracle the
+/// binary summary path is property-tested against.
+pub fn certain_label_sharded_merged_scan<I, P>(
     shards: &[DatasetShard],
     indexes: &[I],
     pins: &[P],
@@ -692,6 +720,50 @@ where
     let uncertain = |counts: &[Possibility]| counts.iter().filter(|c| c.0).count() >= 2;
     let r: Q2Result<Possibility> = merged_scan_until(shards, indexes, pins, cfg, None, uncertain);
     r.certain_label()
+}
+
+/// Build one [`ExtremeSummary`] per shard for one test point — the MM twin
+/// of [`capture_streams`]: `O(|Y| · K)` entries per shard, independent of
+/// shard size, merged by rank at the coordinator.
+pub fn extreme_summaries<I, P>(
+    shards: &[DatasetShard],
+    indexes: &[I],
+    pins: &[P],
+    cfg: &CpConfig,
+) -> Vec<ExtremeSummary>
+where
+    I: Borrow<SimilarityIndex>,
+    P: Borrow<Pins>,
+{
+    let (n_total, _) = check_shards(shards, indexes, pins);
+    let k = cfg.k_eff(n_total);
+    shards
+        .iter()
+        .zip(indexes)
+        .zip(pins)
+        .map(|((sh, idx), p)| ExtremeSummary::build(sh, idx.borrow(), p.borrow(), k))
+        .collect()
+}
+
+/// **Binary Q1 from per-shard extreme summaries** — the coordinator's side
+/// of the MM fast path: fold the summaries with the associative rank merge,
+/// then run the cheap two-extreme-worlds check on the merged result. Equal
+/// to [`cp_core::mm::certain_label_minmax`] on the unsharded dataset and to
+/// the merged `Possibility` scan, bit-for-bit.
+///
+/// # Panics
+/// Panics if `summaries` is empty, on shape mismatches, or when the
+/// summaries are not binary (`|Y| = 2` is the proven MM regime).
+pub fn certain_label_from_summaries<T>(summaries: &[T]) -> Option<Label>
+where
+    T: Borrow<ExtremeSummary>,
+{
+    assert!(!summaries.is_empty(), "need at least one extreme summary");
+    let mut merged = summaries[0].borrow().clone();
+    for s in &summaries[1..] {
+        merged.merge_assign(s.borrow());
+    }
+    merged.certain_label()
 }
 
 /// Q2 prediction probabilities (uniform candidate prior) via the merged scan
@@ -800,6 +872,35 @@ mod tests {
             let single = cp_core::q2_probabilities(&ds, &cfg, &t);
             for (a, b) in sharded.iter().zip(&single) {
                 assert!((a - b).abs() < 1e-12, "k={k}: {sharded:?} vs {single:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn summary_path_matches_merged_scan_and_single_process_mm() {
+        let (ds, t) = figure6();
+        for k in 1..=3 {
+            let cfg = CpConfig::new(k);
+            let idx = cp_core::SimilarityIndex::build(&ds, cfg.kernel, &t);
+            for pins in [
+                Pins::none(ds.len()),
+                Pins::single(ds.len(), 2, 1),
+                Pins::from_pairs(ds.len(), &[(0, 0), (1, 1)]),
+            ] {
+                let single = cp_core::mm::certain_label_minmax(&ds, &cfg, &idx, &pins);
+                for n_shards in 1..=3 {
+                    let shards = ds.partition(n_shards);
+                    let indexes = build_shard_indexes(&shards, cfg.kernel, &t);
+                    let local = local_pins(&shards, &pins);
+                    let dispatched =
+                        certain_label_sharded_with_indexes(&shards, &indexes, &local, &cfg);
+                    let scanned =
+                        certain_label_sharded_merged_scan(&shards, &indexes, &local, &cfg);
+                    let summaries = extreme_summaries(&shards, &indexes, &local, &cfg);
+                    assert_eq!(dispatched, single, "k={k} n_shards={n_shards}");
+                    assert_eq!(dispatched, scanned, "k={k} n_shards={n_shards}");
+                    assert_eq!(certain_label_from_summaries(&summaries), single);
+                }
             }
         }
     }

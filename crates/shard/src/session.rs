@@ -23,8 +23,11 @@
 //! `CP_THREADS` cap as the rest of the workspace (via
 //! [`RunOptions::n_threads`]).
 //!
-//! Status answers are computed in the exact `Possibility` semiring, so a
-//! sharded session's status vector is **identically equal** to the single
+//! Status answers take the same dispatch as the single-process session:
+//! binary label spaces go through the rank-merged MM extreme-summary fast
+//! path (no tally trees, no boundary-event stream), everything else through
+//! the exact `Possibility`-semiring merged scan — either way the sharded
+//! session's status vector is **identically equal** to the single
 //! session's for every shard count — the shard-count-invariance property
 //! tests assert this, along with greedy-selection and `run_order`
 //! equivalence.

@@ -1,0 +1,176 @@
+//! Exact equivalence of the binary-Q1 extreme-summary fast path.
+//!
+//! For random binary cleaning problems, shard counts `{1, 2, 3, 7}`,
+//! random pin masks and random cleaning orders, three answers must be
+//! identical at every point:
+//!
+//! * the rank-merged summary path ([`certain_label_sharded_with_indexes`]
+//!   dispatch and the explicit [`certain_label_from_summaries`] fold);
+//! * the merged `Possibility`-semiring scan
+//!   ([`certain_label_sharded_merged_scan`], the pre-fast-path route);
+//! * single-process MM ([`cp_core::mm::certain_label_minmax`]).
+//!
+//! The session-level test drives the same equivalence through
+//! [`ShardedSession`]'s incremental status along arbitrary cleaning
+//! trajectories (the status-update workload the fast path exists for).
+
+use cp_clean::{CleaningProblem, CleaningSession, RunOptions};
+use cp_core::mm::certain_label_minmax;
+use cp_core::{CpConfig, IncompleteDataset, IncompleteExample, Pins, SimilarityIndex};
+use cp_shard::{
+    build_shard_indexes, certain_label_from_summaries, certain_label_sharded_merged_scan,
+    certain_label_sharded_with_indexes, extreme_summaries, local_pins, ShardedSession,
+};
+use proptest::prelude::*;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 3, 7];
+
+/// A random small **binary** cleaning problem — the same family as the
+/// shard-equivalence suite with `|Y|` fixed at 2 (the MM regime).
+fn arb_binary_instance() -> impl Strategy<Value = (CleaningProblem, u64)> {
+    (4usize..=7, 1usize..=3).prop_flat_map(|(n, k)| {
+        let example =
+            (proptest::collection::vec(-9i32..9, 1..=3), 0usize..2).prop_map(|(grid, label)| {
+                let candidates: Vec<Vec<f64>> = grid.into_iter().map(|g| vec![g as f64]).collect();
+                if candidates.len() == 1 {
+                    IncompleteExample::complete(candidates.into_iter().next().unwrap(), label)
+                } else {
+                    IncompleteExample::incomplete(candidates, label)
+                }
+            });
+        (
+            proptest::collection::vec(example, n..=n),
+            proptest::collection::vec(-9i32..9, 1..=3),
+            Just(k),
+            0u64..u64::MAX,
+        )
+            .prop_map(move |(examples, val, k, seed)| {
+                let dataset = IncompleteDataset::new(examples, 2).unwrap();
+                let mut rng = StdRng::seed_from_u64(seed);
+                let choices = |rng: &mut StdRng| -> Vec<Option<usize>> {
+                    (0..dataset.len())
+                        .map(|i| {
+                            let m = dataset.set_size(i);
+                            (m > 1).then(|| rng.gen_range(0..m))
+                        })
+                        .collect()
+                };
+                let truth_choice = choices(&mut rng);
+                let default_choice = choices(&mut rng);
+                let problem = CleaningProblem {
+                    dataset,
+                    config: CpConfig::new(k),
+                    val_x: std::sync::Arc::new(val.into_iter().map(|v| vec![v as f64]).collect()),
+                    truth_choice,
+                    default_choice,
+                };
+                (problem, seed)
+            })
+    })
+}
+
+/// Each dirty row pinned to a random candidate with probability ~1/2.
+fn random_pins(problem: &CleaningProblem, rng: &mut StdRng) -> Pins {
+    let ds = &problem.dataset;
+    let mut pins = Pins::none(ds.len());
+    for i in 0..ds.len() {
+        if ds.set_size(i) > 1 && rng.gen_bool(0.5) {
+            pins.pin(i, rng.gen_range(0..ds.set_size(i)));
+        }
+    }
+    pins
+}
+
+fn opts(n_threads: usize) -> RunOptions {
+    RunOptions {
+        max_cleaned: None,
+        n_threads,
+        record_every: 1,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Query-level equivalence: summary dispatch == explicit summary fold
+    /// == merged Possibility scan == single-process MM, for every shard
+    /// count, under random pin masks, at every validation point.
+    #[test]
+    fn summary_path_equals_merged_scan_and_minmax((problem, seed) in arb_binary_instance()) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5e1f);
+        let ds = &problem.dataset;
+        let cfg = &problem.config;
+        for round in 0..3 {
+            let pins = if round == 0 {
+                Pins::none(ds.len())
+            } else {
+                random_pins(&problem, &mut rng)
+            };
+            for t in problem.val_x.iter() {
+                let full_idx = SimilarityIndex::build(ds, cfg.kernel, t);
+                let mm = certain_label_minmax(ds, cfg, &full_idx, &pins);
+                for n_shards in SHARD_COUNTS {
+                    let shards = ds.partition(n_shards);
+                    let indexes = build_shard_indexes(&shards, cfg.kernel, t);
+                    let shard_pins = local_pins(&shards, &pins);
+                    let dispatched = certain_label_sharded_with_indexes(
+                        &shards, &indexes, &shard_pins, cfg,
+                    );
+                    let scanned = certain_label_sharded_merged_scan(
+                        &shards, &indexes, &shard_pins, cfg,
+                    );
+                    let summaries = extreme_summaries(&shards, &indexes, &shard_pins, cfg);
+                    let folded = certain_label_from_summaries(&summaries);
+                    prop_assert_eq!(
+                        dispatched, mm,
+                        "summary dispatch vs MM, n_shards={}", n_shards
+                    );
+                    prop_assert_eq!(
+                        folded, mm,
+                        "summary fold vs MM, n_shards={}", n_shards
+                    );
+                    prop_assert_eq!(
+                        scanned, mm,
+                        "possibility scan vs MM, n_shards={}", n_shards
+                    );
+                }
+            }
+        }
+    }
+
+    /// Session-level equivalence: a sharded session's incremental status —
+    /// now answered by rank-merged summaries — stays identical to the
+    /// single-process session's (which takes the MM route) after every
+    /// step of arbitrary cleaning orders.
+    #[test]
+    fn sharded_status_matches_single_session_on_binary_problems(
+        (problem, seed) in arb_binary_instance()
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xb1a5);
+        let mut order = problem.dirty_rows();
+        order.shuffle(&mut rng);
+        for n_shards in SHARD_COUNTS {
+            let mut single = CleaningSession::new(&problem, &opts(1));
+            let mut sharded = ShardedSession::new(&problem, n_shards, &opts(1 + (seed % 2) as usize));
+            prop_assert_eq!(
+                sharded.status(),
+                single.status(),
+                "fresh session, n_shards={}",
+                n_shards
+            );
+            for &row in &order {
+                single.clean(row);
+                sharded.clean(row);
+                prop_assert_eq!(
+                    sharded.status(),
+                    single.status(),
+                    "after cleaning row {}, n_shards={}",
+                    row,
+                    n_shards
+                );
+            }
+        }
+    }
+}
