@@ -170,6 +170,44 @@ fn bench_session(c: &mut Criterion) {
         })
     });
     rpc_group.finish();
+
+    // greedy selection over RPC: the pipelined incremental scorer
+    // (`try_select_next` — score cache, entropy-bound pruning, windowed
+    // in-flight hypothetical scans, base-stream reuse) against the
+    // serialized from-scratch baseline (`try_select_next_serialized` — one
+    // blocking round trip per hypothetical scan). Both arms run the same
+    // budget of full greedy steps against the same persistent servers and
+    // must pick identical rows; only the wall clock differs.
+    let mut greedy_rpc = c.benchmark_group("greedy_rpc");
+    greedy_rpc
+        .measurement_time(Duration::from_secs(5))
+        .sample_size(10);
+    for (name, serialized) in [("pipelined_incremental", false), ("serialized", true)] {
+        greedy_rpc.bench_function(name, |b| {
+            b.iter(|| {
+                let mut remote = RpcCoordinator::connect(&problem, &addrs, &greedy_opts)
+                    .expect("connect coordinator");
+                while remote.n_cleaned() < budget && !remote.converged() {
+                    let remaining = remote.remaining();
+                    if remaining.is_empty() {
+                        break;
+                    }
+                    let row = if serialized {
+                        remote
+                            .try_select_next_serialized(&remaining)
+                            .expect("serialized selection")
+                    } else {
+                        remote.try_select_next(&remaining).expect("selection")
+                    };
+                    remote.clean(row).expect("clean over rpc");
+                }
+                let n = remote.n_cleaned();
+                remote.shutdown().expect("shutdown");
+                black_box(n)
+            })
+        });
+    }
+    greedy_rpc.finish();
 }
 
 criterion_group!(benches, bench_session);

@@ -168,15 +168,42 @@ fn main() {
          val points ({summary_status_s:.4}s via summaries vs {stream_status_s:.4}s via streams)"
     ));
 
+    // the greedy run over RPC uses the incremental pipelined scorer; in
+    // smoke mode (the CI job) every step's pick is additionally
+    // cross-checked against the serialized from-scratch scorer — the
+    // bit-identical-selection contract, enforced on every CI run
     let t0 = Instant::now();
-    let remote_run = remote.run_to_convergence(&test_x, &test_y);
+    let mut remote_order = Vec::new();
+    while !remote.converged() {
+        let remaining = remote.remaining();
+        if remaining.is_empty() {
+            break;
+        }
+        let row = remote
+            .try_select_next(&remaining)
+            .expect("incremental selection");
+        if smoke {
+            let reference = remote
+                .try_select_next_serialized(&remaining)
+                .expect("serialized selection");
+            assert_eq!(
+                row, reference,
+                "incremental selection must match the serialized scorer"
+            );
+        }
+        remote.clean(row).expect("clean over rpc");
+        remote_order.push(row);
+    }
     let remote_run_s = t0.elapsed().as_secs_f64();
 
     assert_eq!(
-        remote_run.order, local_run.order,
+        remote_order, local_run.order,
         "greedy cleaning order must match over RPC"
     );
-    assert_eq!(remote_run.converged, local_run.converged);
+    assert_eq!(remote.converged(), local_run.converged);
+    if smoke {
+        r.note("verified: incremental == serialized greedy pick at every step (smoke)");
+    }
     assert_eq!(remote.status(), local.status(), "final status must match");
     remote.shutdown().expect("shutdown servers");
     for h in handles {
@@ -193,7 +220,7 @@ fn main() {
     );
     println!(
         "| RpcCoordinator ({n_shards} servers, loopback TCP) | {remote_open_s:.3} | {remote_run_s:.3} | {} |",
-        remote_run.order.len()
+        remote_order.len()
     );
     println!();
     r.note("the RPC column pays serialization + loopback round trips for the same exact answers");

@@ -13,6 +13,10 @@
 //! * [`session`] — the **stateful cleaning engine**: a [`CleaningSession`]
 //!   owns the run's cached similarity indexes and incrementally maintained
 //!   CP status; `run_cpclean` and the baselines are thin wrappers over it.
+//! * [`selection`] — **incremental greedy selection**: the epoch-keyed
+//!   score cache, top-K relevance analysis and entropy-bound pruning shared
+//!   by every engine's `select_next` (this crate's session, `cp-shard`'s
+//!   sharded session, `cp-rpc`'s coordinator).
 //! * [`random_clean`] — the RandomClean baseline (same machinery, random
 //!   order).
 //! * [`boostclean`] — BoostClean: validation-driven selection (plus
@@ -29,6 +33,7 @@ pub mod holoclean_sim;
 pub mod metrics;
 pub mod problem;
 pub mod random_clean;
+pub mod selection;
 pub mod session;
 pub mod state;
 
@@ -39,5 +44,6 @@ pub use holoclean_sim::{holoclean_impute, HoloCleanOptions};
 pub use metrics::{gap_closed, CleaningRun, CurvePoint};
 pub use problem::CleaningProblem;
 pub use random_clean::{average_random_runs, run_random_clean, run_random_clean_arc};
+pub use selection::{select_next_incremental, SelectionBackend, SelectionCache};
 pub use session::{pick_min_expected_entropy, CleaningEngine, CleaningSession};
 pub use state::CleaningState;

@@ -1,0 +1,409 @@
+//! Incremental greedy selection: score caching and entropy-bound pruning.
+//!
+//! The naive greedy step (Equation 4) re-scores every (uncertain validation
+//! point × candidate row × candidate) from scratch on every iteration —
+//! `O(|val| · |remaining| · M)` full Q2 scans per step. Almost all of that
+//! work is provably redundant, and this module is where the redundancy is
+//! eliminated. Three observations carry the design:
+//!
+//! 1. **Top-K relevance.** For a validation point `t`, call a row `r`
+//!    *relevant* iff fewer than K other rows are *certain* to be more
+//!    similar to `t` than `r` can ever be: with `minkey(r')` / `maxkey(r)`
+//!    the smallest/largest allowed candidate sort keys under the current
+//!    pins, `r` is relevant iff `#{r' ≠ r : minkey(r') > maxkey(r)} < K`.
+//!    An irrelevant row is outside the top-K in **every** possible world, so
+//!    its candidate choice never changes any world's prediction: pinning it
+//!    scales every label's world mass by the same factor and the normalized
+//!    Q2 distribution — hence its entropy — is unchanged. Its hypothetical
+//!    entropies are all equal to the base entropy, no scans required.
+//! 2. **Monotone invalidation.** Cleaning only *adds* pins, and adding a pin
+//!    only shrinks a row's allowed candidate set — `minkey`s rise, so the
+//!    "certainly beaten by" counts rise and an irrelevant row can never
+//!    become relevant. A validation point's cached state (relevance sets,
+//!    base entropy, per-row hypothetical entropies) therefore stays exactly
+//!    valid across steps until a pin lands on one of its *relevant* rows;
+//!    the cache keys every state on a pin-log epoch and rebuilds a state iff
+//!    a logged pin since its epoch hits its relevant set. Staleness is
+//!    impossible by construction: a state is consulted only after its epoch
+//!    has been advanced to the head of the log.
+//! 3. **Branch-and-bound.** Per-row expected entropies are sums of
+//!    non-negative per-validation-point terms, so any partial sum of known
+//!    terms (cached or base-substituted) lower-bounds the row's true score.
+//!    Rows whose bound already fails the incumbent's `1e-12` improvement
+//!    margin are skipped without evaluating their unknown terms — and
+//!    because floating-point addition of non-negative terms is monotone,
+//!    a skipped row provably could not have replaced the incumbent.
+//!
+//! **Bit-compatibility with the naive scorer.** Evaluated rows replicate
+//! [`crate::session::pick_min_expected_entropy`]'s arithmetic exactly: the
+//! same Q2 evaluations, the same per-row `Σ_j H / M` term, accumulated over
+//! validation points in the same order, compared on the same strict
+//! `1e-12` ladder in the same `remaining` order (pruning only ever *skips*
+//! rows the ladder would not have accepted — it never reorders). The one
+//! caveat: a base-entropy substitution for an irrelevant row is equal to
+//! the naive pinned-scan value *mathematically*, not bit-for-bit — the two
+//! f64 scans round differently at the last ulp. A selection can therefore
+//! only diverge if two rows' scores land within ~1e-15 of each other's
+//! exact `1e-12` decision boundary, which the lockstep property tests
+//! (all three engines, random instances) empirically rule out.
+
+use crate::problem::CleaningProblem;
+use cp_core::Pins;
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+/// A candidate's position in the global similarity order: similarity first
+/// (by `total_cmp`, matching `SimilarityIndex`'s sort), then `(row, cand)`
+/// ascending — exactly the tie-break the merged shard scan uses, so "more
+/// similar" here means "later in every engine's scan" bit-for-bit.
+#[derive(Clone, Copy, Debug)]
+struct SimKey {
+    sim: f64,
+    row: usize,
+    cand: usize,
+}
+
+impl PartialEq for SimKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for SimKey {}
+impl PartialOrd for SimKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for SimKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.sim
+            .total_cmp(&other.sim)
+            .then_with(|| (self.row, self.cand).cmp(&(other.row, other.cand)))
+    }
+}
+
+/// Per-validation-point cached selection state (see the module docs).
+#[derive(Clone, Debug)]
+struct ValState {
+    /// Length of the cache's pin log when this state was built or last
+    /// revalidated. Pins logged beyond this epoch have not been checked
+    /// against `relevant` yet.
+    epoch: usize,
+    /// `relevant[row]` — conservative top-K relevance under the pins at
+    /// `epoch` (stale `true`s are possible and harmless; stale `false`s are
+    /// impossible: irrelevance is monotone under pinning).
+    relevant: Vec<bool>,
+    /// Entropy of the base Q2 distribution under the pins at `epoch` — the
+    /// exact hypothetical entropy of every irrelevant row's every candidate.
+    base_entropy: f64,
+    /// Cached per-candidate hypothetical entropies for *relevant* rows,
+    /// filled lazily as the branch-and-bound loop evaluates them.
+    ent: HashMap<usize, Vec<f64>>,
+}
+
+/// The incremental selection cache shared by every engine: a global pin log
+/// (the epoch clock) plus one lazily maintained `ValState` per validation
+/// point. Owns no engine resources — engines feed it pins via the `Pins`
+/// mask they already maintain and supply entropies through a
+/// [`SelectionBackend`].
+#[derive(Clone, Debug)]
+pub struct SelectionCache {
+    /// Rows pinned so far, in discovery order; `pin_log.len()` is the epoch.
+    pin_log: Vec<usize>,
+    /// `logged[row]` — whether `row` is already in `pin_log`.
+    logged: Vec<bool>,
+    /// One state per validation point (`None` = never built / invalidated).
+    states: Vec<Option<ValState>>,
+}
+
+impl SelectionCache {
+    /// An empty cache for `n_rows` training rows and `n_val` validation
+    /// points.
+    pub fn new(n_rows: usize, n_val: usize) -> Self {
+        SelectionCache {
+            pin_log: Vec::new(),
+            logged: vec![false; n_rows],
+            states: vec![None; n_val],
+        }
+    }
+
+    /// Append any pins present in `pins` but not yet logged. Pins are never
+    /// removed, so the log — and with it every state's epoch distance — only
+    /// grows.
+    fn sync(&mut self, pins: &Pins) {
+        for row in 0..self.logged.len() {
+            if !self.logged[row] && pins.pinned(row).is_some() {
+                self.logged[row] = true;
+                self.pin_log.push(row);
+            }
+        }
+    }
+}
+
+/// Engine-specific entropy evaluation behind the shared incremental
+/// selection loop. Implementations must reproduce *their engine's* naive
+/// scoring arithmetic exactly — the same Q2 machinery the engine's
+/// from-scratch scorer would run — so the incremental loop inherits the
+/// engine's bit-level behavior.
+pub trait SelectionBackend {
+    /// Evaluation failure (e.g. a transport error for the RPC engine);
+    /// [`std::convert::Infallible`] for in-process engines.
+    type Error;
+
+    /// Entropy (bits) of validation point `v`'s Q2 distribution under the
+    /// current base pins.
+    fn base_entropy(&mut self, v: usize) -> Result<f64, Self::Error>;
+
+    /// Per-candidate entropies (bits) for `v` under base pins plus
+    /// `pin(row, j)`, for `j` in `0..set_size(row)`.
+    fn hypothetical_entropies(&mut self, v: usize, row: usize) -> Result<Vec<f64>, Self::Error>;
+}
+
+/// Map a NaN score to +∞ so a poisoned row *loses* the selection instead of
+/// silently short-circuiting the strict-improvement ladder (`score <
+/// best - 1e-12` is false for NaN, which would otherwise skip the row
+/// without any signal). Shared by the naive
+/// [`crate::session::pick_min_expected_entropy`] and the incremental loop so
+/// the two front-ends degrade identically.
+pub(crate) fn nan_guard(score: f64) -> f64 {
+    if score.is_nan() {
+        f64::INFINITY
+    } else {
+        score
+    }
+}
+
+/// Conservative top-K relevance of every row for validation point `v` under
+/// `pins` (see the module docs): `relevant[r]` is `false` only if `r` is
+/// outside the top-K in every possible world.
+fn relevant_rows(problem: &CleaningProblem, pins: &Pins, v: usize) -> Vec<bool> {
+    let ds = &problem.dataset;
+    let t = &problem.val_x[v];
+    let kernel = problem.config.kernel;
+    let n = ds.len();
+    let k = problem.config.k_eff(n);
+    let mut min_key = Vec::with_capacity(n);
+    let mut max_key = Vec::with_capacity(n);
+    for row in 0..n {
+        let mut lo: Option<SimKey> = None;
+        let mut hi: Option<SimKey> = None;
+        for cand in 0..ds.set_size(row) {
+            if !pins.allows(row, cand) {
+                continue;
+            }
+            let key = SimKey {
+                sim: kernel.similarity(ds.candidate(row, cand), t),
+                row,
+                cand,
+            };
+            if lo.is_none_or(|cur| key < cur) {
+                lo = Some(key);
+            }
+            if hi.is_none_or(|cur| key > cur) {
+                hi = Some(key);
+            }
+        }
+        min_key.push(lo.expect("every row has at least one allowed candidate"));
+        max_key.push(hi.expect("every row has at least one allowed candidate"));
+    }
+    let mut sorted_min = min_key;
+    sorted_min.sort_unstable();
+    max_key
+        .iter()
+        .map(|hi| {
+            // rows whose *least* similar allowed candidate still outranks
+            // every allowed candidate of this row — certain to beat it in
+            // every world (a row never beats itself: minkey ≤ maxkey)
+            let certainly_beaten_by = n - sorted_min.partition_point(|key| key <= hi);
+            certainly_beaten_by < k
+        })
+        .collect()
+}
+
+/// The incremental greedy selection (Equation 4) over `remaining`, reusing
+/// `cache` across steps and pulling fresh entropies from `backend` only for
+/// entries a pin invalidated and rows the entropy bounds cannot exclude.
+/// Selects the **identical** row the engine's from-scratch scorer would
+/// (see the module docs for the bit-compatibility argument).
+pub fn select_next_incremental<B: SelectionBackend>(
+    problem: &CleaningProblem,
+    base_pins: &Pins,
+    cp: &[bool],
+    remaining: &[usize],
+    cache: &mut SelectionCache,
+    backend: &mut B,
+) -> Result<usize, B::Error> {
+    debug_assert!(!remaining.is_empty());
+    let uncertain: Vec<usize> = (0..problem.val_x.len()).filter(|&v| !cp[v]).collect();
+    if uncertain.is_empty() {
+        return Ok(remaining[0]);
+    }
+
+    cache.sync(base_pins);
+    let epoch = cache.pin_log.len();
+    for &v in &uncertain {
+        if let Some(st) = &cache.states[v] {
+            if cache.pin_log[st.epoch..].iter().any(|&p| st.relevant[p]) {
+                cache.states[v] = None; // a relevant pin landed: rebuild
+            } else {
+                cache.states[v].as_mut().expect("just checked").epoch = epoch;
+            }
+        }
+        if cache.states[v].is_none() {
+            let base_entropy = backend.base_entropy(v)?;
+            debug_assert!(!base_entropy.is_nan(), "NaN base entropy for val {v}");
+            cache.states[v] = Some(ValState {
+                epoch,
+                relevant: relevant_rows(problem, base_pins, v),
+                base_entropy,
+                ent: HashMap::new(),
+            });
+        }
+    }
+
+    // the same running-best ladder as `pick_min_expected_entropy`, with two
+    // shortcuts that cannot change its outcome: irrelevant (row, val) terms
+    // substitute the base entropy, and rows whose known-term lower bound
+    // already fails the incumbent's margin are skipped unevaluated
+    let mut best_row = remaining[0];
+    let mut best_score = f64::INFINITY;
+    for &row in remaining {
+        let m_count = problem.dataset.set_size(row);
+        let m = m_count as f64;
+        let mut lower_bound = 0.0;
+        let mut unknown: Vec<usize> = Vec::new();
+        for &v in &uncertain {
+            let st = cache.states[v].as_ref().expect("state built above");
+            if let Some(ents) = st.ent.get(&row) {
+                lower_bound += ents.iter().sum::<f64>() / m;
+            } else if !st.relevant[row] {
+                // naive would scan M times and sum M (mathematically equal)
+                // entropies — replicate the summation shape exactly
+                lower_bound += (0..m_count).map(|_| st.base_entropy).sum::<f64>() / m;
+            } else {
+                unknown.push(v);
+            }
+        }
+        let score = if unknown.is_empty() {
+            lower_bound // every term known: this *is* the exact naive score
+        } else if lower_bound >= best_score - 1e-12 {
+            continue; // true score ≥ bound: the ladder would reject it
+        } else {
+            for &v in &unknown {
+                let ents = backend.hypothetical_entropies(v, row)?;
+                debug_assert!(
+                    ents.iter().all(|h| !h.is_nan()),
+                    "NaN hypothetical entropy for val {v}, row {row}"
+                );
+                cache.states[v]
+                    .as_mut()
+                    .expect("state built above")
+                    .ent
+                    .insert(row, ents);
+            }
+            // re-accumulate over *all* uncertain points in ascending order —
+            // the bound above skipped the unknowns, so its partial order of
+            // additions differs from the naive scorer's
+            let mut score = 0.0;
+            for &v in &uncertain {
+                let st = cache.states[v].as_ref().expect("state built above");
+                score += match st.ent.get(&row) {
+                    Some(ents) => ents.iter().sum::<f64>() / m,
+                    None => (0..m_count).map(|_| st.base_entropy).sum::<f64>() / m,
+                };
+            }
+            score
+        };
+        let score = nan_guard(score);
+        if score < best_score - 1e-12 {
+            best_score = score;
+            best_row = row;
+        }
+    }
+    Ok(best_row)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cp_core::{CpConfig, IncompleteDataset, IncompleteExample};
+    use std::sync::Arc;
+
+    fn two_row_problem() -> CleaningProblem {
+        let dataset = IncompleteDataset::new(
+            vec![
+                IncompleteExample::complete(vec![0.0], 0),
+                IncompleteExample::incomplete(vec![vec![4.8], vec![7.0]], 0),
+                IncompleteExample::complete(vec![5.5], 1),
+                IncompleteExample::incomplete(vec![vec![100.0], vec![101.0]], 1),
+            ],
+            2,
+        )
+        .unwrap();
+        CleaningProblem {
+            dataset,
+            config: CpConfig::new(1),
+            val_x: Arc::new(vec![vec![5.0], vec![0.1]]),
+            truth_choice: vec![None, Some(0), None, Some(0)],
+            default_choice: vec![None, Some(1), None, Some(1)],
+        }
+    }
+
+    #[test]
+    fn far_rows_are_irrelevant_near_rows_are_relevant() {
+        let p = two_row_problem();
+        let pins = Pins::none(p.dataset.len());
+        // val point 5.0 with K=1: row 3 (≥100 away) can never beat rows 0–2
+        let rel = relevant_rows(&p, &pins, 0);
+        assert!(rel[1], "row 1 straddles the decision boundary");
+        assert!(!rel[3], "row 3 is certainly outside the top-1");
+    }
+
+    #[test]
+    fn pinning_keeps_irrelevant_rows_irrelevant() {
+        let p = two_row_problem();
+        let mut pins = Pins::none(p.dataset.len());
+        pins.pin(1, 0);
+        let rel = relevant_rows(&p, &pins, 0);
+        assert!(!rel[3], "irrelevance is monotone under pinning");
+    }
+
+    #[test]
+    fn nan_guard_maps_nan_to_infinity() {
+        assert_eq!(nan_guard(f64::NAN), f64::INFINITY);
+        assert_eq!(nan_guard(1.5), 1.5);
+        assert_eq!(nan_guard(f64::INFINITY), f64::INFINITY);
+    }
+
+    #[test]
+    fn sim_key_orders_by_similarity_then_ids() {
+        let a = SimKey {
+            sim: 1.0,
+            row: 5,
+            cand: 0,
+        };
+        let b = SimKey {
+            sim: 2.0,
+            row: 0,
+            cand: 0,
+        };
+        let c = SimKey {
+            sim: 1.0,
+            row: 5,
+            cand: 1,
+        };
+        assert!(a < b);
+        assert!(a < c);
+        assert!(
+            SimKey {
+                sim: -0.0,
+                row: 0,
+                cand: 0
+            } < SimKey {
+                sim: 0.0,
+                row: 0,
+                cand: 0
+            }
+        );
+    }
+}

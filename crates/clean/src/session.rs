@@ -38,12 +38,14 @@ use crate::cpclean::RunOptions;
 use crate::eval::{parallel_map, state_accuracy};
 use crate::metrics::{CleaningRun, CurvePoint};
 use crate::problem::CleaningProblem;
+use crate::selection::{nan_guard, select_next_incremental, SelectionBackend, SelectionCache};
 use crate::state::CleaningState;
 use cp_core::{
     certain_label_with_index, q2_probabilities_with_index, Pins, SimilarityIndex, ValIndexCache,
 };
 use cp_numeric::stats::entropy_bits;
-use std::sync::Arc;
+use std::convert::Infallible;
+use std::sync::{Arc, Mutex};
 
 /// A cleaning run in progress: problem + cleaning state + cached similarity
 /// indexes + incrementally maintained CP status.
@@ -53,13 +55,30 @@ use std::sync::Arc;
 /// the sharded engine needs, where a `ShardedSession` owns one
 /// `CleaningSession` per dataset shard alongside the shard problems
 /// themselves.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct CleaningSession {
     problem: Arc<CleaningProblem>,
     opts: RunOptions,
     state: CleaningState,
     cache: ValIndexCache,
     cp: Vec<bool>,
+    /// Incremental selection state ([`crate::selection`]); behind a mutex —
+    /// not a `RefCell` — because selection takes `&self` and sharded
+    /// front-ends fan `&self` out across scoped threads.
+    sel: Mutex<SelectionCache>,
+}
+
+impl Clone for CleaningSession {
+    fn clone(&self) -> Self {
+        CleaningSession {
+            problem: Arc::clone(&self.problem),
+            opts: self.opts.clone(),
+            state: self.state.clone(),
+            cache: self.cache.clone(),
+            cp: self.cp.clone(),
+            sel: Mutex::new(self.lock_sel().clone()),
+        }
+    }
 }
 
 impl CleaningSession {
@@ -97,13 +116,25 @@ impl CleaningSession {
             ValIndexCache::from_indexes(problem.config.kernel, problem.val_x.clone(), indexes);
         let state = CleaningState::new(&problem);
         let cp = vec![false; problem.val_x.len()];
+        let sel = Mutex::new(SelectionCache::new(
+            problem.dataset.len(),
+            problem.val_x.len(),
+        ));
         CleaningSession {
             problem,
             opts: opts.clone(),
             state,
             cache,
             cp,
+            sel,
         }
+    }
+
+    /// The selection cache, recovering from a poisoned lock (the cache holds
+    /// no invariants a panicking selection could break mid-write: every
+    /// mutation is either append-only or a whole-state replacement).
+    fn lock_sel(&self) -> std::sync::MutexGuard<'_, SelectionCache> {
+        self.sel.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// The problem this session cleans.
@@ -197,8 +228,33 @@ impl CleaningSession {
     }
 
     /// The greedy CPClean selection (Algorithm 3, lines 5–9) over the given
-    /// candidate rows, using the cached indexes.
+    /// candidate rows — incremental: entropy scores are cached across steps
+    /// in an epoch-keyed [`SelectionCache`] and rows the cached bounds
+    /// already exclude are never rescored (see [`crate::selection`]).
+    /// Selects the identical row as [`CleaningSession::select_next_naive`].
     pub fn select_next(&self, remaining: &[usize]) -> usize {
+        let mut backend = SessionBackend {
+            problem: &self.problem,
+            pins: self.state.pins(),
+            cache: &self.cache,
+        };
+        let result = select_next_incremental(
+            &self.problem,
+            self.state.pins(),
+            &self.cp,
+            remaining,
+            &mut self.lock_sel(),
+            &mut backend,
+        );
+        match result {
+            Ok(row) => row,
+        }
+    }
+
+    /// The from-scratch greedy selection over the cached indexes — the
+    /// reference scorer [`CleaningSession::select_next`] must match row for
+    /// row; kept callable for the lockstep equivalence tests and benchmarks.
+    pub fn select_next_naive(&self, remaining: &[usize]) -> usize {
         let cache = &self.cache;
         select_next_with(
             &self.problem,
@@ -474,6 +530,45 @@ where
     pick_min_expected_entropy(problem, remaining, &per_val)
 }
 
+/// [`SelectionBackend`] over the session's cached indexes: the exact same
+/// `q2_probabilities_with_index` + `entropy_bits` calls `select_next_with`
+/// makes, so the incremental loop scores bit-identically to the naive one.
+struct SessionBackend<'a> {
+    problem: &'a CleaningProblem,
+    pins: &'a Pins,
+    cache: &'a ValIndexCache,
+}
+
+impl SelectionBackend for SessionBackend<'_> {
+    type Error = Infallible;
+
+    fn base_entropy(&mut self, v: usize) -> Result<f64, Infallible> {
+        Ok(entropy_bits(&q2_probabilities_with_index(
+            &self.problem.dataset,
+            &self.problem.config,
+            &self.cache[v],
+            self.pins,
+        )))
+    }
+
+    fn hypothetical_entropies(&mut self, v: usize, row: usize) -> Result<Vec<f64>, Infallible> {
+        let idx = &self.cache[v];
+        let mut pins = self.pins.clone();
+        Ok((0..self.problem.dataset.set_size(row))
+            .map(|j| {
+                pins.with_pin(row, j, |conditioned| {
+                    entropy_bits(&q2_probabilities_with_index(
+                        &self.problem.dataset,
+                        &self.problem.config,
+                        idx,
+                        conditioned,
+                    ))
+                })
+            })
+            .collect())
+    }
+}
+
 /// The greedy scoring rule (Equation 4), shared by every selection front-end
 /// — the single-process `select_next_with` above and `cp-shard`'s routed
 /// selection — so the rule can never silently diverge between engines:
@@ -484,6 +579,13 @@ where
 ///
 /// `per_val[u][pos][j]` = conditional entropy for the `u`-th evaluated
 /// validation example under `remaining[pos]` pinned to candidate `j`.
+///
+/// A NaN score (degenerate Q2 probabilities under zero surviving mass) is
+/// treated as +∞ — the row *loses* the selection — rather than silently
+/// falling through the `<` ladder, which would skip the row with no signal
+/// at all. Entropy production sites `debug_assert` against NaN, so a NaN
+/// reaching this rule indicates a scoring bug upstream; here it degrades
+/// deterministically instead of depending on the incumbent's history.
 pub fn pick_min_expected_entropy(
     problem: &CleaningProblem,
     remaining: &[usize],
@@ -497,6 +599,7 @@ pub fn pick_min_expected_entropy(
         for ent in per_val {
             score += ent[pos].iter().sum::<f64>() / m;
         }
+        let score = nan_guard(score);
         if score < best_score - 1e-12 {
             best_score = score;
             best_row = row;
@@ -572,6 +675,23 @@ mod tests {
         assert!(session.converged());
         assert_eq!(session.step(), None, "converged session refuses to step");
         assert_eq!(session.n_cleaned(), 1);
+    }
+
+    /// A NaN score is mapped to +∞ and loses the selection deterministically
+    /// — it must never win by short-circuiting the strict-improvement
+    /// ladder (`NaN < best - 1e-12` is false, which without the guard would
+    /// just skip the comparison with no signal at all).
+    #[test]
+    fn nan_scores_lose_the_selection() {
+        let p = targeted_problem();
+        let remaining = [1usize, 3];
+        // one evaluated validation point; row 1's score poisoned by a NaN
+        let poisoned = vec![vec![vec![f64::NAN, 0.5], vec![0.3, 0.3]]];
+        assert_eq!(pick_min_expected_entropy(&p, &remaining, &poisoned), 3);
+        // every score NaN: the first-row default wins, exactly as when no
+        // row strictly improves on the infinite incumbent
+        let all_nan = vec![vec![vec![f64::NAN, f64::NAN], vec![f64::NAN, f64::NAN]]];
+        assert_eq!(pick_min_expected_entropy(&p, &remaining, &all_nan), 1);
     }
 
     #[test]

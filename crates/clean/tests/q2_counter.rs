@@ -1,0 +1,119 @@
+//! Q2-scan accounting for the incremental greedy selection.
+//!
+//! The acceptance property of the score-caching refactor: after the first
+//! greedy step has populated the selection cache, later steps answer mostly
+//! from cached or relevance-substituted entropies — the per-step count of
+//! `q2_probabilities` evaluations must *drop*, and must sit strictly below
+//! what the naive from-scratch scorer spends on the very same step.
+//!
+//! This lives in its own integration-test binary with a single `#[test]`
+//! because `cp_core::q2_probability_count` is a process-wide counter:
+//! concurrent tests in a shared binary would perturb the arithmetic.
+
+use cp_clean::{CleaningProblem, CleaningSession, RunOptions};
+use cp_core::q2_probability_count;
+use cp_core::{CpConfig, IncompleteDataset, IncompleteExample};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Two 1-D label clusters plus dirty rows whose candidates straddle the
+/// decision boundary — enough ambiguity that CPClean needs several greedy
+/// steps to certify every validation point.
+fn synthetic_problem(seed: u64, n_clean: usize, n_dirty: usize, n_val: usize) -> CleaningProblem {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut examples = Vec::new();
+    for i in 0..n_clean {
+        let label = i % 2;
+        let center = if label == 0 { 0.0 } else { 10.0 };
+        examples.push(IncompleteExample::complete(
+            vec![center + rng.gen_range(-1.5..1.5)],
+            label,
+        ));
+    }
+    for _ in 0..n_dirty {
+        let label = rng.gen_range(0usize..2);
+        let candidates = vec![
+            vec![rng.gen_range(0.0..10.0)],
+            vec![rng.gen_range(0.0..10.0)],
+        ];
+        examples.push(IncompleteExample::incomplete(candidates, label));
+    }
+    let n = examples.len();
+    let dataset = IncompleteDataset::new(examples, 2).unwrap();
+    let mut truth_choice = vec![None; n];
+    let mut default_choice = vec![None; n];
+    for i in n_clean..n {
+        truth_choice[i] = Some(0);
+        default_choice[i] = Some(1);
+    }
+    CleaningProblem {
+        dataset,
+        config: CpConfig::new(3),
+        val_x: std::sync::Arc::new((0..n_val).map(|_| vec![rng.gen_range(0.0..10.0)]).collect()),
+        truth_choice,
+        default_choice,
+    }
+}
+
+#[test]
+fn cached_selection_cuts_q2_scans_after_the_first_step() {
+    let problem = synthetic_problem(42, 16, 10, 8);
+    let opts = RunOptions {
+        max_cleaned: None,
+        n_threads: 1,
+        record_every: 1,
+    };
+    let mut session = CleaningSession::new(&problem, &opts);
+    assert!(
+        !session.converged(),
+        "workload must leave validation points uncertain"
+    );
+
+    let count_scans = |f: &mut dyn FnMut()| {
+        let before = q2_probability_count();
+        f();
+        q2_probability_count() - before
+    };
+
+    // step 1: the cache is cold — the incremental scorer pays base scans
+    // plus hypothetical scans for the relevant rows
+    let remaining = session.remaining();
+    let mut chosen = 0;
+    let cold = count_scans(&mut || chosen = session.select_next(&remaining));
+    assert!(cold > 0, "a cold selection must issue Q2 scans");
+
+    session.clean(chosen);
+    let remaining = session.remaining();
+    assert!(!remaining.is_empty(), "needs a second step to measure");
+    assert!(
+        session.status().iter().any(|&c| !c),
+        "step 2 must still have uncertain validation points"
+    );
+
+    // the naive from-scratch scorer on step 2, for the same decision
+    let naive = count_scans(&mut || chosen = session.select_next_naive(&remaining));
+    let naive_pick = chosen;
+
+    // the incremental scorer on the same step: only states the pin
+    // invalidated are rebuilt, and pruning skips rows wholesale
+    let warm = count_scans(&mut || chosen = session.select_next(&remaining));
+    assert_eq!(chosen, naive_pick, "scorers must agree on the row");
+
+    assert!(
+        warm < cold,
+        "per-step Q2 scans must drop after step 1: cold {cold}, warm {warm}"
+    );
+    assert!(
+        warm < naive,
+        "cached selection must beat the naive scorer on the same step: \
+         naive {naive}, warm {warm}"
+    );
+
+    // a re-query of the unchanged step answers entirely from cache
+    let requery = count_scans(&mut || chosen = session.select_next(&remaining));
+    assert_eq!(chosen, naive_pick);
+    assert_eq!(
+        requery, 0,
+        "an unchanged step must answer from cache without any Q2 scan"
+    );
+}

@@ -24,6 +24,29 @@ use crate::ss_k1;
 use crate::ss_tree;
 use cp_knn::Label;
 use cp_numeric::{CountSemiring, Possibility};
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+
+/// Process-wide count of Q2 probability evaluations.
+static Q2_PROB_COUNT: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide number of Q2 probability evaluations so far — every
+/// [`q2_probabilities_with_index`] call plus every evaluation reported via
+/// [`note_q2_probability_query`].
+///
+/// Monotone; snapshot before and after a region and subtract to count the
+/// evaluations it performed. The incremental selection layer uses this to
+/// *prove* score-cache reuse (after the first greedy step, later steps must
+/// evaluate strictly fewer hypothetical distributions).
+pub fn q2_probability_count() -> u64 {
+    Q2_PROB_COUNT.load(AtomicOrdering::Relaxed)
+}
+
+/// Record one Q2 probability evaluation performed outside this module — the
+/// sharded merged scan and the RPC coordinator's stream merges call this so
+/// [`q2_probability_count`] covers every engine's probability queries.
+pub fn note_q2_probability_query() {
+    Q2_PROB_COUNT.fetch_add(1, AtomicOrdering::Relaxed);
+}
 
 /// Algorithm selector for [`q2_with_algorithm`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -84,6 +107,7 @@ pub fn q2_probabilities_with_index(
     idx: &SimilarityIndex,
     pins: &Pins,
 ) -> Vec<f64> {
+    note_q2_probability_query();
     let result: Q2Result<f64> = if cfg.k_eff(ds.len()) == 1 {
         ss_k1::q2_sortscan_k1_with_index(ds, cfg, idx, pins)
     } else {

@@ -146,6 +146,25 @@ mod tests {
         assert!((entropy_bits(&p) - 2.0).abs() < 1e-12);
     }
 
+    /// An empty probability vector (a validation point with no possible
+    /// worlds reaching the scorer) has zero entropy, not NaN — the greedy
+    /// selection ladder relies on this being a well-ordered value.
+    #[test]
+    fn entropy_of_empty_is_zero() {
+        assert_eq!(entropy_nats(&[]), 0.0);
+        assert_eq!(entropy_bits(&[]), 0.0);
+    }
+
+    /// Non-positive and NaN entries are filtered by the `p > 0.0` guard, so
+    /// entropy never propagates a NaN from a degenerate input.
+    #[test]
+    fn entropy_filters_nan_and_nonpositive_entries() {
+        assert_eq!(entropy_bits(&[f64::NAN]), 0.0);
+        assert_eq!(entropy_bits(&[-0.5, 0.0]), 0.0);
+        let h = entropy_bits(&[0.5, f64::NAN, 0.5]);
+        assert!((h - 1.0).abs() < 1e-12, "NaN entry must not poison: {h}");
+    }
+
     #[test]
     fn pearson_perfect_correlation() {
         let xs = [1.0, 2.0, 3.0, 4.0];

@@ -6,16 +6,21 @@
 //! ## Frame format
 //!
 //! ```text
-//! ┌──────────────┬──────────────────────────────┐
-//! │ u32 BE: len  │ payload (len bytes)          │
-//! └──────────────┴──────────────────────────────┘
+//! ┌──────────────┬─────────────────┬──────────────────────┐
+//! │ u32 BE: len  │ u32 BE: req id  │ payload (len bytes)  │
+//! └──────────────┴─────────────────┴──────────────────────┘
 //! ```
 //!
-//! The length is bounded by [`MAX_FRAME_LEN`]; a larger announcement is
-//! rejected before any allocation. Payloads are self-describing: the first
-//! byte is a message tag (see [`crate::proto`]), and semiring-carrying
-//! values lead with a semiring tag so a decoder instantiated at the wrong
-//! type fails with a typed error instead of misreading bytes.
+//! The length counts the payload only and is bounded by [`MAX_FRAME_LEN`];
+//! a larger announcement is rejected before any allocation. The request id
+//! pairs responses with requests: a server echoes each request's id on its
+//! response, which is what lets a client keep several requests in flight on
+//! one connection ([`crate::ShardClient::scan_many`]) and still detect any
+//! pairing violation instead of silently mis-attributing a response.
+//! Payloads are self-describing: the first byte is a message tag (see
+//! [`crate::proto`]), and semiring-carrying values lead with a semiring tag
+//! so a decoder instantiated at the wrong type fails with a typed error
+//! instead of misreading bytes.
 //!
 //! All decoders take untrusted input: truncations, unknown tags, hostile
 //! length prefixes and trailing bytes all surface as [`crate::RpcError`]s —
@@ -33,8 +38,9 @@ use std::io::{Read, Write};
 /// message in this protocol, far below an allocation that could hurt.
 pub const MAX_FRAME_LEN: u64 = 64 << 20;
 
-/// Write one length-prefixed frame.
-pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> RpcResult<()> {
+/// Write one length-prefixed frame carrying a request id (see the module
+/// docs for the header layout).
+pub fn write_frame_tagged<W: Write>(w: &mut W, req_id: u32, payload: &[u8]) -> RpcResult<()> {
     let len = payload.len() as u64;
     if len > MAX_FRAME_LEN {
         return Err(RpcError::FrameTooLarge {
@@ -43,24 +49,38 @@ pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> RpcResult<()> {
         });
     }
     w.write_all(&(len as u32).to_be_bytes())?;
+    w.write_all(&req_id.to_be_bytes())?;
     w.write_all(payload)?;
     w.flush()?;
     Ok(())
 }
 
-/// Read one length-prefixed frame. Truncated input (including EOF midway
-/// through the prefix) and oversized announcements are typed errors.
-pub fn read_frame<R: Read>(r: &mut R) -> RpcResult<Vec<u8>> {
-    read_frame_opt(r)?.ok_or(RpcError::Truncated {
+/// [`write_frame_tagged`] with request id 0 — for callers outside the
+/// pipelined request/response pairing (tests, one-shot tools).
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> RpcResult<()> {
+    write_frame_tagged(w, 0, payload)
+}
+
+/// Read one frame, returning its request id and payload. Truncated input
+/// (including EOF midway through the header) and oversized announcements
+/// are typed errors.
+pub fn read_frame_tagged<R: Read>(r: &mut R) -> RpcResult<(u32, Vec<u8>)> {
+    read_frame_opt_tagged(r)?.ok_or(RpcError::Truncated {
         context: "frame length prefix",
     })
 }
 
-/// [`read_frame`], distinguishing an **orderly EOF** — the transport ending
-/// exactly at a frame boundary, i.e. zero bytes before the next prefix —
-/// as `Ok(None)`. This is how a server tells a coordinator's clean
+/// [`read_frame_tagged`], discarding the request id — for callers outside
+/// the pipelined pairing.
+pub fn read_frame<R: Read>(r: &mut R) -> RpcResult<Vec<u8>> {
+    Ok(read_frame_tagged(r)?.1)
+}
+
+/// [`read_frame_tagged`], distinguishing an **orderly EOF** — the transport
+/// ending exactly at a frame boundary, i.e. zero bytes before the next
+/// header — as `Ok(None)`. This is how a server tells a coordinator's clean
 /// disconnect apart from a frame cut off mid-flight (still a typed error).
-pub fn read_frame_opt<R: Read>(r: &mut R) -> RpcResult<Option<Vec<u8>>> {
+pub fn read_frame_opt_tagged<R: Read>(r: &mut R) -> RpcResult<Option<(u32, Vec<u8>)>> {
     let mut prefix = [0u8; 4];
     let mut filled = 0;
     while filled < prefix.len() {
@@ -83,9 +103,16 @@ pub fn read_frame_opt<R: Read>(r: &mut R) -> RpcResult<Option<Vec<u8>>> {
             max: MAX_FRAME_LEN,
         });
     }
+    let mut id_bytes = [0u8; 4];
+    read_exact_or_truncated(r, &mut id_bytes, "frame request id")?;
     let mut payload = vec![0u8; len as usize];
     read_exact_or_truncated(r, &mut payload, "frame payload")?;
-    Ok(Some(payload))
+    Ok(Some((u32::from_be_bytes(id_bytes), payload)))
+}
+
+/// [`read_frame_opt_tagged`], discarding the request id.
+pub fn read_frame_opt<R: Read>(r: &mut R) -> RpcResult<Option<Vec<u8>>> {
+    Ok(read_frame_opt_tagged(r)?.map(|(_, payload)| payload))
 }
 
 fn read_exact_or_truncated<R: Read>(

@@ -17,13 +17,28 @@
 //! coordinator's status vectors, greedy choices and cleaned orders are
 //! **identical** to `ShardedSession`'s — property-tested over real loopback
 //! sockets in `tests/rpc_equivalence.rs`.
+//!
+//! Selection runs the shared *incremental* loop
+//! ([`cp_clean::select_next_incremental`]: relevance-based score caching
+//! plus entropy-bound pruning), and the hypothetical scans it still needs
+//! are *pipelined*: every response frame echoes its request's id, so a
+//! selection step keeps a bounded window of independent `Scan` requests in
+//! flight per connection ([`ShardClient::scan_many`]) instead of paying one
+//! round trip each. Base streams are cached per validation point and
+//! refetched only from shards whose pin mask moved. The from-scratch
+//! serialized scorer survives as
+//! [`RpcCoordinator::try_select_next_serialized`] — the reference the
+//! equivalence tests pit the incremental path against.
 
-use crate::codec::{decode_stream, decode_summary, read_frame, write_frame, WireSemiring};
+use crate::codec::{
+    decode_stream, decode_summary, read_frame_tagged, write_frame_tagged, WireSemiring,
+};
 use crate::error::{RpcError, RpcResult};
 use crate::proto::{decode_response, encode_request, OpenShard, Request, Response, ShardStatus};
 use cp_clean::metrics::CleaningRun;
 use cp_clean::{
-    pick_min_expected_entropy, CleaningEngine, CleaningProblem, CleaningState, RunOptions,
+    pick_min_expected_entropy, select_next_incremental, CleaningEngine, CleaningProblem,
+    CleaningState, RunOptions, SelectionBackend, SelectionCache,
 };
 use cp_core::{DatasetShard, ExtremeSummary, Pins, Q2Algorithm, Q2Result};
 use cp_knn::Label;
@@ -34,7 +49,8 @@ use cp_shard::scan::{
 };
 use cp_shard::{merged_scan_sources, ShardStream, StreamCursor};
 use std::cell::RefCell;
-use std::net::{TcpStream, ToSocketAddrs};
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -48,10 +64,14 @@ use std::time::Duration;
 ///
 /// *Retries* apply to **connection establishment only** — `connect_retries`
 /// extra attempts, `retry_backoff` apart, on I/O failures (refused,
-/// unreachable, handshake timeout). In-flight requests are never retried:
-/// the protocol is not idempotent (a retried `Step` whose ack was lost
-/// would double-pin), so mid-session failures surface to the caller, which
-/// owns the recovery decision.
+/// unreachable, handshake timeout); [`ShardClient::reconnect`] re-runs the
+/// same policy against the remembered peer. In-flight requests are not
+/// retried by the client itself: mid-session failures surface to the
+/// caller, which owns the recovery decision. The one caller that does retry
+/// is [`RpcCoordinator::clean`] — `Step` carries the cleaned-count it
+/// expects and is idempotent on the server, so after a transport failure
+/// the coordinator reconnects and retransmits it once; a server that had
+/// already applied the step acknowledges without double-pinning.
 ///
 /// The default is the pre-hardening behavior: no timeouts, no retries.
 #[derive(Clone, Debug)]
@@ -80,16 +100,30 @@ impl Default for ClientConfig {
     }
 }
 
+/// How many pipelined requests [`ShardClient::scan_many`] keeps in flight
+/// per connection: enough to hide the per-request round-trip latency, small
+/// enough that neither side's socket buffers fill with unread frames while
+/// the peer blocks writing (which would deadlock the connection).
+const SCAN_WINDOW: usize = 8;
+
 /// A connection to one shard server.
 #[derive(Debug)]
 pub struct ShardClient {
     stream: TcpStream,
+    /// Resolved peer addresses and the policy they were dialed under, kept
+    /// so [`ShardClient::reconnect`] can re-dial the same server.
+    peers: Vec<SocketAddr>,
+    cfg: ClientConfig,
+    /// Id stamped on the next request frame. The server echoes each id on
+    /// its response, which is what lets [`ShardClient::scan_many`] keep
+    /// several requests in flight and still pair every reply.
+    next_id: u32,
     /// Set after a transport-level failure (I/O error, timeout, mid-frame
-    /// truncation, oversized frame). The protocol has no request IDs, so
-    /// once a round trip dies the stream may hold the dead request's
-    /// late-arriving response — reusing it would hand the *next* call the
-    /// *previous* call's answer. A poisoned client refuses further calls
-    /// with a typed error; reconnect to recover.
+    /// truncation, oversized frame) or a response-id mismatch. The stream
+    /// may sit mid-frame or hold replies this client no longer tracks —
+    /// reusing it could hand the *next* call a stale answer. A poisoned
+    /// client refuses further calls with a typed error;
+    /// [`ShardClient::reconnect`] recovers.
     poisoned: bool,
 }
 
@@ -105,13 +139,35 @@ impl ShardClient {
     /// failure during establishment, then per-call read/write timeouts for
     /// the connection's lifetime.
     pub fn connect_with<A: ToSocketAddrs>(addr: A, cfg: &ClientConfig) -> RpcResult<Self> {
+        let peers: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        let stream = Self::establish(&peers, cfg)?;
+        Ok(ShardClient {
+            stream,
+            peers,
+            cfg: cfg.clone(),
+            next_id: 0,
+            poisoned: false,
+        })
+    }
+
+    /// Drop the (possibly poisoned) connection and dial the same peer again
+    /// under the same policy. On success the client is fresh: unpoisoned,
+    /// with request ids restarting from zero.
+    pub fn reconnect(&mut self) -> RpcResult<()> {
+        self.stream = Self::establish(&self.peers, &self.cfg)?;
+        self.next_id = 0;
+        self.poisoned = false;
+        Ok(())
+    }
+
+    fn establish(peers: &[SocketAddr], cfg: &ClientConfig) -> RpcResult<TcpStream> {
         let mut last: Option<RpcError> = None;
         for attempt in 0..=cfg.connect_retries {
             if attempt > 0 && !cfg.retry_backoff.is_zero() {
                 std::thread::sleep(cfg.retry_backoff);
             }
-            match Self::connect_once(&addr, cfg) {
-                Ok(client) => return Ok(client),
+            match Self::connect_once(peers, cfg) {
+                Ok(stream) => return Ok(stream),
                 // only transport-level failures are worth another attempt
                 Err(e @ RpcError::Io(_)) => last = Some(e),
                 Err(other) => return Err(other),
@@ -120,43 +176,35 @@ impl ShardClient {
         Err(last.unwrap_or_else(|| RpcError::Protocol("no socket address resolved".into())))
     }
 
-    fn connect_once<A: ToSocketAddrs>(addr: &A, cfg: &ClientConfig) -> RpcResult<Self> {
-        let stream = match cfg.connect_timeout {
-            None => TcpStream::connect(addr)?,
-            Some(timeout) => {
-                // `connect_timeout` takes a single resolved address; try
-                // each resolution like `TcpStream::connect` does
-                let mut last_io: Option<std::io::Error> = None;
-                let mut connected = None;
-                for sock_addr in addr.to_socket_addrs()? {
-                    match TcpStream::connect_timeout(&sock_addr, timeout) {
-                        Ok(s) => {
-                            connected = Some(s);
-                            break;
-                        }
-                        Err(e) => last_io = Some(e),
-                    }
+    fn connect_once(peers: &[SocketAddr], cfg: &ClientConfig) -> RpcResult<TcpStream> {
+        // try each resolved address like `TcpStream::connect` does
+        let mut last_io: Option<std::io::Error> = None;
+        let mut connected = None;
+        for sock_addr in peers {
+            let attempt = match cfg.connect_timeout {
+                None => TcpStream::connect(sock_addr),
+                Some(timeout) => TcpStream::connect_timeout(sock_addr, timeout),
+            };
+            match attempt {
+                Ok(s) => {
+                    connected = Some(s);
+                    break;
                 }
-                match connected {
-                    Some(s) => s,
-                    None => {
-                        return Err(RpcError::Io(last_io.unwrap_or_else(|| {
-                            std::io::Error::new(
-                                std::io::ErrorKind::InvalidInput,
-                                "address resolved to no socket addresses",
-                            )
-                        })))
-                    }
-                }
+                Err(e) => last_io = Some(e),
             }
+        }
+        let Some(stream) = connected else {
+            return Err(RpcError::Io(last_io.unwrap_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    "address resolved to no socket addresses",
+                )
+            })));
         };
         stream.set_nodelay(true)?;
         stream.set_read_timeout(cfg.read_timeout)?;
         stream.set_write_timeout(cfg.write_timeout)?;
-        Ok(ShardClient {
-            stream,
-            poisoned: false,
-        })
+        Ok(stream)
     }
 
     /// Whether a transport failure has made this connection unusable (see
@@ -168,23 +216,54 @@ impl ShardClient {
     /// One request/response round trip.
     ///
     /// A transport-level failure (I/O error/timeout, truncated or oversized
-    /// frame) **poisons** the connection: the request/response pairing can
-    /// no longer be trusted, so every subsequent call fails with a typed
-    /// [`RpcError::Protocol`] instead of silently reading a stale response.
-    /// Payload-level decode failures (a complete frame that doesn't parse)
-    /// leave the stream at a frame boundary and do not poison.
+    /// frame, response-id mismatch) **poisons** the connection: the
+    /// request/response pairing can no longer be trusted, so every
+    /// subsequent call fails with a typed [`RpcError::Protocol`] instead of
+    /// silently reading a stale response. Payload-level decode failures (a
+    /// complete frame that doesn't parse) leave the stream at a frame
+    /// boundary and do not poison.
     pub fn call(&mut self, req: &Request) -> RpcResult<Response> {
+        let id = self.send(req)?;
+        self.recv(id)
+    }
+
+    /// Write one request frame without waiting for its reply; returns the
+    /// id the reply will echo. The pipelining half-step
+    /// [`ShardClient::scan_many`] builds on.
+    fn send(&mut self, req: &Request) -> RpcResult<u32> {
         if self.poisoned {
             return Err(RpcError::Protocol(
                 "connection poisoned by an earlier transport failure; reconnect to recover".into(),
             ));
         }
-        let round_trip = (|| {
-            write_frame(&mut self.stream, &encode_request(req))?;
-            read_frame(&mut self.stream)
-        })();
-        match round_trip {
-            Ok(frame) => decode_response(&frame),
+        let id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1);
+        match write_frame_tagged(&mut self.stream, id, &encode_request(req)) {
+            Ok(()) => Ok(id),
+            Err(e) => {
+                self.poisoned = true;
+                Err(e)
+            }
+        }
+    }
+
+    /// Read the next response frame, which must echo `expect_id`: the
+    /// server answers strictly in request order, so a mismatch means the
+    /// pairing is lost and the connection poisons.
+    fn recv(&mut self, expect_id: u32) -> RpcResult<Response> {
+        if self.poisoned {
+            return Err(RpcError::Protocol(
+                "connection poisoned by an earlier transport failure; reconnect to recover".into(),
+            ));
+        }
+        match read_frame_tagged(&mut self.stream) {
+            Ok((id, frame)) if id == expect_id => decode_response(&frame),
+            Ok((id, _)) => {
+                self.poisoned = true;
+                Err(RpcError::Protocol(format!(
+                    "response id {id} does not match request id {expect_id}"
+                )))
+            }
             Err(e) => {
                 // the stream may sit mid-frame or hold a late response
                 self.poisoned = true;
@@ -215,6 +294,76 @@ impl ShardClient {
             pins: pins.cloned(),
         };
         match self.call(&req)? {
+            Response::Stream(bytes) => decode_stream::<S>(&bytes),
+            Response::Error(msg) => Err(RpcError::Remote(msg)),
+            other => Err(RpcError::Protocol(format!(
+                "expected Stream, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Pipeline a batch of `(val, pins)` scan requests in semiring `S`:
+    /// keep up to `SCAN_WINDOW` (8) requests in flight on this connection and
+    /// collect the responses in request order. One greedy selection step
+    /// needs `set_size(row)` mutually independent hypothetical streams from
+    /// the owning shard; serializing them pays a full network round trip
+    /// each, while pipelining overlaps them all on the one connection.
+    ///
+    /// On a per-response failure the replies still in flight are drained so
+    /// the connection stays at a frame boundary and remains usable
+    /// (transport failures have already poisoned it, which stops the
+    /// drain); the first failure is returned.
+    pub fn scan_many<S: WireSemiring>(
+        &mut self,
+        k: usize,
+        scans: Vec<(usize, Option<Pins>)>,
+    ) -> RpcResult<Vec<ShardStream<S>>> {
+        let mut out = Vec::with_capacity(scans.len());
+        let mut pending: VecDeque<u32> = VecDeque::new();
+        let mut failure: Option<RpcError> = None;
+        for (val, pins) in scans {
+            if pending.len() == SCAN_WINDOW {
+                let id = pending.pop_front().expect("window is non-empty");
+                match self.recv_stream::<S>(id) {
+                    Ok(stream) => out.push(stream),
+                    Err(e) => {
+                        failure = Some(e);
+                        break;
+                    }
+                }
+            }
+            match self.send(&Request::Scan {
+                val: val as u32,
+                k: k as u32,
+                semiring: S::TAG,
+                pins,
+            }) {
+                Ok(id) => pending.push_back(id),
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            }
+        }
+        while let Some(id) = pending.pop_front() {
+            if self.poisoned {
+                break;
+            }
+            match (self.recv_stream::<S>(id), &failure) {
+                (Ok(stream), None) => out.push(stream),
+                (Ok(_), Some(_)) => {} // draining past the first failure
+                (Err(e), None) => failure = Some(e),
+                (Err(_), Some(_)) => {}
+            }
+        }
+        match failure {
+            None => Ok(out),
+            Some(e) => Err(e),
+        }
+    }
+
+    fn recv_stream<S: WireSemiring>(&mut self, id: u32) -> RpcResult<ShardStream<S>> {
+        match self.recv(id)? {
             Response::Stream(bytes) => decode_stream::<S>(&bytes),
             Response::Error(msg) => Err(RpcError::Remote(msg)),
             other => Err(RpcError::Protocol(format!(
@@ -272,11 +421,26 @@ pub struct RpcCoordinator {
     clients: Vec<RefCell<ShardClient>>,
     /// Coordinator-side mirror of each server's local pin mask.
     masks: Vec<Pins>,
+    /// Per-shard pin counter, bumped once per [`RpcCoordinator::clean`] on
+    /// the owning shard. It is both the cleaned-count an idempotent `Step`
+    /// carries and the staleness key of `base_streams`.
+    mask_epochs: Vec<u64>,
     state: CleaningState,
     cp: Vec<bool>,
     /// Global effective K, computed once from the full dataset.
     k: usize,
+    /// Incremental-selection state shared with the in-process engines
+    /// (pin-log epochs, per-point relevance, memoized entropies).
+    sel: RefCell<SelectionCache>,
+    /// Per-validation-point base streams tagged with the `mask_epochs` they
+    /// were fetched under; only shards whose mask moved are refetched
+    /// ([`RpcCoordinator::with_base_streams`]).
+    base_streams: RefCell<Vec<Option<BaseStreams>>>,
 }
+
+/// One cached base-stream set: the per-shard mask epochs at capture time
+/// plus one decoded `f64` stream per shard.
+type BaseStreams = (Vec<u64>, Vec<ShardStream<f64>>);
 
 impl RpcCoordinator {
     /// Connect to shard servers and distribute the problem: partition the
@@ -355,9 +519,15 @@ impl RpcCoordinator {
             }
             clients.push(RefCell::new(client));
         }
-        let masks = shards.iter().map(|sh| Pins::none(sh.len())).collect();
+        let masks: Vec<Pins> = shards.iter().map(|sh| Pins::none(sh.len())).collect();
+        let mask_epochs = vec![0u64; shards.len()];
         let state = CleaningState::new(&problem);
         let cp = vec![false; problem.val_x.len()];
+        let sel = RefCell::new(SelectionCache::new(
+            problem.dataset.len(),
+            problem.val_x.len(),
+        ));
+        let base_streams = RefCell::new((0..problem.val_x.len()).map(|_| None).collect());
         let mut coordinator = RpcCoordinator {
             problem,
             opts: opts.clone(),
@@ -365,9 +535,12 @@ impl RpcCoordinator {
             owner,
             clients,
             masks,
+            mask_epochs,
             state,
             cp,
             k,
+            sel,
+            base_streams,
         };
         coordinator.try_refresh_status()?;
         Ok(coordinator)
@@ -455,6 +628,40 @@ impl RpcCoordinator {
             .collect()
     }
 
+    /// Run `f` over the base streams (one per shard, under the servers'
+    /// current masks) for validation point `v`, read through the
+    /// epoch-keyed cache: only shards whose `mask_epochs` entry moved since
+    /// capture are refetched. Selection's base entropies and merged
+    /// hypothetical scans both come through here, so a shard untouched by
+    /// recent cleaning ships its base stream once across many steps.
+    fn with_base_streams<R>(
+        &self,
+        v: usize,
+        f: impl FnOnce(&[ShardStream<f64>]) -> R,
+    ) -> RpcResult<R> {
+        {
+            let mut cache = self.base_streams.borrow_mut();
+            match &mut cache[v] {
+                Some((epochs, streams)) => {
+                    for s in 0..self.clients.len() {
+                        if epochs[s] != self.mask_epochs[s] {
+                            streams[s] = self.check_stream_shape(
+                                self.clients[s].borrow_mut().scan::<f64>(v, self.k, None)?,
+                            )?;
+                            epochs[s] = self.mask_epochs[s];
+                        }
+                    }
+                }
+                entry @ None => {
+                    *entry = Some((self.mask_epochs.clone(), self.fetch_streams::<f64>(v)?));
+                }
+            }
+        }
+        let cache = self.base_streams.borrow();
+        let (_, streams) = cache[v].as_ref().expect("filled above");
+        Ok(f(streams))
+    }
+
     fn check_summary_shape(&self, summary: ExtremeSummary) -> RpcResult<ExtremeSummary> {
         self.check_shape("summary", summary.k(), summary.n_labels())?;
         Ok(summary)
@@ -532,10 +739,13 @@ impl RpcCoordinator {
     /// server first, then mirror it in the coordinator's state and mask and
     /// refresh the global CP status.
     ///
-    /// Failure semantics: if the `Step` round trip errors before a success
-    /// response arrives, nothing local has been mutated (a lost *ack* also
-    /// poisons that shard's connection, so retrying surfaces as a typed
-    /// connection-poisoned error, never silent divergence).
+    /// Failure semantics: a transport failure during the `Step` round trip
+    /// is ambiguous — the server may have applied the pin and lost the ack
+    /// — so the coordinator reconnects and retransmits the idempotent
+    /// `Step` (it carries the cleaned-count it expects) exactly once; a
+    /// server that kept its session acknowledges either way without
+    /// double-pinning. Only if the retry also fails does the error surface,
+    /// with nothing local mutated.
     /// If the subsequent status refresh errors instead, the pin is already
     /// applied consistently on both sides and only the cached [`Self::status`]
     /// may lag; staleness is *sound* (certainty is monotone, so stale
@@ -553,22 +763,60 @@ impl RpcCoordinator {
             self.problem.truth_choice[row].unwrap_or_else(|| panic!("row {row} is not dirty"));
         let s = self.owner[row];
         let local = self.shards[s].local_row(row).expect("owner map is exact");
-        self.clients[s].borrow_mut().expect_ok(&Request::Step {
+        let step = Request::Step {
             local_row: local as u32,
-        })?;
+            expect_cleaned: self.mask_epochs[s] as u32,
+        };
+        // bind the first attempt so its client borrow ends before the retry
+        let first_attempt = self.clients[s].borrow_mut().expect_ok(&step);
+        if let Err(first) = first_attempt {
+            // only a transport failure leaves the outcome ambiguous — a
+            // typed remote/protocol rejection means nothing was applied
+            if !matches!(first, RpcError::Io(_) | RpcError::Truncated { .. }) {
+                return Err(first);
+            }
+            let mut client = self.clients[s].borrow_mut();
+            client.reconnect()?;
+            client.expect_ok(&step)?;
+        }
         self.state.clean_row(&self.problem, row);
         self.masks[s].pin(local, truth);
+        self.mask_epochs[s] += 1;
         self.try_refresh_status()
     }
 
-    /// The greedy CPClean selection over the given candidate rows — the
-    /// same structure as [`cp_shard::ShardedSession::select_next`]: per
-    /// uncertain validation point, every shard's base stream is fetched once
-    /// and replayed for every candidate pin; only the owning shard computes
-    /// a per-candidate hypothetical stream. Scoring is
-    /// [`pick_min_expected_entropy`] — the same code every engine scores
-    /// with.
+    /// The greedy CPClean selection over the given candidate rows, running
+    /// the shared incremental loop ([`cp_clean::select_next_incremental`]):
+    /// cached scores are reused across steps, entropy lower bounds prune
+    /// rows that provably cannot beat the incumbent, the hypothetical scans
+    /// that remain are pipelined per connection
+    /// ([`ShardClient::scan_many`]), and base streams are cached per
+    /// validation point, refetched only from shards whose mask moved.
+    /// Selects the **identical** row
+    /// [`RpcCoordinator::try_select_next_serialized`] would.
     pub fn try_select_next(&self, remaining: &[usize]) -> RpcResult<usize> {
+        debug_assert!(!remaining.is_empty());
+        let mut sel = self.sel.borrow_mut();
+        let mut backend = RpcBackend { coord: self };
+        select_next_incremental(
+            &self.problem,
+            self.state.pins(),
+            &self.cp,
+            remaining,
+            &mut sel,
+            &mut backend,
+        )
+    }
+
+    /// The from-scratch serialized selection — the same structure as
+    /// [`cp_shard::ShardedSession::select_next_naive`]: per uncertain
+    /// validation point, every shard's base stream is fetched once and
+    /// replayed for every candidate pin; only the owning shard computes a
+    /// per-candidate hypothetical stream, one blocking round trip at a
+    /// time. Scoring is [`pick_min_expected_entropy`] — the same code every
+    /// engine's reference scorer uses. Kept as the equivalence baseline for
+    /// [`RpcCoordinator::try_select_next`] and for the selection benchmark.
+    pub fn try_select_next_serialized(&self, remaining: &[usize]) -> RpcResult<usize> {
         debug_assert!(!remaining.is_empty());
         let uncertain: Vec<usize> = (0..self.cp.len()).filter(|&v| !self.cp[v]).collect();
         if uncertain.is_empty() {
@@ -678,6 +926,64 @@ impl CleaningEngine for RpcCoordinator {
     fn select_next(&self, remaining: &[usize]) -> usize {
         self.try_select_next(remaining)
             .expect("shard-server RPC failed during selection")
+    }
+}
+
+/// [`SelectionBackend`] over the shard-server connections: entropies come
+/// from exactly the merged-stream arithmetic the serialized scorer runs,
+/// with base streams read through the coordinator's epoch-keyed cache and
+/// the owning shard's hypothetical scans pipelined in one batch.
+struct RpcBackend<'a> {
+    coord: &'a RpcCoordinator,
+}
+
+impl SelectionBackend for RpcBackend<'_> {
+    type Error = RpcError;
+
+    fn base_entropy(&mut self, v: usize) -> RpcResult<f64> {
+        let c = self.coord;
+        let n_labels = c.problem.dataset.n_labels();
+        c.with_base_streams(v, |base| {
+            let mut cursors: Vec<StreamCursor<'_, f64>> =
+                base.iter().map(|st| st.cursor()).collect();
+            entropy_bits(
+                &merged_scan_sources(&mut cursors, n_labels, c.k, None, |_| false).probabilities(),
+            )
+        })
+    }
+
+    fn hypothetical_entropies(&mut self, v: usize, row: usize) -> RpcResult<Vec<f64>> {
+        let c = self.coord;
+        let n_labels = c.problem.dataset.n_labels();
+        let s = c.owner[row];
+        let local = c.shards[s].local_row(row).expect("owner map is exact");
+        let scans: Vec<(usize, Option<Pins>)> = (0..c.problem.dataset.set_size(row))
+            .map(|j| {
+                let mut pinned = c.masks[s].clone();
+                pinned.pin(local, j);
+                (v, Some(pinned))
+            })
+            .collect();
+        let hyps = c.clients[s].borrow_mut().scan_many::<f64>(c.k, scans)?;
+        let hyps: Vec<ShardStream<f64>> = hyps
+            .into_iter()
+            .map(|h| c.check_stream_shape(h))
+            .collect::<RpcResult<_>>()?;
+        c.with_base_streams(v, |base| {
+            hyps.iter()
+                .map(|hyp| {
+                    let mut cursors: Vec<StreamCursor<'_, f64>> = base
+                        .iter()
+                        .enumerate()
+                        .map(|(u, st)| if u == s { hyp.cursor() } else { st.cursor() })
+                        .collect();
+                    entropy_bits(
+                        &merged_scan_sources(&mut cursors, n_labels, c.k, None, |_| false)
+                            .probabilities(),
+                    )
+                })
+                .collect()
+        })
     }
 }
 

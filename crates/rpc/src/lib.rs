@@ -12,7 +12,8 @@
 //!
 //! * [`wire`] / [`codec`] — bounds-checked primitive encodings, the frame
 //!   layer (`u32` big-endian length prefix, bounded by
-//!   [`codec::MAX_FRAME_LEN`]), and serializers for
+//!   [`codec::MAX_FRAME_LEN`], then a `u32` request id the server echoes on
+//!   the response so clients can pipeline), and serializers for
 //!   [`cp_core::ShardFactors`], [`cp_core::Pins`], CP status bit vectors
 //!   and whole batched [`cp_shard::ShardStream`]s. Wire semirings: exact
 //!   `u128`, probability-space `f64`, and the boolean
@@ -54,7 +55,8 @@ pub mod wire;
 
 pub use codec::{
     decode_factors, decode_stream, decode_summary, encode_factors, encode_stream, encode_summary,
-    read_frame, read_frame_opt, write_frame, WireSemiring,
+    read_frame, read_frame_opt, read_frame_opt_tagged, read_frame_tagged, write_frame,
+    write_frame_tagged, WireSemiring,
 };
 pub use coordinator::{ClientConfig, RpcCoordinator, ShardClient};
 pub use error::{RpcError, RpcResult};

@@ -10,7 +10,7 @@
 //! | [`Request::Open`]      | [`Response::Opened`] — shard adopted       |
 //! | [`Request::Scan`]      | [`Response::Stream`] — batched event stream |
 //! | [`Request::ExtremeSummary`] | [`Response::Summary`] — rank-merged MM top-K |
-//! | [`Request::Step`]      | [`Response::Ok`] — pin applied             |
+//! | [`Request::Step`]      | [`Response::Ok`] — pin applied (idempotent) |
 //! | [`Request::SyncStatus`]| [`Response::Ok`] — global CP bits stored   |
 //! | [`Request::Status`]    | [`Response::Status`] — shard's local view  |
 //! | [`Request::Shutdown`]  | [`Response::Ok`] — connection ends         |
@@ -85,9 +85,19 @@ pub enum Request {
         pins: Option<Pins>,
     },
     /// Clean one shard-local row (pin it to its ground-truth candidate).
+    ///
+    /// The request is **idempotent**: `expect_cleaned` carries the
+    /// coordinator's view of the shard's cleaned-row count *before* this
+    /// step. A server whose count already advanced past it — because it
+    /// applied an earlier transmission of the same step whose reply was
+    /// lost — answers [`Response::Ok`] without re-pinning, so a reconnect
+    /// retry can never double-apply or silently diverge the masks.
     Step {
         /// Local row index within the shard.
         local_row: u32,
+        /// The shard's cleaned-row count the coordinator expects before the
+        /// pin is applied (its epoch for this step).
+        expect_cleaned: u32,
     },
     /// Publish the coordinator's global CP status bits to the server.
     SyncStatus(Vec<bool>),
@@ -228,9 +238,13 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
                 }
             }
         }
-        Request::Step { local_row } => {
+        Request::Step {
+            local_row,
+            expect_cleaned,
+        } => {
             put_u8(&mut out, REQ_STEP);
             put_u32(&mut out, *local_row);
+            put_u32(&mut out, *expect_cleaned);
         }
         Request::SyncStatus(bits) => {
             put_u8(&mut out, REQ_SYNC_STATUS);
@@ -312,6 +326,7 @@ pub fn decode_request(buf: &[u8]) -> RpcResult<Request> {
         }
         REQ_STEP => Request::Step {
             local_row: r.u32("step row")?,
+            expect_cleaned: r.u32("step expected cleaned count")?,
         },
         REQ_SYNC_STATUS => Request::SyncStatus(get_status_bits(&mut r)?),
         REQ_STATUS => Request::Status,
@@ -426,7 +441,10 @@ mod tests {
                 k: 1,
                 pins: None,
             },
-            Request::Step { local_row: 9 },
+            Request::Step {
+                local_row: 9,
+                expect_cleaned: 4,
+            },
             Request::SyncStatus(vec![true, false, true]),
             Request::Status,
             Request::Shutdown,

@@ -19,7 +19,9 @@
 //! [`Response::Error`] — a shard server must never be panicked by its
 //! network input.
 
-use crate::codec::{encode_stream, encode_summary, read_frame_opt, write_frame, WireSemiring};
+use crate::codec::{
+    encode_stream, encode_summary, read_frame_opt_tagged, write_frame_tagged, WireSemiring,
+};
 use crate::error::RpcResult;
 use crate::proto::{decode_request, encode_response, OpenShard, Request, Response, ShardStatus};
 use cp_clean::{CleaningProblem, CleaningSession, RunOptions};
@@ -67,7 +69,10 @@ impl ShardServer {
                 pins,
             } => self.handle_scan(val, k, semiring, pins),
             Request::ExtremeSummary { val, k, pins } => self.handle_extreme_summary(val, k, pins),
-            Request::Step { local_row } => self.handle_step(local_row),
+            Request::Step {
+                local_row,
+                expect_cleaned,
+            } => self.handle_step(local_row, expect_cleaned),
             Request::SyncStatus(bits) => self.handle_sync_status(bits),
             Request::Status => self.handle_status(),
             Request::Shutdown => Response::Ok,
@@ -253,7 +258,7 @@ impl ShardServer {
         Response::Summary(encode_summary(&summary))
     }
 
-    fn handle_step(&mut self, local_row: u32) -> Response {
+    fn handle_step(&mut self, local_row: u32, expect_cleaned: u32) -> Response {
         let Some(worker) = &mut self.worker else {
             return Response::Error("step before open".into());
         };
@@ -264,6 +269,19 @@ impl ShardServer {
         }
         if !ds.example(row).is_dirty() {
             return Response::Error(format!("row {row} is not dirty"));
+        }
+        let n_cleaned = worker.session.n_cleaned();
+        let expect = expect_cleaned as usize;
+        // a retransmission of a step this shard already applied (the first
+        // reply was lost in flight) must acknowledge without re-pinning —
+        // this is what makes a coordinator retry after reconnect safe
+        if n_cleaned == expect + 1 && worker.session.state().is_cleaned(row) {
+            return Response::Ok;
+        }
+        if n_cleaned != expect {
+            return Response::Error(format!(
+                "step expected {expect} cleaned rows, shard has {n_cleaned}"
+            ));
         }
         if worker.session.state().is_cleaned(row) {
             return Response::Error(format!("row {row} already cleaned"));
@@ -299,11 +317,13 @@ impl ShardServer {
 
 /// Serve one established connection until the peer shuts down or
 /// disconnects. Returns `true` if the session ended with
-/// [`Request::Shutdown`], `false` on orderly EOF.
+/// [`Request::Shutdown`], `false` on orderly EOF. Every response frame
+/// echoes its request's id, so a pipelining client can match replies to
+/// the requests it has in flight.
 pub fn serve_connection(server: &mut ShardServer, stream: &mut TcpStream) -> RpcResult<bool> {
     loop {
         // an EOF at a frame boundary is an orderly disconnect
-        let Some(frame) = read_frame_opt(stream)? else {
+        let Some((req_id, frame)) = read_frame_opt_tagged(stream)? else {
             return Ok(false);
         };
         // a malformed request poisons only that request, not the connection
@@ -314,7 +334,7 @@ pub fn serve_connection(server: &mut ShardServer, stream: &mut TcpStream) -> Rpc
             }
             Err(e) => (Response::Error(format!("bad request: {e}")), false),
         };
-        write_frame(stream, &encode_response(&resp))?;
+        write_frame_tagged(stream, req_id, &encode_response(&resp))?;
         if shutdown {
             return Ok(true);
         }
@@ -420,9 +440,28 @@ mod tests {
         assert_eq!(summary.n_labels(), 2);
         assert_eq!(summary.k(), 1);
 
-        assert_eq!(server.handle(Request::Step { local_row: 1 }), Response::Ok);
+        let step = Request::Step {
+            local_row: 1,
+            expect_cleaned: 0,
+        };
+        assert_eq!(server.handle(step.clone()), Response::Ok);
+        // a retransmission of the same step (its reply was lost) is
+        // acknowledged without re-pinning
+        assert_eq!(server.handle(step), Response::Ok);
+        // a genuinely new step on the same row is still an error
         assert!(matches!(
-            server.handle(Request::Step { local_row: 1 }),
+            server.handle(Request::Step {
+                local_row: 1,
+                expect_cleaned: 1,
+            }),
+            Response::Error(_)
+        ));
+        // as is a count the shard has never been at
+        assert!(matches!(
+            server.handle(Request::Step {
+                local_row: 1,
+                expect_cleaned: 7,
+            }),
             Response::Error(_)
         ));
         assert_eq!(
@@ -501,8 +540,20 @@ mod tests {
                 k: 1,
                 pins: Some(Pins::single(3, 1, 9)),
             },
-            Request::Step { local_row: 77 },
-            Request::Step { local_row: 0 }, // clean row
+            Request::Step {
+                local_row: 77,
+                expect_cleaned: 0,
+            },
+            // clean row
+            Request::Step {
+                local_row: 0,
+                expect_cleaned: 0,
+            },
+            // stale cleaned-count (shard is at 0)
+            Request::Step {
+                local_row: 1,
+                expect_cleaned: 3,
+            },
             Request::SyncStatus(vec![true]),
         ] {
             assert!(

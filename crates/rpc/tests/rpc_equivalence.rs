@@ -32,6 +32,10 @@ use std::thread::JoinHandle;
 
 const SHARD_COUNTS: [usize; 3] = [1, 2, 3];
 
+/// Shard counts for the incremental-selection lockstep — 7 exceeds the row
+/// count of every generated instance, exercising the partition clamp.
+const SHARD_COUNTS_WIDE: [usize; 4] = [1, 2, 3, 7];
+
 const ALL_ALGORITHMS: [Q2Algorithm; 5] = [
     Q2Algorithm::Auto,
     Q2Algorithm::BruteForce,
@@ -164,6 +168,55 @@ proptest! {
             prop_assert_eq!(remote.converged(), local.converged());
             prop_assert_eq!(remote.status(), local.status());
             remote.shutdown().expect("shutdown");
+            for h in handles {
+                h.join().expect("server thread");
+            }
+        }
+    }
+
+    /// The pipelined incremental selection (`try_select_next`: score cache,
+    /// relevance substitution, entropy-bound pruning, pipelined scans over
+    /// cached base streams) picks the identical row the from-scratch
+    /// serialized scorer picks — at every step of a randomly perturbed
+    /// trajectory, for shard counts {1, 2, 3, 7}, over real sockets.
+    #[test]
+    fn incremental_selection_matches_serialized_over_tcp((problem, seed) in arb_instance()) {
+        for n_shards in SHARD_COUNTS_WIDE {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x1bb5);
+            let (addrs, handles) = spawn_servers(n_shards);
+            let mut remote = RpcCoordinator::connect(&problem, &addrs, &opts(1)).expect("connect");
+            let mut step = 0usize;
+            loop {
+                let remaining = remote.remaining();
+                if remaining.is_empty() {
+                    break;
+                }
+                let serialized = remote
+                    .try_select_next_serialized(&remaining)
+                    .expect("serialized selection");
+                let incremental = remote.try_select_next(&remaining).expect("incremental selection");
+                prop_assert_eq!(
+                    incremental, serialized,
+                    "step {} diverged, n_shards={}", step, n_shards
+                );
+                // a warm-cache re-query of the unchanged step is identical
+                prop_assert_eq!(
+                    remote.try_select_next(&remaining).expect("warm re-query"),
+                    serialized,
+                    "warm re-query, step {}, n_shards={}", step, n_shards
+                );
+                // follow the greedy choice half the time, a random row otherwise
+                let row = if rng.gen_bool(0.5) {
+                    serialized
+                } else {
+                    remaining[rng.gen_range(0..remaining.len())]
+                };
+                remote.clean(row).expect("clean over rpc");
+                step += 1;
+            }
+            let served = remote.n_shards();
+            remote.shutdown().expect("shutdown");
+            release_unused(&addrs[served..]);
             for h in handles {
                 h.join().expect("server thread");
             }

@@ -778,6 +778,7 @@ where
     I: Borrow<SimilarityIndex>,
     P: Borrow<Pins>,
 {
+    cp_core::note_q2_probability_query();
     let r: Q2Result<f64> = q2_sharded_with_indexes(shards, indexes, pins, cfg);
     r.probabilities()
 }

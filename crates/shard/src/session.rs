@@ -36,18 +36,19 @@ use crate::scan::{certain_label_sharded_with_indexes, q2_probabilities_sharded_w
 use cp_clean::eval::parallel_map;
 use cp_clean::metrics::CleaningRun;
 use cp_clean::{
-    pick_min_expected_entropy, CleaningEngine, CleaningProblem, CleaningSession, CleaningState,
-    RunOptions,
+    pick_min_expected_entropy, select_next_incremental, CleaningEngine, CleaningProblem,
+    CleaningSession, CleaningState, RunOptions, SelectionBackend, SelectionCache,
 };
 use cp_core::{DatasetShard, Pins, SimilarityIndex};
 use cp_knn::Label;
 use cp_numeric::stats::entropy_bits;
-use std::sync::Arc;
+use std::convert::Infallible;
+use std::sync::{Arc, Mutex};
 
 /// A cleaning run distributed over dataset shards: one shard-local
 /// [`CleaningSession`] per partition plus the coordinator's global cleaning
 /// state and incrementally maintained CP status.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct ShardedSession {
     problem: Arc<CleaningProblem>,
     opts: RunOptions,
@@ -57,6 +58,25 @@ pub struct ShardedSession {
     owner: Vec<usize>,
     state: CleaningState,
     cp: Vec<bool>,
+    /// Incremental selection state over *global* row ids
+    /// ([`cp_clean::selection`]); a mutex because status refreshes fan
+    /// `&self` across scoped threads.
+    sel: Mutex<SelectionCache>,
+}
+
+impl Clone for ShardedSession {
+    fn clone(&self) -> Self {
+        ShardedSession {
+            problem: Arc::clone(&self.problem),
+            opts: self.opts.clone(),
+            shards: self.shards.clone(),
+            sessions: self.sessions.clone(),
+            owner: self.owner.clone(),
+            state: self.state.clone(),
+            cp: self.cp.clone(),
+            sel: Mutex::new(self.lock_sel().clone()),
+        }
+    }
 }
 
 impl ShardedSession {
@@ -108,6 +128,10 @@ impl ShardedSession {
         });
         let state = CleaningState::new(&problem);
         let cp = vec![false; problem.val_x.len()];
+        let sel = Mutex::new(SelectionCache::new(
+            problem.dataset.len(),
+            problem.val_x.len(),
+        ));
         let mut session = ShardedSession {
             problem,
             opts: opts.clone(),
@@ -116,9 +140,17 @@ impl ShardedSession {
             owner,
             state,
             cp,
+            sel,
         };
         session.refresh_status();
         session
+    }
+
+    /// The selection cache, recovering from a poisoned lock (no partial
+    /// writes can break it: mutations are append-only or whole-state
+    /// replacements).
+    fn lock_sel(&self) -> std::sync::MutexGuard<'_, SelectionCache> {
+        self.sel.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// The (global) problem this session cleans.
@@ -226,13 +258,36 @@ impl ShardedSession {
         self.refresh_status();
     }
 
-    /// The greedy CPClean selection over the given candidate rows, routed to
-    /// the owning shards: evaluating a pin on row `r` modifies only the
-    /// owner's local pin mask, and every other shard's factors are merged
-    /// unchanged. Scoring is [`pick_min_expected_entropy`] — the *same
-    /// code* [`CleaningSession::select_next`] scores with, so the rule
-    /// cannot diverge between engines.
+    /// The greedy CPClean selection over the given candidate rows —
+    /// incremental: scores are cached across steps in an epoch-keyed
+    /// [`SelectionCache`] over *global* rows, and rows the cached entropy
+    /// bounds exclude are never rescored (see [`cp_clean::selection`]).
+    /// Hypothetical scans still route to the owning shard only. Selects the
+    /// identical row as [`ShardedSession::select_next_naive`].
     pub fn select_next(&self, remaining: &[usize]) -> usize {
+        let mut backend = ShardedBackend { session: self };
+        let result = select_next_incremental(
+            &self.problem,
+            self.state.pins(),
+            &self.cp,
+            remaining,
+            &mut self.lock_sel(),
+            &mut backend,
+        );
+        match result {
+            Ok(row) => row,
+        }
+    }
+
+    /// The from-scratch sharded greedy selection, routed to the owning
+    /// shards: evaluating a pin on row `r` modifies only the owner's local
+    /// pin mask, and every other shard's factors are merged unchanged.
+    /// Scoring is [`pick_min_expected_entropy`] — the *same code*
+    /// [`CleaningSession::select_next_naive`] scores with, so the rule
+    /// cannot diverge between engines. This is the reference scorer
+    /// [`ShardedSession::select_next`] must match row for row; kept callable
+    /// for the lockstep equivalence tests and benchmarks.
+    pub fn select_next_naive(&self, remaining: &[usize]) -> usize {
         debug_assert!(!remaining.is_empty());
         let uncertain: Vec<usize> = (0..self.cp.len()).filter(|&v| !self.cp[v]).collect();
         if uncertain.is_empty() {
@@ -332,6 +387,55 @@ impl CleaningEngine for ShardedSession {
 
     fn select_next(&self, remaining: &[usize]) -> usize {
         ShardedSession::select_next(self, remaining)
+    }
+}
+
+/// [`SelectionBackend`] over the shard sessions' cached indexes: the exact
+/// same routed `q2_probabilities_sharded_with_indexes` + `entropy_bits`
+/// calls [`ShardedSession::select_next_naive`] makes, so the incremental
+/// loop scores bit-identically to the sharded naive scorer.
+struct ShardedBackend<'a> {
+    session: &'a ShardedSession,
+}
+
+impl SelectionBackend for ShardedBackend<'_> {
+    type Error = Infallible;
+
+    fn base_entropy(&mut self, v: usize) -> Result<f64, Infallible> {
+        let sess = self.session;
+        let indexes: Vec<&SimilarityIndex> = sess.sessions.iter().map(|s| &*s.cache()[v]).collect();
+        let masks: Vec<&Pins> = sess.sessions.iter().map(|s| s.state().pins()).collect();
+        Ok(entropy_bits(&q2_probabilities_sharded_with_indexes(
+            &sess.shards,
+            &indexes,
+            &masks,
+            &sess.problem.config,
+        )))
+    }
+
+    fn hypothetical_entropies(&mut self, v: usize, row: usize) -> Result<Vec<f64>, Infallible> {
+        let sess = self.session;
+        let indexes: Vec<&SimilarityIndex> = sess.sessions.iter().map(|s| &*s.cache()[v]).collect();
+        let mut masks: Vec<Pins> = sess
+            .sessions
+            .iter()
+            .map(|s| s.state().pins().clone())
+            .collect();
+        let s = sess.owner[row];
+        let local = sess.shards[s].local_row(row).expect("owner map is exact");
+        Ok((0..sess.problem.dataset.set_size(row))
+            .map(|j| {
+                masks[s].pin(local, j);
+                let probs = q2_probabilities_sharded_with_indexes(
+                    &sess.shards,
+                    &indexes,
+                    &masks,
+                    &sess.problem.config,
+                );
+                masks[s].unpin(local);
+                entropy_bits(&probs)
+            })
+            .collect())
     }
 }
 
