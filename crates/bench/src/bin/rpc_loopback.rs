@@ -18,10 +18,10 @@
 
 use cp_bench::{random_incomplete_dataset, Reporter};
 use cp_clean::{CleaningProblem, RunOptions};
-use cp_core::{CpConfig, Q2Algorithm, Q2Result};
+use cp_core::{CpConfig, Pins, Q2Algorithm, Q2Result};
 use cp_numeric::Possibility;
-use cp_rpc::{serve_ephemeral, RpcCoordinator};
-use cp_shard::ShardedSession;
+use cp_rpc::{encode_stream, encode_stream_raw, serve_ephemeral, RpcCoordinator};
+use cp_shard::{build_shard_indexes, ShardStream, ShardedSession};
 use rand::prelude::*;
 use rand::rngs::StdRng;
 use std::thread::JoinHandle;
@@ -107,6 +107,26 @@ fn main() {
         problem.dirty_rows().len(),
         opts.n_threads
     ));
+
+    // scan streams — the dominant message class — travel delta-compressed;
+    // report what this workload's streams cost in each encoding
+    {
+        let shards_1 = problem.dataset.partition(1);
+        let pins = Pins::none(problem.dataset.len());
+        let k = problem.config.k_eff(problem.dataset.len());
+        let (mut delta, mut raw) = (0usize, 0usize);
+        for t in problem.val_x.iter() {
+            let indexes = build_shard_indexes(&shards_1, problem.config.kernel, t);
+            let stream: ShardStream<f64> =
+                ShardStream::capture(&shards_1[0], &indexes[0], &pins, k);
+            delta += encode_stream(&stream).len();
+            raw += encode_stream_raw(&stream).len();
+        }
+        r.note(&format!(
+            "scan streams on the wire: {delta} B delta vs {raw} B raw — {:.1}x smaller",
+            raw as f64 / delta as f64
+        ));
+    }
 
     // in-process baseline (same shard count)
     let n_shards = connect.as_ref().map(|a| a.len()).unwrap_or(shards);

@@ -1,0 +1,284 @@
+//! Multi-tenant serving experiment: {1, 2, 4, 8} concurrent coordinators —
+//! each an independent cleaning session — multiplexed over **one** pool
+//! shard-server, reporting aggregate steps/sec and per-step p50/p99
+//! latency against the single-session serial baseline.
+//!
+//! Two modes:
+//!
+//! * self-contained (default): spawns its own pool server on an ephemeral
+//!   loopback port;
+//! * `--connect ADDR`: drives an externally launched `shard-server`
+//!   process (the CI pool smoke starts one real process with `--conns 15`
+//!   — the total connection count of the four fleets — and points this
+//!   binary at it).
+//!
+//! Every coordinator cleans a distinct random order, and its final CP
+//! status is cross-checked against an **isolated** in-process
+//! [`ShardedSession`] run of the same order — concurrent tenants must be
+//! bit-indistinguishable from isolated runs. The run also reports the
+//! delta-vs-raw on-wire size of the workload's scan streams (the dominant
+//! message class) and asserts the ≥3× compression the codec is sized for.
+//!
+//! Results land in `BENCH_rpc_many_sessions.json` (hand-rolled JSON, no
+//! dependencies). On a single-CPU host the fleets time-slice one core, so
+//! aggregate throughput cannot exceed the serial baseline — the run prints
+//! that caveat instead of a hollow speedup number.
+
+use cp_bench::{random_incomplete_dataset, Reporter};
+use cp_clean::{CleaningProblem, RunOptions};
+use cp_core::{CpConfig, Pins};
+use cp_rpc::{encode_stream, encode_stream_raw, spawn_server, RpcCoordinator, ServerConfig};
+use cp_shard::{build_shard_indexes, ShardStream, ShardedSession};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+const FLEETS: [usize; 4] = [1, 2, 4, 8];
+
+/// A synthetic cleaning problem over the shared random-instance generator.
+fn synthetic_problem(n: usize, m: usize, n_val: usize, seed: u64) -> CleaningProblem {
+    let (dataset, _) = random_incomplete_dataset(n, m, 0.3, 2, 3, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xbead);
+    let choices = |rng: &mut StdRng| -> Vec<Option<usize>> {
+        (0..dataset.len())
+            .map(|i| {
+                let m = dataset.set_size(i);
+                (m > 1).then(|| rng.gen_range(0..m))
+            })
+            .collect()
+    };
+    let truth_choice = choices(&mut rng);
+    let default_choice = choices(&mut rng);
+    let gauss = |rng: &mut StdRng| {
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen::<f64>();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    };
+    let val_x: Vec<Vec<f64>> = (0..n_val)
+        .map(|_| (0..dataset.dim()).map(|_| gauss(&mut rng)).collect())
+        .collect();
+    CleaningProblem::new(
+        dataset,
+        CpConfig::new(3),
+        val_x,
+        truth_choice,
+        default_choice,
+    )
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+struct FleetResult {
+    coordinators: usize,
+    steps: usize,
+    wall_s: f64,
+    steps_per_s: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+/// Run `fleet` concurrent coordinators against `addr`, each cleaning its
+/// own shuffled order; returns the aggregate result after cross-checking
+/// every tenant's final status against an isolated in-process run.
+fn run_fleet(
+    problem: &CleaningProblem,
+    addr: &str,
+    fleet: usize,
+    opts: &RunOptions,
+) -> FleetResult {
+    let barrier = Arc::new(Barrier::new(fleet + 1));
+    let mut workers = Vec::with_capacity(fleet);
+    for c in 0..fleet {
+        let problem = problem.clone();
+        let addr = addr.to_string();
+        let gate = barrier.clone();
+        let opts = opts.clone();
+        workers.push(std::thread::spawn(
+            move || -> (Vec<f64>, Vec<bool>, Vec<usize>) {
+                let mut order = problem.dirty_rows();
+                order.shuffle(&mut StdRng::seed_from_u64(0xc0fe ^ c as u64));
+                let mut remote =
+                    RpcCoordinator::connect(&problem, &[addr], &opts).expect("connect coordinator");
+                gate.wait(); // all sessions open before any steps
+                let mut latencies = Vec::with_capacity(order.len());
+                for &row in &order {
+                    let t0 = Instant::now();
+                    remote.clean(row).expect("clean over rpc");
+                    latencies.push(t0.elapsed().as_secs_f64());
+                }
+                let status = remote.status().to_vec();
+                remote.shutdown().expect("shutdown");
+                (latencies, status, order)
+            },
+        ));
+    }
+    barrier.wait();
+    let t0 = Instant::now();
+    let finished: Vec<_> = workers
+        .into_iter()
+        .map(|w| w.join().expect("coordinator thread"))
+        .collect();
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    // every tenant == the isolated run of its order, bit-for-bit
+    let mut latencies = Vec::new();
+    for (lats, status, order) in finished {
+        let mut local = ShardedSession::new(problem, 1, opts);
+        for &row in &order {
+            local.clean(row);
+        }
+        assert_eq!(
+            status,
+            local.status(),
+            "a concurrent tenant diverged from its isolated run"
+        );
+        latencies.extend(lats);
+    }
+    latencies.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+    let steps = latencies.len();
+    FleetResult {
+        coordinators: fleet,
+        steps,
+        wall_s,
+        steps_per_s: steps as f64 / wall_s,
+        p50_us: percentile(&latencies, 50.0) * 1e6,
+        p99_us: percentile(&latencies, 99.0) * 1e6,
+    }
+}
+
+/// On-wire size of the workload's scan streams in both encodings — the
+/// delta codec must shrink the dominant message class at least 3×.
+fn wire_sizes(problem: &CleaningProblem) -> (usize, usize) {
+    let shards = problem.dataset.partition(1);
+    let pins = Pins::none(problem.dataset.len());
+    let k = problem.config.k_eff(problem.dataset.len());
+    let (mut delta, mut raw) = (0usize, 0usize);
+    for t in problem.val_x.iter() {
+        let indexes = build_shard_indexes(&shards, problem.config.kernel, t);
+        let stream: ShardStream<f64> = ShardStream::capture(&shards[0], &indexes[0], &pins, k);
+        delta += encode_stream(&stream).len();
+        raw += encode_stream_raw(&stream).len();
+    }
+    (delta, raw)
+}
+
+fn main() {
+    let r = Reporter;
+    let mut smoke = false;
+    let mut connect: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--connect" => {
+                connect = Some(args.next().expect("--connect requires ADDR"));
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
+    let (n, m, n_val) = if smoke { (40, 3, 3) } else { (120, 4, 6) };
+    let problem = synthetic_problem(n, m, n_val, 11);
+    let opts = RunOptions {
+        record_every: usize::MAX,
+        ..RunOptions::default()
+    };
+    let n_cpus = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+
+    r.section("Multi-tenant serving: concurrent coordinators over one pool shard-server");
+    r.note(&format!(
+        "problem: N={n} M={m} |val|={n_val}, {} dirty rows per session; host CPUs: {n_cpus}",
+        problem.dirty_rows().len()
+    ));
+
+    // satellite: delta-compressed scan streams on this exact workload
+    let (delta_bytes, raw_bytes) = wire_sizes(&problem);
+    let ratio = raw_bytes as f64 / delta_bytes as f64;
+    assert!(
+        delta_bytes * 3 <= raw_bytes,
+        "delta encoding must shrink scan streams >= 3x (delta {delta_bytes} B, raw {raw_bytes} B)"
+    );
+    r.note(&format!(
+        "scan streams on the wire: {delta_bytes} B delta vs {raw_bytes} B raw — {ratio:.1}x smaller"
+    ));
+
+    let (addr, server) = match connect {
+        Some(addr) => {
+            r.note(&format!("connecting to external server: {addr}"));
+            (addr, None)
+        }
+        None => {
+            let server = spawn_server(ServerConfig::default()).expect("spawn pool server");
+            r.note(&format!("self-spawned pool server on {}", server.addr()));
+            (server.addr().to_string(), Some(server))
+        }
+    };
+
+    let results: Vec<FleetResult> = FLEETS
+        .iter()
+        .map(|&fleet| run_fleet(&problem, &addr, fleet, &opts))
+        .collect();
+    drop(server);
+
+    let serial = results[0].steps_per_s;
+    println!();
+    println!("| coordinators | steps | wall (s) | agg steps/s | p50 (µs) | p99 (µs) | vs serial |");
+    println!("|-------------:|------:|---------:|------------:|---------:|---------:|----------:|");
+    for res in &results {
+        println!(
+            "| {} | {} | {:.3} | {:.0} | {:.0} | {:.0} | {:.2}x |",
+            res.coordinators,
+            res.steps,
+            res.wall_s,
+            res.steps_per_s,
+            res.p50_us,
+            res.p99_us,
+            res.steps_per_s / serial
+        );
+    }
+    println!();
+    r.note("verified: every concurrent tenant's final status == its isolated in-process run");
+    if n_cpus < 2 {
+        r.note(
+            "caveat: single-CPU host — the fleets time-slice one core, so aggregate \
+             throughput cannot exceed the serial baseline here; on a multi-core host the \
+             sessions step in parallel (shared immutable shard data, per-session locks)",
+        );
+    }
+
+    // hand-rolled JSON (no dependencies) — the benchmark artifact
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"rpc_many_sessions\",\n");
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str(&format!("  \"n_cpus\": {n_cpus},\n"));
+    json.push_str(&format!(
+        "  \"scan_stream_bytes\": {{\"delta\": {delta_bytes}, \"raw\": {raw_bytes}, \"ratio\": {ratio:.2}}},\n"
+    ));
+    json.push_str("  \"fleets\": [\n");
+    for (i, res) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"coordinators\": {}, \"steps\": {}, \"wall_s\": {:.4}, \"steps_per_s\": {:.1}, \
+             \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"speedup_vs_serial\": {:.3}}}{}\n",
+            res.coordinators,
+            res.steps,
+            res.wall_s,
+            res.steps_per_s,
+            res.p50_us,
+            res.p99_us,
+            res.steps_per_s / serial,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_rpc_many_sessions.json", &json).expect("write benchmark artifact");
+    r.note("wrote BENCH_rpc_many_sessions.json");
+}

@@ -104,7 +104,6 @@ impl CleaningSession {
     /// [`CleaningSession::status`] reports every point as not-yet-certain
     /// until a [`CleaningSession::clean`] refreshes it.
     pub fn from_arc_deferred(problem: Arc<CleaningProblem>, opts: &RunOptions) -> Self {
-        problem.validate();
         let indexes = parallel_map(problem.val_x.len(), opts.n_threads, |v| {
             Arc::new(SimilarityIndex::build(
                 &problem.dataset,
@@ -114,6 +113,35 @@ impl CleaningSession {
         });
         let cache =
             ValIndexCache::from_indexes(problem.config.kernel, problem.val_x.clone(), indexes);
+        Self::from_cache_deferred(problem, cache, opts)
+    }
+
+    /// [`CleaningSession::from_arc_deferred`] over a **pre-built** index
+    /// cache instead of building one: the session shares the cache's
+    /// `Arc`-held similarity indexes rather than paying the
+    /// `O(|val| · NM log NM)` build again. This is the multi-tenant seam —
+    /// a shard server opening many sessions over one shard builds the
+    /// indexes once and hands every session the same cache.
+    ///
+    /// # Panics
+    /// Panics if the problem does not validate or the cache does not cover
+    /// exactly the problem's validation points.
+    pub fn from_cache_deferred(
+        problem: Arc<CleaningProblem>,
+        cache: ValIndexCache,
+        opts: &RunOptions,
+    ) -> Self {
+        problem.validate();
+        assert_eq!(
+            cache.len(),
+            problem.val_x.len(),
+            "index cache does not cover the problem's validation points"
+        );
+        assert_eq!(
+            cache.kernel(),
+            problem.config.kernel,
+            "index cache built under a different kernel"
+        );
         let state = CleaningState::new(&problem);
         let cp = vec![false; problem.val_x.len()];
         let sel = Mutex::new(SelectionCache::new(
@@ -714,6 +742,25 @@ mod tests {
         let run_far_first =
             CleaningSession::new(&p, &opts(1)).run_order(&[3, 1], &[vec![5.0]], &[0]);
         assert_eq!(run_far_first.order, vec![3, 1]);
+    }
+
+    #[test]
+    fn from_cache_deferred_shares_indexes_and_answers_identically() {
+        let p = Arc::new(targeted_problem());
+        let donor = CleaningSession::from_arc_deferred(Arc::clone(&p), &opts(1));
+        let mut shared =
+            CleaningSession::from_cache_deferred(Arc::clone(&p), donor.cache().clone(), &opts(1));
+        // the same Arc-held indexes, not rebuilds
+        for v in 0..p.val_x.len() {
+            assert!(Arc::ptr_eq(&donor.cache()[v], &shared.cache()[v]));
+        }
+        // and a run over the shared cache behaves exactly like a fresh one
+        let mut fresh = CleaningSession::new(&p, &opts(1));
+        shared.refresh_status();
+        assert_eq!(shared.status(), fresh.status());
+        let (a, b) = (shared.step(), fresh.step());
+        assert_eq!(a, b);
+        assert_eq!(shared.status(), fresh.status());
     }
 
     #[test]

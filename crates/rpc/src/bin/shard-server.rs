@@ -1,20 +1,25 @@
 //! The shard-server binary: bind a TCP listener and serve shard sessions.
 //!
 //! ```text
-//! shard-server --listen 127.0.0.1:7701 [--once]
+//! shard-server --listen 127.0.0.1:7701 [--once | --conns N] [--max-sessions M]
 //! ```
 //!
-//! Each connection gets a fresh [`cp_rpc::ShardServer`]: the coordinator
-//! opens it with the shard's rows (`Open`), drives scans and cleaning steps,
-//! and ends with `Shutdown`. With `--once` the process exits after its
-//! first connection closes — the mode CI's loopback smoke test uses.
+//! One process serves any number of independent cleaning sessions
+//! concurrently ([`cp_rpc::ShardServer`] is multi-tenant): each coordinator
+//! connects, opens its session (`Open` mints a session handle), drives scans
+//! and cleaning steps, and ends with `Close` + `Shutdown`. Identical `Open`
+//! payloads share one similarity-index build. With `--once` the process
+//! exits after its first connection closes — the mode CI's loopback smoke
+//! test uses; `--conns N` generalizes it to N admitted connections — the
+//! mode CI's multi-tenant pool smoke uses.
 
+use cp_rpc::ServerConfig;
 use std::net::TcpListener;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut listen = String::from("127.0.0.1:7701");
-    let mut once = false;
+    let mut cfg = ServerConfig::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -25,11 +30,32 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
-            "--once" => once = true,
+            "--once" => cfg.max_accepts = Some(1),
+            "--conns" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n > 0 => cfg.max_accepts = Some(n),
+                _ => {
+                    eprintln!("shard-server: --conns requires a positive count");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--max-sessions" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n > 0 => cfg.max_sessions = n,
+                _ => {
+                    eprintln!("shard-server: --max-sessions requires a positive count");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
-                println!("usage: shard-server [--listen ADDR] [--once]");
-                println!("  --listen ADDR  bind address (default 127.0.0.1:7701)");
-                println!("  --once         exit after the first connection closes");
+                println!(
+                    "usage: shard-server [--listen ADDR] [--once | --conns N] [--max-sessions M]"
+                );
+                println!("  --listen ADDR    bind address (default 127.0.0.1:7701)");
+                println!("  --once           exit after the first connection closes");
+                println!("  --conns N        exit after N admitted connections close");
+                println!(
+                    "  --max-sessions M cap on concurrent sessions (default {})",
+                    ServerConfig::default().max_sessions
+                );
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -51,7 +77,7 @@ fn main() -> ExitCode {
         Err(_) => println!("shard-server listening on {listen}"),
     }
 
-    match cp_rpc::serve(listener, once) {
+    match cp_rpc::serve_with(listener, cfg) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("shard-server: {e}");

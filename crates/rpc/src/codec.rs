@@ -27,7 +27,10 @@
 //! property-tested in `tests/codec_roundtrip.rs`.
 
 use crate::error::{RpcError, RpcResult};
-use crate::wire::{put_bool, put_f64, put_opt_u32, put_u128, put_u32, put_u8, put_usize, Reader};
+use crate::wire::{
+    put_bool, put_f64, put_opt_u32, put_u128, put_u32, put_u8, put_usize, put_varint_u64,
+    put_zigzag_i64, Reader,
+};
 use cp_core::{ExtremeEntry, ExtremeSummary, Pins, ShardFactors};
 use cp_knn::Kernel;
 use cp_numeric::{CountSemiring, Possibility};
@@ -366,12 +369,105 @@ pub fn decode_factors<S: WireSemiring>(buf: &[u8]) -> RpcResult<ShardFactors<S>>
 // ShardStream — the per-scan batched event stream
 // ---------------------------------------------------------------------------
 
+/// Stream encoding version byte: the fixed-width layout every field at its
+/// natural size.
+const STREAM_V_RAW: u8 = 1;
+/// Stream encoding version byte: the delta+varint+dictionary layout —
+/// zigzag-varint deltas for the (near-sorted) sim/row keys, varints for
+/// candidates and labels, and every semiring scalar replaced by a varint
+/// index into a per-stream dictionary of distinct scalars (boundary events
+/// repeat polynomial coefficients heavily — a row's events share its
+/// excluding polynomial, and tally counts recur across boundaries).
+const STREAM_V_DELTA: u8 = 2;
+
+/// Interns semiring scalars by their encoded bytes (bit patterns, so `f64`
+/// stays bit-exact), assigning dictionary ids in first-appearance order.
+struct ScalarInterner {
+    ids: std::collections::HashMap<Vec<u8>, u64>,
+    /// The dictionary body: every distinct scalar's raw encoding, in id order.
+    dict: Vec<u8>,
+}
+
+impl ScalarInterner {
+    fn new() -> Self {
+        ScalarInterner {
+            ids: std::collections::HashMap::new(),
+            dict: Vec::new(),
+        }
+    }
+
+    fn intern<S: WireSemiring>(&mut self, s: &S) -> u64 {
+        let mut key = Vec::with_capacity(S::MIN_SCALAR_BYTES);
+        s.put(&mut key);
+        if let Some(&id) = self.ids.get(&key) {
+            return id;
+        }
+        let id = self.ids.len() as u64;
+        self.dict.extend_from_slice(&key);
+        self.ids.insert(key, id);
+        id
+    }
+}
+
 /// Encode a whole batched [`ShardStream`] — one scan's worth of
 /// locally-sorted boundary events with factor deltas, the message that
-/// replaces one round-trip per boundary event.
+/// replaces one round-trip per boundary event. This is the delta
+/// encoding (version 2), the wire default; [`encode_stream_raw`]
+/// keeps the fixed-width layout for size comparisons, and
+/// [`decode_stream`] accepts both.
 pub fn encode_stream<S: WireSemiring>(stream: &ShardStream<S>) -> Vec<u8> {
+    let k = stream.initial.k();
+    let mut interner = ScalarInterner::new();
+    // body = everything after the dictionary, interning scalars in one
+    // canonical traversal order (the same order the decoder replays)
+    let mut body = Vec::new();
+    for poly in stream.initial.polys() {
+        for c in poly {
+            put_varint_u64(&mut body, interner.intern(c));
+        }
+    }
+    put_varint_u64(&mut body, interner.intern(&stream.total));
+    let mut prev_sim_bits = 0u64;
+    let mut prev_row = 0u64;
+    for ev in &stream.events {
+        debug_assert_eq!(ev.event.updated_poly.len(), k + 1);
+        debug_assert_eq!(ev.event.excluding_poly.len(), k + 1);
+        let sim_bits = ev.sim.to_bits();
+        put_zigzag_i64(&mut body, sim_bits.wrapping_sub(prev_sim_bits) as i64);
+        prev_sim_bits = sim_bits;
+        let row = ev.row as u64;
+        put_zigzag_i64(&mut body, row.wrapping_sub(prev_row) as i64);
+        prev_row = row;
+        put_varint_u64(&mut body, u64::from(ev.cand));
+        put_varint_u64(&mut body, ev.event.label as u64);
+        for c in &ev.event.updated_poly {
+            put_varint_u64(&mut body, interner.intern(c));
+        }
+        for c in &ev.event.excluding_poly {
+            put_varint_u64(&mut body, interner.intern(c));
+        }
+        put_varint_u64(&mut body, interner.intern(&ev.event.boundary_mass));
+    }
+    let mut out = Vec::with_capacity(16 + interner.dict.len() + body.len());
+    put_u8(&mut out, S::TAG);
+    put_u8(&mut out, STREAM_V_DELTA);
+    put_u32(&mut out, k as u32);
+    put_u32(&mut out, stream.initial.n_labels() as u32);
+    put_varint_u64(&mut out, stream.events.len() as u64);
+    put_varint_u64(&mut out, interner.ids.len() as u64);
+    out.extend_from_slice(&interner.dict);
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Encode a batched [`ShardStream`] in the fixed-width raw (version 1)
+/// layout — every key at its natural size, every scalar inline. Kept so
+/// benches can report the delta encoding's on-wire reduction against it;
+/// [`decode_stream`] accepts either version.
+pub fn encode_stream_raw<S: WireSemiring>(stream: &ShardStream<S>) -> Vec<u8> {
     let mut out = Vec::new();
     put_u8(&mut out, S::TAG);
+    put_u8(&mut out, STREAM_V_RAW);
     put_factors_body(&mut out, &stream.initial);
     stream.total.put(&mut out);
     put_u32(&mut out, stream.events.len() as u32);
@@ -393,11 +489,23 @@ pub fn encode_stream<S: WireSemiring>(stream: &ShardStream<S>) -> Vec<u8> {
     out
 }
 
-/// Decode a batched [`ShardStream`], checking the semiring tag, label
-/// ranges and polynomial shapes.
+/// Decode a batched [`ShardStream`] in either stream-encoding version,
+/// checking the semiring tag, label ranges, dictionary indexes and
+/// polynomial shapes.
 pub fn decode_stream<S: WireSemiring>(buf: &[u8]) -> RpcResult<ShardStream<S>> {
     let mut r = Reader::new(buf);
     check_semiring_tag::<S>(&mut r)?;
+    match r.u8("stream version")? {
+        STREAM_V_RAW => decode_stream_raw_body(r),
+        STREAM_V_DELTA => decode_stream_delta_body(r),
+        tag => Err(RpcError::BadTag {
+            what: "stream version",
+            tag,
+        }),
+    }
+}
+
+fn decode_stream_raw_body<S: WireSemiring>(mut r: Reader<'_>) -> RpcResult<ShardStream<S>> {
     let initial = get_factors_body::<S>(&mut r)?;
     let (k, n_labels) = (initial.k(), initial.n_labels());
     let total = S::get(&mut r)?;
@@ -424,6 +532,102 @@ pub fn decode_stream<S: WireSemiring>(buf: &[u8]) -> RpcResult<ShardStream<S>> {
             excluding_poly.push(S::get(&mut r)?);
         }
         let boundary_mass = S::get(&mut r)?;
+        events.push(ShardStreamEvent {
+            sim,
+            row,
+            cand,
+            event: BoundaryEvent {
+                label,
+                updated_poly,
+                excluding_poly,
+                boundary_mass,
+            },
+        });
+    }
+    r.finish("shard stream")?;
+    Ok(ShardStream {
+        initial,
+        total,
+        events,
+    })
+}
+
+fn decode_stream_delta_body<S: WireSemiring>(mut r: Reader<'_>) -> RpcResult<ShardStream<S>> {
+    let k = r.u32("stream slot budget")? as usize;
+    let n_labels = r.u32("stream label count")? as usize;
+    let n_events = usize::try_from(r.varint_u64("stream events")?)
+        .map_err(|_| RpcError::Malformed("stream events: count exceeds usize".into()))?;
+    // every delta-coded event costs ≥ 4 key bytes + 2(k+1)+1 index bytes
+    let min_event = 4usize.saturating_add((2 * (k + 1) + 1).saturating_mul(1));
+    if n_events.saturating_mul(min_event) > r.remaining() {
+        return Err(RpcError::Truncated {
+            context: "stream events",
+        });
+    }
+    let n_dict = usize::try_from(r.varint_u64("stream dictionary")?)
+        .map_err(|_| RpcError::Malformed("stream dictionary: count exceeds usize".into()))?;
+    if n_dict.saturating_mul(S::MIN_SCALAR_BYTES) > r.remaining() {
+        return Err(RpcError::Truncated {
+            context: "stream dictionary",
+        });
+    }
+    let mut dict = Vec::with_capacity(n_dict);
+    for _ in 0..n_dict {
+        dict.push(S::get(&mut r)?);
+    }
+    let scalar = |r: &mut Reader<'_>, dict: &[S]| -> RpcResult<S> {
+        let i = r.varint_u64("scalar dictionary index")? as usize;
+        dict.get(i).cloned().ok_or_else(|| {
+            RpcError::Malformed(format!(
+                "scalar dictionary index {i} out of range for {} entries",
+                dict.len()
+            ))
+        })
+    };
+    let scalars = n_labels.saturating_mul(k + 1);
+    if scalars > r.remaining() {
+        return Err(RpcError::Truncated {
+            context: "factor polynomials",
+        });
+    }
+    let mut polys = Vec::with_capacity(n_labels);
+    for _ in 0..n_labels {
+        let mut poly = Vec::with_capacity(k + 1);
+        for _ in 0..=k {
+            poly.push(scalar(&mut r, &dict)?);
+        }
+        polys.push(poly);
+    }
+    let initial = ShardFactors::from_polys(polys, k);
+    let total = scalar(&mut r, &dict)?;
+    let mut events = Vec::with_capacity(n_events);
+    let mut prev_sim_bits = 0u64;
+    let mut prev_row = 0u64;
+    for _ in 0..n_events {
+        let sim_delta = r.zigzag_i64("event similarity delta")?;
+        prev_sim_bits = prev_sim_bits.wrapping_add(sim_delta as u64);
+        let sim = f64::from_bits(prev_sim_bits);
+        let row_delta = r.zigzag_i64("event row delta")?;
+        prev_row = prev_row.wrapping_add(row_delta as u64);
+        let row = usize::try_from(prev_row)
+            .map_err(|_| RpcError::Malformed("event row: value exceeds usize".into()))?;
+        let cand = u32::try_from(r.varint_u64("event candidate")?)
+            .map_err(|_| RpcError::Malformed("event candidate: value exceeds u32".into()))?;
+        let label = r.varint_u64("event label")? as usize;
+        if label >= n_labels {
+            return Err(RpcError::Malformed(format!(
+                "event label {label} out of range for {n_labels} labels"
+            )));
+        }
+        let mut updated_poly = Vec::with_capacity(k + 1);
+        for _ in 0..=k {
+            updated_poly.push(scalar(&mut r, &dict)?);
+        }
+        let mut excluding_poly = Vec::with_capacity(k + 1);
+        for _ in 0..=k {
+            excluding_poly.push(scalar(&mut r, &dict)?);
+        }
+        let boundary_mass = scalar(&mut r, &dict)?;
         events.push(ShardStreamEvent {
             sim,
             row,
@@ -598,6 +802,91 @@ mod tests {
         for cut in 0..bytes.len() {
             assert!(decode_summary(&bytes[..cut]).is_err(), "cut {cut}");
         }
+    }
+
+    /// A stream shaped like real scans: descending similarities with small
+    /// bit-pattern steps, clustered rows, and heavily repeated polynomial
+    /// coefficients (each row's events share its excluding polynomial, and
+    /// tally counts recur across boundaries).
+    fn representative_stream(n_events: usize) -> ShardStream<f64> {
+        let k = 3;
+        let initial =
+            ShardFactors::from_polys(vec![vec![1.0, 2.0, 0.0, 0.0], vec![1.0, 1.0, 1.0, 0.0]], k);
+        let mut events = Vec::with_capacity(n_events);
+        let mut sim = 9.75f64;
+        for i in 0..n_events {
+            sim -= 0.25;
+            let row = 40 + (i / 4); // 4 candidate events per row
+            let coeff = ((i / 8) % 3) as f64; // coefficients recur
+            events.push(ShardStreamEvent {
+                sim,
+                row,
+                cand: (i % 4) as u32,
+                event: BoundaryEvent {
+                    label: i % 2,
+                    updated_poly: vec![1.0, coeff, 2.0, 0.0],
+                    excluding_poly: vec![1.0, coeff, 0.0, 0.0],
+                    boundary_mass: 1.0,
+                },
+            });
+        }
+        ShardStream {
+            initial,
+            total: 16.0,
+            events,
+        }
+    }
+
+    #[test]
+    fn stream_round_trips_in_both_encodings() {
+        for n in [0usize, 1, 7, 64] {
+            let stream = representative_stream(n);
+            let delta = encode_stream(&stream);
+            assert_eq!(decode_stream::<f64>(&delta).unwrap(), stream, "delta n={n}");
+            let raw = encode_stream_raw(&stream);
+            assert_eq!(decode_stream::<f64>(&raw).unwrap(), stream, "raw n={n}");
+        }
+    }
+
+    #[test]
+    fn delta_encoding_shrinks_the_dominant_message_class() {
+        let stream = representative_stream(256);
+        let delta = encode_stream(&stream).len();
+        let raw = encode_stream_raw(&stream).len();
+        assert!(
+            delta * 3 <= raw,
+            "delta encoding {delta}B should be ≤ 1/3 of raw {raw}B"
+        );
+    }
+
+    #[test]
+    fn unknown_stream_version_is_a_bad_tag() {
+        let mut bytes = encode_stream(&representative_stream(2));
+        bytes[1] = 9; // byte 0 is the semiring tag, byte 1 the version
+        assert!(matches!(
+            decode_stream::<f64>(&bytes),
+            Err(RpcError::BadTag {
+                what: "stream version",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn hostile_delta_dictionary_indexes_are_malformed() {
+        let stream = representative_stream(4);
+        let bytes = encode_stream(&stream);
+        // every strict prefix errors cleanly
+        for cut in 0..bytes.len() {
+            assert!(decode_stream::<f64>(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+        // trailing garbage is malformed
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(matches!(
+            decode_stream::<f64>(&extended),
+            Err(RpcError::Malformed(_))
+        ));
     }
 
     #[test]

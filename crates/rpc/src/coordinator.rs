@@ -34,7 +34,9 @@ use crate::codec::{
     decode_stream, decode_summary, read_frame_tagged, write_frame_tagged, WireSemiring,
 };
 use crate::error::{RpcError, RpcResult};
-use crate::proto::{decode_response, encode_request, OpenShard, Request, Response, ShardStatus};
+use crate::proto::{
+    decode_response, encode_request, OpenShard, Request, Response, SessionId, ShardStatus,
+};
 use cp_clean::metrics::CleaningRun;
 use cp_clean::{
     pick_min_expected_entropy, select_next_incremental, CleaningEngine, CleaningProblem,
@@ -125,6 +127,12 @@ pub struct ShardClient {
     /// client refuses further calls with a typed error;
     /// [`ShardClient::reconnect`] recovers.
     poisoned: bool,
+    /// The server-minted session this client drives (`0` = none opened).
+    /// Sessions belong to the server process, not the connection, so
+    /// [`ShardClient::reconnect`] keeps it — which is what lets the
+    /// idempotent-`Step` retransmission land on the *same* session's state
+    /// after a transport failure.
+    session: SessionId,
 }
 
 impl ShardClient {
@@ -147,12 +155,14 @@ impl ShardClient {
             cfg: cfg.clone(),
             next_id: 0,
             poisoned: false,
+            session: 0,
         })
     }
 
     /// Drop the (possibly poisoned) connection and dial the same peer again
-    /// under the same policy. On success the client is fresh: unpoisoned,
-    /// with request ids restarting from zero.
+    /// under the same policy. On success the client is fresh — unpoisoned,
+    /// request ids restarting from zero — but still bound to its session:
+    /// sessions belong to the server process and survive reconnects.
     pub fn reconnect(&mut self) -> RpcResult<()> {
         self.stream = Self::establish(&self.peers, &self.cfg)?;
         self.next_id = 0;
@@ -272,12 +282,64 @@ impl ShardClient {
         }
     }
 
-    fn expect_ok(&mut self, req: &Request) -> RpcResult<()> {
+    /// Send `req` and require the bare `Ok` acknowledgement (`Shutdown`,
+    /// and any session-scoped request whose reply carries no payload).
+    pub fn expect_ok(&mut self, req: &Request) -> RpcResult<()> {
         match self.call(req)? {
             Response::Ok => Ok(()),
             Response::Error(msg) => Err(RpcError::Remote(msg)),
+            Response::Busy(msg) => Err(RpcError::Busy(msg)),
             other => Err(RpcError::Protocol(format!("expected Ok, got {other:?}"))),
         }
+    }
+
+    /// The server-minted session this client drives (`0` until
+    /// [`ShardClient::open`] succeeds).
+    pub fn session(&self) -> SessionId {
+        self.session
+    }
+
+    /// Open a cleaning session over a shard, binding this client to the
+    /// minted [`SessionId`] and returning the opened row count. An
+    /// admission-control refusal surfaces as the retryable
+    /// [`RpcError::Busy`].
+    pub fn open(&mut self, open: OpenShard) -> RpcResult<usize> {
+        match self.call(&Request::Open(Box::new(open)))? {
+            Response::Opened { session, n_rows } => {
+                self.session = session;
+                Ok(n_rows)
+            }
+            Response::Error(msg) => Err(RpcError::Remote(msg)),
+            Response::Busy(msg) => Err(RpcError::Busy(msg)),
+            other => Err(RpcError::Protocol(format!(
+                "expected Opened, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Free this client's session on the server (the connection stays
+    /// usable; a later [`ShardClient::open`] can mint a fresh one).
+    pub fn close(&mut self) -> RpcResult<()> {
+        let session = self.session;
+        self.session = 0;
+        self.expect_ok(&Request::Close { session })
+    }
+
+    /// Apply one idempotent cleaning step to this client's session.
+    pub fn step(&mut self, local_row: u32, expect_cleaned: u32) -> RpcResult<()> {
+        let session = self.session;
+        self.expect_ok(&Request::Step {
+            session,
+            local_row,
+            expect_cleaned,
+        })
+    }
+
+    /// Publish the coordinator's global CP status bits to this client's
+    /// session.
+    pub fn sync_status(&mut self, bits: Vec<bool>) -> RpcResult<()> {
+        let session = self.session;
+        self.expect_ok(&Request::SyncStatus { session, bits })
     }
 
     /// Request one batched scan stream in semiring `S`.
@@ -288,6 +350,7 @@ impl ShardClient {
         pins: Option<&Pins>,
     ) -> RpcResult<ShardStream<S>> {
         let req = Request::Scan {
+            session: self.session,
             val: val as u32,
             k: k as u32,
             semiring: S::TAG,
@@ -296,6 +359,7 @@ impl ShardClient {
         match self.call(&req)? {
             Response::Stream(bytes) => decode_stream::<S>(&bytes),
             Response::Error(msg) => Err(RpcError::Remote(msg)),
+            Response::Busy(msg) => Err(RpcError::Busy(msg)),
             other => Err(RpcError::Protocol(format!(
                 "expected Stream, got {other:?}"
             ))),
@@ -333,6 +397,7 @@ impl ShardClient {
                 }
             }
             match self.send(&Request::Scan {
+                session: self.session,
                 val: val as u32,
                 k: k as u32,
                 semiring: S::TAG,
@@ -366,6 +431,7 @@ impl ShardClient {
         match self.recv(id)? {
             Response::Stream(bytes) => decode_stream::<S>(&bytes),
             Response::Error(msg) => Err(RpcError::Remote(msg)),
+            Response::Busy(msg) => Err(RpcError::Busy(msg)),
             other => Err(RpcError::Protocol(format!(
                 "expected Stream, got {other:?}"
             ))),
@@ -381,6 +447,7 @@ impl ShardClient {
         pins: Option<&Pins>,
     ) -> RpcResult<ExtremeSummary> {
         let req = Request::ExtremeSummary {
+            session: self.session,
             val: val as u32,
             k: k as u32,
             pins: pins.cloned(),
@@ -388,17 +455,22 @@ impl ShardClient {
         match self.call(&req)? {
             Response::Summary(bytes) => decode_summary(&bytes),
             Response::Error(msg) => Err(RpcError::Remote(msg)),
+            Response::Busy(msg) => Err(RpcError::Busy(msg)),
             other => Err(RpcError::Protocol(format!(
                 "expected Summary, got {other:?}"
             ))),
         }
     }
 
-    /// Ask for the server's local view.
+    /// Ask for this client's session view on the server.
     pub fn status(&mut self) -> RpcResult<ShardStatus> {
-        match self.call(&Request::Status)? {
+        let req = Request::Status {
+            session: self.session,
+        };
+        match self.call(&req)? {
             Response::Status(status) => Ok(status),
             Response::Error(msg) => Err(RpcError::Remote(msg)),
+            Response::Busy(msg) => Err(RpcError::Busy(msg)),
             other => Err(RpcError::Protocol(format!(
                 "expected Status, got {other:?}"
             ))),
@@ -502,20 +574,27 @@ impl RpcCoordinator {
                 truth_choice: slice_choices(&problem.truth_choice, sh),
                 default_choice: slice_choices(&problem.default_choice, sh),
             };
-            match client.call(&Request::Open(Box::new(open)))? {
-                Response::Opened { n_rows } if n_rows == sh.len() => {}
-                Response::Opened { n_rows } => {
-                    return Err(RpcError::Protocol(format!(
-                        "server opened {n_rows} rows, expected {}",
-                        sh.len()
-                    )))
+            // a Busy refusal (session cap on a multi-tenant server) is
+            // retryable under the same bounded policy as connect itself:
+            // load drains as other coordinators close their sessions
+            let mut n_rows = client.open(open.clone());
+            for _ in 0..client_cfg.connect_retries {
+                match &n_rows {
+                    Err(e) if e.is_retryable() => {
+                        if !client_cfg.retry_backoff.is_zero() {
+                            std::thread::sleep(client_cfg.retry_backoff);
+                        }
+                        n_rows = client.open(open.clone());
+                    }
+                    _ => break,
                 }
-                Response::Error(msg) => return Err(RpcError::Remote(msg)),
-                other => {
-                    return Err(RpcError::Protocol(format!(
-                        "expected Opened, got {other:?}"
-                    )))
-                }
+            }
+            let n_rows = n_rows?;
+            if n_rows != sh.len() {
+                return Err(RpcError::Protocol(format!(
+                    "server opened {n_rows} rows, expected {}",
+                    sh.len()
+                )));
             }
             clients.push(RefCell::new(client));
         }
@@ -728,9 +807,7 @@ impl RpcCoordinator {
             self.cp[v] = self.certain_label_at(v)?.is_some();
         }
         for client in &self.clients {
-            client
-                .borrow_mut()
-                .expect_ok(&Request::SyncStatus(self.cp.clone()))?;
+            client.borrow_mut().sync_status(self.cp.clone())?;
         }
         Ok(())
     }
@@ -763,21 +840,21 @@ impl RpcCoordinator {
             self.problem.truth_choice[row].unwrap_or_else(|| panic!("row {row} is not dirty"));
         let s = self.owner[row];
         let local = self.shards[s].local_row(row).expect("owner map is exact");
-        let step = Request::Step {
-            local_row: local as u32,
-            expect_cleaned: self.mask_epochs[s] as u32,
-        };
+        let (local_row, expect) = (local as u32, self.mask_epochs[s] as u32);
         // bind the first attempt so its client borrow ends before the retry
-        let first_attempt = self.clients[s].borrow_mut().expect_ok(&step);
+        let first_attempt = self.clients[s].borrow_mut().step(local_row, expect);
         if let Err(first) = first_attempt {
             // only a transport failure leaves the outcome ambiguous — a
             // typed remote/protocol rejection means nothing was applied
             if !matches!(first, RpcError::Io(_) | RpcError::Truncated { .. }) {
                 return Err(first);
             }
+            // the session survives the reconnect (it belongs to the server
+            // process), so the idempotent retransmission lands on the same
+            // per-session state the lost reply's step may have mutated
             let mut client = self.clients[s].borrow_mut();
             client.reconnect()?;
-            client.expect_ok(&step)?;
+            client.step(local_row, expect)?;
         }
         self.state.clean_row(&self.problem, row);
         self.masks[s].pin(local, truth);
@@ -884,11 +961,15 @@ impl RpcCoordinator {
         CleaningEngine::run_order(self, order, test_x, test_y)
     }
 
-    /// End the session: ask every server to shut down, consuming the
-    /// coordinator.
+    /// End the run: free every server-side session, then end each
+    /// connection, consuming the coordinator. Closing matters on a
+    /// multi-tenant server — a session left open holds a slot against the
+    /// admission cap until the server process exits.
     pub fn shutdown(self) -> RpcResult<()> {
         for client in &self.clients {
-            client.borrow_mut().expect_ok(&Request::Shutdown)?;
+            let mut client = client.borrow_mut();
+            client.close()?;
+            client.expect_ok(&Request::Shutdown)?;
         }
         Ok(())
     }
@@ -1078,13 +1159,17 @@ mod tests {
             ..ClientConfig::default()
         };
         let mut client = ShardClient::connect_with(&addr, &cfg).expect("connect");
-        let err = client.call(&Request::Status).expect_err("server is silent");
+        let err = client
+            .call(&Request::Status { session: 0 })
+            .expect_err("server is silent");
         assert!(matches!(err, RpcError::Io(_)), "got {err:?}");
         // the timeout poisons the connection: a late response could still
         // arrive on this stream and be mistaken for the next call's answer,
         // so reuse must fail typed instead of returning wrong data
         assert!(client.is_poisoned());
-        let err = client.call(&Request::Status).expect_err("poisoned");
+        let err = client
+            .call(&Request::Status { session: 0 })
+            .expect_err("poisoned");
         assert!(
             matches!(&err, RpcError::Protocol(msg) if msg.contains("poisoned")),
             "got {err:?}"

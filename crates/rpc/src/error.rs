@@ -38,6 +38,11 @@ pub enum RpcError {
     Malformed(String),
     /// The peer answered with its error response.
     Remote(String),
+    /// The server refused admission — connection cap or session cap reached
+    /// — without faulting the request. Unlike [`RpcError::Remote`], this is
+    /// **retryable**: the same request is expected to succeed once load
+    /// drains (see [`RpcError::is_retryable`]).
+    Busy(String),
     /// Messages were well-formed but violated the session protocol
     /// (scan before open, semiring mismatch, unexpected response kind, …).
     Protocol(String),
@@ -56,8 +61,20 @@ impl fmt::Display for RpcError {
             RpcError::BadTag { what, tag } => write!(f, "unknown {what} tag {tag:#04x}"),
             RpcError::Malformed(msg) => write!(f, "malformed payload: {msg}"),
             RpcError::Remote(msg) => write!(f, "remote error: {msg}"),
+            RpcError::Busy(msg) => write!(f, "server busy: {msg}"),
             RpcError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
         }
+    }
+}
+
+impl RpcError {
+    /// Whether retrying the same operation later is expected to succeed.
+    /// Only admission-control rejections qualify: every other variant means
+    /// the bytes, the protocol state or the transport are wrong, and a blind
+    /// retry would repeat the failure (or worse, double-apply a step — the
+    /// idempotent-`Step` path owns *that* retry decision separately).
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, RpcError::Busy(_))
     }
 }
 
@@ -106,6 +123,7 @@ mod tests {
             ),
             (RpcError::Malformed("x".into()), "malformed"),
             (RpcError::Remote("boom".into()), "remote error: boom"),
+            (RpcError::Busy("sessions full".into()), "server busy"),
             (RpcError::Protocol("early".into()), "protocol violation"),
         ];
         for (err, needle) in cases {
@@ -113,6 +131,22 @@ mod tests {
                 err.to_string().contains(needle),
                 "{err:?} display missing {needle:?}"
             );
+        }
+    }
+
+    #[test]
+    fn only_busy_is_retryable() {
+        assert!(RpcError::Busy("full".into()).is_retryable());
+        for err in [
+            RpcError::Io(io::Error::new(io::ErrorKind::ConnectionReset, "x")),
+            RpcError::Truncated { context: "x" },
+            RpcError::FrameTooLarge { length: 9, max: 1 },
+            RpcError::BadTag { what: "x", tag: 0 },
+            RpcError::Malformed("x".into()),
+            RpcError::Remote("x".into()),
+            RpcError::Protocol("x".into()),
+        ] {
+            assert!(!err.is_retryable(), "{err:?}");
         }
     }
 

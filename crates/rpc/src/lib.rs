@@ -19,15 +19,26 @@
 //!   `u128`, probability-space `f64`, and the boolean
 //!   [`cp_numeric::Possibility`] ([`codec::WireSemiring`]).
 //! * [`proto`] — the message schema: `Open`, `Scan`, `ExtremeSummary`,
-//!   `Step`, `SyncStatus`, `Status`, `Shutdown` and their responses.
-//!   Binary-label status checks ship `ExtremeSummary` messages —
-//!   `O(|Y|·K)` rank-ordered entries per shard, merged by rank at the
-//!   coordinator — instead of whole boundary-event streams.
-//! * [`server`] — [`server::ShardServer`]: adopts one shard, builds its
-//!   partition-local index cache once, and answers each scan request with
-//!   the shard's **whole** locally-sorted boundary-event stream (factor
-//!   deltas included) in a single message — one round trip per *scan*, not
-//!   one per boundary event. Runs behind the `shard-server` binary.
+//!   `Step`, `SyncStatus`, `Status`, `Close`, `Shutdown` and their
+//!   responses. `Open` mints a [`proto::SessionId`] that every
+//!   session-scoped request carries, so independent cleaning sessions
+//!   multiplex over one server process. Binary-label status checks ship
+//!   `ExtremeSummary` messages — `O(|Y|·K)` rank-ordered entries per shard,
+//!   merged by rank at the coordinator — instead of whole boundary-event
+//!   streams; scan streams travel delta-compressed (varint deltas plus a
+//!   per-stream scalar dictionary, [`codec::encode_stream`]).
+//! * [`server`] — [`server::ShardServer`]: a **multi-tenant** session
+//!   registry over shared shard data. Index caches are built once per
+//!   distinct `Open` payload and shared by every session over that shard;
+//!   per-session state sits behind a readers-writer lock so one session's
+//!   `Step` never blocks another's reads. [`server::serve_with`] runs the
+//!   threaded accept loop with admission control ([`server::ServerConfig`]:
+//!   connection cap, session cap, bounded per-connection request queues;
+//!   over-cap work is answered with the retryable `Busy`). Each scan
+//!   request returns the shard's **whole** locally-sorted boundary-event
+//!   stream (factor deltas included) in a single message — one round trip
+//!   per *scan*, not one per boundary event. Runs behind the `shard-server`
+//!   binary.
 //! * [`coordinator`] — [`coordinator::RpcCoordinator`]: partitions a
 //!   cleaning problem over N servers, replays their decoded streams through
 //!   the same [`cp_shard::merged_scan_sources`] loop the in-process engine
@@ -54,11 +65,14 @@ pub mod server;
 pub mod wire;
 
 pub use codec::{
-    decode_factors, decode_stream, decode_summary, encode_factors, encode_stream, encode_summary,
-    read_frame, read_frame_opt, read_frame_opt_tagged, read_frame_tagged, write_frame,
-    write_frame_tagged, WireSemiring,
+    decode_factors, decode_stream, decode_summary, encode_factors, encode_stream,
+    encode_stream_raw, encode_summary, read_frame, read_frame_opt, read_frame_opt_tagged,
+    read_frame_tagged, write_frame, write_frame_tagged, WireSemiring,
 };
 pub use coordinator::{ClientConfig, RpcCoordinator, ShardClient};
 pub use error::{RpcError, RpcResult};
-pub use proto::{OpenShard, Request, Response, ShardStatus};
-pub use server::{serve, serve_connection, serve_ephemeral, ShardServer};
+pub use proto::{OpenShard, Request, Response, SessionId, ShardStatus};
+pub use server::{
+    serve, serve_connection, serve_ephemeral, serve_with, spawn_server, RunningServer,
+    ServerConfig, ShardServer,
+};

@@ -3,30 +3,48 @@
 //!
 //! One frame carries one message; the payload's first byte is the message
 //! tag. The conversation is strictly request/response over a single
-//! connection:
+//! connection, but a server process is **multi-tenant**: [`Request::Open`]
+//! mints a [`SessionId`] and every session-scoped request carries one, so
+//! any number of independent cleaning sessions (from any number of
+//! connections) multiplex over one server:
 //!
 //! | request                | response                                  |
 //! |------------------------|-------------------------------------------|
-//! | [`Request::Open`]      | [`Response::Opened`] — shard adopted       |
+//! | [`Request::Open`]      | [`Response::Opened`] — session minted      |
 //! | [`Request::Scan`]      | [`Response::Stream`] — batched event stream |
 //! | [`Request::ExtremeSummary`] | [`Response::Summary`] — rank-merged MM top-K |
 //! | [`Request::Step`]      | [`Response::Ok`] — pin applied (idempotent) |
 //! | [`Request::SyncStatus`]| [`Response::Ok`] — global CP bits stored   |
-//! | [`Request::Status`]    | [`Response::Status`] — shard's local view  |
+//! | [`Request::Status`]    | [`Response::Status`] — session's local view |
+//! | [`Request::Close`]     | [`Response::Ok`] — session freed, connection lives |
 //! | [`Request::Shutdown`]  | [`Response::Ok`] — connection ends         |
 //!
-//! Anything the server rejects (malformed pins, scan before open, unknown
-//! semiring) comes back as [`Response::Error`] with a message; transport
-//! and codec failures are [`crate::RpcError`]s on either side.
+//! Sessions belong to the server process, not to a connection: a
+//! coordinator that reconnects keeps driving the same session by its id
+//! (which is what makes the idempotent-`Step` retransmission work across a
+//! reconnect). [`Request::Close`] frees one session without touching the
+//! connection; [`Request::Shutdown`] ends the connection without touching
+//! other sessions.
+//!
+//! Anything the server rejects (malformed pins, unknown session, unknown
+//! semiring) comes back as [`Response::Error`] with a message; an
+//! admission-control refusal (session or connection caps) is
+//! [`Response::Busy`] — retryable, unlike an error; transport and codec
+//! failures are [`crate::RpcError`]s on either side.
 
 use crate::codec::{
     get_kernel, get_pins, get_points, get_status_bits, put_kernel, put_pins, put_points,
     put_status_bits,
 };
 use crate::error::{RpcError, RpcResult};
-use crate::wire::{put_opt_u32, put_u32, put_u8, put_usize, Reader};
+use crate::wire::{put_opt_u32, put_u32, put_u64, put_u8, put_usize, Reader};
 use cp_core::Pins;
 use cp_knn::{Kernel, Label};
+
+/// A server-minted handle naming one cleaning session on a multi-tenant
+/// shard server. Ids are unique per server process and never reused; `0` is
+/// never minted, so an unopened client's default id can't alias a session.
+pub type SessionId = u64;
 
 /// Everything a shard server needs to adopt its partition: the shard's rows
 /// (with labels and candidate sets), its global row offset, the classifier
@@ -57,10 +75,13 @@ pub struct OpenShard {
 /// A coordinator→server message.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Request {
-    /// Adopt a shard (must precede everything below).
+    /// Open a new cleaning session over a shard (must precede everything
+    /// below; the minted [`SessionId`] scopes every later request).
     Open(Box<OpenShard>),
     /// Compute one batched scan stream for validation point `val`.
     Scan {
+        /// The session to scan.
+        session: SessionId,
         /// Validation-point index into the opened `val_x`.
         val: u32,
         /// The **global** effective K for the scan's tally trees.
@@ -76,6 +97,8 @@ pub enum Request {
     /// — the binary-Q1 MM fast path's `O(|Y|·K)` exchange, replacing the
     /// whole boundary-event stream for status checks.
     ExtremeSummary {
+        /// The session to summarize.
+        session: SessionId,
         /// Validation-point index into the opened `val_x`.
         val: u32,
         /// The **global** effective K (how many top entries to keep).
@@ -93,17 +116,35 @@ pub enum Request {
     /// lost — answers [`Response::Ok`] without re-pinning, so a reconnect
     /// retry can never double-apply or silently diverge the masks.
     Step {
+        /// The session to pin in.
+        session: SessionId,
         /// Local row index within the shard.
         local_row: u32,
         /// The shard's cleaned-row count the coordinator expects before the
         /// pin is applied (its epoch for this step).
         expect_cleaned: u32,
     },
-    /// Publish the coordinator's global CP status bits to the server.
-    SyncStatus(Vec<bool>),
-    /// Ask for the server's local view.
-    Status,
-    /// End the session.
+    /// Publish the coordinator's global CP status bits to one session.
+    SyncStatus {
+        /// The session to publish to.
+        session: SessionId,
+        /// The global CP status bits.
+        bits: Vec<bool>,
+    },
+    /// Ask for one session's local view.
+    Status {
+        /// The session to report on.
+        session: SessionId,
+    },
+    /// Free one session; the connection stays usable (other sessions —
+    /// including ones opened over other connections — are untouched).
+    Close {
+        /// The session to free.
+        session: SessionId,
+    },
+    /// End the connection. Sessions survive (they belong to the server
+    /// process, so a reconnecting coordinator can keep driving them); use
+    /// [`Request::Close`] to free them.
     Shutdown,
 }
 
@@ -128,8 +169,11 @@ pub struct ShardStatus {
 pub enum Response {
     /// Request applied; nothing to report.
     Ok,
-    /// Shard adopted; echoes the row count as a handshake check.
+    /// Session opened; carries the minted handle and echoes the row count
+    /// as a handshake check.
     Opened {
+        /// The server-minted session handle.
+        session: SessionId,
         /// Rows owned by the opened shard.
         n_rows: usize,
     },
@@ -143,6 +187,10 @@ pub enum Response {
     Status(ShardStatus),
     /// The request was understood but rejected.
     Error(String),
+    /// The server refused admission (sessions or connections at capacity).
+    /// Retryable: the same request is expected to succeed once load drains —
+    /// clients surface it as [`crate::RpcError::Busy`].
+    Busy(String),
 }
 
 const REQ_OPEN: u8 = 1;
@@ -152,6 +200,7 @@ const REQ_SYNC_STATUS: u8 = 4;
 const REQ_STATUS: u8 = 5;
 const REQ_SHUTDOWN: u8 = 6;
 const REQ_EXTREME_SUMMARY: u8 = 7;
+const REQ_CLOSE: u8 = 8;
 
 const RESP_OK: u8 = 1;
 const RESP_OPENED: u8 = 2;
@@ -159,6 +208,7 @@ const RESP_STREAM: u8 = 3;
 const RESP_STATUS: u8 = 4;
 const RESP_ERROR: u8 = 5;
 const RESP_SUMMARY: u8 = 6;
+const RESP_BUSY: u8 = 7;
 
 fn put_choices(out: &mut Vec<u8>, choices: &[Option<u32>]) {
     put_u32(out, choices.len() as u32);
@@ -188,33 +238,44 @@ fn get_string(r: &mut Reader<'_>) -> RpcResult<String> {
         .map_err(|_| RpcError::Malformed("string is not valid utf-8".into()))
 }
 
+/// Encode one [`OpenShard`] payload (tag included) with an explicit
+/// `n_threads` value. `encode_request` passes the payload's own; the server
+/// passes `0` to canonicalize the bytes into its shard-dedup key, so a
+/// thread-count knob — which doesn't change what shard is being opened —
+/// can't split otherwise-identical shards into separate index builds.
+pub(crate) fn put_open(out: &mut Vec<u8>, open: &OpenShard, n_threads: usize) {
+    put_u8(out, REQ_OPEN);
+    put_usize(out, open.start);
+    put_u32(out, open.n_labels as u32);
+    put_u32(out, open.k as u32);
+    put_kernel(out, open.kernel);
+    put_u32(out, n_threads as u32);
+    put_u32(out, open.examples.len() as u32);
+    for (label, candidates) in &open.examples {
+        put_u32(out, *label as u32);
+        put_points(out, candidates);
+    }
+    put_points(out, &open.val_x);
+    put_choices(out, &open.truth_choice);
+    put_choices(out, &open.default_choice);
+}
+
 /// Encode a request into a frame payload.
 pub fn encode_request(req: &Request) -> Vec<u8> {
     let mut out = Vec::new();
     match req {
         Request::Open(open) => {
-            put_u8(&mut out, REQ_OPEN);
-            put_usize(&mut out, open.start);
-            put_u32(&mut out, open.n_labels as u32);
-            put_u32(&mut out, open.k as u32);
-            put_kernel(&mut out, open.kernel);
-            put_u32(&mut out, open.n_threads as u32);
-            put_u32(&mut out, open.examples.len() as u32);
-            for (label, candidates) in &open.examples {
-                put_u32(&mut out, *label as u32);
-                put_points(&mut out, candidates);
-            }
-            put_points(&mut out, &open.val_x);
-            put_choices(&mut out, &open.truth_choice);
-            put_choices(&mut out, &open.default_choice);
+            put_open(&mut out, open, open.n_threads);
         }
         Request::Scan {
+            session,
             val,
             k,
             semiring,
             pins,
         } => {
             put_u8(&mut out, REQ_SCAN);
+            put_u64(&mut out, *session);
             put_u32(&mut out, *val);
             put_u32(&mut out, *k);
             put_u8(&mut out, *semiring);
@@ -226,8 +287,14 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
                 }
             }
         }
-        Request::ExtremeSummary { val, k, pins } => {
+        Request::ExtremeSummary {
+            session,
+            val,
+            k,
+            pins,
+        } => {
             put_u8(&mut out, REQ_EXTREME_SUMMARY);
+            put_u64(&mut out, *session);
             put_u32(&mut out, *val);
             put_u32(&mut out, *k);
             match pins {
@@ -239,18 +306,28 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             }
         }
         Request::Step {
+            session,
             local_row,
             expect_cleaned,
         } => {
             put_u8(&mut out, REQ_STEP);
+            put_u64(&mut out, *session);
             put_u32(&mut out, *local_row);
             put_u32(&mut out, *expect_cleaned);
         }
-        Request::SyncStatus(bits) => {
+        Request::SyncStatus { session, bits } => {
             put_u8(&mut out, REQ_SYNC_STATUS);
+            put_u64(&mut out, *session);
             put_status_bits(&mut out, bits);
         }
-        Request::Status => put_u8(&mut out, REQ_STATUS),
+        Request::Status { session } => {
+            put_u8(&mut out, REQ_STATUS);
+            put_u64(&mut out, *session);
+        }
+        Request::Close { session } => {
+            put_u8(&mut out, REQ_CLOSE);
+            put_u64(&mut out, *session);
+        }
         Request::Shutdown => put_u8(&mut out, REQ_SHUTDOWN),
     }
     out
@@ -289,6 +366,7 @@ pub fn decode_request(buf: &[u8]) -> RpcResult<Request> {
             }))
         }
         REQ_SCAN => {
+            let session = r.u64("scan session")?;
             let val = r.u32("scan val")?;
             let k = r.u32("scan k")?;
             let semiring = r.u8("scan semiring")?;
@@ -303,6 +381,7 @@ pub fn decode_request(buf: &[u8]) -> RpcResult<Request> {
                 }
             };
             Request::Scan {
+                session,
                 val,
                 k,
                 semiring,
@@ -310,6 +389,7 @@ pub fn decode_request(buf: &[u8]) -> RpcResult<Request> {
             }
         }
         REQ_EXTREME_SUMMARY => {
+            let session = r.u64("summary session")?;
             let val = r.u32("summary val")?;
             let k = r.u32("summary k")?;
             let pins = match r.u8("summary pins flag")? {
@@ -322,14 +402,28 @@ pub fn decode_request(buf: &[u8]) -> RpcResult<Request> {
                     })
                 }
             };
-            Request::ExtremeSummary { val, k, pins }
+            Request::ExtremeSummary {
+                session,
+                val,
+                k,
+                pins,
+            }
         }
         REQ_STEP => Request::Step {
+            session: r.u64("step session")?,
             local_row: r.u32("step row")?,
             expect_cleaned: r.u32("step expected cleaned count")?,
         },
-        REQ_SYNC_STATUS => Request::SyncStatus(get_status_bits(&mut r)?),
-        REQ_STATUS => Request::Status,
+        REQ_SYNC_STATUS => Request::SyncStatus {
+            session: r.u64("sync session")?,
+            bits: get_status_bits(&mut r)?,
+        },
+        REQ_STATUS => Request::Status {
+            session: r.u64("status session")?,
+        },
+        REQ_CLOSE => Request::Close {
+            session: r.u64("close session")?,
+        },
         REQ_SHUTDOWN => Request::Shutdown,
         tag => {
             return Err(RpcError::BadTag {
@@ -347,8 +441,9 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
     let mut out = Vec::new();
     match resp {
         Response::Ok => put_u8(&mut out, RESP_OK),
-        Response::Opened { n_rows } => {
+        Response::Opened { session, n_rows } => {
             put_u8(&mut out, RESP_OPENED);
+            put_u64(&mut out, *session);
             put_usize(&mut out, *n_rows);
         }
         Response::Stream(bytes) => {
@@ -373,6 +468,10 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             put_u8(&mut out, RESP_ERROR);
             put_string(&mut out, msg);
         }
+        Response::Busy(msg) => {
+            put_u8(&mut out, RESP_BUSY);
+            put_string(&mut out, msg);
+        }
     }
     out
 }
@@ -383,6 +482,7 @@ pub fn decode_response(buf: &[u8]) -> RpcResult<Response> {
     let resp = match r.u8("response tag")? {
         RESP_OK => Response::Ok,
         RESP_OPENED => Response::Opened {
+            session: r.u64("opened session")?,
             n_rows: r.usize("opened rows")?,
         },
         RESP_STREAM => {
@@ -401,6 +501,7 @@ pub fn decode_response(buf: &[u8]) -> RpcResult<Response> {
             global_cp: get_status_bits(&mut r)?,
         }),
         RESP_ERROR => Response::Error(get_string(&mut r)?),
+        RESP_BUSY => Response::Busy(get_string(&mut r)?),
         tag => {
             return Err(RpcError::BadTag {
                 what: "response",
@@ -420,33 +521,42 @@ mod tests {
     fn simple_requests_round_trip() {
         let cases = vec![
             Request::Scan {
+                session: 7,
                 val: 3,
                 k: 2,
                 semiring: 2,
                 pins: Some(Pins::from_pairs(4, &[(1, 2), (3, 0)])),
             },
             Request::Scan {
+                session: u64::MAX,
                 val: 0,
                 k: 1,
                 semiring: 1,
                 pins: None,
             },
             Request::ExtremeSummary {
+                session: 2,
                 val: 2,
                 k: 3,
                 pins: Some(Pins::from_pairs(3, &[(0, 1)])),
             },
             Request::ExtremeSummary {
+                session: 1,
                 val: 0,
                 k: 1,
                 pins: None,
             },
             Request::Step {
+                session: 3,
                 local_row: 9,
                 expect_cleaned: 4,
             },
-            Request::SyncStatus(vec![true, false, true]),
-            Request::Status,
+            Request::SyncStatus {
+                session: 5,
+                bits: vec![true, false, true],
+            },
+            Request::Status { session: 11 },
+            Request::Close { session: 12 },
             Request::Shutdown,
         ];
         for req in cases {
@@ -478,7 +588,10 @@ mod tests {
     fn responses_round_trip() {
         let cases = vec![
             Response::Ok,
-            Response::Opened { n_rows: 12 },
+            Response::Opened {
+                session: 42,
+                n_rows: 12,
+            },
             Response::Stream(vec![1, 2, 3]),
             Response::Summary(vec![7, 8]),
             Response::Status(ShardStatus {
@@ -489,6 +602,7 @@ mod tests {
                 global_cp: vec![false, true],
             }),
             Response::Error("nope".into()),
+            Response::Busy("sessions at capacity".into()),
         ];
         for resp in cases {
             assert_eq!(decode_response(&encode_response(&resp)).unwrap(), resp);

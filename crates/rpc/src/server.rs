@@ -1,88 +1,327 @@
-//! The shard server: owns one [`DatasetShard`] plus its shard-local
-//! [`CleaningSession`] and answers scan / step / status requests.
+//! The multi-tenant shard server: one process serving any number of
+//! independent cleaning sessions over its dataset partitions.
 //!
-//! A server is the remote half of the seam `cp-shard` left message-shaped:
-//! everything heavy stays here — the shard's rows, its per-validation-point
-//! similarity indexes (built once at [`Request::Open`]), and its local pin
-//! mask — while each [`Request::Scan`] ships one batched
-//! [`cp_shard::ShardStream`] back: the shard's whole locally-sorted
-//! boundary-event stream with factor deltas, computed by exactly the
-//! [`cp_shard::ShardScan`] code the in-process engine runs. Binary status
-//! checks are cheaper still: [`Request::ExtremeSummary`] answers with one
-//! rank-ordered [`ExtremeSummary`] — `O(|Y|·K)` entries instead of the
-//! whole event stream.
+//! A server is the remote half of the seam `cp-shard` left message-shaped.
+//! Its state splits along the mutability boundary:
+//!
+//! * **Shared, immutable** — a `SharedShard`: the partition's rows, its
+//!   [`cp_core::ValIndexCache`] of per-validation-point similarity indexes,
+//!   and the validated [`cp_clean::CleaningProblem`]. Built **once** per
+//!   distinct [`Request::Open`] payload (deduplicated by a canonical byte
+//!   key with the thread-count knob zeroed) and handed to every session by
+//!   `Arc` — session 2..N of the same shard skip the `O(|val| · NM log NM)`
+//!   index build entirely.
+//! * **Per-session, mutable** — a [`Request::Open`]-minted session: its pin
+//!   mask, cleaned-row count and last-synced global CP bits, behind a
+//!   readers-writer lock so concurrent read-only queries (`Scan`,
+//!   `ExtremeSummary`, `Status`) never wait behind another session's `Step`
+//!   — or even behind their *own* session's reads.
+//!
+//! Each [`Request::Scan`] ships one batched [`cp_shard::ShardStream`]
+//! (delta-compressed by [`crate::codec::encode_stream`]) computed by
+//! exactly the [`cp_shard::ShardScan`] code the in-process engine runs;
+//! [`Request::ExtremeSummary`] answers binary status checks with one
+//! rank-ordered [`ExtremeSummary`] instead.
 //!
 //! The request handler ([`ShardServer::handle`]) is a pure state machine
-//! over decoded messages, so the protocol is unit-testable without sockets;
-//! [`serve_connection`]/[`serve`] wrap it in the frame codec over
-//! `std::net`. Malformed or out-of-order requests produce
-//! [`Response::Error`] — a shard server must never be panicked by its
-//! network input.
+//! over decoded messages (`&self` — the server is shared across connection
+//! threads), so the protocol is unit-testable without sockets.
+//! [`serve_with`] wraps it in a threaded accept loop with admission
+//! control: a connection cap (excess connections get one [`Response::Busy`]
+//! and are dropped), a session cap (excess [`Request::Open`]s get
+//! [`Response::Busy`]), and a bounded per-connection request queue that
+//! exerts TCP backpressure instead of buffering unboundedly. Malformed or
+//! out-of-order requests produce [`Response::Error`]; a connection that
+//! fails mid-handshake is logged and dropped without disturbing the accept
+//! loop — a shard server must never be panicked or halted by its network
+//! input.
 
 use crate::codec::{
     encode_stream, encode_summary, read_frame_opt_tagged, write_frame_tagged, WireSemiring,
 };
 use crate::error::RpcResult;
-use crate::proto::{decode_request, encode_response, OpenShard, Request, Response, ShardStatus};
+use crate::proto::{
+    decode_request, encode_response, put_open, OpenShard, Request, Response, SessionId, ShardStatus,
+};
 use cp_clean::{CleaningProblem, CleaningSession, RunOptions};
-use cp_core::{CpConfig, DatasetShard, ExtremeSummary, IncompleteDataset, IncompleteExample, Pins};
+use cp_core::{
+    CpConfig, DatasetShard, ExtremeSummary, IncompleteDataset, IncompleteExample, Pins,
+    ValIndexCache,
+};
 use cp_numeric::Possibility;
 use cp_shard::ShardStream;
-use std::net::{TcpListener, TcpStream};
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::sync_channel;
+use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::thread::JoinHandle;
+use std::time::Duration;
 
-/// One shard's serving state: nothing until [`Request::Open`], then the
-/// shard, its session (index cache + local pins) and the last synced global
-/// CP status.
-#[derive(Debug, Default)]
-pub struct ShardServer {
-    worker: Option<Worker>,
+/// Admission-control and loop-shape knobs for [`serve_with`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Connections served concurrently; one over the cap is answered
+    /// [`Response::Busy`] (on its first frame) and dropped.
+    pub max_connections: usize,
+    /// Live sessions across all connections; an over-cap
+    /// [`Request::Open`] is answered [`Response::Busy`].
+    pub max_sessions: usize,
+    /// Decoded-request frames buffered per connection before the reader
+    /// stops pulling from the socket (TCP backpressure).
+    pub queue_depth: usize,
+    /// Stop accepting after this many admitted connections (joining them
+    /// before returning); `None` serves forever. `Some(1)` is the
+    /// single-coordinator mode CI's loopback smoke test uses.
+    pub max_accepts: Option<usize>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_connections: 64,
+            max_sessions: 64,
+            queue_depth: 32,
+            max_accepts: None,
+        }
+    }
+}
+
+/// Everything sessions over one shard share, built once per distinct
+/// `Open` payload: the partition, its validated problem, and the
+/// per-validation-point similarity indexes.
+#[derive(Debug)]
+struct SharedShard {
+    /// Canonical `Open` bytes (thread count zeroed) — full-byte equality is
+    /// the dedup test, so two shards can never be conflated by a hash
+    /// collision.
+    key: Vec<u8>,
+    shard: DatasetShard,
+    problem: Arc<CleaningProblem>,
+    cache: ValIndexCache,
+}
+
+/// One minted session: the shared shard plus this tenant's mutable state.
+#[derive(Debug)]
+struct Session {
+    shared: Arc<SharedShard>,
+    state: RwLock<SessionState>,
 }
 
 #[derive(Debug)]
-struct Worker {
-    shard: DatasetShard,
+struct SessionState {
     session: CleaningSession,
     global_cp: Vec<bool>,
 }
 
-impl ShardServer {
-    /// A server with no shard adopted yet.
-    pub fn new() -> Self {
-        ShardServer { worker: None }
+impl Session {
+    /// Read this session's state, recovering from a poisoned lock (handlers
+    /// hold no cross-field invariants a panic could break mid-write: a pin
+    /// is applied atomically by `clean_pin_only`, and `global_cp` is a
+    /// whole-value replacement).
+    fn read_state(&self) -> RwLockReadGuard<'_, SessionState> {
+        self.state.read().unwrap_or_else(|e| e.into_inner())
     }
 
-    /// Whether a shard has been adopted.
-    pub fn is_open(&self) -> bool {
-        self.worker.is_some()
+    fn write_state(&self) -> RwLockWriteGuard<'_, SessionState> {
+        self.state.write().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// A multi-tenant shard server: shared shard data plus a registry of live
+/// sessions. All methods take `&self` — one server value is shared across
+/// every connection thread.
+#[derive(Debug)]
+pub struct ShardServer {
+    max_sessions: usize,
+    /// Next session id to mint; starts at 1 so id 0 (an unopened client's
+    /// default) never names a session.
+    next_session: AtomicU64,
+    sessions: RwLock<HashMap<SessionId, Arc<Session>>>,
+    /// The deduplicated shared-shard pool, scanned linearly by canonical
+    /// key (opens are rare and the compare is cheap next to an index build).
+    shards: Mutex<Vec<Arc<SharedShard>>>,
+}
+
+impl Default for ShardServer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ShardServer {
+    /// A server with no sessions yet, under the default session cap.
+    pub fn new() -> Self {
+        Self::with_max_sessions(ServerConfig::default().max_sessions)
+    }
+
+    /// A server admitting at most `max_sessions` live sessions.
+    pub fn with_max_sessions(max_sessions: usize) -> Self {
+        ShardServer {
+            max_sessions,
+            next_session: AtomicU64::new(1),
+            sessions: RwLock::new(HashMap::new()),
+            shards: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Live sessions right now.
+    pub fn n_sessions(&self) -> usize {
+        self.read_sessions().len()
+    }
+
+    /// Distinct shared shards built so far (dedup survives session close).
+    pub fn n_shards(&self) -> usize {
+        self.shards.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    fn read_sessions(&self) -> RwLockReadGuard<'_, HashMap<SessionId, Arc<Session>>> {
+        self.sessions.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn write_sessions(&self) -> RwLockWriteGuard<'_, HashMap<SessionId, Arc<Session>>> {
+        self.sessions.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn session(&self, id: SessionId) -> Result<Arc<Session>, Response> {
+        self.read_sessions()
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| Response::Error(format!("unknown session {id}")))
     }
 
     /// Apply one decoded request. Protocol-level rejections come back as
-    /// [`Response::Error`]; this function does not panic on any input.
-    pub fn handle(&mut self, req: Request) -> Response {
+    /// [`Response::Error`] (or [`Response::Busy`] for admission refusals);
+    /// this function does not panic on any input.
+    pub fn handle(&self, req: Request) -> Response {
         match req {
             Request::Open(open) => self.handle_open(*open),
             Request::Scan {
+                session,
                 val,
                 k,
                 semiring,
                 pins,
-            } => self.handle_scan(val, k, semiring, pins),
-            Request::ExtremeSummary { val, k, pins } => self.handle_extreme_summary(val, k, pins),
+            } => match self.session(session) {
+                Ok(sess) => Self::handle_scan(&sess, val, k, semiring, pins),
+                Err(resp) => resp,
+            },
+            Request::ExtremeSummary {
+                session,
+                val,
+                k,
+                pins,
+            } => match self.session(session) {
+                Ok(sess) => Self::handle_extreme_summary(&sess, val, k, pins),
+                Err(resp) => resp,
+            },
             Request::Step {
+                session,
                 local_row,
                 expect_cleaned,
-            } => self.handle_step(local_row, expect_cleaned),
-            Request::SyncStatus(bits) => self.handle_sync_status(bits),
-            Request::Status => self.handle_status(),
+            } => match self.session(session) {
+                Ok(sess) => Self::handle_step(&sess, local_row, expect_cleaned),
+                Err(resp) => resp,
+            },
+            Request::SyncStatus { session, bits } => match self.session(session) {
+                Ok(sess) => Self::handle_sync_status(&sess, bits),
+                Err(resp) => resp,
+            },
+            Request::Status { session } => match self.session(session) {
+                Ok(sess) => Self::handle_status(&sess),
+                Err(resp) => resp,
+            },
+            Request::Close { session } => {
+                if self.write_sessions().remove(&session).is_some() {
+                    Response::Ok
+                } else {
+                    Response::Error(format!("unknown session {session}"))
+                }
+            }
             Request::Shutdown => Response::Ok,
         }
     }
 
-    fn handle_open(&mut self, open: OpenShard) -> Response {
-        if self.worker.is_some() {
-            return Response::Error("shard already opened on this connection".into());
+    /// The canonical dedup key of an `Open` payload: its wire encoding with
+    /// the thread-count knob zeroed (how many threads build the indexes
+    /// doesn't change what shard is being opened).
+    fn canonical_key(open: &OpenShard) -> Vec<u8> {
+        let mut key = Vec::new();
+        put_open(&mut key, open, 0);
+        key
+    }
+
+    fn handle_open(&self, open: OpenShard) -> Response {
+        if self.read_sessions().len() >= self.max_sessions {
+            return Response::Busy(format!("{} sessions at capacity", self.max_sessions));
         }
+        let key = Self::canonical_key(&open);
+        let opts = RunOptions {
+            max_cleaned: None,
+            n_threads: open.n_threads.max(1),
+            record_every: 1,
+        };
+        // a byte-identical payload was already validated and indexed when
+        // its shard was first built — reuse it and skip both
+        let existing = {
+            let shards = self.shards.lock().unwrap_or_else(|e| e.into_inner());
+            shards.iter().find(|s| s.key == key).cloned()
+        };
+        let shared = match existing {
+            Some(shared) => shared,
+            None => match Self::build_shared(open, key, &opts) {
+                Ok(shared) => {
+                    let mut shards = self.shards.lock().unwrap_or_else(|e| e.into_inner());
+                    // another connection may have built the same shard while
+                    // we did; keep the first so every session shares one copy
+                    match shards.iter().find(|s| s.key == shared.key).cloned() {
+                        Some(first) => first,
+                        None => {
+                            let shared = Arc::new(shared);
+                            shards.push(shared.clone());
+                            shared
+                        }
+                    }
+                }
+                Err(resp) => return resp,
+            },
+        };
+        let n_rows = shared.shard.len();
+        // deferred: global certainty is the coordinator's job — this session
+        // exists for its pin ownership and the shared indexes
+        let session = CleaningSession::from_cache_deferred(
+            shared.problem.clone(),
+            shared.cache.clone(),
+            &opts,
+        );
+        let entry = Arc::new(Session {
+            shared,
+            state: RwLock::new(SessionState {
+                session,
+                global_cp: Vec::new(),
+            }),
+        });
+        let mut sessions = self.write_sessions();
+        // re-check under the write lock: another connection may have filled
+        // the last slot while the shard was being built
+        if sessions.len() >= self.max_sessions {
+            return Response::Busy(format!("{} sessions at capacity", self.max_sessions));
+        }
+        let id = self.next_session.fetch_add(1, Ordering::Relaxed);
+        sessions.insert(id, entry);
+        Response::Opened {
+            session: id,
+            n_rows,
+        }
+    }
+
+    /// Validate an `Open` payload and build its shared shard (the heavy
+    /// path: dataset construction, problem validation, index builds).
+    fn build_shared(
+        open: OpenShard,
+        key: Vec<u8>,
+        opts: &RunOptions,
+    ) -> Result<SharedShard, Response> {
         let examples: Vec<IncompleteExample> = open
             .examples
             .into_iter()
@@ -90,40 +329,44 @@ impl ShardServer {
             .collect();
         let dataset = match IncompleteDataset::new(examples, open.n_labels) {
             Ok(ds) => ds,
-            Err(e) => return Response::Error(format!("invalid shard dataset: {e}")),
+            Err(e) => return Err(Response::Error(format!("invalid shard dataset: {e}"))),
         };
         if open.k == 0 {
-            return Response::Error("k must be positive".into());
+            return Err(Response::Error("k must be positive".into()));
         }
         if open.val_x.is_empty() {
-            return Response::Error("empty validation set".into());
+            return Err(Response::Error("empty validation set".into()));
         }
         if open.val_x.iter().any(|x| x.len() != dataset.dim()) {
-            return Response::Error("validation dimension mismatch".into());
+            return Err(Response::Error("validation dimension mismatch".into()));
         }
         // the simulated-human choices must validate against the shard rows
-        // (CleaningSession::from_arc_deferred would panic on what we reject
-        // here — network input must never reach a panic)
+        // (CleaningProblem::validate would panic on what we reject here —
+        // network input must never reach a panic)
         for (name, choices) in [
             ("truth", &open.truth_choice),
             ("default", &open.default_choice),
         ] {
             if choices.len() != dataset.len() {
-                return Response::Error(format!("{name} choice length mismatch"));
+                return Err(Response::Error(format!("{name} choice length mismatch")));
             }
             for (i, c) in choices.iter().enumerate() {
                 let dirty = dataset.example(i).is_dirty();
                 match c {
                     Some(j) if !dirty => {
-                        return Response::Error(format!("{name} choice {j} on clean row {i}"))
+                        return Err(Response::Error(format!(
+                            "{name} choice {j} on clean row {i}"
+                        )))
                     }
                     Some(j) if *j as usize >= dataset.set_size(i) => {
-                        return Response::Error(format!(
+                        return Err(Response::Error(format!(
                             "{name} choice {j} out of range at row {i}"
-                        ))
+                        )))
                     }
                     None if dirty => {
-                        return Response::Error(format!("dirty row {i} lacks a {name} choice"))
+                        return Err(Response::Error(format!(
+                            "dirty row {i} lacks a {name} choice"
+                        )))
                     }
                     _ => {}
                 }
@@ -132,29 +375,23 @@ impl ShardServer {
         let to_usize = |v: &[Option<u32>]| -> Vec<Option<usize>> {
             v.iter().map(|c| c.map(|j| j as usize)).collect()
         };
-        let problem = CleaningProblem::new(
+        let problem = Arc::new(CleaningProblem::new(
             dataset.clone(),
             CpConfig::with_kernel(open.k, open.kernel),
             open.val_x,
             to_usize(&open.truth_choice),
             to_usize(&open.default_choice),
-        );
-        let n_rows = dataset.len();
-        let shard = DatasetShard::from_parts(dataset, open.start);
-        let opts = RunOptions {
-            max_cleaned: None,
-            n_threads: open.n_threads.max(1),
-            record_every: 1,
-        };
-        // deferred: global certainty is the coordinator's job — this session
-        // exists for its index cache and pin ownership
-        let session = CleaningSession::from_arc_deferred(Arc::new(problem), &opts);
-        self.worker = Some(Worker {
-            shard,
-            session,
-            global_cp: Vec::new(),
-        });
-        Response::Opened { n_rows }
+        ));
+        // one throwaway session builds the indexes (in parallel under the
+        // open's thread cap); its cache is the shard's shared copy
+        let builder = CleaningSession::from_arc_deferred(problem.clone(), opts);
+        let cache = builder.cache().clone();
+        Ok(SharedShard {
+            key,
+            shard: DatasetShard::from_parts(dataset, open.start),
+            problem,
+            cache,
+        })
     }
 
     /// Shared validation of per-point query requests (scans and extreme
@@ -163,12 +400,13 @@ impl ShardServer {
     /// would size allocations from network input), and a pin-mask override
     /// must fit the shard's rows.
     fn validate_query(
-        worker: &Worker,
+        sess: &Session,
+        state: &SessionState,
         val: usize,
         k: u32,
         pins: &Option<Pins>,
     ) -> Option<Response> {
-        if val >= worker.session.cache().len() {
+        if val >= state.session.cache().len() {
             return Some(Response::Error(format!(
                 "validation point {val} out of range"
             )));
@@ -176,13 +414,13 @@ impl ShardServer {
         if k == 0 {
             return Some(Response::Error("k must be positive".into()));
         }
-        let configured_k = worker.session.problem().config.k;
+        let configured_k = state.session.problem().config.k;
         if k as usize > configured_k {
             return Some(Response::Error(format!(
                 "requested k {k} exceeds the opened classifier's k {configured_k}"
             )));
         }
-        let ds = worker.shard.dataset();
+        let ds = sess.shared.shard.dataset();
         if let Some(p) = pins {
             if p.len() != ds.len() {
                 return Some(Response::Error("pin mask length mismatch".into()));
@@ -198,29 +436,28 @@ impl ShardServer {
         None
     }
 
-    fn handle_scan(&mut self, val: u32, k: u32, semiring: u8, pins: Option<Pins>) -> Response {
-        let Some(worker) = &self.worker else {
-            return Response::Error("scan before open".into());
-        };
+    fn handle_scan(sess: &Session, val: u32, k: u32, semiring: u8, pins: Option<Pins>) -> Response {
+        let state = sess.read_state();
         let val = val as usize;
-        if let Some(reject) = Self::validate_query(worker, val, k, &pins) {
+        if let Some(reject) = Self::validate_query(sess, &state, val, k, &pins) {
             return reject;
         }
         let pins = pins
             .as_ref()
-            .unwrap_or_else(|| worker.session.state().pins());
-        let idx = &worker.session.cache()[val];
+            .unwrap_or_else(|| state.session.state().pins());
+        let idx = &state.session.cache()[val];
+        let shard = &sess.shared.shard;
         let k = k as usize;
         let bytes = match semiring {
             <u128 as WireSemiring>::TAG => {
-                encode_stream(&ShardStream::<u128>::capture(&worker.shard, idx, pins, k))
+                encode_stream(&ShardStream::<u128>::capture(shard, idx, pins, k))
             }
             <f64 as WireSemiring>::TAG => {
-                encode_stream(&ShardStream::<f64>::capture(&worker.shard, idx, pins, k))
+                encode_stream(&ShardStream::<f64>::capture(shard, idx, pins, k))
             }
-            <Possibility as WireSemiring>::TAG => encode_stream(
-                &ShardStream::<Possibility>::capture(&worker.shard, idx, pins, k),
-            ),
+            <Possibility as WireSemiring>::TAG => {
+                encode_stream(&ShardStream::<Possibility>::capture(shard, idx, pins, k))
+            }
             tag => return Response::Error(format!("unknown semiring tag {tag}")),
         };
         // an oversized stream must be a per-request rejection, not a dead
@@ -234,17 +471,15 @@ impl ShardServer {
         Response::Stream(bytes)
     }
 
-    fn handle_extreme_summary(&mut self, val: u32, k: u32, pins: Option<Pins>) -> Response {
-        let Some(worker) = &self.worker else {
-            return Response::Error("extreme summary before open".into());
-        };
+    fn handle_extreme_summary(sess: &Session, val: u32, k: u32, pins: Option<Pins>) -> Response {
+        let state = sess.read_state();
         let val = val as usize;
-        if let Some(reject) = Self::validate_query(worker, val, k, &pins) {
+        if let Some(reject) = Self::validate_query(sess, &state, val, k, &pins) {
             return reject;
         }
         // the extreme-world equivalence is only proven for binary label
         // spaces — the regime the coordinator dispatches summaries in
-        if worker.shard.dataset().n_labels() != 2 {
+        if sess.shared.shard.dataset().n_labels() != 2 {
             return Response::Error(
                 "extreme summaries answer binary Q1 only; scan the Possibility semiring instead"
                     .into(),
@@ -252,30 +487,28 @@ impl ShardServer {
         }
         let pins = pins
             .as_ref()
-            .unwrap_or_else(|| worker.session.state().pins());
-        let idx = &worker.session.cache()[val];
-        let summary = ExtremeSummary::build(&worker.shard, idx, pins, k as usize);
+            .unwrap_or_else(|| state.session.state().pins());
+        let idx = &state.session.cache()[val];
+        let summary = ExtremeSummary::build(&sess.shared.shard, idx, pins, k as usize);
         Response::Summary(encode_summary(&summary))
     }
 
-    fn handle_step(&mut self, local_row: u32, expect_cleaned: u32) -> Response {
-        let Some(worker) = &mut self.worker else {
-            return Response::Error("step before open".into());
-        };
+    fn handle_step(sess: &Session, local_row: u32, expect_cleaned: u32) -> Response {
+        let mut state = sess.write_state();
         let row = local_row as usize;
-        let ds = worker.shard.dataset();
+        let ds = sess.shared.shard.dataset();
         if row >= ds.len() {
             return Response::Error(format!("row {row} out of range"));
         }
         if !ds.example(row).is_dirty() {
             return Response::Error(format!("row {row} is not dirty"));
         }
-        let n_cleaned = worker.session.n_cleaned();
+        let n_cleaned = state.session.n_cleaned();
         let expect = expect_cleaned as usize;
-        // a retransmission of a step this shard already applied (the first
+        // a retransmission of a step this session already applied (the first
         // reply was lost in flight) must acknowledge without re-pinning —
         // this is what makes a coordinator retry after reconnect safe
-        if n_cleaned == expect + 1 && worker.session.state().is_cleaned(row) {
+        if n_cleaned == expect + 1 && state.session.state().is_cleaned(row) {
             return Response::Ok;
         }
         if n_cleaned != expect {
@@ -283,44 +516,40 @@ impl ShardServer {
                 "step expected {expect} cleaned rows, shard has {n_cleaned}"
             ));
         }
-        if worker.session.state().is_cleaned(row) {
+        if state.session.state().is_cleaned(row) {
             return Response::Error(format!("row {row} already cleaned"));
         }
-        worker.session.clean_pin_only(row);
+        state.session.clean_pin_only(row);
         Response::Ok
     }
 
-    fn handle_sync_status(&mut self, bits: Vec<bool>) -> Response {
-        let Some(worker) = &mut self.worker else {
-            return Response::Error("sync before open".into());
-        };
-        if bits.len() != worker.session.cache().len() {
+    fn handle_sync_status(sess: &Session, bits: Vec<bool>) -> Response {
+        let mut state = sess.write_state();
+        if bits.len() != state.session.cache().len() {
             return Response::Error("status length mismatch".into());
         }
-        worker.global_cp = bits;
+        state.global_cp = bits;
         Response::Ok
     }
 
-    fn handle_status(&self) -> Response {
-        let Some(worker) = &self.worker else {
-            return Response::Error("status before open".into());
-        };
+    fn handle_status(sess: &Session) -> Response {
+        let state = sess.read_state();
         Response::Status(ShardStatus {
-            start: worker.shard.start(),
-            n_rows: worker.shard.len(),
-            n_cleaned: worker.session.n_cleaned(),
-            pins: worker.session.state().pins().clone(),
-            global_cp: worker.global_cp.clone(),
+            start: sess.shared.shard.start(),
+            n_rows: sess.shared.shard.len(),
+            n_cleaned: state.session.n_cleaned(),
+            pins: state.session.state().pins().clone(),
+            global_cp: state.global_cp.clone(),
         })
     }
 }
 
-/// Serve one established connection until the peer shuts down or
-/// disconnects. Returns `true` if the session ended with
+/// Serve one established connection serially (no request queue) until the
+/// peer shuts down or disconnects. Returns `true` if the peer sent
 /// [`Request::Shutdown`], `false` on orderly EOF. Every response frame
-/// echoes its request's id, so a pipelining client can match replies to
-/// the requests it has in flight.
-pub fn serve_connection(server: &mut ShardServer, stream: &mut TcpStream) -> RpcResult<bool> {
+/// echoes its request's id. The accept loop uses the queued variant; this
+/// one is the minimal embedding for tests and custom loops.
+pub fn serve_connection(server: &ShardServer, stream: &mut TcpStream) -> RpcResult<bool> {
     loop {
         // an EOF at a frame boundary is an orderly disconnect
         let Some((req_id, frame)) = read_frame_opt_tagged(stream)? else {
@@ -341,33 +570,229 @@ pub fn serve_connection(server: &mut ShardServer, stream: &mut TcpStream) -> Rpc
     }
 }
 
-/// Accept loop: one [`ShardServer`] per connection (a shard's serving state
-/// lives exactly as long as its coordinator's connection). With
-/// `once = true` the loop returns after the first connection ends — the
-/// mode CI's loopback smoke test uses so servers exit on coordinator
-/// shutdown.
-pub fn serve(listener: TcpListener, once: bool) -> RpcResult<()> {
-    for stream in listener.incoming() {
-        let mut stream = stream?;
-        // strict request/response with small frames: Nagle only adds latency
-        stream.set_nodelay(true)?;
-        let mut server = ShardServer::new();
-        // per-connection faults should not take the whole server down
-        if let Err(e) = serve_connection(&mut server, &mut stream) {
-            eprintln!("shard-server: connection error: {e}");
+/// Serve one connection through a bounded request queue: a reader thread
+/// pulls frames off the socket into a `sync_channel` of `queue_depth`
+/// decoded-frame slots (filling the queue stops the reads — TCP
+/// backpressure, not unbounded buffering) while this thread decodes,
+/// handles and replies. Returns `true` on [`Request::Shutdown`].
+fn serve_queued_connection(
+    server: &ShardServer,
+    stream: TcpStream,
+    queue_depth: usize,
+) -> RpcResult<bool> {
+    let mut writer = stream.try_clone()?;
+    let (tx, rx) = sync_channel::<(u32, Vec<u8>)>(queue_depth.max(1));
+    let mut reader_stream = stream;
+    let reader = std::thread::spawn(move || -> RpcResult<()> {
+        loop {
+            match read_frame_opt_tagged(&mut reader_stream) {
+                Ok(Some(frame)) => {
+                    if tx.send(frame).is_err() {
+                        // processor gone (shutdown or write failure)
+                        return Ok(());
+                    }
+                }
+                Ok(None) => return Ok(()),
+                Err(e) => return Err(e),
+            }
         }
-        if once {
+    });
+    let mut result: RpcResult<bool> = Ok(false);
+    for (req_id, frame) in rx.iter() {
+        let (resp, shutdown) = match decode_request(&frame) {
+            Ok(req) => {
+                let shutdown = matches!(req, Request::Shutdown);
+                (server.handle(req), shutdown)
+            }
+            Err(e) => (Response::Error(format!("bad request: {e}")), false),
+        };
+        if let Err(e) = write_frame_tagged(&mut writer, req_id, &encode_response(&resp)) {
+            result = Err(e);
             break;
         }
+        if shutdown {
+            result = Ok(true);
+            break;
+        }
+    }
+    // unblock a reader mid-read and retire it; after a Shutdown (or a write
+    // failure) its socket error is expected, not a connection fault
+    let _ = writer.shutdown(Shutdown::Both);
+    drop(rx);
+    let reader_result = reader.join().unwrap_or(Ok(()));
+    if let (Ok(false), Err(e)) = (&result, reader_result) {
+        result = Err(e);
+    }
+    result
+}
+
+/// Decrements the live-connection count when a connection thread exits by
+/// any path (including a handler panic).
+struct SlotGuard(Arc<AtomicUsize>);
+
+impl Drop for SlotGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Answer one over-cap connection: read its first frame (briefly), reply
+/// [`Response::Busy`] echoing the request id, and drop it. Run detached so
+/// a slow-writing rejected peer can't stall admission of others.
+fn reject_busy(mut stream: TcpStream, msg: String) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    if let Ok(Some((req_id, _frame))) = read_frame_opt_tagged(&mut stream) {
+        let _ = write_frame_tagged(&mut stream, req_id, &encode_response(&Response::Busy(msg)));
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// The accept loop: one shared [`ShardServer`] behind a thread per admitted
+/// connection, with [`ServerConfig`]'s admission control. Accept errors and
+/// per-connection faults (malformed first frames, mid-handshake drops) are
+/// logged and the loop continues — network input never halts the server.
+pub fn serve_with(listener: TcpListener, cfg: ServerConfig) -> RpcResult<()> {
+    serve_inner(listener, cfg, None)
+}
+
+/// [`serve_with`] under default admission control. With `once = true` the
+/// loop returns after its first admitted connection ends — the mode CI's
+/// loopback smoke test and [`serve_ephemeral`] use so servers exit on
+/// coordinator shutdown.
+pub fn serve(listener: TcpListener, once: bool) -> RpcResult<()> {
+    let cfg = ServerConfig {
+        max_accepts: if once { Some(1) } else { None },
+        ..ServerConfig::default()
+    };
+    serve_with(listener, cfg)
+}
+
+fn serve_inner(
+    listener: TcpListener,
+    cfg: ServerConfig,
+    stop: Option<Arc<AtomicBool>>,
+) -> RpcResult<()> {
+    let server = Arc::new(ShardServer::with_max_sessions(cfg.max_sessions));
+    let live = Arc::new(AtomicUsize::new(0));
+    let mut accepted = 0usize;
+    let mut handles: Vec<JoinHandle<()>> = Vec::new();
+    for stream in listener.incoming() {
+        if let Some(flag) = &stop {
+            if flag.load(Ordering::SeqCst) {
+                break;
+            }
+        }
+        // reap finished connection threads so the handle list stays bounded
+        handles = handles
+            .into_iter()
+            .filter_map(|h| {
+                if h.is_finished() {
+                    let _ = h.join();
+                    None
+                } else {
+                    Some(h)
+                }
+            })
+            .collect();
+        let stream = match stream {
+            Ok(s) => s,
+            // a failed accept poisons nothing; keep serving
+            Err(e) => {
+                eprintln!("shard-server: accept error: {e}");
+                continue;
+            }
+        };
+        if live.load(Ordering::SeqCst) >= cfg.max_connections {
+            let msg = format!("{} connections at capacity", cfg.max_connections);
+            std::thread::spawn(move || reject_busy(stream, msg));
+            continue;
+        }
+        // strict request/response with small frames: Nagle only adds latency
+        let _ = stream.set_nodelay(true);
+        live.fetch_add(1, Ordering::SeqCst);
+        let guard = SlotGuard(live.clone());
+        let server = server.clone();
+        let queue_depth = cfg.queue_depth;
+        handles.push(std::thread::spawn(move || {
+            let _guard = guard;
+            // per-connection faults should not take the whole server down
+            if let Err(e) = serve_queued_connection(&server, stream, queue_depth) {
+                eprintln!("shard-server: connection error: {e}");
+            }
+        }));
+        accepted += 1;
+        if let Some(max) = cfg.max_accepts {
+            if accepted >= max {
+                break;
+            }
+        }
+    }
+    for h in handles {
+        let _ = h.join();
     }
     Ok(())
 }
 
+/// A background server started by [`spawn_server`]: its bound address plus
+/// the stop handle. Dropping it stops the accept loop and joins the server
+/// thread (shut client connections down first, or the join waits for them).
+#[derive(Debug)]
+pub struct RunningServer {
+    addr: String,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl RunningServer {
+    /// The server's bound `host:port`.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Stop accepting, wake the accept loop, and join the server thread.
+    pub fn stop(self) {
+        // Drop does the work
+    }
+}
+
+impl Drop for RunningServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // a dummy dial unblocks the blocking accept so it sees the flag
+        let _ = TcpStream::connect(&self.addr);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Start one multi-tenant server on an ephemeral loopback port with the
+/// given admission control, running until the returned [`RunningServer`] is
+/// stopped or dropped. The in-one-process deployment shape the multi-tenant
+/// tests and the `rpc_many_sessions` experiment share; multi-host
+/// deployments run the `shard-server` binary instead.
+pub fn spawn_server(cfg: ServerConfig) -> RpcResult<RunningServer> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?.to_string();
+    let stop = Arc::new(AtomicBool::new(false));
+    let flag = stop.clone();
+    let handle = std::thread::spawn(move || {
+        if let Err(e) = serve_inner(listener, cfg, Some(flag)) {
+            eprintln!("shard-server (spawned): {e}");
+        }
+    });
+    Ok(RunningServer {
+        addr,
+        stop,
+        handle: Some(handle),
+    })
+}
+
 /// Spawn `n` single-connection servers on ephemeral loopback ports — one
-/// background accept loop each, exiting when its first connection closes.
-/// Returns the bound addresses plus the join handles. The in-one-process
+/// background accept loop each, exiting when its first admitted connection
+/// closes. Returns the bound addresses plus the join handles. The
 /// deployment shape the loopback tests and the `rpc_loopback` experiment
-/// share; multi-host deployments run the `shard-server` binary instead.
+/// share.
 pub fn serve_ephemeral(n: usize) -> RpcResult<(Vec<String>, Vec<std::thread::JoinHandle<()>>)> {
     let mut addrs = Vec::with_capacity(n);
     let mut handles = Vec::with_capacity(n);
@@ -388,6 +813,7 @@ mod tests {
     use super::*;
     use crate::codec::decode_stream;
     use cp_knn::Kernel;
+    use std::sync::mpsc::channel;
 
     fn tiny_open() -> OpenShard {
         OpenShard {
@@ -407,15 +833,30 @@ mod tests {
         }
     }
 
+    fn open_session(server: &ShardServer, open: OpenShard) -> SessionId {
+        match server.handle(Request::Open(Box::new(open))) {
+            Response::Opened { session, .. } => session,
+            other => panic!("expected Opened, got {other:?}"),
+        }
+    }
+
     #[test]
     fn open_scan_step_status_flow() {
-        let mut server = ShardServer::new();
-        assert!(matches!(server.handle(Request::Status), Response::Error(_)));
+        let server = ShardServer::new();
+        assert!(matches!(
+            server.handle(Request::Status { session: 1 }),
+            Response::Error(_)
+        ));
         let resp = server.handle(Request::Open(Box::new(tiny_open())));
-        assert_eq!(resp, Response::Opened { n_rows: 3 });
-        assert!(server.is_open());
+        let Response::Opened { session, n_rows } = resp else {
+            panic!("expected Opened, got {resp:?}");
+        };
+        assert_eq!(n_rows, 3);
+        assert_ne!(session, 0, "session id 0 is reserved");
+        assert_eq!(server.n_sessions(), 1);
 
         let resp = server.handle(Request::Scan {
+            session,
             val: 0,
             k: 1,
             semiring: <u128 as WireSemiring>::TAG,
@@ -429,6 +870,7 @@ mod tests {
         assert!(!stream.events.is_empty());
 
         let resp = server.handle(Request::ExtremeSummary {
+            session,
             val: 0,
             k: 1,
             pins: None,
@@ -441,6 +883,7 @@ mod tests {
         assert_eq!(summary.k(), 1);
 
         let step = Request::Step {
+            session,
             local_row: 1,
             expect_cleaned: 0,
         };
@@ -451,6 +894,7 @@ mod tests {
         // a genuinely new step on the same row is still an error
         assert!(matches!(
             server.handle(Request::Step {
+                session,
                 local_row: 1,
                 expect_cleaned: 1,
             }),
@@ -459,36 +903,157 @@ mod tests {
         // as is a count the shard has never been at
         assert!(matches!(
             server.handle(Request::Step {
+                session,
                 local_row: 1,
                 expect_cleaned: 7,
             }),
             Response::Error(_)
         ));
         assert_eq!(
-            server.handle(Request::SyncStatus(vec![true, false])),
+            server.handle(Request::SyncStatus {
+                session,
+                bits: vec![true, false],
+            }),
             Response::Ok
         );
-        let Response::Status(status) = server.handle(Request::Status) else {
+        let Response::Status(status) = server.handle(Request::Status { session }) else {
             panic!("expected status");
         };
         assert_eq!(status.n_cleaned, 1);
         assert_eq!(status.pins.pinned(1), Some(0));
         assert_eq!(status.global_cp, vec![true, false]);
+
+        // closing frees the session; its id stops resolving
+        assert_eq!(server.handle(Request::Close { session }), Response::Ok);
+        assert_eq!(server.n_sessions(), 0);
+        assert!(matches!(
+            server.handle(Request::Status { session }),
+            Response::Error(_)
+        ));
+    }
+
+    #[test]
+    fn sessions_are_independent_and_ids_never_reused() {
+        let server = ShardServer::new();
+        let a = open_session(&server, tiny_open());
+        let b = open_session(&server, tiny_open());
+        assert_ne!(a, b);
+        // stepping A leaves B untouched
+        assert_eq!(
+            server.handle(Request::Step {
+                session: a,
+                local_row: 1,
+                expect_cleaned: 0,
+            }),
+            Response::Ok
+        );
+        let Response::Status(sa) = server.handle(Request::Status { session: a }) else {
+            panic!("expected status");
+        };
+        let Response::Status(sb) = server.handle(Request::Status { session: b }) else {
+            panic!("expected status");
+        };
+        assert_eq!(sa.n_cleaned, 1);
+        assert_eq!(sb.n_cleaned, 0);
+        assert_eq!(sb.pins.pinned(1), None);
+        // a later session never reuses a closed id
+        assert_eq!(server.handle(Request::Close { session: a }), Response::Ok);
+        let c = open_session(&server, tiny_open());
+        assert_ne!(c, a);
+    }
+
+    #[test]
+    fn identical_opens_share_one_index_build() {
+        let server = ShardServer::new();
+        let a = open_session(&server, tiny_open());
+        // a different thread count must not split the dedup key
+        let mut open = tiny_open();
+        open.n_threads = 4;
+        let b = open_session(&server, open);
+        assert_eq!(server.n_shards(), 1, "identical shards must deduplicate");
+        let sessions = server.read_sessions();
+        let (sa, sb) = (&sessions[&a], &sessions[&b]);
+        assert!(
+            Arc::ptr_eq(&sa.shared, &sb.shared),
+            "sessions over one shard share its data"
+        );
+        let (ca, cb) = (
+            sa.read_state().session.cache().indexes()[0].clone(),
+            sb.read_state().session.cache().indexes()[0].clone(),
+        );
+        assert!(Arc::ptr_eq(&ca, &cb), "similarity indexes are shared");
+        drop(sessions);
+        // a genuinely different shard builds its own
+        let mut other = tiny_open();
+        other.val_x.push(vec![2.5]);
+        let _ = open_session(&server, other);
+        assert_eq!(server.n_shards(), 2);
+    }
+
+    #[test]
+    fn session_cap_is_busy_and_close_frees_a_slot() {
+        let server = ShardServer::with_max_sessions(1);
+        let a = open_session(&server, tiny_open());
+        let resp = server.handle(Request::Open(Box::new(tiny_open())));
+        let Response::Busy(msg) = resp else {
+            panic!("expected Busy, got {resp:?}");
+        };
+        assert!(msg.contains("capacity"), "{msg:?}");
+        assert_eq!(server.handle(Request::Close { session: a }), Response::Ok);
+        let _ = open_session(&server, tiny_open());
+    }
+
+    #[test]
+    fn reads_on_one_session_never_wait_behind_anothers_step() {
+        let server = Arc::new(ShardServer::new());
+        let a = open_session(&server, tiny_open());
+        let b = open_session(&server, tiny_open());
+        // hold A's write lock, exactly as a (slow) Step would
+        let sess_a = server.read_sessions()[&a].clone();
+        let step_guard = sess_a.write_state();
+        let (tx, rx) = channel();
+        let srv = server.clone();
+        let t = std::thread::spawn(move || {
+            let status = srv.handle(Request::Status { session: b });
+            let scan = srv.handle(Request::Scan {
+                session: b,
+                val: 0,
+                k: 1,
+                semiring: <f64 as WireSemiring>::TAG,
+                pins: None,
+            });
+            tx.send((status, scan)).unwrap();
+        });
+        let (status, scan) = rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("B's reads must complete while A's step is in flight");
+        assert!(matches!(status, Response::Status(_)), "{status:?}");
+        assert!(matches!(scan, Response::Stream(_)), "{scan:?}");
+        drop(step_guard);
+        t.join().unwrap();
     }
 
     #[test]
     fn malformed_requests_are_rejected_not_panicked() {
-        let mut server = ShardServer::new();
-        server.handle(Request::Open(Box::new(tiny_open())));
+        let server = ShardServer::new();
+        let session = open_session(&server, tiny_open());
         for req in [
-            Request::Open(Box::new(tiny_open())), // double open
             Request::Scan {
+                session: session + 999, // unknown session
+                val: 0,
+                k: 1,
+                semiring: 1,
+                pins: None,
+            },
+            Request::Scan {
+                session,
                 val: 99,
                 k: 1,
                 semiring: 1,
                 pins: None,
             },
             Request::Scan {
+                session,
                 val: 0,
                 k: 0,
                 semiring: 1,
@@ -497,64 +1062,79 @@ mod tests {
             // k beyond the opened classifier's k would size allocations
             // from network input
             Request::Scan {
+                session,
                 val: 0,
                 k: u32::MAX,
                 semiring: 1,
                 pins: None,
             },
             Request::Scan {
+                session,
                 val: 0,
                 k: 1,
                 semiring: 0xee,
                 pins: None,
             },
             Request::Scan {
+                session,
                 val: 0,
                 k: 1,
                 semiring: 1,
                 pins: Some(Pins::single(3, 1, 9)),
             },
             Request::Scan {
+                session,
                 val: 0,
                 k: 1,
                 semiring: 1,
                 pins: Some(Pins::none(7)),
             },
             Request::ExtremeSummary {
+                session,
                 val: 99,
                 k: 1,
                 pins: None,
             },
             Request::ExtremeSummary {
+                session,
                 val: 0,
                 k: 0,
                 pins: None,
             },
             Request::ExtremeSummary {
+                session,
                 val: 0,
                 k: u32::MAX,
                 pins: None,
             },
             Request::ExtremeSummary {
+                session,
                 val: 0,
                 k: 1,
                 pins: Some(Pins::single(3, 1, 9)),
             },
             Request::Step {
+                session,
                 local_row: 77,
                 expect_cleaned: 0,
             },
             // clean row
             Request::Step {
+                session,
                 local_row: 0,
                 expect_cleaned: 0,
             },
             // stale cleaned-count (shard is at 0)
             Request::Step {
+                session,
                 local_row: 1,
                 expect_cleaned: 3,
             },
-            Request::SyncStatus(vec![true]),
+            Request::SyncStatus {
+                session,
+                bits: vec![true],
+            },
+            Request::Close { session: 0 },
         ] {
             assert!(
                 matches!(server.handle(req.clone()), Response::Error(_)),
@@ -565,10 +1145,11 @@ mod tests {
 
     #[test]
     fn extreme_summaries_are_rejected_on_multiclass_shards() {
-        let mut server = ShardServer::new();
-        // summary before open is a protocol error
+        let server = ShardServer::new();
+        // summary on a never-minted session is a protocol error
         assert!(matches!(
             server.handle(Request::ExtremeSummary {
+                session: 1,
                 val: 0,
                 k: 1,
                 pins: None
@@ -580,11 +1161,9 @@ mod tests {
         open.examples.push((2, vec![vec![9.0]]));
         open.truth_choice.push(None);
         open.default_choice.push(None);
-        assert!(matches!(
-            server.handle(Request::Open(Box::new(open))),
-            Response::Opened { .. }
-        ));
+        let session = open_session(&server, open);
         let resp = server.handle(Request::ExtremeSummary {
+            session,
             val: 0,
             k: 1,
             pins: None,
@@ -616,7 +1195,7 @@ mod tests {
         for (mutate, needle) in cases {
             let mut open = tiny_open();
             mutate(&mut open);
-            let mut server = ShardServer::new();
+            let server = ShardServer::new();
             let resp = server.handle(Request::Open(Box::new(open)));
             match resp {
                 Response::Error(msg) => {
@@ -624,7 +1203,8 @@ mod tests {
                 }
                 other => panic!("expected error for {needle}, got {other:?}"),
             }
-            assert!(!server.is_open());
+            assert_eq!(server.n_sessions(), 0);
+            assert_eq!(server.n_shards(), 0, "a rejected open must build nothing");
         }
     }
 }

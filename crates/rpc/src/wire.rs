@@ -104,6 +104,36 @@ impl<'a> Reader<'a> {
         Ok(n)
     }
 
+    /// An LEB128 variable-length `u64` (7 payload bits per byte, low group
+    /// first, high bit = continuation). Bounded to 10 bytes, and the final
+    /// group must fit the remaining value width — a hostile 11-byte run or
+    /// overflowing final group is malformed, never a wrap-around.
+    pub fn varint_u64(&mut self, context: &'static str) -> RpcResult<u64> {
+        let mut value: u64 = 0;
+        for shift in (0..64).step_by(7) {
+            let byte = self.u8(context)?;
+            let group = u64::from(byte & 0x7f);
+            if shift == 63 && group > 1 {
+                return Err(RpcError::Malformed(format!(
+                    "{context}: varint overflows u64"
+                )));
+            }
+            value |= group << shift;
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+        }
+        Err(RpcError::Malformed(format!(
+            "{context}: varint exceeds 10 bytes"
+        )))
+    }
+
+    /// A zigzag-coded signed delta ([`put_zigzag_i64`]'s inverse).
+    pub fn zigzag_i64(&mut self, context: &'static str) -> RpcResult<i64> {
+        let z = self.varint_u64(context)?;
+        Ok(((z >> 1) as i64) ^ -((z & 1) as i64))
+    }
+
     /// Assert the payload is fully consumed (trailing bytes are malformed —
     /// they would mean the two sides disagree about the schema).
     pub fn finish(self, context: &'static str) -> RpcResult<()> {
@@ -151,6 +181,28 @@ pub fn put_usize(out: &mut Vec<u8>, v: usize) {
 /// Append a boolean flag byte.
 pub fn put_bool(out: &mut Vec<u8>, v: bool) {
     put_u8(out, u8::from(v));
+}
+
+/// Append an LEB128 variable-length `u64`: one byte per 7-bit group, low
+/// group first, high bit set on every byte but the last. Values below 128
+/// cost a single byte — the reason the delta-compressed stream codec uses
+/// varints for dictionary indexes, deltas and counts.
+pub fn put_varint_u64(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Append a signed delta zigzag-coded into a varint: small-magnitude values
+/// of either sign encode short (`0, -1, 1, -2, 2, …` → `0, 1, 2, 3, 4, …`).
+pub fn put_zigzag_i64(out: &mut Vec<u8>, v: i64) {
+    put_varint_u64(out, ((v << 1) ^ (v >> 63)) as u64);
 }
 
 /// Append an `Option<u32>` (flag byte + value when present).
@@ -210,6 +262,57 @@ mod tests {
     fn trailing_bytes_are_malformed() {
         let r = Reader::new(&[0]);
         assert!(matches!(r.finish("msg"), Err(RpcError::Malformed(_))));
+    }
+
+    #[test]
+    fn varints_round_trip_with_short_encodings_for_small_values() {
+        let cases: &[(u64, usize)] = &[
+            (0, 1),
+            (1, 1),
+            (127, 1),
+            (128, 2),
+            (16_383, 2),
+            (16_384, 3),
+            (u64::from(u32::MAX), 5),
+            (u64::MAX, 10),
+        ];
+        for &(v, expect_len) in cases {
+            let mut buf = Vec::new();
+            put_varint_u64(&mut buf, v);
+            assert_eq!(buf.len(), expect_len, "encoded length of {v}");
+            let mut r = Reader::new(&buf);
+            assert_eq!(r.varint_u64("v").unwrap(), v);
+            r.finish("v").unwrap();
+        }
+    }
+
+    #[test]
+    fn zigzag_round_trips_and_keeps_small_magnitudes_short() {
+        for v in [0i64, -1, 1, -63, 63, -64, 64, i64::MIN, i64::MAX] {
+            let mut buf = Vec::new();
+            put_zigzag_i64(&mut buf, v);
+            if (-64..=63).contains(&v) {
+                assert_eq!(buf.len(), 1, "one byte for {v}");
+            }
+            let mut r = Reader::new(&buf);
+            assert_eq!(r.zigzag_i64("v").unwrap(), v);
+            r.finish("v").unwrap();
+        }
+    }
+
+    #[test]
+    fn hostile_varints_are_malformed_not_wrapped() {
+        // 10 continuation bytes and an 11th group: over the length bound
+        let mut r = Reader::new(&[0x80; 11]);
+        assert!(matches!(r.varint_u64("v"), Err(RpcError::Malformed(_))));
+        // a 10-byte run whose final group overflows the 64th bit
+        let mut overflowing = vec![0xff; 9];
+        overflowing.push(0x02);
+        let mut r = Reader::new(&overflowing);
+        assert!(matches!(r.varint_u64("v"), Err(RpcError::Malformed(_))));
+        // truncation mid-varint is a typed truncation
+        let mut r = Reader::new(&[0x80]);
+        assert!(matches!(r.varint_u64("v"), Err(RpcError::Truncated { .. })));
     }
 
     #[test]

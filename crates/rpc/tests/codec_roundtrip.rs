@@ -11,8 +11,9 @@ use cp_core::mm_summary::cmp_entries;
 use cp_core::{ExtremeEntry, ExtremeSummary, Pins, ShardFactors};
 use cp_numeric::Possibility;
 use cp_rpc::codec::{
-    decode_factors, decode_stream, decode_summary, encode_factors, encode_stream, encode_summary,
-    get_pins, get_status_bits, put_pins, put_status_bits, read_frame, write_frame,
+    decode_factors, decode_stream, decode_summary, encode_factors, encode_stream,
+    encode_stream_raw, encode_summary, get_pins, get_status_bits, put_pins, put_status_bits,
+    read_frame, write_frame,
 };
 use cp_rpc::proto::{decode_request, decode_response, encode_request, Request};
 use cp_rpc::wire::Reader;
@@ -123,7 +124,9 @@ proptest! {
             })
             .collect();
         let stream = ShardStream { initial, total: 0.5, events };
-        prop_assert_eq!(decode_stream::<f64>(&encode_stream(&stream)).unwrap(), stream);
+        // both the delta (default) and raw encodings round-trip bit-exactly
+        prop_assert_eq!(decode_stream::<f64>(&encode_stream(&stream)).unwrap(), stream.clone());
+        prop_assert_eq!(decode_stream::<f64>(&encode_stream_raw(&stream)).unwrap(), stream);
     }
 
     /// Extreme summaries round-trip exactly, and every strict prefix of a
@@ -211,7 +214,17 @@ proptest! {
             decode_stream::<u128>(&stream_bytes[..cut]).is_err(),
             "strict stream prefix must not decode (cut {})", cut
         );
-        let req = encode_request(&Request::SyncStatus(vec![true, false, true]));
+        // the raw (fixed-width) stream encoding's prefixes fail cleanly too
+        let raw_bytes = encode_stream_raw(&stream);
+        let cut = cut_seed % raw_bytes.len();
+        prop_assert!(
+            decode_stream::<u128>(&raw_bytes[..cut]).is_err(),
+            "strict raw-stream prefix must not decode (cut {})", cut
+        );
+        let req = encode_request(&Request::SyncStatus {
+            session: 3,
+            bits: vec![true, false, true],
+        });
         let cut = cut_seed % req.len();
         prop_assert!(decode_request(&req[..cut]).is_err());
     }

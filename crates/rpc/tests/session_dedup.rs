@@ -1,0 +1,107 @@
+//! Index-build accounting for the multi-tenant server: similarity indexes
+//! are built **once per distinct `Open` payload**, not once per session.
+//!
+//! The tenancy split stores the dataset partition and its
+//! [`cp_core::ValIndexCache`] in shared shard data keyed by the canonical
+//! `Open` encoding (`n_threads` zeroed — the thread cap is a server
+//! resource hint, not shard identity); every later session over the same
+//! payload attaches to the existing build.
+//!
+//! This lives in its own integration-test binary with a single `#[test]`
+//! because `cp_core::similarity::build_count` is a process-wide counter:
+//! concurrent tests in a shared binary would perturb the arithmetic.
+
+use cp_core::similarity::build_count;
+use cp_core::{CpConfig, IncompleteDataset, IncompleteExample};
+use cp_rpc::proto::OpenShard;
+use cp_rpc::{Request, Response, ShardServer};
+
+fn open_payload(k: usize, n_threads: usize) -> OpenShard {
+    let dataset = IncompleteDataset::new(
+        vec![
+            IncompleteExample::complete(vec![0.0], 0),
+            IncompleteExample::incomplete(vec![vec![4.0], vec![7.0]], 0),
+            IncompleteExample::complete(vec![10.0], 1),
+            IncompleteExample::incomplete(vec![vec![3.0], vec![6.0]], 1),
+        ],
+        2,
+    )
+    .unwrap();
+    OpenShard {
+        start: 0,
+        n_labels: 2,
+        k,
+        kernel: CpConfig::new(k).kernel,
+        n_threads,
+        examples: (0..dataset.len())
+            .map(|i| {
+                let ex = dataset.example(i);
+                (ex.label, ex.candidates.clone())
+            })
+            .collect(),
+        val_x: vec![vec![5.0], vec![2.0], vec![8.0]],
+        truth_choice: vec![None, Some(0), None, Some(1)],
+        default_choice: vec![None, Some(1), None, Some(0)],
+    }
+}
+
+fn open_session(server: &ShardServer, open: OpenShard) -> u64 {
+    match server.handle(Request::Open(Box::new(open))) {
+        Response::Opened { session, n_rows } => {
+            assert_eq!(n_rows, 4);
+            session
+        }
+        other => panic!("expected Opened, got {other:?}"),
+    }
+}
+
+#[test]
+fn identical_opens_share_one_index_build() {
+    let server = ShardServer::new();
+    let n_val = open_payload(1, 1).val_x.len() as u64;
+
+    // first session over the payload pays for the build ...
+    let before = build_count();
+    let first = open_session(&server, open_payload(1, 1));
+    let first_builds = build_count() - before;
+    assert_eq!(
+        first_builds, n_val,
+        "first open builds each validation index exactly once"
+    );
+
+    // ... every further identical session is free, even under a different
+    // thread cap (`n_threads` is canonicalized out of shard identity)
+    let before = build_count();
+    let second = open_session(&server, open_payload(1, 1));
+    let third = open_session(&server, open_payload(1, 4));
+    assert_eq!(
+        build_count() - before,
+        0,
+        "identical opens must attach to the existing build"
+    );
+    assert_eq!(server.n_sessions(), 3);
+    assert_eq!(server.n_shards(), 1, "one shared shard behind 3 sessions");
+
+    // a *different* payload is a different shard: it pays its own build
+    let before = build_count();
+    let fourth = open_session(&server, open_payload(2, 1));
+    assert_eq!(
+        build_count() - before,
+        n_val,
+        "a distinct open payload builds its own indexes"
+    );
+    assert_eq!(server.n_shards(), 2);
+
+    // sessions close independently; the shared build outlives any of them
+    for session in [first, second, third, fourth] {
+        assert_eq!(server.handle(Request::Close { session }), Response::Ok);
+    }
+    assert_eq!(server.n_sessions(), 0);
+    let before = build_count();
+    open_session(&server, open_payload(1, 1));
+    assert_eq!(
+        build_count() - before,
+        0,
+        "the shared shard survives session churn"
+    );
+}

@@ -26,7 +26,7 @@ use std::thread::JoinHandle;
 /// the lost-ack fault.
 fn serve_lossy_step(listener: TcpListener) -> JoinHandle<()> {
     std::thread::spawn(move || {
-        let mut server = ShardServer::new();
+        let server = ShardServer::new();
         let mut reply_dropped = false;
         for stream in listener.incoming() {
             let mut stream = stream.expect("accept");
