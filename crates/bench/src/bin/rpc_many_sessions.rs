@@ -19,6 +19,16 @@
 //! delta-vs-raw on-wire size of the workload's scan streams (the dominant
 //! message class) and asserts the ≥3× compression the codec is sized for.
 //!
+//! Per-fleet step counts and p50/p99 latencies come from the production
+//! `cp-obs` registry (snapshot diffs over the coordinator's
+//! `rpc.coordinator.clean_us` histogram), not a bench-private stopwatch —
+//! the numbers reported here are the numbers operators will see. After the
+//! fleets finish, a probe connection (the final admitted connection; CI
+//! sizes the server's `--conns` for it) fetches the server's registry over
+//! the wire-level `Stats` request and fails the run if the per-session step
+//! counters don't sum to exactly `(1+2+4+8) × |dirty rows|`, then sends
+//! `Shutdown` so an externally launched `--conns` server exits cleanly.
+//!
 //! Results land in `BENCH_rpc_many_sessions.json` (hand-rolled JSON, no
 //! dependencies). On a single-CPU host the fleets time-slice one core, so
 //! aggregate throughput cannot exceed the serial baseline — the run prints
@@ -27,7 +37,10 @@
 use cp_bench::{random_incomplete_dataset, Reporter};
 use cp_clean::{CleaningProblem, RunOptions};
 use cp_core::{CpConfig, Pins};
-use cp_rpc::{encode_stream, encode_stream_raw, spawn_server, RpcCoordinator, ServerConfig};
+use cp_rpc::{
+    encode_stream, encode_stream_raw, spawn_server, Request, RpcCoordinator, ServerConfig,
+    ShardClient,
+};
 use cp_shard::{build_shard_indexes, ShardStream, ShardedSession};
 use rand::prelude::*;
 use rand::rngs::StdRng;
@@ -67,14 +80,6 @@ fn synthetic_problem(n: usize, m: usize, n_val: usize, seed: u64) -> CleaningPro
     )
 }
 
-fn percentile(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
-}
-
 struct FleetResult {
     coordinators: usize,
     steps: usize,
@@ -82,17 +87,25 @@ struct FleetResult {
     steps_per_s: f64,
     p50_us: f64,
     p99_us: f64,
+    busy_retries: u64,
+    reconnects: u64,
 }
 
 /// Run `fleet` concurrent coordinators against `addr`, each cleaning its
 /// own shuffled order; returns the aggregate result after cross-checking
 /// every tenant's final status against an isolated in-process run.
+///
+/// Step counts and latency quantiles are read from the production registry
+/// — a snapshot diff over `rpc.coordinator.clean_us` (every worker records
+/// into the one process-wide histogram) — taken right after the workers
+/// join, before the in-process cross-check muddies the registry.
 fn run_fleet(
     problem: &CleaningProblem,
     addr: &str,
     fleet: usize,
     opts: &RunOptions,
 ) -> FleetResult {
+    let before = cp_obs::snapshot();
     let barrier = Arc::new(Barrier::new(fleet + 1));
     let mut workers = Vec::with_capacity(fleet);
     for c in 0..fleet {
@@ -100,24 +113,19 @@ fn run_fleet(
         let addr = addr.to_string();
         let gate = barrier.clone();
         let opts = opts.clone();
-        workers.push(std::thread::spawn(
-            move || -> (Vec<f64>, Vec<bool>, Vec<usize>) {
-                let mut order = problem.dirty_rows();
-                order.shuffle(&mut StdRng::seed_from_u64(0xc0fe ^ c as u64));
-                let mut remote =
-                    RpcCoordinator::connect(&problem, &[addr], &opts).expect("connect coordinator");
-                gate.wait(); // all sessions open before any steps
-                let mut latencies = Vec::with_capacity(order.len());
-                for &row in &order {
-                    let t0 = Instant::now();
-                    remote.clean(row).expect("clean over rpc");
-                    latencies.push(t0.elapsed().as_secs_f64());
-                }
-                let status = remote.status().to_vec();
-                remote.shutdown().expect("shutdown");
-                (latencies, status, order)
-            },
-        ));
+        workers.push(std::thread::spawn(move || -> (Vec<bool>, Vec<usize>) {
+            let mut order = problem.dirty_rows();
+            order.shuffle(&mut StdRng::seed_from_u64(0xc0fe ^ c as u64));
+            let mut remote =
+                RpcCoordinator::connect(&problem, &[addr], &opts).expect("connect coordinator");
+            gate.wait(); // all sessions open before any steps
+            for &row in &order {
+                remote.clean(row).expect("clean over rpc");
+            }
+            let status = remote.status().to_vec();
+            remote.shutdown().expect("shutdown");
+            (status, order)
+        }));
     }
     barrier.wait();
     let t0 = Instant::now();
@@ -126,10 +134,11 @@ fn run_fleet(
         .map(|w| w.join().expect("coordinator thread"))
         .collect();
     let wall_s = t0.elapsed().as_secs_f64();
+    let diff = cp_obs::snapshot().diff(&before);
+    let clean_hist = diff.histogram("rpc.coordinator.clean_us");
 
     // every tenant == the isolated run of its order, bit-for-bit
-    let mut latencies = Vec::new();
-    for (lats, status, order) in finished {
+    for (status, order) in finished {
         let mut local = ShardedSession::new(problem, 1, opts);
         for &row in &order {
             local.clean(row);
@@ -139,17 +148,23 @@ fn run_fleet(
             local.status(),
             "a concurrent tenant diverged from its isolated run"
         );
-        latencies.extend(lats);
     }
-    latencies.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
-    let steps = latencies.len();
+    let steps = clean_hist.count() as usize;
+    assert_eq!(
+        steps,
+        fleet * problem.dirty_rows().len(),
+        "the registry's clean-span count must equal the steps the fleet ran \
+         (zero means metrics are compiled out — this bench needs them live)"
+    );
     FleetResult {
         coordinators: fleet,
         steps,
         wall_s,
         steps_per_s: steps as f64 / wall_s,
-        p50_us: percentile(&latencies, 50.0) * 1e6,
-        p99_us: percentile(&latencies, 99.0) * 1e6,
+        p50_us: clean_hist.p50(),
+        p99_us: clean_hist.p99(),
+        busy_retries: diff.counter("rpc.client.busy_retries"),
+        reconnects: diff.counter("rpc.client.reconnects"),
     }
 }
 
@@ -227,26 +242,62 @@ fn main() {
         .iter()
         .map(|&fleet| run_fleet(&problem, &addr, fleet, &opts))
         .collect();
+
+    // wire-level Stats probe: the final admitted connection pulls the
+    // server's registry and checks the per-session step counters against
+    // the exact work the fleets did, then asks the server to exit (an
+    // external `--conns` server counts this connection in its budget)
+    let total_steps: usize = FLEETS.iter().sum::<usize>() * problem.dirty_rows().len();
+    let mut probe = ShardClient::connect(&addr).expect("probe connect");
+    let server_stats = probe.stats(0).expect("wire-level Stats");
+    let served_steps: u64 = server_stats
+        .counters
+        .iter()
+        .filter(|(name, _)| name.starts_with("rpc.server.") && name.ends_with(".steps"))
+        .map(|(_, &v)| v)
+        .sum();
+    assert_eq!(
+        served_steps as usize, total_steps,
+        "the server's per-session step counters must sum to the fleets' steps"
+    );
+    let busy = server_stats.counter("rpc.server.busy_rejections");
+    let step_lat = server_stats.histogram("rpc.server.latency.step_us");
+    r.note(&format!(
+        "wire-level Stats: server counted {served_steps} steps across {} sessions, \
+         {busy} busy rejections, step p99 {:.0}µs",
+        FLEETS.iter().sum::<usize>(),
+        step_lat.p99()
+    ));
+    probe
+        .expect_ok(&Request::Shutdown)
+        .expect("shutdown server");
     drop(server);
 
     let serial = results[0].steps_per_s;
     println!();
-    println!("| coordinators | steps | wall (s) | agg steps/s | p50 (µs) | p99 (µs) | vs serial |");
-    println!("|-------------:|------:|---------:|------------:|---------:|---------:|----------:|");
+    println!(
+        "| coordinators | steps | wall (s) | agg steps/s | p50 (µs) | p99 (µs) | busy/reconn | vs serial |"
+    );
+    println!(
+        "|-------------:|------:|---------:|------------:|---------:|---------:|------------:|----------:|"
+    );
     for res in &results {
         println!(
-            "| {} | {} | {:.3} | {:.0} | {:.0} | {:.0} | {:.2}x |",
+            "| {} | {} | {:.3} | {:.0} | {:.0} | {:.0} | {}/{} | {:.2}x |",
             res.coordinators,
             res.steps,
             res.wall_s,
             res.steps_per_s,
             res.p50_us,
             res.p99_us,
+            res.busy_retries,
+            res.reconnects,
             res.steps_per_s / serial
         );
     }
     println!();
     r.note("verified: every concurrent tenant's final status == its isolated in-process run");
+    r.note("latency quantiles are the production rpc.coordinator.clean_us histogram (√2 buckets)");
     if n_cpus < 2 {
         r.note(
             "caveat: single-CPU host — the fleets time-slice one core, so aggregate \
@@ -263,17 +314,26 @@ fn main() {
     json.push_str(&format!(
         "  \"scan_stream_bytes\": {{\"delta\": {delta_bytes}, \"raw\": {raw_bytes}, \"ratio\": {ratio:.2}}},\n"
     ));
+    json.push_str(&format!(
+        "  \"stats_endpoint\": {{\"server_steps\": {served_steps}, \"busy_rejections\": {busy}, \
+         \"step_p50_us\": {:.1}, \"step_p99_us\": {:.1}}},\n",
+        step_lat.p50(),
+        step_lat.p99()
+    ));
     json.push_str("  \"fleets\": [\n");
     for (i, res) in results.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"coordinators\": {}, \"steps\": {}, \"wall_s\": {:.4}, \"steps_per_s\": {:.1}, \
-             \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"speedup_vs_serial\": {:.3}}}{}\n",
+             \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"busy_retries\": {}, \"reconnects\": {}, \
+             \"speedup_vs_serial\": {:.3}}}{}\n",
             res.coordinators,
             res.steps,
             res.wall_s,
             res.steps_per_s,
             res.p50_us,
             res.p99_us,
+            res.busy_retries,
+            res.reconnects,
             res.steps_per_s / serial,
             if i + 1 < results.len() { "," } else { "" }
         ));

@@ -275,6 +275,7 @@ pub fn select_next_incremental<B: SelectionBackend>(
         for &v in &uncertain {
             let st = cache.states[v].as_ref().expect("state built above");
             if let Some(ents) = st.ent.get(&row) {
+                cp_obs::counter!("clean.selection.cache_hits").inc();
                 lower_bound += ents.iter().sum::<f64>() / m;
             } else if !st.relevant[row] {
                 // naive would scan M times and sum M (mathematically equal)
@@ -287,9 +288,11 @@ pub fn select_next_incremental<B: SelectionBackend>(
         let score = if unknown.is_empty() {
             lower_bound // every term known: this *is* the exact naive score
         } else if lower_bound >= best_score - 1e-12 {
+            cp_obs::counter!("clean.selection.pruned").inc();
             continue; // true score ≥ bound: the ladder would reject it
         } else {
             for &v in &unknown {
+                cp_obs::counter!("clean.selection.cache_misses").inc();
                 let ents = backend.hypothetical_entropies(v, row)?;
                 debug_assert!(
                     ents.iter().all(|h| !h.is_nan()),

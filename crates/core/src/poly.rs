@@ -18,10 +18,6 @@
 //! label's support.
 
 use cp_numeric::CountSemiring;
-use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
-
-/// Process-wide count of [`TallyTree::new`] invocations.
-static TREE_BUILD_COUNT: AtomicU64 = AtomicU64::new(0);
 
 /// Process-wide number of [`TallyTree::new`] calls so far.
 ///
@@ -30,8 +26,12 @@ static TREE_BUILD_COUNT: AtomicU64 = AtomicU64::new(0);
 /// [`crate::similarity::build_count`]. The MM extreme-summary fast path
 /// uses this to *prove* it never touches the polynomial machinery (a
 /// binary status sweep must build zero tally trees).
+///
+/// Backed by the `core.poly.tree_builds` counter in the `cp-obs` registry
+/// (so `Stats` snapshots report the same value); reads 0 when metrics are
+/// compiled out via `cp-obs`'s `off` feature.
 pub fn tree_build_count() -> u64 {
-    TREE_BUILD_COUNT.load(AtomicOrdering::Relaxed)
+    cp_obs::counter!("core.poly.tree_builds").get()
 }
 
 /// Multiply two slot polynomials, truncating at degree `k` (inclusive).
@@ -80,7 +80,8 @@ pub struct TallyTree<S> {
 impl<S: CountSemiring> TallyTree<S> {
     /// Build a tree of `n_leaves` identity polynomials.
     pub fn new(n_leaves: usize, k: usize) -> Self {
-        TREE_BUILD_COUNT.fetch_add(1, AtomicOrdering::Relaxed);
+        cp_obs::counter!("core.poly.tree_builds").inc();
+        let _span = cp_obs::span!("core.poly.tree_build_us");
         let cap = n_leaves.max(1).next_power_of_two();
         let stride = k + 1;
         let mut nodes = vec![S::zero(); 2 * cap * stride];

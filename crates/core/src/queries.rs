@@ -24,10 +24,6 @@ use crate::ss_k1;
 use crate::ss_tree;
 use cp_knn::Label;
 use cp_numeric::{CountSemiring, Possibility};
-use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
-
-/// Process-wide count of Q2 probability evaluations.
-static Q2_PROB_COUNT: AtomicU64 = AtomicU64::new(0);
 
 /// Process-wide number of Q2 probability evaluations so far — every
 /// [`q2_probabilities_with_index`] call plus every evaluation reported via
@@ -37,15 +33,19 @@ static Q2_PROB_COUNT: AtomicU64 = AtomicU64::new(0);
 /// evaluations it performed. The incremental selection layer uses this to
 /// *prove* score-cache reuse (after the first greedy step, later steps must
 /// evaluate strictly fewer hypothetical distributions).
+///
+/// Backed by the `core.q2.probability_evals` counter in the `cp-obs`
+/// registry (so `Stats` snapshots report the same value); reads 0 when
+/// metrics are compiled out via `cp-obs`'s `off` feature.
 pub fn q2_probability_count() -> u64 {
-    Q2_PROB_COUNT.load(AtomicOrdering::Relaxed)
+    cp_obs::counter!("core.q2.probability_evals").get()
 }
 
 /// Record one Q2 probability evaluation performed outside this module — the
 /// sharded merged scan and the RPC coordinator's stream merges call this so
 /// [`q2_probability_count`] covers every engine's probability queries.
 pub fn note_q2_probability_query() {
-    Q2_PROB_COUNT.fetch_add(1, AtomicOrdering::Relaxed);
+    cp_obs::counter!("core.q2.probability_evals").inc();
 }
 
 /// Algorithm selector for [`q2_with_algorithm`].

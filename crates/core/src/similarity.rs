@@ -13,18 +13,18 @@ use crate::dataset::IncompleteDataset;
 use crate::pins::Pins;
 use cp_knn::Kernel;
 use std::cmp::Ordering;
-use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
-
-/// Process-wide count of [`SimilarityIndex::build`] invocations.
-static BUILD_COUNT: AtomicU64 = AtomicU64::new(0);
 
 /// Process-wide number of [`SimilarityIndex::build`] calls so far.
 ///
 /// Monotone; snapshot before and after a region and subtract to count the
 /// builds it performed. The session/caching layers use this to *prove* index
 /// reuse (e.g. at most one build per validation point per cleaning run).
+///
+/// Backed by the `core.similarity.index_builds` counter in the `cp-obs`
+/// registry (so `Stats` snapshots report the same value); reads 0 when
+/// metrics are compiled out via `cp-obs`'s `off` feature.
 pub fn build_count() -> u64 {
-    BUILD_COUNT.load(AtomicOrdering::Relaxed)
+    cp_obs::counter!("core.similarity.index_builds").get()
 }
 
 /// Sorted similarity structure for one test point.
@@ -47,7 +47,8 @@ impl SimilarityIndex {
     /// Panics if `t`'s dimension does not match the dataset.
     pub fn build(ds: &IncompleteDataset, kernel: Kernel, t: &[f64]) -> Self {
         assert_eq!(t.len(), ds.dim(), "test point dimension mismatch");
-        BUILD_COUNT.fetch_add(1, AtomicOrdering::Relaxed);
+        cp_obs::counter!("core.similarity.index_builds").inc();
+        let _span = cp_obs::span!("core.similarity.build_us");
         let total = ds.total_candidates();
         let mut entries: Vec<(f64, u32, u32)> = Vec::with_capacity(total);
         for i in 0..ds.len() {

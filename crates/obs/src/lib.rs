@@ -1,0 +1,176 @@
+//! # cp-obs — hand-rolled observability for the CPClean stack
+//!
+//! A process-wide registry of named [`Counter`]s, [`Gauge`]s, and
+//! fixed-bucket latency [`Histogram`]s (lock-free atomics on the hot path,
+//! mergeable [`Snapshot`]s with p50/p90/p99 extraction), scoped-span timers
+//! ([`span!`]) recording elapsed-µs into histograms, and a leveled,
+//! rate-limited stderr logger ([`obs_warn!`] and friends, configured by
+//! `CP_LOG=error|warn|info|debug`, default `warn`).
+//!
+//! Like everything under `crates/shims`, this is registry-free and
+//! dependency-free: no `prometheus`, no `tracing`, no `log`. The shard
+//! protocol serves [`Snapshot::encode`]'s bytes as the `Stats` response, so
+//! any client can fetch and [`Snapshot::decode`] a remote server's live
+//! metrics.
+//!
+//! ## Recording
+//!
+//! Handles are cheap clones of shared atomics; call sites cache them in a
+//! `OnceLock` through the macros so each site pays the registry lookup
+//! once, then one relaxed `fetch_add` per event:
+//!
+//! ```
+//! let _guard = cp_obs::span!("example.frobnicate_us"); // timed until scope end
+//! cp_obs::counter!("example.frobnications").inc();
+//! cp_obs::gauge!("example.queue_depth").add(1.0);
+//! cp_obs::histogram!("example.batch_size").record_us(17);
+//! cp_obs::obs_warn!("example", "queue at {} of {}", 31, 32);
+//! # let snap = cp_obs::snapshot();
+//! # assert!(cp_obs::Snapshot::decode(&snap.encode()).is_ok());
+//! ```
+//!
+//! ## The `off` feature
+//!
+//! Building with `--features off` swaps every handle for a zero-sized
+//! no-op twin with the identical API: instrumented code compiles to the
+//! uninstrumented machine code (the bench crate's `obs-off` feature
+//! forwards here for the overhead guard). [`Snapshot`] decoding/rendering
+//! and the logger remain fully functional either way.
+
+#[cfg(not(feature = "off"))]
+mod registry;
+#[cfg(not(feature = "off"))]
+pub use registry::{
+    counter, gauge, histogram, snapshot, Counter, Gauge, Histogram, SpanGuard, Stopwatch,
+};
+
+#[cfg(feature = "off")]
+mod noop;
+#[cfg(feature = "off")]
+pub use noop::{
+    counter, gauge, histogram, snapshot, Counter, Gauge, Histogram, SpanGuard, Stopwatch,
+};
+
+pub mod log;
+pub mod snapshot;
+
+pub use log::{level_enabled, Level, RateLimit};
+pub use snapshot::{HistogramSnapshot, Snapshot, BUCKET_BOUNDS_US, N_BUCKETS};
+
+/// The `&'static Counter` registered under a literal name, resolved once
+/// per call site.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<$crate::Counter> = ::std::sync::OnceLock::new();
+        HANDLE.get_or_init(|| $crate::counter($name))
+    }};
+}
+
+/// The `&'static Gauge` registered under a literal name, resolved once per
+/// call site.
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<$crate::Gauge> = ::std::sync::OnceLock::new();
+        HANDLE.get_or_init(|| $crate::gauge($name))
+    }};
+}
+
+/// The `&'static Histogram` registered under a literal name, resolved once
+/// per call site.
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<$crate::Histogram> = ::std::sync::OnceLock::new();
+        HANDLE.get_or_init(|| $crate::histogram($name))
+    }};
+}
+
+/// A scoped timer: records elapsed µs into the named histogram when the
+/// returned guard drops. Bind it (`let _guard = span!(...)`) — an
+/// unbound `_ = span!` drops immediately and times nothing.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {{
+        $crate::SpanGuard::new($crate::histogram!($name).clone())
+    }};
+}
+
+/// Leveled, rate-limited log line (at most 10 per 10 s per call site, with
+/// a suppression count when the window reopens). Prefer the
+/// [`obs_error!`]/[`obs_warn!`]/[`obs_info!`]/[`obs_debug!`] wrappers.
+#[macro_export]
+macro_rules! obs_log {
+    ($level:expr, $target:expr, $($arg:tt)*) => {{
+        if $crate::level_enabled($level) {
+            static RL: $crate::RateLimit = $crate::RateLimit::new(10);
+            if let Some(suppressed) = RL.admit() {
+                $crate::log::emit($level, $target, format_args!($($arg)*), suppressed);
+            }
+        }
+    }};
+}
+
+/// [`obs_log!`] at [`Level::Error`].
+#[macro_export]
+macro_rules! obs_error {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::obs_log!($crate::Level::Error, $target, $($arg)*)
+    };
+}
+
+/// [`obs_log!`] at [`Level::Warn`].
+#[macro_export]
+macro_rules! obs_warn {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::obs_log!($crate::Level::Warn, $target, $($arg)*)
+    };
+}
+
+/// [`obs_log!`] at [`Level::Info`].
+#[macro_export]
+macro_rules! obs_info {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::obs_log!($crate::Level::Info, $target, $($arg)*)
+    };
+}
+
+/// [`obs_log!`] at [`Level::Debug`].
+#[macro_export]
+macro_rules! obs_debug {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::obs_log!($crate::Level::Debug, $target, $($arg)*)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn macros_expand_and_share_per_site_handles() {
+        let c = counter!("test.lib.macro_counter");
+        c.inc();
+        c.inc();
+        gauge!("test.lib.macro_gauge").set(4.0);
+        {
+            let _g = span!("test.lib.macro_span_us");
+        }
+        let snap = crate::snapshot();
+        #[cfg(not(feature = "off"))]
+        {
+            assert_eq!(snap.counter("test.lib.macro_counter"), 2);
+            assert_eq!(snap.gauge("test.lib.macro_gauge"), 4.0);
+            assert_eq!(snap.histogram("test.lib.macro_span_us").count(), 1);
+        }
+        #[cfg(feature = "off")]
+        assert!(snap.is_empty());
+    }
+
+    #[test]
+    fn log_macros_compile_at_every_level() {
+        obs_error!("test.lib", "error {}", 1);
+        obs_warn!("test.lib", "warn");
+        obs_info!("test.lib", "info");
+        obs_debug!("test.lib", "debug");
+    }
+}

@@ -1,0 +1,170 @@
+//! Leveled, rate-limited structured logging to stderr.
+//!
+//! The level is read once per process from `CP_LOG`
+//! (`error|warn|info|debug`, default `warn`); every emission site carries a
+//! [`RateLimit`] so a flapping client can't turn the server's stderr into
+//! its own denial of service. This module stays fully real under the `off`
+//! feature — compiling metrics out must not silence operational errors.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Log severity, ordered so `Error < Warn < Info < Debug`: a configured
+/// level admits every message at or below it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Unrecoverable or data-affecting conditions.
+    Error = 0,
+    /// Degraded-but-continuing conditions (dropped connections, rejections).
+    Warn = 1,
+    /// Lifecycle events (listen address, session opens).
+    Info = 2,
+    /// Per-request detail.
+    Debug = 3,
+}
+
+impl Level {
+    fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" | "trace" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+}
+
+fn configured_level() -> Level {
+    static LEVEL: OnceLock<Level> = OnceLock::new();
+    *LEVEL.get_or_init(|| {
+        std::env::var("CP_LOG")
+            .ok()
+            .and_then(|v| Level::parse(&v))
+            .unwrap_or(Level::Warn)
+    })
+}
+
+/// `true` iff messages at `level` would be emitted — lets call sites skip
+/// formatting entirely.
+pub fn level_enabled(level: Level) -> bool {
+    level <= configured_level()
+}
+
+/// Seconds (with µs precision) since the process first touched the logger;
+/// the timestamp in every line.
+fn uptime_secs() -> f64 {
+    static START: OnceLock<Instant> = OnceLock::new();
+    START.get_or_init(Instant::now).elapsed().as_secs_f64()
+}
+
+/// A per-call-site token bucket: at most `max_per_window` emissions per
+/// 10-second window, with the count of suppressed messages reported when
+/// the next window opens. `const`-constructible so `obs_warn!` can embed
+/// one in a `static` at each expansion site.
+pub struct RateLimit {
+    max_per_window: u32,
+    window_start_us: AtomicU64,
+    emitted: AtomicU32,
+    suppressed: AtomicU32,
+}
+
+/// Rate-limit window width.
+const WINDOW_US: u64 = 10_000_000;
+
+impl RateLimit {
+    /// A limiter admitting `max_per_window` messages per 10 s window.
+    pub const fn new(max_per_window: u32) -> Self {
+        RateLimit {
+            max_per_window,
+            window_start_us: AtomicU64::new(0),
+            emitted: AtomicU32::new(0),
+            suppressed: AtomicU32::new(0),
+        }
+    }
+
+    /// Whether this message may be emitted; `Some(suppressed)` carries how
+    /// many were dropped since the caller last got through (usually 0).
+    /// Windows are checked optimistically — a race can at worst let one
+    /// extra message through, which is fine for a log limiter.
+    pub fn admit(&self) -> Option<u32> {
+        let now_us = (uptime_secs() * 1e6) as u64;
+        let start = self.window_start_us.load(Ordering::Relaxed);
+        if (now_us.saturating_sub(start) >= WINDOW_US || start > now_us)
+            && self
+                .window_start_us
+                .compare_exchange(start, now_us, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+        {
+            self.emitted.store(0, Ordering::Relaxed);
+        }
+        if self.emitted.fetch_add(1, Ordering::Relaxed) < self.max_per_window {
+            Some(self.suppressed.swap(0, Ordering::Relaxed))
+        } else {
+            self.suppressed.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+    }
+}
+
+/// Write one formatted line to stderr:
+/// `[cp +1.234s warn rpc.server] message (suppressed 3)`.
+/// Call sites reach this through the `obs_warn!`-family macros, which
+/// handle the level check and rate limiting.
+pub fn emit(level: Level, target: &str, msg: std::fmt::Arguments<'_>, suppressed: u32) {
+    let tail = if suppressed > 0 {
+        format!(" (suppressed {suppressed})")
+    } else {
+        String::new()
+    };
+    eprintln!(
+        "[cp +{:.3}s {} {}] {}{}",
+        uptime_secs(),
+        level.as_str(),
+        target,
+        msg,
+        tail
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_from_error_to_debug() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+        assert_eq!(Level::parse("WARN"), Some(Level::Warn));
+        assert_eq!(Level::parse("debug"), Some(Level::Debug));
+        assert_eq!(Level::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn rate_limit_admits_up_to_cap_then_counts_suppressions() {
+        let rl = RateLimit::new(3);
+        assert_eq!(rl.admit(), Some(0));
+        assert_eq!(rl.admit(), Some(0));
+        assert_eq!(rl.admit(), Some(0));
+        assert_eq!(rl.admit(), None);
+        assert_eq!(rl.admit(), None);
+        // Force the window to look expired; the next admit resets and
+        // reports the two suppressed messages.
+        rl.window_start_us.store(0, Ordering::Relaxed);
+        let now = (uptime_secs() * 1e6) as u64;
+        rl.window_start_us
+            .store(now.wrapping_sub(WINDOW_US + 1), Ordering::Relaxed);
+        assert_eq!(rl.admit(), Some(2));
+    }
+}

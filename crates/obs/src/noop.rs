@@ -1,0 +1,112 @@
+//! `off`-feature twins of the registry types: identical API, zero-sized
+//! state, every operation a no-op the optimizer deletes. [`snapshot`]
+//! returns an empty [`Snapshot`] — decoding *remote* snapshots stays
+//! available through `snapshot::Snapshot` regardless of this feature.
+
+use std::time::Duration;
+
+use crate::snapshot::{HistogramSnapshot, Snapshot};
+
+/// No-op counter (see `registry::Counter` for the live version).
+#[derive(Clone, Copy, Debug)]
+pub struct Counter;
+
+impl Counter {
+    /// No-op.
+    pub fn inc(&self) {}
+
+    /// No-op.
+    pub fn add(&self, _n: u64) {}
+
+    /// Always 0.
+    pub fn get(&self) -> u64 {
+        0
+    }
+}
+
+/// No-op gauge.
+#[derive(Clone, Copy, Debug)]
+pub struct Gauge;
+
+impl Gauge {
+    /// No-op.
+    pub fn set(&self, _v: f64) {}
+
+    /// No-op.
+    pub fn add(&self, _delta: f64) {}
+
+    /// Always 0.0.
+    pub fn get(&self) -> f64 {
+        0.0
+    }
+}
+
+/// No-op histogram.
+#[derive(Clone, Copy, Debug)]
+pub struct Histogram;
+
+impl Histogram {
+    /// No-op.
+    pub fn record_us(&self, _us: u64) {}
+
+    /// No-op.
+    pub fn record(&self, _elapsed: Duration) {}
+
+    /// Always 0.
+    pub fn count(&self) -> u64 {
+        0
+    }
+
+    /// Always empty.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot::empty()
+    }
+}
+
+/// Counter handle under `name` (the name is ignored; nothing registers).
+pub fn counter(_name: &str) -> Counter {
+    Counter
+}
+
+/// Gauge handle under `name`.
+pub fn gauge(_name: &str) -> Gauge {
+    Gauge
+}
+
+/// Histogram handle under `name`.
+pub fn histogram(_name: &str) -> Histogram {
+    Histogram
+}
+
+/// Always the empty snapshot.
+pub fn snapshot() -> Snapshot {
+    Snapshot::default()
+}
+
+/// No-op span guard: construction and drop cost nothing.
+pub struct SpanGuard;
+
+impl SpanGuard {
+    /// No-op.
+    pub fn new(_hist: Histogram) -> Self {
+        SpanGuard
+    }
+
+    /// No-op.
+    pub fn cancel(self) {}
+}
+
+/// No-op stopwatch: reads no clock.
+pub struct Stopwatch;
+
+impl Stopwatch {
+    /// No-op.
+    pub fn start() -> Self {
+        Stopwatch
+    }
+
+    /// Always 0.
+    pub fn elapsed_us(&self) -> u64 {
+        0
+    }
+}

@@ -1,0 +1,309 @@
+//! The live metric registry: named handles over shared atomics.
+//!
+//! Registration (name → handle) takes a short-lived mutex; every recording
+//! operation after that is a lone atomic on an `Arc`-shared cell, so hot
+//! paths pay one `fetch_add` — no locks, no allocation. Call sites cache
+//! their handle in a `OnceLock` via the `counter!`/`gauge!`/`histogram!`
+//! macros so even the registry lookup happens once per site.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use crate::snapshot::{bucket_index, HistogramSnapshot, Snapshot, N_BUCKETS};
+
+/// A monotone event counter.
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Counter({})", self.get())
+    }
+}
+
+impl Counter {
+    /// Add 1.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A level reading (stored as `f64` bits in an atomic).
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl std::fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Gauge({})", self.get())
+    }
+}
+
+impl Gauge {
+    /// Overwrite the reading.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Adjust the reading by `delta` (CAS loop; gauges are low-frequency).
+    pub fn add(&self, delta: f64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + delta).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current reading.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Shared histogram state: one atomic per bucket plus the exact sum.
+struct HistogramCore {
+    buckets: [AtomicU64; N_BUCKETS],
+    sum_us: AtomicU64,
+}
+
+/// A fixed-bucket latency/value histogram over the √2 ladder in
+/// [`crate::snapshot::BUCKET_BOUNDS_US`]. Recording is two relaxed
+/// `fetch_add`s.
+#[derive(Clone)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Histogram(count={})", self.count())
+    }
+}
+
+impl Histogram {
+    /// Record a sample of `us` microseconds.
+    pub fn record_us(&self, us: u64) {
+        self.0.buckets[bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+        self.0.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Record an elapsed [`Duration`].
+    pub fn record(&self, elapsed: Duration) {
+        self.record_us(elapsed.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Total samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.0
+            .buckets
+            .iter()
+            .fold(0u64, |a, b| a.saturating_add(b.load(Ordering::Relaxed)))
+    }
+
+    /// A point-in-time copy of the bucket counts and sum.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .0
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            sum_us: self.0.sum_us.load(Ordering::Relaxed),
+        }
+    }
+}
+
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+fn registry() -> &'static Mutex<HashMap<String, Metric>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<String, Metric>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// The counter registered under `name`, creating it on first use.
+///
+/// Panics if `name` is already registered as a different metric kind — a
+/// naming bug worth failing loudly on.
+pub fn counter(name: &str) -> Counter {
+    let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    match reg
+        .entry(name.to_string())
+        .or_insert_with(|| Metric::Counter(Counter(Arc::new(AtomicU64::new(0)))))
+    {
+        Metric::Counter(c) => c.clone(),
+        _ => panic!("metric {name:?} is registered as a non-counter"),
+    }
+}
+
+/// The gauge registered under `name`, creating it (at 0.0) on first use.
+pub fn gauge(name: &str) -> Gauge {
+    let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    match reg
+        .entry(name.to_string())
+        .or_insert_with(|| Metric::Gauge(Gauge(Arc::new(AtomicU64::new(0.0f64.to_bits())))))
+    {
+        Metric::Gauge(g) => g.clone(),
+        _ => panic!("metric {name:?} is registered as a non-gauge"),
+    }
+}
+
+/// The histogram registered under `name`, creating it on first use.
+pub fn histogram(name: &str) -> Histogram {
+    let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    match reg.entry(name.to_string()).or_insert_with(|| {
+        Metric::Histogram(Histogram(Arc::new(HistogramCore {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_us: AtomicU64::new(0),
+        })))
+    }) {
+        Metric::Histogram(h) => h.clone(),
+        _ => panic!("metric {name:?} is registered as a non-histogram"),
+    }
+}
+
+/// A point-in-time [`Snapshot`] of every registered metric. Individual
+/// values are read without stopping writers, so concurrent metrics may be
+/// mutually skewed by in-flight increments — each value is still exact for
+/// a moment during the call.
+pub fn snapshot() -> Snapshot {
+    let reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    let mut snap = Snapshot::default();
+    for (name, metric) in reg.iter() {
+        match metric {
+            Metric::Counter(c) => {
+                snap.counters.insert(name.clone(), c.get());
+            }
+            Metric::Gauge(g) => {
+                snap.gauges.insert(name.clone(), g.get());
+            }
+            Metric::Histogram(h) => {
+                snap.histograms.insert(name.clone(), h.snapshot());
+            }
+        }
+    }
+    snap
+}
+
+/// A scoped timer: created against a histogram, records the elapsed
+/// microseconds when dropped. Built by the `span!` macro.
+pub struct SpanGuard {
+    hist: Histogram,
+    start: Instant,
+    armed: bool,
+}
+
+impl SpanGuard {
+    /// Start timing against `hist`.
+    pub fn new(hist: Histogram) -> Self {
+        SpanGuard {
+            hist,
+            start: Instant::now(),
+            armed: true,
+        }
+    }
+
+    /// Drop without recording (e.g. on an error path that shouldn't pollute
+    /// the success-latency histogram).
+    pub fn cancel(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.armed {
+            self.hist.record(self.start.elapsed());
+        }
+    }
+}
+
+/// A manual stopwatch for sites that need the elapsed value itself (to
+/// record into several histograms, or branch on). Compiles to nothing
+/// under the `off` feature, unlike a raw `Instant`.
+pub struct Stopwatch(Instant);
+
+impl Stopwatch {
+    /// Start timing.
+    pub fn start() -> Self {
+        Stopwatch(Instant::now())
+    }
+
+    /// Microseconds since [`Stopwatch::start`].
+    pub fn elapsed_us(&self) -> u64 {
+        self.0.elapsed().as_micros().min(u64::MAX as u128) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_share_state_through_the_registry() {
+        let a = counter("test.registry.shared");
+        let b = counter("test.registry.shared");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert_eq!(snapshot().counter("test.registry.shared"), 3);
+    }
+
+    #[test]
+    fn gauge_add_and_set() {
+        let g = gauge("test.registry.gauge");
+        g.set(2.5);
+        g.add(-1.0);
+        assert_eq!(g.get(), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-counter")]
+    fn kind_mismatch_panics() {
+        gauge("test.registry.kind_clash");
+        counter("test.registry.kind_clash");
+    }
+
+    #[test]
+    fn span_guard_records_once_and_cancel_suppresses() {
+        let h = histogram("test.registry.span");
+        {
+            let _g = SpanGuard::new(h.clone());
+        }
+        assert_eq!(h.count(), 1);
+        SpanGuard::new(h.clone()).cancel();
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn histogram_records_land_in_ladder_buckets() {
+        let h = histogram("test.registry.hist");
+        h.record_us(0);
+        h.record_us(1);
+        h.record_us(1000);
+        let s = h.snapshot();
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.sum_us, 1001);
+        assert_eq!(s.buckets[0], 2);
+        assert_eq!(s.buckets[bucket_index(1000)], 1);
+    }
+}

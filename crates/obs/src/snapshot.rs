@@ -1,0 +1,565 @@
+//! Point-in-time metric values: the [`Snapshot`] a registry exports, the
+//! fixed-bucket [`HistogramSnapshot`], and their wire encoding.
+//!
+//! Everything here is plain data — no atomics, no registry — so snapshots
+//! can be merged across processes, diffed across time, rendered as text or
+//! JSON, and shipped over the shard protocol's `Stats` request. The types
+//! stay fully real under the `off` feature: a client compiled without
+//! instrumentation can still decode and render a remote server's snapshot.
+
+use std::collections::BTreeMap;
+
+/// Histogram bucket upper bounds: a geometric ladder with ratio √2 starting
+/// at 1 µs and topping out at ~67 s. Bucket `i` counts samples `v` with
+/// `BUCKET_BOUNDS_US[i-1] < v <= BUCKET_BOUNDS_US[i]` (bucket 0 takes
+/// everything up to 1); one overflow bucket beyond the ladder makes
+/// [`N_BUCKETS`]. Two buckets per doubling keeps the p99 read within ~41%
+/// of the true value at 53 fixed slots per histogram.
+pub const BUCKET_BOUNDS_US: [u64; 52] = [
+    1, 2, 3, 4, 6, 8, 11, 16, 23, 32, 45, 64, 91, 128, 181, 256, 362, 512, 724, 1024, 1448, 2048,
+    2896, 4096, 5793, 8192, 11585, 16384, 23170, 32768, 46341, 65536, 92682, 131072, 185364,
+    262144, 370728, 524288, 741455, 1048576, 1482910, 2097152, 2965821, 4194304, 5931642, 8388608,
+    11863283, 16777216, 23726566, 33554432, 47453133, 67108864,
+];
+
+/// Total bucket count: the bounded ladder plus one overflow bucket.
+pub const N_BUCKETS: usize = BUCKET_BOUNDS_US.len() + 1;
+
+/// The bucket index a sample of `us` microseconds lands in.
+pub fn bucket_index(us: u64) -> usize {
+    BUCKET_BOUNDS_US.partition_point(|&bound| bound < us)
+}
+
+/// One histogram's point-in-time state: per-bucket sample counts over the
+/// shared [`BUCKET_BOUNDS_US`] ladder plus the exact running sum.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Sample count per bucket; always [`N_BUCKETS`] entries.
+    pub buckets: Vec<u64>,
+    /// Exact sum of all recorded values (µs), for means.
+    pub sum_us: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl HistogramSnapshot {
+    /// A histogram with no samples — the identity of [`Self::merge`].
+    pub fn empty() -> Self {
+        HistogramSnapshot {
+            buckets: vec![0; N_BUCKETS],
+            sum_us: 0,
+        }
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().fold(0u64, |a, &b| a.saturating_add(b))
+    }
+
+    /// Mean recorded value in µs (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / n as f64
+        }
+    }
+
+    /// Element-wise sum of two histograms (saturating, so the operation is
+    /// associative even at the boundary): the merge shard servers' and
+    /// engines' snapshots combine under. [`Self::empty`] is its identity —
+    /// the same laws the factor-polynomial merge obeys, property-tested in
+    /// `tests/primitives.rs`.
+    pub fn merge(&self, other: &Self) -> Self {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .zip(&other.buckets)
+                .map(|(&a, &b)| a.saturating_add(b))
+                .collect(),
+            sum_us: self.sum_us.saturating_add(other.sum_us),
+        }
+    }
+
+    /// Bucket-wise `self - earlier` (saturating): the delta a monotone
+    /// histogram accumulated between two snapshots.
+    pub fn diff(&self, earlier: &Self) -> Self {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .zip(&earlier.buckets)
+                .map(|(&a, &b)| a.saturating_sub(b))
+                .collect(),
+            sum_us: self.sum_us.saturating_sub(earlier.sum_us),
+        }
+    }
+
+    /// The value (µs) at quantile `q` in `[0, 1]`, read as the upper bound
+    /// of the bucket holding the `ceil(q·n)`-th sample — an overestimate by
+    /// at most one √2 bucket ratio. Samples in the overflow bucket report
+    /// twice the top bound; an empty histogram reports 0.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(c);
+            if seen >= target {
+                return match BUCKET_BOUNDS_US.get(i) {
+                    Some(&bound) => bound as f64,
+                    None => (BUCKET_BOUNDS_US[BUCKET_BOUNDS_US.len() - 1] * 2) as f64,
+                };
+            }
+        }
+        (BUCKET_BOUNDS_US[BUCKET_BOUNDS_US.len() - 1] * 2) as f64
+    }
+
+    /// Median (µs).
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile (µs).
+    pub fn p90(&self) -> f64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile (µs).
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+}
+
+/// A point-in-time view of every registered metric, keyed by name.
+/// `BTreeMap`s keep iteration (and therefore text, JSON and wire renderings)
+/// deterministic.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Snapshot {
+    /// Monotone counters.
+    pub counters: BTreeMap<String, u64>,
+    /// Level readings (last-set values).
+    pub gauges: BTreeMap<String, f64>,
+    /// Latency/value histograms.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// `true` iff no metric is present.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// A counter's value (0 when absent — an unregistered counter has
+    /// counted nothing).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// A gauge's value (0.0 when absent).
+    pub fn gauge(&self, name: &str) -> f64 {
+        self.gauges.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// A histogram's state, if registered.
+    pub fn histogram(&self, name: &str) -> HistogramSnapshot {
+        self.histograms.get(name).cloned().unwrap_or_default()
+    }
+
+    /// Combine two snapshots (e.g. from two server processes): counters and
+    /// histograms add; gauges — level readings, not totals — keep the
+    /// maximum. Missing keys adopt the present side's value, which makes
+    /// [`Snapshot::default`] the merge identity.
+    pub fn merge(&self, other: &Self) -> Self {
+        let mut out = self.clone();
+        for (k, &v) in &other.counters {
+            let slot = out.counters.entry(k.clone()).or_insert(0);
+            *slot = slot.saturating_add(v);
+        }
+        for (k, &v) in &other.gauges {
+            let slot = out.gauges.entry(k.clone()).or_insert(f64::NEG_INFINITY);
+            *slot = slot.max(v);
+        }
+        for (k, v) in &other.histograms {
+            let merged = match out.histograms.get(k) {
+                Some(mine) => mine.merge(v),
+                None => v.clone(),
+            };
+            out.histograms.insert(k.clone(), merged);
+        }
+        out
+    }
+
+    /// What accumulated between `earlier` and `self`: counters and
+    /// histograms subtract (saturating — a restarted process reads as
+    /// zero, not an underflow); gauges keep `self`'s reading.
+    pub fn diff(&self, earlier: &Self) -> Self {
+        let mut out = self.clone();
+        for (k, v) in out.counters.iter_mut() {
+            *v = v.saturating_sub(earlier.counter(k));
+        }
+        for (k, v) in out.histograms.iter_mut() {
+            if let Some(e) = earlier.histograms.get(k) {
+                *v = v.diff(e);
+            }
+        }
+        out
+    }
+
+    /// The sub-snapshot of metrics whose name satisfies `pred` — how the
+    /// server answers a session-scoped `Stats` request.
+    pub fn filtered(&self, mut pred: impl FnMut(&str) -> bool) -> Self {
+        Snapshot {
+            counters: self
+                .counters
+                .iter()
+                .filter(|(k, _)| pred(k))
+                .map(|(k, &v)| (k.clone(), v))
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .filter(|(k, _)| pred(k))
+                .map(|(k, &v)| (k.clone(), v))
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .filter(|(k, _)| pred(k))
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        }
+    }
+
+    /// Human-readable exposition: one line per metric, histograms as
+    /// `count/mean/p50/p90/p99`. The `--stats-interval` dump format.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            out.push_str(&format!("counter   {k} = {v}\n"));
+        }
+        for (k, v) in &self.gauges {
+            out.push_str(&format!("gauge     {k} = {v:.3}\n"));
+        }
+        for (k, h) in &self.histograms {
+            out.push_str(&format!(
+                "histogram {k}: count={} mean={:.1}us p50={:.0}us p90={:.0}us p99={:.0}us\n",
+                h.count(),
+                h.mean_us(),
+                h.p50(),
+                h.p90(),
+                h.p99()
+            ));
+        }
+        out
+    }
+
+    /// Hand-rolled JSON exposition (no dependencies): counters and gauges
+    /// as objects, histograms as `{count, sum_us, mean_us, p50..p99}`
+    /// summaries. Non-finite gauge values render as `null`.
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.chars()
+                .flat_map(|c| match c {
+                    '"' => "\\\"".chars().collect::<Vec<_>>(),
+                    '\\' => "\\\\".chars().collect(),
+                    c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+                    c => vec![c],
+                })
+                .collect()
+        }
+        fn num(v: f64) -> String {
+            if v.is_finite() {
+                format!("{v:.3}")
+            } else {
+                "null".to_string()
+            }
+        }
+        let mut out = String::from("{\n  \"counters\": {");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!("    \"{}\": {v}", esc(k)));
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!("    \"{}\": {}", esc(k), num(*v)));
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!(
+                "    \"{}\": {{\"count\": {}, \"sum_us\": {}, \"mean_us\": {}, \"p50_us\": {}, \"p90_us\": {}, \"p99_us\": {}}}",
+                esc(k),
+                h.count(),
+                h.sum_us,
+                num(h.mean_us()),
+                num(h.p50()),
+                num(h.p90()),
+                num(h.p99())
+            ));
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+
+    /// Binary wire encoding (big-endian, length-prefixed names) — the
+    /// `Stats` response payload. Self-contained so any process can decode a
+    /// snapshot without this crate's registry (or with metrics compiled
+    /// out).
+    pub fn encode(&self) -> Vec<u8> {
+        fn put_name(out: &mut Vec<u8>, name: &str) {
+            let bytes = name.as_bytes();
+            out.extend_from_slice(&(bytes.len().min(u16::MAX as usize) as u16).to_be_bytes());
+            out.extend_from_slice(&bytes[..bytes.len().min(u16::MAX as usize)]);
+        }
+        let mut out = vec![SNAPSHOT_WIRE_VERSION];
+        out.extend_from_slice(&(self.counters.len() as u32).to_be_bytes());
+        for (k, &v) in &self.counters {
+            put_name(&mut out, k);
+            out.extend_from_slice(&v.to_be_bytes());
+        }
+        out.extend_from_slice(&(self.gauges.len() as u32).to_be_bytes());
+        for (k, &v) in &self.gauges {
+            put_name(&mut out, k);
+            out.extend_from_slice(&v.to_bits().to_be_bytes());
+        }
+        out.extend_from_slice(&(self.histograms.len() as u32).to_be_bytes());
+        for (k, h) in &self.histograms {
+            put_name(&mut out, k);
+            out.extend_from_slice(&(h.buckets.len() as u16).to_be_bytes());
+            out.extend_from_slice(&h.sum_us.to_be_bytes());
+            for &b in &h.buckets {
+                out.extend_from_slice(&b.to_be_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decode [`Snapshot::encode`]'s output. The input is untrusted (it
+    /// crossed a socket): truncations, bogus counts and non-UTF-8 names are
+    /// errors, never panics, and no allocation is sized from a length the
+    /// remaining bytes can't back.
+    pub fn decode(buf: &[u8]) -> Result<Snapshot, String> {
+        let mut r = Cursor { buf, pos: 0 };
+        let version = r.u8("version")?;
+        if version != SNAPSHOT_WIRE_VERSION {
+            return Err(format!("unknown snapshot wire version {version}"));
+        }
+        let mut snap = Snapshot::default();
+        let n = r.plausible_count(10, "counters")?;
+        for _ in 0..n {
+            let name = r.name()?;
+            let v = r.u64("counter value")?;
+            snap.counters.insert(name, v);
+        }
+        let n = r.plausible_count(10, "gauges")?;
+        for _ in 0..n {
+            let name = r.name()?;
+            let v = f64::from_bits(r.u64("gauge value")?);
+            snap.gauges.insert(name, v);
+        }
+        let n = r.plausible_count(12, "histograms")?;
+        for _ in 0..n {
+            let name = r.name()?;
+            let n_buckets = r.u16("bucket count")? as usize;
+            if n_buckets != N_BUCKETS {
+                return Err(format!(
+                    "histogram {name:?} has {n_buckets} buckets, expected {N_BUCKETS}"
+                ));
+            }
+            let sum_us = r.u64("histogram sum")?;
+            let mut buckets = Vec::with_capacity(n_buckets);
+            for _ in 0..n_buckets {
+                buckets.push(r.u64("bucket")?);
+            }
+            snap.histograms
+                .insert(name, HistogramSnapshot { buckets, sum_us });
+        }
+        if r.pos != r.buf.len() {
+            return Err(format!("{} trailing bytes", r.buf.len() - r.pos));
+        }
+        Ok(snap)
+    }
+}
+
+const SNAPSHOT_WIRE_VERSION: u8 = 1;
+
+/// Minimal bounds-checked reader for [`Snapshot::decode`] (this crate is a
+/// leaf — it cannot borrow the RPC layer's `Reader`).
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn take(&mut self, n: usize, what: &str) -> Result<&[u8], String> {
+        if self.buf.len() - self.pos < n {
+            return Err(format!("truncated snapshot while reading {what}"));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, String> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u16(&mut self, what: &str) -> Result<u16, String> {
+        Ok(u16::from_be_bytes(
+            self.take(2, what)?.try_into().expect("2 bytes"),
+        ))
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, String> {
+        Ok(u32::from_be_bytes(
+            self.take(4, what)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, String> {
+        Ok(u64::from_be_bytes(
+            self.take(8, what)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// An element count rejected *before* any allocation if the remaining
+    /// bytes cannot hold `n` elements of at least `min_bytes` each.
+    fn plausible_count(&mut self, min_bytes: usize, what: &str) -> Result<usize, String> {
+        let n = self.u32(what)? as usize;
+        if n.saturating_mul(min_bytes) > self.buf.len() - self.pos {
+            return Err(format!("implausible {what} count {n}"));
+        }
+        Ok(n)
+    }
+
+    fn name(&mut self) -> Result<String, String> {
+        let len = self.u16("name length")? as usize;
+        let bytes = self.take(len, "name")?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| "metric name is not UTF-8".to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_are_strictly_increasing_geometric() {
+        for w in BUCKET_BOUNDS_US.windows(2) {
+            assert!(w[0] < w[1]);
+            let ratio = w[1] as f64 / w[0] as f64;
+            assert!(
+                (1.3..=2.01).contains(&ratio),
+                "ratio {ratio} between {} and {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn bucket_index_places_samples_at_their_bound() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        for (i, &bound) in BUCKET_BOUNDS_US.iter().enumerate() {
+            assert_eq!(bucket_index(bound), i);
+            assert_eq!(bucket_index(bound + 1), i + 1);
+        }
+        assert_eq!(bucket_index(u64::MAX), N_BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_walk_the_cumulative_counts() {
+        let mut h = HistogramSnapshot::empty();
+        // 90 samples at <=1us, 9 at <=2us, 1 in the overflow bucket
+        h.buckets[0] = 90;
+        h.buckets[1] = 9;
+        h.buckets[N_BUCKETS - 1] = 1;
+        h.sum_us = 90 + 18 + 100_000_000;
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.p50(), 1.0);
+        assert_eq!(h.p90(), 1.0);
+        assert_eq!(h.p99(), 2.0);
+        assert_eq!(
+            h.quantile(1.0),
+            (BUCKET_BOUNDS_US[BUCKET_BOUNDS_US.len() - 1] * 2) as f64
+        );
+        assert_eq!(HistogramSnapshot::empty().p99(), 0.0);
+    }
+
+    #[test]
+    fn snapshot_diff_subtracts_and_keeps_gauge_readings() {
+        let mut earlier = Snapshot::default();
+        earlier.counters.insert("a".into(), 3);
+        earlier.gauges.insert("g".into(), 9.0);
+        let mut later = earlier.clone();
+        later.counters.insert("a".into(), 10);
+        later.counters.insert("b".into(), 2);
+        later.gauges.insert("g".into(), 4.0);
+        let d = later.diff(&earlier);
+        assert_eq!(d.counter("a"), 7);
+        assert_eq!(d.counter("b"), 2);
+        assert_eq!(d.gauge("g"), 4.0);
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let mut snap = Snapshot::default();
+        snap.counters.insert("rpc.server.steps".into(), 42);
+        snap.gauges.insert("queue".into(), -1.5);
+        let mut h = HistogramSnapshot::empty();
+        h.buckets[3] = 7;
+        h.sum_us = 28;
+        snap.histograms.insert("lat".into(), h);
+        assert_eq!(Snapshot::decode(&snap.encode()).unwrap(), snap);
+        assert_eq!(
+            Snapshot::decode(&Snapshot::default().encode()).unwrap(),
+            Snapshot::default()
+        );
+    }
+
+    #[test]
+    fn hostile_snapshot_bytes_are_errors_not_panics() {
+        assert!(Snapshot::decode(&[]).is_err());
+        assert!(Snapshot::decode(&[99]).is_err());
+        // version then an implausible count
+        let mut buf = vec![SNAPSHOT_WIRE_VERSION];
+        buf.extend_from_slice(&u32::MAX.to_be_bytes());
+        assert!(Snapshot::decode(&buf).is_err());
+        // valid prefix, truncated tail
+        let mut snap = Snapshot::default();
+        snap.counters.insert("x".into(), 1);
+        let full = snap.encode();
+        for cut in 0..full.len() {
+            assert!(Snapshot::decode(&full[..cut]).is_err(), "cut at {cut}");
+        }
+        // trailing garbage
+        let mut padded = full;
+        padded.push(0);
+        assert!(Snapshot::decode(&padded).is_err());
+    }
+
+    #[test]
+    fn json_escapes_and_renders() {
+        let mut snap = Snapshot::default();
+        snap.counters.insert("a\"b\\c".into(), 1);
+        snap.gauges.insert("nan".into(), f64::NAN);
+        let json = snap.to_json();
+        assert!(json.contains("a\\\"b\\\\c"));
+        assert!(json.contains("null"));
+        let text = snap.render_text();
+        assert!(text.contains("counter"));
+    }
+}

@@ -1,0 +1,153 @@
+//! Algebraic and concurrency properties of the metric primitives.
+//!
+//! * histogram merge is associative with [`HistogramSnapshot::empty`] as its
+//!   identity — even at the saturation boundary, so cross-process rollups
+//!   never depend on merge order;
+//! * the snapshot wire encoding round-trips bit-exactly;
+//! * counters and histograms are exact under contention: N threads × M
+//!   increments lose nothing (relaxed ordering still guarantees atomicity);
+//! * registry snapshots are monotone for monotone metrics.
+
+use cp_obs::snapshot::{HistogramSnapshot, Snapshot, N_BUCKETS};
+use proptest::prelude::*;
+
+/// Arbitrary histogram state: raw samples span the full `u64` range, and
+/// every third one is pushed to the saturation boundary so the saturating
+/// merge arithmetic is actually exercised, not just ordinary addition.
+fn arb_hist() -> impl Strategy<Value = HistogramSnapshot> {
+    (
+        proptest::collection::vec(0u64..=u64::MAX, N_BUCKETS..=N_BUCKETS),
+        0u64..=u64::MAX,
+    )
+        .prop_map(|(mut buckets, sum_us)| {
+            for (i, b) in buckets.iter_mut().enumerate() {
+                match i % 3 {
+                    0 => *b %= 1_000_000,
+                    1 => *b = u64::MAX - (*b % 2),
+                    _ => {}
+                }
+            }
+            HistogramSnapshot { buckets, sum_us }
+        })
+}
+
+fn arb_snapshot() -> impl Strategy<Value = Snapshot> {
+    (
+        proptest::collection::vec(("[a-z]{1,12}", 0u64..u64::MAX), 0..=4),
+        proptest::collection::vec(("[a-z]{1,12}", -1_000_000i64..1_000_000), 0..=4),
+        proptest::collection::vec(("[a-z]{1,12}", arb_hist()), 0..=3),
+    )
+        .prop_map(|(counters, gauges, hists)| {
+            let mut snap = Snapshot::default();
+            for (k, v) in counters {
+                snap.counters.insert(k, v);
+            }
+            for (k, v) in gauges {
+                snap.gauges.insert(k, v as f64 / 16.0);
+            }
+            for (k, h) in hists {
+                snap.histograms.insert(k, h);
+            }
+            snap
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn histogram_merge_is_associative(a in arb_hist(), b in arb_hist(), c in arb_hist()) {
+        prop_assert_eq!(a.merge(&b).merge(&c), a.merge(&b.merge(&c)));
+    }
+
+    #[test]
+    fn histogram_merge_is_commutative_with_empty_identity(a in arb_hist(), b in arb_hist()) {
+        prop_assert_eq!(a.merge(&b), b.merge(&a));
+        prop_assert_eq!(a.merge(&HistogramSnapshot::empty()), a.clone());
+        prop_assert_eq!(HistogramSnapshot::empty().merge(&a), a);
+    }
+
+    #[test]
+    fn histogram_diff_inverts_merge_below_saturation(
+        a in proptest::collection::vec(0u64..1_000_000, N_BUCKETS..=N_BUCKETS),
+        b in proptest::collection::vec(0u64..1_000_000, N_BUCKETS..=N_BUCKETS),
+    ) {
+        let a = HistogramSnapshot { sum_us: a.iter().sum(), buckets: a };
+        let b = HistogramSnapshot { sum_us: b.iter().sum(), buckets: b };
+        prop_assert_eq!(a.merge(&b).diff(&b), a);
+    }
+
+    #[test]
+    fn snapshot_merge_identity_and_wire_round_trip(snap in arb_snapshot()) {
+        prop_assert_eq!(snap.merge(&Snapshot::default()), snap.clone());
+        prop_assert_eq!(Snapshot::default().merge(&snap), snap.clone());
+        let decoded = Snapshot::decode(&snap.encode()).unwrap();
+        prop_assert_eq!(decoded, snap);
+    }
+
+    /// Garbage bytes never panic the snapshot decoder.
+    #[test]
+    fn snapshot_decode_survives_garbage(bytes in proptest::collection::vec(0u8..=255, 0..=128)) {
+        let _ = Snapshot::decode(&bytes);
+    }
+}
+
+/// 8 threads × 5000 increments through independently-fetched handles land
+/// exactly — the registry hands out shared state, and relaxed atomics lose
+/// nothing.
+#[cfg(not(feature = "off"))]
+#[test]
+fn concurrent_increments_are_exact() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 5000;
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            s.spawn(move || {
+                let c = cp_obs::counter("test.primitives.concurrent");
+                let h = cp_obs::histogram("test.primitives.concurrent_hist");
+                for i in 0..PER_THREAD {
+                    c.inc();
+                    h.record_us(t * PER_THREAD + i);
+                }
+            });
+        }
+    });
+    assert_eq!(
+        cp_obs::counter("test.primitives.concurrent").get(),
+        THREADS * PER_THREAD
+    );
+    let h = cp_obs::histogram("test.primitives.concurrent_hist").snapshot();
+    assert_eq!(h.count(), THREADS * PER_THREAD);
+    // sum of 0..N*M recorded exactly once each
+    let n = THREADS * PER_THREAD;
+    assert_eq!(h.sum_us, n * (n - 1) / 2);
+}
+
+/// Snapshots taken across ongoing work are monotone for counters and
+/// histograms: no bucket or counter ever reads lower than an earlier read.
+#[cfg(not(feature = "off"))]
+#[test]
+fn snapshots_are_monotone_under_load() {
+    let c = cp_obs::counter("test.primitives.monotone");
+    let h = cp_obs::histogram("test.primitives.monotone_hist");
+    let mut prev = cp_obs::snapshot();
+    for round in 0..50u64 {
+        c.add(round);
+        h.record_us(round * 37);
+        let cur = cp_obs::snapshot();
+        assert!(
+            cur.counter("test.primitives.monotone") >= prev.counter("test.primitives.monotone")
+        );
+        let (ch, ph) = (
+            cur.histogram("test.primitives.monotone_hist"),
+            prev.histogram("test.primitives.monotone_hist"),
+        );
+        assert!(ch.count() >= ph.count() && ch.sum_us >= ph.sum_us);
+        for (a, b) in ch.buckets.iter().zip(&ph.buckets) {
+            assert!(a >= b, "bucket counts must never regress");
+        }
+        // the diff against any earlier snapshot is itself well-formed
+        assert_eq!(ch.diff(&ph).count(), ch.count() - ph.count());
+        prev = cur;
+    }
+}

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! shard-server --listen 127.0.0.1:7701 [--once | --conns N] [--max-sessions M]
+//!              [--stats-interval SECS]
 //! ```
 //!
 //! One process serves any number of independent cleaning sessions
@@ -12,6 +13,10 @@
 //! exits after its first connection closes — the mode CI's loopback smoke
 //! test uses; `--conns N` generalizes it to N admitted connections — the
 //! mode CI's multi-tenant pool smoke uses.
+//!
+//! `--stats-interval SECS` dumps the `cp-obs` metric registry to stderr
+//! every SECS seconds (the same snapshot the wire-level `Stats` request
+//! returns); set `CP_LOG=info` or `debug` for per-connection diagnostics.
 
 use cp_rpc::ServerConfig;
 use std::net::TcpListener;
@@ -20,6 +25,7 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let mut listen = String::from("127.0.0.1:7701");
     let mut cfg = ServerConfig::default();
+    let mut stats_interval: Option<u64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -45,17 +51,26 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--stats-interval" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) if n > 0 => stats_interval = Some(n),
+                _ => {
+                    eprintln!("shard-server: --stats-interval requires a positive second count");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
                 println!(
-                    "usage: shard-server [--listen ADDR] [--once | --conns N] [--max-sessions M]"
+                    "usage: shard-server [--listen ADDR] [--once | --conns N] [--max-sessions M] \
+                     [--stats-interval SECS]"
                 );
-                println!("  --listen ADDR    bind address (default 127.0.0.1:7701)");
-                println!("  --once           exit after the first connection closes");
-                println!("  --conns N        exit after N admitted connections close");
+                println!("  --listen ADDR         bind address (default 127.0.0.1:7701)");
+                println!("  --once                exit after the first connection closes");
+                println!("  --conns N             exit after N admitted connections close");
                 println!(
-                    "  --max-sessions M cap on concurrent sessions (default {})",
+                    "  --max-sessions M      cap on concurrent sessions (default {})",
                     ServerConfig::default().max_sessions
                 );
+                println!("  --stats-interval SECS dump the metric registry to stderr every SECS");
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -75,6 +90,17 @@ fn main() -> ExitCode {
     match listener.local_addr() {
         Ok(addr) => println!("shard-server listening on {addr}"),
         Err(_) => println!("shard-server listening on {listen}"),
+    }
+
+    if let Some(secs) = stats_interval {
+        // Detached reporter; dies with the process when serve_with returns.
+        std::thread::spawn(move || loop {
+            std::thread::sleep(std::time::Duration::from_secs(secs));
+            let snap = cp_obs::snapshot();
+            if !snap.is_empty() {
+                eprintln!("{}", snap.render_text());
+            }
+        });
     }
 
     match cp_rpc::serve_with(listener, cfg) {

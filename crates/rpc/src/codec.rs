@@ -457,7 +457,35 @@ pub fn encode_stream<S: WireSemiring>(stream: &ShardStream<S>) -> Vec<u8> {
     put_varint_u64(&mut out, interner.ids.len() as u64);
     out.extend_from_slice(&interner.dict);
     out.extend_from_slice(&body);
+    // running compression accounting: delta bytes actually produced vs what
+    // the fixed-width raw layout would have cost (arithmetic — every wire
+    // semiring is fixed-width, so no second encode is needed)
+    let delta_total = cp_obs::counter!("rpc.codec.stream_bytes_delta");
+    let raw_total = cp_obs::counter!("rpc.codec.stream_bytes_raw");
+    delta_total.add(out.len() as u64);
+    raw_total.add(raw_stream_size(stream) as u64);
+    let (d, r) = (delta_total.get(), raw_total.get());
+    if d > 0 {
+        cp_obs::gauge!("rpc.codec.stream_compression_ratio").set(r as f64 / d as f64);
+    }
     out
+}
+
+/// The exact byte size [`encode_stream_raw`] would produce for `stream`,
+/// computed arithmetically: every [`WireSemiring`] is fixed-width
+/// (`MIN_SCALAR_BYTES` is its exact scalar size), so the raw layout's size
+/// is `header + factors + total + count + events × event_size` with no
+/// encoding pass. [`encode_stream`] uses this to keep the live
+/// compression-ratio gauge at zero marginal cost.
+pub fn raw_stream_size<S: WireSemiring>(stream: &ShardStream<S>) -> usize {
+    let k = stream.initial.k();
+    let n_labels = stream.initial.n_labels();
+    let sb = S::MIN_SCALAR_BYTES;
+    // tag + version, factors body (k + n_labels + polys), total, event count
+    2 + (8 + n_labels * (k + 1) * sb)
+        + sb
+        + 4
+        + stream.events.len() * (8 + 8 + 4 + 4 + (2 * (k + 1) + 1) * sb)
 }
 
 /// Encode a batched [`ShardStream`] in the fixed-width raw (version 1)
@@ -856,6 +884,60 @@ mod tests {
         assert!(
             delta * 3 <= raw,
             "delta encoding {delta}B should be ≤ 1/3 of raw {raw}B"
+        );
+    }
+
+    #[test]
+    fn raw_stream_size_matches_the_raw_encoder_exactly() {
+        for n in [0usize, 1, 7, 64] {
+            let stream = representative_stream(n);
+            assert_eq!(
+                raw_stream_size(&stream),
+                encode_stream_raw(&stream).len(),
+                "f64 n={n}"
+            );
+        }
+        // the other two wire semirings (different MIN_SCALAR_BYTES)
+        let u_stream: ShardStream<u128> = ShardStream {
+            initial: ShardFactors::from_polys(vec![vec![1, 2, 0], vec![1, 1, 1]], 2),
+            total: 9,
+            events: vec![ShardStreamEvent {
+                sim: 0.5,
+                row: 3,
+                cand: 1,
+                event: BoundaryEvent {
+                    label: 1,
+                    updated_poly: vec![1, 2, 3],
+                    excluding_poly: vec![1, 0, 0],
+                    boundary_mass: 2,
+                },
+            }],
+        };
+        assert_eq!(
+            raw_stream_size(&u_stream),
+            encode_stream_raw(&u_stream).len()
+        );
+        use cp_numeric::Possibility;
+        let p = Possibility(true);
+        let q = Possibility(false);
+        let p_stream: ShardStream<Possibility> = ShardStream {
+            initial: ShardFactors::from_polys(vec![vec![p, q], vec![p, p]], 1),
+            total: p,
+            events: vec![ShardStreamEvent {
+                sim: 0.25,
+                row: 0,
+                cand: 0,
+                event: BoundaryEvent {
+                    label: 0,
+                    updated_poly: vec![p, q],
+                    excluding_poly: vec![p, p],
+                    boundary_mass: q,
+                },
+            }],
+        };
+        assert_eq!(
+            raw_stream_size(&p_stream),
+            encode_stream_raw(&p_stream).len()
         );
     }
 

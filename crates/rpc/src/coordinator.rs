@@ -133,6 +133,9 @@ pub struct ShardClient {
     /// idempotent-`Step` retransmission land on the *same* session's state
     /// after a transport failure.
     session: SessionId,
+    /// Per-peer round-trip-time histogram (`rpc.client.rtt_us.<addr>`),
+    /// resolved once at connect so the per-call cost is one record.
+    rtt_hist: cp_obs::Histogram,
 }
 
 impl ShardClient {
@@ -149,6 +152,10 @@ impl ShardClient {
     pub fn connect_with<A: ToSocketAddrs>(addr: A, cfg: &ClientConfig) -> RpcResult<Self> {
         let peers: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
         let stream = Self::establish(&peers, cfg)?;
+        let rtt_hist = match peers.first() {
+            Some(peer) => cp_obs::histogram(&format!("rpc.client.rtt_us.{peer}")),
+            None => cp_obs::histogram("rpc.client.rtt_us.unresolved"),
+        };
         Ok(ShardClient {
             stream,
             peers,
@@ -156,6 +163,7 @@ impl ShardClient {
             next_id: 0,
             poisoned: false,
             session: 0,
+            rtt_hist,
         })
     }
 
@@ -164,6 +172,7 @@ impl ShardClient {
     /// request ids restarting from zero — but still bound to its session:
     /// sessions belong to the server process and survive reconnects.
     pub fn reconnect(&mut self) -> RpcResult<()> {
+        cp_obs::counter!("rpc.client.reconnects").inc();
         self.stream = Self::establish(&self.peers, &self.cfg)?;
         self.next_id = 0;
         self.poisoned = false;
@@ -173,8 +182,11 @@ impl ShardClient {
     fn establish(peers: &[SocketAddr], cfg: &ClientConfig) -> RpcResult<TcpStream> {
         let mut last: Option<RpcError> = None;
         for attempt in 0..=cfg.connect_retries {
-            if attempt > 0 && !cfg.retry_backoff.is_zero() {
-                std::thread::sleep(cfg.retry_backoff);
+            if attempt > 0 {
+                cp_obs::counter!("rpc.client.connect_retries").inc();
+                if !cfg.retry_backoff.is_zero() {
+                    std::thread::sleep(cfg.retry_backoff);
+                }
             }
             match Self::connect_once(peers, cfg) {
                 Ok(stream) => return Ok(stream),
@@ -233,8 +245,15 @@ impl ShardClient {
     /// complete frame that doesn't parse) leave the stream at a frame
     /// boundary and do not poison.
     pub fn call(&mut self, req: &Request) -> RpcResult<Response> {
+        let watch = cp_obs::Stopwatch::start();
         let id = self.send(req)?;
-        self.recv(id)
+        let resp = self.recv(id)?;
+        // completed round trips only — a timeout or transport failure is
+        // counted by `recv`, not smeared into the latency distribution
+        let us = watch.elapsed_us();
+        self.rtt_hist.record_us(us);
+        cp_obs::histogram!("rpc.client.rtt_us").record_us(us);
+        Ok(resp)
     }
 
     /// Write one request frame without waiting for its reply; returns the
@@ -277,6 +296,16 @@ impl ShardClient {
             Err(e) => {
                 // the stream may sit mid-frame or hold a late response
                 self.poisoned = true;
+                if matches!(
+                    &e,
+                    RpcError::Io(io)
+                        if io.kind() == std::io::ErrorKind::TimedOut
+                            || io.kind() == std::io::ErrorKind::WouldBlock
+                ) {
+                    cp_obs::counter!("rpc.client.timeouts").inc();
+                } else {
+                    cp_obs::counter!("rpc.client.transport_errors").inc();
+                }
                 Err(e)
             }
         }
@@ -403,7 +432,13 @@ impl ShardClient {
                 semiring: S::TAG,
                 pins,
             }) {
-                Ok(id) => pending.push_back(id),
+                Ok(id) => {
+                    pending.push_back(id);
+                    // in-flight window occupancy, sampled after each send
+                    // (values 1..=SCAN_WINDOW land in distinct µs-ladder
+                    // buckets, so the histogram doubles as an exact tally)
+                    cp_obs::histogram!("rpc.client.scan_window").record_us(pending.len() as u64);
+                }
                 Err(e) => {
                     failure = Some(e);
                     break;
@@ -459,6 +494,21 @@ impl ShardClient {
             other => Err(RpcError::Protocol(format!(
                 "expected Summary, got {other:?}"
             ))),
+        }
+    }
+
+    /// Fetch the server's live metrics: session `0` for the whole remote
+    /// process, a real [`SessionId`] (e.g. [`ShardClient::session`]) to
+    /// restrict to that session's own counters. The returned
+    /// [`cp_obs::Snapshot`] decodes on this side regardless of whether this
+    /// build compiled its *own* metrics out.
+    pub fn stats(&mut self, session: SessionId) -> RpcResult<cp_obs::Snapshot> {
+        match self.call(&Request::Stats { session })? {
+            Response::Stats(bytes) => cp_obs::Snapshot::decode(&bytes)
+                .map_err(|e| RpcError::Malformed(format!("stats snapshot: {e}"))),
+            Response::Error(msg) => Err(RpcError::Remote(msg)),
+            Response::Busy(msg) => Err(RpcError::Busy(msg)),
+            other => Err(RpcError::Protocol(format!("expected Stats, got {other:?}"))),
         }
     }
 
@@ -581,6 +631,7 @@ impl RpcCoordinator {
             for _ in 0..client_cfg.connect_retries {
                 match &n_rows {
                     Err(e) if e.is_retryable() => {
+                        cp_obs::counter!("rpc.client.busy_retries").inc();
                         if !client_cfg.retry_backoff.is_zero() {
                             std::thread::sleep(client_cfg.retry_backoff);
                         }
@@ -833,6 +884,7 @@ impl RpcCoordinator {
     /// Panics if the row is clean or already cleaned (the same misuse
     /// contract as every other engine's `clean`).
     pub fn clean(&mut self, row: usize) -> RpcResult<()> {
+        let _span = cp_obs::span!("rpc.coordinator.clean_us");
         // validate the misuse preconditions up front so the server is never
         // asked to pin a row the local mutation below would then reject
         assert!(!self.state.is_cleaned(row), "row {row} already cleaned");

@@ -19,7 +19,7 @@
 //!   `u128`, probability-space `f64`, and the boolean
 //!   [`cp_numeric::Possibility`] ([`codec::WireSemiring`]).
 //! * [`proto`] — the message schema: `Open`, `Scan`, `ExtremeSummary`,
-//!   `Step`, `SyncStatus`, `Status`, `Close`, `Shutdown` and their
+//!   `Step`, `SyncStatus`, `Status`, `Stats`, `Close`, `Shutdown` and their
 //!   responses. `Open` mints a [`proto::SessionId`] that every
 //!   session-scoped request carries, so independent cleaning sessions
 //!   multiplex over one server process. Binary-label status checks ship
@@ -56,6 +56,21 @@
 //! truncated frames through every entry point). A shard server survives
 //! malformed requests, rejecting them per-request without dropping the
 //! connection.
+//!
+//! ## Observability
+//!
+//! Every layer records into the process-wide `cp-obs` registry: the server
+//! keeps per-request-type latency histograms, byte counters, per-session
+//! step/scan counts, queue-depth gauges and `Busy`/malformed/first-frame
+//! drop counters; [`codec::encode_stream`] maintains live delta-vs-raw
+//! compression gauges (see [`codec::raw_stream_size`]); the client tracks
+//! per-peer RTT histograms, reconnect/retry/timeout counters and
+//! pipeline-window occupancy. The `Stats` request (session-optional) ships
+//! an encoded `cp_obs::Snapshot` to any client via
+//! [`coordinator::ShardClient::stats`], and the `shard-server` binary dumps
+//! the registry periodically under `--stats-interval`. Silent drops are
+//! gone: accept-loop and connection faults go through `cp-obs`'s
+//! rate-limited leveled logger (`CP_LOG=warn|info|debug`).
 
 pub mod codec;
 pub mod coordinator;
@@ -66,8 +81,8 @@ pub mod wire;
 
 pub use codec::{
     decode_factors, decode_stream, decode_summary, encode_factors, encode_stream,
-    encode_stream_raw, encode_summary, read_frame, read_frame_opt, read_frame_opt_tagged,
-    read_frame_tagged, write_frame, write_frame_tagged, WireSemiring,
+    encode_stream_raw, encode_summary, raw_stream_size, read_frame, read_frame_opt,
+    read_frame_opt_tagged, read_frame_tagged, write_frame, write_frame_tagged, WireSemiring,
 };
 pub use coordinator::{ClientConfig, RpcCoordinator, ShardClient};
 pub use error::{RpcError, RpcResult};

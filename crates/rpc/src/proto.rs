@@ -16,6 +16,7 @@
 //! | [`Request::Step`]      | [`Response::Ok`] — pin applied (idempotent) |
 //! | [`Request::SyncStatus`]| [`Response::Ok`] — global CP bits stored   |
 //! | [`Request::Status`]    | [`Response::Status`] — session's local view |
+//! | [`Request::Stats`]     | [`Response::Stats`] — encoded metrics snapshot |
 //! | [`Request::Close`]     | [`Response::Ok`] — session freed, connection lives |
 //! | [`Request::Shutdown`]  | [`Response::Ok`] — connection ends         |
 //!
@@ -136,6 +137,14 @@ pub enum Request {
         /// The session to report on.
         session: SessionId,
     },
+    /// Ask for the server's live metrics (a `cp-obs` registry snapshot).
+    /// Session-optional: `0` asks for the whole process's metrics, a real
+    /// [`SessionId`] restricts the snapshot to that session's own counters
+    /// (and errors if the session is unknown).
+    Stats {
+        /// `0` for process-wide metrics, or a session to restrict to.
+        session: SessionId,
+    },
     /// Free one session; the connection stays usable (other sessions —
     /// including ones opened over other connections — are untouched).
     Close {
@@ -185,6 +194,10 @@ pub enum Response {
     Summary(Vec<u8>),
     /// The server's local view.
     Status(ShardStatus),
+    /// The server's live metrics: a `cp_obs::Snapshot` in its own wire
+    /// encoding (`Snapshot::encode`/`decode`), opaque to this layer like
+    /// [`Response::Stream`].
+    Stats(Vec<u8>),
     /// The request was understood but rejected.
     Error(String),
     /// The server refused admission (sessions or connections at capacity).
@@ -201,6 +214,7 @@ const REQ_STATUS: u8 = 5;
 const REQ_SHUTDOWN: u8 = 6;
 const REQ_EXTREME_SUMMARY: u8 = 7;
 const REQ_CLOSE: u8 = 8;
+const REQ_STATS: u8 = 9;
 
 const RESP_OK: u8 = 1;
 const RESP_OPENED: u8 = 2;
@@ -209,6 +223,7 @@ const RESP_STATUS: u8 = 4;
 const RESP_ERROR: u8 = 5;
 const RESP_SUMMARY: u8 = 6;
 const RESP_BUSY: u8 = 7;
+const RESP_STATS: u8 = 8;
 
 fn put_choices(out: &mut Vec<u8>, choices: &[Option<u32>]) {
     put_u32(out, choices.len() as u32);
@@ -324,6 +339,10 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             put_u8(&mut out, REQ_STATUS);
             put_u64(&mut out, *session);
         }
+        Request::Stats { session } => {
+            put_u8(&mut out, REQ_STATS);
+            put_u64(&mut out, *session);
+        }
         Request::Close { session } => {
             put_u8(&mut out, REQ_CLOSE);
             put_u64(&mut out, *session);
@@ -421,6 +440,9 @@ pub fn decode_request(buf: &[u8]) -> RpcResult<Request> {
         REQ_STATUS => Request::Status {
             session: r.u64("status session")?,
         },
+        REQ_STATS => Request::Stats {
+            session: r.u64("stats session")?,
+        },
         REQ_CLOSE => Request::Close {
             session: r.u64("close session")?,
         },
@@ -464,6 +486,11 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             put_pins(&mut out, &status.pins);
             put_status_bits(&mut out, &status.global_cp);
         }
+        Response::Stats(bytes) => {
+            put_u8(&mut out, RESP_STATS);
+            put_u32(&mut out, bytes.len() as u32);
+            out.extend_from_slice(bytes);
+        }
         Response::Error(msg) => {
             put_u8(&mut out, RESP_ERROR);
             put_string(&mut out, msg);
@@ -500,6 +527,10 @@ pub fn decode_response(buf: &[u8]) -> RpcResult<Response> {
             pins: get_pins(&mut r)?,
             global_cp: get_status_bits(&mut r)?,
         }),
+        RESP_STATS => {
+            let n = r.count(1, "stats bytes")?;
+            Response::Stats(r.take(n, "stats payload")?.to_vec())
+        }
         RESP_ERROR => Response::Error(get_string(&mut r)?),
         RESP_BUSY => Response::Busy(get_string(&mut r)?),
         tag => {
@@ -556,6 +587,8 @@ mod tests {
                 bits: vec![true, false, true],
             },
             Request::Status { session: 11 },
+            Request::Stats { session: 0 },
+            Request::Stats { session: 13 },
             Request::Close { session: 12 },
             Request::Shutdown,
         ];
@@ -601,6 +634,7 @@ mod tests {
                 pins: Pins::single(3, 1, 0),
                 global_cp: vec![false, true],
             }),
+            Response::Stats(vec![1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]),
             Response::Error("nope".into()),
             Response::Busy("sessions at capacity".into()),
         ];

@@ -101,10 +101,36 @@ struct SharedShard {
     cache: ValIndexCache,
 }
 
+/// Per-session registry handles, resolved once at open so the `Step`/`Scan`
+/// hot paths pay one atomic increment, not a name lookup. Names carry the
+/// server's process-unique instance id (`rpc.server.s<inst>.session.<id>.*`)
+/// so two `ShardServer`s in one process — the multi-tenant tests spawn
+/// several — can't alias each other's session counters.
+struct SessionMetrics {
+    steps: cp_obs::Counter,
+    scans: cp_obs::Counter,
+}
+
+impl SessionMetrics {
+    fn new(instance: u64, id: SessionId) -> Self {
+        SessionMetrics {
+            steps: cp_obs::counter(&format!("rpc.server.s{instance}.session.{id}.steps")),
+            scans: cp_obs::counter(&format!("rpc.server.s{instance}.session.{id}.scans")),
+        }
+    }
+}
+
+impl std::fmt::Debug for SessionMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionMetrics").finish_non_exhaustive()
+    }
+}
+
 /// One minted session: the shared shard plus this tenant's mutable state.
 #[derive(Debug)]
 struct Session {
     shared: Arc<SharedShard>,
+    metrics: SessionMetrics,
     state: RwLock<SessionState>,
 }
 
@@ -134,6 +160,9 @@ impl Session {
 #[derive(Debug)]
 pub struct ShardServer {
     max_sessions: usize,
+    /// Process-unique server instance id, embedded in per-session metric
+    /// names (see [`SessionMetrics`]).
+    instance: u64,
     /// Next session id to mint; starts at 1 so id 0 (an unopened client's
     /// default) never names a session.
     next_session: AtomicU64,
@@ -157,8 +186,10 @@ impl ShardServer {
 
     /// A server admitting at most `max_sessions` live sessions.
     pub fn with_max_sessions(max_sessions: usize) -> Self {
+        static NEXT_INSTANCE: AtomicU64 = AtomicU64::new(1);
         ShardServer {
             max_sessions,
+            instance: NEXT_INSTANCE.fetch_add(1, Ordering::Relaxed),
             next_session: AtomicU64::new(1),
             sessions: RwLock::new(HashMap::new()),
             shards: Mutex::new(Vec::new()),
@@ -194,6 +225,21 @@ impl ShardServer {
     /// [`Response::Error`] (or [`Response::Busy`] for admission refusals);
     /// this function does not panic on any input.
     pub fn handle(&self, req: Request) -> Response {
+        // per-request-type handler latency (span records on scope exit, so
+        // error responses are timed too — they're served latency all the same)
+        let _span = match &req {
+            Request::Open(_) => cp_obs::span!("rpc.server.latency.open_us"),
+            Request::Scan { .. } => cp_obs::span!("rpc.server.latency.scan_us"),
+            Request::ExtremeSummary { .. } => {
+                cp_obs::span!("rpc.server.latency.extreme_summary_us")
+            }
+            Request::Step { .. } => cp_obs::span!("rpc.server.latency.step_us"),
+            Request::SyncStatus { .. } => cp_obs::span!("rpc.server.latency.sync_status_us"),
+            Request::Status { .. } => cp_obs::span!("rpc.server.latency.status_us"),
+            Request::Stats { .. } => cp_obs::span!("rpc.server.latency.stats_us"),
+            Request::Close { .. } => cp_obs::span!("rpc.server.latency.close_us"),
+            Request::Shutdown => cp_obs::span!("rpc.server.latency.shutdown_us"),
+        };
         match req {
             Request::Open(open) => self.handle_open(*open),
             Request::Scan {
@@ -231,6 +277,7 @@ impl ShardServer {
                 Ok(sess) => Self::handle_status(&sess),
                 Err(resp) => resp,
             },
+            Request::Stats { session } => self.handle_stats(session),
             Request::Close { session } => {
                 if self.write_sessions().remove(&session).is_some() {
                     Response::Ok
@@ -253,6 +300,7 @@ impl ShardServer {
 
     fn handle_open(&self, open: OpenShard) -> Response {
         if self.read_sessions().len() >= self.max_sessions {
+            cp_obs::counter!("rpc.server.busy_rejections").inc();
             return Response::Busy(format!("{} sessions at capacity", self.max_sessions));
         }
         let key = Self::canonical_key(&open);
@@ -294,20 +342,22 @@ impl ShardServer {
             shared.cache.clone(),
             &opts,
         );
+        let mut sessions = self.write_sessions();
+        // re-check under the write lock: another connection may have filled
+        // the last slot while the shard was being built
+        if sessions.len() >= self.max_sessions {
+            cp_obs::counter!("rpc.server.busy_rejections").inc();
+            return Response::Busy(format!("{} sessions at capacity", self.max_sessions));
+        }
+        let id = self.next_session.fetch_add(1, Ordering::Relaxed);
         let entry = Arc::new(Session {
             shared,
+            metrics: SessionMetrics::new(self.instance, id),
             state: RwLock::new(SessionState {
                 session,
                 global_cp: Vec::new(),
             }),
         });
-        let mut sessions = self.write_sessions();
-        // re-check under the write lock: another connection may have filled
-        // the last slot while the shard was being built
-        if sessions.len() >= self.max_sessions {
-            return Response::Busy(format!("{} sessions at capacity", self.max_sessions));
-        }
-        let id = self.next_session.fetch_add(1, Ordering::Relaxed);
         sessions.insert(id, entry);
         Response::Opened {
             session: id,
@@ -468,6 +518,7 @@ impl ShardServer {
                 bytes.len()
             ));
         }
+        sess.metrics.scans.inc();
         Response::Stream(bytes)
     }
 
@@ -520,6 +571,10 @@ impl ShardServer {
             return Response::Error(format!("row {row} already cleaned"));
         }
         state.session.clean_pin_only(row);
+        // counted after the pin applies: a retransmission acknowledged above
+        // re-reports a step the counter already holds, so per-session step
+        // counts stay exact under retries
+        sess.metrics.steps.inc();
         Response::Ok
     }
 
@@ -542,6 +597,22 @@ impl ShardServer {
             global_cp: state.global_cp.clone(),
         })
     }
+
+    /// Answer [`Request::Stats`]: session `0` exports the whole process's
+    /// registry, a real session id exports just that session's own metrics
+    /// (its `rpc.server.s<inst>.session.<id>.*` names). The snapshot is
+    /// taken live — nothing is reset.
+    fn handle_stats(&self, session: SessionId) -> Response {
+        let snap = cp_obs::snapshot();
+        if session == 0 {
+            return Response::Stats(snap.encode());
+        }
+        if !self.read_sessions().contains_key(&session) {
+            return Response::Error(format!("unknown session {session}"));
+        }
+        let prefix = format!("rpc.server.s{}.session.{}.", self.instance, session);
+        Response::Stats(snap.filtered(|name| name.starts_with(&prefix)).encode())
+    }
 }
 
 /// Serve one established connection serially (no request queue) until the
@@ -555,20 +626,31 @@ pub fn serve_connection(server: &ShardServer, stream: &mut TcpStream) -> RpcResu
         let Some((req_id, frame)) = read_frame_opt_tagged(stream)? else {
             return Ok(false);
         };
+        cp_obs::counter!("rpc.server.bytes_in").add(FRAME_OVERHEAD + frame.len() as u64);
         // a malformed request poisons only that request, not the connection
         let (resp, shutdown) = match decode_request(&frame) {
             Ok(req) => {
                 let shutdown = matches!(req, Request::Shutdown);
                 (server.handle(req), shutdown)
             }
-            Err(e) => (Response::Error(format!("bad request: {e}")), false),
+            Err(e) => {
+                cp_obs::counter!("rpc.server.malformed_requests").inc();
+                (Response::Error(format!("bad request: {e}")), false)
+            }
         };
-        write_frame_tagged(stream, req_id, &encode_response(&resp))?;
+        let payload = encode_response(&resp);
+        cp_obs::counter!("rpc.server.bytes_out").add(FRAME_OVERHEAD + payload.len() as u64);
+        write_frame_tagged(stream, req_id, &payload)?;
         if shutdown {
             return Ok(true);
         }
     }
 }
+
+/// Per-frame wire overhead beyond the payload: the u32 length prefix plus
+/// the u32 request id (what the `bytes_in`/`bytes_out` counters add on top
+/// of each payload).
+const FRAME_OVERHEAD: u64 = 8;
 
 /// Serve one connection through a bounded request queue: a reader thread
 /// pulls frames off the socket into a `sync_channel` of `queue_depth`
@@ -580,15 +662,27 @@ fn serve_queued_connection(
     stream: TcpStream,
     queue_depth: usize,
 ) -> RpcResult<bool> {
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "<unknown>".into());
     let mut writer = stream.try_clone()?;
     let (tx, rx) = sync_channel::<(u32, Vec<u8>)>(queue_depth.max(1));
+    let queue_gauge = cp_obs::gauge!("rpc.server.queue_depth");
     let mut reader_stream = stream;
     let reader = std::thread::spawn(move || -> RpcResult<()> {
+        let queue_gauge = cp_obs::gauge!("rpc.server.queue_depth");
         loop {
             match read_frame_opt_tagged(&mut reader_stream) {
                 Ok(Some(frame)) => {
+                    cp_obs::counter!("rpc.server.bytes_in")
+                        .add(FRAME_OVERHEAD + frame.1.len() as u64);
+                    // counted while (possibly) blocked on a full queue, so
+                    // the gauge reads true backlog including this frame
+                    queue_gauge.add(1.0);
                     if tx.send(frame).is_err() {
                         // processor gone (shutdown or write failure)
+                        queue_gauge.add(-1.0);
                         return Ok(());
                     }
                 }
@@ -598,15 +692,24 @@ fn serve_queued_connection(
         }
     });
     let mut result: RpcResult<bool> = Ok(false);
+    let mut handled = 0usize;
     for (req_id, frame) in rx.iter() {
+        queue_gauge.add(-1.0);
+        handled += 1;
         let (resp, shutdown) = match decode_request(&frame) {
             Ok(req) => {
                 let shutdown = matches!(req, Request::Shutdown);
                 (server.handle(req), shutdown)
             }
-            Err(e) => (Response::Error(format!("bad request: {e}")), false),
+            Err(e) => {
+                cp_obs::counter!("rpc.server.malformed_requests").inc();
+                cp_obs::obs_debug!("rpc.server", "bad request from {peer}: {e}");
+                (Response::Error(format!("bad request: {e}")), false)
+            }
         };
-        if let Err(e) = write_frame_tagged(&mut writer, req_id, &encode_response(&resp)) {
+        let payload = encode_response(&resp);
+        cp_obs::counter!("rpc.server.bytes_out").add(FRAME_OVERHEAD + payload.len() as u64);
+        if let Err(e) = write_frame_tagged(&mut writer, req_id, &payload) {
             result = Err(e);
             break;
         }
@@ -618,10 +721,32 @@ fn serve_queued_connection(
     // unblock a reader mid-read and retire it; after a Shutdown (or a write
     // failure) its socket error is expected, not a connection fault
     let _ = writer.shutdown(Shutdown::Both);
+    // frames the reader queued but nobody will process still hold gauge slots
+    for _ in rx.try_iter() {
+        queue_gauge.add(-1.0);
+    }
     drop(rx);
     let reader_result = reader.join().unwrap_or(Ok(()));
     if let (Ok(false), Err(e)) = (&result, reader_result) {
         result = Err(e);
+    }
+    // classify the failure for the operator: a connection that dies on its
+    // very first frame is a misconfigured or non-protocol client (today
+    // invisible), anything later is a mid-conversation fault
+    if let Err(e) = &result {
+        if handled == 0 {
+            cp_obs::counter!("rpc.server.first_frame_drops").inc();
+            cp_obs::obs_warn!(
+                "rpc.server",
+                "dropping connection from {peer} on its first frame: {e}"
+            );
+        } else {
+            cp_obs::counter!("rpc.server.connection_errors").inc();
+            cp_obs::obs_warn!(
+                "rpc.server",
+                "connection from {peer} failed after {handled} requests: {e}"
+            );
+        }
     }
     result
 }
@@ -640,6 +765,8 @@ impl Drop for SlotGuard {
 /// [`Response::Busy`] echoing the request id, and drop it. Run detached so
 /// a slow-writing rejected peer can't stall admission of others.
 fn reject_busy(mut stream: TcpStream, msg: String) {
+    cp_obs::counter!("rpc.server.busy_rejections").inc();
+    cp_obs::obs_info!("rpc.server", "rejecting over-cap connection: {msg}");
     let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
     if let Ok(Some((req_id, _frame))) = read_frame_opt_tagged(&mut stream) {
         let _ = write_frame_tagged(&mut stream, req_id, &encode_response(&Response::Busy(msg)));
@@ -698,7 +825,8 @@ fn serve_inner(
             Ok(s) => s,
             // a failed accept poisons nothing; keep serving
             Err(e) => {
-                eprintln!("shard-server: accept error: {e}");
+                cp_obs::counter!("rpc.server.accept_errors").inc();
+                cp_obs::obs_warn!("rpc.server", "accept error: {e}");
                 continue;
             }
         };
@@ -715,10 +843,9 @@ fn serve_inner(
         let queue_depth = cfg.queue_depth;
         handles.push(std::thread::spawn(move || {
             let _guard = guard;
-            // per-connection faults should not take the whole server down
-            if let Err(e) = serve_queued_connection(&server, stream, queue_depth) {
-                eprintln!("shard-server: connection error: {e}");
-            }
+            // per-connection faults should not take the whole server down;
+            // serve_queued_connection already counted and logged the error
+            let _ = serve_queued_connection(&server, stream, queue_depth);
         }));
         accepted += 1;
         if let Some(max) = cfg.max_accepts {
@@ -778,7 +905,7 @@ pub fn spawn_server(cfg: ServerConfig) -> RpcResult<RunningServer> {
     let flag = stop.clone();
     let handle = std::thread::spawn(move || {
         if let Err(e) = serve_inner(listener, cfg, Some(flag)) {
-            eprintln!("shard-server (spawned): {e}");
+            cp_obs::obs_error!("rpc.server", "spawned server failed: {e}");
         }
     });
     Ok(RunningServer {
@@ -801,7 +928,7 @@ pub fn serve_ephemeral(n: usize) -> RpcResult<(Vec<String>, Vec<std::thread::Joi
         addrs.push(listener.local_addr()?.to_string());
         handles.push(std::thread::spawn(move || {
             if let Err(e) = serve(listener, true) {
-                eprintln!("shard-server (ephemeral): {e}");
+                cp_obs::obs_error!("rpc.server", "ephemeral server failed: {e}");
             }
         }));
     }
@@ -930,6 +1057,68 @@ mod tests {
             server.handle(Request::Status { session }),
             Response::Error(_)
         ));
+    }
+
+    #[test]
+    fn stats_exports_the_registry_and_scopes_to_sessions() {
+        let server = ShardServer::new();
+        // stats on a never-minted session is a protocol error
+        assert!(matches!(
+            server.handle(Request::Stats { session: 999 }),
+            Response::Error(_)
+        ));
+        let session = open_session(&server, tiny_open());
+        assert_eq!(
+            server.handle(Request::Step {
+                session,
+                local_row: 1,
+                expect_cleaned: 0,
+            }),
+            Response::Ok
+        );
+        for _ in 0..3 {
+            let resp = server.handle(Request::Scan {
+                session,
+                val: 0,
+                k: 1,
+                semiring: <f64 as WireSemiring>::TAG,
+                pins: None,
+            });
+            assert!(matches!(resp, Response::Stream(_)));
+        }
+        // session-scoped stats carry exactly this session's counters, and
+        // their values are exact (names are unique per server instance, so
+        // concurrently-running tests can't perturb them)
+        let Response::Stats(bytes) = server.handle(Request::Stats { session }) else {
+            panic!("expected stats");
+        };
+        let scoped = cp_obs::Snapshot::decode(&bytes).unwrap();
+        let prefix = format!("rpc.server.s{}.session.{session}.", server.instance);
+        assert!(scoped.counters.keys().all(|k| k.starts_with(&prefix)));
+        assert_eq!(scoped.counter(&format!("{prefix}steps")), 1);
+        assert_eq!(scoped.counter(&format!("{prefix}scans")), 3);
+        // a retransmitted step acknowledges without inflating the counter
+        assert_eq!(
+            server.handle(Request::Step {
+                session,
+                local_row: 1,
+                expect_cleaned: 0,
+            }),
+            Response::Ok
+        );
+        let Response::Stats(bytes) = server.handle(Request::Stats { session }) else {
+            panic!("expected stats");
+        };
+        let scoped = cp_obs::Snapshot::decode(&bytes).unwrap();
+        assert_eq!(scoped.counter(&format!("{prefix}steps")), 1);
+        // session 0 is the whole process: a superset with latency histograms
+        let Response::Stats(bytes) = server.handle(Request::Stats { session: 0 }) else {
+            panic!("expected stats");
+        };
+        let full = cp_obs::Snapshot::decode(&bytes).unwrap();
+        assert_eq!(full.counter(&format!("{prefix}scans")), 3);
+        assert!(full.histogram("rpc.server.latency.scan_us").count() >= 3);
+        assert!(full.histogram("rpc.server.latency.step_us").count() >= 2);
     }
 
     #[test]

@@ -51,3 +51,7 @@ pub use cp_shard as shard;
 /// Multi-process serving: the TCP frame codec, shard servers and the
 /// coordinator client.
 pub use cp_rpc as rpc;
+
+/// Metrics + tracing: the process-wide registry, snapshots, spans and
+/// the rate-limited logger.
+pub use cp_obs as obs;
