@@ -1,0 +1,145 @@
+//! CI's persistence smoke, phase-split around a real `shard-server`
+//! process restart:
+//!
+//! * `--phase crash`: connect to a `--data-dir` server, open a session,
+//!   apply two WAL-logged pins and vanish **without `Close`** — the
+//!   coordinator "crashes". The server (run with `--once`) exits when the
+//!   connection drops, leaving the session's write-ahead log on disk.
+//! * `--phase resume`: CI restarts the server binary on the same
+//!   `--data-dir` and port, then this phase asserts over the wire that
+//!   recovery replayed the whole log (`store.wal.replayed_records` = the
+//!   Open record + both pins), that the recovered session acknowledges an
+//!   idempotent `Step` retransmission, that cleaning continues from the
+//!   recovered count, and — after `Close` — that the log file is gone.
+//!
+//! ```text
+//! persist_smoke --phase crash|resume --connect ADDR [--data-dir PATH]
+//! ```
+
+use cp_core::{CpConfig, IncompleteDataset, IncompleteExample};
+use cp_rpc::{OpenShard, Request, ShardClient};
+use std::path::PathBuf;
+
+/// Six rows, four dirty (1, 3, 4, 5) — the same instance the
+/// crash-recovery integration test uses, served here as one whole shard.
+fn smoke_open() -> OpenShard {
+    let dataset = IncompleteDataset::new(
+        vec![
+            IncompleteExample::complete(vec![0.0], 0),
+            IncompleteExample::incomplete(vec![vec![4.0], vec![7.0]], 0),
+            IncompleteExample::complete(vec![10.0], 1),
+            IncompleteExample::incomplete(vec![vec![3.0], vec![6.0]], 1),
+            IncompleteExample::incomplete(vec![vec![1.0], vec![2.5]], 0),
+            IncompleteExample::incomplete(vec![vec![8.0], vec![9.5]], 1),
+        ],
+        2,
+    )
+    .expect("smoke dataset");
+    let cfg = CpConfig::new(3);
+    OpenShard {
+        start: 0,
+        n_labels: dataset.n_labels(),
+        k: cfg.k,
+        kernel: cfg.kernel,
+        n_threads: 1,
+        examples: (0..dataset.len())
+            .map(|i| {
+                let ex = dataset.example(i);
+                (ex.label, ex.candidates.clone())
+            })
+            .collect(),
+        val_x: vec![vec![5.0], vec![2.0], vec![8.0]],
+        truth_choice: vec![None, Some(0), None, Some(1), Some(0), Some(1)],
+        default_choice: vec![None, Some(1), None, Some(0), Some(1), Some(0)],
+    }
+}
+
+fn main() {
+    let mut phase: Option<String> = None;
+    let mut connect: Option<String> = None;
+    let mut data_dir: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--phase" => phase = Some(args.next().expect("--phase requires crash|resume")),
+            "--connect" => connect = Some(args.next().expect("--connect requires ADDR")),
+            "--data-dir" => {
+                data_dir = Some(args.next().expect("--data-dir requires a path").into());
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    let addr = connect.expect("--connect ADDR is required");
+    let mut client = ShardClient::connect(&addr).expect("connect shard-server");
+
+    match phase.as_deref() {
+        Some("crash") => {
+            let n = client.open(smoke_open()).expect("open durable session");
+            assert_eq!(n, 6, "whole shard opened");
+            assert_eq!(
+                client.session(),
+                1,
+                "first session of a fresh server process"
+            );
+            client.step(1, 0).expect("pin row 1");
+            client.step(3, 1).expect("pin row 3");
+            // "crash": drop the connection with the session still open. The
+            // --once server exits; the session's WAL stays on disk.
+            println!("persist_smoke crash: 2 pins logged on session 1, exiting without Close");
+        }
+        Some("resume") => {
+            // recovery happened at server startup, before we connected
+            let stats = client.stats(0).expect("process stats over the wire");
+            assert_eq!(
+                stats.counter("store.wal.replayed_records"),
+                3,
+                "replay = the Open record + both logged pins, exactly once"
+            );
+            // the retransmission the crashed coordinator would send on
+            // reconnect: already-applied pin + stale expected count → Ok
+            client
+                .expect_ok(&Request::Step {
+                    session: 1,
+                    local_row: 3,
+                    expect_cleaned: 1,
+                })
+                .expect("idempotent retransmit onto recovered state");
+            // cleaning continues from the recovered count as if the crash
+            // never happened
+            for (row, expect) in [(4u32, 2u32), (5, 3)] {
+                client
+                    .expect_ok(&Request::Step {
+                        session: 1,
+                        local_row: row,
+                        expect_cleaned: expect,
+                    })
+                    .expect("continue cleaning on recovered session");
+            }
+            let scoped = client.stats(1).expect("session-scoped stats");
+            let steps: u64 = scoped
+                .counters
+                .iter()
+                .filter(|(name, _)| name.ends_with(".steps"))
+                .map(|(_, &v)| v)
+                .sum();
+            assert_eq!(steps, 4, "2 replayed + 2 live pins; the retransmit is free");
+            client
+                .expect_ok(&Request::Close { session: 1 })
+                .expect("close recovered session");
+            if let Some(dir) = data_dir {
+                let leftover: Vec<_> = std::fs::read_dir(&dir)
+                    .expect("read data dir")
+                    .filter_map(|e| e.ok())
+                    .map(|e| e.file_name().to_string_lossy().into_owned())
+                    .filter(|n| n.starts_with("session-") && n.ends_with(".wal"))
+                    .collect();
+                assert!(
+                    leftover.is_empty(),
+                    "Close must delete the log: {leftover:?}"
+                );
+            }
+            println!("persist_smoke resume: replay, retransmit, continuation and cleanup verified");
+        }
+        other => panic!("--phase must be crash or resume, got {other:?}"),
+    }
+}

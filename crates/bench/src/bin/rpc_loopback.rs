@@ -11,6 +11,10 @@
 //!   processes (the CI smoke test starts two real processes and points this
 //!   binary at them).
 //!
+//! `--data-dir PATH` adds a third engine row: the same greedy run against
+//! WAL-backed servers (one `data-dir` subdirectory per shard), so the table
+//! shows what per-pin fsync durability costs next to the volatile RPC path.
+//!
 //! Every run cross-checks the RPC path: initial CP status, the full greedy
 //! cleaning order and the final status must equal the in-process sharded
 //! session's exactly, for the same problem. `--smoke` keeps CI runs at
@@ -20,10 +24,13 @@ use cp_bench::{random_incomplete_dataset, Reporter};
 use cp_clean::{CleaningProblem, RunOptions};
 use cp_core::{CpConfig, Pins, Q2Algorithm, Q2Result};
 use cp_numeric::Possibility;
-use cp_rpc::{encode_stream, encode_stream_raw, serve_ephemeral, RpcCoordinator};
+use cp_rpc::{
+    encode_stream, encode_stream_raw, serve_ephemeral, spawn_server, RpcCoordinator, ServerConfig,
+};
 use cp_shard::{build_shard_indexes, ShardStream, ShardedSession};
 use rand::prelude::*;
 use rand::rngs::StdRng;
+use std::path::PathBuf;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -67,10 +74,14 @@ fn main() {
     let mut smoke = false;
     let mut shards = 2usize;
     let mut connect: Option<Vec<String>> = None;
+    let mut data_dir: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
+            "--data-dir" => {
+                data_dir = Some(args.next().expect("--data-dir requires a path").into());
+            }
             "--shards" => {
                 shards = args
                     .next()
@@ -230,6 +241,66 @@ fn main() {
         h.join().expect("server thread");
     }
 
+    // ---- durable mode: the same run against WAL-backed servers -----------
+    // one data-dir subdirectory per server (instances must not share one —
+    // their session ids would collide on session-<id>.wal filenames)
+    let durable = data_dir.map(|root| {
+        r.note(&format!(
+            "durable mode: {n_shards} WAL-backed servers under {}",
+            root.display()
+        ));
+        let mut servers = Vec::new();
+        let mut wal_addrs = Vec::new();
+        for s in 0..n_shards {
+            let cfg = ServerConfig {
+                data_dir: Some(root.join(format!("shard-{s}"))),
+                ..ServerConfig::default()
+            };
+            let srv = spawn_server(cfg).expect("spawn durable server");
+            wal_addrs.push(srv.addr().to_string());
+            servers.push(srv);
+        }
+        let t0 = Instant::now();
+        let mut durable_remote =
+            RpcCoordinator::connect(&problem, &wal_addrs, &opts).expect("connect durable");
+        let open_s = t0.elapsed().as_secs_f64();
+        assert_eq!(durable_remote.status(), initial_status);
+        let baseline = cp_obs::snapshot();
+        let t0 = Instant::now();
+        let mut order = Vec::new();
+        while !durable_remote.converged() {
+            let remaining = durable_remote.remaining();
+            if remaining.is_empty() {
+                break;
+            }
+            let row = durable_remote
+                .try_select_next(&remaining)
+                .expect("durable selection");
+            durable_remote.clean(row).expect("clean over durable rpc");
+            order.push(row);
+        }
+        let run_s = t0.elapsed().as_secs_f64();
+        assert_eq!(order, local_run.order, "durable greedy order must match");
+        assert_eq!(durable_remote.status(), local.status());
+        let fsyncs = cp_obs::snapshot()
+            .diff(&baseline)
+            .histogram("store.wal.fsync_us")
+            .count();
+        assert!(
+            fsyncs as usize >= order.len(),
+            "every pin must hit the log (fsyncs={fsyncs}, pins={})",
+            order.len()
+        );
+        durable_remote.shutdown().expect("shutdown durable servers");
+        for srv in servers {
+            srv.stop();
+        }
+        r.note(&format!(
+            "verified: durable run bit-identical; {fsyncs} WAL appends fsync'd"
+        ));
+        (open_s, run_s, order.len())
+    });
+
     r.note("verified: order, convergence and status identical to ShardedSession");
     println!();
     println!("| engine | open (s) | greedy run (s) | rows cleaned |");
@@ -242,6 +313,11 @@ fn main() {
         "| RpcCoordinator ({n_shards} servers, loopback TCP) | {remote_open_s:.3} | {remote_run_s:.3} | {} |",
         remote_order.len()
     );
+    if let Some((open_s, run_s, cleaned)) = durable {
+        println!(
+            "| RpcCoordinator ({n_shards} WAL-backed servers, --data-dir) | {open_s:.3} | {run_s:.3} | {cleaned} |"
+        );
+    }
     println!();
     r.note("the RPC column pays serialization + loopback round trips for the same exact answers");
 }

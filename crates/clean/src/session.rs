@@ -158,6 +158,52 @@ impl CleaningSession {
         }
     }
 
+    /// [`CleaningSession::from_cache_deferred`] plus a recorded pin order —
+    /// the WAL-replay constructor: a shard server restarting over its data
+    /// directory rebuilds each session by re-applying the logged cleaning
+    /// order through the exact [`CleaningSession::clean_pin_only`] path the
+    /// live session took, so the recovered [`CleaningState`] (pins, cleaned
+    /// flags, order) is bit-identical to the pre-crash state.
+    ///
+    /// Unlike the live stepping path this *validates instead of panicking*:
+    /// log records are external input, so an out-of-range row, a clean row,
+    /// or a duplicate entry returns `Err` describing the bad record and the
+    /// session is left unusable rather than the process dying mid-recovery.
+    pub fn from_cache_replayed(
+        problem: Arc<CleaningProblem>,
+        cache: ValIndexCache,
+        opts: &RunOptions,
+        order: &[usize],
+    ) -> Result<Self, String> {
+        let mut session = Self::from_cache_deferred(problem, cache, opts);
+        session.replay_pins(order)?;
+        Ok(session)
+    }
+
+    /// Re-apply a recorded cleaning order (see
+    /// [`CleaningSession::from_cache_replayed`]), validating every row
+    /// before mutating — hostile or corrupt logs get an `Err`, not a panic.
+    /// Does not refresh this session's CP status (the recovered server
+    /// answers status queries the same deferred way a live one does).
+    pub fn replay_pins(&mut self, order: &[usize]) -> Result<(), String> {
+        for &row in order {
+            if row >= self.problem.dataset.len() {
+                return Err(format!(
+                    "replayed row {row} out of range (shard has {} rows)",
+                    self.problem.dataset.len()
+                ));
+            }
+            if self.problem.truth_choice[row].is_none() {
+                return Err(format!("replayed row {row} is not dirty"));
+            }
+            if self.state.is_cleaned(row) {
+                return Err(format!("replayed row {row} appears twice in the log"));
+            }
+            self.state.clean_row(&self.problem, row);
+        }
+        Ok(())
+    }
+
     /// The selection cache, recovering from a poisoned lock (the cache holds
     /// no invariants a panicking selection could break mid-write: every
     /// mutation is either append-only or a whole-state replacement).
@@ -778,6 +824,42 @@ mod tests {
             val_cp_status(&p, session.state().pins(), 1).as_slice()
         );
         assert!(session.converged());
+    }
+
+    #[test]
+    fn replayed_session_matches_a_live_one_and_rejects_bad_logs() {
+        let p = Arc::new(targeted_problem());
+        // a live session cleans in a recorded order
+        let mut live = CleaningSession::from_arc_deferred(Arc::clone(&p), &opts(1));
+        live.clean_pin_only(3);
+        live.clean_pin_only(1);
+        // replaying the same order reproduces the exact state
+        let replayed = CleaningSession::from_cache_replayed(
+            Arc::clone(&p),
+            live.cache().clone(),
+            &opts(1),
+            &[3, 1],
+        )
+        .expect("valid order replays");
+        assert_eq!(replayed.state().order(), live.state().order());
+        assert_eq!(replayed.state().pins(), live.state().pins());
+        assert_eq!(replayed.n_cleaned(), 2);
+        // hostile logs are errors, not panics
+        let cache = live.cache().clone();
+        for (order, what) in [
+            (vec![99usize], "out of range"),
+            (vec![0], "not dirty"),
+            (vec![1, 1], "twice"),
+        ] {
+            let err = CleaningSession::from_cache_replayed(
+                Arc::clone(&p),
+                cache.clone(),
+                &opts(1),
+                &order,
+            )
+            .expect_err("bad order rejected");
+            assert!(err.contains(what), "{err:?} should mention {what:?}");
+        }
     }
 
     // index-reuse accounting (via cp_core::similarity::build_count) lives in

@@ -41,14 +41,16 @@
 mod registry;
 #[cfg(not(feature = "off"))]
 pub use registry::{
-    counter, gauge, histogram, snapshot, Counter, Gauge, Histogram, SpanGuard, Stopwatch,
+    counter, gauge, histogram, remove_prefix, snapshot, Counter, Gauge, Histogram, SpanGuard,
+    Stopwatch,
 };
 
 #[cfg(feature = "off")]
 mod noop;
 #[cfg(feature = "off")]
 pub use noop::{
-    counter, gauge, histogram, snapshot, Counter, Gauge, Histogram, SpanGuard, Stopwatch,
+    counter, gauge, histogram, remove_prefix, snapshot, Counter, Gauge, Histogram, SpanGuard,
+    Stopwatch,
 };
 
 pub mod log;

@@ -83,6 +83,9 @@ pub fn snapshot() -> Snapshot {
     Snapshot::default()
 }
 
+/// No-op (nothing is registered, so nothing to remove).
+pub fn remove_prefix(_prefix: &str) {}
+
 /// No-op span guard: construction and drop cost nothing.
 pub struct SpanGuard;
 

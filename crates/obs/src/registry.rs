@@ -181,6 +181,19 @@ pub fn histogram(name: &str) -> Histogram {
     }
 }
 
+/// Unregister every metric whose name starts with `prefix`.
+///
+/// Existing handles (including `OnceLock`-cached macro handles) keep
+/// working — they share the underlying atomics — but the metrics stop
+/// appearing in [`snapshot`] and the names can be re-registered fresh.
+/// This is how per-session metric families are reclaimed when a session
+/// closes, instead of leaking one entry per session for the life of the
+/// process.
+pub fn remove_prefix(prefix: &str) {
+    let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    reg.retain(|name, _| !name.starts_with(prefix));
+}
+
 /// A point-in-time [`Snapshot`] of every registered metric. Individual
 /// values are read without stopping writers, so concurrent metrics may be
 /// mutually skewed by in-flight increments — each value is still exact for
@@ -292,6 +305,24 @@ mod tests {
         assert_eq!(h.count(), 1);
         SpanGuard::new(h.clone()).cancel();
         assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn remove_prefix_unregisters_only_the_family() {
+        counter("test.registry.rm.a.steps").inc();
+        counter("test.registry.rm.a.scans").add(2);
+        counter("test.registry.rm.b.steps").add(5);
+        let kept_handle = counter("test.registry.rm.a.steps");
+        remove_prefix("test.registry.rm.a.");
+        let snap = snapshot();
+        assert!(!snap.counters.contains_key("test.registry.rm.a.steps"));
+        assert!(!snap.counters.contains_key("test.registry.rm.a.scans"));
+        assert_eq!(snap.counter("test.registry.rm.b.steps"), 5);
+        // Stale handles still work against the detached atomics...
+        kept_handle.inc();
+        assert_eq!(kept_handle.get(), 2);
+        // ...and the name is free to register fresh, starting from zero.
+        assert_eq!(counter("test.registry.rm.a.steps").get(), 0);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! shard-server --listen 127.0.0.1:7701 [--once | --conns N] [--max-sessions M]
-//!              [--stats-interval SECS]
+//!              [--data-dir PATH] [--stats-interval SECS]
 //! ```
 //!
 //! One process serves any number of independent cleaning sessions
@@ -13,6 +13,13 @@
 //! exits after its first connection closes — the mode CI's loopback smoke
 //! test uses; `--conns N` generalizes it to N admitted connections — the
 //! mode CI's multi-tenant pool smoke uses.
+//!
+//! `--data-dir PATH` makes sessions durable: every `Open` payload and
+//! applied pin is appended (fsync'd, CRC-framed) to a per-session
+//! write-ahead log under PATH, and a restarted server pointed at the same
+//! PATH replays the logs and resumes every in-flight session — a
+//! reconnecting coordinator's retransmitted `Step` lands on recovered
+//! state.
 //!
 //! `--stats-interval SECS` dumps the `cp-obs` metric registry to stderr
 //! every SECS seconds (the same snapshot the wire-level `Stats` request
@@ -51,6 +58,13 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--data-dir" => match args.next() {
+                Some(path) => cfg.data_dir = Some(path.into()),
+                None => {
+                    eprintln!("shard-server: --data-dir requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--stats-interval" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
                 Some(n) if n > 0 => stats_interval = Some(n),
                 _ => {
@@ -61,7 +75,7 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!(
                     "usage: shard-server [--listen ADDR] [--once | --conns N] [--max-sessions M] \
-                     [--stats-interval SECS]"
+                     [--data-dir PATH] [--stats-interval SECS]"
                 );
                 println!("  --listen ADDR         bind address (default 127.0.0.1:7701)");
                 println!("  --once                exit after the first connection closes");
@@ -69,6 +83,10 @@ fn main() -> ExitCode {
                 println!(
                     "  --max-sessions M      cap on concurrent sessions (default {})",
                     ServerConfig::default().max_sessions
+                );
+                println!(
+                    "  --data-dir PATH       write-ahead-log sessions under PATH; a restart \
+                     replays and resumes them"
                 );
                 println!("  --stats-interval SECS dump the metric registry to stderr every SECS");
                 return ExitCode::SUCCESS;

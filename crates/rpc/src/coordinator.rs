@@ -37,6 +37,7 @@ use crate::error::{RpcError, RpcResult};
 use crate::proto::{
     decode_response, encode_request, OpenShard, Request, Response, SessionId, ShardStatus,
 };
+use crate::spill::{certain_label_over_runs, spill_stream, LazyRunCursor, SpillSource};
 use cp_clean::metrics::CleaningRun;
 use cp_clean::{
     pick_min_expected_entropy, select_next_incremental, CleaningEngine, CleaningProblem,
@@ -47,12 +48,16 @@ use cp_knn::Label;
 use cp_numeric::stats::entropy_bits;
 use cp_numeric::Possibility;
 use cp_shard::scan::{
-    certain_label_from_streams, certain_label_from_summaries, q2_from_streams_with_algorithm,
+    certain_label_from_sources, certain_label_from_streams, certain_label_from_summaries,
+    q2_from_streams_with_algorithm,
 };
 use cp_shard::{merged_scan_sources, ShardStream, StreamCursor};
-use std::cell::RefCell;
+use cp_store::Run;
+use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -88,6 +93,19 @@ pub struct ClientConfig {
     pub connect_retries: u32,
     /// Pause between connect attempts.
     pub retry_backoff: Duration,
+    /// Out-of-core knob: a fetched base/status stream with at least this
+    /// many boundary events is spilled to an immutable sorted on-disk run
+    /// (`cp-store`) instead of held in RAM, and scanned back through
+    /// [`crate::LazyRunCursor`] — `0` spills every stream. `None` (the
+    /// default) falls back to the `CP_SPILL_THRESHOLD` environment
+    /// variable, and spilling stays off when that is unset too.
+    /// `Some(usize::MAX)` forces spilling off even when the environment
+    /// variable is set — the pin for callers (exact-ledger tests) that
+    /// need the in-RAM status path regardless of the suite-wide regime.
+    pub spill_threshold: Option<usize>,
+    /// Where spilled runs live. `None` = a fresh process-unique directory
+    /// under the OS temp dir, removed when the coordinator drops.
+    pub spill_dir: Option<PathBuf>,
 }
 
 impl Default for ClientConfig {
@@ -98,6 +116,8 @@ impl Default for ClientConfig {
             write_timeout: None,
             connect_retries: 0,
             retry_backoff: Duration::from_millis(50),
+            spill_threshold: None,
+            spill_dir: None,
         }
     }
 }
@@ -558,11 +578,104 @@ pub struct RpcCoordinator {
     /// were fetched under; only shards whose mask moved are refetched
     /// ([`RpcCoordinator::with_base_streams`]).
     base_streams: RefCell<Vec<Option<BaseStreams>>>,
+    /// Out-of-core policy; `None` keeps every stream in RAM.
+    spill: Option<SpillState>,
 }
 
 /// One cached base-stream set: the per-shard mask epochs at capture time
-/// plus one decoded `f64` stream per shard.
-type BaseStreams = (Vec<u64>, Vec<ShardStream<f64>>);
+/// plus one decoded `f64` stream per shard (in RAM or spilled to disk).
+type BaseStreams = (Vec<u64>, Vec<CachedStream>);
+
+/// The resolved out-of-core policy of one coordinator (see
+/// [`ClientConfig::spill_threshold`]).
+#[derive(Debug)]
+struct SpillState {
+    /// Streams with at least this many boundary events go to disk.
+    threshold: usize,
+    /// Where run files are written.
+    dir: PathBuf,
+    /// Whether this coordinator created `dir` (and removes it on drop).
+    owned: bool,
+    /// Uniquifier for run file names.
+    seq: Cell<u64>,
+}
+
+impl SpillState {
+    /// The policy a [`ClientConfig`] asks for: the explicit threshold, or
+    /// the `CP_SPILL_THRESHOLD` environment variable (the hook CI uses to
+    /// force every suite scan through [`crate::LazyRunCursor`]), or off.
+    fn resolve(cfg: &ClientConfig) -> RpcResult<Option<Self>> {
+        let env = || {
+            std::env::var("CP_SPILL_THRESHOLD")
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+        };
+        let Some(threshold) = cfg.spill_threshold.or_else(env) else {
+            return Ok(None);
+        };
+        if threshold == usize::MAX {
+            // explicitly disabled: no stream can reach the threshold, and a
+            // spill state that never spills would still reroute status
+            // checks off the summary fast path
+            return Ok(None);
+        }
+        let (dir, owned) = match &cfg.spill_dir {
+            Some(dir) => (dir.clone(), false),
+            None => {
+                static NEXT_DIR: AtomicU64 = AtomicU64::new(0);
+                let dir = std::env::temp_dir().join(format!(
+                    "cp-spill-{}-{}",
+                    std::process::id(),
+                    NEXT_DIR.fetch_add(1, Ordering::Relaxed)
+                ));
+                (dir, true)
+            }
+        };
+        std::fs::create_dir_all(&dir)?;
+        Ok(Some(SpillState {
+            threshold,
+            dir,
+            owned,
+            seq: Cell::new(0),
+        }))
+    }
+
+    fn next_path(&self, tag: &str) -> PathBuf {
+        let seq = self.seq.get();
+        self.seq.set(seq + 1);
+        self.dir.join(format!("{tag}-{seq}.run"))
+    }
+}
+
+/// An on-disk run owned by this coordinator; the file is deleted when the
+/// owner (a cache entry, or a status check's scratch set) is dropped.
+#[derive(Debug)]
+struct SpilledRun(Run);
+
+impl Drop for SpilledRun {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(self.0.path());
+    }
+}
+
+/// One cached per-shard base stream: held in RAM, or spilled as a run.
+#[derive(Debug)]
+enum CachedStream {
+    Ram(ShardStream<f64>),
+    Spilled(SpilledRun),
+}
+
+impl CachedStream {
+    /// A merged-scan source over this entry. Disk entries hand back a lazy
+    /// cursor, so a scan that early-exits before reaching the run never
+    /// pays its block I/O.
+    fn source(&self) -> RpcResult<SpillSource<'_, f64>> {
+        match self {
+            CachedStream::Ram(st) => Ok(SpillSource::Ram(st.cursor())),
+            CachedStream::Spilled(run) => Ok(SpillSource::Disk(LazyRunCursor::new(&run.0)?)),
+        }
+    }
+}
 
 impl RpcCoordinator {
     /// Connect to shard servers and distribute the problem: partition the
@@ -658,6 +771,7 @@ impl RpcCoordinator {
             problem.val_x.len(),
         ));
         let base_streams = RefCell::new((0..problem.val_x.len()).map(|_| None).collect());
+        let spill = SpillState::resolve(client_cfg)?;
         let mut coordinator = RpcCoordinator {
             problem,
             opts: opts.clone(),
@@ -671,6 +785,7 @@ impl RpcCoordinator {
             k,
             sel,
             base_streams,
+            spill,
         };
         coordinator.try_refresh_status()?;
         Ok(coordinator)
@@ -758,16 +873,38 @@ impl RpcCoordinator {
             .collect()
     }
 
+    /// Wrap a freshly fetched base stream for the cache, spilling it to an
+    /// on-disk run when the out-of-core policy says so. A replaced or
+    /// dropped entry deletes its run file ([`SpilledRun`]).
+    fn cache_stream(
+        &self,
+        v: usize,
+        s: usize,
+        stream: ShardStream<f64>,
+    ) -> RpcResult<CachedStream> {
+        match &self.spill {
+            Some(sp) if stream.events.len() >= sp.threshold => {
+                let path = sp.next_path(&format!("base-v{v}-s{s}"));
+                let run = spill_stream(&path, &stream)?;
+                Ok(CachedStream::Spilled(SpilledRun(run)))
+            }
+            _ => Ok(CachedStream::Ram(stream)),
+        }
+    }
+
     /// Run `f` over the base streams (one per shard, under the servers'
     /// current masks) for validation point `v`, read through the
     /// epoch-keyed cache: only shards whose `mask_epochs` entry moved since
     /// capture are refetched. Selection's base entropies and merged
     /// hypothetical scans both come through here, so a shard untouched by
-    /// recent cleaning ships its base stream once across many steps.
+    /// recent cleaning ships its base stream once across many steps. Under
+    /// the spill policy large cached streams live on disk as runs;
+    /// [`CachedStream::source`] hands `f` a uniform merged-scan source
+    /// either way.
     fn with_base_streams<R>(
         &self,
         v: usize,
-        f: impl FnOnce(&[ShardStream<f64>]) -> R,
+        f: impl FnOnce(&[CachedStream]) -> RpcResult<R>,
     ) -> RpcResult<R> {
         {
             let mut cache = self.base_streams.borrow_mut();
@@ -775,21 +912,27 @@ impl RpcCoordinator {
                 Some((epochs, streams)) => {
                     for s in 0..self.clients.len() {
                         if epochs[s] != self.mask_epochs[s] {
-                            streams[s] = self.check_stream_shape(
+                            let fresh = self.check_stream_shape(
                                 self.clients[s].borrow_mut().scan::<f64>(v, self.k, None)?,
                             )?;
+                            streams[s] = self.cache_stream(v, s, fresh)?;
                             epochs[s] = self.mask_epochs[s];
                         }
                     }
                 }
                 entry @ None => {
-                    *entry = Some((self.mask_epochs.clone(), self.fetch_streams::<f64>(v)?));
+                    let fetched = self.fetch_streams::<f64>(v)?;
+                    let mut streams = Vec::with_capacity(fetched.len());
+                    for (s, st) in fetched.into_iter().enumerate() {
+                        streams.push(self.cache_stream(v, s, st)?);
+                    }
+                    *entry = Some((self.mask_epochs.clone(), streams));
                 }
             }
         }
         let cache = self.base_streams.borrow();
         let (_, streams) = cache[v].as_ref().expect("filled above");
-        Ok(f(streams))
+        f(streams)
     }
 
     fn check_summary_shape(&self, summary: ExtremeSummary) -> RpcResult<ExtremeSummary> {
@@ -803,6 +946,9 @@ impl RpcCoordinator {
     /// and fold them by rank (no boundary-event stream crosses the wire);
     /// everything else merges fresh `Possibility` streams.
     pub fn certain_label_at(&self, v: usize) -> RpcResult<Option<Label>> {
+        if let Some(sp) = &self.spill {
+            return self.certain_label_spilled(v, sp);
+        }
         if self.problem.dataset.n_labels() == 2 {
             let summaries: Vec<ExtremeSummary> = self
                 .clients
@@ -814,6 +960,60 @@ impl RpcCoordinator {
             let streams = self.fetch_streams::<Possibility>(v)?;
             Ok(certain_label_from_streams(&streams))
         }
+    }
+
+    /// [`RpcCoordinator::certain_label_at`] under the out-of-core policy:
+    /// fetched `Possibility` streams at or above the spill threshold go to
+    /// disk as runs (scratch files, deleted before returning), and the
+    /// check runs over the runs' filters + lazy cursors —
+    /// [`certain_label_over_runs`] when everything spilled (the binary
+    /// footer pre-check can then answer with zero block reads), a mixed
+    /// RAM/disk merge otherwise. Answers are bit-identical to the in-RAM
+    /// dispatch.
+    fn certain_label_spilled(&self, v: usize, sp: &SpillState) -> RpcResult<Option<Label>> {
+        // scratch runs are deleted on every exit path, including errors
+        struct Scratch(Vec<PathBuf>);
+        impl Drop for Scratch {
+            fn drop(&mut self) {
+                for path in &self.0 {
+                    let _ = std::fs::remove_file(path);
+                }
+            }
+        }
+        let streams = self.fetch_streams::<Possibility>(v)?;
+        let n_labels = self.problem.dataset.n_labels();
+        let mut scratch = Scratch(Vec::new());
+        let mut runs: Vec<Option<Run>> = Vec::with_capacity(streams.len());
+        for (s, st) in streams.iter().enumerate() {
+            runs.push(if st.events.len() >= sp.threshold {
+                let path = sp.next_path(&format!("status-v{v}-s{s}"));
+                scratch.0.push(path.clone());
+                Some(spill_stream(&path, st)?)
+            } else {
+                None
+            });
+        }
+        if runs.iter().all(|r| r.is_some()) {
+            let runs: Vec<Run> = runs.into_iter().map(|r| r.expect("all spilled")).collect();
+            return certain_label_over_runs(&runs, n_labels, self.k);
+        }
+        let mut sources = Vec::with_capacity(streams.len());
+        for (st, run) in streams.iter().zip(&runs) {
+            sources.push(match run {
+                Some(run) => SpillSource::Disk(LazyRunCursor::new(run)?),
+                None => SpillSource::Ram(st.cursor()),
+            });
+        }
+        let label = certain_label_from_sources(&mut sources, n_labels, self.k);
+        let skipped = sources
+            .iter()
+            .filter(|src| match src {
+                SpillSource::Disk(c) => c.run().meta().n_events > 0 && !c.block_decoded(),
+                SpillSource::Ram(_) => false,
+            })
+            .count() as u64;
+        cp_obs::counter!("store.runs.skipped_by_filter").add(skipped);
+        Ok(label)
     }
 
     /// Exact Q2 counts for validation point `v` under the current pins, in
@@ -1062,6 +1262,19 @@ impl CleaningEngine for RpcCoordinator {
     }
 }
 
+impl Drop for RpcCoordinator {
+    fn drop(&mut self) {
+        // spilled cache entries delete their run files as they drop; the
+        // coordinator-owned spill directory is then empty and removable
+        self.base_streams.borrow_mut().clear();
+        if let Some(sp) = &self.spill {
+            if sp.owned {
+                let _ = std::fs::remove_dir_all(&sp.dir);
+            }
+        }
+    }
+}
+
 /// [`SelectionBackend`] over the shard-server connections: entropies come
 /// from exactly the merged-stream arithmetic the serialized scorer runs,
 /// with base streams read through the coordinator's epoch-keyed cache and
@@ -1077,11 +1290,13 @@ impl SelectionBackend for RpcBackend<'_> {
         let c = self.coord;
         let n_labels = c.problem.dataset.n_labels();
         c.with_base_streams(v, |base| {
-            let mut cursors: Vec<StreamCursor<'_, f64>> =
-                base.iter().map(|st| st.cursor()).collect();
-            entropy_bits(
-                &merged_scan_sources(&mut cursors, n_labels, c.k, None, |_| false).probabilities(),
-            )
+            let mut sources = base
+                .iter()
+                .map(|st| st.source())
+                .collect::<RpcResult<Vec<_>>>()?;
+            Ok(entropy_bits(
+                &merged_scan_sources(&mut sources, n_labels, c.k, None, |_| false).probabilities(),
+            ))
         })
     }
 
@@ -1105,15 +1320,23 @@ impl SelectionBackend for RpcBackend<'_> {
         c.with_base_streams(v, |base| {
             hyps.iter()
                 .map(|hyp| {
-                    let mut cursors: Vec<StreamCursor<'_, f64>> = base
+                    let mut sources = base
                         .iter()
                         .enumerate()
-                        .map(|(u, st)| if u == s { hyp.cursor() } else { st.cursor() })
-                        .collect();
-                    entropy_bits(
-                        &merged_scan_sources(&mut cursors, n_labels, c.k, None, |_| false)
+                        .map(|(u, st)| {
+                            if u == s {
+                                // the owner's hypothetical stream is always
+                                // fresh off the wire, never spilled
+                                Ok(SpillSource::Ram(hyp.cursor()))
+                            } else {
+                                st.source()
+                            }
+                        })
+                        .collect::<RpcResult<Vec<_>>>()?;
+                    Ok(entropy_bits(
+                        &merged_scan_sources(&mut sources, n_labels, c.k, None, |_| false)
                             .probabilities(),
-                    )
+                    ))
                 })
                 .collect()
         })

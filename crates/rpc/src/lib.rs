@@ -46,6 +46,16 @@
 //!   `run_order()` engine surface. Answers are *identical* to
 //!   [`cp_shard::ShardedSession`]'s — bit-for-bit, property-tested over
 //!   real loopback sockets.
+//! * [`spill`] — the out-of-core seam over `cp-store`: fetched streams
+//!   past [`coordinator::ClientConfig::spill_threshold`] (env
+//!   `CP_SPILL_THRESHOLD`) are written as immutable sorted on-disk runs
+//!   and scanned back through [`spill::LazyRunCursor`] — another
+//!   [`cp_shard::FactorSource`], so the merge loop is unchanged and the
+//!   answers stay bit-identical. Run footers (min/max keys + bloom
+//!   filters) let binary-Q1 status checks skip blocks that provably
+//!   cannot change the answer. On the server side, `--data-dir` adds
+//!   per-session write-ahead pin logs (fsync-before-ack) with replay on
+//!   restart — a crashed server resumes every in-flight session.
 //!
 //! ## Robustness
 //!
@@ -77,6 +87,7 @@ pub mod coordinator;
 pub mod error;
 pub mod proto;
 pub mod server;
+pub mod spill;
 pub mod wire;
 
 pub use codec::{
@@ -88,6 +99,9 @@ pub use coordinator::{ClientConfig, RpcCoordinator, ShardClient};
 pub use error::{RpcError, RpcResult};
 pub use proto::{OpenShard, Request, Response, SessionId, ShardStatus};
 pub use server::{
-    serve, serve_connection, serve_ephemeral, serve_with, spawn_server, RunningServer,
-    ServerConfig, ShardServer,
+    serve, serve_connection, serve_ephemeral, serve_with, spawn_server, spawn_server_on,
+    RunningServer, ServerConfig, ShardServer,
+};
+pub use spill::{
+    certain_label_over_runs, open_run_cursor, spill_stream, LazyRunCursor, SpillSource,
 };

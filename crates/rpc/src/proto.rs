@@ -33,12 +33,15 @@
 //! [`Response::Busy`] — retryable, unlike an error; transport and codec
 //! failures are [`crate::RpcError`]s on either side.
 
+#[cfg(test)]
+use crate::codec::put_points;
 use crate::codec::{
-    get_kernel, get_pins, get_points, get_status_bits, put_kernel, put_pins, put_points,
-    put_status_bits,
+    get_kernel, get_pins, get_points, get_status_bits, put_kernel, put_pins, put_status_bits,
 };
 use crate::error::{RpcError, RpcResult};
-use crate::wire::{put_opt_u32, put_u32, put_u64, put_u8, put_usize, Reader};
+#[cfg(test)]
+use crate::wire::put_opt_u32;
+use crate::wire::{put_u32, put_u64, put_u8, put_usize, put_varint_u64, put_zigzag_i64, Reader};
 use cp_core::Pins;
 use cp_knn::{Kernel, Label};
 
@@ -216,6 +219,13 @@ const REQ_EXTREME_SUMMARY: u8 = 7;
 const REQ_CLOSE: u8 = 8;
 const REQ_STATS: u8 = 9;
 
+/// `Open` payload layout versions — the byte after the `REQ_OPEN` tag.
+/// `Open` is the largest single message of the protocol (it carries the
+/// whole candidate grid), so like scan streams it travels delta-compressed
+/// by default; the raw layout stays decodable behind its own version byte.
+const OPEN_V_RAW: u8 = 1;
+const OPEN_V_DELTA: u8 = 2;
+
 const RESP_OK: u8 = 1;
 const RESP_OPENED: u8 = 2;
 const RESP_STREAM: u8 = 3;
@@ -225,6 +235,7 @@ const RESP_SUMMARY: u8 = 6;
 const RESP_BUSY: u8 = 7;
 const RESP_STATS: u8 = 8;
 
+#[cfg(test)]
 fn put_choices(out: &mut Vec<u8>, choices: &[Option<u32>]) {
     put_u32(out, choices.len() as u32);
     for &c in choices {
@@ -253,13 +264,117 @@ fn get_string(r: &mut Reader<'_>) -> RpcResult<String> {
         .map_err(|_| RpcError::Malformed("string is not valid utf-8".into()))
 }
 
+/// Delta-encode a point list: varint counts and dims, each `f64` as the
+/// zigzag-varint difference of its bit pattern from the previous value
+/// *in the same feature column* (`prev[j]` runs across the whole payload).
+/// A feature's values cluster tightly across rows — and a dirty cell's
+/// candidates are imputations of the same quantity — so the column-wise
+/// bit-pattern deltas are short varints where the raw layout spends a
+/// fixed 8 bytes per value.
+fn put_delta_points(out: &mut Vec<u8>, points: &[Vec<f64>], prev: &mut Vec<u64>) {
+    put_varint_u64(out, points.len() as u64);
+    for p in points {
+        put_varint_u64(out, p.len() as u64);
+        for (j, &v) in p.iter().enumerate() {
+            if prev.len() <= j {
+                prev.push(0);
+            }
+            let bits = v.to_bits();
+            put_zigzag_i64(out, bits.wrapping_sub(prev[j]) as i64);
+            prev[j] = bits;
+        }
+    }
+}
+
+/// A varint element count that must be plausible for the bytes left (each
+/// element occupies at least one byte) — the varint twin of
+/// [`Reader::count`], rejecting hostile counts before any allocation is
+/// sized from them.
+fn varint_count(r: &mut Reader<'_>, context: &'static str) -> RpcResult<usize> {
+    let n = r.varint_u64(context)?;
+    if n > r.remaining() as u64 {
+        return Err(RpcError::Truncated { context });
+    }
+    Ok(n as usize)
+}
+
+fn get_delta_points(r: &mut Reader<'_>, prev: &mut Vec<u64>) -> RpcResult<Vec<Vec<f64>>> {
+    let n = varint_count(r, "delta points")?;
+    let mut points = Vec::with_capacity(n);
+    for _ in 0..n {
+        let dim = varint_count(r, "delta point dim")?;
+        let mut p = Vec::with_capacity(dim);
+        for j in 0..dim {
+            if prev.len() <= j {
+                prev.push(0);
+            }
+            let bits = prev[j].wrapping_add(r.zigzag_i64("delta point value")? as u64);
+            p.push(f64::from_bits(bits));
+            prev[j] = bits;
+        }
+        points.push(p);
+    }
+    Ok(points)
+}
+
+/// Choices as single varints: `0` = clean row, `c + 1` = candidate `c`.
+fn put_varint_choices(out: &mut Vec<u8>, choices: &[Option<u32>]) {
+    put_varint_u64(out, choices.len() as u64);
+    for &c in choices {
+        put_varint_u64(out, c.map_or(0, |v| v as u64 + 1));
+    }
+}
+
+fn get_varint_choices(r: &mut Reader<'_>) -> RpcResult<Vec<Option<u32>>> {
+    let n = varint_count(r, "choices")?;
+    let mut choices = Vec::with_capacity(n);
+    for _ in 0..n {
+        choices.push(match r.varint_u64("choice")? {
+            0 => None,
+            v if v - 1 <= u32::MAX as u64 => Some((v - 1) as u32),
+            v => {
+                return Err(RpcError::Malformed(format!(
+                    "choice {v} does not fit a candidate index"
+                )))
+            }
+        });
+    }
+    Ok(choices)
+}
+
 /// Encode one [`OpenShard`] payload (tag included) with an explicit
-/// `n_threads` value. `encode_request` passes the payload's own; the server
-/// passes `0` to canonicalize the bytes into its shard-dedup key, so a
-/// thread-count knob — which doesn't change what shard is being opened —
-/// can't split otherwise-identical shards into separate index builds.
+/// `n_threads` value, in the delta layout ([`OPEN_V_DELTA`]) — the one
+/// encoding the coordinator sends *and* the one the server canonicalizes
+/// shard-dedup keys from. `encode_request` passes the payload's own
+/// `n_threads`; the server passes `0` to canonicalize, so a thread-count
+/// knob — which doesn't change what shard is being opened — can't split
+/// otherwise-identical shards into separate index builds.
 pub(crate) fn put_open(out: &mut Vec<u8>, open: &OpenShard, n_threads: usize) {
     put_u8(out, REQ_OPEN);
+    put_u8(out, OPEN_V_DELTA);
+    put_varint_u64(out, open.start as u64);
+    put_varint_u64(out, open.n_labels as u64);
+    put_varint_u64(out, open.k as u64);
+    put_kernel(out, open.kernel);
+    put_varint_u64(out, n_threads as u64);
+    put_varint_u64(out, open.examples.len() as u64);
+    let mut prev: Vec<u64> = Vec::new();
+    for (label, candidates) in &open.examples {
+        put_varint_u64(out, *label as u64);
+        put_delta_points(out, candidates, &mut prev);
+    }
+    put_delta_points(out, &open.val_x, &mut prev);
+    put_varint_choices(out, &open.truth_choice);
+    put_varint_choices(out, &open.default_choice);
+}
+
+/// The fixed-width v1 layout, kept encodable for the version-compatibility
+/// tests and as the arithmetic ground truth for the byte-accounting
+/// counters.
+#[cfg(test)]
+pub(crate) fn put_open_raw(out: &mut Vec<u8>, open: &OpenShard, n_threads: usize) {
+    put_u8(out, REQ_OPEN);
+    put_u8(out, OPEN_V_RAW);
     put_usize(out, open.start);
     put_u32(out, open.n_labels as u32);
     put_u32(out, open.k as u32);
@@ -275,12 +390,52 @@ pub(crate) fn put_open(out: &mut Vec<u8>, open: &OpenShard, n_threads: usize) {
     put_choices(out, &open.default_choice);
 }
 
+/// Size of [`put_open_raw`]'s encoding, computed arithmetically (no
+/// encode) — the "bytes we did not send" side of the compression counters.
+fn raw_open_size(open: &OpenShard) -> usize {
+    let points = |ps: &[Vec<f64>]| 4 + ps.iter().map(|p| 4 + 8 * p.len()).sum::<usize>();
+    let choices = |cs: &[Option<u32>]| {
+        4 + cs
+            .iter()
+            .map(|c| 1 + 4 * c.is_some() as usize)
+            .sum::<usize>()
+    };
+    let kernel = match open.kernel {
+        Kernel::Rbf { .. } => 9,
+        _ => 1,
+    };
+    2 + 8
+        + 4
+        + 4
+        + kernel
+        + 4
+        + 4
+        + open
+            .examples
+            .iter()
+            .map(|(_, c)| 4 + points(c))
+            .sum::<usize>()
+        + points(&open.val_x)
+        + choices(&open.truth_choice)
+        + choices(&open.default_choice)
+}
+
 /// Encode a request into a frame payload.
 pub fn encode_request(req: &Request) -> Vec<u8> {
     let mut out = Vec::new();
     match req {
         Request::Open(open) => {
             put_open(&mut out, open, open.n_threads);
+            // byte accounting, mirroring the stream codec's counters: what
+            // went on the wire vs what the fixed-width layout would have cost
+            let delta_total = cp_obs::counter!("rpc.codec.open_bytes_delta");
+            let raw_total = cp_obs::counter!("rpc.codec.open_bytes_raw");
+            delta_total.add(out.len() as u64);
+            raw_total.add(raw_open_size(open) as u64);
+            let (d, r) = (delta_total.get(), raw_total.get());
+            if d > 0 {
+                cp_obs::gauge!("rpc.codec.open_compression_ratio").set(r as f64 / d as f64);
+            }
         }
         Request::Scan {
             session,
@@ -356,34 +511,71 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
 pub fn decode_request(buf: &[u8]) -> RpcResult<Request> {
     let mut r = Reader::new(buf);
     let req = match r.u8("request tag")? {
-        REQ_OPEN => {
-            let start = r.usize("shard start")?;
-            let n_labels = r.u32("n_labels")? as usize;
-            let k = r.u32("config k")? as usize;
-            let kernel = get_kernel(&mut r)?;
-            let n_threads = r.u32("n_threads")? as usize;
-            let n_examples = r.count(5, "examples")?;
-            let mut examples = Vec::with_capacity(n_examples);
-            for _ in 0..n_examples {
-                let label = r.u32("example label")? as Label;
-                let candidates = get_points(&mut r)?;
-                examples.push((label, candidates));
+        REQ_OPEN => match r.u8("open version")? {
+            OPEN_V_RAW => {
+                let start = r.usize("shard start")?;
+                let n_labels = r.u32("n_labels")? as usize;
+                let k = r.u32("config k")? as usize;
+                let kernel = get_kernel(&mut r)?;
+                let n_threads = r.u32("n_threads")? as usize;
+                let n_examples = r.count(5, "examples")?;
+                let mut examples = Vec::with_capacity(n_examples);
+                for _ in 0..n_examples {
+                    let label = r.u32("example label")? as Label;
+                    let candidates = get_points(&mut r)?;
+                    examples.push((label, candidates));
+                }
+                let val_x = get_points(&mut r)?;
+                let truth_choice = get_choices(&mut r)?;
+                let default_choice = get_choices(&mut r)?;
+                Request::Open(Box::new(OpenShard {
+                    start,
+                    n_labels,
+                    k,
+                    kernel,
+                    n_threads,
+                    examples,
+                    val_x,
+                    truth_choice,
+                    default_choice,
+                }))
             }
-            let val_x = get_points(&mut r)?;
-            let truth_choice = get_choices(&mut r)?;
-            let default_choice = get_choices(&mut r)?;
-            Request::Open(Box::new(OpenShard {
-                start,
-                n_labels,
-                k,
-                kernel,
-                n_threads,
-                examples,
-                val_x,
-                truth_choice,
-                default_choice,
-            }))
-        }
+            OPEN_V_DELTA => {
+                let start = r.varint_u64("shard start")? as usize;
+                let n_labels = r.varint_u64("n_labels")? as usize;
+                let k = r.varint_u64("config k")? as usize;
+                let kernel = get_kernel(&mut r)?;
+                let n_threads = r.varint_u64("n_threads")? as usize;
+                let n_examples = varint_count(&mut r, "examples")?;
+                let mut examples = Vec::with_capacity(n_examples);
+                let mut prev: Vec<u64> = Vec::new();
+                for _ in 0..n_examples {
+                    let label = r.varint_u64("example label")? as Label;
+                    let candidates = get_delta_points(&mut r, &mut prev)?;
+                    examples.push((label, candidates));
+                }
+                let val_x = get_delta_points(&mut r, &mut prev)?;
+                let truth_choice = get_varint_choices(&mut r)?;
+                let default_choice = get_varint_choices(&mut r)?;
+                Request::Open(Box::new(OpenShard {
+                    start,
+                    n_labels,
+                    k,
+                    kernel,
+                    n_threads,
+                    examples,
+                    val_x,
+                    truth_choice,
+                    default_choice,
+                }))
+            }
+            tag => {
+                return Err(RpcError::BadTag {
+                    what: "open version",
+                    tag,
+                })
+            }
+        },
         REQ_SCAN => {
             let session = r.u64("scan session")?;
             let val = r.u32("scan val")?;
@@ -641,6 +833,116 @@ mod tests {
         for resp in cases {
             assert_eq!(decode_response(&encode_response(&resp)).unwrap(), resp);
         }
+    }
+
+    #[test]
+    fn open_raw_layout_still_decodes_and_matches_delta() {
+        let open = OpenShard {
+            start: 3,
+            n_labels: 2,
+            k: 1,
+            kernel: Kernel::default(),
+            n_threads: 2,
+            examples: vec![(1, vec![vec![1.5, 2.5], vec![1.5, 2.75]])],
+            val_x: vec![vec![0.25, 0.5]],
+            truth_choice: vec![Some(0)],
+            default_choice: vec![Some(1)],
+        };
+        let mut raw = Vec::new();
+        put_open_raw(&mut raw, &open, open.n_threads);
+        let mut delta = Vec::new();
+        put_open(&mut delta, &open, open.n_threads);
+        let expected = Request::Open(Box::new(open));
+        assert_eq!(decode_request(&raw).unwrap(), expected);
+        assert_eq!(decode_request(&delta).unwrap(), expected);
+        assert!(matches!(
+            decode_request(&[REQ_OPEN, 77]),
+            Err(RpcError::BadTag {
+                what: "open version",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn delta_open_compresses_candidate_grids() {
+        // a realistic dirty column: candidates are near-identical imputations
+        let examples = (0..64)
+            .map(|i| {
+                let base = 10.0 + i as f64 * 0.125;
+                (i % 2, vec![vec![base, 1.0], vec![base + 0.5, 1.0]])
+            })
+            .collect();
+        let open = OpenShard {
+            start: 0,
+            n_labels: 2,
+            k: 3,
+            kernel: Kernel::default(),
+            n_threads: 1,
+            examples,
+            val_x: vec![vec![10.5, 1.0]; 8],
+            truth_choice: vec![Some(0); 64],
+            default_choice: vec![Some(1); 64],
+        };
+        let mut delta = Vec::new();
+        put_open(&mut delta, &open, open.n_threads);
+        let raw = raw_open_size(&open);
+        assert!(
+            delta.len() * 2 < raw,
+            "delta {} bytes vs raw {} bytes — expected at least 2x",
+            delta.len(),
+            raw
+        );
+        // and the raw-size arithmetic matches an actual raw encoding
+        let mut raw_bytes = Vec::new();
+        put_open_raw(&mut raw_bytes, &open, open.n_threads);
+        assert_eq!(raw_bytes.len(), raw);
+    }
+
+    #[test]
+    fn truncated_and_hostile_open_payloads_never_panic() {
+        let open = OpenShard {
+            start: 1,
+            n_labels: 2,
+            k: 1,
+            kernel: Kernel::Rbf { gamma: 0.25 },
+            n_threads: 1,
+            examples: vec![(0, vec![vec![4.0], vec![5.0]]), (1, vec![vec![6.0]])],
+            val_x: vec![vec![1.0]],
+            truth_choice: vec![Some(1), None],
+            default_choice: vec![Some(0), None],
+        };
+        for encode in [
+            put_open as fn(&mut Vec<u8>, &OpenShard, usize),
+            put_open_raw,
+        ] {
+            let mut good = Vec::new();
+            encode(&mut good, &open, 1);
+            assert!(decode_request(&good).is_ok());
+            // every prefix fails cleanly
+            for cut in 0..good.len() {
+                assert!(decode_request(&good[..cut]).is_err(), "cut at {cut}");
+            }
+            // every single-byte corruption decodes, errors, or round-trips —
+            // but never panics
+            for i in 0..good.len() {
+                let mut bytes = good.clone();
+                bytes[i] ^= 0xFF;
+                let _ = decode_request(&bytes);
+            }
+        }
+        // hostile counts are rejected before allocation
+        let mut hostile = vec![REQ_OPEN, OPEN_V_DELTA];
+        hostile.push(0); // start
+        hostile.push(2); // n_labels
+        hostile.push(1); // k
+        hostile.push(1); // kernel NegEuclidean
+        hostile.push(1); // n_threads
+        hostile.extend_from_slice(&[0xFF, 0xFF, 0xFF, 0xFF, 0x0F]); // huge n_examples
+        assert!(matches!(
+            decode_request(&hostile),
+            Err(RpcError::Truncated { .. })
+        ));
     }
 
     #[test]

@@ -50,8 +50,10 @@ use cp_core::{
 };
 use cp_numeric::Possibility;
 use cp_shard::ShardStream;
+use cp_store::WalWriter;
 use std::collections::HashMap;
 use std::net::{Shutdown, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::sync_channel;
 use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
@@ -74,6 +76,14 @@ pub struct ServerConfig {
     /// before returning); `None` serves forever. `Some(1)` is the
     /// single-coordinator mode CI's loopback smoke test uses.
     pub max_accepts: Option<usize>,
+    /// Durability root. When set, every session appends its `Open` payload
+    /// and each applied pin to a write-ahead log under this directory
+    /// (`session-<id>.wal`, fsync'd before the `Step` acknowledgement), and
+    /// a restarting server replays the logs to rebuild its sessions —
+    /// same ids, same pins — so a reconnecting coordinator's idempotent
+    /// `Step` retransmission lands on recovered state. `None` (the default)
+    /// keeps sessions purely in memory.
+    pub data_dir: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -83,6 +93,7 @@ impl Default for ServerConfig {
             max_sessions: 64,
             queue_depth: 32,
             max_accepts: None,
+            data_dir: None,
         }
     }
 }
@@ -131,6 +142,14 @@ impl std::fmt::Debug for SessionMetrics {
 struct Session {
     shared: Arc<SharedShard>,
     metrics: SessionMetrics,
+    /// The session's write-ahead pin log (servers with a `data_dir` only).
+    /// Record 0 is the session's encoded `Open` request; every later record
+    /// is one applied pin (`u32` local row, little-endian). `handle_step`
+    /// appends + fsyncs **before** applying the pin, so an acknowledged
+    /// step is always recoverable.
+    wal: Option<Mutex<WalWriter>>,
+    /// The log's path, kept so `Close` can delete it.
+    wal_path: Option<PathBuf>,
     state: RwLock<SessionState>,
 }
 
@@ -170,6 +189,9 @@ pub struct ShardServer {
     /// The deduplicated shared-shard pool, scanned linearly by canonical
     /// key (opens are rare and the compare is cheap next to an index build).
     shards: Mutex<Vec<Arc<SharedShard>>>,
+    /// Durability root (see [`ServerConfig::data_dir`]); `None` = in-memory
+    /// sessions only.
+    data_dir: Option<PathBuf>,
 }
 
 impl Default for ShardServer {
@@ -186,14 +208,36 @@ impl ShardServer {
 
     /// A server admitting at most `max_sessions` live sessions.
     pub fn with_max_sessions(max_sessions: usize) -> Self {
+        Self::with_config(max_sessions, None)
+    }
+
+    /// A server with an optional durability root. When `data_dir` is set,
+    /// existing `session-<id>.wal` logs under it are replayed first: each
+    /// valid log rebuilds its session — same id, same shared shard (dedup
+    /// by canonical `Open` key still applies), pins re-applied in logged
+    /// order — and a damaged log is skipped with a warning, never a panic.
+    pub fn with_config(max_sessions: usize, data_dir: Option<PathBuf>) -> Self {
         static NEXT_INSTANCE: AtomicU64 = AtomicU64::new(1);
-        ShardServer {
+        let server = ShardServer {
             max_sessions,
             instance: NEXT_INSTANCE.fetch_add(1, Ordering::Relaxed),
             next_session: AtomicU64::new(1),
             sessions: RwLock::new(HashMap::new()),
             shards: Mutex::new(Vec::new()),
+            data_dir,
+        };
+        if let Some(dir) = server.data_dir.clone() {
+            if let Err(e) = std::fs::create_dir_all(&dir) {
+                cp_obs::obs_warn!(
+                    "rpc.server",
+                    "cannot create data dir {}: {e}; sessions will fail to open",
+                    dir.display()
+                );
+            } else {
+                server.recover_sessions(&dir);
+            }
         }
+        server
     }
 
     /// Live sessions right now.
@@ -279,7 +323,24 @@ impl ShardServer {
             },
             Request::Stats { session } => self.handle_stats(session),
             Request::Close { session } => {
-                if self.write_sessions().remove(&session).is_some() {
+                if let Some(sess) = self.write_sessions().remove(&session) {
+                    // a closed session's per-session counters would otherwise
+                    // accumulate forever in the process-wide registry
+                    cp_obs::remove_prefix(&format!(
+                        "rpc.server.s{}.session.{}.",
+                        self.instance, session
+                    ));
+                    // an explicit close is a completed session: its log has
+                    // nothing left to recover
+                    if let Some(path) = &sess.wal_path {
+                        if let Err(e) = std::fs::remove_file(path) {
+                            cp_obs::obs_warn!(
+                                "rpc.server",
+                                "cannot delete session log {}: {e}",
+                                path.display()
+                            );
+                        }
+                    }
                     Response::Ok
                 } else {
                     Response::Error(format!("unknown session {session}"))
@@ -298,6 +359,43 @@ impl ShardServer {
         key
     }
 
+    /// Find or build the shared shard for an `Open` payload: a
+    /// byte-identical payload was already validated and indexed when its
+    /// shard was first built — reuse it and skip both.
+    fn shared_for(
+        &self,
+        open: OpenShard,
+        key: Vec<u8>,
+        opts: &RunOptions,
+    ) -> Result<Arc<SharedShard>, Response> {
+        let existing = {
+            let shards = self.shards.lock().unwrap_or_else(|e| e.into_inner());
+            shards.iter().find(|s| s.key == key).cloned()
+        };
+        match existing {
+            Some(shared) => Ok(shared),
+            None => {
+                let shared = Self::build_shared(open, key, opts)?;
+                let mut shards = self.shards.lock().unwrap_or_else(|e| e.into_inner());
+                // another connection may have built the same shard while
+                // we did; keep the first so every session shares one copy
+                Ok(match shards.iter().find(|s| s.key == shared.key).cloned() {
+                    Some(first) => first,
+                    None => {
+                        let shared = Arc::new(shared);
+                        shards.push(shared.clone());
+                        shared
+                    }
+                })
+            }
+        }
+    }
+
+    /// The log path of a session under this server's data dir.
+    fn wal_path(dir: &Path, id: SessionId) -> PathBuf {
+        dir.join(format!("session-{id}.wal"))
+    }
+
     fn handle_open(&self, open: OpenShard) -> Response {
         if self.read_sessions().len() >= self.max_sessions {
             cp_obs::counter!("rpc.server.busy_rejections").inc();
@@ -309,30 +407,15 @@ impl ShardServer {
             n_threads: open.n_threads.max(1),
             record_every: 1,
         };
-        // a byte-identical payload was already validated and indexed when
-        // its shard was first built — reuse it and skip both
-        let existing = {
-            let shards = self.shards.lock().unwrap_or_else(|e| e.into_inner());
-            shards.iter().find(|s| s.key == key).cloned()
-        };
-        let shared = match existing {
-            Some(shared) => shared,
-            None => match Self::build_shared(open, key, &opts) {
-                Ok(shared) => {
-                    let mut shards = self.shards.lock().unwrap_or_else(|e| e.into_inner());
-                    // another connection may have built the same shard while
-                    // we did; keep the first so every session shares one copy
-                    match shards.iter().find(|s| s.key == shared.key).cloned() {
-                        Some(first) => first,
-                        None => {
-                            let shared = Arc::new(shared);
-                            shards.push(shared.clone());
-                            shared
-                        }
-                    }
-                }
-                Err(resp) => return resp,
-            },
+        // the open's full wire encoding becomes the log's first record, so
+        // a restart can rebuild the session from the log alone
+        let mut open_record = Vec::new();
+        if self.data_dir.is_some() {
+            put_open(&mut open_record, &open, open.n_threads);
+        }
+        let shared = match self.shared_for(open, key, &opts) {
+            Ok(shared) => shared,
+            Err(resp) => return resp,
         };
         let n_rows = shared.shard.len();
         // deferred: global certainty is the coordinator's job — this session
@@ -342,17 +425,39 @@ impl ShardServer {
             shared.cache.clone(),
             &opts,
         );
+        let id = self.next_session.fetch_add(1, Ordering::Relaxed);
+        // make the session durable *before* it is admitted: once `Opened`
+        // is on the wire the coordinator may step immediately after a crash
+        let (wal, wal_path) = match &self.data_dir {
+            Some(dir) => {
+                let path = Self::wal_path(dir, id);
+                let mut w = match WalWriter::open(&path) {
+                    Ok(w) => w,
+                    Err(e) => return Response::Error(format!("cannot open session log: {e}")),
+                };
+                if let Err(e) = w.append(&open_record) {
+                    let _ = std::fs::remove_file(&path);
+                    return Response::Error(format!("cannot log session open: {e}"));
+                }
+                (Some(Mutex::new(w)), Some(path))
+            }
+            None => (None, None),
+        };
         let mut sessions = self.write_sessions();
         // re-check under the write lock: another connection may have filled
         // the last slot while the shard was being built
         if sessions.len() >= self.max_sessions {
             cp_obs::counter!("rpc.server.busy_rejections").inc();
+            if let Some(path) = &wal_path {
+                let _ = std::fs::remove_file(path);
+            }
             return Response::Busy(format!("{} sessions at capacity", self.max_sessions));
         }
-        let id = self.next_session.fetch_add(1, Ordering::Relaxed);
         let entry = Arc::new(Session {
             shared,
             metrics: SessionMetrics::new(self.instance, id),
+            wal,
+            wal_path,
             state: RwLock::new(SessionState {
                 session,
                 global_cp: Vec::new(),
@@ -363,6 +468,102 @@ impl ShardServer {
             session: id,
             n_rows,
         }
+    }
+
+    /// Replay every `session-<id>.wal` under `dir` into a live session. A
+    /// log that fails to replay (corrupt record, invalid open, impossible
+    /// pin) is skipped with a warning — one damaged session must not stop
+    /// the others from recovering — but its id is still retired so a new
+    /// session can never collide with the leftover file.
+    fn recover_sessions(&self, dir: &Path) {
+        let entries = match std::fs::read_dir(dir) {
+            Ok(entries) => entries,
+            Err(e) => {
+                cp_obs::obs_warn!("rpc.server", "cannot scan data dir {}: {e}", dir.display());
+                return;
+            }
+        };
+        let mut max_id = 0u64;
+        for entry in entries.flatten() {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            let Some(id) = name
+                .strip_prefix("session-")
+                .and_then(|s| s.strip_suffix(".wal"))
+                .and_then(|s| s.parse::<u64>().ok())
+            else {
+                continue;
+            };
+            max_id = max_id.max(id);
+            match self.recover_one(&entry.path(), id) {
+                Ok(n_pins) => {
+                    cp_obs::obs_info!(
+                        "rpc.server",
+                        "recovered session {id} with {n_pins} pins from {name}"
+                    );
+                }
+                Err(msg) => {
+                    cp_obs::obs_warn!("rpc.server", "skipping session log {name}: {msg}");
+                }
+            }
+        }
+        // ids strictly above every logged session, recovered or not
+        self.next_session.fetch_max(max_id + 1, Ordering::Relaxed);
+    }
+
+    /// Rebuild one session from its log: record 0 is the `Open` request,
+    /// every later record one pin. Returns the number of replayed pins.
+    fn recover_one(&self, path: &Path, id: SessionId) -> Result<usize, String> {
+        let records = cp_store::wal::replay(path).map_err(|e| e.to_string())?;
+        let Some((open_record, steps)) = records.split_first() else {
+            return Err("log holds no open record".into());
+        };
+        let Ok(Request::Open(open)) = decode_request(open_record) else {
+            return Err("first record does not decode to an Open request".into());
+        };
+        let open = *open;
+        let key = Self::canonical_key(&open);
+        let opts = RunOptions {
+            max_cleaned: None,
+            n_threads: open.n_threads.max(1),
+            record_every: 1,
+        };
+        let shared = self
+            .shared_for(open, key, &opts)
+            .map_err(|resp| format!("invalid logged open: {resp:?}"))?;
+        let mut order = Vec::with_capacity(steps.len());
+        for rec in steps {
+            let bytes: [u8; 4] = rec
+                .as_slice()
+                .try_into()
+                .map_err(|_| format!("pin record of {} bytes (expected 4)", rec.len()))?;
+            order.push(u32::from_le_bytes(bytes) as usize);
+        }
+        let n_pins = order.len();
+        let session = CleaningSession::from_cache_replayed(
+            shared.problem.clone(),
+            shared.cache.clone(),
+            &opts,
+            &order,
+        )?;
+        let metrics = SessionMetrics::new(self.instance, id);
+        // replayed pins are steps this session has served; the counter must
+        // agree with what a never-restarted server would report
+        metrics.steps.add(n_pins as u64);
+        let wal = WalWriter::open(path).map_err(|e| e.to_string())?;
+        let entry = Arc::new(Session {
+            shared,
+            metrics,
+            wal: Some(Mutex::new(wal)),
+            wal_path: Some(path.to_path_buf()),
+            state: RwLock::new(SessionState {
+                session,
+                // the coordinator re-publishes global status after it
+                // reconnects; until then the recovered view is empty
+                global_cp: Vec::new(),
+            }),
+        });
+        self.write_sessions().insert(id, entry);
+        Ok(n_pins)
     }
 
     /// Validate an `Open` payload and build its shared shard (the heavy
@@ -569,6 +770,16 @@ impl ShardServer {
         }
         if state.session.state().is_cleaned(row) {
             return Response::Error(format!("row {row} already cleaned"));
+        }
+        // durable before acknowledged: the pin record is on stable storage
+        // before the pin applies or `Ok` hits the wire. A crash between
+        // append and apply is safe — replay re-applies the pin, and the
+        // coordinator's retransmission lands on the idempotency path above.
+        if let Some(wal) = &sess.wal {
+            let mut wal = wal.lock().unwrap_or_else(|e| e.into_inner());
+            if let Err(e) = wal.append(&local_row.to_le_bytes()) {
+                return Response::Error(format!("cannot log pin: {e}"));
+            }
         }
         state.session.clean_pin_only(row);
         // counted after the pin applies: a retransmission acknowledged above
@@ -799,7 +1010,10 @@ fn serve_inner(
     cfg: ServerConfig,
     stop: Option<Arc<AtomicBool>>,
 ) -> RpcResult<()> {
-    let server = Arc::new(ShardServer::with_max_sessions(cfg.max_sessions));
+    let server = Arc::new(ShardServer::with_config(
+        cfg.max_sessions,
+        cfg.data_dir.clone(),
+    ));
     let live = Arc::new(AtomicUsize::new(0));
     let mut accepted = 0usize;
     let mut handles: Vec<JoinHandle<()>> = Vec::new();
@@ -899,7 +1113,15 @@ impl Drop for RunningServer {
 /// tests and the `rpc_many_sessions` experiment share; multi-host
 /// deployments run the `shard-server` binary instead.
 pub fn spawn_server(cfg: ServerConfig) -> RpcResult<RunningServer> {
-    let listener = TcpListener::bind("127.0.0.1:0")?;
+    spawn_server_on("127.0.0.1:0", cfg)
+}
+
+/// [`spawn_server`] on an explicit bind address. The shape crash-recovery
+/// tests need: a restarted server must rebind the *same* port its
+/// predecessor held, because a reconnecting [`crate::ShardClient`] redials
+/// the address it remembers.
+pub fn spawn_server_on(bind: &str, cfg: ServerConfig) -> RpcResult<RunningServer> {
+    let listener = TcpListener::bind(bind)?;
     let addr = listener.local_addr()?.to_string();
     let stop = Arc::new(AtomicBool::new(false));
     let flag = stop.clone();
@@ -1395,5 +1617,176 @@ mod tests {
             assert_eq!(server.n_sessions(), 0);
             assert_eq!(server.n_shards(), 0, "a rejected open must build nothing");
         }
+    }
+
+    /// A fresh directory under the OS temp dir, removed on drop.
+    struct TestDir(PathBuf);
+
+    impl TestDir {
+        fn new(tag: &str) -> Self {
+            static NEXT: AtomicU64 = AtomicU64::new(0);
+            let dir = std::env::temp_dir().join(format!(
+                "cp-rpc-{tag}-{}-{}",
+                std::process::id(),
+                NEXT.fetch_add(1, Ordering::Relaxed)
+            ));
+            std::fs::create_dir_all(&dir).unwrap();
+            TestDir(dir)
+        }
+
+        fn path(&self) -> &Path {
+            &self.0
+        }
+    }
+
+    impl Drop for TestDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    /// [`tiny_open`] with a second dirty row, so recovery tests can keep
+    /// cleaning after the replayed pin.
+    fn two_dirty_open() -> OpenShard {
+        let mut open = tiny_open();
+        open.examples[2] = (1, vec![vec![5.5], vec![6.0]]);
+        open.truth_choice[2] = Some(0);
+        open.default_choice[2] = Some(1);
+        open
+    }
+
+    fn step(server: &ShardServer, session: SessionId, local_row: u32, expect: u32) -> Response {
+        server.handle(Request::Step {
+            session,
+            local_row,
+            expect_cleaned: expect,
+        })
+    }
+
+    fn status(server: &ShardServer, session: SessionId) -> ShardStatus {
+        match server.handle(Request::Status { session }) {
+            Response::Status(s) => s,
+            other => panic!("expected status, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wal_replay_recovers_sessions_across_restart() {
+        let dir = TestDir::new("replay");
+        let data_dir = Some(dir.path().to_path_buf());
+        let (session, before) = {
+            let server = ShardServer::with_config(8, data_dir.clone());
+            let session = open_session(&server, two_dirty_open());
+            assert_eq!(step(&server, session, 1, 0), Response::Ok);
+            (session, status(&server, session))
+            // dropped without `Close` — the mid-run crash
+        };
+        assert!(
+            dir.path().join(format!("session-{session}.wal")).exists(),
+            "a live session must leave its log behind"
+        );
+
+        let server = ShardServer::with_config(8, data_dir);
+        assert_eq!(server.n_sessions(), 1, "the session must come back");
+        let after = status(&server, session);
+        assert_eq!(after.n_cleaned, before.n_cleaned);
+        assert_eq!(after.pins, before.pins);
+        // the global view is the coordinator's to re-publish
+        assert!(after.global_cp.is_empty());
+        // replayed pins count as served steps — stats look like no restart
+        let Response::Stats(bytes) = server.handle(Request::Stats { session }) else {
+            panic!("expected stats");
+        };
+        let scoped = cp_obs::Snapshot::decode(&bytes).unwrap();
+        let prefix = format!("rpc.server.s{}.session.{session}.", server.instance);
+        assert_eq!(scoped.counter(&format!("{prefix}steps")), 1);
+        // a retransmission of the logged step lands on the idempotency path
+        assert_eq!(step(&server, session, 1, 0), Response::Ok);
+        assert_eq!(status(&server, session).n_cleaned, 1);
+        // and the recovered session keeps cleaning durably
+        assert_eq!(step(&server, session, 2, 1), Response::Ok);
+        assert_eq!(status(&server, session).n_cleaned, 2);
+        // ids never collide with recovered (or leftover) logs
+        let fresh = open_session(&server, tiny_open());
+        assert!(fresh > session);
+    }
+
+    #[test]
+    fn close_deletes_the_log_and_unregisters_session_metrics() {
+        let dir = TestDir::new("close");
+        let server = ShardServer::with_config(8, Some(dir.path().to_path_buf()));
+        let session = open_session(&server, tiny_open());
+        assert_eq!(step(&server, session, 1, 0), Response::Ok);
+        let wal = dir.path().join(format!("session-{session}.wal"));
+        assert!(wal.exists());
+        let prefix = format!("rpc.server.s{}.session.{session}.", server.instance);
+        assert_eq!(
+            cp_obs::snapshot().counter(&format!("{prefix}steps")),
+            1,
+            "session counters live while the session does"
+        );
+        assert_eq!(server.handle(Request::Close { session }), Response::Ok);
+        assert!(!wal.exists(), "a closed session has nothing to recover");
+        let snap = cp_obs::snapshot();
+        assert!(
+            snap.counters.keys().all(|k| !k.starts_with(&prefix)),
+            "closed session left counters behind"
+        );
+        // nothing to recover on the next boot
+        let server = ShardServer::with_config(8, Some(dir.path().to_path_buf()));
+        assert_eq!(server.n_sessions(), 0);
+    }
+
+    #[test]
+    fn damaged_and_foreign_logs_are_skipped_not_fatal() {
+        let dir = TestDir::new("damaged");
+        let data_dir = Some(dir.path().to_path_buf());
+        let good = {
+            let server = ShardServer::with_config(8, data_dir.clone());
+            let good = open_session(&server, tiny_open());
+            assert_eq!(step(&server, good, 1, 0), Response::Ok);
+            good
+        };
+        // a log whose open record is garbage
+        let mut w = WalWriter::open(&dir.path().join("session-500.wal")).unwrap();
+        w.append(b"not an open request").unwrap();
+        drop(w);
+        // an empty log, a mid-write CRC hit, and files that aren't logs
+        WalWriter::open(&dir.path().join("session-501.wal")).unwrap();
+        std::fs::write(dir.path().join("session-502.wal"), [0xFF; 64]).unwrap();
+        std::fs::write(dir.path().join("notes.txt"), b"ignore me").unwrap();
+
+        let server = ShardServer::with_config(8, data_dir);
+        assert_eq!(server.n_sessions(), 1, "only the healthy session recovers");
+        assert_eq!(status(&server, good).n_cleaned, 1);
+        // damaged logs still retire their ids — a new session can never be
+        // minted onto a leftover file
+        let fresh = open_session(&server, tiny_open());
+        assert!(fresh > 502, "id {fresh} could collide with a skipped log");
+    }
+
+    #[test]
+    fn torn_wal_tail_drops_only_the_unacknowledged_pin() {
+        let dir = TestDir::new("torn");
+        let data_dir = Some(dir.path().to_path_buf());
+        let session = {
+            let server = ShardServer::with_config(8, data_dir.clone());
+            let session = open_session(&server, two_dirty_open());
+            assert_eq!(step(&server, session, 1, 0), Response::Ok);
+            session
+        };
+        // a crash mid-append leaves a torn frame: the record for a pin that
+        // was never acknowledged
+        let path = dir.path().join(format!("session-{session}.wal"));
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&[4, 0, 0, 0, 0xAA]); // length prefix + 1 of 8 frame bytes
+        std::fs::write(&path, &bytes).unwrap();
+
+        let server = ShardServer::with_config(8, data_dir);
+        let st = status(&server, session);
+        assert_eq!(st.n_cleaned, 1, "the torn pin must not replay");
+        // the truncated-on-reopen log keeps accepting pins
+        assert_eq!(step(&server, session, 2, 1), Response::Ok);
+        assert_eq!(status(&server, session).n_cleaned, 2);
     }
 }

@@ -9,13 +9,14 @@
 
 use cp_core::mm_summary::cmp_entries;
 use cp_core::{ExtremeEntry, ExtremeSummary, Pins, ShardFactors};
+use cp_knn::Kernel;
 use cp_numeric::Possibility;
 use cp_rpc::codec::{
     decode_factors, decode_stream, decode_summary, encode_factors, encode_stream,
     encode_stream_raw, encode_summary, get_pins, get_status_bits, put_pins, put_status_bits,
     read_frame, write_frame,
 };
-use cp_rpc::proto::{decode_request, decode_response, encode_request, Request};
+use cp_rpc::proto::{decode_request, decode_response, encode_request, OpenShard, Request};
 use cp_rpc::wire::Reader;
 use cp_rpc::RpcError;
 use cp_shard::{BoundaryEvent, ShardStream, ShardStreamEvent};
@@ -156,6 +157,70 @@ proptest! {
             decode_summary(&bytes[..cut]).is_err(),
             "strict summary prefix must not decode (cut {})", cut
         );
+    }
+
+    /// Delta-compressed `Open` payloads round-trip exactly for arbitrary
+    /// shards, every strict prefix errors, and any single-byte corruption
+    /// is handled without a panic.
+    #[test]
+    fn open_payloads_round_trip_and_survive_damage(
+        (start, n_labels, k) in (0usize..1_000, 2usize..=4, 0usize..=3),
+        (gamma_num, dim, n_val) in (0u32..100, 1usize..=3, 0usize..=4),
+        raw_examples in proptest::collection::vec(
+            (0u64..4, proptest::collection::vec(0i64..2_000, 1..=3)),
+            0..=6,
+        ),
+        choice_seeds in proptest::collection::vec(0u32..5, 0..=6),
+        (cut_seed, flip_seed) in (0usize..10_000, 0usize..10_000),
+    ) {
+        // candidate points per example are built from integer seeds so the
+        // f64 coordinates are exact and the round-trip can be `==`-checked
+        let examples: Vec<(usize, Vec<Vec<f64>>)> = raw_examples
+            .iter()
+            .map(|(label, cands)| {
+                let pts = cands
+                    .iter()
+                    .map(|&c| (0..dim).map(|j| (c + j as i64) as f64 / 4.0).collect())
+                    .collect();
+                ((*label % n_labels as u64) as usize, pts)
+            })
+            .collect();
+        let n_examples = examples.len();
+        let choices: Vec<Option<u32>> = (0..n_examples)
+            .map(|i| {
+                let s = choice_seeds.get(i).copied().unwrap_or(0);
+                if s == 0 { None } else { Some(s - 1) }
+            })
+            .collect();
+        let open = OpenShard {
+            start,
+            n_labels,
+            k,
+            kernel: if gamma_num == 0 {
+                Kernel::default()
+            } else {
+                Kernel::Rbf { gamma: gamma_num as f64 / 16.0 }
+            },
+            n_threads: 2,
+            examples,
+            val_x: (0..n_val).map(|i| vec![i as f64; dim]).collect(),
+            truth_choice: choices.clone(),
+            default_choice: choices,
+        };
+        let req = Request::Open(Box::new(open));
+        let bytes = encode_request(&req);
+        prop_assert_eq!(decode_request(&bytes).unwrap(), req);
+        let cut = cut_seed % bytes.len();
+        prop_assert!(
+            decode_request(&bytes[..cut]).is_err(),
+            "strict open prefix must not decode (cut {})", cut
+        );
+        // a single flipped byte decodes to something, errors, or trips a
+        // plausibility check — whatever happens, it must not panic
+        let mut damaged = bytes.clone();
+        let at = flip_seed % damaged.len();
+        damaged[at] ^= 1 << (flip_seed % 8);
+        let _ = decode_request(&damaged);
     }
 
     /// Garbage never panics any decoder; it returns Ok or a typed error.

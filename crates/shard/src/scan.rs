@@ -582,8 +582,24 @@ pub fn certain_label_from_streams<T>(streams: &[T]) -> Option<Label>
 where
     T: Borrow<ShardStream<Possibility>>,
 {
+    let (n_labels, k) = check_streams(streams);
+    let mut cursors: Vec<StreamCursor<'_, Possibility>> =
+        streams.iter().map(|st| st.borrow().cursor()).collect();
+    certain_label_from_sources(&mut cursors, n_labels, k)
+}
+
+/// [`certain_label_from_streams`] over any mix of [`FactorSource`]s — the
+/// entry point for scans whose shard streams live partly on disk (the
+/// `cp-rpc` spill layer's `RunCursor`s) and partly in RAM. The
+/// two-labels-possible early exit means a source whose first key is never
+/// reached contributes nothing but its opening factors, which is what lets
+/// a lazy on-disk source skip its block decode entirely.
+pub fn certain_label_from_sources<F>(sources: &mut [F], n_labels: usize, k: usize) -> Option<Label>
+where
+    F: FactorSource<Possibility>,
+{
     let uncertain = |counts: &[Possibility]| counts.iter().filter(|c| c.0).count() >= 2;
-    merged_streams_until(streams, None, uncertain).certain_label()
+    merged_scan_sources(sources, n_labels, k, None, uncertain).certain_label()
 }
 
 /// Q2 prediction probabilities from batched probability-space shard streams.

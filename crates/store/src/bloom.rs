@@ -1,0 +1,184 @@
+//! A small fixed-shape bloom filter over `u64` keys — the per-run
+//! membership filter (which global rows and labels appear among a run's
+//! boundary events), sized for footers: ~10 bits per key, 4 probes, a few
+//! hundred bytes for typical runs.
+//!
+//! Rows and labels share one filter; [`Bloom::row_key`]/[`Bloom::label_key`]
+//! tag the two key spaces apart before hashing so `row 3` and `label 3`
+//! cannot alias. Hashing is double hashing over two `splitmix64` streams —
+//! no external hasher, deterministic across platforms, so a filter written
+//! on one machine answers identically on another.
+
+/// Bits per expected key (the classic ~1% false-positive regime together
+/// with [`N_PROBES`]).
+const BITS_PER_KEY: usize = 10;
+
+/// Probes per query.
+const N_PROBES: u32 = 4;
+
+/// `splitmix64` — a full-period mixer; two different seeds give the two
+/// independent hash streams double hashing needs.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A bloom filter: a bit array plus the probe count it was built with.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Bloom {
+    /// Bit array, 64 bits per word.
+    words: Vec<u64>,
+    /// Total bits (`words.len() * 64`).
+    n_bits: u64,
+}
+
+impl Bloom {
+    /// An empty filter sized for about `n_keys` insertions (minimum one
+    /// word, so even an empty run has a valid — always-negative — filter).
+    pub fn with_capacity(n_keys: usize) -> Self {
+        let n_words = (n_keys * BITS_PER_KEY).div_ceil(64).max(1);
+        Bloom {
+            words: vec![0; n_words],
+            n_bits: (n_words * 64) as u64,
+        }
+    }
+
+    /// The tagged key for a global dataset row.
+    pub fn row_key(row: usize) -> u64 {
+        (row as u64) << 1
+    }
+
+    /// The tagged key for a class label.
+    pub fn label_key(label: usize) -> u64 {
+        ((label as u64) << 1) | 1
+    }
+
+    /// Set the bits for `key`.
+    pub fn insert(&mut self, key: u64) {
+        let (h1, h2) = Self::hashes(key);
+        for i in 0..N_PROBES {
+            let bit = h1.wrapping_add((i as u64).wrapping_mul(h2)) % self.n_bits;
+            self.words[(bit / 64) as usize] |= 1 << (bit % 64);
+        }
+    }
+
+    /// `false` means `key` was definitely never inserted; `true` means it
+    /// probably was.
+    pub fn might_contain(&self, key: u64) -> bool {
+        let (h1, h2) = Self::hashes(key);
+        (0..N_PROBES).all(|i| {
+            let bit = h1.wrapping_add((i as u64).wrapping_mul(h2)) % self.n_bits;
+            self.words[(bit / 64) as usize] & (1 << (bit % 64)) != 0
+        })
+    }
+
+    fn hashes(key: u64) -> (u64, u64) {
+        let h1 = splitmix64(key);
+        // a second independent stream; force h2 odd so probes never collapse
+        let h2 = splitmix64(key ^ 0x2545_F491_4F6C_DD1D) | 1;
+        (h1, h2)
+    }
+
+    /// Serialize: `u32 n_words` then the words little-endian.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.words.len() as u32).to_le_bytes());
+        for w in &self.words {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+    }
+
+    /// Deserialize from the front of `bytes`, returning the filter and the
+    /// bytes consumed. Rejects impossible lengths instead of panicking.
+    pub fn decode(bytes: &[u8]) -> Result<(Self, usize), crate::StoreError> {
+        let corrupt = |what: &str| crate::StoreError::Corrupt(format!("bloom filter: {what}"));
+        if bytes.len() < 4 {
+            return Err(corrupt("truncated length"));
+        }
+        let n_words = u32::from_le_bytes(bytes[..4].try_into().unwrap()) as usize;
+        if n_words == 0 {
+            return Err(corrupt("zero words"));
+        }
+        let need = 4 + n_words * 8;
+        if bytes.len() < need {
+            return Err(corrupt("truncated words"));
+        }
+        let words = (0..n_words)
+            .map(|i| u64::from_le_bytes(bytes[4 + i * 8..4 + (i + 1) * 8].try_into().unwrap()))
+            .collect::<Vec<_>>();
+        Ok((
+            Bloom {
+                n_bits: (n_words * 64) as u64,
+                words,
+            },
+            need,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inserted_keys_are_always_found() {
+        let mut b = Bloom::with_capacity(64);
+        for row in 0..48 {
+            b.insert(Bloom::row_key(row * 3));
+        }
+        for label in 0..16 {
+            b.insert(Bloom::label_key(label));
+        }
+        for row in 0..48 {
+            assert!(b.might_contain(Bloom::row_key(row * 3)));
+        }
+        for label in 0..16 {
+            assert!(b.might_contain(Bloom::label_key(label)));
+        }
+    }
+
+    #[test]
+    fn rows_and_labels_do_not_alias_and_negatives_are_common() {
+        let mut b = Bloom::with_capacity(32);
+        for row in 0..32 {
+            b.insert(Bloom::row_key(row));
+        }
+        // same numeric values as labels: mostly absent (tagged key space)
+        let label_hits = (0..32)
+            .filter(|&l| b.might_contain(Bloom::label_key(l)))
+            .count();
+        assert!(label_hits < 8, "tagging failed: {label_hits}/32 aliased");
+        // far-away rows are mostly absent too
+        let far_hits = (1000..1200)
+            .filter(|&r| b.might_contain(Bloom::row_key(r)))
+            .count();
+        assert!(far_hits < 20, "false-positive rate blown: {far_hits}/200");
+    }
+
+    #[test]
+    fn empty_filter_rejects_everything() {
+        let b = Bloom::with_capacity(0);
+        assert!(!b.might_contain(Bloom::row_key(0)));
+        assert!(!b.might_contain(Bloom::label_key(7)));
+    }
+
+    #[test]
+    fn encode_decode_round_trip_and_hostile_bytes() {
+        let mut b = Bloom::with_capacity(100);
+        for i in 0..70 {
+            b.insert(Bloom::row_key(i * 7));
+        }
+        let mut bytes = Vec::new();
+        b.encode_into(&mut bytes);
+        let (back, used) = Bloom::decode(&bytes).unwrap();
+        assert_eq!(back, b);
+        assert_eq!(used, bytes.len());
+        // truncations and garbage never panic
+        for cut in 0..bytes.len() {
+            let _ = Bloom::decode(&bytes[..cut]);
+        }
+        assert!(Bloom::decode(&[0xFF; 4]).is_err());
+        assert!(Bloom::decode(&0u32.to_le_bytes()).is_err());
+    }
+}
