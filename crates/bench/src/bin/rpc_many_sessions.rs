@@ -29,6 +29,16 @@
 //! counters don't sum to exactly `(1+2+4+8) × |dirty rows|`, then sends
 //! `Shutdown` so an externally launched `--conns` server exits cleanly.
 //!
+//! `--chaos SEED` appends a second fleet sweep against a dedicated server
+//! with seeded client-side fault injection armed ([`cp_rpc::FaultPlan::light`]:
+//! ~1% of outgoing frames dropped/delayed/bit-flipped/duplicated, ~1% of
+//! dials refused). Every tenant must still finish bit-identical to its
+//! isolated run — the column reports the throughput/p99 cost of riding
+//! through the faults, plus the recovery ledger (reconnects, failovers,
+//! replayed pins) that paid for it. The chaos sweep uses its own server so
+//! the fault-free server's Stats-probe step ledger stays exact
+//! (deduplicated retransmits still record serve latency).
+//!
 //! Results land in `BENCH_rpc_many_sessions.json` (hand-rolled JSON, no
 //! dependencies). On a single-CPU host the fleets time-slice one core, so
 //! aggregate throughput cannot exceed the serial baseline — the run prints
@@ -38,14 +48,14 @@ use cp_bench::{random_incomplete_dataset, Reporter};
 use cp_clean::{CleaningProblem, RunOptions};
 use cp_core::{CpConfig, Pins};
 use cp_rpc::{
-    encode_stream, encode_stream_raw, spawn_server, Request, RpcCoordinator, ServerConfig,
-    ShardClient,
+    encode_stream, encode_stream_raw, spawn_server, ClientConfig, FaultPlan, Request,
+    RpcCoordinator, ServerConfig, ShardClient,
 };
 use cp_shard::{build_shard_indexes, ShardStream, ShardedSession};
 use rand::prelude::*;
 use rand::rngs::StdRng;
 use std::sync::{Arc, Barrier};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 const FLEETS: [usize; 4] = [1, 2, 4, 8];
 
@@ -89,6 +99,27 @@ struct FleetResult {
     p99_us: f64,
     busy_retries: u64,
     reconnects: u64,
+    failovers: u64,
+    pins_replayed: u64,
+}
+
+/// Retry/timeout knobs sized for the chaos sweep: short read timeouts turn
+/// dropped frames into quick typed failures, a deep jittered retry budget
+/// outlasts any fault burst, and a short breaker cooldown keeps the
+/// half-open probe inside the retry budget.
+fn chaos_client_cfg(seed: u64) -> ClientConfig {
+    ClientConfig {
+        connect_timeout: Some(Duration::from_millis(500)),
+        read_timeout: Some(Duration::from_millis(100)),
+        write_timeout: Some(Duration::from_millis(500)),
+        connect_retries: 16,
+        retry_backoff: Duration::from_millis(2),
+        backoff_cap: Duration::from_millis(20),
+        retry_jitter_seed: seed,
+        breaker_cooldown: Duration::from_millis(25),
+        chaos: Some(FaultPlan::light(seed)),
+        ..ClientConfig::default()
+    }
 }
 
 /// Run `fleet` concurrent coordinators against `addr`, each cleaning its
@@ -98,42 +129,62 @@ struct FleetResult {
 /// Step counts and latency quantiles are read from the production registry
 /// — a snapshot diff over `rpc.coordinator.clean_us` (every worker records
 /// into the one process-wide histogram) — taken right after the workers
-/// join, before the in-process cross-check muddies the registry.
+/// join, before the in-process cross-check muddies the registry. The wall
+/// clock covers the cleaning runs only: it stops at the teardown barrier,
+/// before session shutdown.
 fn run_fleet(
     problem: &CleaningProblem,
     addr: &str,
     fleet: usize,
     opts: &RunOptions,
+    cfg: &ClientConfig,
 ) -> FleetResult {
     let before = cp_obs::snapshot();
     let barrier = Arc::new(Barrier::new(fleet + 1));
+    // teardown rendezvous: the measured run ends at `done`; the main thread
+    // then pauses any armed fault plan before `calm` releases the workers
+    // into shutdown — session teardown is deliberate, not recovery-wrapped,
+    // so it must not race the fault schedule (the chaos suites pause before
+    // teardown for the same reason)
+    let done = Arc::new(Barrier::new(fleet + 1));
+    let calm = Arc::new(Barrier::new(fleet + 1));
     let mut workers = Vec::with_capacity(fleet);
     for c in 0..fleet {
         let problem = problem.clone();
         let addr = addr.to_string();
         let gate = barrier.clone();
+        let done = done.clone();
+        let calm = calm.clone();
         let opts = opts.clone();
+        let cfg = cfg.clone();
         workers.push(std::thread::spawn(move || -> (Vec<bool>, Vec<usize>) {
             let mut order = problem.dirty_rows();
             order.shuffle(&mut StdRng::seed_from_u64(0xc0fe ^ c as u64));
-            let mut remote =
-                RpcCoordinator::connect(&problem, &[addr], &opts).expect("connect coordinator");
+            let mut remote = RpcCoordinator::connect_with(&problem, &[addr], &opts, &cfg)
+                .expect("connect coordinator");
             gate.wait(); // all sessions open before any steps
             for &row in &order {
                 remote.clean(row).expect("clean over rpc");
             }
             let status = remote.status().to_vec();
+            done.wait();
+            calm.wait();
             remote.shutdown().expect("shutdown");
             (status, order)
         }));
     }
     barrier.wait();
     let t0 = Instant::now();
+    done.wait();
+    let wall_s = t0.elapsed().as_secs_f64();
+    if let Some(plan) = &cfg.chaos {
+        plan.pause();
+    }
+    calm.wait();
     let finished: Vec<_> = workers
         .into_iter()
         .map(|w| w.join().expect("coordinator thread"))
         .collect();
-    let wall_s = t0.elapsed().as_secs_f64();
     let diff = cp_obs::snapshot().diff(&before);
     let clean_hist = diff.histogram("rpc.coordinator.clean_us");
 
@@ -165,6 +216,8 @@ fn run_fleet(
         p99_us: clean_hist.p99(),
         busy_retries: diff.counter("rpc.client.busy_retries"),
         reconnects: diff.counter("rpc.client.reconnects"),
+        failovers: diff.counter("rpc.client.failovers"),
+        pins_replayed: diff.counter("rpc.client.pins_replayed"),
     }
 }
 
@@ -188,12 +241,17 @@ fn main() {
     let r = Reporter;
     let mut smoke = false;
     let mut connect: Option<String> = None;
+    let mut chaos_seed: Option<u64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
             "--connect" => {
                 connect = Some(args.next().expect("--connect requires ADDR"));
+            }
+            "--chaos" => {
+                let seed = args.next().expect("--chaos requires a u64 seed");
+                chaos_seed = Some(seed.parse().expect("--chaos requires a u64 seed"));
             }
             other => panic!("unknown argument {other:?}"),
         }
@@ -240,7 +298,7 @@ fn main() {
 
     let results: Vec<FleetResult> = FLEETS
         .iter()
-        .map(|&fleet| run_fleet(&problem, &addr, fleet, &opts))
+        .map(|&fleet| run_fleet(&problem, &addr, fleet, &opts, &ClientConfig::default()))
         .collect();
 
     // wire-level Stats probe: the final admitted connection pulls the
@@ -272,6 +330,55 @@ fn main() {
         .expect("shutdown server");
     drop(server);
 
+    // chaos sweep: the same fleets against a dedicated server, with ~1% of
+    // every coordinator's outgoing frames sabotaged on a seeded schedule —
+    // the cross-check inside run_fleet still demands bit-identical results
+    let mut injected_faults: Vec<(String, u64)> = Vec::new();
+    let chaos_results: Vec<FleetResult> = match chaos_seed {
+        Some(seed) => {
+            let chaos_server = spawn_server(ServerConfig::default()).expect("spawn chaos server");
+            let chaos_addr = chaos_server.addr().to_string();
+            r.note(&format!(
+                "chaos sweep (seed {seed}): FaultPlan::light on every client, server {chaos_addr}"
+            ));
+            let before = cp_obs::snapshot();
+            let out = FLEETS
+                .iter()
+                .map(|&fleet| {
+                    // decorrelate the per-fleet schedules, keep each exact
+                    let cfg = chaos_client_cfg(seed ^ ((fleet as u64) << 32));
+                    run_fleet(&problem, &chaos_addr, fleet, &opts, &cfg)
+                })
+                .collect();
+            // the injection ledger proves the sweep actually hurt: a seed
+            // whose schedule never fires would make the column vacuous
+            injected_faults = cp_obs::snapshot()
+                .diff(&before)
+                .counters
+                .iter()
+                .filter(|(name, &v)| name.starts_with("rpc.fault.") && v > 0)
+                .map(|(name, &v)| (name.clone(), v))
+                .collect();
+            injected_faults.sort();
+            let total: u64 = injected_faults.iter().map(|(_, v)| v).sum();
+            assert!(
+                total > 0,
+                "the chaos sweep injected nothing — pick a seed whose schedule fires"
+            );
+            r.note(&format!(
+                "injected faults: {}",
+                injected_faults
+                    .iter()
+                    .map(|(name, v)| format!("{}={v}", name.trim_start_matches("rpc.fault.")))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+            chaos_server.stop();
+            out
+        }
+        None => Vec::new(),
+    };
+
     let serial = results[0].steps_per_s;
     println!();
     println!(
@@ -295,6 +402,32 @@ fn main() {
         );
     }
     println!();
+    if !chaos_results.is_empty() {
+        println!(
+            "| chaos coordinators | steps | agg steps/s | p99 (µs) | vs fault-free | reconn | failovers | pins replayed |"
+        );
+        println!(
+            "|-------------------:|------:|------------:|---------:|--------------:|-------:|----------:|--------------:|"
+        );
+        for (res, clean) in chaos_results.iter().zip(&results) {
+            println!(
+                "| {} | {} | {:.0} | {:.0} | {:.2}x | {} | {} | {} |",
+                res.coordinators,
+                res.steps,
+                res.steps_per_s,
+                res.p99_us,
+                res.steps_per_s / clean.steps_per_s,
+                res.reconnects,
+                res.failovers,
+                res.pins_replayed,
+            );
+        }
+        println!();
+        r.note(
+            "chaos sweep: ~1% frame faults on every coordinator — results stayed bit-identical; \
+             the columns above are the price of recovery",
+        );
+    }
     r.note("verified: every concurrent tenant's final status == its isolated in-process run");
     r.note("latency quantiles are the production rpc.coordinator.clean_us histogram (√2 buckets)");
     if n_cpus < 2 {
@@ -337,7 +470,44 @@ fn main() {
             if i + 1 < results.len() { "," } else { "" }
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    match chaos_seed {
+        Some(seed) if !chaos_results.is_empty() => {
+            json.push_str(&format!("  \"chaos\": {{\n    \"seed\": {seed},\n"));
+            json.push_str(&format!(
+                "    \"injected_faults\": {{{}}},\n",
+                injected_faults
+                    .iter()
+                    .map(|(name, v)| format!("\"{}\": {v}", name.trim_start_matches("rpc.fault.")))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+            json.push_str("    \"fleets\": [\n");
+            for (i, (res, clean)) in chaos_results.iter().zip(&results).enumerate() {
+                json.push_str(&format!(
+                    "      {{\"coordinators\": {}, \"steps\": {}, \"wall_s\": {:.4}, \
+                     \"steps_per_s\": {:.1}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \
+                     \"vs_fault_free\": {:.3}, \"busy_retries\": {}, \"reconnects\": {}, \
+                     \"failovers\": {}, \"pins_replayed\": {}}}{}\n",
+                    res.coordinators,
+                    res.steps,
+                    res.wall_s,
+                    res.steps_per_s,
+                    res.p50_us,
+                    res.p99_us,
+                    res.steps_per_s / clean.steps_per_s,
+                    res.busy_retries,
+                    res.reconnects,
+                    res.failovers,
+                    res.pins_replayed,
+                    if i + 1 < chaos_results.len() { "," } else { "" }
+                ));
+            }
+            json.push_str("    ]\n  }\n");
+        }
+        _ => json.push_str("  \"chaos\": null\n"),
+    }
+    json.push_str("}\n");
     std::fs::write("BENCH_rpc_many_sessions.json", &json).expect("write benchmark artifact");
     r.note("wrote BENCH_rpc_many_sessions.json");
 }

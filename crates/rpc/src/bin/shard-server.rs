@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! shard-server --listen 127.0.0.1:7701 [--once | --conns N] [--max-sessions M]
-//!              [--data-dir PATH] [--stats-interval SECS]
+//!              [--data-dir PATH] [--stats-interval SECS] [--chaos SEED]
 //! ```
 //!
 //! One process serves any number of independent cleaning sessions
@@ -24,8 +24,15 @@
 //! `--stats-interval SECS` dumps the `cp-obs` metric registry to stderr
 //! every SECS seconds (the same snapshot the wire-level `Stats` request
 //! returns); set `CP_LOG=info` or `debug` for per-connection diagnostics.
+//!
+//! `--chaos SEED` arms deterministic fault injection on every connection's
+//! response path ([`cp_rpc::FaultPlan::mixed`] with SEED): frames are
+//! dropped, delayed, bit-flipped, truncated, duplicated, and connections
+//! killed mid-stream, on a seeded schedule. A correct coordinator rides
+//! through all of it (CRC trailers + retry/failover); this flag exists to
+//! prove that against a *real* process, not just in-process tests.
 
-use cp_rpc::ServerConfig;
+use cp_rpc::{FaultPlan, ServerConfig};
 use std::net::TcpListener;
 use std::process::ExitCode;
 
@@ -72,10 +79,17 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--chaos" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(seed) => cfg.chaos = Some(FaultPlan::mixed(seed)),
+                None => {
+                    eprintln!("shard-server: --chaos requires a u64 seed");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
                 println!(
                     "usage: shard-server [--listen ADDR] [--once | --conns N] [--max-sessions M] \
-                     [--data-dir PATH] [--stats-interval SECS]"
+                     [--data-dir PATH] [--stats-interval SECS] [--chaos SEED]"
                 );
                 println!("  --listen ADDR         bind address (default 127.0.0.1:7701)");
                 println!("  --once                exit after the first connection closes");
@@ -89,6 +103,9 @@ fn main() -> ExitCode {
                      replays and resumes them"
                 );
                 println!("  --stats-interval SECS dump the metric registry to stderr every SECS");
+                println!(
+                    "  --chaos SEED          inject seeded frame faults on every response path"
+                );
                 return ExitCode::SUCCESS;
             }
             other => {

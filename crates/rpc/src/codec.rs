@@ -6,9 +6,9 @@
 //! ## Frame format
 //!
 //! ```text
-//! ┌──────────────┬─────────────────┬──────────────────────┐
-//! │ u32 BE: len  │ u32 BE: req id  │ payload (len bytes)  │
-//! └──────────────┴─────────────────┴──────────────────────┘
+//! ┌──────────────┬─────────────────┬──────────────────────┬──────────────┐
+//! │ u32 BE: len  │ u32 BE: req id  │ payload (len bytes)  │ u32 BE: crc  │
+//! └──────────────┴─────────────────┴──────────────────────┴──────────────┘
 //! ```
 //!
 //! The length counts the payload only and is bounded by [`MAX_FRAME_LEN`];
@@ -16,7 +16,13 @@
 //! pairs responses with requests: a server echoes each request's id on its
 //! response, which is what lets a client keep several requests in flight on
 //! one connection ([`crate::ShardClient::scan_many`]) and still detect any
-//! pairing violation instead of silently mis-attributing a response.
+//! pairing violation instead of silently mis-attributing a response. The
+//! trailing CRC32 covers the whole frame (length, id, and payload), so a
+//! flipped bit anywhere — header or body — surfaces as a typed
+//! [`RpcError::Malformed`] at the frame boundary rather than a decoder
+//! error deep in a payload, or worse, a silently wrong value. That
+//! detection is what lets the failover layer treat *any* corrupted frame
+//! as a recoverable transport fault.
 //! Payloads are self-describing: the first byte is a message tag (see
 //! [`crate::proto`]), and semiring-carrying values lead with a semiring tag
 //! so a decoder instantiated at the wrong type fails with a typed error
@@ -41,8 +47,22 @@ use std::io::{Read, Write};
 /// message in this protocol, far below an allocation that could hurt.
 pub const MAX_FRAME_LEN: u64 = 64 << 20;
 
-/// Write one length-prefixed frame carrying a request id (see the module
-/// docs for the header layout).
+/// Bytes a frame adds around its payload: the `len` + `req id` header and
+/// the trailing CRC32.
+pub const FRAME_OVERHEAD: u64 = 12;
+
+/// CRC32 over the frame header and payload — the value carried in the
+/// frame trailer.
+fn frame_crc(len_bytes: [u8; 4], id_bytes: [u8; 4], payload: &[u8]) -> u32 {
+    let mut covered = Vec::with_capacity(8 + payload.len());
+    covered.extend_from_slice(&len_bytes);
+    covered.extend_from_slice(&id_bytes);
+    covered.extend_from_slice(payload);
+    cp_store::crc32(&covered)
+}
+
+/// Write one length-prefixed, CRC-trailed frame carrying a request id (see
+/// the module docs for the layout).
 pub fn write_frame_tagged<W: Write>(w: &mut W, req_id: u32, payload: &[u8]) -> RpcResult<()> {
     let len = payload.len() as u64;
     if len > MAX_FRAME_LEN {
@@ -51,9 +71,13 @@ pub fn write_frame_tagged<W: Write>(w: &mut W, req_id: u32, payload: &[u8]) -> R
             max: MAX_FRAME_LEN,
         });
     }
-    w.write_all(&(len as u32).to_be_bytes())?;
-    w.write_all(&req_id.to_be_bytes())?;
+    let len_bytes = (len as u32).to_be_bytes();
+    let id_bytes = req_id.to_be_bytes();
+    let crc = frame_crc(len_bytes, id_bytes, payload);
+    w.write_all(&len_bytes)?;
+    w.write_all(&id_bytes)?;
     w.write_all(payload)?;
+    w.write_all(&crc.to_be_bytes())?;
     w.flush()?;
     Ok(())
 }
@@ -110,7 +134,16 @@ pub fn read_frame_opt_tagged<R: Read>(r: &mut R) -> RpcResult<Option<(u32, Vec<u
     read_exact_or_truncated(r, &mut id_bytes, "frame request id")?;
     let mut payload = vec![0u8; len as usize];
     read_exact_or_truncated(r, &mut payload, "frame payload")?;
-    Ok(Some((u32::from_be_bytes(id_bytes), payload)))
+    let mut crc_bytes = [0u8; 4];
+    read_exact_or_truncated(r, &mut crc_bytes, "frame checksum")?;
+    let req_id = u32::from_be_bytes(id_bytes);
+    let expected = frame_crc(prefix, id_bytes, &payload);
+    if u32::from_be_bytes(crc_bytes) != expected {
+        return Err(RpcError::Malformed(format!(
+            "frame checksum mismatch (req id {req_id}, {len} payload bytes)"
+        )));
+    }
+    Ok(Some((req_id, payload)))
 }
 
 /// [`read_frame_opt_tagged`], discarding the request id.
@@ -780,6 +813,23 @@ mod tests {
             read_frame_opt(&mut r),
             Err(RpcError::Truncated { .. })
         ));
+    }
+
+    #[test]
+    fn any_single_bit_flip_in_a_frame_is_detected() {
+        let mut transport = Vec::new();
+        write_frame_tagged(&mut transport, 7, b"payload bytes").unwrap();
+        for at in 0..transport.len() {
+            for bit in 0..8 {
+                let mut damaged = transport.clone();
+                damaged[at] ^= 1 << bit;
+                let mut r = Cursor::new(&damaged);
+                assert!(
+                    read_frame_tagged(&mut r).is_err(),
+                    "flipping bit {bit} of byte {at} must not read back cleanly"
+                );
+            }
+        }
     }
 
     #[test]

@@ -34,9 +34,12 @@ use crate::codec::{
     decode_stream, decode_summary, read_frame_tagged, write_frame_tagged, WireSemiring,
 };
 use crate::error::{RpcError, RpcResult};
+use crate::fault::{FaultPlan, FaultyTransport};
+use crate::journal::ShardJournal;
 use crate::proto::{
     decode_response, encode_request, OpenShard, Request, Response, SessionId, ShardStatus,
 };
+use crate::retry::{Admission, CircuitBreaker, RetryPolicy};
 use crate::spill::{certain_label_over_runs, spill_stream, LazyRunCursor, SpillSource};
 use cp_clean::metrics::CleaningRun;
 use cp_clean::{
@@ -55,11 +58,12 @@ use cp_shard::{merged_scan_sources, ShardStream, StreamCursor};
 use cp_store::Run;
 use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Connection policy for a [`ShardClient`] — the transport-hardening knobs
 /// for serving beyond loopback.
@@ -69,16 +73,28 @@ use std::time::Duration;
 /// `write_timeout` cap each half of a request round trip (an expired
 /// timeout surfaces as an [`RpcError::Io`]).
 ///
-/// *Retries* apply to **connection establishment only** — `connect_retries`
-/// extra attempts, `retry_backoff` apart, on I/O failures (refused,
-/// unreachable, handshake timeout); [`ShardClient::reconnect`] re-runs the
-/// same policy against the remembered peer. In-flight requests are not
-/// retried by the client itself: mid-session failures surface to the
-/// caller, which owns the recovery decision. The one caller that does retry
-/// is [`RpcCoordinator::clean`] — `Step` carries the cleaned-count it
-/// expects and is idempotent on the server, so after a transport failure
-/// the coordinator reconnects and retransmits it once; a server that had
-/// already applied the step acknowledges without double-pinning.
+/// *Retries* share one [`RetryPolicy`] (see [`ClientConfig::retry_policy`]):
+/// `connect_retries` extra attempts under capped exponential backoff
+/// (`retry_backoff` base, `backoff_cap` ceiling) with deterministic seeded
+/// jitter (`retry_jitter_seed`) and an optional total-time bound
+/// (`retry_deadline`). The same policy drives connection establishment,
+/// `Busy`/`Expired` retries, and the coordinator's request-level recovery
+/// loop. The client itself never blindly retries an in-flight request:
+/// mid-session failures surface to the caller, and
+/// [`RpcCoordinator`]'s recovery path owns the retry decision — `Step`
+/// carries the cleaned-count it expects and is idempotent on the server,
+/// so a reconnect-and-retransmit (or a full failover replay through
+/// [`crate::journal::ShardJournal`]) never double-pins.
+///
+/// *Failover*: when a transport failure cannot be cured by re-dialing the
+/// same address, the coordinator re-dials `fallback_addrs` in rotation,
+/// re-`Open`s and replays its journal. *Deadlines*: `request_deadline`
+/// stamps every request with a wire-carried budget the server sheds
+/// expired work against ([`RpcError::Expired`]). *Breakers*:
+/// `breaker_threshold` consecutive failures against one shard fail fast
+/// for `breaker_cooldown`, then half-open-probe with the lightweight
+/// `Ping`. *Chaos*: a seeded [`FaultPlan`] injects deterministic transport
+/// faults on everything this client sends.
 ///
 /// The default is the pre-hardening behavior: no timeouts, no retries.
 #[derive(Clone, Debug)]
@@ -91,8 +107,34 @@ pub struct ClientConfig {
     pub write_timeout: Option<Duration>,
     /// Extra connect attempts after the first fails with an I/O error.
     pub connect_retries: u32,
-    /// Pause between connect attempts.
+    /// Backoff before the first retry (doubled per further retry, capped by
+    /// `backoff_cap`, jittered by `retry_jitter_seed`).
     pub retry_backoff: Duration,
+    /// Ceiling on any single (pre-jitter) backoff pause.
+    pub backoff_cap: Duration,
+    /// Seed for the deterministic backoff jitter: clients seeded apart
+    /// decorrelate their redial storms; equal seeds reproduce exactly.
+    pub retry_jitter_seed: u64,
+    /// Bound on the *total* time one retry loop may spend across all its
+    /// attempts. `None` = attempts-bounded only.
+    pub retry_deadline: Option<Duration>,
+    /// Replacement servers for failover, tried in rotation after re-dialing
+    /// the failed shard's own address. Empty = failover only ever re-dials
+    /// the original address.
+    pub fallback_addrs: Vec<String>,
+    /// When set, every request ships inside a `Deadline` envelope with this
+    /// budget; the server sheds requests whose budget expired in its queue
+    /// (retryable [`RpcError::Expired`]) instead of doing dead work.
+    pub request_deadline: Option<Duration>,
+    /// Consecutive transport failures against one shard before its circuit
+    /// breaker opens (fail fast, no socket work). `0` disables breakers.
+    pub breaker_threshold: u32,
+    /// How long an open breaker fails fast before admitting a half-open
+    /// `Ping` probe.
+    pub breaker_cooldown: Duration,
+    /// Deterministic fault injection on everything this client writes (see
+    /// [`FaultPlan`]); dials can also be refused. `None` = clean transport.
+    pub chaos: Option<FaultPlan>,
     /// Out-of-core knob: a fetched base/status stream with at least this
     /// many boundary events is spilled to an immutable sorted on-disk run
     /// (`cp-store`) instead of held in RAM, and scanned back through
@@ -116,8 +158,65 @@ impl Default for ClientConfig {
             write_timeout: None,
             connect_retries: 0,
             retry_backoff: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(1),
+            retry_jitter_seed: 0,
+            retry_deadline: None,
+            fallback_addrs: Vec::new(),
+            request_deadline: None,
+            breaker_threshold: 8,
+            breaker_cooldown: Duration::from_millis(100),
+            chaos: None,
             spill_threshold: None,
             spill_dir: None,
+        }
+    }
+}
+
+impl ClientConfig {
+    /// The one [`RetryPolicy`] every retry loop under this config runs:
+    /// `connect_retries + 1` total attempts, capped exponential backoff
+    /// with seeded jitter, optional total-time deadline.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        RetryPolicy {
+            attempts: self.connect_retries.saturating_add(1),
+            base: self.retry_backoff,
+            cap: self.backoff_cap,
+            seed: self.retry_jitter_seed,
+            deadline: self.retry_deadline,
+        }
+    }
+}
+
+/// The client's transport: a plain socket, or one wrapped in seeded fault
+/// injection ([`ClientConfig::chaos`]). Timeouts are set on the underlying
+/// `TcpStream` before wrapping, so they apply either way.
+#[derive(Debug)]
+enum Conn {
+    Plain(TcpStream),
+    Chaos(FaultyTransport<TcpStream>),
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Plain(s) => s.read(buf),
+            Conn::Chaos(t) => t.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Plain(s) => s.write(buf),
+            Conn::Chaos(t) => t.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Conn::Plain(s) => s.flush(),
+            Conn::Chaos(t) => t.flush(),
         }
     }
 }
@@ -131,7 +230,7 @@ const SCAN_WINDOW: usize = 8;
 /// A connection to one shard server.
 #[derive(Debug)]
 pub struct ShardClient {
-    stream: TcpStream,
+    stream: Conn,
     /// Resolved peer addresses and the policy they were dialed under, kept
     /// so [`ShardClient::reconnect`] can re-dial the same server.
     peers: Vec<SocketAddr>,
@@ -199,17 +298,64 @@ impl ShardClient {
         Ok(())
     }
 
-    fn establish(peers: &[SocketAddr], cfg: &ClientConfig) -> RpcResult<TcpStream> {
+    /// Re-point this client at a (possibly different) server under the same
+    /// policy — the failover half-step. Unlike [`ShardClient::reconnect`]
+    /// the session binding does **not** survive: the new server has no
+    /// session for us until the caller re-`Open`s (a
+    /// [`crate::journal::ShardJournal::replay`] does exactly that).
+    pub fn redial<A: ToSocketAddrs>(&mut self, addr: A) -> RpcResult<()> {
+        let peers: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        let stream = Self::establish(&peers, &self.cfg)?;
+        self.rtt_hist = match peers.first() {
+            Some(peer) => cp_obs::histogram(&format!("rpc.client.rtt_us.{peer}")),
+            None => cp_obs::histogram("rpc.client.rtt_us.unresolved"),
+        };
+        self.peers = peers;
+        self.stream = stream;
+        self.next_id = 0;
+        self.poisoned = false;
+        self.session = 0;
+        Ok(())
+    }
+
+    /// The remembered peer address this client (re)dials, as `host:port`.
+    pub fn peer_addr(&self) -> Option<String> {
+        self.peers.first().map(|p| p.to_string())
+    }
+
+    fn establish(peers: &[SocketAddr], cfg: &ClientConfig) -> RpcResult<Conn> {
+        let policy = cfg.retry_policy();
+        let started = Instant::now();
         let mut last: Option<RpcError> = None;
-        for attempt in 0..=cfg.connect_retries {
+        for attempt in 0..policy.attempts.max(1) {
             if attempt > 0 {
                 cp_obs::counter!("rpc.client.connect_retries").inc();
-                if !cfg.retry_backoff.is_zero() {
-                    std::thread::sleep(cfg.retry_backoff);
+                let pause = policy.backoff(attempt);
+                if !pause.is_zero() {
+                    std::thread::sleep(pause);
+                }
+                if policy.expired(started) {
+                    break;
+                }
+            }
+            // a chaos plan can refuse the dial outright, before any socket
+            // work — the deterministic stand-in for a crashed listener
+            if let Some(plan) = &cfg.chaos {
+                if plan.should_refuse_dial() {
+                    last = Some(RpcError::Io(std::io::Error::new(
+                        std::io::ErrorKind::ConnectionRefused,
+                        "dial refused by fault injection",
+                    )));
+                    continue;
                 }
             }
             match Self::connect_once(peers, cfg) {
-                Ok(stream) => return Ok(stream),
+                Ok(stream) => {
+                    return Ok(match &cfg.chaos {
+                        Some(plan) => Conn::Chaos(FaultyTransport::new(stream, plan.schedule())),
+                        None => Conn::Plain(stream),
+                    })
+                }
                 // only transport-level failures are worth another attempt
                 Err(e @ RpcError::Io(_)) => last = Some(e),
                 Err(other) => return Err(other),
@@ -287,7 +433,21 @@ impl ShardClient {
         }
         let id = self.next_id;
         self.next_id = self.next_id.wrapping_add(1);
-        match write_frame_tagged(&mut self.stream, id, &encode_request(req)) {
+        // under a request deadline every request ships inside an envelope:
+        // the server sheds it (retryable Expired) if the budget passes while
+        // it queues, instead of doing work nobody is waiting for
+        let payload = match self.cfg.request_deadline {
+            Some(d) if !matches!(req, Request::Deadline { .. }) => {
+                // a live deadline is never the zero "pre-expired" sentinel
+                let budget_us = u64::try_from(d.as_micros()).unwrap_or(u64::MAX).max(1);
+                encode_request(&Request::Deadline {
+                    budget_us,
+                    inner: Box::new(req.clone()),
+                })
+            }
+            _ => encode_request(req),
+        };
+        match write_frame_tagged(&mut self.stream, id, &payload) {
             Ok(()) => Ok(id),
             Err(e) => {
                 self.poisoned = true;
@@ -331,15 +491,32 @@ impl ShardClient {
         }
     }
 
+    /// The typed error for a response that isn't the expected payload kind:
+    /// remote rejections, retryable `Busy`/`Expired` shedding, and genuine
+    /// protocol surprises, uniformly across every typed helper.
+    fn unexpected(kind: &'static str, resp: Response) -> RpcError {
+        match resp {
+            Response::Error(msg) => RpcError::Remote(msg),
+            Response::Busy(msg) => RpcError::Busy(msg),
+            Response::Expired(msg) => RpcError::Expired(msg),
+            other => RpcError::Protocol(format!("expected {kind}, got {other:?}")),
+        }
+    }
+
     /// Send `req` and require the bare `Ok` acknowledgement (`Shutdown`,
     /// and any session-scoped request whose reply carries no payload).
     pub fn expect_ok(&mut self, req: &Request) -> RpcResult<()> {
         match self.call(req)? {
             Response::Ok => Ok(()),
-            Response::Error(msg) => Err(RpcError::Remote(msg)),
-            Response::Busy(msg) => Err(RpcError::Busy(msg)),
-            other => Err(RpcError::Protocol(format!("expected Ok, got {other:?}"))),
+            other => Err(Self::unexpected("Ok", other)),
         }
+    }
+
+    /// The lightweight liveness probe: no session, no state, one tiny round
+    /// trip — what a half-open circuit breaker sends before committing real
+    /// work to a possibly-still-dead shard.
+    pub fn ping(&mut self) -> RpcResult<()> {
+        self.expect_ok(&Request::Ping)
     }
 
     /// The server-minted session this client drives (`0` until
@@ -358,11 +535,7 @@ impl ShardClient {
                 self.session = session;
                 Ok(n_rows)
             }
-            Response::Error(msg) => Err(RpcError::Remote(msg)),
-            Response::Busy(msg) => Err(RpcError::Busy(msg)),
-            other => Err(RpcError::Protocol(format!(
-                "expected Opened, got {other:?}"
-            ))),
+            other => Err(Self::unexpected("Opened", other)),
         }
     }
 
@@ -407,11 +580,7 @@ impl ShardClient {
         };
         match self.call(&req)? {
             Response::Stream(bytes) => decode_stream::<S>(&bytes),
-            Response::Error(msg) => Err(RpcError::Remote(msg)),
-            Response::Busy(msg) => Err(RpcError::Busy(msg)),
-            other => Err(RpcError::Protocol(format!(
-                "expected Stream, got {other:?}"
-            ))),
+            other => Err(Self::unexpected("Stream", other)),
         }
     }
 
@@ -485,11 +654,7 @@ impl ShardClient {
     fn recv_stream<S: WireSemiring>(&mut self, id: u32) -> RpcResult<ShardStream<S>> {
         match self.recv(id)? {
             Response::Stream(bytes) => decode_stream::<S>(&bytes),
-            Response::Error(msg) => Err(RpcError::Remote(msg)),
-            Response::Busy(msg) => Err(RpcError::Busy(msg)),
-            other => Err(RpcError::Protocol(format!(
-                "expected Stream, got {other:?}"
-            ))),
+            other => Err(Self::unexpected("Stream", other)),
         }
     }
 
@@ -509,11 +674,7 @@ impl ShardClient {
         };
         match self.call(&req)? {
             Response::Summary(bytes) => decode_summary(&bytes),
-            Response::Error(msg) => Err(RpcError::Remote(msg)),
-            Response::Busy(msg) => Err(RpcError::Busy(msg)),
-            other => Err(RpcError::Protocol(format!(
-                "expected Summary, got {other:?}"
-            ))),
+            other => Err(Self::unexpected("Summary", other)),
         }
     }
 
@@ -526,9 +687,7 @@ impl ShardClient {
         match self.call(&Request::Stats { session })? {
             Response::Stats(bytes) => cp_obs::Snapshot::decode(&bytes)
                 .map_err(|e| RpcError::Malformed(format!("stats snapshot: {e}"))),
-            Response::Error(msg) => Err(RpcError::Remote(msg)),
-            Response::Busy(msg) => Err(RpcError::Busy(msg)),
-            other => Err(RpcError::Protocol(format!("expected Stats, got {other:?}"))),
+            other => Err(Self::unexpected("Stats", other)),
         }
     }
 
@@ -539,11 +698,7 @@ impl ShardClient {
         };
         match self.call(&req)? {
             Response::Status(status) => Ok(status),
-            Response::Error(msg) => Err(RpcError::Remote(msg)),
-            Response::Busy(msg) => Err(RpcError::Busy(msg)),
-            other => Err(RpcError::Protocol(format!(
-                "expected Status, got {other:?}"
-            ))),
+            other => Err(Self::unexpected("Status", other)),
         }
     }
 }
@@ -558,9 +713,25 @@ pub struct RpcCoordinator {
     shards: Vec<DatasetShard>,
     /// `owner[row]` = index of the shard (and server) owning a global row.
     owner: Vec<usize>,
+    /// The client policy every per-shard connection (and failover re-dial)
+    /// runs under.
+    cfg: ClientConfig,
     /// One connection per shard; `RefCell` because the engine surface takes
     /// `&self` for selection while each call is a socket round trip.
     clients: Vec<RefCell<ShardClient>>,
+    /// Per-shard rebuild recipes: the canonical `Open` payload plus the
+    /// ordered applied-pin log — everything failover needs to replay a lost
+    /// session onto a replacement server.
+    journals: Vec<RefCell<ShardJournal>>,
+    /// Per-shard circuit breakers over the recovery loop.
+    breakers: Vec<RefCell<CircuitBreaker>>,
+    /// Rotating cursor into [`ClientConfig::fallback_addrs`], shared by all
+    /// shards so successive failovers spread over the replacement pool.
+    fallback_cursor: Cell<usize>,
+    /// Completed failovers (exact-ledger twin of `rpc.client.failovers`).
+    failovers: Cell<u64>,
+    /// Pins replayed by failovers (twin of `rpc.client.pins_replayed`).
+    pins_replayed: Cell<u64>,
     /// Coordinator-side mirror of each server's local pin mask.
     masks: Vec<Pins>,
     /// Per-shard pin counter, bumped once per [`RpcCoordinator::clean`] on
@@ -719,9 +890,10 @@ impl RpcCoordinator {
         }
         let k = problem.config.k_eff(problem.dataset.len());
         let mut clients = Vec::with_capacity(shards.len());
+        let mut journals = Vec::with_capacity(shards.len());
         for (sh, addr) in shards.iter().zip(addrs) {
             let mut client = ShardClient::connect_with(addr, client_cfg)?;
-            let open = OpenShard {
+            let open = Arc::new(OpenShard {
                 start: sh.start(),
                 n_labels: sh.dataset().n_labels(),
                 k: problem.config.k,
@@ -736,19 +908,32 @@ impl RpcCoordinator {
                 val_x: problem.val_x.as_ref().clone(),
                 truth_choice: slice_choices(&problem.truth_choice, sh),
                 default_choice: slice_choices(&problem.default_choice, sh),
-            };
-            // a Busy refusal (session cap on a multi-tenant server) is
-            // retryable under the same bounded policy as connect itself:
-            // load drains as other coordinators close their sessions
-            let mut n_rows = client.open(open.clone());
-            for _ in 0..client_cfg.connect_retries {
+            });
+            // a Busy refusal (session cap on a multi-tenant server) and a
+            // deadline-shed Open are retryable under the same unified
+            // policy as connect itself — jittered capped backoff with the
+            // policy's total-time deadline — since load drains as other
+            // coordinators close their sessions
+            let policy = client_cfg.retry_policy();
+            let started = Instant::now();
+            let mut n_rows = client.open((*open).clone());
+            for retry in 1..policy.attempts.max(1) {
                 match &n_rows {
                     Err(e) if e.is_retryable() => {
-                        cp_obs::counter!("rpc.client.busy_retries").inc();
-                        if !client_cfg.retry_backoff.is_zero() {
-                            std::thread::sleep(client_cfg.retry_backoff);
+                        match e {
+                            RpcError::Expired(_) => {
+                                cp_obs::counter!("rpc.client.expired_retries").inc()
+                            }
+                            _ => cp_obs::counter!("rpc.client.busy_retries").inc(),
                         }
-                        n_rows = client.open(open.clone());
+                        let pause = policy.backoff(retry);
+                        if !pause.is_zero() {
+                            std::thread::sleep(pause);
+                        }
+                        if policy.expired(started) {
+                            break;
+                        }
+                        n_rows = client.open((*open).clone());
                     }
                     _ => break,
                 }
@@ -761,6 +946,7 @@ impl RpcCoordinator {
                 )));
             }
             clients.push(RefCell::new(client));
+            journals.push(RefCell::new(ShardJournal::new(open)));
         }
         let masks: Vec<Pins> = shards.iter().map(|sh| Pins::none(sh.len())).collect();
         let mask_epochs = vec![0u64; shards.len()];
@@ -772,12 +958,26 @@ impl RpcCoordinator {
         ));
         let base_streams = RefCell::new((0..problem.val_x.len()).map(|_| None).collect());
         let spill = SpillState::resolve(client_cfg)?;
+        let breakers = (0..shards.len())
+            .map(|_| {
+                RefCell::new(CircuitBreaker::new(
+                    client_cfg.breaker_threshold,
+                    client_cfg.breaker_cooldown,
+                ))
+            })
+            .collect();
         let mut coordinator = RpcCoordinator {
             problem,
             opts: opts.clone(),
             shards,
             owner,
+            cfg: client_cfg.clone(),
             clients,
+            journals,
+            breakers,
+            fallback_cursor: Cell::new(0),
+            failovers: Cell::new(0),
+            pins_replayed: Cell::new(0),
             masks,
             mask_epochs,
             state,
@@ -842,6 +1042,209 @@ impl RpcCoordinator {
         self.state.remaining(&self.problem)
     }
 
+    /// Completed failovers so far — the exact-ledger twin of the
+    /// `rpc.client.failovers` counter, scoped to this coordinator.
+    pub fn failover_count(&self) -> u64 {
+        self.failovers.get()
+    }
+
+    /// Pins replayed by failovers so far — the exact-ledger twin of the
+    /// `rpc.client.pins_replayed` counter, scoped to this coordinator.
+    pub fn pins_replayed_count(&self) -> u64 {
+        self.pins_replayed.get()
+    }
+
+    /// Run one remote operation against shard `s` under the unified
+    /// recovery loop: breaker admission, revival of a poisoned connection
+    /// (reconnect, escalating to failover), the operation itself, then
+    /// classification of any failure —
+    ///
+    /// * `Busy` / `Expired`: the server shed unstarted work; retry after a
+    ///   jittered backoff, no reconnect.
+    /// * transport failures (`Io`, `Truncated`, `FrameTooLarge`) and
+    ///   poisoned-connection protocol failures (id mismatch, frame CRC):
+    ///   a breaker failure; the next attempt revives the connection.
+    /// * `Remote("unknown session …")`: the server lost our session (a
+    ///   replacement process, or a restart without its WAL) — fail over
+    ///   and replay the journal, then retry.
+    /// * anything else (a *valid* frame carrying a wrong answer, a remote
+    ///   rejection of the operation itself): a bug, not weather — surface
+    ///   it immediately rather than retrying into double-application.
+    ///
+    /// Attempts and pacing come from [`ClientConfig::retry_policy`], with a
+    /// floor of two attempts so the historical reconnect-and-retransmit-once
+    /// `Step` semantics hold under the zero-retry default config.
+    fn with_recovery<R>(
+        &self,
+        s: usize,
+        mut op: impl FnMut(&mut ShardClient) -> RpcResult<R>,
+    ) -> RpcResult<R> {
+        let policy = self.cfg.retry_policy();
+        let attempts = policy.attempts.max(2);
+        let started = Instant::now();
+        let mut last: Option<RpcError> = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                let pause = policy.backoff(attempt);
+                if !pause.is_zero() {
+                    std::thread::sleep(pause);
+                }
+                if policy.expired(started) {
+                    break;
+                }
+            }
+            match self.breakers[s].borrow_mut().admit() {
+                Admission::Allow => {}
+                Admission::FastFail => {
+                    cp_obs::counter!("rpc.client.breaker_fast_fails").inc();
+                    last = Some(RpcError::Io(std::io::Error::new(
+                        std::io::ErrorKind::ConnectionAborted,
+                        format!("shard {s} circuit breaker open"),
+                    )));
+                    continue;
+                }
+                Admission::Probe => {
+                    cp_obs::counter!("rpc.client.breaker_probes").inc();
+                    let probe = self
+                        .revive(s)
+                        .and_then(|()| self.clients[s].borrow_mut().ping());
+                    match probe {
+                        Ok(()) => self.breakers[s].borrow_mut().on_success(),
+                        Err(e) => {
+                            self.breakers[s].borrow_mut().on_failure();
+                            last = Some(e);
+                            continue;
+                        }
+                    }
+                }
+            }
+            if let Err(e) = self.revive(s) {
+                self.breakers[s].borrow_mut().on_failure();
+                last = Some(e);
+                continue;
+            }
+            let result = op(&mut self.clients[s].borrow_mut());
+            match result {
+                Ok(r) => {
+                    self.breakers[s].borrow_mut().on_success();
+                    return Ok(r);
+                }
+                Err(e) => {
+                    let poisoned = self.clients[s].borrow().is_poisoned();
+                    match &e {
+                        RpcError::Busy(_) => {
+                            cp_obs::counter!("rpc.client.busy_retries").inc();
+                            last = Some(e);
+                        }
+                        RpcError::Expired(_) => {
+                            cp_obs::counter!("rpc.client.expired_retries").inc();
+                            last = Some(e);
+                        }
+                        RpcError::Io(_)
+                        | RpcError::Truncated { .. }
+                        | RpcError::FrameTooLarge { .. } => {
+                            self.breakers[s].borrow_mut().on_failure();
+                            last = Some(e);
+                        }
+                        RpcError::Protocol(_)
+                        | RpcError::Malformed(_)
+                        | RpcError::BadTag { .. }
+                            if poisoned =>
+                        {
+                            // id-pairing or frame-CRC poison: recoverable
+                            // weather. The same variants on an unpoisoned
+                            // client decoded from a *valid* frame — a bug.
+                            self.breakers[s].borrow_mut().on_failure();
+                            last = Some(e);
+                        }
+                        RpcError::Remote(msg) if msg.starts_with("unknown session") => {
+                            // the server is alive but lost our session:
+                            // not a transport fault (no breaker penalty),
+                            // but only a journal replay can cure it
+                            if let Err(fe) = self.failover(s) {
+                                last = Some(fe);
+                            } else {
+                                last = Some(e);
+                            }
+                        }
+                        _ => return Err(e),
+                    }
+                }
+            }
+        }
+        Err(last.unwrap_or_else(|| RpcError::Protocol(format!("shard {s} retry budget exhausted"))))
+    }
+
+    /// Make shard `s`'s client callable again if a transport failure
+    /// poisoned it: reconnect to the same server, escalating to
+    /// [`RpcCoordinator::failover`] when the re-dial itself fails.
+    fn revive(&self, s: usize) -> RpcResult<()> {
+        if !self.clients[s].borrow().is_poisoned() {
+            return Ok(());
+        }
+        let reconnected = self.clients[s].borrow_mut().reconnect();
+        match reconnected {
+            Ok(()) => Ok(()),
+            Err(_) => self.failover(s),
+        }
+    }
+
+    /// Rebuild shard `s`'s session from the journal on whatever server will
+    /// take it: re-dial the remembered address first (the dead-process /
+    /// fresh-data-dir case — the listener may be back under a new process),
+    /// then each [`ClientConfig::fallback_addrs`] entry in rotation.
+    /// A successful re-dial best-effort-`Close`s the stale session id (a
+    /// server that *did* keep it would otherwise leak a session slot),
+    /// replays `Open` + pins, and re-publishes the global status.
+    fn failover(&self, s: usize) -> RpcResult<()> {
+        cp_obs::counter!("rpc.client.failovers").inc();
+        self.failovers.set(self.failovers.get() + 1);
+        let stale = self.clients[s].borrow().session();
+        let home = self.clients[s].borrow().peer_addr();
+        let n_fallbacks = self.cfg.fallback_addrs.len();
+        let mut last: Option<RpcError> = None;
+        for candidate in 0..=n_fallbacks {
+            let target = if candidate == 0 {
+                match &home {
+                    Some(addr) => addr.clone(),
+                    None => continue,
+                }
+            } else {
+                let cursor = self.fallback_cursor.get();
+                self.fallback_cursor.set(cursor.wrapping_add(1));
+                self.cfg.fallback_addrs[cursor % n_fallbacks].clone()
+            };
+            let redialed = self.clients[s].borrow_mut().redial(target.as_str());
+            if let Err(e) = redialed {
+                last = Some(e);
+                continue;
+            }
+            if stale != 0 {
+                // ignore the outcome: a replacement server never held the
+                // session, the original dedups the close with the replay
+                let _ = self.clients[s]
+                    .borrow_mut()
+                    .expect_ok(&Request::Close { session: stale });
+            }
+            let replayed = self.journals[s]
+                .borrow()
+                .replay(&mut self.clients[s].borrow_mut());
+            match replayed {
+                Ok(n) => {
+                    self.pins_replayed.set(self.pins_replayed.get() + n as u64);
+                    self.clients[s].borrow_mut().sync_status(self.cp.clone())?;
+                    return Ok(());
+                }
+                Err(e) => {
+                    last = Some(e);
+                    continue;
+                }
+            }
+        }
+        Err(last
+            .unwrap_or_else(|| RpcError::Protocol(format!("shard {s} has no failover candidate"))))
+    }
+
     /// Reject a decoded value whose `(K, |Y|)` shape does not match what
     /// was requested: the merge layers `assert!` on shape mismatches, and a
     /// remote peer's data must surface as a typed error, never a panic.
@@ -865,11 +1268,15 @@ impl RpcCoordinator {
     }
 
     /// Fetch one batched stream per shard for validation point `v` under
-    /// the servers' current pin masks.
+    /// the servers' current pin masks (through the recovery loop: a shard
+    /// that drops its connection mid-fetch reconnects or fails over and the
+    /// scan re-runs — scans are read-only, so re-running is always safe).
     fn fetch_streams<S: WireSemiring>(&self, v: usize) -> RpcResult<Vec<ShardStream<S>>> {
-        self.clients
-            .iter()
-            .map(|c| self.check_stream_shape(c.borrow_mut().scan::<S>(v, self.k, None)?))
+        (0..self.clients.len())
+            .map(|s| {
+                let stream = self.with_recovery(s, |c| c.scan::<S>(v, self.k, None))?;
+                self.check_stream_shape(stream)
+            })
             .collect()
     }
 
@@ -913,7 +1320,7 @@ impl RpcCoordinator {
                     for s in 0..self.clients.len() {
                         if epochs[s] != self.mask_epochs[s] {
                             let fresh = self.check_stream_shape(
-                                self.clients[s].borrow_mut().scan::<f64>(v, self.k, None)?,
+                                self.with_recovery(s, |c| c.scan::<f64>(v, self.k, None))?,
                             )?;
                             streams[s] = self.cache_stream(v, s, fresh)?;
                             epochs[s] = self.mask_epochs[s];
@@ -950,10 +1357,11 @@ impl RpcCoordinator {
             return self.certain_label_spilled(v, sp);
         }
         if self.problem.dataset.n_labels() == 2 {
-            let summaries: Vec<ExtremeSummary> = self
-                .clients
-                .iter()
-                .map(|c| self.check_summary_shape(c.borrow_mut().extreme_summary(v, self.k, None)?))
+            let summaries: Vec<ExtremeSummary> = (0..self.clients.len())
+                .map(|s| {
+                    let summary = self.with_recovery(s, |c| c.extreme_summary(v, self.k, None))?;
+                    self.check_summary_shape(summary)
+                })
                 .collect::<RpcResult<_>>()?;
             Ok(certain_label_from_summaries(&summaries))
         } else {
@@ -1037,10 +1445,11 @@ impl RpcCoordinator {
         let streams: Vec<ShardStream<S>> = self
             .shards
             .iter()
-            .zip(&self.clients)
-            .map(|(sh, client)| {
+            .enumerate()
+            .map(|(s, sh)| {
                 let local = sh.local_pins(global_pins);
-                self.check_stream_shape(client.borrow_mut().scan::<S>(v, self.k, Some(&local))?)
+                let stream = self.with_recovery(s, |c| c.scan::<S>(v, self.k, Some(&local)))?;
+                self.check_stream_shape(stream)
             })
             .collect::<RpcResult<_>>()?;
         Ok(q2_from_streams_with_algorithm(&streams, algo))
@@ -1057,8 +1466,9 @@ impl RpcCoordinator {
         for v in uncertain {
             self.cp[v] = self.certain_label_at(v)?.is_some();
         }
-        for client in &self.clients {
-            client.borrow_mut().sync_status(self.cp.clone())?;
+        for s in 0..self.clients.len() {
+            let bits = self.cp.clone();
+            self.with_recovery(s, |c| c.sync_status(bits.clone()))?;
         }
         Ok(())
     }
@@ -1069,16 +1479,17 @@ impl RpcCoordinator {
     ///
     /// Failure semantics: a transport failure during the `Step` round trip
     /// is ambiguous — the server may have applied the pin and lost the ack
-    /// — so the coordinator reconnects and retransmits the idempotent
-    /// `Step` (it carries the cleaned-count it expects) exactly once; a
-    /// server that kept its session acknowledges either way without
-    /// double-pinning. Only if the retry also fails does the error surface,
-    /// with nothing local mutated.
-    /// If the subsequent status refresh errors instead, the pin is already
-    /// applied consistently on both sides and only the cached [`Self::status`]
-    /// may lag; staleness is *sound* (certainty is monotone, so stale
-    /// entries only under-report) and the next successful refresh catches
-    /// up.
+    /// — so the recovery loop reconnects (or fails over and replays the
+    /// journal) and retransmits the idempotent `Step` (it carries the
+    /// cleaned-count it expects); a server that had already applied it
+    /// acknowledges without double-pinning. Only if the whole retry budget
+    /// fails does the error surface, with nothing local mutated. On
+    /// success the pin is journaled *before* the local mutations, so a
+    /// failover during the subsequent status refresh already replays it.
+    /// If that refresh errors, the pin is applied consistently on both
+    /// sides and only the cached [`Self::status`] may lag; staleness is
+    /// *sound* (certainty is monotone, so stale entries only under-report)
+    /// and the next successful refresh catches up.
     ///
     /// # Panics
     /// Panics if the row is clean or already cleaned (the same misuse
@@ -1093,21 +1504,8 @@ impl RpcCoordinator {
         let s = self.owner[row];
         let local = self.shards[s].local_row(row).expect("owner map is exact");
         let (local_row, expect) = (local as u32, self.mask_epochs[s] as u32);
-        // bind the first attempt so its client borrow ends before the retry
-        let first_attempt = self.clients[s].borrow_mut().step(local_row, expect);
-        if let Err(first) = first_attempt {
-            // only a transport failure leaves the outcome ambiguous — a
-            // typed remote/protocol rejection means nothing was applied
-            if !matches!(first, RpcError::Io(_) | RpcError::Truncated { .. }) {
-                return Err(first);
-            }
-            // the session survives the reconnect (it belongs to the server
-            // process), so the idempotent retransmission lands on the same
-            // per-session state the lost reply's step may have mutated
-            let mut client = self.clients[s].borrow_mut();
-            client.reconnect()?;
-            client.step(local_row, expect)?;
-        }
+        self.with_recovery(s, |c| c.step(local_row, expect))?;
+        self.journals[s].borrow_mut().record_pin(local_row);
         self.state.clean_row(&self.problem, row);
         self.masks[s].pin(local, truth);
         self.mask_epochs[s] += 1;
@@ -1164,9 +1562,7 @@ impl RpcCoordinator {
                     let mut pinned = self.masks[s].clone();
                     pinned.pin(local, j);
                     let hyp: ShardStream<f64> = self.check_stream_shape(
-                        self.clients[s]
-                            .borrow_mut()
-                            .scan(v, self.k, Some(&pinned))?,
+                        self.with_recovery(s, |c| c.scan(v, self.k, Some(&pinned)))?,
                     )?;
                     let mut cursors: Vec<StreamCursor<'_, f64>> = base
                         .iter()
@@ -1312,7 +1708,9 @@ impl SelectionBackend for RpcBackend<'_> {
                 (v, Some(pinned))
             })
             .collect();
-        let hyps = c.clients[s].borrow_mut().scan_many::<f64>(c.k, scans)?;
+        // the scan batch is cloned per attempt: a failed window re-runs in
+        // full on the revived (or replacement) connection
+        let hyps = c.with_recovery(s, |client| client.scan_many::<f64>(c.k, scans.clone()))?;
         let hyps: Vec<ShardStream<f64>> = hyps
             .into_iter()
             .map(|h| c.check_stream_shape(h))
@@ -1375,8 +1773,9 @@ mod tests {
         let started = Instant::now();
         let err = ShardClient::connect_with(&addr, &cfg).expect_err("nothing listens there");
         assert!(matches!(err, RpcError::Io(_)), "got {err:?}");
-        // all three attempts ran: at least two backoff pauses elapsed
-        assert!(started.elapsed() >= Duration::from_millis(10));
+        // all three attempts ran: two backoff pauses elapsed — nominally
+        // 5ms + 10ms, at least half each under the [0.5, 1.0] jitter
+        assert!(started.elapsed() >= Duration::from_millis(7));
     }
 
     /// A retry window long enough for the server to come up turns the same
@@ -1404,6 +1803,9 @@ mod tests {
         let cfg = ClientConfig {
             connect_retries: 150,
             retry_backoff: Duration::from_millis(10),
+            // pin the cap so 150 attempts stay a ~1.5s worst case, not an
+            // exponentially-backed-off eternity
+            backoff_cap: Duration::from_millis(10),
             ..ClientConfig::default()
         };
         let client = ShardClient::connect_with(addr.to_string(), &cfg);

@@ -43,6 +43,11 @@ pub enum RpcError {
     /// **retryable**: the same request is expected to succeed once load
     /// drains (see [`RpcError::is_retryable`]).
     Busy(String),
+    /// The server shed the request because its wire-carried deadline had
+    /// already passed while the request sat in the connection queue. The
+    /// work was never started, so like [`RpcError::Busy`] this is
+    /// **retryable** — with a fresh deadline.
+    Expired(String),
     /// Messages were well-formed but violated the session protocol
     /// (scan before open, semiring mismatch, unexpected response kind, …).
     Protocol(String),
@@ -62,6 +67,7 @@ impl fmt::Display for RpcError {
             RpcError::Malformed(msg) => write!(f, "malformed payload: {msg}"),
             RpcError::Remote(msg) => write!(f, "remote error: {msg}"),
             RpcError::Busy(msg) => write!(f, "server busy: {msg}"),
+            RpcError::Expired(msg) => write!(f, "request deadline expired: {msg}"),
             RpcError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
         }
     }
@@ -69,12 +75,14 @@ impl fmt::Display for RpcError {
 
 impl RpcError {
     /// Whether retrying the same operation later is expected to succeed.
-    /// Only admission-control rejections qualify: every other variant means
-    /// the bytes, the protocol state or the transport are wrong, and a blind
-    /// retry would repeat the failure (or worse, double-apply a step — the
-    /// idempotent-`Step` path owns *that* retry decision separately).
+    /// Only load-shedding rejections qualify — admission control (`Busy`)
+    /// and deadline shedding (`Expired`), both of which guarantee the work
+    /// was never started. Every other variant means the bytes, the protocol
+    /// state or the transport are wrong, and a blind retry would repeat the
+    /// failure (or worse, double-apply a step — the idempotent-`Step`
+    /// recovery path owns *that* retry decision separately).
     pub fn is_retryable(&self) -> bool {
-        matches!(self, RpcError::Busy(_))
+        matches!(self, RpcError::Busy(_) | RpcError::Expired(_))
     }
 }
 
@@ -124,6 +132,10 @@ mod tests {
             (RpcError::Malformed("x".into()), "malformed"),
             (RpcError::Remote("boom".into()), "remote error: boom"),
             (RpcError::Busy("sessions full".into()), "server busy"),
+            (
+                RpcError::Expired("queued 2ms past deadline".into()),
+                "deadline expired",
+            ),
             (RpcError::Protocol("early".into()), "protocol violation"),
         ];
         for (err, needle) in cases {
@@ -135,8 +147,9 @@ mod tests {
     }
 
     #[test]
-    fn only_busy_is_retryable() {
+    fn only_shed_work_is_retryable() {
         assert!(RpcError::Busy("full".into()).is_retryable());
+        assert!(RpcError::Expired("late".into()).is_retryable());
         for err in [
             RpcError::Io(io::Error::new(io::ErrorKind::ConnectionReset, "x")),
             RpcError::Truncated { context: "x" },

@@ -1,0 +1,68 @@
+//! The coordinator-side session journal: everything needed to rebuild one
+//! shard's session **from nothing** on a replacement server.
+//!
+//! A shard server's own WAL (PR 9) survives a process restart on the same
+//! `--data-dir` — but not a lost disk or a replacement node. The journal
+//! closes that gap from the client tier, the way production serving
+//! systems do: the coordinator already holds the canonical [`OpenShard`]
+//! payload (Arc-shared since connect) and applies every pin itself, so
+//! recording the ordered applied-pin log costs one `u32` push per step.
+//! Failover then replays `Open` + pins as ordinary idempotent protocol
+//! traffic against *any* server — the original (whose WAL-recovered
+//! session dedups the replay), a restarted one, or a brand-new process
+//! with a fresh data dir.
+//!
+//! Replay is bit-exact by construction: pins are applied in their original
+//! order with `expect_cleaned` = their position, so the rebuilt session's
+//! mask, cleaned count and status bits equal the lost session's, and a
+//! mid-greedy-run failover resumes with identical picks.
+
+use crate::coordinator::ShardClient;
+use crate::error::RpcResult;
+use crate::proto::OpenShard;
+use std::sync::Arc;
+
+/// One shard's rebuild recipe: the canonical `Open` payload plus the
+/// ordered log of applied pins (shard-local row indexes).
+#[derive(Clone, Debug)]
+pub struct ShardJournal {
+    /// The canonical `Open` payload (shared, never mutated after connect).
+    pub open: Arc<OpenShard>,
+    /// Shard-local rows pinned so far, in application order.
+    pub pins: Vec<u32>,
+}
+
+impl ShardJournal {
+    /// A journal for a freshly-opened session.
+    pub fn new(open: Arc<OpenShard>) -> Self {
+        ShardJournal {
+            open,
+            pins: Vec::new(),
+        }
+    }
+
+    /// Record one applied pin (call only after the server acked the step).
+    pub fn record_pin(&mut self, local_row: u32) {
+        self.pins.push(local_row);
+    }
+
+    /// Rebuild this shard's session on whatever server `client` currently
+    /// points at: re-`Open` (the server dedups the shard data if it
+    /// already holds it), then replay every pin as an idempotent `Step`
+    /// with its original `expect_cleaned` position. Returns the number of
+    /// pins replayed.
+    pub fn replay(&self, client: &mut ShardClient) -> RpcResult<usize> {
+        let n_rows = client.open((*self.open).clone())?;
+        if n_rows != self.open.examples.len() {
+            return Err(crate::error::RpcError::Protocol(format!(
+                "failover re-open returned {n_rows} rows, journal expects {}",
+                self.open.examples.len()
+            )));
+        }
+        for (i, &row) in self.pins.iter().enumerate() {
+            client.step(row, i as u32)?;
+        }
+        cp_obs::counter!("rpc.client.pins_replayed").add(self.pins.len() as u64);
+        Ok(self.pins.len())
+    }
+}

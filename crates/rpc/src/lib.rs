@@ -56,6 +56,20 @@
 //!   cannot change the answer. On the server side, `--data-dir` adds
 //!   per-session write-ahead pin logs (fsync-before-ack) with replay on
 //!   restart — a crashed server resumes every in-flight session.
+//! * [`fault`] / [`retry`] / [`journal`] — the failure layer.
+//!   [`fault::FaultPlan`] is deterministic, seeded fault injection at the
+//!   frame layer (drop/delay/corrupt/truncate/duplicate frames, refused
+//!   dials, scripted kills), selectable in tests and behind `shard-server
+//!   --chaos <seed>`. [`retry::RetryPolicy`] unifies connect, `Busy` and
+//!   request retries under capped exponential backoff with seeded jitter
+//!   and a total-time deadline; [`retry::CircuitBreaker`] fails fast per
+//!   shard after consecutive failures, half-open-probing with the
+//!   lightweight `Ping`. [`journal::ShardJournal`] records each shard's
+//!   canonical `Open` plus the ordered applied-pin log, so the coordinator
+//!   can **fail over** to a replacement server (same address or
+//!   [`coordinator::ClientConfig::fallback_addrs`]) and replay the session
+//!   as idempotent protocol traffic — resuming a mid-greedy run with
+//!   bit-identical picks.
 //!
 //! ## Robustness
 //!
@@ -63,9 +77,14 @@
 //! non-boolean flag bytes, out-of-range labels, oversized length prefixes
 //! and trailing bytes are all typed [`RpcError`]s, never panics or
 //! unbounded allocations (fuzz-style property tests feed garbage and
-//! truncated frames through every entry point). A shard server survives
+//! truncated frames through every entry point). Every frame carries a
+//! CRC32 trailer, so a flipped bit anywhere in transit is a typed
+//! decode failure, never a silently wrong value. A shard server survives
 //! malformed requests, rejecting them per-request without dropping the
-//! connection.
+//! connection; a coordinator survives dropped, corrupted and killed
+//! connections by reconnecting or failing over and replaying its journal —
+//! chaos property tests drive full cleaning runs through seeded fault
+//! schedules and assert results bit-identical to fault-free runs.
 //!
 //! ## Observability
 //!
@@ -85,7 +104,10 @@
 pub mod codec;
 pub mod coordinator;
 pub mod error;
+pub mod fault;
+pub mod journal;
 pub mod proto;
+pub mod retry;
 pub mod server;
 pub mod spill;
 pub mod wire;
@@ -94,10 +116,14 @@ pub use codec::{
     decode_factors, decode_stream, decode_summary, encode_factors, encode_stream,
     encode_stream_raw, encode_summary, raw_stream_size, read_frame, read_frame_opt,
     read_frame_opt_tagged, read_frame_tagged, write_frame, write_frame_tagged, WireSemiring,
+    FRAME_OVERHEAD,
 };
 pub use coordinator::{ClientConfig, RpcCoordinator, ShardClient};
 pub use error::{RpcError, RpcResult};
+pub use fault::{FaultAction, FaultPlan, FaultSchedule, FaultyTransport};
+pub use journal::ShardJournal;
 pub use proto::{OpenShard, Request, Response, SessionId, ShardStatus};
+pub use retry::{Admission, CircuitBreaker, RetryPolicy};
 pub use server::{
     serve, serve_connection, serve_ephemeral, serve_with, spawn_server, spawn_server_on,
     RunningServer, ServerConfig, ShardServer,

@@ -18,7 +18,15 @@
 //! | [`Request::Status`]    | [`Response::Status`] — session's local view |
 //! | [`Request::Stats`]     | [`Response::Stats`] — encoded metrics snapshot |
 //! | [`Request::Close`]     | [`Response::Ok`] — session freed, connection lives |
+//! | [`Request::Ping`]      | [`Response::Ok`] — liveness probe, no session |
 //! | [`Request::Shutdown`]  | [`Response::Ok`] — connection ends         |
+//!
+//! Any request may additionally travel wrapped in [`Request::Deadline`],
+//! which carries the client's remaining patience as a **relative** budget
+//! (microseconds — relative so no clock synchronization is assumed). A
+//! server whose connection queue held the frame longer than its budget
+//! sheds it unstarted with [`Response::Expired`] — retryable, like
+//! [`Response::Busy`].
 //!
 //! Sessions belong to the server process, not to a connection: a
 //! coordinator that reconnects keeps driving the same session by its id
@@ -158,6 +166,22 @@ pub enum Request {
     /// process, so a reconnecting coordinator can keep driving them); use
     /// [`Request::Close`] to free them.
     Shutdown,
+    /// Liveness probe: answered with [`Response::Ok`] and nothing else.
+    /// Session-free and state-free — the half-open circuit breaker's cheap
+    /// way to ask "is this server serving?" before committing real work.
+    Ping,
+    /// Deadline envelope around any other request. `budget_us` is the
+    /// client's remaining patience **relative to the frame's arrival**
+    /// (microseconds; `0` means "already expired" — clients clamp live
+    /// deadlines to ≥ 1). A server that held the frame queued past the
+    /// budget sheds it unstarted with [`Response::Expired`]. Envelopes
+    /// don't nest.
+    Deadline {
+        /// Remaining patience in microseconds, relative to arrival.
+        budget_us: u64,
+        /// The enveloped request.
+        inner: Box<Request>,
+    },
 }
 
 /// A shard server's local view, as reported by [`Response::Status`].
@@ -207,6 +231,11 @@ pub enum Response {
     /// Retryable: the same request is expected to succeed once load drains —
     /// clients surface it as [`crate::RpcError::Busy`].
     Busy(String),
+    /// The request's [`Request::Deadline`] budget had already passed when
+    /// the server dequeued it, so the work was shed unstarted. Retryable
+    /// with a fresh deadline — clients surface it as
+    /// [`crate::RpcError::Expired`].
+    Expired(String),
 }
 
 const REQ_OPEN: u8 = 1;
@@ -218,6 +247,8 @@ const REQ_SHUTDOWN: u8 = 6;
 const REQ_EXTREME_SUMMARY: u8 = 7;
 const REQ_CLOSE: u8 = 8;
 const REQ_STATS: u8 = 9;
+const REQ_PING: u8 = 10;
+const REQ_DEADLINE: u8 = 11;
 
 /// `Open` payload layout versions — the byte after the `REQ_OPEN` tag.
 /// `Open` is the largest single message of the protocol (it carries the
@@ -234,6 +265,7 @@ const RESP_ERROR: u8 = 5;
 const RESP_SUMMARY: u8 = 6;
 const RESP_BUSY: u8 = 7;
 const RESP_STATS: u8 = 8;
+const RESP_EXPIRED: u8 = 9;
 
 #[cfg(test)]
 fn put_choices(out: &mut Vec<u8>, choices: &[Option<u32>]) {
@@ -503,6 +535,12 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             put_u64(&mut out, *session);
         }
         Request::Shutdown => put_u8(&mut out, REQ_SHUTDOWN),
+        Request::Ping => put_u8(&mut out, REQ_PING),
+        Request::Deadline { budget_us, inner } => {
+            put_u8(&mut out, REQ_DEADLINE);
+            put_varint_u64(&mut out, *budget_us);
+            out.extend_from_slice(&encode_request(inner));
+        }
     }
     out
 }
@@ -639,6 +677,19 @@ pub fn decode_request(buf: &[u8]) -> RpcResult<Request> {
             session: r.u64("close session")?,
         },
         REQ_SHUTDOWN => Request::Shutdown,
+        REQ_PING => Request::Ping,
+        REQ_DEADLINE => {
+            let budget_us = r.varint_u64("deadline budget")?;
+            let rest = r.take(r.remaining(), "deadline inner request")?;
+            let inner = decode_request(rest)?;
+            if matches!(inner, Request::Deadline { .. }) {
+                return Err(RpcError::Malformed("deadline envelopes do not nest".into()));
+            }
+            Request::Deadline {
+                budget_us,
+                inner: Box::new(inner),
+            }
+        }
         tag => {
             return Err(RpcError::BadTag {
                 what: "request",
@@ -691,6 +742,10 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             put_u8(&mut out, RESP_BUSY);
             put_string(&mut out, msg);
         }
+        Response::Expired(msg) => {
+            put_u8(&mut out, RESP_EXPIRED);
+            put_string(&mut out, msg);
+        }
     }
     out
 }
@@ -725,6 +780,7 @@ pub fn decode_response(buf: &[u8]) -> RpcResult<Response> {
         }
         RESP_ERROR => Response::Error(get_string(&mut r)?),
         RESP_BUSY => Response::Busy(get_string(&mut r)?),
+        RESP_EXPIRED => Response::Expired(get_string(&mut r)?),
         tag => {
             return Err(RpcError::BadTag {
                 what: "response",
@@ -783,10 +839,51 @@ mod tests {
             Request::Stats { session: 13 },
             Request::Close { session: 12 },
             Request::Shutdown,
+            Request::Ping,
+            Request::Deadline {
+                budget_us: 0,
+                inner: Box::new(Request::Ping),
+            },
+            Request::Deadline {
+                budget_us: u64::MAX,
+                inner: Box::new(Request::Step {
+                    session: 3,
+                    local_row: 9,
+                    expect_cleaned: 4,
+                }),
+            },
         ];
         for req in cases {
             assert_eq!(decode_request(&encode_request(&req)).unwrap(), req);
         }
+    }
+
+    #[test]
+    fn deadline_envelopes_do_not_nest_and_reject_hostile_bytes() {
+        let nested = Request::Deadline {
+            budget_us: 5,
+            inner: Box::new(Request::Deadline {
+                budget_us: 5,
+                inner: Box::new(Request::Ping),
+            }),
+        };
+        assert!(matches!(
+            decode_request(&encode_request(&nested)),
+            Err(RpcError::Malformed(_))
+        ));
+        // an envelope around nothing is a truncation, not a panic
+        let empty = encode_request(&Request::Deadline {
+            budget_us: 9,
+            inner: Box::new(Request::Ping),
+        });
+        for cut in 0..empty.len() {
+            assert!(decode_request(&empty[..cut]).is_err(), "cut at {cut}");
+        }
+        // trailing bytes after the inner request are rejected by the inner
+        // decoder's finish check
+        let mut extended = empty;
+        extended.push(0);
+        assert!(decode_request(&extended).is_err());
     }
 
     #[test]
@@ -829,6 +926,7 @@ mod tests {
             Response::Stats(vec![1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]),
             Response::Error("nope".into()),
             Response::Busy("sessions at capacity".into()),
+            Response::Expired("queued 3ms past a 1ms budget".into()),
         ];
         for resp in cases {
             assert_eq!(decode_response(&encode_response(&resp)).unwrap(), resp);

@@ -1,0 +1,290 @@
+//! The unified retry policy: capped exponential backoff with deterministic
+//! seeded jitter, an optional total-time deadline, and the per-shard
+//! circuit breaker.
+//!
+//! Before this module, three call sites each improvised their own retry
+//! shape: `connect` slept a fixed `retry_backoff` per attempt, the
+//! `open`-on-`Busy` loop borrowed the connect attempt budget with no time
+//! bound at all, and request-level failures never retried. One
+//! [`RetryPolicy`] now drives all of them (plus the failover path), which
+//! is what prevents a thundering herd of synchronized redials when a pool
+//! server restarts under a whole fleet: each client's jitter stream is
+//! seeded separately, so their backoff schedules decorrelate while staying
+//! fully deterministic for tests.
+//!
+//! The [`CircuitBreaker`] sits above the policy: after `threshold`
+//! *consecutive* transport failures against one shard it opens and fails
+//! fast (no socket work at all) until `cooldown` has passed, then admits a
+//! single half-open probe — the coordinator sends the lightweight
+//! [`crate::Request::Ping`] before committing real work. A success closes
+//! the breaker; a failed probe re-opens it.
+
+use std::time::{Duration, Instant};
+
+/// SplitMix64 — the tiny, high-quality mixing function used for jitter.
+/// Deterministic and dependency-free; identical across platforms.
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Capped exponential backoff with deterministic seeded jitter and an
+/// optional total-time deadline. Shared by connect, `Busy`/`Expired`
+/// retries, and failover.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RetryPolicy {
+    /// Total tries (first attempt included); `attempts = 1` means no retry.
+    pub attempts: u32,
+    /// Backoff before the first retry (doubled per further retry).
+    pub base: Duration,
+    /// Upper bound on any single backoff pause (pre-jitter).
+    pub cap: Duration,
+    /// Jitter seed; two policies with different seeds decorrelate their
+    /// backoff schedules (same seed ⇒ identical schedule — determinism for
+    /// tests and chaos runs).
+    pub seed: u64,
+    /// Optional bound on the *total* time spent across all attempts,
+    /// measured from the first attempt. `None` = attempts-bounded only.
+    pub deadline: Option<Duration>,
+}
+
+impl RetryPolicy {
+    /// The pause before retry number `retry` (1-based): `min(cap, base·2^(retry-1))`
+    /// scaled by a deterministic jitter factor in `[0.5, 1.0]` ("equal
+    /// jitter" — never less than half the nominal pause, never more than
+    /// it, so tests can still assert a lower bound on elapsed time).
+    pub fn backoff(&self, retry: u32) -> Duration {
+        let doublings = retry.saturating_sub(1).min(32);
+        let nominal = self
+            .base
+            .saturating_mul(1u32 << doublings.min(31))
+            .min(self.cap.max(self.base));
+        let unit = splitmix64(self.seed ^ u64::from(retry)) as f64 / u64::MAX as f64;
+        nominal.mul_f64(0.5 + 0.5 * unit)
+    }
+
+    /// Whether the policy's total-time deadline has passed since `started`.
+    pub fn expired(&self, started: Instant) -> bool {
+        self.deadline.is_some_and(|d| started.elapsed() >= d)
+    }
+}
+
+/// Breaker states, in the classic three-state design.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum BreakerState {
+    /// Healthy: everything admitted.
+    Closed,
+    /// Tripped: admit nothing until the cooldown passes.
+    Open,
+    /// Cooldown passed: admit probes until one succeeds or fails.
+    HalfOpen,
+}
+
+/// What the breaker says about an admission request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Admission {
+    /// Healthy — proceed normally.
+    Allow,
+    /// Half-open — proceed, but probe liveness cheaply (`Ping`) before
+    /// committing real work.
+    Probe,
+    /// Open — fail fast without touching the socket.
+    FastFail,
+}
+
+/// Per-shard circuit breaker: `threshold` *consecutive* transport failures
+/// open it; after `cooldown` it half-opens for a probe. `threshold == 0`
+/// disables it (always [`Admission::Allow`]).
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    threshold: u32,
+    cooldown: Duration,
+    consecutive: u32,
+    state: BreakerState,
+    opened_at: Option<Instant>,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given trip threshold and cooldown.
+    pub fn new(threshold: u32, cooldown: Duration) -> Self {
+        CircuitBreaker {
+            threshold,
+            cooldown,
+            consecutive: 0,
+            state: BreakerState::Closed,
+            opened_at: None,
+        }
+    }
+
+    /// Ask to perform one operation against the guarded shard.
+    pub fn admit(&mut self) -> Admission {
+        if self.threshold == 0 {
+            return Admission::Allow;
+        }
+        match self.state {
+            BreakerState::Closed => Admission::Allow,
+            BreakerState::HalfOpen => Admission::Probe,
+            BreakerState::Open => {
+                let cooled = self
+                    .opened_at
+                    .is_some_and(|at| at.elapsed() >= self.cooldown);
+                if cooled {
+                    self.state = BreakerState::HalfOpen;
+                    Admission::Probe
+                } else {
+                    Admission::FastFail
+                }
+            }
+        }
+    }
+
+    /// Record a successful operation (closes the breaker).
+    pub fn on_success(&mut self) {
+        self.consecutive = 0;
+        if self.state != BreakerState::Closed {
+            self.state = BreakerState::Closed;
+            self.opened_at = None;
+            cp_obs::gauge!("rpc.client.breaker_open").add(-1.0);
+        }
+    }
+
+    /// Record a failed transport operation; trips the breaker at the
+    /// threshold (and re-trips a failed half-open probe immediately).
+    pub fn on_failure(&mut self) {
+        if self.threshold == 0 {
+            return;
+        }
+        self.consecutive = self.consecutive.saturating_add(1);
+        let trip = self.consecutive >= self.threshold || self.state == BreakerState::HalfOpen;
+        if trip && self.state != BreakerState::Open {
+            if self.state == BreakerState::Closed {
+                cp_obs::gauge!("rpc.client.breaker_open").add(1.0);
+            }
+            cp_obs::counter!("rpc.client.breaker_opens").inc();
+            self.state = BreakerState::Open;
+        }
+        if self.state == BreakerState::Open {
+            self.opened_at = Some(Instant::now());
+        }
+    }
+
+    /// Whether the breaker is currently failing fast (open, cooldown not
+    /// yet passed) — without mutating state.
+    pub fn is_open(&self) -> bool {
+        self.state == BreakerState::Open
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy(seed: u64) -> RetryPolicy {
+        RetryPolicy {
+            attempts: 5,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(200),
+            seed,
+            deadline: None,
+        }
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_within_jitter_bounds() {
+        let p = policy(42);
+        for retry in 1..=8u32 {
+            let nominal = Duration::from_millis(10 * (1u64 << (retry - 1))).min(p.cap);
+            let b = p.backoff(retry);
+            assert!(
+                b >= nominal / 2 && b <= nominal,
+                "retry {retry}: {b:?} outside [{:?}, {nominal:?}]",
+                nominal / 2
+            );
+        }
+    }
+
+    #[test]
+    fn backoff_is_deterministic_per_seed_and_decorrelated_across_seeds() {
+        let (a, b) = (policy(1), policy(1));
+        assert!((1..=6).all(|r| a.backoff(r) == b.backoff(r)));
+        let c = policy(2);
+        assert!(
+            (1..=6).any(|r| a.backoff(r) != c.backoff(r)),
+            "different seeds should produce different jitter somewhere"
+        );
+    }
+
+    #[test]
+    fn huge_retry_counts_do_not_overflow() {
+        let p = policy(7);
+        assert!(p.backoff(u32::MAX) <= p.cap);
+        let zero_cap = RetryPolicy {
+            cap: Duration::ZERO,
+            ..policy(7)
+        };
+        // a cap below base falls back to base, not zero
+        assert!(zero_cap.backoff(3) >= zero_cap.base / 2);
+    }
+
+    #[test]
+    fn deadline_expires_and_none_never_does() {
+        let started = Instant::now() - Duration::from_millis(50);
+        let bounded = RetryPolicy {
+            deadline: Some(Duration::from_millis(10)),
+            ..policy(0)
+        };
+        assert!(bounded.expired(started));
+        let fresh = RetryPolicy {
+            deadline: Some(Duration::from_secs(3600)),
+            ..policy(0)
+        };
+        assert!(!fresh.expired(started));
+        assert!(!policy(0).expired(started));
+    }
+
+    #[test]
+    fn breaker_trips_after_threshold_consecutive_failures() {
+        let mut b = CircuitBreaker::new(3, Duration::from_secs(3600));
+        assert_eq!(b.admit(), Admission::Allow);
+        b.on_failure();
+        b.on_failure();
+        assert_eq!(b.admit(), Admission::Allow, "below threshold stays closed");
+        // a success resets the consecutive count
+        b.on_success();
+        b.on_failure();
+        b.on_failure();
+        assert_eq!(b.admit(), Admission::Allow);
+        b.on_failure();
+        assert!(b.is_open());
+        assert_eq!(b.admit(), Admission::FastFail);
+    }
+
+    #[test]
+    fn breaker_half_opens_after_cooldown_then_closes_on_probe_success() {
+        let mut b = CircuitBreaker::new(1, Duration::ZERO);
+        b.on_failure();
+        assert!(b.is_open());
+        // zero cooldown: the next admit is already a half-open probe
+        assert_eq!(b.admit(), Admission::Probe);
+        assert_eq!(b.admit(), Admission::Probe, "half-open persists");
+        b.on_success();
+        assert_eq!(b.admit(), Admission::Allow);
+        // and a failed probe re-opens immediately
+        b.on_failure();
+        assert_eq!(b.admit(), Admission::Probe);
+        b.on_failure();
+        assert!(b.is_open());
+    }
+
+    #[test]
+    fn zero_threshold_disables_the_breaker() {
+        let mut b = CircuitBreaker::new(0, Duration::ZERO);
+        for _ in 0..100 {
+            b.on_failure();
+        }
+        assert_eq!(b.admit(), Admission::Allow);
+        assert!(!b.is_open());
+    }
+}

@@ -38,8 +38,10 @@
 
 use crate::codec::{
     encode_stream, encode_summary, read_frame_opt_tagged, write_frame_tagged, WireSemiring,
+    FRAME_OVERHEAD,
 };
 use crate::error::RpcResult;
+use crate::fault::{FaultPlan, FaultyTransport};
 use crate::proto::{
     decode_request, encode_response, put_open, OpenShard, Request, Response, SessionId, ShardStatus,
 };
@@ -58,7 +60,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::sync_channel;
 use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Admission-control and loop-shape knobs for [`serve_with`].
 #[derive(Clone, Debug)]
@@ -84,6 +86,12 @@ pub struct ServerConfig {
     /// `Step` retransmission lands on recovered state. `None` (the default)
     /// keeps sessions purely in memory.
     pub data_dir: Option<PathBuf>,
+    /// Deterministic fault injection on every connection's *outgoing*
+    /// frames (see [`crate::fault::FaultPlan`]): responses are dropped,
+    /// delayed, corrupted, truncated or duplicated per the seeded schedule,
+    /// which is what `shard-server --chaos <seed>` sets. `None` (the
+    /// default) serves clean.
+    pub chaos: Option<FaultPlan>,
 }
 
 impl Default for ServerConfig {
@@ -94,6 +102,7 @@ impl Default for ServerConfig {
             queue_depth: 32,
             max_accepts: None,
             data_dir: None,
+            chaos: None,
         }
     }
 }
@@ -269,6 +278,12 @@ impl ShardServer {
     /// [`Response::Error`] (or [`Response::Busy`] for admission refusals);
     /// this function does not panic on any input.
     pub fn handle(&self, req: Request) -> Response {
+        // A deadline envelope reaching handle() directly (an embedder
+        // calling without a serve loop) is treated as unexpired — queue
+        // wait is the serve loops' concern; they shed before dispatch.
+        if let Request::Deadline { inner, .. } = req {
+            return self.handle(*inner);
+        }
         // per-request-type handler latency (span records on scope exit, so
         // error responses are timed too — they're served latency all the same)
         let _span = match &req {
@@ -283,6 +298,10 @@ impl ShardServer {
             Request::Stats { .. } => cp_obs::span!("rpc.server.latency.stats_us"),
             Request::Close { .. } => cp_obs::span!("rpc.server.latency.close_us"),
             Request::Shutdown => cp_obs::span!("rpc.server.latency.shutdown_us"),
+            // Deadline is unwrapped above; Ping is the breaker's liveness probe
+            Request::Ping | Request::Deadline { .. } => {
+                cp_obs::span!("rpc.server.latency.ping_us")
+            }
         };
         match req {
             Request::Open(open) => self.handle_open(*open),
@@ -347,6 +366,11 @@ impl ShardServer {
                 }
             }
             Request::Shutdown => Response::Ok,
+            // liveness probe: no session, no state — just an ack
+            Request::Ping => Response::Ok,
+            // unreachable in practice (unwrapped on entry), but recursing is
+            // still the correct non-panicking answer
+            Request::Deadline { inner, .. } => self.handle(*inner),
         }
     }
 
@@ -840,10 +864,14 @@ pub fn serve_connection(server: &ShardServer, stream: &mut TcpStream) -> RpcResu
         cp_obs::counter!("rpc.server.bytes_in").add(FRAME_OVERHEAD + frame.len() as u64);
         // a malformed request poisons only that request, not the connection
         let (resp, shutdown) = match decode_request(&frame) {
-            Ok(req) => {
-                let shutdown = matches!(req, Request::Shutdown);
-                (server.handle(req), shutdown)
-            }
+            // serial serving has no queue wait; only a zero budget can expire
+            Ok(req) => match shed_expired(req, 0) {
+                Ok(req) => {
+                    let shutdown = matches!(req, Request::Shutdown);
+                    (server.handle(req), shutdown)
+                }
+                Err(resp) => (resp, false),
+            },
             Err(e) => {
                 cp_obs::counter!("rpc.server.malformed_requests").inc();
                 (Response::Error(format!("bad request: {e}")), false)
@@ -858,10 +886,25 @@ pub fn serve_connection(server: &ShardServer, stream: &mut TcpStream) -> RpcResu
     }
 }
 
-/// Per-frame wire overhead beyond the payload: the u32 length prefix plus
-/// the u32 request id (what the `bytes_in`/`bytes_out` counters add on top
-/// of each payload).
-const FRAME_OVERHEAD: u64 = 8;
+/// Unwrap a [`Request::Deadline`] envelope, shedding the request if its
+/// wire-carried budget has already passed after `waited_us` in the queue
+/// (a zero budget is pre-expired by definition). Non-envelope requests
+/// pass through untouched.
+fn shed_expired(req: Request, waited_us: u64) -> Result<Request, Response> {
+    match req {
+        Request::Deadline { budget_us, inner } => {
+            if budget_us == 0 || waited_us > budget_us {
+                cp_obs::counter!("rpc.server.expired_requests").inc();
+                Err(Response::Expired(format!(
+                    "queued {waited_us}us against a {budget_us}us budget"
+                )))
+            } else {
+                Ok(*inner)
+            }
+        }
+        other => Ok(other),
+    }
+}
 
 /// Serve one connection through a bounded request queue: a reader thread
 /// pulls frames off the socket into a `sync_channel` of `queue_depth`
@@ -872,26 +915,35 @@ fn serve_queued_connection(
     server: &ShardServer,
     stream: TcpStream,
     queue_depth: usize,
+    chaos: Option<&FaultPlan>,
 ) -> RpcResult<bool> {
     let peer = stream
         .peer_addr()
         .map(|a| a.to_string())
         .unwrap_or_else(|_| "<unknown>".into());
-    let mut writer = stream.try_clone()?;
-    let (tx, rx) = sync_channel::<(u32, Vec<u8>)>(queue_depth.max(1));
+    // a chaos-wrapped writer can't reach TcpStream::shutdown, so keep a raw
+    // handle for teardown regardless of wrapping
+    let shutdown_handle = stream.try_clone()?;
+    let mut writer: Box<dyn std::io::Write + Send> = match chaos {
+        Some(plan) => Box::new(FaultyTransport::new(stream.try_clone()?, plan.schedule())),
+        None => Box::new(stream.try_clone()?),
+    };
+    let (tx, rx) = sync_channel::<(u32, Vec<u8>, Instant)>(queue_depth.max(1));
     let queue_gauge = cp_obs::gauge!("rpc.server.queue_depth");
     let mut reader_stream = stream;
     let reader = std::thread::spawn(move || -> RpcResult<()> {
         let queue_gauge = cp_obs::gauge!("rpc.server.queue_depth");
         loop {
             match read_frame_opt_tagged(&mut reader_stream) {
-                Ok(Some(frame)) => {
+                Ok(Some((req_id, frame))) => {
                     cp_obs::counter!("rpc.server.bytes_in")
-                        .add(FRAME_OVERHEAD + frame.1.len() as u64);
+                        .add(FRAME_OVERHEAD + frame.len() as u64);
                     // counted while (possibly) blocked on a full queue, so
                     // the gauge reads true backlog including this frame
                     queue_gauge.add(1.0);
-                    if tx.send(frame).is_err() {
+                    // arrival time starts the queue-wait clock that the
+                    // processor checks deadline envelopes against
+                    if tx.send((req_id, frame, Instant::now())).is_err() {
                         // processor gone (shutdown or write failure)
                         queue_gauge.add(-1.0);
                         return Ok(());
@@ -904,13 +956,19 @@ fn serve_queued_connection(
     });
     let mut result: RpcResult<bool> = Ok(false);
     let mut handled = 0usize;
-    for (req_id, frame) in rx.iter() {
+    for (req_id, frame, arrived) in rx.iter() {
         queue_gauge.add(-1.0);
         handled += 1;
         let (resp, shutdown) = match decode_request(&frame) {
             Ok(req) => {
-                let shutdown = matches!(req, Request::Shutdown);
-                (server.handle(req), shutdown)
+                let waited_us = u64::try_from(arrived.elapsed().as_micros()).unwrap_or(u64::MAX);
+                match shed_expired(req, waited_us) {
+                    Ok(req) => {
+                        let shutdown = matches!(req, Request::Shutdown);
+                        (server.handle(req), shutdown)
+                    }
+                    Err(resp) => (resp, false),
+                }
             }
             Err(e) => {
                 cp_obs::counter!("rpc.server.malformed_requests").inc();
@@ -931,7 +989,7 @@ fn serve_queued_connection(
     }
     // unblock a reader mid-read and retire it; after a Shutdown (or a write
     // failure) its socket error is expected, not a connection fault
-    let _ = writer.shutdown(Shutdown::Both);
+    let _ = shutdown_handle.shutdown(Shutdown::Both);
     // frames the reader queued but nobody will process still hold gauge slots
     for _ in rx.try_iter() {
         queue_gauge.add(-1.0);
@@ -1055,11 +1113,12 @@ fn serve_inner(
         let guard = SlotGuard(live.clone());
         let server = server.clone();
         let queue_depth = cfg.queue_depth;
+        let chaos = cfg.chaos.clone();
         handles.push(std::thread::spawn(move || {
             let _guard = guard;
             // per-connection faults should not take the whole server down;
             // serve_queued_connection already counted and logged the error
-            let _ = serve_queued_connection(&server, stream, queue_depth);
+            let _ = serve_queued_connection(&server, stream, queue_depth, chaos.as_ref());
         }));
         accepted += 1;
         if let Some(max) = cfg.max_accepts {
@@ -1068,6 +1127,10 @@ fn serve_inner(
             }
         }
     }
+    // release the port *before* joining connection threads: a client
+    // re-dialing a stopped server must see a refused connection it can
+    // fail over from, not a TCP backlog it parks in forever
+    drop(listener);
     for h in handles {
         let _ = h.join();
     }
@@ -1788,5 +1851,132 @@ mod tests {
         // the truncated-on-reopen log keeps accepting pins
         assert_eq!(step(&server, session, 2, 1), Response::Ok);
         assert_eq!(status(&server, session).n_cleaned, 2);
+    }
+
+    #[test]
+    fn ping_needs_no_session_and_deadlines_unwrap_on_direct_handle() {
+        let server = ShardServer::new();
+        assert_eq!(server.handle(Request::Ping), Response::Ok);
+        // a direct handle() call has no queue wait: the envelope is
+        // transparent regardless of budget…
+        assert_eq!(
+            server.handle(Request::Deadline {
+                budget_us: 1,
+                inner: Box::new(Request::Ping),
+            }),
+            Response::Ok
+        );
+        // …and shed_expired (the serve loops' gate) sheds a pre-expired
+        // zero budget but passes a live one through
+        assert!(matches!(
+            shed_expired(
+                Request::Deadline {
+                    budget_us: 0,
+                    inner: Box::new(Request::Ping),
+                },
+                0,
+            ),
+            Err(Response::Expired(_))
+        ));
+        assert!(matches!(
+            shed_expired(
+                Request::Deadline {
+                    budget_us: 1_000_000,
+                    inner: Box::new(Request::Ping),
+                },
+                5,
+            ),
+            Ok(Request::Ping)
+        ));
+        assert!(matches!(
+            shed_expired(
+                Request::Deadline {
+                    budget_us: 10,
+                    inner: Box::new(Request::Ping),
+                },
+                11,
+            ),
+            Err(Response::Expired(_))
+        ));
+    }
+
+    #[test]
+    fn queued_serving_sheds_expired_deadlines_over_loopback() {
+        use crate::codec::read_frame_tagged;
+        use crate::proto::encode_request;
+
+        let running = spawn_server(ServerConfig::default()).unwrap();
+        let mut stream = TcpStream::connect(running.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut send = |id: u32, req: &Request| {
+            write_frame_tagged(&mut stream, id, &encode_request(req)).unwrap();
+        };
+        // budget 0 is pre-expired by definition: deterministic shedding
+        send(
+            1,
+            &Request::Deadline {
+                budget_us: 0,
+                inner: Box::new(Request::Ping),
+            },
+        );
+        // a generous budget sails through to the inner request
+        send(
+            2,
+            &Request::Deadline {
+                budget_us: 60_000_000,
+                inner: Box::new(Request::Ping),
+            },
+        );
+        send(3, &Request::Shutdown);
+        let (id, frame) = read_frame_tagged(&mut stream).unwrap();
+        assert_eq!(id, 1);
+        assert!(matches!(
+            crate::proto::decode_response(&frame).unwrap(),
+            Response::Expired(_)
+        ));
+        let (id, frame) = read_frame_tagged(&mut stream).unwrap();
+        assert_eq!(id, 2);
+        assert_eq!(crate::proto::decode_response(&frame).unwrap(), Response::Ok);
+        drop(stream);
+        running.stop();
+    }
+
+    #[test]
+    fn a_chaos_configured_server_still_converges_for_a_patient_peer() {
+        use crate::codec::read_frame_tagged;
+        use crate::proto::encode_request;
+
+        // every response frame is delayed (never lost): a patient client
+        // sees correct, ordered answers — chaos wiring must not change
+        // semantics, only timing/loss characteristics
+        let plan = FaultPlan::delay_heavy(17).with_delay(Duration::from_millis(1));
+        let cfg = ServerConfig {
+            chaos: Some(plan),
+            ..ServerConfig::default()
+        };
+        let running = spawn_server(cfg).unwrap();
+        let mut stream = TcpStream::connect(running.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut ok = 0usize;
+        for id in 1..=20u32 {
+            write_frame_tagged(&mut stream, id, &encode_request(&Request::Ping)).unwrap();
+            match read_frame_tagged(&mut stream) {
+                Ok((got, frame)) => {
+                    assert_eq!(got, id);
+                    assert_eq!(crate::proto::decode_response(&frame).unwrap(), Response::Ok);
+                    ok += 1;
+                }
+                // delay_heavy keeps a small rate of other faults; a dead
+                // connection ends the exchange early
+                Err(_) => break,
+            }
+        }
+        assert!(ok > 0, "at least the first delayed responses must arrive");
+        drop(stream);
+        running.stop();
     }
 }

@@ -196,11 +196,24 @@ fn garbage_client_then_healthy_client() {
     assert_eq!(n, 0, "hostile connection ends with EOF, not a reply");
     drop(s);
 
-    // hostile client 2: a well-formed frame whose payload is junk — the
-    // mid-handshake failure shape; also just dropped
+    // hostile client 2: a well-formed frame (correct CRC trailer) whose
+    // payload is junk — the mid-handshake failure shape; answered with a
+    // per-request error or just dropped, never a hang
     let mut s = TcpStream::connect(server.addr()).expect("hostile connect");
-    s.write_all(&[0, 0, 0, 4, 0, 0, 0, 1, 0xDE, 0xAD, 0xBE, 0xEF])
+    let header_and_payload = [0, 0, 0, 4, 0, 0, 0, 1, 0xDE, 0xAD, 0xBE, 0xEF];
+    s.write_all(&header_and_payload)
         .expect("write junk payload");
+    s.write_all(&cp_store::crc32(&header_and_payload).to_be_bytes())
+        .expect("write junk frame crc");
+    let _ = s.read(&mut buf);
+    drop(s);
+
+    // hostile client 3: a complete frame whose CRC trailer is wrong — the
+    // bit-flipped-in-transit shape; the connection is dropped
+    let mut s = TcpStream::connect(server.addr()).expect("hostile connect");
+    s.write_all(&header_and_payload)
+        .expect("write junk payload");
+    s.write_all(&[0, 0, 0, 0]).expect("write wrong frame crc");
     let _ = s.read(&mut buf);
     drop(s);
 
